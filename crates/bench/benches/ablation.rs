@@ -1,0 +1,76 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - **Algorithm-1 engine**: the paper's recursive formulation vs the
+//!   iterative reverse-topological sweep (identical results, different
+//!   analysis cost).
+//! - **Dead-end elimination**: the optional extension beyond the paper's
+//!   conservative full-range rule for unconsumed ports.
+//! - **End-to-end generation**: the cost of FRODO's own pipeline (parse-to-
+//!   program), which the paper claims is practical for deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frodo_codegen::{generate, GeneratorStyle};
+use frodo_core::{determine_ranges, Analysis, IoMappings, RangeEngine, RangeOptions};
+use frodo_graph::Dfg;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let models = frodo_benchmodels::all();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.warm_up_time(std::time::Duration::from_millis(100));
+
+    // biggest model exercises the analysis hardest
+    let maintenance = models
+        .iter()
+        .find(|b| b.name == "Maintenance")
+        .expect("suite contains Maintenance");
+    let dfg = Dfg::new(maintenance.model.clone()).expect("analyzable");
+    let maps = IoMappings::derive(&dfg);
+
+    for engine in [RangeEngine::Recursive, RangeEngine::Iterative] {
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1", format!("{engine:?}")),
+            &engine,
+            |b, &engine| {
+                let opts = RangeOptions {
+                    engine,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(determine_ranges(black_box(&dfg), black_box(&maps), opts)));
+            },
+        );
+    }
+
+    for (label, eliminate) in [("paper_rule", false), ("dead_end_elim", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("dead_ends", label),
+            &eliminate,
+            |b, &eliminate| {
+                let opts = RangeOptions {
+                    eliminate_dead_ends: eliminate,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(determine_ranges(black_box(&dfg), black_box(&maps), opts)));
+            },
+        );
+    }
+
+    for bench in &models {
+        group.bench_with_input(
+            BenchmarkId::new("pipeline", bench.name),
+            &bench.model,
+            |b, model| {
+                b.iter(|| {
+                    let analysis = Analysis::run(black_box(model.clone())).expect("analyzes");
+                    black_box(generate(&analysis, GeneratorStyle::Frodo))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind the paper's Table 2: measured execution of every
+//! generator's program for every benchmark model.
+//!
+//! The measured subject is the loop-IR VM executing one step — real work
+//! whose duration scales with the element computations each generator
+//! emits, so FRODO's redundancy elimination shows up directly in the
+//! measured times (the absolute scale belongs to the VM, not to `gcc -O3`;
+//! the native harness in `table2 --native` covers that).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frodo_bench::build_suite;
+use frodo_sim::{workload, Vm};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let suite = build_suite();
+    let mut group = c.benchmark_group("table2_x86");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    for entry in &suite {
+        let inputs = workload::random_input_vecs(entry.analysis.dfg(), 7);
+        for (style, program) in &entry.programs {
+            let mut vm = Vm::new(program);
+            group.bench_with_input(
+                BenchmarkId::new(entry.name, style.label()),
+                program,
+                |b, program| {
+                    b.iter(|| black_box(vm.step(program, black_box(&inputs))));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

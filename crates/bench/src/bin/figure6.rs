@@ -1,0 +1,71 @@
+//! Regenerates the paper's Figure 6: execution improvement of FRODO versus
+//! the other generators on ARM (GCC and Clang profiles).
+//!
+//! The paper plots one bar per (model, baseline): the baseline's duration
+//! relative to FRODO's (FRODO itself is the red baseline at 1.0×). We print
+//! the same series as text bars.
+
+use frodo_bench::build_suite;
+use frodo_sim::CostModel;
+
+fn bar(ratio: f64) -> String {
+    let blocks = (ratio * 6.0).round() as usize;
+    "#".repeat(blocks.clamp(1, 60))
+}
+
+fn main() {
+    let suite = build_suite();
+    for (fig, cm) in [
+        ("Figure 6(a): ARM with GCC", CostModel::arm_gcc()),
+        ("Figure 6(b): ARM with Clang", CostModel::arm_clang()),
+    ] {
+        println!("{fig} — improvement of FRODO vs each generator (1.0 = FRODO)");
+        println!(
+            "{:<14} {:>9} {:>9} {:>9}",
+            "Model", "Simulink", "DFSynth", "HCG"
+        );
+        println!("{}", "-".repeat(46));
+        let mut sim = (f64::MAX, f64::MIN);
+        let mut df = (f64::MAX, f64::MIN);
+        let mut hcg = (f64::MAX, f64::MIN);
+        for entry in &suite {
+            let (s, d, h) = frodo_bench::improvement(&cm, &entry.programs);
+            sim = (sim.0.min(s), sim.1.max(s));
+            df = (df.0.min(d), df.1.max(d));
+            hcg = (hcg.0.min(h), hcg.1.max(h));
+            println!("{:<14} {s:>8.2}x {d:>8.2}x {h:>8.2}x", entry.name);
+            println!("{:<14} S {}", "", bar(s));
+            println!("{:<14} D {}", "", bar(d));
+            println!("{:<14} H {}", "", bar(h));
+        }
+        println!();
+        println!(
+            "ranges: vs Simulink {:.2}x-{:.2}x, vs DFSynth {:.2}x-{:.2}x, vs HCG {:.2}x-{:.2}x",
+            sim.0, sim.1, df.0, df.1, hcg.0, hcg.1
+        );
+        println!(
+            "(paper, {}: Simulink {}, DFSynth {}, HCG {})",
+            if cm.compiler == frodo_sim::CompilerProfile::Gcc {
+                "GCC"
+            } else {
+                "Clang"
+            },
+            if cm.compiler == frodo_sim::CompilerProfile::Gcc {
+                "1.71x-8.55x"
+            } else {
+                "1.68x-6.46x"
+            },
+            if cm.compiler == frodo_sim::CompilerProfile::Gcc {
+                "1.44x-4.10x"
+            } else {
+                "1.40x-2.85x"
+            },
+            if cm.compiler == frodo_sim::CompilerProfile::Gcc {
+                "1.17x-3.75x"
+            } else {
+                "1.34x-3.17x"
+            },
+        );
+        println!();
+    }
+}

@@ -1,0 +1,105 @@
+//! Regenerates the paper's Table 2: execution duration on x86 with GCC and
+//! Clang profiles, for all four generators.
+//!
+//! By default the durations come from the deterministic cost model (see
+//! `frodo_sim::CostModel` for the substitution rationale). With `--native`,
+//! a real `gcc -O3` compile-and-run pass is added for the x86/GCC column —
+//! the configuration this host can actually measure.
+
+use frodo_bench::{build_suite, duration_seconds, fmt_seconds, PAPER_ITERS};
+use frodo_codegen::GeneratorStyle;
+use frodo_sim::{native, CostModel};
+
+fn main() {
+    let native_requested = std::env::args().any(|a| a == "--native");
+    let suite = build_suite();
+    let gcc = CostModel::x86_gcc();
+    let clang = CostModel::x86_clang();
+
+    println!("Table 2: Code execution duration on x86 (GCC and Clang profiles),");
+    println!("{PAPER_ITERS} iterations, cost-model estimate.");
+    println!();
+    let header = "Simulink   DFSynth    HCG        Frodo";
+    println!("{:<14} | {header} | {header}", "Model");
+    println!("{:<14} | {:^42} | {:^42}", "", "GCC", "Clang");
+    println!("{}", "-".repeat(105));
+    for entry in &suite {
+        let cell = |cm: &CostModel, style: GeneratorStyle| {
+            let p = &entry
+                .programs
+                .iter()
+                .find(|(s, _)| *s == style)
+                .expect("style present")
+                .1;
+            fmt_seconds(duration_seconds(cm, p))
+        };
+        let row = |cm: &CostModel| {
+            GeneratorStyle::ALL
+                .iter()
+                .map(|&s| format!("{:<10}", cell(cm, s)))
+                .collect::<String>()
+        };
+        println!("{:<14} | {} | {}", entry.name, row(&gcc), row(&clang));
+    }
+
+    println!();
+    println!("FRODO speedup ranges (paper: GCC 1.26–5.64× / 1.32–5.75× / 1.22–2.89×):");
+    for cm in [&gcc, &clang] {
+        let mut sim = (f64::MAX, f64::MIN);
+        let mut df = (f64::MAX, f64::MIN);
+        let mut hcg = (f64::MAX, f64::MIN);
+        for entry in &suite {
+            let (s, d, h) = frodo_bench::improvement(cm, &entry.programs);
+            sim = (sim.0.min(s), sim.1.max(s));
+            df = (df.0.min(d), df.1.max(d));
+            hcg = (hcg.0.min(h), hcg.1.max(h));
+        }
+        println!(
+            "  {:<10} vs Simulink {:.2}x-{:.2}x, vs DFSynth {:.2}x-{:.2}x, vs HCG {:.2}x-{:.2}x",
+            cm.label(),
+            sim.0,
+            sim.1,
+            df.0,
+            df.1,
+            hcg.0,
+            hcg.1
+        );
+    }
+
+    if native_requested {
+        if !native::gcc_available() {
+            eprintln!("\n--native requested but gcc is not available on this host");
+            return;
+        }
+        println!();
+        println!("Native x86 gcc -O3 wall-clock (ns per iteration, {PAPER_ITERS} reps):");
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "Model", "Simulink", "DFSynth", "HCG", "Frodo", "speedup"
+        );
+        println!("{}", "-".repeat(78));
+        for entry in &suite {
+            let mut row = Vec::new();
+            for (style, program) in &entry.programs {
+                match native::compile_and_run(program, *style, PAPER_ITERS) {
+                    Ok(r) => row.push(r.ns_per_iter),
+                    Err(e) => {
+                        eprintln!("{}/{style}: {e}", entry.name);
+                        row.push(f64::NAN);
+                    }
+                }
+            }
+            // GeneratorStyle::ALL order: Simulink, DFSynth, HCG, Frodo
+            let best_other = row[..3].iter().cloned().fold(f64::MAX, f64::min);
+            println!(
+                "{:<14} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>9.2}x",
+                entry.name,
+                row[0],
+                row[1],
+                row[2],
+                row[3],
+                best_other / row[3]
+            );
+        }
+    }
+}

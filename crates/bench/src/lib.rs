@@ -1,0 +1,143 @@
+//! Benchmark harness regenerating the paper's tables and figures.
+//!
+//! Binaries (run with `cargo run -p frodo-bench --bin <name>`):
+//!
+//! - `table1` — the benchmark inventory (paper Table 1);
+//! - `table2` — x86 execution durations for Simulink/DFSynth/HCG/FRODO under
+//!   GCC-like and Clang-like profiles (paper Table 2); `--native` adds real
+//!   `gcc -O3` wall-clock measurements when a compiler is available;
+//! - `figure6` — ARM improvement ratios (paper Figure 6);
+//! - `memory` — static memory parity across generators (paper §5).
+//!
+//! The library surface exposes the measurement primitives the binaries and
+//! the Criterion benches share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use frodo_codegen::lir::Program;
+use frodo_codegen::{generate, GeneratorStyle};
+use frodo_core::Analysis;
+use frodo_sim::{CostModel, MemoryReport};
+
+/// The paper's measurement protocol: 10 000 repetitions, averaged.
+pub const PAPER_ITERS: usize = 10_000;
+
+/// Generated programs for one benchmark model, one per generator style.
+#[derive(Debug, Clone)]
+pub struct ModelPrograms {
+    /// Model name (Table 1).
+    pub name: &'static str,
+    /// The analysis the programs were generated from.
+    pub analysis: Analysis,
+    /// Programs in [`GeneratorStyle::ALL`] order.
+    pub programs: Vec<(GeneratorStyle, Program)>,
+}
+
+/// Analyzes every Table-1 model and generates all four programs for each.
+pub fn build_suite() -> Vec<ModelPrograms> {
+    frodo_benchmodels::all()
+        .into_iter()
+        .map(|bench| {
+            let analysis = Analysis::run(bench.model).expect("benchmark models analyze");
+            let programs = GeneratorStyle::ALL
+                .iter()
+                .map(|&style| (style, generate(&analysis, style)))
+                .collect();
+            ModelPrograms {
+                name: bench.name,
+                analysis,
+                programs,
+            }
+        })
+        .collect()
+}
+
+/// One Table-2-style cell: estimated execution duration in seconds for
+/// `PAPER_ITERS` repetitions.
+pub fn duration_seconds(cm: &CostModel, program: &Program) -> f64 {
+    cm.execution_seconds(program, PAPER_ITERS)
+}
+
+/// Per-model speedup of FRODO over each baseline under one cost model:
+/// `(Simulink, DFSynth, HCG)` ratios, each `> 1` when FRODO is faster.
+pub fn improvement(cm: &CostModel, programs: &[(GeneratorStyle, Program)]) -> (f64, f64, f64) {
+    let time = |want: GeneratorStyle| {
+        programs
+            .iter()
+            .find(|(s, _)| *s == want)
+            .map(|(_, p)| cm.program_ns(p))
+            .expect("all styles present")
+    };
+    let frodo = time(GeneratorStyle::Frodo);
+    (
+        time(GeneratorStyle::SimulinkCoder) / frodo,
+        time(GeneratorStyle::DfSynth) / frodo,
+        time(GeneratorStyle::Hcg) / frodo,
+    )
+}
+
+/// Memory reports per style for one model (the §5 parity check).
+pub fn memory_parity(
+    programs: &[(GeneratorStyle, Program)],
+) -> Vec<(GeneratorStyle, MemoryReport)> {
+    programs
+        .iter()
+        .map(|(s, p)| (*s, MemoryReport::of(p)))
+        .collect()
+}
+
+/// Formats seconds the way the paper's Table 2 prints them (e.g. `0.333s`).
+pub fn fmt_seconds(s: f64) -> String {
+    format!("{s:.3}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_models_and_styles() {
+        let suite = build_suite();
+        assert_eq!(suite.len(), 10);
+        for entry in &suite {
+            assert_eq!(entry.programs.len(), 4);
+        }
+    }
+
+    #[test]
+    fn frodo_wins_on_every_model_and_config() {
+        // The paper's headline: FRODO is 1.17×–8.55× faster than every
+        // baseline across all models, compilers, and architectures.
+        let suite = build_suite();
+        for cm in CostModel::all() {
+            for entry in &suite {
+                let (vs_sim, vs_df, vs_hcg) = improvement(&cm, &entry.programs);
+                assert!(
+                    vs_sim > 1.0 && vs_df > 1.0 && vs_hcg > 1.0,
+                    "{} on {}: {vs_sim:.2}/{vs_df:.2}/{vs_hcg:.2}",
+                    entry.name,
+                    cm.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_style_independent_everywhere() {
+        for entry in build_suite() {
+            let reports = memory_parity(&entry.programs);
+            let first = reports[0].1;
+            assert!(
+                reports.iter().all(|(_, r)| *r == first),
+                "{}: {reports:?}",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn fmt_matches_paper_style() {
+        assert_eq!(fmt_seconds(0.333), "0.333s");
+    }
+}

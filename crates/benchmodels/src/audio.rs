@@ -1,0 +1,180 @@
+//! `AudioProcess` — vehicle audio analysis (51 blocks).
+//!
+//! A 256-sample audio frame is normalized and split into four band paths;
+//! each path runs a same-convolution band filter (full-padding
+//! `Convolution` plus `Selector`, the paper's Figure-1 pattern), an energy
+//! stage, and a region-of-interest `Selector`. The bands are muxed,
+//! smoothed by an FIR, and trimmed again — giving redundancy elimination
+//! leverage at three levels of the graph.
+
+use frodo_model::{Block, BlockKind, Model, SelectorMode, Tensor};
+use frodo_ranges::Shape;
+
+/// Builds the `AudioProcess` model.
+pub fn audio_process() -> Model {
+    let mut m = Model::new("AudioProcess");
+    let frame = 256usize;
+    let kernel_len = 17usize;
+
+    // 1: input frame
+    let input = m.add(Block::new(
+        "frame",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(frame),
+        },
+    ));
+    // 2-3: normalize
+    let norm = m.add(Block::new(
+        "normalize",
+        BlockKind::Gain {
+            gain: 1.0 / 32768.0,
+        },
+    ));
+    let center = m.add(Block::new("center", BlockKind::Bias { bias: -0.001 }));
+    m.connect(input, 0, norm, 0).unwrap();
+    m.connect(norm, 0, center, 0).unwrap();
+
+    // 4 band paths × 9 blocks = 36 (blocks 4..=39)
+    let mut band_outs = Vec::new();
+    for band in 0..4 {
+        let taps: Vec<f64> = (0..kernel_len)
+            .map(|i| ((i as f64 + 1.0) * (band as f64 + 1.0) * 0.37).sin() / kernel_len as f64)
+            .collect();
+        let k = m.add(Block::new(
+            format!("band{band}_kernel"),
+            BlockKind::Constant {
+                value: Tensor::vector(taps),
+            },
+        ));
+        let conv = m.add(Block::new(
+            format!("band{band}_conv"),
+            BlockKind::Convolution,
+        ));
+        // same-convolution truncation of the full-padding output
+        let same = m.add(Block::new(
+            format!("band{band}_same"),
+            BlockKind::Selector {
+                mode: SelectorMode::StartEnd {
+                    start: kernel_len / 2,
+                    end: kernel_len / 2 + frame,
+                },
+            },
+        ));
+        let energy = m.add(Block::new(format!("band{band}_energy"), BlockKind::Square));
+        let smooth = m.add(Block::new(
+            format!("band{band}_smooth"),
+            BlockKind::MovingAverage { window: 16 },
+        ));
+        // region of interest: only the frame's middle half is analyzed
+        let roi = m.add(Block::new(
+            format!("band{band}_roi"),
+            BlockKind::Selector {
+                mode: SelectorMode::StartEnd {
+                    start: 64,
+                    end: 192,
+                },
+            },
+        ));
+        let gain = m.add(Block::new(
+            format!("band{band}_gain"),
+            BlockKind::Gain { gain: 4.0 },
+        ));
+        let bias = m.add(Block::new(
+            format!("band{band}_bias"),
+            BlockKind::Bias { bias: 1e-9 },
+        ));
+        let root = m.add(Block::new(format!("band{band}_rms"), BlockKind::Sqrt));
+        m.connect(center, 0, conv, 0).unwrap();
+        m.connect(k, 0, conv, 1).unwrap();
+        m.connect(conv, 0, same, 0).unwrap();
+        m.connect(same, 0, energy, 0).unwrap();
+        m.connect(energy, 0, smooth, 0).unwrap();
+        m.connect(smooth, 0, roi, 0).unwrap();
+        m.connect(roi, 0, gain, 0).unwrap();
+        m.connect(gain, 0, bias, 0).unwrap();
+        m.connect(bias, 0, root, 0).unwrap();
+        band_outs.push(root);
+    }
+
+    // 40: combine bands (4 × 128 = 512)
+    let mux = m.add(Block::new("bands", BlockKind::Mux { inputs: 4 }));
+    for (p, b) in band_outs.iter().enumerate() {
+        m.connect(*b, 0, mux, p).unwrap();
+    }
+    // 41: spectral smoothing FIR
+    let fir = m.add(Block::new(
+        "spectral_fir",
+        BlockKind::FirFilter {
+            coeffs: vec![0.1, 0.15, 0.25, 0.25, 0.15, 0.1],
+        },
+    ));
+    m.connect(mux, 0, fir, 0).unwrap();
+    // 42: report window (half of the smoothed spectrum)
+    let sel = m.add(Block::new(
+        "report_window",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 128,
+                end: 384,
+            },
+        },
+    ));
+    m.connect(fir, 0, sel, 0).unwrap();
+    // 43: primary output
+    let out0 = m.add(Block::new("spectrum", BlockKind::Outport { index: 0 }));
+    m.connect(sel, 0, out0, 0).unwrap();
+
+    // 44-45: peak level
+    let peak = m.add(Block::new("peak", BlockKind::MaxOfElements));
+    let out1 = m.add(Block::new("peak_level", BlockKind::Outport { index: 1 }));
+    m.connect(mux, 0, peak, 0).unwrap();
+    m.connect(peak, 0, out1, 0).unwrap();
+
+    // 46-49: flatness diagnostic on the report window
+    let diff = m.add(Block::new("flux", BlockKind::Difference));
+    let mag = m.add(Block::new("flux_mag", BlockKind::Abs));
+    let mean = m.add(Block::new("flux_mean", BlockKind::MeanOfElements));
+    let out2 = m.add(Block::new("flatness", BlockKind::Outport { index: 2 }));
+    m.connect(sel, 0, diff, 0).unwrap();
+    m.connect(diff, 0, mag, 0).unwrap();
+    m.connect(mag, 0, mean, 0).unwrap();
+    m.connect(mean, 0, out2, 0).unwrap();
+
+    // 50-51: disconnected legacy monitor (industrial models carry these);
+    // feeding only a Terminator, its whole chain is dead calculation
+    let monitor = m.add(Block::new("legacy_monitor", BlockKind::Gain { gain: 0.5 }));
+    let term = m.add(Block::new("legacy_sink", BlockKind::Terminator));
+    m.connect(fir, 0, monitor, 0).unwrap();
+    m.connect(monitor, 0, term, 0).unwrap();
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_51_blocks() {
+        assert_eq!(audio_process().deep_len(), 51);
+    }
+
+    #[test]
+    fn analyzes_with_strong_elimination() {
+        let a = frodo_core::Analysis::run(audio_process()).unwrap();
+        // the band convolutions must be optimizable
+        let report = a.report();
+        let conv_opt = report
+            .stats()
+            .iter()
+            .filter(|s| s.type_name == "convolution" && s.optimizable)
+            .count();
+        assert_eq!(conv_opt, 4, "all four band convolutions shrink");
+        assert!(
+            report.elimination_ratio() > 0.2,
+            "ratio {}",
+            report.elimination_ratio()
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! `Back` — backpropagation in a CNN (24 blocks).
+//!
+//! Gradient backpropagation through two small 1-D convolution layers. The
+//! convolutions are *short* (16-sample activations, 3–5-tap kernels) — the
+//! regime the paper uses to show HCG's explicit SIMD batching backfiring:
+//! per-loop batching overhead dominates tiny loops.
+
+use frodo_model::{Block, BlockKind, Model, SelectorMode, Tensor};
+use frodo_ranges::Shape;
+
+/// Builds the `Back` model.
+pub fn back() -> Model {
+    let mut m = Model::new("Back");
+    let n = 16usize;
+
+    // 1-2: upstream gradient and forward activations
+    let grad = m.add(Block::new(
+        "grad_in",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(n),
+        },
+    ));
+    let act = m.add(Block::new(
+        "act_in",
+        BlockKind::Inport {
+            index: 1,
+            shape: Shape::Vector(n),
+        },
+    ));
+
+    // 3-5: layer-2 gradient: full conv with reversed 5-tap kernel, then
+    // 'same' truncation
+    let w2 = m.add(Block::new(
+        "w2_rev",
+        BlockKind::Constant {
+            value: Tensor::vector(vec![0.1, -0.2, 0.4, -0.2, 0.1]),
+        },
+    ));
+    let conv2 = m.add(Block::new("conv_grad2", BlockKind::Convolution));
+    let same2 = m.add(Block::new(
+        "same2",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 2,
+                end: 2 + n,
+            },
+        },
+    ));
+    m.connect(grad, 0, conv2, 0).unwrap();
+    m.connect(w2, 0, conv2, 1).unwrap();
+    m.connect(conv2, 0, same2, 0).unwrap();
+
+    // 6-10: tanh' = 1 - tanh² activation derivative, applied elementwise
+    let tanh = m.add(Block::new("act_tanh", BlockKind::Tanh));
+    let tanh_sq = m.add(Block::new("tanh_sq", BlockKind::Square));
+    let one = m.add(Block::new(
+        "one",
+        BlockKind::Constant {
+            value: Tensor::scalar(1.0),
+        },
+    ));
+    let deriv = m.add(Block::new("tanh_deriv", BlockKind::Subtract));
+    let gated2 = m.add(Block::new("gated2", BlockKind::Multiply));
+    m.connect(act, 0, tanh, 0).unwrap();
+    m.connect(tanh, 0, tanh_sq, 0).unwrap();
+    m.connect(one, 0, deriv, 0).unwrap();
+    m.connect(tanh_sq, 0, deriv, 1).unwrap();
+    m.connect(same2, 0, gated2, 0).unwrap();
+    m.connect(deriv, 0, gated2, 1).unwrap();
+
+    // 11-13: layer-1 gradient: 3-tap reversed kernel + 'same' truncation
+    let w1 = m.add(Block::new(
+        "w1_rev",
+        BlockKind::Constant {
+            value: Tensor::vector(vec![-0.3, 0.6, -0.3]),
+        },
+    ));
+    let conv1 = m.add(Block::new("conv_grad1", BlockKind::Convolution));
+    let same1 = m.add(Block::new(
+        "same1",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 1,
+                end: 1 + n,
+            },
+        },
+    ));
+    m.connect(gated2, 0, conv1, 0).unwrap();
+    m.connect(w1, 0, conv1, 1).unwrap();
+    m.connect(conv1, 0, same1, 0).unwrap();
+
+    // 14-17: ReLU gate from the activations: grad * (act > 0)
+    let zero = m.add(Block::new(
+        "zero",
+        BlockKind::Constant {
+            value: Tensor::scalar(0.0),
+        },
+    ));
+    let mask = m.add(Block::new(
+        "relu_mask",
+        BlockKind::Relational {
+            op: frodo_model::RelOp::Gt,
+        },
+    ));
+    let gated1 = m.add(Block::new("gated1", BlockKind::Multiply));
+    let out_dx = m.add(Block::new("dx_out", BlockKind::Outport { index: 0 }));
+    m.connect(act, 0, mask, 0).unwrap();
+    m.connect(zero, 0, mask, 1).unwrap();
+    m.connect(same1, 0, gated1, 0).unwrap();
+    m.connect(mask, 0, gated1, 1).unwrap();
+    m.connect(gated1, 0, out_dx, 0).unwrap();
+
+    // 18-20: weight gradient: correlate activations with the gated gradient,
+    // keep only the kernel-support window
+    let conv_w = m.add(Block::new("conv_dw", BlockKind::Convolution));
+    let dw_window = m.add(Block::new(
+        "dw_window",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: n - 3,
+                end: n + 2,
+            },
+        },
+    ));
+    let out_dw = m.add(Block::new("dw_out", BlockKind::Outport { index: 1 }));
+    m.connect(act, 0, conv_w, 0).unwrap();
+    m.connect(gated2, 0, conv_w, 1).unwrap();
+    m.connect(conv_w, 0, dw_window, 0).unwrap();
+    m.connect(dw_window, 0, out_dw, 0).unwrap();
+
+    // 21-24: SGD update for the extracted weight gradient
+    let lr = m.add(Block::new("lr", BlockKind::Gain { gain: 0.01 }));
+    let neg = m.add(Block::new("descend", BlockKind::Negate));
+    let momentum = m.add(Block::new(
+        "momentum_bias",
+        BlockKind::Bias { bias: 0.0001 },
+    ));
+    let out_upd = m.add(Block::new("update_out", BlockKind::Outport { index: 2 }));
+    m.connect(dw_window, 0, lr, 0).unwrap();
+    m.connect(lr, 0, neg, 0).unwrap();
+    m.connect(neg, 0, momentum, 0).unwrap();
+    m.connect(momentum, 0, out_upd, 0).unwrap();
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_24_blocks() {
+        assert_eq!(back().deep_len(), 24);
+    }
+
+    #[test]
+    fn weight_grad_conv_keeps_only_kernel_support() {
+        let a = frodo_core::Analysis::run(back()).unwrap();
+        let conv_w = a.dfg().model().find("conv_dw").unwrap();
+        // the full correlation is 31 wide but only 5 lags are consumed
+        assert_eq!(a.range(conv_w, 0).count(), 5);
+        assert!(a.is_optimizable(conv_w));
+    }
+}

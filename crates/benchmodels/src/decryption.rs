@@ -1,0 +1,145 @@
+//! `Decryption` — decryption protocol (39 blocks).
+//!
+//! A 128-byte ciphertext block is padded to the 160-element round width,
+//! pushed through four arithmetic decryption rounds (keystream subtraction,
+//! modular reduction, rotation, diffusion), and the plaintext is recovered
+//! by truncating the padding — so every round carries 20% redundant work
+//! that FRODO eliminates.
+
+use frodo_model::{Block, BlockKind, Model, RoundMode, SelectorMode, Tensor};
+use frodo_ranges::Shape;
+
+/// Builds the `Decryption` model.
+pub fn decryption() -> Model {
+    let mut m = Model::new("Decryption");
+    let block_len = 128usize;
+    let width = 160usize;
+
+    // 1: ciphertext block
+    let input = m.add(Block::new(
+        "ciphertext",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(block_len),
+        },
+    ));
+    // 2: pad to round width
+    let pad = m.add(Block::new(
+        "pad",
+        BlockKind::Pad {
+            left: 16,
+            right: 16,
+            value: 0.0,
+        },
+    ));
+    m.connect(input, 0, pad, 0).unwrap();
+
+    // 4 rounds × 8 blocks = 32 (blocks 3..=34)
+    let mut prev = pad;
+    for round in 0..4 {
+        let key: Vec<f64> = (0..width)
+            .map(|i| ((i * 31 + round * 97 + 13) % 251) as f64)
+            .collect();
+        let keystream = m.add(Block::new(
+            format!("round{round}_key"),
+            BlockKind::Constant {
+                value: Tensor::vector(key),
+            },
+        ));
+        let desub = m.add(Block::new(
+            format!("round{round}_desub"),
+            BlockKind::Subtract,
+        ));
+        let modulus = m.add(Block::new(
+            format!("round{round}_modulus"),
+            BlockKind::Constant {
+                value: Tensor::scalar(256.0),
+            },
+        ));
+        let reduce = m.add(Block::new(format!("round{round}_mod"), BlockKind::Mod));
+        // inverse rotation by 7 positions
+        let rot_table: Vec<usize> = (0..width).map(|i| (i + 7) % width).collect();
+        let unrotate = m.add(Block::new(
+            format!("round{round}_unrotate"),
+            BlockKind::Selector {
+                mode: SelectorMode::IndexVector(rot_table),
+            },
+        ));
+        let spread = m.add(Block::new(
+            format!("round{round}_spread"),
+            BlockKind::Constant {
+                value: Tensor::scalar(0.5),
+            },
+        ));
+        let diffuse = m.add(Block::new(
+            format!("round{round}_diffuse"),
+            BlockKind::Multiply,
+        ));
+        let fold = m.add(Block::new(format!("round{round}_fold"), BlockKind::Abs));
+        m.connect(prev, 0, desub, 0).unwrap();
+        m.connect(keystream, 0, desub, 1).unwrap();
+        m.connect(desub, 0, reduce, 0).unwrap();
+        m.connect(modulus, 0, reduce, 1).unwrap();
+        m.connect(reduce, 0, unrotate, 0).unwrap();
+        m.connect(unrotate, 0, diffuse, 0).unwrap();
+        m.connect(spread, 0, diffuse, 1).unwrap();
+        m.connect(diffuse, 0, fold, 0).unwrap();
+        prev = fold;
+    }
+
+    // 35: strip the padding back to the plaintext block
+    let strip = m.add(Block::new(
+        "strip_padding",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 16,
+                end: 16 + block_len,
+            },
+        },
+    ));
+    m.connect(prev, 0, strip, 0).unwrap();
+    // 36: descale
+    let descale = m.add(Block::new("descale", BlockKind::Gain { gain: 2.0 }));
+    m.connect(strip, 0, descale, 0).unwrap();
+    // 37: quantize to byte values
+    let quant = m.add(Block::new(
+        "quantize",
+        BlockKind::Rounding {
+            mode: RoundMode::Floor,
+        },
+    ));
+    m.connect(descale, 0, quant, 0).unwrap();
+    // 38: clamp to byte range
+    let clamp = m.add(Block::new(
+        "clamp",
+        BlockKind::Saturation {
+            lower: 0.0,
+            upper: 255.0,
+        },
+    ));
+    m.connect(quant, 0, clamp, 0).unwrap();
+    // 39: plaintext
+    let out = m.add(Block::new("plaintext", BlockKind::Outport { index: 0 }));
+    m.connect(clamp, 0, out, 0).unwrap();
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_39_blocks() {
+        assert_eq!(decryption().deep_len(), 39);
+    }
+
+    #[test]
+    fn rounds_carry_eliminable_padding_work() {
+        let a = frodo_core::Analysis::run(decryption()).unwrap();
+        assert!(a.report().elimination_ratio() > 0.1);
+        // at least one block in every round is optimizable
+        let opt = a.report().optimizable_blocks().len();
+        assert!(opt >= 4, "{opt} optimizable blocks");
+    }
+}

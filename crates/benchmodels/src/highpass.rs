@@ -1,0 +1,187 @@
+//! `HighPass` — high-pass filter model (49 blocks).
+//!
+//! Two channels (L/R) each run DC removal and a three-stage high-pass FIR
+//! cascade; every stage trims its warm-up transient with a `Selector`. The
+//! channels are differenced, post-filtered, and a region-of-interest
+//! `Selector` picks the analysis window all outputs and monitors consume —
+//! so the entire cascade upstream computes only the window it contributes
+//! to, which is exactly the redundancy FRODO eliminates.
+
+use frodo_model::{Block, BlockKind, Model, SelectorMode};
+use frodo_ranges::Shape;
+
+fn highpass_taps(stage: usize) -> Vec<f64> {
+    // alternating-sign kernels; stage-dependent and normalized
+    let n = 9;
+    (0..n)
+        .map(|i| {
+            let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+            s * (1.0 + stage as f64 * 0.1) / n as f64
+        })
+        .collect()
+}
+
+/// Builds the `HighPass` model.
+pub fn high_pass() -> Model {
+    let mut m = Model::new("HighPass");
+    let n = 400usize;
+
+    // channel: 1 inport + 2 DC blocks + 3 stages × 4 = 15 blocks
+    let channel = |m: &mut Model, name: &str, index: usize| {
+        let input = m.add(Block::new(
+            format!("{name}_in"),
+            BlockKind::Inport {
+                index,
+                shape: Shape::Vector(n),
+            },
+        ));
+        // DC removal: x - movavg(x)
+        let dc = m.add(Block::new(
+            format!("{name}_dc"),
+            BlockKind::MovingAverage { window: 32 },
+        ));
+        let ac = m.add(Block::new(format!("{name}_ac"), BlockKind::Subtract));
+        m.connect(input, 0, dc, 0).unwrap();
+        m.connect(input, 0, ac, 0).unwrap();
+        m.connect(dc, 0, ac, 1).unwrap();
+        let mut prev = ac;
+        let mut len = n;
+        for stage in 0..3 {
+            let fir = m.add(Block::new(
+                format!("{name}_fir{stage}"),
+                BlockKind::FirFilter {
+                    coeffs: highpass_taps(stage),
+                },
+            ));
+            // trim the 8-sample warm-up transient
+            let trim = m.add(Block::new(
+                format!("{name}_trim{stage}"),
+                BlockKind::Selector {
+                    mode: SelectorMode::StartEnd { start: 8, end: len },
+                },
+            ));
+            let gain = m.add(Block::new(
+                format!("{name}_gain{stage}"),
+                BlockKind::Gain { gain: 1.12 },
+            ));
+            let bias = m.add(Block::new(
+                format!("{name}_bias{stage}"),
+                BlockKind::Bias { bias: 0.0005 },
+            ));
+            m.connect(prev, 0, fir, 0).unwrap();
+            m.connect(fir, 0, trim, 0).unwrap();
+            m.connect(trim, 0, gain, 0).unwrap();
+            m.connect(gain, 0, bias, 0).unwrap();
+            prev = bias;
+            len -= 8;
+        }
+        (prev, len)
+    };
+
+    // 1..=15: left channel, 16..=30: right channel
+    let (left, len) = channel(&mut m, "left", 0);
+    let (right, len_r) = channel(&mut m, "right", 1);
+    debug_assert_eq!(len, len_r);
+
+    // 31: differential signal
+    let diff = m.add(Block::new("differential", BlockKind::Subtract));
+    m.connect(left, 0, diff, 0).unwrap();
+    m.connect(right, 0, diff, 1).unwrap();
+    // 32-34: final high-pass + trim + scale
+    let fir = m.add(Block::new(
+        "final_fir",
+        BlockKind::FirFilter {
+            coeffs: highpass_taps(3),
+        },
+    ));
+    let trim = m.add(Block::new(
+        "final_trim",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd { start: 8, end: len },
+        },
+    ));
+    let scale = m.add(Block::new("final_scale", BlockKind::Gain { gain: 0.5 }));
+    m.connect(diff, 0, fir, 0).unwrap();
+    m.connect(fir, 0, trim, 0).unwrap();
+    m.connect(trim, 0, scale, 0).unwrap();
+    // 35: the analysis window everything downstream consumes
+    let roi = m.add(Block::new(
+        "analysis_window",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 150,
+                end: 250,
+            },
+        },
+    ));
+    m.connect(scale, 0, roi, 0).unwrap();
+    // 36: filtered output
+    let out0 = m.add(Block::new("filtered", BlockKind::Outport { index: 0 }));
+    m.connect(roi, 0, out0, 0).unwrap();
+
+    // 37-39: window energy
+    let sq = m.add(Block::new("energy_sq", BlockKind::Square));
+    let energy = m.add(Block::new("energy", BlockKind::SumOfElements));
+    let out1 = m.add(Block::new("energy_out", BlockKind::Outport { index: 1 }));
+    m.connect(roi, 0, sq, 0).unwrap();
+    m.connect(sq, 0, energy, 0).unwrap();
+    m.connect(energy, 0, out1, 0).unwrap();
+
+    // 40-42: window peak
+    let mag = m.add(Block::new("peak_abs", BlockKind::Abs));
+    let peak = m.add(Block::new("peak", BlockKind::MaxOfElements));
+    let out2 = m.add(Block::new("peak_out", BlockKind::Outport { index: 2 }));
+    m.connect(roi, 0, mag, 0).unwrap();
+    m.connect(mag, 0, peak, 0).unwrap();
+    m.connect(peak, 0, out2, 0).unwrap();
+
+    // 43-47: slew-rate trend monitor
+    let trend = m.add(Block::new("trend_diff", BlockKind::Difference));
+    let trend_abs = m.add(Block::new("trend_abs", BlockKind::Abs));
+    let trend_ma = m.add(Block::new(
+        "trend_ma",
+        BlockKind::MovingAverage { window: 8 },
+    ));
+    let trend_max = m.add(Block::new("trend_max", BlockKind::MaxOfElements));
+    let out3 = m.add(Block::new("trend_out", BlockKind::Outport { index: 3 }));
+    m.connect(roi, 0, trend, 0).unwrap();
+    m.connect(trend, 0, trend_abs, 0).unwrap();
+    m.connect(trend_abs, 0, trend_ma, 0).unwrap();
+    m.connect(trend_ma, 0, trend_max, 0).unwrap();
+    m.connect(trend_max, 0, out3, 0).unwrap();
+
+    // 48-49: decommissioned calibration tap (dead chain)
+    let cal = m.add(Block::new("calibration", BlockKind::Gain { gain: 1.01 }));
+    let sink = m.add(Block::new("calibration_sink", BlockKind::Terminator));
+    m.connect(diff, 0, cal, 0).unwrap();
+    m.connect(cal, 0, sink, 0).unwrap();
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_49_blocks() {
+        assert_eq!(high_pass().deep_len(), 49);
+    }
+
+    #[test]
+    fn window_selection_eliminates_most_of_the_cascade() {
+        let a = frodo_core::Analysis::run(high_pass()).unwrap();
+        let opt_firs = a
+            .report()
+            .stats()
+            .iter()
+            .filter(|s| s.type_name == "fir_filter" && s.optimizable)
+            .count();
+        assert!(opt_firs >= 6, "{opt_firs} optimizable FIRs");
+        assert!(
+            a.report().elimination_ratio() > 0.4,
+            "ratio {}",
+            a.report().elimination_ratio()
+        );
+    }
+}

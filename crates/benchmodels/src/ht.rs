@@ -1,0 +1,154 @@
+//! `HT` — Hermitian transpose matrix calculation (26 blocks).
+//!
+//! Complex matrices are modeled as separate real/imaginary paths (a standard
+//! real-arithmetic realization). The model computes `Aᴴ·A` for a 12×12
+//! complex input and hands only the top partition of the product downstream
+//! via `Submatrix` blocks — so the matrix multiplies need only half their
+//! output rows.
+
+use frodo_model::{Block, BlockKind, Model};
+use frodo_ranges::Shape;
+
+/// Builds the `HT` model.
+pub fn hermitian_transpose() -> Model {
+    let mut m = Model::new("HT");
+    let n = 12usize;
+    let shape = Shape::Matrix(n, n);
+
+    // 1-2: complex input
+    let re = m.add(Block::new("a_re", BlockKind::Inport { index: 0, shape }));
+    let im = m.add(Block::new("a_im", BlockKind::Inport { index: 1, shape }));
+
+    // 3-5: Hermitian transpose = transpose + conjugate
+    let re_t = m.add(Block::new("re_transpose", BlockKind::Transpose));
+    let im_t = m.add(Block::new("im_transpose", BlockKind::Transpose));
+    let im_conj = m.add(Block::new("im_conjugate", BlockKind::Negate));
+    m.connect(re, 0, re_t, 0).unwrap();
+    m.connect(im, 0, im_t, 0).unwrap();
+    m.connect(im_t, 0, im_conj, 0).unwrap();
+
+    // 6-9: the four real products of (ReT - i·ImT)(Re + i·Im)
+    let rr = m.add(Block::new("prod_rr", BlockKind::MatrixMultiply));
+    let ii = m.add(Block::new("prod_ii", BlockKind::MatrixMultiply));
+    let ri = m.add(Block::new("prod_ri", BlockKind::MatrixMultiply));
+    let ir = m.add(Block::new("prod_ir", BlockKind::MatrixMultiply));
+    m.connect(re_t, 0, rr, 0).unwrap();
+    m.connect(re, 0, rr, 1).unwrap();
+    m.connect(im_conj, 0, ii, 0).unwrap();
+    m.connect(im, 0, ii, 1).unwrap();
+    m.connect(re_t, 0, ri, 0).unwrap();
+    m.connect(im, 0, ri, 1).unwrap();
+    m.connect(im_conj, 0, ir, 0).unwrap();
+    m.connect(re, 0, ir, 1).unwrap();
+
+    // 10-11: assemble real/imag of the Gram matrix
+    // real = ReT·Re − Conj(Im)T·Im·(−1) handled by sign of im_conj: with
+    // im_conj = −Im T, prod_ii = (−ImT)·Im, so real = rr − ii
+    let gram_re = m.add(Block::new("gram_re", BlockKind::Subtract));
+    let gram_im = m.add(Block::new("gram_im", BlockKind::Add));
+    m.connect(rr, 0, gram_re, 0).unwrap();
+    m.connect(ii, 0, gram_re, 1).unwrap();
+    m.connect(ri, 0, gram_im, 0).unwrap();
+    m.connect(ir, 0, gram_im, 1).unwrap();
+
+    // 12-13: only the top 4×12 partition is consumed downstream
+    let top_re = m.add(Block::new(
+        "top_re",
+        BlockKind::Submatrix {
+            row_start: 0,
+            row_end: 4,
+            col_start: 0,
+            col_end: n,
+        },
+    ));
+    let top_im = m.add(Block::new(
+        "top_im",
+        BlockKind::Submatrix {
+            row_start: 0,
+            row_end: 4,
+            col_start: 0,
+            col_end: n,
+        },
+    ));
+    m.connect(gram_re, 0, top_re, 0).unwrap();
+    m.connect(gram_im, 0, top_im, 0).unwrap();
+
+    // 14-15: scale the partitions
+    let scale_re = m.add(Block::new(
+        "scale_re",
+        BlockKind::Gain {
+            gain: 1.0 / n as f64,
+        },
+    ));
+    let scale_im = m.add(Block::new(
+        "scale_im",
+        BlockKind::Gain {
+            gain: 1.0 / n as f64,
+        },
+    ));
+    m.connect(top_re, 0, scale_re, 0).unwrap();
+    m.connect(top_im, 0, scale_im, 0).unwrap();
+
+    // 16-17: partition outputs
+    let out_re = m.add(Block::new("out_re", BlockKind::Outport { index: 0 }));
+    let out_im = m.add(Block::new("out_im", BlockKind::Outport { index: 1 }));
+    m.connect(scale_re, 0, out_re, 0).unwrap();
+    m.connect(scale_im, 0, out_im, 0).unwrap();
+
+    // 18-22: Frobenius norm of the partition (|re|² + |im|², summed, rooted)
+    let sq_re = m.add(Block::new("norm_sq_re", BlockKind::Square));
+    let sq_im = m.add(Block::new("norm_sq_im", BlockKind::Square));
+    let norm_add = m.add(Block::new("norm_add", BlockKind::Add));
+    let norm_sum = m.add(Block::new("norm_sum", BlockKind::SumOfElements));
+    let norm_root = m.add(Block::new("norm_root", BlockKind::Sqrt));
+    m.connect(scale_re, 0, sq_re, 0).unwrap();
+    m.connect(scale_im, 0, sq_im, 0).unwrap();
+    m.connect(sq_re, 0, norm_add, 0).unwrap();
+    m.connect(sq_im, 0, norm_add, 1).unwrap();
+    m.connect(norm_add, 0, norm_sum, 0).unwrap();
+    m.connect(norm_sum, 0, norm_root, 0).unwrap();
+    // 23: norm output
+    let out_norm = m.add(Block::new("out_norm", BlockKind::Outport { index: 2 }));
+    m.connect(norm_root, 0, out_norm, 0).unwrap();
+
+    // 24-26: leading-row checksum (first row of the real partition)
+    let lead = m.add(Block::new(
+        "lead_row",
+        BlockKind::Submatrix {
+            row_start: 0,
+            row_end: 1,
+            col_start: 0,
+            col_end: n,
+        },
+    ));
+    let lead_sum = m.add(Block::new("lead_sum", BlockKind::SumOfElements));
+    let out_lead = m.add(Block::new("out_lead", BlockKind::Outport { index: 3 }));
+    m.connect(scale_re, 0, lead, 0).unwrap();
+    m.connect(lead, 0, lead_sum, 0).unwrap();
+    m.connect(lead_sum, 0, out_lead, 0).unwrap();
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_26_blocks() {
+        assert_eq!(hermitian_transpose().deep_len(), 26);
+    }
+
+    #[test]
+    fn matmuls_compute_only_top_rows() {
+        let a = frodo_core::Analysis::run(hermitian_transpose()).unwrap();
+        let opt_mm = a
+            .report()
+            .stats()
+            .iter()
+            .filter(|s| s.type_name == "matrix_multiply" && s.optimizable)
+            .count();
+        assert_eq!(opt_mm, 4, "all four products shrink to 4 of 12 rows");
+        assert!(a.report().elimination_ratio() > 0.25);
+    }
+}

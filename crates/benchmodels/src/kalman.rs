@@ -1,0 +1,265 @@
+//! `Kalman` — automotive temperature control module (46 blocks).
+//!
+//! A steady-state Kalman observer with a proportional controller. Raw
+//! sensor and command streams are filtered, but only the freshest samples
+//! feed the observer — the `Selector`s after the stream filters give FRODO
+//! nearly the whole preprocessing cost to eliminate. The state update uses
+//! constant-gain matrix arithmetic with a `UnitDelay` (whose state, per the
+//! redundancy-elimination semantics, is always fully maintained).
+
+use frodo_model::{Block, BlockKind, Model, SelectorMode, Tensor};
+use frodo_ranges::Shape;
+
+fn const_matrix(name: &str, rows: usize, cols: usize, scale: f64) -> (String, Tensor) {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            if r == c {
+                0.9 * scale
+            } else {
+                scale * 0.01 * (((r * 7 + c * 3) % 11) as f64 - 5.0)
+            }
+        })
+        .collect();
+    (name.to_string(), Tensor::matrix(rows, cols, data))
+}
+
+/// Builds the `Kalman` model.
+pub fn kalman() -> Model {
+    let mut m = Model::new("Kalman");
+    let nx = 16usize; // states
+    let nz = 8usize; // measurements
+    let nu = 4usize; // controls
+    let stream = 256usize;
+
+    // 1-6: measurement preprocessing — long stream, only the newest nz used
+    let in_meas = m.add(Block::new(
+        "sensor_stream",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(stream),
+        },
+    ));
+    let fir = m.add(Block::new(
+        "sensor_filter",
+        BlockKind::FirFilter {
+            coeffs: vec![0.25, 0.25, 0.2, 0.15, 0.1, 0.05],
+        },
+    ));
+    let calib = m.add(Block::new("sensor_calib", BlockKind::Bias { bias: -2.5 }));
+    let scale = m.add(Block::new("sensor_scale", BlockKind::Gain { gain: 0.1 }));
+    let fresh = m.add(Block::new(
+        "freshest",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: stream - nz,
+                end: stream,
+            },
+        },
+    ));
+    let z = m.add(Block::new(
+        "z",
+        BlockKind::Reshape {
+            shape: Shape::Matrix(nz, 1),
+        },
+    ));
+    m.connect(in_meas, 0, fir, 0).unwrap();
+    m.connect(fir, 0, calib, 0).unwrap();
+    m.connect(calib, 0, scale, 0).unwrap();
+    m.connect(scale, 0, fresh, 0).unwrap();
+    m.connect(fresh, 0, z, 0).unwrap();
+
+    // 7-11: command preprocessing
+    let in_ctrl = m.add(Block::new(
+        "command_stream",
+        BlockKind::Inport {
+            index: 1,
+            shape: Shape::Vector(64),
+        },
+    ));
+    let ma = m.add(Block::new(
+        "command_smooth",
+        BlockKind::MovingAverage { window: 4 },
+    ));
+    let cgain = m.add(Block::new("command_gain", BlockKind::Gain { gain: 0.5 }));
+    let clatest = m.add(Block::new(
+        "command_latest",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd { start: 60, end: 64 },
+        },
+    ));
+    let u = m.add(Block::new(
+        "u",
+        BlockKind::Reshape {
+            shape: Shape::Matrix(nu, 1),
+        },
+    ));
+    m.connect(in_ctrl, 0, ma, 0).unwrap();
+    m.connect(ma, 0, cgain, 0).unwrap();
+    m.connect(cgain, 0, clatest, 0).unwrap();
+    m.connect(clatest, 0, u, 0).unwrap();
+
+    // 12-15: observer constants
+    let (an, at) = const_matrix("A", nx, nx, 1.0);
+    let a = m.add(Block::new(an, BlockKind::Constant { value: at }));
+    let (bn, bt) = const_matrix("B", nx, nu, 0.5);
+    let b = m.add(Block::new(bn, BlockKind::Constant { value: bt }));
+    let (hn, ht) = const_matrix("H", nz, nx, 1.0);
+    let h = m.add(Block::new(hn, BlockKind::Constant { value: ht }));
+    let (kn, kt) = const_matrix("K", nx, nz, 0.2);
+    let k = m.add(Block::new(kn, BlockKind::Constant { value: kt }));
+
+    // 16: previous state
+    let x_prev = m.add(Block::new(
+        "x_prev",
+        BlockKind::UnitDelay {
+            initial: Tensor::zeros(Shape::Matrix(nx, 1)),
+        },
+    ));
+
+    // 17-23: state update  x = (A·x⁻ + B·u) + K·(z − H·(A·x⁻ + B·u))
+    let ax = m.add(Block::new("Ax", BlockKind::MatrixMultiply));
+    let bu = m.add(Block::new("Bu", BlockKind::MatrixMultiply));
+    let x_pred = m.add(Block::new("x_pred", BlockKind::Add));
+    let hx = m.add(Block::new("Hx", BlockKind::MatrixMultiply));
+    let innov = m.add(Block::new("innovation", BlockKind::Subtract));
+    let kinn = m.add(Block::new("K_innovation", BlockKind::MatrixMultiply));
+    let x_new = m.add(Block::new("x_new", BlockKind::Add));
+    m.connect(a, 0, ax, 0).unwrap();
+    m.connect(x_prev, 0, ax, 1).unwrap();
+    m.connect(b, 0, bu, 0).unwrap();
+    m.connect(u, 0, bu, 1).unwrap();
+    m.connect(ax, 0, x_pred, 0).unwrap();
+    m.connect(bu, 0, x_pred, 1).unwrap();
+    m.connect(h, 0, hx, 0).unwrap();
+    m.connect(x_pred, 0, hx, 1).unwrap();
+    m.connect(z, 0, innov, 0).unwrap();
+    m.connect(hx, 0, innov, 1).unwrap();
+    m.connect(k, 0, kinn, 0).unwrap();
+    m.connect(innov, 0, kinn, 1).unwrap();
+    m.connect(x_pred, 0, x_new, 0).unwrap();
+    m.connect(kinn, 0, x_new, 1).unwrap();
+    m.connect(x_new, 0, x_prev, 0).unwrap();
+
+    // 24-25: cabin temperature estimate (first two states)
+    let cabin = m.add(Block::new(
+        "cabin_temps",
+        BlockKind::Submatrix {
+            row_start: 0,
+            row_end: 2,
+            col_start: 0,
+            col_end: 1,
+        },
+    ));
+    let out0 = m.add(Block::new("temps_out", BlockKind::Outport { index: 0 }));
+    m.connect(x_new, 0, cabin, 0).unwrap();
+    m.connect(cabin, 0, out0, 0).unwrap();
+
+    // 26-31: proportional control law with saturation
+    let setpoint = m.add(Block::new(
+        "setpoint",
+        BlockKind::Constant {
+            value: Tensor::matrix(2, 1, vec![21.0, 20.0]),
+        },
+    ));
+    let err = m.add(Block::new("temp_error", BlockKind::Subtract));
+    let p_gain = m.add(Block::new("p_gain", BlockKind::Gain { gain: -0.8 }));
+    let trim = m.add(Block::new("actuator_trim", BlockKind::Bias { bias: 0.05 }));
+    let sat = m.add(Block::new(
+        "actuator_limits",
+        BlockKind::Saturation {
+            lower: -10.0,
+            upper: 10.0,
+        },
+    ));
+    let out1 = m.add(Block::new("command_out", BlockKind::Outport { index: 1 }));
+    m.connect(cabin, 0, err, 0).unwrap();
+    m.connect(setpoint, 0, err, 1).unwrap();
+    m.connect(err, 0, p_gain, 0).unwrap();
+    m.connect(p_gain, 0, trim, 0).unwrap();
+    m.connect(trim, 0, sat, 0).unwrap();
+    m.connect(sat, 0, out1, 0).unwrap();
+
+    // 32-34: quadratic regulation cost
+    let err_sq = m.add(Block::new("err_sq", BlockKind::Square));
+    let cost = m.add(Block::new("cost", BlockKind::SumOfElements));
+    let out2 = m.add(Block::new("cost_out", BlockKind::Outport { index: 2 }));
+    m.connect(err, 0, err_sq, 0).unwrap();
+    m.connect(err_sq, 0, cost, 0).unwrap();
+    m.connect(cost, 0, out2, 0).unwrap();
+
+    // 35-38: innovation magnitude (observer health)
+    let in_sq = m.add(Block::new("innov_sq", BlockKind::Square));
+    let in_sum = m.add(Block::new("innov_sum", BlockKind::SumOfElements));
+    let in_root = m.add(Block::new("innov_norm", BlockKind::Sqrt));
+    let out3 = m.add(Block::new("innov_out", BlockKind::Outport { index: 3 }));
+    m.connect(innov, 0, in_sq, 0).unwrap();
+    m.connect(in_sq, 0, in_sum, 0).unwrap();
+    m.connect(in_sum, 0, in_root, 0).unwrap();
+    m.connect(in_root, 0, out3, 0).unwrap();
+
+    // 39-41: predicted-state monitor (leading state only)
+    let pred_head = m.add(Block::new(
+        "pred_head",
+        BlockKind::Submatrix {
+            row_start: 0,
+            row_end: 1,
+            col_start: 0,
+            col_end: 1,
+        },
+    ));
+    let pred_gain = m.add(Block::new("pred_gain", BlockKind::Gain { gain: 1.8 }));
+    let out4 = m.add(Block::new("pred_out", BlockKind::Outport { index: 4 }));
+    m.connect(x_pred, 0, pred_head, 0).unwrap();
+    m.connect(pred_head, 0, pred_gain, 0).unwrap();
+    m.connect(pred_gain, 0, out4, 0).unwrap();
+
+    // 42-44: error trend (previous-step comparison)
+    let err_prev = m.add(Block::new(
+        "err_prev",
+        BlockKind::UnitDelay {
+            initial: Tensor::zeros(Shape::Matrix(2, 1)),
+        },
+    ));
+    let trend = m.add(Block::new("err_trend", BlockKind::Subtract));
+    let out5 = m.add(Block::new("trend_out", BlockKind::Outport { index: 5 }));
+    m.connect(err, 0, err_prev, 0).unwrap();
+    m.connect(err, 0, trend, 0).unwrap();
+    m.connect(err_prev, 0, trend, 1).unwrap();
+    m.connect(trend, 0, out5, 0).unwrap();
+
+    // 45-46: disabled datalogger tap (dead chain)
+    let logger = m.add(Block::new("datalogger", BlockKind::Gain { gain: 1.0 }));
+    let sink = m.add(Block::new("datalogger_sink", BlockKind::Terminator));
+    m.connect(x_new, 0, logger, 0).unwrap();
+    m.connect(logger, 0, sink, 0).unwrap();
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_46_blocks() {
+        assert_eq!(kalman().deep_len(), 46);
+    }
+
+    #[test]
+    fn stream_preprocessing_is_mostly_eliminated() {
+        let a = frodo_core::Analysis::run(kalman()).unwrap();
+        let dfg = a.dfg();
+        let fir = dfg.model().find("sensor_filter").unwrap();
+        let kept = a.range(fir, 0).count();
+        assert!(kept <= 16, "FIR computes {kept} of 256 samples");
+        assert!(a.report().elimination_ratio() > 0.5);
+    }
+
+    #[test]
+    fn delay_state_is_fully_maintained() {
+        let a = frodo_core::Analysis::run(kalman()).unwrap();
+        let x_new = a.dfg().model().find("x_new").unwrap();
+        assert_eq!(a.range(x_new, 0).count(), 16);
+    }
+}

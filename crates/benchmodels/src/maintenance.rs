@@ -1,0 +1,200 @@
+//! `Maintenance` — industry equipment preservation model (165 blocks).
+//!
+//! Ten vibration-sensor channels, each wrapped in a `Subsystem` (exercising
+//! the flattening path of model parse): FIR conditioning, warm-up trim,
+//! envelope, slope, and a threshold gate. The channels are muxed and
+//! analyzed through a report window plus a decimated peak-alarm path, so
+//! different fractions of each channel's work are live — exactly the mixed
+//! calculation ranges Algorithm 1 is built to resolve.
+
+use frodo_model::{Block, BlockKind, Model, RelOp, SelectorMode, Tensor};
+use frodo_ranges::Shape;
+
+const CHAN_LEN: usize = 160;
+const TRIMMED: usize = CHAN_LEN - 8;
+
+/// One sensor channel as a reusable subsystem (13 inner blocks).
+fn channel_subsystem(idx: usize) -> Model {
+    let mut s = Model::new(format!("channel{idx}"));
+    let input = s.add(Block::new(
+        "raw",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(CHAN_LEN),
+        },
+    ));
+    let taps: Vec<f64> = (0..8)
+        .map(|i| ((i + idx) as f64 * 0.17).cos() / 8.0)
+        .collect();
+    let fir = s.add(Block::new(
+        "condition",
+        BlockKind::FirFilter { coeffs: taps },
+    ));
+    let trim = s.add(Block::new(
+        "trim",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 8,
+                end: CHAN_LEN,
+            },
+        },
+    ));
+    let envelope = s.add(Block::new("envelope", BlockKind::Abs));
+    let smooth = s.add(Block::new("smooth", BlockKind::MovingAverage { window: 6 }));
+    let slope = s.add(Block::new("slope", BlockKind::Difference));
+    let gain = s.add(Block::new("gain", BlockKind::Gain { gain: 3.5 }));
+    let bias = s.add(Block::new("bias", BlockKind::Bias { bias: -0.02 }));
+    let threshold = s.add(Block::new(
+        "threshold",
+        BlockKind::Constant {
+            value: Tensor::scalar(0.01),
+        },
+    ));
+    let active = s.add(Block::new(
+        "active",
+        BlockKind::Relational { op: RelOp::Gt },
+    ));
+    let floor = s.add(Block::new(
+        "floor",
+        BlockKind::Constant {
+            value: Tensor::scalar(0.0),
+        },
+    ));
+    let gate = s.add(Block::new("gate", BlockKind::Switch { threshold: 0.5 }));
+    let output = s.add(Block::new("health", BlockKind::Outport { index: 0 }));
+    s.connect(input, 0, fir, 0).unwrap();
+    s.connect(fir, 0, trim, 0).unwrap();
+    s.connect(trim, 0, envelope, 0).unwrap();
+    s.connect(envelope, 0, smooth, 0).unwrap();
+    s.connect(smooth, 0, slope, 0).unwrap();
+    s.connect(slope, 0, gain, 0).unwrap();
+    s.connect(gain, 0, bias, 0).unwrap();
+    s.connect(bias, 0, gate, 0).unwrap();
+    s.connect(bias, 0, active, 0).unwrap();
+    s.connect(threshold, 0, active, 1).unwrap();
+    s.connect(active, 0, gate, 1).unwrap();
+    s.connect(floor, 0, gate, 2).unwrap();
+    s.connect(gate, 0, output, 0).unwrap();
+    s
+}
+
+/// Builds the `Maintenance` model.
+pub fn maintenance() -> Model {
+    let mut m = Model::new("Maintenance");
+    let channels = 10usize;
+
+    // 10 × (top-level inport + subsystem with 13 inner blocks) = 150 deep
+    let mut health = Vec::new();
+    for c in 0..channels {
+        let input = m.add(Block::new(
+            format!("sensor{c}"),
+            BlockKind::Inport {
+                index: c,
+                shape: Shape::Vector(CHAN_LEN),
+            },
+        ));
+        let sub = m.add(Block::new(
+            format!("channel{c}"),
+            BlockKind::Subsystem(Box::new(channel_subsystem(c))),
+        ));
+        m.connect(input, 0, sub, 0).unwrap();
+        health.push(sub);
+    }
+
+    // 151-155: fused health vector, report window
+    let mux = m.add(Block::new("fleet", BlockKind::Mux { inputs: channels }));
+    for (p, h) in health.iter().enumerate() {
+        m.connect(*h, 0, mux, p).unwrap();
+    }
+    let fir = m.add(Block::new(
+        "fleet_smooth",
+        BlockKind::FirFilter {
+            coeffs: vec![0.2, 0.3, 0.3, 0.2],
+        },
+    ));
+    let window = m.add(Block::new(
+        "report_window",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 200,
+                end: 800,
+            },
+        },
+    ));
+    let scale = m.add(Block::new("report_scale", BlockKind::Gain { gain: 0.25 }));
+    let out0 = m.add(Block::new("report_out", BlockKind::Outport { index: 0 }));
+    m.connect(mux, 0, fir, 0).unwrap();
+    m.connect(fir, 0, window, 0).unwrap();
+    m.connect(window, 0, scale, 0).unwrap();
+    m.connect(scale, 0, out0, 0).unwrap();
+
+    // 156-158: fleet health score
+    let sq = m.add(Block::new("health_sq", BlockKind::Square));
+    let mean = m.add(Block::new("health_mean", BlockKind::MeanOfElements));
+    let out1 = m.add(Block::new("health_out", BlockKind::Outport { index: 1 }));
+    m.connect(scale, 0, sq, 0).unwrap();
+    m.connect(sq, 0, mean, 0).unwrap();
+    m.connect(mean, 0, out1, 0).unwrap();
+
+    // 159-163: decimated peak alarm over the freshest channels (every 4th
+    // sample of the last fifth of the fused vector)
+    let total = channels * TRIMMED;
+    let tail = total - total / 5;
+    let stride: Vec<usize> = (0..(total - tail) / 4).map(|i| tail + i * 4).collect();
+    let decimate = m.add(Block::new(
+        "alarm_decimate",
+        BlockKind::Selector {
+            mode: SelectorMode::IndexVector(stride),
+        },
+    ));
+    let peak = m.add(Block::new("alarm_peak", BlockKind::MaxOfElements));
+    let limit = m.add(Block::new(
+        "alarm_limit",
+        BlockKind::Constant {
+            value: Tensor::scalar(2.0),
+        },
+    ));
+    let alarm = m.add(Block::new("alarm", BlockKind::Relational { op: RelOp::Gt }));
+    let out2 = m.add(Block::new("alarm_out", BlockKind::Outport { index: 2 }));
+    m.connect(mux, 0, decimate, 0).unwrap();
+    m.connect(decimate, 0, peak, 0).unwrap();
+    m.connect(peak, 0, alarm, 0).unwrap();
+    m.connect(limit, 0, alarm, 1).unwrap();
+    m.connect(alarm, 0, out2, 0).unwrap();
+
+    // 164-165: report trend
+    let trend = m.add(Block::new("report_trend", BlockKind::Difference));
+    let out3 = m.add(Block::new("trend_out", BlockKind::Outport { index: 3 }));
+    m.connect(scale, 0, trend, 0).unwrap();
+    m.connect(trend, 0, out3, 0).unwrap();
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_165_blocks() {
+        assert_eq!(maintenance().deep_len(), 165);
+    }
+
+    #[test]
+    fn flattening_preserves_analysis() {
+        let a = frodo_core::Analysis::run(maintenance()).unwrap();
+        // no subsystem survives flattening
+        assert!(a
+            .dfg()
+            .model()
+            .blocks()
+            .iter()
+            .all(|b| !matches!(b.kind, BlockKind::Subsystem(_))));
+        // channels are only partially live (window + decimated alarm)
+        assert!(
+            a.report().elimination_ratio() > 0.15,
+            "ratio {}",
+            a.report().elimination_ratio()
+        );
+    }
+}

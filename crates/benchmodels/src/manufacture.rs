@@ -1,0 +1,188 @@
+//! `Maunfacture` — product quality assessment (29 blocks).
+//!
+//! (The paper's Table 1 spells the name "Maunfacture"; we keep it.) A
+//! surface profile is matched against a defect template with a full-padding
+//! `Convolution` + `Selector` (the pattern the paper's §4.1 blames for
+//! Simulink's boundary-judgment slowdown on this model), smoothed, and
+//! scored within a quality-inspection window.
+
+use frodo_model::{Block, BlockKind, Model, SelectorMode, Tensor};
+use frodo_ranges::Shape;
+
+/// Builds the `Maunfacture` model.
+pub fn manufacture() -> Model {
+    let mut m = Model::new("Maunfacture");
+    let n = 300usize;
+    let klen = 21usize;
+
+    // 1: surface profile scan
+    let profile = m.add(Block::new(
+        "profile",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(n),
+        },
+    ));
+    // 2-4: defect template matching (same-convolution)
+    let template = m.add(Block::new(
+        "defect_template",
+        BlockKind::Constant {
+            value: Tensor::vector(
+                (0..klen)
+                    .map(|i| ((i as f64) * 0.3).cos() / klen as f64)
+                    .collect(),
+            ),
+        },
+    ));
+    let conv = m.add(Block::new("match_conv", BlockKind::Convolution));
+    let same = m.add(Block::new(
+        "match_same",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: klen / 2,
+                end: klen / 2 + n,
+            },
+        },
+    ));
+    m.connect(profile, 0, conv, 0).unwrap();
+    m.connect(template, 0, conv, 1).unwrap();
+    m.connect(conv, 0, same, 0).unwrap();
+
+    // 5-7: response energy + smoothing
+    let energy = m.add(Block::new("response_energy", BlockKind::Square));
+    let smooth = m.add(Block::new(
+        "response_smooth",
+        BlockKind::MovingAverage { window: 12 },
+    ));
+    let roi = m.add(Block::new(
+        "inspection_window",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 60,
+                end: 240,
+            },
+        },
+    ));
+    m.connect(same, 0, energy, 0).unwrap();
+    m.connect(energy, 0, smooth, 0).unwrap();
+    m.connect(smooth, 0, roi, 0).unwrap();
+
+    // 8-12: normalized defect score in the window
+    let root = m.add(Block::new("score_root", BlockKind::Sqrt));
+    let gain = m.add(Block::new("score_gain", BlockKind::Gain { gain: 100.0 }));
+    let bias = m.add(Block::new("score_bias", BlockKind::Bias { bias: -0.5 }));
+    let sat = m.add(Block::new(
+        "score_limits",
+        BlockKind::Saturation {
+            lower: 0.0,
+            upper: 100.0,
+        },
+    ));
+    let out0 = m.add(Block::new("score_out", BlockKind::Outport { index: 0 }));
+    m.connect(roi, 0, root, 0).unwrap();
+    m.connect(root, 0, gain, 0).unwrap();
+    m.connect(gain, 0, bias, 0).unwrap();
+    m.connect(bias, 0, sat, 0).unwrap();
+    m.connect(sat, 0, out0, 0).unwrap();
+
+    // 13-16: tolerance violations count
+    let tol = m.add(Block::new(
+        "tolerance",
+        BlockKind::Constant {
+            value: Tensor::scalar(65.0),
+        },
+    ));
+    let over = m.add(Block::new(
+        "over_tolerance",
+        BlockKind::Relational {
+            op: frodo_model::RelOp::Gt,
+        },
+    ));
+    let violations = m.add(Block::new("violations", BlockKind::SumOfElements));
+    let out1 = m.add(Block::new(
+        "violations_out",
+        BlockKind::Outport { index: 1 },
+    ));
+    m.connect(sat, 0, over, 0).unwrap();
+    m.connect(tol, 0, over, 1).unwrap();
+    m.connect(over, 0, violations, 0).unwrap();
+    m.connect(violations, 0, out1, 0).unwrap();
+
+    // 17-21: edge sharpness check (second template, narrower window)
+    let edge_template = m.add(Block::new(
+        "edge_template",
+        BlockKind::Constant {
+            value: Tensor::vector(vec![-1.0, 0.0, 1.0]),
+        },
+    ));
+    let edge_conv = m.add(Block::new("edge_conv", BlockKind::Convolution));
+    let edge_sel = m.add(Block::new(
+        "edge_window",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 100,
+                end: 200,
+            },
+        },
+    ));
+    let edge_abs = m.add(Block::new("edge_abs", BlockKind::Abs));
+    let edge_max = m.add(Block::new("edge_max", BlockKind::MaxOfElements));
+    m.connect(profile, 0, edge_conv, 0).unwrap();
+    m.connect(edge_template, 0, edge_conv, 1).unwrap();
+    m.connect(edge_conv, 0, edge_sel, 0).unwrap();
+    m.connect(edge_sel, 0, edge_abs, 0).unwrap();
+    m.connect(edge_abs, 0, edge_max, 0).unwrap();
+    // 22: sharpness output
+    let out2 = m.add(Block::new("sharpness_out", BlockKind::Outport { index: 2 }));
+    m.connect(edge_max, 0, out2, 0).unwrap();
+
+    // 23-26: roughness statistic in the inspection window
+    let rough = m.add(Block::new("roughness_diff", BlockKind::Difference));
+    let rough_abs = m.add(Block::new("roughness_abs", BlockKind::Abs));
+    let rough_mean = m.add(Block::new("roughness_mean", BlockKind::MeanOfElements));
+    let out3 = m.add(Block::new("roughness_out", BlockKind::Outport { index: 3 }));
+    m.connect(roi, 0, rough, 0).unwrap();
+    m.connect(rough, 0, rough_abs, 0).unwrap();
+    m.connect(rough_abs, 0, rough_mean, 0).unwrap();
+    m.connect(rough_mean, 0, out3, 0).unwrap();
+
+    // 27-29: pass/fail verdict
+    let limit = m.add(Block::new(
+        "fail_limit",
+        BlockKind::Constant {
+            value: Tensor::scalar(5.0),
+        },
+    ));
+    let verdict = m.add(Block::new(
+        "verdict",
+        BlockKind::Relational {
+            op: frodo_model::RelOp::Le,
+        },
+    ));
+    let out4 = m.add(Block::new("verdict_out", BlockKind::Outport { index: 4 }));
+    m.connect(violations, 0, verdict, 0).unwrap();
+    m.connect(limit, 0, verdict, 1).unwrap();
+    m.connect(verdict, 0, out4, 0).unwrap();
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_29_blocks() {
+        assert_eq!(manufacture().deep_len(), 29);
+    }
+
+    #[test]
+    fn both_convolutions_shrink() {
+        let a = frodo_core::Analysis::run(manufacture()).unwrap();
+        for name in ["match_conv", "edge_conv"] {
+            let id = a.dfg().model().find(name).unwrap();
+            assert!(a.is_optimizable(id), "{name} should be optimizable");
+        }
+        assert!(a.report().elimination_ratio() > 0.15);
+    }
+}

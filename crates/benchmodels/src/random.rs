@@ -1,0 +1,465 @@
+//! Deterministic random model generation for property-based testing.
+//!
+//! Builds arbitrary *valid* feed-forward models from a wide block
+//! vocabulary: every signal a new block consumes is drawn from the pool of
+//! already-produced signals with a compatible shape, so the result always
+//! passes validation and shape inference. Used by the cross-generator
+//! consistency tests (the paper's "large number of random test cases",
+//! applied to model *structure* as well as input data).
+
+use frodo_model::{Block, BlockId, BlockKind, Model, RelOp, SelectorMode, Tensor};
+use frodo_ranges::Shape;
+
+/// A tiny deterministic PRNG (SplitMix64) so generated models depend only
+/// on the seed.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One available signal in the pool.
+#[derive(Debug, Clone, Copy)]
+struct Sig {
+    block: BlockId,
+    port: usize,
+    len: usize,
+}
+
+/// Generates a random valid feed-forward model with roughly `size`
+/// computational blocks.
+///
+/// # Example
+///
+/// ```
+/// use frodo_benchmodels::random::random_model;
+///
+/// let model = random_model(7, 20);
+/// assert!(model.validate().is_ok());
+/// assert_eq!(model, random_model(7, 20)); // deterministic per seed
+/// ```
+///
+/// Numeric hazards (division, logarithms) are excluded so any input in
+/// `[-1, 1]` produces finite outputs, which keeps the VM-vs-simulation
+/// comparisons meaningful.
+pub fn random_model(seed: u64, size: usize) -> Model {
+    let mut rng = Rng(seed ^ 0xD1B5_4A32_D192_ED03);
+    let mut m = Model::new(format!("random_{seed}"));
+    let mut pool: Vec<Sig> = Vec::new();
+
+    // 1-3 vector inputs of assorted lengths
+    let n_in = 1 + rng.below(3);
+    for i in 0..n_in {
+        let len = 12 + 4 * rng.below(6);
+        let b = m.add(Block::new(
+            format!("in{i}"),
+            BlockKind::Inport {
+                index: i,
+                shape: Shape::Vector(len),
+            },
+        ));
+        pool.push(Sig {
+            block: b,
+            port: 0,
+            len,
+        });
+    }
+    // a couple of constants
+    for i in 0..2 {
+        let len = 8 + 4 * rng.below(4);
+        let data = (0..len)
+            .map(|k| (k as f64 * 0.37 + i as f64).sin() * 0.8)
+            .collect();
+        let b = m.add(Block::new(
+            format!("const{i}"),
+            BlockKind::Constant {
+                value: Tensor::vector(data),
+            },
+        ));
+        pool.push(Sig {
+            block: b,
+            port: 0,
+            len,
+        });
+    }
+
+    for step in 0..size {
+        let choice = rng.below(19);
+        let src = pool[rng.below(pool.len())];
+        let name = format!("b{step}");
+        match choice {
+            0 => {
+                let kinds = [
+                    BlockKind::Abs,
+                    BlockKind::Sin,
+                    BlockKind::Cos,
+                    BlockKind::Tanh,
+                    BlockKind::Negate,
+                    BlockKind::Square,
+                ];
+                let b = m.add(Block::new(name, kinds[rng.below(kinds.len())].clone()));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            1 => {
+                let b = m.add(Block::new(
+                    name,
+                    BlockKind::Gain {
+                        gain: rng.f64() * 2.0 - 1.0,
+                    },
+                ));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            2 => {
+                let b = m.add(Block::new(
+                    name,
+                    BlockKind::Bias {
+                        bias: rng.f64() - 0.5,
+                    },
+                ));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            3 => {
+                let b = m.add(Block::new(
+                    name,
+                    BlockKind::Saturation {
+                        lower: -0.75,
+                        upper: 0.75,
+                    },
+                ));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            4 | 5 => {
+                // binary elementwise with a same-length partner (or itself)
+                let partners: Vec<Sig> =
+                    pool.iter().copied().filter(|s| s.len == src.len).collect();
+                let other = partners[rng.below(partners.len())];
+                let kinds = [
+                    BlockKind::Add,
+                    BlockKind::Subtract,
+                    BlockKind::Multiply,
+                    BlockKind::Min,
+                    BlockKind::Max,
+                ];
+                let b = m.add(Block::new(name, kinds[rng.below(kinds.len())].clone()));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                m.connect(other.block, other.port, b, 1).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            6 => {
+                // selector keeping a random sub-range
+                if src.len < 4 {
+                    continue;
+                }
+                let start = rng.below(src.len / 2);
+                let end = start + 2 + rng.below(src.len - start - 2);
+                let b = m.add(Block::new(
+                    name,
+                    BlockKind::Selector {
+                        mode: SelectorMode::StartEnd { start, end },
+                    },
+                ));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: end - start,
+                });
+            }
+            7 => {
+                let left = rng.below(4);
+                let right = rng.below(4);
+                let b = m.add(Block::new(
+                    name,
+                    BlockKind::Pad {
+                        left,
+                        right,
+                        value: rng.f64() - 0.5,
+                    },
+                ));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: left + src.len + right,
+                });
+            }
+            8 => {
+                let klen = 2 + rng.below(4);
+                let taps = (0..klen).map(|k| 0.2 + k as f64 * 0.1).collect();
+                let k = m.add(Block::new(
+                    format!("{name}_k"),
+                    BlockKind::Constant {
+                        value: Tensor::vector(taps),
+                    },
+                ));
+                let b = m.add(Block::new(name, BlockKind::Convolution));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                m.connect(k, 0, b, 1).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len + klen - 1,
+                });
+            }
+            9 => {
+                let taps = (0..3 + rng.below(3))
+                    .map(|k| 0.3 / (k + 1) as f64)
+                    .collect();
+                let b = m.add(Block::new(name, BlockKind::FirFilter { coeffs: taps }));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            10 => {
+                let b = m.add(Block::new(
+                    name,
+                    BlockKind::MovingAverage {
+                        window: 2 + rng.below(4),
+                    },
+                ));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            11 => {
+                let b = m.add(Block::new(name, BlockKind::Difference));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            12 => {
+                let b = m.add(Block::new(name, BlockKind::CumulativeSum));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            13 => {
+                if src.len < 4 {
+                    continue;
+                }
+                let factor = 2 + rng.below(2);
+                let b = m.add(Block::new(
+                    name,
+                    BlockKind::Downsample {
+                        factor,
+                        phase: rng.below(2),
+                    },
+                ));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                let phase = match m.block(b).kind {
+                    BlockKind::Downsample { phase, .. } => phase,
+                    _ => unreachable!(),
+                };
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: (src.len - phase).div_ceil(factor),
+                });
+            }
+            14 => {
+                // mux of two signals
+                let other = pool[rng.below(pool.len())];
+                let b = m.add(Block::new(name, BlockKind::Mux { inputs: 2 }));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                m.connect(other.block, other.port, b, 1).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len + other.len,
+                });
+            }
+            15 => {
+                if src.len < 4 {
+                    continue;
+                }
+                let a = 1 + rng.below(src.len - 2);
+                let b_blk = m.add(Block::new(
+                    name,
+                    BlockKind::Demux {
+                        sizes: vec![a, src.len - a],
+                    },
+                ));
+                m.connect(src.block, src.port, b_blk, 0).unwrap();
+                pool.push(Sig {
+                    block: b_blk,
+                    port: 0,
+                    len: a,
+                });
+                pool.push(Sig {
+                    block: b_blk,
+                    port: 1,
+                    len: src.len - a,
+                });
+            }
+            16 => {
+                // switch with a relational control
+                let partners: Vec<Sig> =
+                    pool.iter().copied().filter(|s| s.len == src.len).collect();
+                let other = partners[rng.below(partners.len())];
+                let zero = m.add(Block::new(
+                    format!("{name}_z"),
+                    BlockKind::Constant {
+                        value: Tensor::scalar(0.0),
+                    },
+                ));
+                let ctrl = m.add(Block::new(
+                    format!("{name}_c"),
+                    BlockKind::Relational { op: RelOp::Gt },
+                ));
+                m.connect(src.block, src.port, ctrl, 0).unwrap();
+                m.connect(zero, 0, ctrl, 1).unwrap();
+                let b = m.add(Block::new(name, BlockKind::Switch { threshold: 0.5 }));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                m.connect(ctrl, 0, b, 1).unwrap();
+                m.connect(other.block, other.port, b, 2).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            17 => {
+                // assignment: patch a same-or-smaller signal into src
+                if src.len < 3 {
+                    continue;
+                }
+                let plen = 1 + rng.below(src.len - 1);
+                let start = rng.below(src.len - plen + 1);
+                let patches: Vec<Sig> = pool.iter().copied().filter(|s| s.len == plen).collect();
+                let patch = if patches.is_empty() {
+                    let c = m.add(Block::new(
+                        format!("{name}_p"),
+                        BlockKind::Constant {
+                            value: Tensor::vector(vec![0.25; plen]),
+                        },
+                    ));
+                    Sig {
+                        block: c,
+                        port: 0,
+                        len: plen,
+                    }
+                } else {
+                    patches[rng.below(patches.len())]
+                };
+                let b = m.add(Block::new(name, BlockKind::Assignment { start }));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                m.connect(patch.block, patch.port, b, 1).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+            _ => {
+                // feed-forward unit delay
+                let b = m.add(Block::new(
+                    name,
+                    BlockKind::UnitDelay {
+                        initial: Tensor::vector(vec![0.1; src.len]),
+                    },
+                ));
+                m.connect(src.block, src.port, b, 0).unwrap();
+                pool.push(Sig {
+                    block: b,
+                    port: 0,
+                    len: src.len,
+                });
+            }
+        }
+    }
+
+    // route a handful of pool signals to outputs; the rest stay as
+    // dangling producers (full-range per the paper's rule) or are consumed
+    // upstream already
+    let n_out = 1 + rng.below(3.min(pool.len()));
+    let mut used = Vec::new();
+    for i in 0..n_out {
+        let mut pick = pool[rng.below(pool.len())];
+        let mut guard = 0;
+        while used.contains(&(pick.block, pick.port)) && guard < 10 {
+            pick = pool[rng.below(pool.len())];
+            guard += 1;
+        }
+        if used.contains(&(pick.block, pick.port)) {
+            break;
+        }
+        used.push((pick.block, pick.port));
+        let o = m.add(Block::new(
+            format!("out{i}"),
+            BlockKind::Outport { index: i },
+        ));
+        m.connect(pick.block, pick.port, o, 0).unwrap();
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_models_are_valid_and_deterministic() {
+        for seed in 0..20 {
+            let a = random_model(seed, 25);
+            let b = random_model(seed, 25);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            a.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_model(1, 25), random_model(2, 25));
+    }
+}

@@ -1,0 +1,167 @@
+//! `Simpson` — numerical integration model (30 blocks).
+//!
+//! Composite Simpson integration of a sampled function over three
+//! sub-intervals selected out of a long sample vector, with a trapezoid
+//! cross-check. The integrand preparation runs over the full vector but
+//! only the selected sub-intervals are consumed — classic redundancy.
+
+use frodo_model::{Block, BlockKind, Model, SelectorMode, Tensor};
+use frodo_ranges::Shape;
+
+/// Simpson weights 1,4,2,4,…,4,1 scaled by h/3 for `n` (odd) points.
+fn simpson_weights(n: usize, h: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let w = if i == 0 || i == n - 1 {
+                1.0
+            } else if i % 2 == 1 {
+                4.0
+            } else {
+                2.0
+            };
+            w * h / 3.0
+        })
+        .collect()
+}
+
+/// Builds the `Simpson` model.
+pub fn simpson() -> Model {
+    let mut m = Model::new("Simpson");
+    let n = 801usize;
+    let seg = 101usize;
+    let h = 0.01;
+
+    // 1: function samples
+    let samples = m.add(Block::new(
+        "samples",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(n),
+        },
+    ));
+    // 2-3: integrand preparation f(x) = sin(x)·scale over the whole vector
+    let wave = m.add(Block::new("integrand_sin", BlockKind::Sin));
+    let scale = m.add(Block::new("integrand_scale", BlockKind::Gain { gain: 2.0 }));
+    m.connect(samples, 0, wave, 0).unwrap();
+    m.connect(wave, 0, scale, 0).unwrap();
+
+    // 3 sub-intervals × 4 blocks = 12 (blocks 4..=15)
+    let mut partials = Vec::new();
+    for (seg_idx, start) in [100usize, 350, 600].into_iter().enumerate() {
+        let sel = m.add(Block::new(
+            format!("segment{seg_idx}"),
+            BlockKind::Selector {
+                mode: SelectorMode::StartEnd {
+                    start,
+                    end: start + seg,
+                },
+            },
+        ));
+        let w = m.add(Block::new(
+            format!("weights{seg_idx}"),
+            BlockKind::Constant {
+                value: Tensor::vector(simpson_weights(seg, h)),
+            },
+        ));
+        let weighted = m.add(Block::new(
+            format!("weighted{seg_idx}"),
+            BlockKind::Multiply,
+        ));
+        let sum = m.add(Block::new(
+            format!("integral{seg_idx}"),
+            BlockKind::SumOfElements,
+        ));
+        m.connect(scale, 0, sel, 0).unwrap();
+        m.connect(sel, 0, weighted, 0).unwrap();
+        m.connect(w, 0, weighted, 1).unwrap();
+        m.connect(weighted, 0, sum, 0).unwrap();
+        partials.push(sum);
+    }
+
+    // 16-20: total integral with result conditioning
+    let mux = m.add(Block::new("partials", BlockKind::Mux { inputs: 3 }));
+    for (p, id) in partials.iter().enumerate() {
+        m.connect(*id, 0, mux, p).unwrap();
+    }
+    let total = m.add(Block::new("total", BlockKind::SumOfElements));
+    let result_gain = m.add(Block::new("result_scale", BlockKind::Gain { gain: 1.0 }));
+    let result_bias = m.add(Block::new("result_offset", BlockKind::Bias { bias: 0.0 }));
+    let out0 = m.add(Block::new("integral_out", BlockKind::Outport { index: 0 }));
+    m.connect(mux, 0, total, 0).unwrap();
+    m.connect(total, 0, result_gain, 0).unwrap();
+    m.connect(result_gain, 0, result_bias, 0).unwrap();
+    m.connect(result_bias, 0, out0, 0).unwrap();
+
+    // 21-27: trapezoid cross-check on the first sub-interval
+    let trap_sel = m.add(Block::new(
+        "trap_segment",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 100,
+                end: 100 + seg,
+            },
+        },
+    ));
+    let trap_w: Vec<f64> = (0..seg)
+        .map(|i| if i == 0 || i == seg - 1 { h / 2.0 } else { h })
+        .collect();
+    let trap_weights = m.add(Block::new(
+        "trap_weights",
+        BlockKind::Constant {
+            value: Tensor::vector(trap_w),
+        },
+    ));
+    let trap_mul = m.add(Block::new("trap_weighted", BlockKind::Multiply));
+    let trap_sum = m.add(Block::new("trap_integral", BlockKind::SumOfElements));
+    let err = m.add(Block::new("method_error", BlockKind::Subtract));
+    let err_abs = m.add(Block::new("method_error_abs", BlockKind::Abs));
+    m.connect(scale, 0, trap_sel, 0).unwrap();
+    m.connect(trap_sel, 0, trap_mul, 0).unwrap();
+    m.connect(trap_weights, 0, trap_mul, 1).unwrap();
+    m.connect(trap_mul, 0, trap_sum, 0).unwrap();
+    m.connect(partials[0], 0, err, 0).unwrap();
+    m.connect(trap_sum, 0, err, 1).unwrap();
+    m.connect(err, 0, err_abs, 0).unwrap();
+    // 28: error output
+    let out1 = m.add(Block::new("error_out", BlockKind::Outport { index: 1 }));
+    m.connect(err_abs, 0, out1, 0).unwrap();
+
+    // 29-30: convergence flag and its output
+    let tol = m.add(Block::new(
+        "tolerance",
+        BlockKind::Constant {
+            value: Tensor::scalar(1e-4),
+        },
+    ));
+    let converged = m.add(Block::new(
+        "converged",
+        BlockKind::Relational {
+            op: frodo_model::RelOp::Lt,
+        },
+    ));
+    m.connect(err_abs, 0, converged, 0).unwrap();
+    m.connect(tol, 0, converged, 1).unwrap();
+    let out2 = m.add(Block::new("converged_out", BlockKind::Outport { index: 2 }));
+    m.connect(converged, 0, out2, 0).unwrap();
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_30_blocks() {
+        assert_eq!(simpson().deep_len(), 30);
+    }
+
+    #[test]
+    fn integrand_is_computed_only_on_segments() {
+        let a = frodo_core::Analysis::run(simpson()).unwrap();
+        let sin = a.dfg().model().find("integrand_sin").unwrap();
+        // three 101-sample segments (the trapezoid check reuses segment 0)
+        assert_eq!(a.range(sin, 0).count(), 3 * 101);
+        assert!(a.is_optimizable(sin));
+    }
+}

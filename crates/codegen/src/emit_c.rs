@@ -1,0 +1,902 @@
+//! C code emission (the paper's *code synthesis* step).
+//!
+//! [`emit_c`] renders a [`Program`] as a self-contained C translation unit
+//! with a `void <model>_step(const double *in0, …, double *out0, …)` entry
+//! point; [`emit_c_harness`] additionally appends a timing `main` that
+//! matches the paper's measurement protocol (repeat the step function and
+//! average).
+
+use crate::library;
+use crate::lir::{BinOp, BufId, BufferRole, ConvStyle, Program, ReduceOp, Slice, Src, Stmt, UnOp};
+use crate::GeneratorStyle;
+use std::fmt::Write;
+
+/// Options for C emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CEmitOptions {
+    /// Emit a single generic `frodo_conv_range` helper and call it with the
+    /// derived calculation range as parameters, instead of instantiating a
+    /// loop nest per convolution statement — the code-size remedy the
+    /// paper's §5 proposes for duplicated complex-block code.
+    pub shared_conv_helper: bool,
+}
+
+/// Emits a complete C translation unit for the program.
+pub fn emit_c(program: &Program) -> String {
+    emit_c_with(program, CEmitOptions::default())
+}
+
+/// [`emit_c`] with explicit [`CEmitOptions`].
+pub fn emit_c_with(program: &Program, opts: CEmitOptions) -> String {
+    Emitter::new_with(program, opts).emit()
+}
+
+/// Emits the translation unit plus a timing `main` that fills the inputs
+/// with a deterministic LCG, calls the step function `iters` times, and
+/// prints `<checksum> <nanoseconds-per-iteration>`.
+pub fn emit_c_harness(program: &Program, iters: usize) -> String {
+    emit_c_harness_with(program, iters, CEmitOptions::default())
+}
+
+/// [`emit_c_harness`] with explicit [`CEmitOptions`].
+pub fn emit_c_harness_with(program: &Program, iters: usize, opts: CEmitOptions) -> String {
+    let mut out = Emitter::new_with(program, opts).emit();
+    let name = &program.name;
+    let mut main = String::new();
+    let _ = writeln!(main, "\n#include <stdio.h>\n#include <time.h>\n");
+    let _ = writeln!(main, "int main(void) {{");
+    for (idx, id) in program.inputs() {
+        let len = program.buffer(id).len;
+        let _ = writeln!(main, "    static double in{idx}[{len}];");
+    }
+    for (idx, id) in program.outputs() {
+        let len = program.buffer(id).len;
+        let _ = writeln!(main, "    static double out{idx}[{len}];");
+    }
+    let _ = writeln!(main, "    unsigned long long lcg = 0x243F6A8885A308D3ULL;");
+    for (idx, id) in program.inputs() {
+        let len = program.buffer(id).len;
+        let _ = writeln!(
+            main,
+            "    for (int i = 0; i < {len}; ++i) {{\n        \
+             lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;\n        \
+             in{idx}[i] = (double)(lcg >> 40) / 16777216.0 - 0.5;\n    }}"
+        );
+    }
+    let args = call_args(program);
+    let _ = writeln!(main, "    struct timespec t0, t1;");
+    let _ = writeln!(main, "    clock_gettime(CLOCK_MONOTONIC, &t0);");
+    let _ = writeln!(main, "    for (int rep = 0; rep < {iters}; ++rep) {{");
+    let _ = writeln!(main, "        {name}_step({args});");
+    let _ = writeln!(main, "    }}");
+    let _ = writeln!(main, "    clock_gettime(CLOCK_MONOTONIC, &t1);");
+    let _ = writeln!(main, "    double checksum = 0.0;");
+    for (idx, id) in program.outputs() {
+        let len = program.buffer(id).len;
+        let _ = writeln!(
+            main,
+            "    for (int i = 0; i < {len}; ++i) checksum += out{idx}[i];"
+        );
+    }
+    let _ = writeln!(
+        main,
+        "    double ns = ((t1.tv_sec - t0.tv_sec) * 1e9 + (t1.tv_nsec - t0.tv_nsec)) / {iters}.0;"
+    );
+    let _ = writeln!(main, "    printf(\"%.17g %.3f\\n\", checksum, ns);");
+    let _ = writeln!(main, "    return 0;");
+    let _ = writeln!(main, "}}");
+    out.push_str(&main);
+    out
+}
+
+fn call_args(program: &Program) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (idx, _) in program.inputs() {
+        parts.push(format!("in{idx}"));
+    }
+    for (idx, _) in program.outputs() {
+        parts.push(format!("out{idx}"));
+    }
+    parts.join(", ")
+}
+
+struct Emitter<'a> {
+    p: &'a Program,
+    opts: CEmitOptions,
+    out: String,
+    indent: usize,
+}
+
+/// The generic range-parameterized convolution helper (paper §5).
+const CONV_HELPER: &str = "\
+static void frodo_conv_range(const double *u, int ulen, const double *v,\n\
+                             int vlen, double *dst, int k0, int k1) {\n\
+    for (int k = k0; k < k1; ++k) {\n\
+        int lo = k >= vlen ? k - (vlen - 1) : 0;\n\
+        int hi = k < ulen - 1 ? k : ulen - 1;\n\
+        double acc = 0.0;\n\
+        for (int j = lo; j <= hi; ++j) {\n\
+            acc += u[j] * v[k - j];\n\
+        }\n\
+        dst[k] = acc;\n\
+    }\n\
+}\n";
+
+impl<'a> Emitter<'a> {
+    fn new_with(p: &'a Program, opts: CEmitOptions) -> Self {
+        Emitter {
+            p,
+            opts,
+            out: String::new(),
+            indent: 1,
+        }
+    }
+
+    fn uses_conv_helper(&self) -> bool {
+        self.opts.shared_conv_helper
+            && self.p.style != GeneratorStyle::Hcg
+            && self.p.stmts.iter().any(|s| {
+                matches!(
+                    s,
+                    Stmt::Conv {
+                        style: ConvStyle::Tight,
+                        ..
+                    }
+                )
+            })
+    }
+
+    fn buf_expr(&self, id: BufId) -> String {
+        let b = self.p.buffer(id);
+        match b.role {
+            BufferRole::Input(idx) => format!("in{idx}"),
+            BufferRole::Output(idx) => format!("out{idx}"),
+            _ => format!("g_{}", b.name),
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn block_text(&mut self, text: &str) {
+        for line in text.lines() {
+            self.line(line);
+        }
+    }
+
+    fn emit(mut self) -> String {
+        let p = self.p;
+        let mut head = String::new();
+        let _ = writeln!(
+            head,
+            "/* Generated by frodo-codegen (style: {}) for model '{}'. */",
+            p.style.label(),
+            p.name
+        );
+        let _ = writeln!(head, "#include <math.h>");
+        let _ = writeln!(head, "#include <string.h>\n");
+
+        // file-scope buffers
+        for b in &p.buffers {
+            match &b.role {
+                BufferRole::Input(_) | BufferRole::Output(_) => {}
+                BufferRole::Temp => {
+                    let _ = writeln!(head, "static double g_{}[{}];", b.name, b.len);
+                }
+                BufferRole::Const(data) => {
+                    let vals: Vec<String> = data.iter().map(|v| format!("{v:?}")).collect();
+                    let _ = writeln!(
+                        head,
+                        "static const double g_{}[{}] = {{{}}};",
+                        b.name,
+                        b.len,
+                        vals.join(", ")
+                    );
+                }
+                BufferRole::State(init) => {
+                    let vals: Vec<String> = init.iter().map(|v| format!("{v:?}")).collect();
+                    let _ = writeln!(
+                        head,
+                        "static double g_{}[{}] = {{{}}};",
+                        b.name,
+                        b.len,
+                        vals.join(", ")
+                    );
+                }
+            }
+        }
+
+        if self.uses_conv_helper() {
+            let _ = writeln!(head, "\n{CONV_HELPER}");
+        }
+
+        // signature
+        let mut params: Vec<String> = Vec::new();
+        for (idx, _) in p.inputs() {
+            params.push(format!("const double *in{idx}"));
+        }
+        for (idx, _) in p.outputs() {
+            params.push(format!("double *out{idx}"));
+        }
+        if params.is_empty() {
+            params.push("void".to_string());
+        }
+        let _ = writeln!(head, "\nvoid {}_step({}) {{", p.name, params.join(", "));
+        self.out = head;
+
+        let stmts: Vec<Stmt> = p.stmts.clone();
+        for (i, s) in stmts.iter().enumerate() {
+            self.emit_stmt(i, s);
+        }
+
+        self.out.push_str("}\n");
+        self.out
+    }
+
+    fn src_expr(&self, src: Src, iv: &str) -> String {
+        match src {
+            Src::Run(s) => format!("{}[{} + {iv}]", self.buf_expr(s.buf), s.off),
+            Src::Broadcast(s) => format!("{}[{}]", self.buf_expr(s.buf), s.off),
+            Src::Const(c) => format!("{c:?}"),
+        }
+    }
+
+    fn dst_expr(&self, dst: Slice, iv: &str) -> String {
+        format!("{}[{} + {iv}]", self.buf_expr(dst.buf), dst.off)
+    }
+
+    fn emit_loop<F: Fn(&Self, &str) -> String>(&mut self, len: usize, body: F) {
+        // HCG batches vectorizable loops explicitly (4-wide), which is what
+        // its SIMD instruction synthesis amounts to structurally.
+        let text = body(self, "i");
+        self.line(&format!("for (int i = 0; i < {len}; ++i) {{"));
+        self.indent += 1;
+        self.line(&text);
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn emit_batched_loop<F: Fn(&Self, &str) -> String>(&mut self, len: usize, body: F) {
+        let width = 4;
+        let main = (len / width) * width;
+        self.line("/* hcg: explicit simd batch (width 4) */");
+        self.line(&format!("for (int i = 0; i < {main}; i += {width}) {{"));
+        self.indent += 1;
+        for lane in 0..width {
+            let txt = body(self, &format!("(i + {lane})"));
+            self.line(&txt);
+        }
+        self.indent -= 1;
+        self.line("}");
+        if main < len {
+            self.line(&format!("for (int i = {main}; i < {len}; ++i) {{"));
+            self.indent += 1;
+            let txt = body(self, "i");
+            self.line(&txt);
+            self.indent -= 1;
+            self.line("}");
+        }
+    }
+
+    fn elementwise<F: Fn(&Self, &str) -> String + Copy>(&mut self, s: &Stmt, len: usize, body: F) {
+        if self.p.style == GeneratorStyle::Hcg && s.is_vectorizable() && len >= 8 {
+            self.emit_batched_loop(len, body);
+        } else {
+            self.emit_loop(len, body);
+        }
+    }
+
+    fn emit_stmt(&mut self, idx: usize, s: &Stmt) {
+        match s.clone() {
+            Stmt::Unary { op, dst, src, len } => {
+                self.elementwise(s, len, |e, iv| {
+                    format!(
+                        "{} = {};",
+                        e.dst_expr(dst, iv),
+                        unop_expr(op, &e.src_expr(src, iv))
+                    )
+                });
+            }
+            Stmt::FusedUnary { ops, dst, src, len } => {
+                self.elementwise(s, len, |e, iv| {
+                    let mut expr = e.src_expr(src, iv);
+                    for &op in &ops {
+                        expr = unop_expr(op, &format!("({expr})"));
+                    }
+                    format!("{} = {};", e.dst_expr(dst, iv), expr)
+                });
+            }
+            Stmt::Binary { op, dst, a, b, len } => {
+                self.elementwise(s, len, |e, iv| {
+                    format!(
+                        "{} = {};",
+                        e.dst_expr(dst, iv),
+                        binop_expr(op, &e.src_expr(a, iv), &e.src_expr(b, iv))
+                    )
+                });
+            }
+            Stmt::Select {
+                dst,
+                ctrl,
+                threshold,
+                a,
+                b,
+                len,
+            } => {
+                self.emit_loop(len, |e, iv| {
+                    format!(
+                        "{} = ({} >= {threshold:?}) ? {} : {};",
+                        e.dst_expr(dst, iv),
+                        e.src_expr(ctrl, iv),
+                        e.src_expr(a, iv),
+                        e.src_expr(b, iv)
+                    )
+                });
+            }
+            Stmt::Copy { dst, src, len } => {
+                let d = self.buf_expr(dst.buf);
+                let sb = self.buf_expr(src.buf);
+                self.line(&format!(
+                    "memcpy(&{d}[{}], &{sb}[{}], {len} * sizeof(double));",
+                    dst.off, src.off
+                ));
+            }
+            Stmt::Fill { dst, value, len } => {
+                self.emit_loop(len, |e, iv| format!("{} = {value:?};", e.dst_expr(dst, iv)));
+            }
+            Stmt::Gather { dst, src, indices } => {
+                let table: Vec<String> = indices.iter().map(|i| i.to_string()).collect();
+                self.line(&format!(
+                    "static const int idx_{idx}[{}] = {{{}}};",
+                    indices.len(),
+                    table.join(", ")
+                ));
+                let sb = self.buf_expr(src);
+                let n = indices.len();
+                self.emit_loop(n, |e, iv| {
+                    format!("{} = {sb}[idx_{idx}[{iv}]];", e.dst_expr(dst, iv))
+                });
+            }
+            Stmt::DynGather {
+                dst,
+                src,
+                src_len,
+                idx: ix,
+                len,
+            } => {
+                let sb = self.buf_expr(src);
+                let ib = self.buf_expr(ix.buf);
+                let off = ix.off;
+                self.emit_loop(len, |e, iv| {
+                    format!(
+                        "{{ int j = (int){ib}[{off} + {iv}]; if (j < 0) j = 0; \
+                         if (j >= {src_len}) j = {src_len} - 1; {} = {sb}[j]; }}",
+                        e.dst_expr(dst, iv)
+                    )
+                });
+            }
+            Stmt::Reduce { op, dst, src, len } => {
+                let d = self.dst_expr(dst, "0").replace(" + 0", ""); // cosmetic
+                let sb = self.buf_expr(src.buf);
+                let off = src.off;
+                let (init, step, fin) = match op {
+                    ReduceOp::Sum => (
+                        "0.0".into(),
+                        format!("acc += {sb}[{off} + i];"),
+                        String::new(),
+                    ),
+                    ReduceOp::Mean => (
+                        "0.0".into(),
+                        format!("acc += {sb}[{off} + i];"),
+                        format!("acc /= (double){len};"),
+                    ),
+                    ReduceOp::Min => (
+                        format!("{sb}[{off}]"),
+                        format!("acc = fmin(acc, {sb}[{off} + i]);"),
+                        String::new(),
+                    ),
+                    ReduceOp::Max => (
+                        format!("{sb}[{off}]"),
+                        format!("acc = fmax(acc, {sb}[{off} + i]);"),
+                        String::new(),
+                    ),
+                };
+                self.line("{");
+                self.indent += 1;
+                self.line(&format!("double acc = {init};"));
+                self.line(&format!("for (int i = 0; i < {len}; ++i) {{ {step} }}"));
+                if !fin.is_empty() {
+                    self.line(&fin);
+                }
+                self.line(&format!("{d} = acc;"));
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Dot { dst, a, b, len } => {
+                let d = self.dst_expr(dst, "0").replace(" + 0", "");
+                let ab = self.buf_expr(a.buf);
+                let bb = self.buf_expr(b.buf);
+                self.line("{");
+                self.indent += 1;
+                self.line("double acc = 0.0;");
+                self.line(&format!(
+                    "for (int i = 0; i < {len}; ++i) {{ acc += {ab}[{} + i] * {bb}[{} + i]; }}",
+                    a.off, b.off
+                ));
+                self.line(&format!("{d} = acc;"));
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Conv {
+                dst,
+                u,
+                u_len,
+                v,
+                v_len,
+                k0,
+                k1,
+                style,
+            } => {
+                if style == ConvStyle::Tight && self.uses_conv_helper() {
+                    let call = format!(
+                        "frodo_conv_range({}, {u_len}, {}, {v_len}, {}, {k0}, {k1});",
+                        self.buf_expr(u),
+                        self.buf_expr(v),
+                        self.buf_expr(dst)
+                    );
+                    self.line(&call);
+                    return;
+                }
+                let template = match style {
+                    ConvStyle::Tight if self.p.style == GeneratorStyle::Hcg && k1 - k0 > 1 => {
+                        library::CONV_RUN_HCG
+                    }
+                    ConvStyle::Tight => {
+                        if k1 - k0 == 1 {
+                            library::CONV_SINGLE
+                        } else {
+                            library::CONV_RUN
+                        }
+                    }
+                    ConvStyle::Branchy => library::CONV_BRANCHY,
+                };
+                let subs = [
+                    ("k0", k0.to_string()),
+                    ("k1", k1.to_string()),
+                    ("k", k0.to_string()),
+                    ("Input1", self.buf_expr(u)),
+                    ("Input1_size", u_len.to_string()),
+                    ("Input2", self.buf_expr(v)),
+                    ("Input2_size", v_len.to_string()),
+                    ("Output", self.buf_expr(dst)),
+                ];
+                let code = template.render(&subs).expect("conv template complete");
+                self.block_text(&code);
+            }
+            Stmt::Fir {
+                dst,
+                src,
+                coeffs,
+                taps,
+                k0,
+                k1,
+            } => {
+                let code = library::FIR_RUN
+                    .render(&[
+                        ("k0", k0.to_string()),
+                        ("k1", k1.to_string()),
+                        ("Taps", taps.to_string()),
+                        ("Coeffs", self.buf_expr(coeffs)),
+                        ("Input", self.buf_expr(src)),
+                        ("Output", self.buf_expr(dst)),
+                    ])
+                    .expect("fir template complete");
+                self.block_text(&code);
+            }
+            Stmt::MovingAvg {
+                dst,
+                src,
+                window,
+                k0,
+                k1,
+            } => {
+                let code = library::MOVAVG_RUN
+                    .render(&[
+                        ("k0", k0.to_string()),
+                        ("k1", k1.to_string()),
+                        ("Window", window.to_string()),
+                        ("Input", self.buf_expr(src)),
+                        ("Output", self.buf_expr(dst)),
+                    ])
+                    .expect("movavg template complete");
+                self.block_text(&code);
+            }
+            Stmt::CumSum { dst, src, k_end } => {
+                let code = library::CUMSUM_RUN
+                    .render(&[
+                        ("k_end", k_end.to_string()),
+                        ("Input", self.buf_expr(src)),
+                        ("Output", self.buf_expr(dst)),
+                    ])
+                    .expect("cumsum template complete");
+                self.block_text(&code);
+            }
+            Stmt::Diff { dst, src, k0, k1 } => {
+                let d = self.buf_expr(dst);
+                let sb = self.buf_expr(src);
+                let mut start = k0;
+                if k0 == 0 {
+                    self.line(&format!("{d}[0] = {sb}[0];"));
+                    start = 1;
+                }
+                if start < k1 {
+                    let code = library::DIFF_RUN
+                        .render(&[
+                            ("k0", start.to_string()),
+                            ("k1", k1.to_string()),
+                            ("Input", sb),
+                            ("Output", d),
+                        ])
+                        .expect("diff template complete");
+                    self.block_text(&code);
+                }
+            }
+            Stmt::MatMul {
+                dst,
+                a,
+                b,
+                k,
+                n,
+                r0,
+                r1,
+                ..
+            } => {
+                let code = library::MATMUL_RUN
+                    .render(&[
+                        ("r0", r0.to_string()),
+                        ("r1", r1.to_string()),
+                        ("N", n.to_string()),
+                        ("K", k.to_string()),
+                        ("A", self.buf_expr(a)),
+                        ("B", self.buf_expr(b)),
+                        ("Output", self.buf_expr(dst)),
+                    ])
+                    .expect("matmul template complete");
+                self.block_text(&code);
+            }
+            Stmt::Transpose {
+                dst,
+                src,
+                rows,
+                cols,
+            } => {
+                let d = self.buf_expr(dst);
+                let sb = self.buf_expr(src);
+                self.line(&format!("for (int r = 0; r < {rows}; ++r) {{"));
+                self.indent += 1;
+                self.line(&format!(
+                    "for (int c = 0; c < {cols}; ++c) {{ {d}[c * {rows} + r] = {sb}[r * {cols} + c]; }}"
+                ));
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::StateLoad { dst, state, len } => {
+                let d = self.buf_expr(dst);
+                let sb = self.buf_expr(state);
+                self.line(&format!("memcpy({d}, {sb}, {len} * sizeof(double));"));
+            }
+            Stmt::StateStore { state, src, len } => {
+                let d = self.buf_expr(state);
+                let sb = self.buf_expr(src);
+                self.line(&format!("memcpy({d}, {sb}, {len} * sizeof(double));"));
+            }
+        }
+    }
+}
+
+fn unop_expr(op: UnOp, x: &str) -> String {
+    match op {
+        UnOp::Gain(g) => format!("{x} * {g:?}"),
+        UnOp::Bias(b) => format!("{x} + {b:?}"),
+        UnOp::Abs => format!("fabs({x})"),
+        UnOp::Sqrt => format!("sqrt({x})"),
+        UnOp::Square => format!("{x} * {x}"),
+        UnOp::Exp => format!("exp({x})"),
+        UnOp::Log => format!("log({x})"),
+        UnOp::Sin => format!("sin({x})"),
+        UnOp::Cos => format!("cos({x})"),
+        UnOp::Tanh => format!("tanh({x})"),
+        UnOp::Neg => format!("-({x})"),
+        UnOp::Recip => format!("1.0 / ({x})"),
+        UnOp::Sat(lo, hi) => format!("fmin(fmax({x}, {lo:?}), {hi:?})"),
+        UnOp::Floor => format!("floor({x})"),
+        UnOp::Ceil => format!("ceil({x})"),
+        UnOp::Round => format!("round({x})"),
+        UnOp::Trunc => format!("trunc({x})"),
+        UnOp::Not => format!("(({x}) == 0.0) ? 1.0 : 0.0"),
+        UnOp::Id => x.to_string(),
+    }
+}
+
+fn binop_expr(op: BinOp, a: &str, b: &str) -> String {
+    match op {
+        BinOp::Add => format!("{a} + {b}"),
+        BinOp::Sub => format!("{a} - {b}"),
+        BinOp::Mul => format!("{a} * {b}"),
+        BinOp::Div => format!("{a} / {b}"),
+        BinOp::Min => format!("fmin({a}, {b})"),
+        BinOp::Max => format!("fmax({a}, {b})"),
+        BinOp::Mod => format!("fmod({a}, {b})"),
+        BinOp::Lt => format!("({a} < {b}) ? 1.0 : 0.0"),
+        BinOp::Le => format!("({a} <= {b}) ? 1.0 : 0.0"),
+        BinOp::Gt => format!("({a} > {b}) ? 1.0 : 0.0"),
+        BinOp::Ge => format!("({a} >= {b}) ? 1.0 : 0.0"),
+        BinOp::EqOp => format!("({a} == {b}) ? 1.0 : 0.0"),
+        BinOp::Ne => format!("({a} != {b}) ? 1.0 : 0.0"),
+        BinOp::And => format!("(({a}) != 0.0 && ({b}) != 0.0) ? 1.0 : 0.0"),
+        BinOp::Or => format!("(({a}) != 0.0 || ({b}) != 0.0) ? 1.0 : 0.0"),
+        BinOp::Xor => format!("((({a}) != 0.0) != (({b}) != 0.0)) ? 1.0 : 0.0"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use frodo_core::Analysis;
+    use frodo_model::{Block, BlockKind, Model, SelectorMode, Tensor};
+    use frodo_ranges::Shape;
+
+    fn figure1() -> Analysis {
+        let mut m = Model::new("conv");
+        let i = m.add(Block::new(
+            "in",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(50),
+            },
+        ));
+        let k = m.add(Block::new(
+            "k",
+            BlockKind::Constant {
+                value: Tensor::vector(vec![0.1; 11]),
+            },
+        ));
+        let c = m.add(Block::new("conv", BlockKind::Convolution));
+        let s = m.add(Block::new(
+            "sel",
+            BlockKind::Selector {
+                mode: SelectorMode::StartEnd { start: 5, end: 55 },
+            },
+        ));
+        let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, c, 0).unwrap();
+        m.connect(k, 0, c, 1).unwrap();
+        m.connect(c, 0, s, 0).unwrap();
+        m.connect(s, 0, o, 0).unwrap();
+        Analysis::run(m).unwrap()
+    }
+
+    #[test]
+    fn frodo_c_has_tight_restricted_loop() {
+        let p = generate(&figure1(), GeneratorStyle::Frodo);
+        let c = emit_c(&p);
+        assert!(c.contains("void conv_step(const double *in0, double *out0)"));
+        assert!(c.contains("for (int k = 5; k < 55; ++k)"));
+        assert!(!c.contains("if (k - j >= 0"));
+    }
+
+    #[test]
+    fn simulink_c_has_boundary_judgments() {
+        let p = generate(&figure1(), GeneratorStyle::SimulinkCoder);
+        let c = emit_c(&p);
+        assert!(c.contains("for (int k = 0; k < 60; ++k)"));
+        assert!(c.contains("if (k - j >= 0 && k - j < 50)"));
+    }
+
+    #[test]
+    fn hcg_c_has_simd_batches() {
+        let p = generate(&figure1(), GeneratorStyle::Hcg);
+        let c = emit_c(&p);
+        assert!(c.contains("hcg: explicit simd batch"));
+    }
+
+    #[test]
+    fn const_kernel_is_embedded() {
+        let p = generate(&figure1(), GeneratorStyle::Frodo);
+        let c = emit_c(&p);
+        assert!(c.contains("static const double g_k[11]"));
+    }
+
+    #[test]
+    fn harness_contains_timing_main() {
+        let p = generate(&figure1(), GeneratorStyle::Frodo);
+        let c = emit_c_harness(&p, 10_000);
+        assert!(c.contains("int main(void)"));
+        assert!(c.contains("clock_gettime"));
+        assert!(c.contains("for (int rep = 0; rep < 10000; ++rep)"));
+        assert!(c.contains("conv_step(in0, out0);"));
+    }
+
+    #[test]
+    fn shared_conv_helper_replaces_inline_loops() {
+        let p = generate(&figure1(), GeneratorStyle::Frodo);
+        let c = emit_c_with(
+            &p,
+            CEmitOptions {
+                shared_conv_helper: true,
+            },
+        );
+        assert!(c.contains("static void frodo_conv_range"));
+        assert!(c.contains("frodo_conv_range(in0, 50, g_k, 11, g_conv, 5, 55);"));
+        // the inline loop nest is gone
+        assert!(!c.contains("for (int k = 5; k < 55; ++k)"));
+        // helper appears exactly once
+        assert_eq!(c.matches("static void frodo_conv_range").count(), 1);
+    }
+
+    #[test]
+    fn shared_conv_helper_is_skipped_without_tight_convs() {
+        let p = generate(&figure1(), GeneratorStyle::SimulinkCoder);
+        let c = emit_c_with(
+            &p,
+            CEmitOptions {
+                shared_conv_helper: true,
+            },
+        );
+        // Simulink style is branchy, so the helper is unnecessary
+        assert!(!c.contains("frodo_conv_range"));
+    }
+
+    /// Emits one statement in a minimal two-buffer program.
+    fn emit_single(stmt: Stmt) -> String {
+        use crate::lir::{Buffer, BufferRole};
+        let p = Program {
+            name: "single".into(),
+            style: GeneratorStyle::DfSynth,
+            buffers: vec![
+                Buffer {
+                    name: "a".into(),
+                    len: 8,
+                    role: BufferRole::Input(0),
+                },
+                Buffer {
+                    name: "b".into(),
+                    len: 8,
+                    role: BufferRole::Output(0),
+                },
+                Buffer {
+                    name: "t".into(),
+                    len: 8,
+                    role: BufferRole::Temp,
+                },
+            ],
+            stmts: vec![stmt],
+        };
+        emit_c(&p)
+    }
+
+    #[test]
+    fn reduce_emits_accumulator_loop() {
+        use crate::lir::{BufId, Slice};
+        let c = emit_single(Stmt::Reduce {
+            op: ReduceOp::Mean,
+            dst: Slice::new(BufId(1), 0),
+            src: Slice::new(BufId(0), 0),
+            len: 8,
+        });
+        assert!(c.contains("double acc = 0.0;"));
+        assert!(c.contains("acc /= (double)8;"));
+        assert!(c.contains("out0[0] = acc;"));
+    }
+
+    #[test]
+    fn dot_emits_fma_loop() {
+        use crate::lir::{BufId, Slice};
+        let c = emit_single(Stmt::Dot {
+            dst: Slice::new(BufId(1), 0),
+            a: Slice::new(BufId(0), 0),
+            b: Slice::new(BufId(2), 0),
+            len: 8,
+        });
+        assert!(c.contains("acc += in0[0 + i] * g_t[0 + i];"));
+    }
+
+    #[test]
+    fn select_emits_ternary() {
+        use crate::lir::{BufId, Slice, Src};
+        let c = emit_single(Stmt::Select {
+            dst: Slice::new(BufId(1), 0),
+            ctrl: Src::Run(Slice::new(BufId(0), 0)),
+            threshold: 0.5,
+            a: Src::Run(Slice::new(BufId(2), 0)),
+            b: Src::Const(0.0),
+            len: 8,
+        });
+        assert!(c.contains(">= 0.5) ?"));
+    }
+
+    #[test]
+    fn dyn_gather_emits_clamped_index() {
+        use crate::lir::{BufId, Slice};
+        let c = emit_single(Stmt::DynGather {
+            dst: Slice::new(BufId(1), 0),
+            src: BufId(2),
+            src_len: 8,
+            idx: Slice::new(BufId(0), 0),
+            len: 4,
+        });
+        assert!(c.contains("int j = (int)in0[0 + i];"));
+        assert!(c.contains("if (j < 0) j = 0;"));
+        assert!(c.contains("if (j >= 8) j = 8 - 1;"));
+    }
+
+    #[test]
+    fn transpose_emits_double_loop() {
+        use crate::lir::BufId;
+        let c = emit_single(Stmt::Transpose {
+            dst: BufId(1),
+            src: BufId(0),
+            rows: 2,
+            cols: 4,
+        });
+        assert!(c.contains("out0[c * 2 + r] = in0[r * 4 + c];"));
+    }
+
+    #[test]
+    fn fused_unary_nests_expressions() {
+        use crate::lir::{BufId, Slice, Src, UnOp};
+        let c = emit_single(Stmt::FusedUnary {
+            ops: vec![UnOp::Gain(2.0), UnOp::Abs, UnOp::Bias(1.0)],
+            dst: Slice::new(BufId(1), 0),
+            src: Src::Run(Slice::new(BufId(0), 0)),
+            len: 8,
+        });
+        assert!(c.contains("(fabs(((in0[0 + i]) * 2.0))) + 1.0"), "{c}");
+    }
+
+    #[test]
+    fn state_buffers_carry_initializers() {
+        use crate::lir::{BufId, Buffer, BufferRole};
+        let p = Program {
+            name: "st".into(),
+            style: GeneratorStyle::Frodo,
+            buffers: vec![
+                Buffer {
+                    name: "s".into(),
+                    len: 2,
+                    role: BufferRole::State(vec![1.5, -2.0]),
+                },
+                Buffer {
+                    name: "w".into(),
+                    len: 2,
+                    role: BufferRole::Temp,
+                },
+            ],
+            stmts: vec![Stmt::StateLoad {
+                dst: BufId(1),
+                state: BufId(0),
+                len: 2,
+            }],
+        };
+        let c = emit_c(&p);
+        assert!(c.contains("static double g_s[2] = {1.5, -2.0};"));
+        assert!(c.contains("memcpy(g_w, g_s, 2 * sizeof(double));"));
+    }
+
+    #[test]
+    fn generated_c_is_brace_balanced() {
+        for style in GeneratorStyle::ALL {
+            let p = generate(&figure1(), style);
+            let c = emit_c_harness(&p, 10);
+            let open = c.matches('{').count();
+            let close = c.matches('}').count();
+            assert_eq!(open, close, "style {style}");
+        }
+    }
+}

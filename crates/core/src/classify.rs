@@ -1,0 +1,233 @@
+//! Optimizable-block classification and savings reporting.
+
+use crate::Ranges;
+use frodo_graph::Dfg;
+use frodo_model::{BlockId, OutPort};
+use std::fmt;
+
+/// Per-block statistics of the redundancy elimination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStat {
+    /// The block.
+    pub block: BlockId,
+    /// Block name for reporting.
+    pub name: String,
+    /// Block type name.
+    pub type_name: &'static str,
+    /// Total output elements across all output ports.
+    pub full_elements: usize,
+    /// Output elements remaining after range determination.
+    pub kept_elements: usize,
+    /// Whether the block's range shrank (the paper's *optimizable* blocks).
+    pub optimizable: bool,
+}
+
+impl BlockStat {
+    /// Elements whose computation was eliminated.
+    pub fn eliminated(&self) -> usize {
+        self.full_elements - self.kept_elements
+    }
+
+    /// Fraction of the output still computed (1.0 = nothing eliminated).
+    pub fn coverage(&self) -> f64 {
+        if self.full_elements == 0 {
+            1.0
+        } else {
+            self.kept_elements as f64 / self.full_elements as f64
+        }
+    }
+}
+
+/// Summary of a redundancy-elimination pass over one model: which blocks are
+/// optimizable and how many element computations were eliminated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationReport {
+    stats: Vec<BlockStat>,
+}
+
+impl OptimizationReport {
+    /// Builds the report by comparing ranges against full output shapes.
+    pub fn build(dfg: &Dfg, ranges: &Ranges) -> Self {
+        let stats = dfg
+            .model()
+            .iter()
+            .map(|(id, block)| {
+                let n_out = block.kind.num_outputs();
+                let mut full = 0;
+                let mut kept = 0;
+                for o in 0..n_out {
+                    let numel = dfg.shapes().output(id, o).numel();
+                    full += numel;
+                    kept += ranges
+                        .try_out(id, o)
+                        .map(|r| r.clamp_to(numel).count())
+                        .unwrap_or(numel);
+                }
+                BlockStat {
+                    block: id,
+                    name: block.name.clone(),
+                    type_name: block.kind.type_name(),
+                    full_elements: full,
+                    kept_elements: kept,
+                    optimizable: kept < full,
+                }
+            })
+            .collect();
+        OptimizationReport { stats }
+    }
+
+    /// Per-block statistics, in block-id order.
+    pub fn stats(&self) -> &[BlockStat] {
+        &self.stats
+    }
+
+    /// The stat of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not part of the analyzed model.
+    pub fn stat(&self, block: BlockId) -> &BlockStat {
+        &self.stats[block.index()]
+    }
+
+    /// The blocks whose calculation range shrank.
+    pub fn optimizable_blocks(&self) -> Vec<BlockId> {
+        self.stats
+            .iter()
+            .filter(|s| s.optimizable)
+            .map(|s| s.block)
+            .collect()
+    }
+
+    /// Total output elements across all blocks, before elimination.
+    pub fn total_elements(&self) -> usize {
+        self.stats.iter().map(|s| s.full_elements).sum()
+    }
+
+    /// Total element computations eliminated.
+    pub fn total_eliminated(&self) -> usize {
+        self.stats.iter().map(BlockStat::eliminated).sum()
+    }
+
+    /// Overall fraction of element computations eliminated.
+    pub fn elimination_ratio(&self) -> f64 {
+        let total = self.total_elements();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_eliminated() as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for OptimizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "redundancy elimination: {}/{} blocks optimizable, {}/{} elements eliminated ({:.1}%)",
+            self.optimizable_blocks().len(),
+            self.stats.len(),
+            self.total_eliminated(),
+            self.total_elements(),
+            100.0 * self.elimination_ratio()
+        )?;
+        for s in &self.stats {
+            if s.optimizable {
+                writeln!(
+                    f,
+                    "  {} <{}>: {} -> {} elements",
+                    s.name, s.type_name, s.full_elements, s.kept_elements
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Recomputes, for reporting, which output ports carry reduced ranges.
+pub(crate) fn reduced_ports(dfg: &Dfg, ranges: &Ranges) -> Vec<OutPort> {
+    let mut out = Vec::new();
+    for (id, block) in dfg.model().iter() {
+        for o in 0..block.kind.num_outputs() {
+            let numel = dfg.shapes().output(id, o).numel();
+            if let Some(r) = ranges.try_out(id, o) {
+                if r.clamp_to(numel).count() < numel {
+                    out.push(OutPort::new(id, o));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{determine_ranges, IoMappings, RangeOptions};
+    use frodo_model::{Block, BlockKind, Model, SelectorMode, Tensor};
+    use frodo_ranges::Shape;
+
+    fn figure1_report() -> (Dfg, OptimizationReport) {
+        let mut m = Model::new("Convolution");
+        let i = m.add(Block::new(
+            "in",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(50),
+            },
+        ));
+        let k = m.add(Block::new(
+            "k",
+            BlockKind::Constant {
+                value: Tensor::vector(vec![0.1; 11]),
+            },
+        ));
+        let c = m.add(Block::new("conv", BlockKind::Convolution));
+        let s = m.add(Block::new(
+            "sel",
+            BlockKind::Selector {
+                mode: SelectorMode::StartEnd { start: 5, end: 55 },
+            },
+        ));
+        let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, c, 0).unwrap();
+        m.connect(k, 0, c, 1).unwrap();
+        m.connect(c, 0, s, 0).unwrap();
+        m.connect(s, 0, o, 0).unwrap();
+        let dfg = Dfg::new(m).unwrap();
+        let maps = IoMappings::derive(&dfg);
+        let ranges = determine_ranges(&dfg, &maps, RangeOptions::default());
+        let report = OptimizationReport::build(&dfg, &ranges);
+        (dfg, report)
+    }
+
+    #[test]
+    fn conv_is_the_optimizable_block() {
+        let (dfg, report) = figure1_report();
+        let conv = dfg.model().find("conv").unwrap();
+        assert_eq!(report.optimizable_blocks(), vec![conv]);
+        let stat = report.stat(conv);
+        assert_eq!(stat.full_elements, 60);
+        assert_eq!(stat.kept_elements, 50);
+        assert_eq!(stat.eliminated(), 10);
+        assert!((stat.coverage() - 50.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let (_, report) = figure1_report();
+        assert_eq!(report.total_eliminated(), 10);
+        assert!(report.elimination_ratio() > 0.0);
+        assert!(report.to_string().contains("conv"));
+    }
+
+    #[test]
+    fn reduced_ports_lists_conv_output() {
+        let (dfg, _) = figure1_report();
+        let maps = IoMappings::derive(&dfg);
+        let ranges = determine_ranges(&dfg, &maps, RangeOptions::default());
+        let ports = reduced_ports(&dfg, &ranges);
+        let conv = dfg.model().find("conv").unwrap();
+        assert_eq!(ports, vec![OutPort::new(conv, 0)]);
+    }
+}

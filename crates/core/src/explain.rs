@@ -1,0 +1,151 @@
+//! Human-readable traces of calculation-range determination.
+//!
+//! The paper's Figure 5 walks through redundancy elimination step by step
+//! ("FRODO first determines the calculation range of actor ⑥, … then
+//! determines the calculation range of actor ④ from [0, 59] to [5, 54]").
+//! [`trace`] produces the same narrative for any analyzed model — useful
+//! for debugging block property entries and for teaching what the analysis
+//! concluded and why.
+
+use crate::Analysis;
+use frodo_model::{BlockKind, OutPort};
+use std::fmt::Write as _;
+
+/// Renders the range-determination walkthrough, one step per output port,
+/// in the order Algorithm 1 finalizes them (reverse topological).
+///
+/// See the module docs; the CLI exposes this as `frodo analyze --trace`.
+pub fn trace(analysis: &Analysis) -> String {
+    let dfg = analysis.dfg();
+    let model = dfg.model();
+    let order = dfg.schedule().expect("analyzed models schedule");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "calculation range determination for '{}' (reverse translation order):",
+        model.name()
+    );
+    let mut step = 1;
+    for &id in order.iter().rev() {
+        let block = model.block(id);
+        for o in 0..block.kind.num_outputs() {
+            let numel = dfg.shapes().output(id, o).numel();
+            let range = analysis.range(id, o);
+            let consumers = dfg.consumers_of(OutPort::new(id, o));
+            let reason = if consumers.is_empty() {
+                "no consumers: keep the full output (Algorithm 1, lines 16-18)".to_string()
+            } else {
+                let mut parts = Vec::new();
+                for c in &consumers {
+                    let cb = model.block(c.block);
+                    let what = match &cb.kind {
+                        BlockKind::Outport { .. } => "model output needs everything".to_string(),
+                        BlockKind::Terminator => "terminator needs nothing".to_string(),
+                        k if k.is_stateful() => "state must be fully maintained".to_string(),
+                        k => format!(
+                            "maps its own range through the {} I/O mapping",
+                            k.type_name()
+                        ),
+                    };
+                    parts.push(format!("{} ({what})", cb.name));
+                }
+                format!("union of needs from {}", parts.join("; "))
+            };
+            let verdict = if range.count() < numel {
+                format!("REDUCED to {range} of [0, {numel})")
+            } else {
+                format!("full [0, {numel})")
+            };
+            let _ = writeln!(
+                out,
+                "  step {step}: {} <{}> out{o}: {verdict}\n           {reason}",
+                block.name,
+                block.kind.type_name()
+            );
+            step += 1;
+        }
+    }
+    let report = analysis.report();
+    let _ = writeln!(
+        out,
+        "result: {} of {} blocks optimizable, {} of {} element computations eliminated",
+        report.optimizable_blocks().len(),
+        report.stats().len(),
+        report.total_eliminated(),
+        report.total_elements()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frodo_model::{Block, Model, SelectorMode, Tensor};
+    use frodo_ranges::Shape;
+
+    #[test]
+    fn trace_tells_the_figure5_story() {
+        let mut m = Model::new("Convolution");
+        let i = m.add(Block::new(
+            "in",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(50),
+            },
+        ));
+        let k = m.add(Block::new(
+            "k",
+            BlockKind::Constant {
+                value: Tensor::vector(vec![0.1; 11]),
+            },
+        ));
+        let c = m.add(Block::new("conv", BlockKind::Convolution));
+        let s = m.add(Block::new(
+            "sel",
+            BlockKind::Selector {
+                mode: SelectorMode::StartEnd { start: 5, end: 55 },
+            },
+        ));
+        let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, c, 0).unwrap();
+        m.connect(k, 0, c, 1).unwrap();
+        m.connect(c, 0, s, 0).unwrap();
+        m.connect(s, 0, o, 0).unwrap();
+        let analysis = Analysis::run(m).unwrap();
+        let text = trace(&analysis);
+        // the conv's range shrinks from [0,60) to [5,55), as in Figure 5
+        assert!(text.contains("conv <convolution> out0: REDUCED to [5, 55) of [0, 60)"));
+        // the selector's consumers explain the model-output anchor
+        assert!(text.contains("model output needs everything"));
+        assert!(text.contains("1 of 5 blocks optimizable"));
+    }
+
+    #[test]
+    fn trace_mentions_state_and_terminators() {
+        let mut m = Model::new("t");
+        let i = m.add(Block::new(
+            "i",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(4),
+            },
+        ));
+        let z = m.add(Block::new(
+            "z",
+            BlockKind::UnitDelay {
+                initial: Tensor::vector(vec![0.0; 4]),
+            },
+        ));
+        let g = m.add(Block::new("g", BlockKind::Gain { gain: 2.0 }));
+        let t = m.add(Block::new("t", BlockKind::Terminator));
+        let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, z, 0).unwrap();
+        m.connect(i, 0, g, 0).unwrap();
+        m.connect(g, 0, t, 0).unwrap();
+        m.connect(z, 0, o, 0).unwrap();
+        let analysis = Analysis::run(m).unwrap();
+        let text = trace(&analysis);
+        assert!(text.contains("state must be fully maintained"));
+        assert!(text.contains("terminator needs nothing"));
+    }
+}

@@ -1,0 +1,321 @@
+//! The analyzed dataflow graph.
+
+use crate::toposort;
+use frodo_model::{BlockId, BlockKind, InPort, Model, ModelError, OutPort, ShapeTable};
+
+/// A flattened model together with its inferred shapes and adjacency
+/// structure — the artifact FRODO's *model analysis* stage hands to
+/// redundancy elimination and code synthesis.
+///
+/// Construction flattens subsystems, validates connectivity, and runs shape
+/// inference; a `Dfg` is therefore always well-formed.
+#[derive(Debug, Clone)]
+pub struct Dfg {
+    model: Model,
+    shapes: ShapeTable,
+    children: Vec<Vec<BlockId>>,
+    parents: Vec<Vec<BlockId>>,
+}
+
+impl Dfg {
+    /// Analyzes a model: flatten, validate, infer shapes, build adjacency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ModelError`] from flattening, validation, or shape
+    /// inference.
+    pub fn new(model: Model) -> Result<Self, ModelError> {
+        let flat = model.flattened()?;
+        flat.validate()?;
+        let shapes = flat.infer_shapes()?;
+        let n = flat.len();
+        let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut parents: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for c in flat.connections() {
+            let (s, d) = (c.from.block, c.to.block);
+            if !children[s.index()].contains(&d) {
+                children[s.index()].push(d);
+            }
+            if !parents[d.index()].contains(&s) {
+                parents[d.index()].push(s);
+            }
+        }
+        Ok(Dfg {
+            model: flat,
+            shapes,
+            children,
+            parents,
+        })
+    }
+
+    /// The flattened model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Inferred shapes of every port.
+    pub fn shapes(&self) -> &ShapeTable {
+        &self.shapes
+    }
+
+    /// Blocks consuming any output of `id` (deduplicated).
+    pub fn children(&self, id: BlockId) -> &[BlockId] {
+        &self.children[id.index()]
+    }
+
+    /// Blocks producing any input of `id` (deduplicated).
+    pub fn parents(&self, id: BlockId) -> &[BlockId] {
+        &self.parents[id.index()]
+    }
+
+    /// The 0-in-degree *root blocks* of the paper's Algorithm 1 — the blocks
+    /// that "provide the source data for all calculations".
+    pub fn roots(&self) -> Vec<BlockId> {
+        self.model
+            .ids()
+            .filter(|id| self.parents[id.index()].is_empty())
+            .collect()
+    }
+
+    /// The 0-out-degree blocks (sinks).
+    pub fn sinks(&self) -> Vec<BlockId> {
+        self.model
+            .ids()
+            .filter(|id| self.children[id.index()].is_empty())
+            .collect()
+    }
+
+    /// The translation sequence: a topological order of the blocks, with
+    /// `UnitDelay` outputs treated as step-boundary state reads so feedback
+    /// loops through delays schedule correctly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::AlgebraicLoop`] if a delay-free cycle remains.
+    pub fn schedule(&self) -> Result<Vec<BlockId>, ModelError> {
+        toposort(&self.model)
+    }
+
+    /// The producer feeding an input port (always present in a valid `Dfg`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist — validation guarantees every real
+    /// input port is connected.
+    pub fn source_of(&self, port: InPort) -> OutPort {
+        self.model
+            .source_of(port)
+            .expect("validated models have fully connected inputs")
+    }
+
+    /// All consumer input ports of an output port.
+    pub fn consumers_of(&self, port: OutPort) -> Vec<InPort> {
+        self.model.consumers_of(port)
+    }
+
+    /// Number of data-truncation blocks in the graph (diagnostic used by the
+    /// evaluation to characterize models).
+    pub fn truncation_count(&self) -> usize {
+        self.model
+            .blocks()
+            .iter()
+            .filter(|b| b.kind.is_truncation())
+            .count()
+    }
+
+    /// Whether a block's outputs are consumed by anything.
+    pub fn is_dead_end(&self, id: BlockId) -> bool {
+        self.children[id.index()].is_empty() && self.model.block(id).kind.num_outputs() > 0
+    }
+
+    /// Blocks in the graph, convenience passthrough.
+    pub fn ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.model.ids()
+    }
+
+    /// Whether the given block is stateful (`UnitDelay`).
+    pub fn is_stateful(&self, id: BlockId) -> bool {
+        matches!(self.model.block(id).kind, BlockKind::UnitDelay { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frodo_model::{Block, Tensor};
+    use frodo_ranges::Shape;
+
+    fn diamond() -> (Model, [BlockId; 5]) {
+        // i -> g1 -> add -> o
+        //   \-> g2 --^
+        let mut m = Model::new("diamond");
+        let i = m.add(Block::new(
+            "i",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(4),
+            },
+        ));
+        let g1 = m.add(Block::new("g1", BlockKind::Gain { gain: 2.0 }));
+        let g2 = m.add(Block::new("g2", BlockKind::Gain { gain: 3.0 }));
+        let add = m.add(Block::new("add", BlockKind::Add));
+        let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, g1, 0).unwrap();
+        m.connect(i, 0, g2, 0).unwrap();
+        m.connect(g1, 0, add, 0).unwrap();
+        m.connect(g2, 0, add, 1).unwrap();
+        m.connect(add, 0, o, 0).unwrap();
+        (m, [i, g1, g2, add, o])
+    }
+
+    #[test]
+    fn adjacency_of_diamond() {
+        let (m, [i, g1, g2, add, o]) = diamond();
+        let dfg = Dfg::new(m).unwrap();
+        assert_eq!(dfg.children(i), &[g1, g2]);
+        assert_eq!(dfg.parents(add), &[g1, g2]);
+        assert_eq!(dfg.children(add), &[o]);
+        assert_eq!(dfg.roots(), vec![i]);
+        assert_eq!(dfg.sinks(), vec![o]);
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let (m, ids) = diamond();
+        let dfg = Dfg::new(m).unwrap();
+        let order = dfg.schedule().unwrap();
+        let pos = |b: BlockId| order.iter().position(|&x| x == b).unwrap();
+        assert!(pos(ids[0]) < pos(ids[1]));
+        assert!(pos(ids[1]) < pos(ids[3]));
+        assert!(pos(ids[2]) < pos(ids[3]));
+        assert!(pos(ids[3]) < pos(ids[4]));
+    }
+
+    #[test]
+    fn fan_out_children_are_deduplicated() {
+        // one block feeding two ports of the same consumer
+        let mut m = Model::new("dup");
+        let c = m.add(Block::new(
+            "c",
+            BlockKind::Constant {
+                value: Tensor::vector(vec![1.0; 3]),
+            },
+        ));
+        let add = m.add(Block::new("add", BlockKind::Add));
+        let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        m.connect(c, 0, add, 0).unwrap();
+        m.connect(c, 0, add, 1).unwrap();
+        m.connect(add, 0, o, 0).unwrap();
+        let dfg = Dfg::new(m).unwrap();
+        assert_eq!(dfg.children(c).len(), 1);
+        assert_eq!(dfg.parents(add).len(), 1);
+    }
+
+    #[test]
+    fn truncation_count_spots_selectors() {
+        let mut m = Model::new("t");
+        let i = m.add(Block::new(
+            "i",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(10),
+            },
+        ));
+        let s = m.add(Block::new(
+            "s",
+            BlockKind::Selector {
+                mode: frodo_model::SelectorMode::StartEnd { start: 0, end: 5 },
+            },
+        ));
+        let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, s, 0).unwrap();
+        m.connect(s, 0, o, 0).unwrap();
+        let dfg = Dfg::new(m).unwrap();
+        assert_eq!(dfg.truncation_count(), 1);
+    }
+
+    #[test]
+    fn dfg_flattens_subsystems() {
+        let mut inner = Model::new("inner");
+        let i = inner.add(Block::new(
+            "i",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Scalar,
+            },
+        ));
+        let g = inner.add(Block::new("g", BlockKind::Gain { gain: 2.0 }));
+        let o = inner.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        inner.connect(i, 0, g, 0).unwrap();
+        inner.connect(g, 0, o, 0).unwrap();
+
+        let mut m = Model::new("outer");
+        let x = m.add(Block::new(
+            "x",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Scalar,
+            },
+        ));
+        let s = m.add(Block::new("s", BlockKind::Subsystem(Box::new(inner))));
+        let y = m.add(Block::new("y", BlockKind::Outport { index: 0 }));
+        m.connect(x, 0, s, 0).unwrap();
+        m.connect(s, 0, y, 0).unwrap();
+
+        let dfg = Dfg::new(m).unwrap();
+        assert!(dfg
+            .model()
+            .blocks()
+            .iter()
+            .all(|b| !matches!(b.kind, BlockKind::Subsystem(_))));
+        assert_eq!(dfg.model().len(), 3);
+    }
+
+    #[test]
+    fn sink_and_dead_end_classification() {
+        let mut m = Model::new("cls");
+        let i = m.add(Block::new(
+            "i",
+            BlockKind::Inport { index: 0, shape: Shape::Vector(4) },
+        ));
+        let g = m.add(Block::new("g", BlockKind::Gain { gain: 1.0 }));
+        let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        let dangling = m.add(Block::new("dangling", BlockKind::Abs));
+        m.connect(i, 0, g, 0).unwrap();
+        m.connect(g, 0, o, 0).unwrap();
+        m.connect(i, 0, dangling, 0).unwrap();
+        let dfg = Dfg::new(m).unwrap();
+        // the outport is a sink but not a dead end (it has no outputs at all)
+        assert!(dfg.sinks().contains(&o));
+        assert!(!dfg.is_dead_end(o));
+        // the dangling Abs has an unconsumed output
+        assert!(dfg.is_dead_end(dangling));
+        assert!(!dfg.is_dead_end(g));
+    }
+
+    #[test]
+    fn stateful_classification_after_flattening() {
+        let mut m = Model::new("st");
+        let i = m.add(Block::new(
+            "i",
+            BlockKind::Inport { index: 0, shape: Shape::Scalar },
+        ));
+        let z = m.add(Block::new(
+            "z",
+            BlockKind::UnitDelay { initial: Tensor::scalar(0.0) },
+        ));
+        let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, z, 0).unwrap();
+        m.connect(z, 0, o, 0).unwrap();
+        let dfg = Dfg::new(m).unwrap();
+        assert!(dfg.is_stateful(z));
+        assert!(!dfg.is_stateful(i));
+    }
+
+    #[test]
+    fn invalid_model_is_rejected() {
+        let mut m = Model::new("bad");
+        m.add(Block::new("g", BlockKind::Gain { gain: 1.0 }));
+        assert!(Dfg::new(m).is_err());
+    }
+}

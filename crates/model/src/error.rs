@@ -1,0 +1,130 @@
+//! Model-construction and analysis errors.
+
+use crate::{BlockId, InPort, OutPort};
+use frodo_ranges::Shape;
+use std::fmt;
+
+/// Errors raised while building, validating, or analysing a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A referenced block id does not exist in the model.
+    UnknownBlock(BlockId),
+    /// A connection names an output port the source block does not have.
+    BadOutPort {
+        /// The offending port reference.
+        port: OutPort,
+        /// How many output ports the block actually has.
+        available: usize,
+    },
+    /// A connection names an input port the destination block does not have.
+    BadInPort {
+        /// The offending port reference.
+        port: InPort,
+        /// How many input ports the block actually has.
+        available: usize,
+    },
+    /// An input port has more than one incoming connection.
+    DuplicateInput(InPort),
+    /// An input port is left unconnected.
+    UnconnectedInput(InPort),
+    /// Shape inference found incompatible operand shapes.
+    ShapeMismatch {
+        /// The block at which inference failed.
+        block: BlockId,
+        /// Explanation of the incompatibility.
+        reason: String,
+    },
+    /// A block parameter is invalid (e.g. an empty selector range).
+    BadParameter {
+        /// The block with the bad parameter.
+        block: BlockId,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The dataflow graph contains a cycle not broken by a stateful block.
+    AlgebraicLoop {
+        /// Blocks on the cycle, in discovery order.
+        cycle: Vec<BlockId>,
+    },
+    /// A subsystem's inner `Inport`/`Outport` indices are inconsistent.
+    BadSubsystem {
+        /// The subsystem block.
+        block: BlockId,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// Shape mismatch between declared and inferred shapes (used by formats).
+    DeclaredShapeMismatch {
+        /// The block whose declaration disagrees.
+        block: BlockId,
+        /// The declared shape.
+        declared: Shape,
+        /// The inferred shape.
+        inferred: Shape,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownBlock(b) => write!(f, "unknown block {b}"),
+            ModelError::BadOutPort { port, available } => write!(
+                f,
+                "output port {port} does not exist (block has {available} outputs)"
+            ),
+            ModelError::BadInPort { port, available } => write!(
+                f,
+                "input port {port} does not exist (block has {available} inputs)"
+            ),
+            ModelError::DuplicateInput(p) => {
+                write!(f, "input port {p} has more than one incoming connection")
+            }
+            ModelError::UnconnectedInput(p) => write!(f, "input port {p} is unconnected"),
+            ModelError::ShapeMismatch { block, reason } => {
+                write!(f, "shape mismatch at {block}: {reason}")
+            }
+            ModelError::BadParameter { block, reason } => {
+                write!(f, "bad parameter at {block}: {reason}")
+            }
+            ModelError::AlgebraicLoop { cycle } => {
+                let names: Vec<String> = cycle.iter().map(|b| b.to_string()).collect();
+                write!(f, "algebraic loop through [{}]", names.join(", "))
+            }
+            ModelError::BadSubsystem { block, reason } => {
+                write!(f, "bad subsystem at {block}: {reason}")
+            }
+            ModelError::DeclaredShapeMismatch {
+                block,
+                declared,
+                inferred,
+            } => write!(
+                f,
+                "declared shape {declared} of {block} disagrees with inferred {inferred}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_usefully() {
+        let b = BlockId::from_index(3);
+        let e = ModelError::ShapeMismatch {
+            block: b,
+            reason: "2 vs 3 elements".into(),
+        };
+        assert!(e.to_string().contains("b3"));
+        assert!(e.to_string().contains("2 vs 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_err(ModelError::UnknownBlock(BlockId::from_index(0)));
+    }
+}

@@ -1,0 +1,99 @@
+//! Block and port identifiers.
+
+use std::fmt;
+
+/// Opaque handle of a block inside one [`Model`](crate::Model).
+///
+/// Handles are dense indices assigned by [`Model::add`](crate::Model::add)
+/// and remain valid for the lifetime of the model (blocks are never removed
+/// from a model; flattening produces a *new* model with fresh ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) usize);
+
+impl BlockId {
+    /// The dense index of this block.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs an id from a dense index (for tables keyed by index).
+    pub fn from_index(idx: usize) -> Self {
+        BlockId(idx)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// An output port of a block: the source end of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OutPort {
+    /// The owning block.
+    pub block: BlockId,
+    /// Zero-based output port index.
+    pub port: usize,
+}
+
+impl OutPort {
+    /// Creates an output-port reference.
+    pub fn new(block: BlockId, port: usize) -> Self {
+        OutPort { block, port }
+    }
+}
+
+impl fmt::Display for OutPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:out{}", self.block, self.port)
+    }
+}
+
+/// An input port of a block: the destination end of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InPort {
+    /// The owning block.
+    pub block: BlockId,
+    /// Zero-based input port index.
+    pub port: usize,
+}
+
+impl InPort {
+    /// Creates an input-port reference.
+    pub fn new(block: BlockId, port: usize) -> Self {
+        InPort { block, port }
+    }
+}
+
+impl fmt::Display for InPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:in{}", self.block, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_index() {
+        let id = BlockId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "b7");
+    }
+
+    #[test]
+    fn ports_display_block_and_port() {
+        let b = BlockId::from_index(2);
+        assert_eq!(OutPort::new(b, 0).to_string(), "b2:out0");
+        assert_eq!(InPort::new(b, 1).to_string(), "b2:in1");
+    }
+
+    #[test]
+    fn ports_are_ordered_for_use_as_map_keys() {
+        let b = BlockId::from_index(0);
+        assert!(OutPort::new(b, 0) < OutPort::new(b, 1));
+        assert!(InPort::new(b, 0) < InPort::new(BlockId::from_index(1), 0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Tensor shapes carried by Simulink signals.
+
+use std::fmt;
+
+/// The shape of a signal: scalar, 1-D vector, or 2-D matrix (row-major).
+///
+/// All index algebra in this crate operates on *flattened* element indices;
+/// `Shape` provides the flattening and unflattening conventions.
+///
+/// # Example
+///
+/// ```
+/// use frodo_ranges::Shape;
+///
+/// let m = Shape::matrix(3, 4);
+/// assert_eq!(m.numel(), 12);
+/// assert_eq!(m.flatten(1, 2), 6);
+/// assert_eq!(m.unflatten(6), (1, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Shape {
+    /// A single value.
+    #[default]
+    Scalar,
+    /// A vector of `n` elements.
+    Vector(usize),
+    /// A `rows × cols` matrix stored row-major.
+    Matrix(usize, usize),
+}
+
+impl Shape {
+    /// Constructs a matrix shape.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape::Matrix(rows, cols)
+    }
+
+    /// Constructs a vector shape.
+    pub fn vector(n: usize) -> Self {
+        Shape::Vector(n)
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        match *self {
+            Shape::Scalar => 1,
+            Shape::Vector(n) => n,
+            Shape::Matrix(r, c) => r * c,
+        }
+    }
+
+    /// Whether the shape is a scalar.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Shape::Scalar)
+    }
+
+    /// Rows of the 2-D view (vectors are a single row; scalars are 1×1).
+    pub fn rows(&self) -> usize {
+        match *self {
+            Shape::Scalar | Shape::Vector(_) => 1,
+            Shape::Matrix(r, _) => r,
+        }
+    }
+
+    /// Columns of the 2-D view.
+    pub fn cols(&self) -> usize {
+        match *self {
+            Shape::Scalar => 1,
+            Shape::Vector(n) => n,
+            Shape::Matrix(_, c) => c,
+        }
+    }
+
+    /// Row-major flattened index of element `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(row, col)` is out of bounds for the shape.
+    pub fn flatten(&self, row: usize, col: usize) -> usize {
+        assert!(
+            row < self.rows() && col < self.cols(),
+            "index ({row}, {col}) out of bounds for {self}"
+        );
+        row * self.cols() + col
+    }
+
+    /// Inverse of [`Shape::flatten`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.numel()`.
+    pub fn unflatten(&self, idx: usize) -> (usize, usize) {
+        assert!(idx < self.numel(), "index {idx} out of bounds for {self}");
+        (idx / self.cols(), idx % self.cols())
+    }
+
+    /// The transposed shape (scalars and vectors transpose to themselves
+    /// and to column matrices respectively).
+    pub fn transposed(&self) -> Shape {
+        match *self {
+            Shape::Scalar => Shape::Scalar,
+            Shape::Vector(n) => Shape::Matrix(n, 1),
+            Shape::Matrix(r, c) => Shape::Matrix(c, r),
+        }
+    }
+
+    /// Whether two shapes hold the same number of elements (reshape-compatible).
+    pub fn same_numel(&self, other: &Shape) -> bool {
+        self.numel() == other.numel()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Shape::Scalar => write!(f, "scalar"),
+            Shape::Vector(n) => write!(f, "[{n}]"),
+            Shape::Matrix(r, c) => write!(f, "[{r}x{c}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_by_kind() {
+        assert_eq!(Shape::Scalar.numel(), 1);
+        assert_eq!(Shape::Vector(7).numel(), 7);
+        assert_eq!(Shape::matrix(3, 5).numel(), 15);
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let s = Shape::matrix(4, 6);
+        for r in 0..4 {
+            for c in 0..6 {
+                let idx = s.flatten(r, c);
+                assert_eq!(s.unflatten(idx), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flatten_rejects_out_of_bounds() {
+        Shape::matrix(2, 2).flatten(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unflatten_rejects_out_of_bounds() {
+        Shape::Vector(3).unflatten(3);
+    }
+
+    #[test]
+    fn vector_is_one_row() {
+        let s = Shape::Vector(5);
+        assert_eq!(s.rows(), 1);
+        assert_eq!(s.cols(), 5);
+        assert_eq!(s.flatten(0, 3), 3);
+    }
+
+    #[test]
+    fn transposed_shapes() {
+        assert_eq!(Shape::matrix(3, 4).transposed(), Shape::matrix(4, 3));
+        assert_eq!(Shape::Vector(4).transposed(), Shape::matrix(4, 1));
+        assert_eq!(Shape::Scalar.transposed(), Shape::Scalar);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::Scalar.to_string(), "scalar");
+        assert_eq!(Shape::Vector(8).to_string(), "[8]");
+        assert_eq!(Shape::matrix(2, 3).to_string(), "[2x3]");
+    }
+
+    #[test]
+    fn same_numel_for_reshape() {
+        assert!(Shape::Vector(12).same_numel(&Shape::matrix(3, 4)));
+        assert!(!Shape::Vector(12).same_numel(&Shape::matrix(3, 5)));
+    }
+}

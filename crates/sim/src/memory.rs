@@ -1,0 +1,118 @@
+//! Static memory accounting (the paper's §5 memory study).
+//!
+//! The paper finds all generators "use the same quantity of variables and
+//! abstain from memory allocation functions such as malloc", so memory is
+//! identical across them. Our generators allocate the same buffer set for
+//! every style; this module measures it.
+
+use frodo_codegen::lir::{BufferRole, Program};
+
+/// Static memory footprint of a generated program.
+///
+/// # Example
+///
+/// ```
+/// use frodo_codegen::lir::{Buffer, BufferRole, Program};
+/// use frodo_codegen::GeneratorStyle;
+/// use frodo_sim::MemoryReport;
+///
+/// let p = Program {
+///     name: "m".into(),
+///     style: GeneratorStyle::Frodo,
+///     buffers: vec![
+///         Buffer { name: "t".into(), len: 4, role: BufferRole::Temp },
+///         Buffer { name: "k".into(), len: 2, role: BufferRole::Const(vec![1.0, 2.0]) },
+///     ],
+///     stmts: vec![],
+/// };
+/// let r = MemoryReport::of(&p);
+/// assert_eq!(r.static_bytes, 32);
+/// assert_eq!(r.const_bytes, 16);
+/// assert_eq!(r.total_bytes(), 48);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Bytes of writable static data (temp + state buffers).
+    pub static_bytes: usize,
+    /// Bytes of read-only constant data.
+    pub const_bytes: usize,
+    /// Bytes moved through the step-function interface (inputs + outputs).
+    pub interface_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Measures a program.
+    pub fn of(program: &Program) -> Self {
+        let mut static_bytes = 0;
+        let mut const_bytes = 0;
+        let mut interface_bytes = 0;
+        for b in &program.buffers {
+            let bytes = b.len * std::mem::size_of::<f64>();
+            match b.role {
+                BufferRole::Temp | BufferRole::State(_) => static_bytes += bytes,
+                BufferRole::Const(_) => const_bytes += bytes,
+                BufferRole::Input(_) | BufferRole::Output(_) => interface_bytes += bytes,
+            }
+        }
+        MemoryReport {
+            static_bytes,
+            const_bytes,
+            interface_bytes,
+        }
+    }
+
+    /// Total bytes across all categories.
+    pub fn total_bytes(&self) -> usize {
+        self.static_bytes + self.const_bytes + self.interface_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frodo_codegen::{generate, GeneratorStyle};
+    use frodo_core::Analysis;
+    use frodo_model::{Block, BlockKind, Model, SelectorMode, Tensor};
+    use frodo_ranges::Shape;
+
+    #[test]
+    fn memory_is_identical_across_styles() {
+        let mut m = Model::new("conv");
+        let i = m.add(Block::new(
+            "in",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(50),
+            },
+        ));
+        let k = m.add(Block::new(
+            "k",
+            BlockKind::Constant {
+                value: Tensor::vector(vec![0.1; 11]),
+            },
+        ));
+        let c = m.add(Block::new("conv", BlockKind::Convolution));
+        let s = m.add(Block::new(
+            "sel",
+            BlockKind::Selector {
+                mode: SelectorMode::StartEnd { start: 5, end: 55 },
+            },
+        ));
+        let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, c, 0).unwrap();
+        m.connect(k, 0, c, 1).unwrap();
+        m.connect(c, 0, s, 0).unwrap();
+        m.connect(s, 0, o, 0).unwrap();
+        let a = Analysis::run(m).unwrap();
+        let reports: Vec<MemoryReport> = GeneratorStyle::ALL
+            .iter()
+            .map(|&st| MemoryReport::of(&generate(&a, st)))
+            .collect();
+        assert!(reports.windows(2).all(|w| w[0] == w[1]), "{reports:?}");
+        // figure1: conv(60) + sel(50) temps, kernel 11 consts, 50 in + 50 out
+        assert_eq!(reports[0].static_bytes, (60 + 50) * 8);
+        assert_eq!(reports[0].const_bytes, 11 * 8);
+        assert_eq!(reports[0].interface_bytes, (50 + 50) * 8);
+        assert_eq!(reports[0].total_bytes(), (60 + 50 + 11 + 100) * 8);
+    }
+}

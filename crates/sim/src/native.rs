@@ -1,0 +1,217 @@
+//! Native compile-and-run harness (real `gcc -O3`, the paper's protocol).
+//!
+//! Used for the x86/GCC column when a C compiler is available on the host;
+//! the other columns fall back to the [`CostModel`](crate::CostModel).
+
+use frodo_codegen::lir::Program;
+use frodo_codegen::{emit_c_harness_with, CEmitOptions, GeneratorStyle};
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Result of one native measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NativeResult {
+    /// Checksum of the outputs after the final iteration (for cross-checks).
+    pub checksum: f64,
+    /// Average nanoseconds per step-function call.
+    pub ns_per_iter: f64,
+}
+
+/// Errors from the native harness.
+#[derive(Debug)]
+pub enum NativeError {
+    /// No C compiler was found on the host.
+    CompilerUnavailable,
+    /// The compiler rejected the generated code (a codegen bug).
+    CompileFailed {
+        /// Compiler diagnostics.
+        stderr: String,
+    },
+    /// The compiled binary failed or printed unparseable output.
+    RunFailed {
+        /// Explanation.
+        reason: String,
+    },
+    /// Filesystem trouble while staging the sources.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NativeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NativeError::CompilerUnavailable => write!(f, "no C compiler available"),
+            NativeError::CompileFailed { stderr } => write!(f, "compile failed: {stderr}"),
+            NativeError::RunFailed { reason } => write!(f, "run failed: {reason}"),
+            NativeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NativeError {}
+
+impl From<std::io::Error> for NativeError {
+    fn from(e: std::io::Error) -> Self {
+        NativeError::Io(e)
+    }
+}
+
+/// Whether `gcc` can be invoked on this host.
+pub fn gcc_available() -> bool {
+    Command::new("gcc")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+static STAGE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn stage_dir() -> PathBuf {
+    let n = STAGE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("frodo-native-{}-{n}", std::process::id()))
+}
+
+/// Compiles the program with `gcc -O3` and runs its timing harness.
+///
+/// # Errors
+///
+/// See [`NativeError`]; [`NativeError::CompilerUnavailable`] when the host
+/// has no `gcc`.
+pub fn compile_and_run(
+    program: &Program,
+    style: GeneratorStyle,
+    iters: usize,
+) -> Result<NativeResult, NativeError> {
+    compile_and_run_with(program, style, iters, CEmitOptions::default())
+}
+
+/// [`compile_and_run`] with explicit emission options.
+///
+/// # Errors
+///
+/// Same as [`compile_and_run`].
+pub fn compile_and_run_with(
+    program: &Program,
+    style: GeneratorStyle,
+    iters: usize,
+    opts: CEmitOptions,
+) -> Result<NativeResult, NativeError> {
+    if !gcc_available() {
+        return Err(NativeError::CompilerUnavailable);
+    }
+    let dir = stage_dir();
+    std::fs::create_dir_all(&dir)?;
+    let c_path = dir.join(format!(
+        "{}_{}.c",
+        program.name,
+        style.label().to_lowercase()
+    ));
+    let bin_path = dir.join(format!("{}_{}", program.name, style.label().to_lowercase()));
+    {
+        let mut f = std::fs::File::create(&c_path)?;
+        f.write_all(emit_c_harness_with(program, iters, opts).as_bytes())?;
+    }
+    let out = Command::new("gcc")
+        .arg("-O3")
+        .arg("-march=native")
+        .arg("-o")
+        .arg(&bin_path)
+        .arg(&c_path)
+        .arg("-lm")
+        .output()?;
+    if !out.status.success() {
+        return Err(NativeError::CompileFailed {
+            stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        });
+    }
+    let run = Command::new(&bin_path).output()?;
+    if !run.status.success() {
+        return Err(NativeError::RunFailed {
+            reason: format!("exit status {:?}", run.status.code()),
+        });
+    }
+    let text = String::from_utf8_lossy(&run.stdout);
+    let mut parts = text.split_whitespace();
+    let checksum: f64 =
+        parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| NativeError::RunFailed {
+                reason: format!("bad output: {text}"),
+            })?;
+    let ns_per_iter: f64 =
+        parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| NativeError::RunFailed {
+                reason: format!("bad output: {text}"),
+            })?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(NativeResult {
+        checksum,
+        ns_per_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frodo_codegen::generate;
+    use frodo_core::Analysis;
+    use frodo_model::{Block, BlockKind, Model, SelectorMode, Tensor};
+    use frodo_ranges::Shape;
+
+    fn figure1() -> Analysis {
+        let mut m = Model::new("conv");
+        let i = m.add(Block::new(
+            "in",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(50),
+            },
+        ));
+        let k = m.add(Block::new(
+            "k",
+            BlockKind::Constant {
+                value: Tensor::vector(vec![0.1; 11]),
+            },
+        ));
+        let c = m.add(Block::new("conv", BlockKind::Convolution));
+        let s = m.add(Block::new(
+            "sel",
+            BlockKind::Selector {
+                mode: SelectorMode::StartEnd { start: 5, end: 55 },
+            },
+        ));
+        let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, c, 0).unwrap();
+        m.connect(k, 0, c, 1).unwrap();
+        m.connect(c, 0, s, 0).unwrap();
+        m.connect(s, 0, o, 0).unwrap();
+        Analysis::run(m).unwrap()
+    }
+
+    #[test]
+    fn native_checksums_agree_across_styles() {
+        if !gcc_available() {
+            eprintln!("skipping: gcc not available");
+            return;
+        }
+        let a = figure1();
+        let mut checksums = Vec::new();
+        for style in GeneratorStyle::ALL {
+            let p = generate(&a, style);
+            let r = compile_and_run(&p, style, 3).expect("native run");
+            checksums.push(r.checksum);
+        }
+        for w in checksums.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() < 1e-9,
+                "checksum mismatch across styles: {checksums:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Deterministic random workload generation.
+//!
+//! The paper validates generated code with "a large number of random test
+//! cases"; these helpers produce reproducible random inputs for any model.
+
+use frodo_graph::Dfg;
+use frodo_model::{BlockKind, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random input tensors for one step of a model, ordered by inport index.
+///
+/// Values are uniform in `[-1, 1)`; the same `seed` always produces the
+/// same workload.
+pub fn random_inputs(dfg: &Dfg, seed: u64) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ports: Vec<(usize, frodo_ranges::Shape)> = dfg
+        .model()
+        .blocks()
+        .iter()
+        .filter_map(|b| match b.kind {
+            BlockKind::Inport { index, shape } => Some((index, shape)),
+            _ => None,
+        })
+        .collect();
+    ports.sort_by_key(|&(i, _)| i);
+    ports
+        .into_iter()
+        .map(|(_, shape)| {
+            let data = (0..shape.numel())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            Tensor::new(shape, data)
+        })
+        .collect()
+}
+
+/// Random inputs as raw `f64` vectors (the VM's argument form).
+pub fn random_input_vecs(dfg: &Dfg, seed: u64) -> Vec<Vec<f64>> {
+    random_inputs(dfg, seed)
+        .into_iter()
+        .map(Tensor::into_data)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frodo_model::{Block, Model};
+    use frodo_ranges::Shape;
+
+    fn two_input_model() -> Dfg {
+        let mut m = Model::new("w");
+        let a = m.add(Block::new(
+            "a",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(4),
+            },
+        ));
+        let b = m.add(Block::new(
+            "b",
+            BlockKind::Inport {
+                index: 1,
+                shape: Shape::Scalar,
+            },
+        ));
+        let add = m.add(Block::new("add", BlockKind::Add));
+        let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        m.connect(a, 0, add, 0).unwrap();
+        m.connect(b, 0, add, 1).unwrap();
+        m.connect(add, 0, o, 0).unwrap();
+        Dfg::new(m).unwrap()
+    }
+
+    #[test]
+    fn shapes_match_inports_in_index_order() {
+        let dfg = two_input_model();
+        let ins = random_inputs(&dfg, 1);
+        assert_eq!(ins.len(), 2);
+        assert_eq!(ins[0].shape(), Shape::Vector(4));
+        assert_eq!(ins[1].shape(), Shape::Scalar);
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let dfg = two_input_model();
+        assert_eq!(random_inputs(&dfg, 42), random_inputs(&dfg, 42));
+        assert_ne!(random_inputs(&dfg, 42), random_inputs(&dfg, 43));
+    }
+
+    #[test]
+    fn values_bounded() {
+        let dfg = two_input_model();
+        for t in random_inputs(&dfg, 7) {
+            assert!(t.data().iter().all(|v| (-1.0..1.0).contains(v)));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), as used by ZIP.
+
+/// Computes the CRC-32 of a byte slice.
+///
+/// # Example
+///
+/// ```
+/// // the classic check value
+/// assert_eq!(frodo_slx::crc32::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(data);
+    hasher.finish()
+}
+
+/// Incremental CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+impl Crc32 {
+    /// Starts a new hash.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = TABLE[idx] ^ (self.state >> 8);
+        }
+    }
+
+    /// Finishes and returns the CRC value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"hello crc32 world";
+        let mut h = Crc32::new();
+        h.update(&data[..5]);
+        h.update(&data[5..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

@@ -1,0 +1,532 @@
+//! Raw DEFLATE (RFC 1951): a from-scratch decompressor plus a simple
+//! fixed-Huffman compressor.
+//!
+//! The decompressor supports all three block types — stored, fixed-Huffman,
+//! and dynamic-Huffman — which covers every `.slx` ZIP entry a real tool
+//! produces. The compressor emits literal-only fixed-Huffman blocks: always
+//! valid DEFLATE, adequate for writing test archives, and an independent
+//! roundtrip oracle for the decompressor.
+
+use crate::FormatError;
+
+// ---------------------------------------------------------------------------
+// bit I/O
+// ---------------------------------------------------------------------------
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            bit: 0,
+        }
+    }
+
+    fn read_bit(&mut self) -> Result<u32, FormatError> {
+        let byte = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| FormatError::Deflate("unexpected end of stream".into()))?;
+        let v = (byte >> self.bit) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Ok(v as u32)
+    }
+
+    /// Reads `n` bits LSB-first (header fields, extra bits).
+    fn read_bits(&mut self, n: u32) -> Result<u32, FormatError> {
+        let mut v = 0;
+        for i in 0..n {
+            v |= self.read_bit()? << i;
+        }
+        Ok(v)
+    }
+
+    fn align_byte(&mut self) {
+        if self.bit != 0 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+    }
+
+    fn read_u16(&mut self) -> Result<u16, FormatError> {
+        self.align_byte();
+        if self.pos + 2 > self.data.len() {
+            return Err(FormatError::Deflate("truncated stored header".into()));
+        }
+        let v = u16::from_le_bytes([self.data[self.pos], self.data[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+}
+
+struct BitWriter {
+    out: Vec<u8>,
+    cur: u8,
+    bit: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            out: Vec::new(),
+            cur: 0,
+            bit: 0,
+        }
+    }
+
+    fn write_bit(&mut self, v: u32) {
+        if v != 0 {
+            self.cur |= 1 << self.bit;
+        }
+        self.bit += 1;
+        if self.bit == 8 {
+            self.out.push(self.cur);
+            self.cur = 0;
+            self.bit = 0;
+        }
+    }
+
+    /// Writes `n` bits LSB-first.
+    fn write_bits(&mut self, v: u32, n: u32) {
+        for i in 0..n {
+            self.write_bit((v >> i) & 1);
+        }
+    }
+
+    /// Writes a Huffman code (MSB of the code emitted first).
+    fn write_code(&mut self, code: u32, len: u32) {
+        for i in (0..len).rev() {
+            self.write_bit((code >> i) & 1);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.bit > 0 {
+            self.out.push(self.cur);
+        }
+        self.out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Huffman tables
+// ---------------------------------------------------------------------------
+
+/// Canonical Huffman decoder built from code lengths (RFC 1951 §3.2.2).
+struct Huffman {
+    /// `counts[len]` = number of codes of that length.
+    counts: [u16; 16],
+    /// Symbols sorted by (length, symbol order).
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn from_lengths(lengths: &[u8]) -> Result<Self, FormatError> {
+        let mut counts = [0u16; 16];
+        for &l in lengths {
+            if l > 15 {
+                return Err(FormatError::Deflate("code length > 15".into()));
+            }
+            counts[l as usize] += 1;
+        }
+        counts[0] = 0;
+        // over-subscription check
+        let mut left = 1i32;
+        for &count in counts.iter().skip(1) {
+            left <<= 1;
+            left -= count as i32;
+            if left < 0 {
+                return Err(FormatError::Deflate("over-subscribed huffman code".into()));
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l > 0).count()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[offsets[l as usize] as usize] = sym as u16;
+                offsets[l as usize] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, FormatError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= r.read_bit()? as i32;
+            let count = self.counts[len] as i32;
+            if code - first < count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(FormatError::Deflate("invalid huffman code".into()))
+    }
+}
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+fn fixed_literal_lengths() -> Vec<u8> {
+    let mut l = vec![8u8; 288];
+    for x in l.iter_mut().take(256).skip(144) {
+        *x = 9;
+    }
+    for x in l.iter_mut().take(280).skip(256) {
+        *x = 7;
+    }
+    l
+}
+
+// ---------------------------------------------------------------------------
+// inflate
+// ---------------------------------------------------------------------------
+
+/// Decompresses a raw DEFLATE stream.
+///
+/// # Errors
+///
+/// Returns [`FormatError::Deflate`] on any malformed input (truncation,
+/// invalid codes, out-of-window distances).
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, FormatError> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = r.read_bits(1)?;
+        let btype = r.read_bits(2)?;
+        match btype {
+            0 => {
+                let len = r.read_u16()? as usize;
+                let nlen = r.read_u16()? as usize;
+                if len != (!nlen & 0xFFFF) {
+                    return Err(FormatError::Deflate("stored LEN/NLEN mismatch".into()));
+                }
+                if r.pos + len > r.data.len() {
+                    return Err(FormatError::Deflate("truncated stored block".into()));
+                }
+                out.extend_from_slice(&r.data[r.pos..r.pos + len]);
+                r.pos += len;
+            }
+            1 => {
+                let lit = Huffman::from_lengths(&fixed_literal_lengths())?;
+                let dist = Huffman::from_lengths(&[5u8; 30])?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            2 => {
+                let (lit, dist) = read_dynamic_tables(&mut r)?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            _ => return Err(FormatError::Deflate("reserved block type".into())),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Huffman, Huffman), FormatError> {
+    const ORDER: [usize; 19] = [
+        16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+    ];
+    let hlit = r.read_bits(5)? as usize + 257;
+    let hdist = r.read_bits(5)? as usize + 1;
+    let hclen = r.read_bits(4)? as usize + 4;
+    let mut cl_lengths = [0u8; 19];
+    for &idx in ORDER.iter().take(hclen) {
+        cl_lengths[idx] = r.read_bits(3)? as u8;
+    }
+    let cl = Huffman::from_lengths(&cl_lengths)?;
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        let sym = cl.decode(r)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let prev = *lengths
+                    .last()
+                    .ok_or_else(|| FormatError::Deflate("repeat with no previous length".into()))?;
+                let n = r.read_bits(2)? + 3;
+                lengths.extend(std::iter::repeat_n(prev, n as usize));
+            }
+            17 => {
+                let n = r.read_bits(3)? + 3;
+                lengths.extend(std::iter::repeat_n(0, n as usize));
+            }
+            18 => {
+                let n = r.read_bits(7)? + 11;
+                lengths.extend(std::iter::repeat_n(0, n as usize));
+            }
+            _ => return Err(FormatError::Deflate("invalid code-length symbol".into())),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err(FormatError::Deflate("code lengths overflow".into()));
+    }
+    let lit = Huffman::from_lengths(&lengths[..hlit])?;
+    let dist = Huffman::from_lengths(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    lit: &Huffman,
+    dist: &Huffman,
+    out: &mut Vec<u8>,
+) -> Result<(), FormatError> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let li = (sym - 257) as usize;
+                let len = LENGTH_BASE[li] as usize + r.read_bits(LENGTH_EXTRA[li] as u32)? as usize;
+                let dsym = dist.decode(r)? as usize;
+                if dsym >= 30 {
+                    return Err(FormatError::Deflate("invalid distance symbol".into()));
+                }
+                let d = DIST_BASE[dsym] as usize + r.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                if d > out.len() {
+                    return Err(FormatError::Deflate("distance beyond window".into()));
+                }
+                let start = out.len() - d;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(FormatError::Deflate("invalid literal/length symbol".into())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fixed-Huffman compressor (literal-only)
+// ---------------------------------------------------------------------------
+
+/// Compresses bytes as one fixed-Huffman DEFLATE block with literals only.
+///
+/// Never smaller than ~`8/8` of the input for random data (no LZ matching),
+/// but always a valid stream; used by the ZIP writer and as the roundtrip
+/// oracle for [`inflate`].
+pub fn deflate_fixed(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_bits(1, 1); // BFINAL
+    w.write_bits(1, 2); // fixed Huffman
+    for &b in data {
+        let (code, len) = fixed_literal_code(b as u16);
+        w.write_code(code, len);
+    }
+    let (code, len) = fixed_literal_code(256);
+    w.write_code(code, len);
+    w.finish()
+}
+
+fn fixed_literal_code(sym: u16) -> (u32, u32) {
+    match sym {
+        0..=143 => (0x30 + sym as u32, 8),
+        144..=255 => (0x190 + (sym as u32 - 144), 9),
+        256..=279 => (sym as u32 - 256, 7),
+        _ => (0xC0 + (sym as u32 - 280), 8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stored_block_roundtrip() {
+        // hand-built stored block: BFINAL=1, BTYPE=00
+        let payload = b"hello stored";
+        let mut raw = vec![0x01]; // bfinal=1, btype=00, then align
+        raw.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        raw.extend_from_slice(&(!(payload.len() as u16)).to_le_bytes());
+        raw.extend_from_slice(payload);
+        assert_eq!(inflate(&raw).unwrap(), payload);
+    }
+
+    #[test]
+    fn fixed_huffman_roundtrip() {
+        let data = b"the paper proposes FRODO, an efficient code generator";
+        let compressed = deflate_fixed(data);
+        assert_eq!(inflate(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn fixed_huffman_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(inflate(&deflate_fixed(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input_roundtrip() {
+        assert_eq!(inflate(&deflate_fixed(b"")).unwrap(), b"");
+    }
+
+    #[test]
+    fn back_reference_copies_window() {
+        // hand-assemble: fixed block with "ab" then a length-3 distance-2
+        // match → "ababa"
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(1, 2);
+        for &b in b"ab" {
+            let (c, l) = fixed_literal_code(b as u16);
+            w.write_code(c, l);
+        }
+        // length 3 = symbol 257, no extra; distance 2 = code 1, no extra
+        let (c, l) = fixed_literal_code(257);
+        w.write_code(c, l);
+        w.write_code(1, 5);
+        let (c, l) = fixed_literal_code(256);
+        w.write_code(c, l);
+        assert_eq!(inflate(&w.finish()).unwrap(), b"ababa");
+    }
+
+    #[test]
+    fn overlapping_back_reference() {
+        // "a" then length-4 distance-1 → "aaaaa"
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(1, 2);
+        let (c, l) = fixed_literal_code(b'a' as u16);
+        w.write_code(c, l);
+        let (c, l) = fixed_literal_code(258); // length 4
+        w.write_code(c, l);
+        w.write_code(0, 5); // distance 1
+        let (c, l) = fixed_literal_code(256);
+        w.write_code(c, l);
+        assert_eq!(inflate(&w.finish()).unwrap(), b"aaaaa");
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let compressed = deflate_fixed(b"some data");
+        let truncated = &compressed[..compressed.len() - 2];
+        assert!(inflate(truncated).is_err());
+    }
+
+    #[test]
+    fn reserved_block_type_is_rejected() {
+        // bfinal=1, btype=11
+        assert!(matches!(inflate(&[0x07]), Err(FormatError::Deflate(_))));
+    }
+
+    #[test]
+    fn stored_len_mismatch_is_rejected() {
+        let raw = [0x01, 0x05, 0x00, 0x00, 0x00, b'x'];
+        assert!(inflate(&raw).is_err());
+    }
+
+    #[test]
+    fn distance_beyond_window_is_rejected() {
+        // immediate match with nothing in the window
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(1, 2);
+        let (c, l) = fixed_literal_code(257);
+        w.write_code(c, l);
+        w.write_code(0, 5);
+        let (c, l) = fixed_literal_code(256);
+        w.write_code(c, l);
+        assert!(inflate(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn multi_block_streams_concatenate() {
+        // two stored blocks
+        let mut raw = vec![0x00]; // bfinal=0 stored
+        raw.extend_from_slice(&2u16.to_le_bytes());
+        raw.extend_from_slice(&(!2u16).to_le_bytes());
+        raw.extend_from_slice(b"ab");
+        raw.push(0x01); // bfinal=1 stored
+        raw.extend_from_slice(&2u16.to_le_bytes());
+        raw.extend_from_slice(&(!2u16).to_le_bytes());
+        raw.extend_from_slice(b"cd");
+        assert_eq!(inflate(&raw).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn dynamic_huffman_stream_decodes() {
+        // A tiny dynamic-Huffman stream hand-assembled to encode "aab" with
+        // a three-symbol literal alphabet: 'a' (len 1), 'b' (len 2), EOB
+        // (len 2), plus one unused 1-bit distance code.
+        const ORDER: [usize; 19] = [
+            16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+        ];
+        // code-length-code lengths: symbol 18 (zero run) -> 1 bit,
+        // symbols 1 and 2 (literal lengths) -> 2 bits each
+        let mut cl = [0u8; 19];
+        cl[18] = 1;
+        cl[1] = 2;
+        cl[2] = 2;
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(2, 2); // dynamic
+        w.write_bits(0, 5); // hlit = 257
+        w.write_bits(0, 5); // hdist = 1
+        w.write_bits(15, 4); // hclen = 19
+        for &idx in &ORDER {
+            w.write_bits(cl[idx] as u32, 3);
+        }
+        // canonical cl codes: 18 -> 0 (1 bit); 1 -> 10, 2 -> 11 (2 bits)
+        let put18 = |w: &mut BitWriter, run: u32| {
+            w.write_code(0, 1);
+            w.write_bits(run - 11, 7);
+        };
+        let put1 = |w: &mut BitWriter| w.write_code(2, 2);
+        let put2 = |w: &mut BitWriter| w.write_code(3, 2);
+        put18(&mut w, 97); // symbols 0..97: zero
+        put1(&mut w); // 'a' (97): len 1
+        put2(&mut w); // 'b' (98): len 2
+        put18(&mut w, 138); // symbols 99..237: zero
+        put18(&mut w, 19); // symbols 237..256: zero
+        put2(&mut w); // EOB (256): len 2
+        put1(&mut w); // the single (unused) distance code: len 1
+                      // canonical literal codes: 'a' -> 0; 'b' -> 10; EOB -> 11
+        w.write_code(0, 1); // 'a'
+        w.write_code(0, 1); // 'a'
+        w.write_code(2, 2); // 'b'
+        w.write_code(3, 2); // EOB
+        assert_eq!(inflate(&w.finish()).unwrap(), b"aab");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fixed_roundtrip(data in prop::collection::vec(any::<u8>(), 0..600)) {
+            prop_assert_eq!(inflate(&deflate_fixed(&data)).unwrap(), data);
+        }
+    }
+}

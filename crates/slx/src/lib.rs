@@ -1,0 +1,56 @@
+//! Model file formats: `.slx` containers and `.mdl` text.
+//!
+//! The paper's model parse stage reads real Simulink `.slx` files: "the
+//! Simulink model is wrapped by a ZIP file that contains different
+//! components … recorded in the XML files. FRODO interprets these files to
+//! parse the dataflow information" (§3.1). This crate implements that whole
+//! stack from scratch — no external compression or XML crates:
+//!
+//! - [`crc32`] — CRC-32 (IEEE 802.3), as ZIP requires;
+//! - [`inflate`] — a raw-DEFLATE (RFC 1951) decompressor (stored, fixed-
+//!   and dynamic-Huffman blocks) plus a fixed-Huffman compressor;
+//! - [`zip`] — ZIP archive reader/writer (methods *stored* and *deflate*);
+//! - [`xml`] — a minimal XML tree parser and writer;
+//! - [`slx`] — the Simulink-model ⇄ XML-in-ZIP mapping
+//!   ([`read_slx`], [`write_slx`]);
+//! - [`mdl`] — a classic `.mdl`-style textual format
+//!   ([`read_mdl`], [`write_mdl`]), the "external file" representation the
+//!   paper uses for its libraries.
+//!
+//! # Example
+//!
+//! ```
+//! use frodo_model::{Block, BlockKind, Model};
+//! use frodo_ranges::Shape;
+//! use frodo_slx::{read_slx, write_slx};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut m = Model::new("roundtrip");
+//! let i = m.add(Block::new("in", BlockKind::Inport { index: 0, shape: Shape::Vector(8) }));
+//! let g = m.add(Block::new("g", BlockKind::Gain { gain: 2.0 }));
+//! let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+//! m.connect(i, 0, g, 0)?;
+//! m.connect(g, 0, o, 0)?;
+//!
+//! let bytes = write_slx(&m)?;
+//! let back = read_slx(&bytes)?;
+//! assert_eq!(back, m);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+mod error;
+pub mod inflate;
+pub mod mdl;
+mod params;
+pub mod slx;
+pub mod xml;
+pub mod zip;
+
+pub use error::FormatError;
+pub use mdl::{read_mdl, write_mdl};
+pub use slx::{read_slx, write_slx};

@@ -1,0 +1,99 @@
+//! The paper's Figure-1 motivation, reproduced end to end: how a
+//! full-padding `Convolution` followed by a `Selector` makes every
+//! state-of-the-art generator waste work, and what FRODO emits instead.
+//!
+//! ```sh
+//! cargo run --example convolution_motivation
+//! ```
+
+use frodo::prelude::*;
+
+fn figure1() -> Result<Model, ModelError> {
+    let mut m = Model::new("Convolution");
+    let i = m.add(Block::new(
+        "In1",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(50),
+        },
+    ));
+    let k = m.add(Block::new(
+        "Kernel",
+        BlockKind::Constant {
+            value: Tensor::vector(vec![0.09; 11]),
+        },
+    ));
+    let c = m.add(Block::new("Convolution", BlockKind::Convolution));
+    let s = m.add(Block::new(
+        "Selector",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd { start: 5, end: 55 },
+        },
+    ));
+    let o = m.add(Block::new("Out1", BlockKind::Outport { index: 0 }));
+    m.connect(i, 0, c, 0)?;
+    m.connect(k, 0, c, 1)?;
+    m.connect(c, 0, s, 0)?;
+    m.connect(s, 0, o, 0)?;
+    Ok(m)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analysis = Analysis::run(figure1()?)?;
+    let conv = analysis.dfg().model().find("Convolution").unwrap();
+
+    println!("== the motivation (paper §1, Figure 1) ==\n");
+    println!(
+        "The 'same' convolution needs 50 outputs, but the Convolution block's\n\
+         full-padding implementation produces {} — the Selector then throws\n\
+         {} of them away. Existing generators translate both blocks verbatim.\n",
+        analysis.dfg().shapes().output(conv, 0).numel(),
+        analysis.report().stat(conv).eliminated(),
+    );
+
+    println!("-- Simulink-Embedded-Coder-style code (boundary judgments, green box) --\n");
+    let simulink = generate(&analysis, GeneratorStyle::SimulinkCoder);
+    print_block(&emit_c(&simulink), "for (int k = 0");
+
+    println!("-- FRODO's concise code (exact calculation range [5, 55)) --\n");
+    let frodo = generate(&analysis, GeneratorStyle::Frodo);
+    print_block(&emit_c(&frodo), "for (int k = 5");
+
+    println!("== quantitative effect ==\n");
+    println!(
+        "{:<22} {:>10} {:>14}",
+        "generator", "elements", "est. x86/gcc"
+    );
+    for style in GeneratorStyle::ALL {
+        let p = generate(&analysis, style);
+        let ns = CostModel::x86_gcc().program_ns(&p);
+        println!(
+            "{:<22} {:>10} {:>11.0} ns",
+            style.label(),
+            p.computed_elements(),
+            ns
+        );
+    }
+
+    println!(
+        "\nFRODO range recursion (paper Figure 5): Out1 needs [0,50) of the\n\
+         Selector; the Selector maps that to [5,55) of the Convolution; the\n\
+         Convolution window maps [5,55) to [0,50) of In1 — nothing upstream\n\
+         of the Selector computes the 10 padding elements."
+    );
+    Ok(())
+}
+
+/// Prints the generated loop nest containing `marker` (plus context).
+fn print_block(code: &str, marker: &str) {
+    let lines: Vec<&str> = code.lines().collect();
+    if let Some(at) = lines.iter().position(|l| l.contains(marker)) {
+        for line in &lines[at..] {
+            println!("    {line}");
+            if line.trim() == "}" && line.starts_with("    }") {
+                break;
+            }
+        }
+    }
+    println!();
+}

@@ -1,0 +1,54 @@
+//! Exercise the `.slx` container path the paper's model parse describes:
+//! write a benchmark model as real ZIP+XML bytes, list the archive, read it
+//! back, and show the reparsed model analyzes identically. Also prints the
+//! `.mdl` text form.
+//!
+//! ```sh
+//! cargo run --example slx_roundtrip [output.slx]
+//! ```
+
+use frodo::prelude::*;
+use frodo::slx::zip::Archive;
+use frodo::slx::{read_slx, write_mdl, write_slx};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = frodo::benchmodels::kalman();
+    let bytes = write_slx(&model)?;
+    println!(
+        "serialized '{}' ({} blocks) to {} bytes of .slx",
+        model.name(),
+        model.deep_len(),
+        bytes.len()
+    );
+
+    // optional: persist to disk like a real tool would
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &bytes)?;
+        println!("wrote {path}");
+    }
+
+    println!("\narchive contents:");
+    let archive = Archive::from_bytes(&bytes)?;
+    for entry in archive.entries() {
+        println!("  {:<32} {:>7} bytes", entry.name, entry.data.len());
+    }
+
+    let reread = read_slx(&bytes)?;
+    assert_eq!(reread, model);
+    println!("\nre-read model is identical to the original");
+
+    let a = Analysis::run(model.clone())?;
+    let b = Analysis::run(reread)?;
+    assert_eq!(a.ranges(), b.ranges());
+    println!("calculation ranges from the re-read model match exactly");
+
+    let mdl = write_mdl(&model);
+    println!(
+        "\nfirst lines of the .mdl text form ({} lines total):",
+        mdl.lines().count()
+    );
+    for line in mdl.lines().take(16) {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Streaming execution of a stateful model: the Kalman temperature observer
+//! run over many steps, with FRODO's generated program tracking the
+//! reference simulation exactly while doing a fraction of the work.
+//!
+//! ```sh
+//! cargo run --example streaming_control
+//! ```
+
+use frodo::prelude::*;
+use frodo::sim::workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analysis = Analysis::run(frodo::benchmodels::kalman())?;
+    let dfg = analysis.dfg().clone();
+
+    let frodo_prog = generate(&analysis, GeneratorStyle::Frodo);
+    let baseline = generate(&analysis, GeneratorStyle::DfSynth);
+    println!(
+        "Kalman observer: FRODO computes {} elements/step, the full-range baseline {}",
+        frodo_prog.computed_elements(),
+        baseline.computed_elements()
+    );
+
+    let mut simulator = ReferenceSimulator::new(dfg.clone());
+    let mut vm = Vm::new(&frodo_prog);
+
+    println!(
+        "\n{:>4} {:>12} {:>12} {:>12} {:>12}",
+        "step", "cabin T0", "cabin T1", "command", "max dev"
+    );
+    let mut worst_overall: f64 = 0.0;
+    for step in 0..50u64 {
+        let inputs = workload::random_inputs(&dfg, 1000 + step);
+        let expected = simulator.step(&inputs)?;
+        let raw: Vec<Vec<f64>> = inputs.iter().map(|t| t.data().to_vec()).collect();
+        let got = vm.step(&frodo_prog, &raw);
+        let worst = got
+            .iter()
+            .zip(&expected)
+            .flat_map(|(g, e)| g.iter().zip(e.data()).map(|(a, b)| (a - b).abs()))
+            .fold(0.0, f64::max);
+        worst_overall = worst_overall.max(worst);
+        if step % 10 == 0 {
+            println!(
+                "{step:>4} {:>12.5} {:>12.5} {:>12.5} {:>12.2e}",
+                got[0][0], got[0][1], got[1][0], worst
+            );
+        }
+    }
+    println!(
+        "\nafter 50 steps of evolving delay state, the generated program never\n\
+         deviated from model simulation by more than {worst_overall:.2e}"
+    );
+    assert!(worst_overall < 1e-9);
+    Ok(())
+}

@@ -1,0 +1,332 @@
+//! `frodo` — the command-line front end of the code generator.
+//!
+//! ```text
+//! frodo analyze  <model.{slx,mdl}>                 redundancy-elimination report
+//! frodo build    <model> [-s STYLE] [--shared-helper] [-o out.c]
+//! frodo simulate <model> [--seed N] [--steps N]    reference simulation
+//! frodo bench    <model> [--native]                compare the four generators
+//! frodo convert  <in.{slx,mdl}> <out.{slx,mdl}>    format conversion
+//! frodo demo     <name> <out.{slx,mdl}>            export a Table-1 benchmark
+//! frodo list                                       list bundled benchmarks
+//! ```
+
+use frodo::prelude::*;
+use frodo::sim::{native, workload};
+use frodo::slx::{read_mdl, read_slx, write_mdl, write_slx};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("frodo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "frodo — redundancy-eliminating code generation for Simulink models\n\
+         \n\
+         USAGE:\n\
+         \x20 frodo analyze  <model.{{slx,mdl}}>\n\
+         \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [-o out.c]\n\
+         \x20 frodo simulate <model> [--seed N] [--steps N]\n\
+         \x20 frodo bench    <model> [--native]\n\
+         \x20 frodo verify   <model> [--seeds N] [--steps N]\n\
+         \x20 frodo convert  <in.{{slx,mdl}}> <out.{{slx,mdl}}>\n\
+         \x20 frodo demo     <benchmark-name> <out.{{slx,mdl}}>\n\
+         \x20 frodo list"
+    );
+}
+
+fn load_model(path: &str) -> Result<Model, String> {
+    let p = Path::new(path);
+    match p.extension().and_then(|e| e.to_str()) {
+        Some("slx") => {
+            let bytes = std::fs::read(p).map_err(|e| format!("{path}: {e}"))?;
+            read_slx(&bytes).map_err(|e| format!("{path}: {e}"))
+        }
+        Some("mdl") => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{path}: {e}"))?;
+            read_mdl(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        _ => Err(format!("{path}: expected a .slx or .mdl file")),
+    }
+}
+
+fn save_model(model: &Model, path: &str) -> Result<(), String> {
+    let p = Path::new(path);
+    match p.extension().and_then(|e| e.to_str()) {
+        Some("slx") => {
+            let bytes = write_slx(model).map_err(|e| e.to_string())?;
+            std::fs::write(p, bytes).map_err(|e| format!("{path}: {e}"))
+        }
+        Some("mdl") => std::fs::write(p, write_mdl(model)).map_err(|e| format!("{path}: {e}")),
+        _ => Err(format!("{path}: expected a .slx or .mdl destination")),
+    }
+}
+
+fn parse_style(s: &str) -> Result<GeneratorStyle, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "simulink" => Ok(GeneratorStyle::SimulinkCoder),
+        "dfsynth" => Ok(GeneratorStyle::DfSynth),
+        "hcg" => Ok(GeneratorStyle::Hcg),
+        "frodo" => Ok(GeneratorStyle::Frodo),
+        other => Err(format!(
+            "unknown style '{other}' (expected simulink|dfsynth|hcg|frodo)"
+        )),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], names: &[&str]) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| names.contains(&w[0].as_str()))
+        .map(|w| w[1].as_str())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("analyze: missing model path")?;
+    let want_trace = args.iter().any(|a| a == "--trace");
+    let model = load_model(path)?;
+    let analysis = Analysis::run(model).map_err(|e| e.to_string())?;
+    if want_trace {
+        print!("{}", frodo::core::explain::trace(&analysis));
+        return Ok(());
+    }
+    println!(
+        "model '{}': {} blocks, {} connections, {} data-truncation blocks",
+        analysis.dfg().model().name(),
+        analysis.dfg().model().len(),
+        analysis.dfg().model().connections().len(),
+        analysis.dfg().truncation_count()
+    );
+    print!("{}", analysis.report());
+    println!("\ncalculation ranges of optimizable blocks:");
+    for port in analysis.reduced_ports() {
+        let block = analysis.dfg().model().block(port.block);
+        println!(
+            "  {} <{}> out{}: {}",
+            block.name,
+            block.kind.type_name(),
+            port.port,
+            analysis.range(port.block, port.port)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("build: missing model path")?;
+    let style = match flag_value(args, &["-s", "--style"]) {
+        Some(s) => parse_style(s)?,
+        None => GeneratorStyle::Frodo,
+    };
+    let shared = args.iter().any(|a| a == "--shared-helper");
+    let model = load_model(path)?;
+    let analysis = Analysis::run(model).map_err(|e| e.to_string())?;
+    let program = generate(&analysis, style);
+    let code = frodo::codegen::emit_c_with(
+        &program,
+        frodo::codegen::CEmitOptions {
+            shared_conv_helper: shared,
+        },
+    );
+    match flag_value(args, &["-o", "--output"]) {
+        Some(out) => {
+            std::fs::write(out, &code).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!(
+                "wrote {out}: {} statements, {} elements/step ({style})",
+                program.stmts.len(),
+                program.computed_elements()
+            );
+        }
+        None => print!("{code}"),
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("simulate: missing model path")?;
+    let seed: u64 = flag_value(args, &["--seed"])
+        .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let steps: usize = flag_value(args, &["--steps"])
+        .map(|s| s.parse().map_err(|_| "bad --steps".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let model = load_model(path)?;
+    let dfg = frodo::graph::Dfg::new(model).map_err(|e| e.to_string())?;
+    let mut sim = ReferenceSimulator::new(dfg.clone());
+    for step in 0..steps {
+        let inputs = workload::random_inputs(&dfg, seed.wrapping_add(step as u64));
+        let outputs = sim.step(&inputs).map_err(|e| e.to_string())?;
+        println!("step {step}:");
+        for (i, t) in outputs.iter().enumerate() {
+            println!("  out{i} = {t}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("bench: missing model path")?;
+    let want_native = args.iter().any(|a| a == "--native");
+    let model = load_model(path)?;
+    let analysis = Analysis::run(model).map_err(|e| e.to_string())?;
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "style", "elements", "x86/gcc", "x86/clang", "arm/gcc", "arm/clang"
+    );
+    for style in GeneratorStyle::ALL {
+        let p = generate(&analysis, style);
+        let cells: Vec<String> = CostModel::all()
+            .iter()
+            .map(|cm| format!("{:.1}us", cm.program_ns(&p) / 1e3))
+            .collect();
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            style.label(),
+            p.computed_elements(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+    if want_native {
+        if !native::gcc_available() {
+            return Err("--native requested but gcc is unavailable".into());
+        }
+        println!("\nnative x86 gcc -O3 (10000 iterations):");
+        for style in GeneratorStyle::ALL {
+            let p = generate(&analysis, style);
+            let r = native::compile_and_run(&p, style, 10_000).map_err(|e| e.to_string())?;
+            println!("{:<10} {:>12.0} ns/iter", style.label(), r.ns_per_iter);
+        }
+    }
+    Ok(())
+}
+
+/// The paper's §4 methodology as a command: random test cases, every
+/// generator's output compared against model simulation.
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("verify: missing model path")?;
+    let seeds: u64 = flag_value(args, &["--seeds"])
+        .map(|s| s.parse().map_err(|_| "bad --seeds".to_string()))
+        .transpose()?
+        .unwrap_or(16);
+    let steps: u64 = flag_value(args, &["--steps"])
+        .map(|s| s.parse().map_err(|_| "bad --steps".to_string()))
+        .transpose()?
+        .unwrap_or(3);
+    let model = load_model(path)?;
+    let analysis = Analysis::run(model).map_err(|e| e.to_string())?;
+    let dfg = analysis.dfg().clone();
+    let mut worst_by_style = vec![0.0f64; GeneratorStyle::ALL.len()];
+    let mut cases = 0usize;
+    for seed in 0..seeds {
+        let mut oracle = ReferenceSimulator::new(dfg.clone());
+        let mut vms: Vec<_> = GeneratorStyle::ALL
+            .iter()
+            .map(|&s| {
+                let p = generate(&analysis, s);
+                let vm = Vm::new(&p);
+                (p, vm)
+            })
+            .collect();
+        for step in 0..steps {
+            let inputs = workload::random_inputs(&dfg, seed.wrapping_mul(7919).wrapping_add(step));
+            let expected = oracle.step(&inputs).map_err(|e| e.to_string())?;
+            let raw: Vec<Vec<f64>> = inputs.iter().map(|t| t.data().to_vec()).collect();
+            for (k, (p, vm)) in vms.iter_mut().enumerate() {
+                let got = vm.step(p, &raw);
+                let worst = got
+                    .iter()
+                    .zip(&expected)
+                    .flat_map(|(g, e)| g.iter().zip(e.data()).map(|(a, b)| (a - b).abs()))
+                    .fold(0.0, f64::max);
+                worst_by_style[k] = worst_by_style[k].max(worst);
+            }
+            cases += 1;
+        }
+    }
+    println!(
+        "verified '{}' against model simulation: {cases} random cases x {} generators",
+        dfg.model().name(),
+        GeneratorStyle::ALL.len()
+    );
+    let mut ok = true;
+    for (style, worst) in GeneratorStyle::ALL.iter().zip(&worst_by_style) {
+        let verdict = if *worst < 1e-9 { "consistent" } else { "DEVIATES" };
+        if *worst >= 1e-9 {
+            ok = false;
+        }
+        println!("  {:<10} max deviation {:>10.2e}  {verdict}", style.label(), worst);
+    }
+    if ok {
+        println!("all generators are consistent with model simulation");
+        Ok(())
+    } else {
+        Err("generated code deviates from model simulation".into())
+    }
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let (src, dst) = match args {
+        [a, b, ..] => (a, b),
+        _ => return Err("convert: need <input> and <output> paths".into()),
+    };
+    let model = load_model(src)?;
+    save_model(&model, dst)?;
+    eprintln!("converted {src} -> {dst} ({} blocks)", model.deep_len());
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let (name, out) = match args {
+        [a, b, ..] => (a, b),
+        _ => return Err("demo: need <benchmark-name> and <output> (try 'frodo list')".into()),
+    };
+    let bench = frodo::benchmodels::by_name(name)
+        .ok_or_else(|| format!("unknown benchmark '{name}' (try 'frodo list')"))?;
+    save_model(&bench.model, out)?;
+    eprintln!(
+        "wrote {} ({} blocks) to {out}",
+        bench.name,
+        bench.model.deep_len()
+    );
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<14} {:<42} {:>7}", "name", "functionality", "#block");
+    for bench in frodo::benchmodels::all() {
+        println!(
+            "{:<14} {:<42} {:>7}",
+            bench.name,
+            bench.functionality,
+            bench.model.deep_len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! End-to-end coverage of the `Assignment` block (data-truncation's dual)
+//! and its `ExceptSegment` I/O mapping.
+
+use frodo::prelude::*;
+
+/// base(32) -> gain -> assignment(patch at [8,20)) -> selector -> out
+/// patch path: patch(12) -> bias -> assignment
+fn model(select: (usize, usize)) -> Model {
+    let mut m = Model::new("patch");
+    let base = m.add(Block::new(
+        "base",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(32),
+        },
+    ));
+    let patch = m.add(Block::new(
+        "patch",
+        BlockKind::Inport {
+            index: 1,
+            shape: Shape::Vector(12),
+        },
+    ));
+    let g = m.add(Block::new("g", BlockKind::Gain { gain: 2.0 }));
+    let b = m.add(Block::new("b", BlockKind::Bias { bias: 10.0 }));
+    let asg = m.add(Block::new("asg", BlockKind::Assignment { start: 8 }));
+    let sel = m.add(Block::new(
+        "sel",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: select.0,
+                end: select.1,
+            },
+        },
+    ));
+    let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+    m.connect(base, 0, g, 0).unwrap();
+    m.connect(patch, 0, b, 0).unwrap();
+    m.connect(g, 0, asg, 0).unwrap();
+    m.connect(b, 0, asg, 1).unwrap();
+    m.connect(asg, 0, sel, 0).unwrap();
+    m.connect(sel, 0, o, 0).unwrap();
+    m
+}
+
+#[test]
+fn assignment_semantics() {
+    let analysis = Analysis::run(model((0, 32))).unwrap();
+    let mut sim = ReferenceSimulator::new(analysis.dfg().clone());
+    let base: Vec<f64> = (0..32).map(|i| i as f64).collect();
+    let patch: Vec<f64> = (0..12).map(|i| -(i as f64)).collect();
+    let out = sim
+        .step(&[Tensor::vector(base), Tensor::vector(patch)])
+        .unwrap();
+    // outside the patch: 2*i; inside [8,20): -i_rel + 10
+    assert_eq!(out[0].get(0), 0.0);
+    assert_eq!(out[0].get(7), 14.0);
+    assert_eq!(out[0].get(8), 10.0);
+    assert_eq!(out[0].get(19), -1.0);
+    assert_eq!(out[0].get(20), 40.0);
+}
+
+#[test]
+fn selecting_inside_the_patch_kills_the_base_path() {
+    // selector keeps [10, 18), entirely inside the patched zone [8, 20):
+    // the base-side gain becomes dead, the patch-side bias shrinks
+    let analysis = Analysis::run(model((10, 18))).unwrap();
+    let g = analysis.dfg().model().find("g").unwrap();
+    let b = analysis.dfg().model().find("b").unwrap();
+    assert!(analysis.range(g, 0).is_empty(), "base path should be dead");
+    assert_eq!(analysis.range(b, 0), &IndexSet::from_range(2, 10));
+}
+
+#[test]
+fn selecting_outside_the_patch_kills_the_patch_path() {
+    // selector keeps [0, 8), entirely before the patch
+    let analysis = Analysis::run(model((0, 8))).unwrap();
+    let g = analysis.dfg().model().find("g").unwrap();
+    let b = analysis.dfg().model().find("b").unwrap();
+    assert_eq!(analysis.range(g, 0), &IndexSet::from_range(0, 8));
+    assert!(analysis.range(b, 0).is_empty(), "patch path should be dead");
+}
+
+#[test]
+fn all_styles_agree_and_formats_roundtrip() {
+    for select in [(0usize, 32usize), (10, 18), (4, 24)] {
+        let m = model(select);
+        assert_eq!(
+            frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap()).unwrap(),
+            m
+        );
+        let analysis = Analysis::run(m).unwrap();
+        let base: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).sin()).collect();
+        let patch: Vec<f64> = (0..12).map(|i| (i as f64 * 1.3).cos()).collect();
+        let mut sim = ReferenceSimulator::new(analysis.dfg().clone());
+        let expected = sim
+            .step(&[Tensor::vector(base.clone()), Tensor::vector(patch.clone())])
+            .unwrap();
+        for style in GeneratorStyle::ALL {
+            let p = generate(&analysis, style);
+            let got = Vm::new(&p).step(&p, &[base.clone(), patch.clone()]);
+            assert_eq!(got[0], expected[0].data(), "{select:?} {style}");
+        }
+    }
+}

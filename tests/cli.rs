@@ -1,0 +1,154 @@
+//! Integration tests of the `frodo` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn frodo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_frodo"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("frodo-cli-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn list_prints_all_benchmarks() {
+    let out = frodo().arg("list").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["AudioProcess", "Kalman", "RunningDiff", "Simpson"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn demo_analyze_build_pipeline() {
+    let slx = temp_path("ht.slx");
+    let c_out = temp_path("ht.c");
+
+    let out = frodo()
+        .args(["demo", "HT", slx.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = frodo()
+        .args(["analyze", slx.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("redundancy elimination"));
+    assert!(text.contains("matrix_multiply"));
+
+    let out = frodo()
+        .args(["analyze", slx.to_str().unwrap(), "--trace"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REDUCED"));
+
+    let out = frodo()
+        .args([
+            "build",
+            slx.to_str().unwrap(),
+            "-s",
+            "frodo",
+            "-o",
+            c_out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let c = std::fs::read_to_string(&c_out).expect("C file written");
+    assert!(c.contains("void HT_step("));
+
+    let _ = std::fs::remove_file(slx);
+    let _ = std::fs::remove_file(c_out);
+}
+
+#[test]
+fn convert_roundtrips_between_formats() {
+    let slx = temp_path("rd.slx");
+    let mdl = temp_path("rd.mdl");
+    let slx2 = temp_path("rd2.slx");
+
+    assert!(frodo()
+        .args(["demo", "RunningDiff", slx.to_str().unwrap()])
+        .status()
+        .expect("runs")
+        .success());
+    assert!(frodo()
+        .args(["convert", slx.to_str().unwrap(), mdl.to_str().unwrap()])
+        .status()
+        .expect("runs")
+        .success());
+    assert!(frodo()
+        .args(["convert", mdl.to_str().unwrap(), slx2.to_str().unwrap()])
+        .status()
+        .expect("runs")
+        .success());
+    // both .slx files decode to the same model
+    let a = frodo::slx::read_slx(&std::fs::read(&slx).unwrap()).unwrap();
+    let b = frodo::slx::read_slx(&std::fs::read(&slx2).unwrap()).unwrap();
+    assert_eq!(a, b);
+
+    for p in [slx, mdl, slx2] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn verify_reports_consistency() {
+    let mdl = temp_path("back.mdl");
+    assert!(frodo()
+        .args(["demo", "Back", mdl.to_str().unwrap()])
+        .status()
+        .expect("runs")
+        .success());
+    let out = frodo()
+        .args(["verify", mdl.to_str().unwrap(), "--seeds", "4", "--steps", "2"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("8 random cases"));
+    assert!(text.contains("all generators are consistent"));
+    let _ = std::fs::remove_file(mdl);
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = frodo().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn bad_model_path_fails_cleanly() {
+    let out = frodo()
+        .args(["analyze", "/nonexistent/model.slx"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn simulate_prints_outputs() {
+    let mdl = temp_path("simpson.mdl");
+    assert!(frodo()
+        .args(["demo", "Simpson", mdl.to_str().unwrap()])
+        .status()
+        .expect("runs")
+        .success());
+    let out = frodo()
+        .args(["simulate", mdl.to_str().unwrap(), "--steps", "2", "--seed", "3"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("step 0:"));
+    assert!(text.contains("step 1:"));
+    assert!(text.contains("out0 ="));
+    let _ = std::fs::remove_file(mdl);
+}

@@ -1,0 +1,99 @@
+//! The paper's correctness methodology (§4): generate "a large number of
+//! random test cases" and compare every generator's output against model
+//! simulation. Here the oracle is the reference simulator and the subject is
+//! the VM executing each generated program — which shares its statement
+//! semantics with the emitted C (natively cross-checked in `native.rs`).
+
+use frodo::prelude::*;
+use frodo_sim::workload;
+
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+const TOLERANCE: f64 = 1e-9;
+
+/// Runs every style of one model against the oracle for several random
+/// workloads and several consecutive steps (exercising delay state).
+fn check_model(name: &str, model: Model) {
+    let analysis = Analysis::run(model).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let dfg = analysis.dfg().clone();
+    for seed in SEEDS {
+        let mut oracle = ReferenceSimulator::new(dfg.clone());
+        let mut vms: Vec<(GeneratorStyle, _, Vm)> = GeneratorStyle::ALL
+            .iter()
+            .map(|&style| {
+                let p = generate(&analysis, style);
+                let vm = Vm::new(&p);
+                (style, p, vm)
+            })
+            .collect();
+        for step in 0..3 {
+            let inputs = workload::random_inputs(&dfg, seed ^ (step as u64) << 32);
+            let expected = oracle.step(&inputs).expect("oracle accepts workload");
+            let raw: Vec<Vec<f64>> = inputs.iter().map(|t| t.data().to_vec()).collect();
+            for (style, program, vm) in vms.iter_mut() {
+                let got = vm.step(program, &raw);
+                assert_eq!(got.len(), expected.len(), "{name}/{style}: output count");
+                for (o, (g, e)) in got.iter().zip(&expected).enumerate() {
+                    let worst = g
+                        .iter()
+                        .zip(e.data())
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0, f64::max);
+                    assert!(
+                        worst < TOLERANCE,
+                        "{name}/{style} seed {seed} step {step} output {o}: deviates by {worst}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn audio_process_all_styles_match_simulation() {
+    check_model("AudioProcess", frodo::benchmodels::audio_process());
+}
+
+#[test]
+fn decryption_all_styles_match_simulation() {
+    check_model("Decryption", frodo::benchmodels::decryption());
+}
+
+#[test]
+fn high_pass_all_styles_match_simulation() {
+    check_model("HighPass", frodo::benchmodels::high_pass());
+}
+
+#[test]
+fn hermitian_transpose_all_styles_match_simulation() {
+    check_model("HT", frodo::benchmodels::hermitian_transpose());
+}
+
+#[test]
+fn kalman_all_styles_match_simulation() {
+    check_model("Kalman", frodo::benchmodels::kalman());
+}
+
+#[test]
+fn back_all_styles_match_simulation() {
+    check_model("Back", frodo::benchmodels::back());
+}
+
+#[test]
+fn maintenance_all_styles_match_simulation() {
+    check_model("Maintenance", frodo::benchmodels::maintenance());
+}
+
+#[test]
+fn manufacture_all_styles_match_simulation() {
+    check_model("Maunfacture", frodo::benchmodels::manufacture());
+}
+
+#[test]
+fn running_diff_all_styles_match_simulation() {
+    check_model("RunningDiff", frodo::benchmodels::running_diff());
+}
+
+#[test]
+fn simpson_all_styles_match_simulation() {
+    check_model("Simpson", frodo::benchmodels::simpson());
+}

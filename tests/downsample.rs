@@ -1,0 +1,86 @@
+//! End-to-end coverage of the `Downsample` block and its `Stride` I/O
+//! mapping: reference semantics, range propagation, all generator styles.
+
+use frodo::prelude::*;
+
+fn model() -> Model {
+    // in(64) -> gain -> downsample(4, phase 1) -> selector [2, 10) -> out
+    let mut m = Model::new("decimate");
+    let i = m.add(Block::new(
+        "in",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(64),
+        },
+    ));
+    let g = m.add(Block::new("g", BlockKind::Gain { gain: 3.0 }));
+    let d = m.add(Block::new(
+        "ds",
+        BlockKind::Downsample {
+            factor: 4,
+            phase: 1,
+        },
+    ));
+    let s = m.add(Block::new(
+        "sel",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd { start: 2, end: 10 },
+        },
+    ));
+    let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+    m.connect(i, 0, g, 0).unwrap();
+    m.connect(g, 0, d, 0).unwrap();
+    m.connect(d, 0, s, 0).unwrap();
+    m.connect(s, 0, o, 0).unwrap();
+    m
+}
+
+#[test]
+fn downsample_shape_and_semantics() {
+    let analysis = Analysis::run(model()).unwrap();
+    let ds = analysis.dfg().model().find("ds").unwrap();
+    // (64 - 1).div_ceil(4) = 16
+    assert_eq!(analysis.dfg().shapes().output(ds, 0), Shape::Vector(16));
+
+    let input: Vec<f64> = (0..64).map(|i| i as f64).collect();
+    let mut sim = ReferenceSimulator::new(analysis.dfg().clone());
+    let out = sim.step(&[Tensor::vector(input)]).unwrap();
+    // selector keeps downsample outputs 2..10 = inputs {9,13,...,37} * 3
+    let expected: Vec<f64> = (2..10).map(|k| (4 * k + 1) as f64 * 3.0).collect();
+    assert_eq!(out[0].data(), expected.as_slice());
+}
+
+#[test]
+fn stride_mapping_restricts_upstream_range() {
+    let analysis = Analysis::run(model()).unwrap();
+    let g = analysis.dfg().model().find("g").unwrap();
+    // downsample outputs 2..10 read gain elements {9, 13, ..., 37}
+    let range = analysis.range(g, 0);
+    assert_eq!(range.count(), 8);
+    assert_eq!(range.min(), Some(9));
+    assert_eq!(range.max(), Some(37));
+    assert!(analysis.is_optimizable(g));
+}
+
+#[test]
+fn all_styles_agree_on_downsample() {
+    let analysis = Analysis::run(model()).unwrap();
+    let input: Vec<f64> = (0..64).map(|i| (i as f64 * 0.31).cos()).collect();
+    let mut sim = ReferenceSimulator::new(analysis.dfg().clone());
+    let expected = sim.step(&[Tensor::vector(input.clone())]).unwrap();
+    for style in GeneratorStyle::ALL {
+        let p = generate(&analysis, style);
+        let got = Vm::new(&p).step(&p, &[input.clone()]);
+        assert_eq!(got[0], expected[0].data(), "style {style}");
+    }
+}
+
+#[test]
+fn downsample_roundtrips_through_formats() {
+    let m = model();
+    assert_eq!(
+        frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap()).unwrap(),
+        m
+    );
+    assert_eq!(frodo::slx::read_mdl(&frodo::slx::write_mdl(&m)).unwrap(), m);
+}

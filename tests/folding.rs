@@ -1,0 +1,60 @@
+//! Expression folding (optional LIR pass) preserves semantics on the whole
+//! benchmark suite and only ever reduces statement count.
+
+use frodo::codegen::optimize::fold_expressions;
+use frodo::prelude::*;
+use frodo::sim::workload;
+
+#[test]
+fn folding_is_semantics_preserving_on_the_suite() {
+    for bench in frodo::benchmodels::all() {
+        let analysis = Analysis::run(bench.model.clone()).unwrap();
+        let inputs = workload::random_input_vecs(analysis.dfg(), 99);
+        for style in GeneratorStyle::ALL {
+            let p = generate(&analysis, style);
+            let folded = fold_expressions(&p);
+            assert!(
+                folded.stmts.len() <= p.stmts.len(),
+                "{}/{style}: folding grew the program",
+                bench.name
+            );
+            let a = Vm::new(&p).step(&p, &inputs);
+            let b = Vm::new(&folded).step(&folded, &inputs);
+            assert_eq!(a, b, "{}/{style}: folding changed results", bench.name);
+        }
+    }
+}
+
+#[test]
+fn folding_shrinks_unary_heavy_models() {
+    // Decryption's rounds are full of unary chains
+    let analysis = Analysis::run(frodo::benchmodels::decryption()).unwrap();
+    let p = generate(&analysis, GeneratorStyle::Frodo);
+    let folded = fold_expressions(&p);
+    assert!(
+        folded.stmts.len() < p.stmts.len(),
+        "expected folding to fuse something: {} vs {}",
+        folded.stmts.len(),
+        p.stmts.len()
+    );
+}
+
+#[test]
+fn folded_programs_still_match_simulation() {
+    let analysis = Analysis::run(frodo::benchmodels::high_pass()).unwrap();
+    let dfg = analysis.dfg().clone();
+    let inputs = workload::random_inputs(&dfg, 123);
+    let raw: Vec<Vec<f64>> = inputs.iter().map(|t| t.data().to_vec()).collect();
+    let mut oracle = ReferenceSimulator::new(dfg);
+    let expected = oracle.step(&inputs).unwrap();
+    let p = fold_expressions(&generate(&analysis, GeneratorStyle::Frodo));
+    let got = Vm::new(&p).step(&p, &raw);
+    for (g, e) in got.iter().zip(&expected) {
+        let worst = g
+            .iter()
+            .zip(e.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(worst < 1e-9, "off by {worst}");
+    }
+}

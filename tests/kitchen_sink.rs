@@ -1,0 +1,456 @@
+//! A model containing **every** supported block kind, pushed through the
+//! entire toolchain: analysis, all four generator styles, VM-vs-simulation
+//! agreement, format roundtrips, and (when gcc is present) native
+//! compile-and-run of the emitted C. If a block's lowering, semantics, or
+//! serialization drifts, this test is the tripwire.
+
+use frodo::prelude::*;
+use frodo::sim::workload;
+use frodo_sim::native;
+
+/// Builds a model that routes data through every block kind at least once.
+fn kitchen_sink() -> Model {
+    let mut m = Model::new("kitchen_sink");
+    let n = 24usize;
+
+    // sources
+    let inp = m.add(Block::new(
+        "inp",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Vector(n),
+        },
+    ));
+    let inm = m.add(Block::new(
+        "inm",
+        BlockKind::Inport {
+            index: 1,
+            shape: Shape::Matrix(4, 6),
+        },
+    ));
+    let kvec = m.add(Block::new(
+        "kvec",
+        BlockKind::Constant {
+            value: Tensor::vector((0..n).map(|i| 0.1 + i as f64 * 0.01).collect()),
+        },
+    ));
+    let kscl = m.add(Block::new(
+        "kscl",
+        BlockKind::Constant {
+            value: Tensor::scalar(0.75),
+        },
+    ));
+
+    // unary elementwise chain
+    let abs = m.add(Block::new("abs", BlockKind::Abs));
+    let bias = m.add(Block::new("bias", BlockKind::Bias { bias: 1.25 }));
+    let sqrt = m.add(Block::new("sqrt", BlockKind::Sqrt));
+    let square = m.add(Block::new("square", BlockKind::Square));
+    let exp = m.add(Block::new("exp", BlockKind::Exp));
+    let log = m.add(Block::new("log", BlockKind::Log));
+    let sin = m.add(Block::new("sin", BlockKind::Sin));
+    let cos = m.add(Block::new("cos", BlockKind::Cos));
+    let tanh = m.add(Block::new("tanh", BlockKind::Tanh));
+    let neg = m.add(Block::new("neg", BlockKind::Negate));
+    let recip = m.add(Block::new("recip", BlockKind::Reciprocal));
+    let sat = m.add(Block::new(
+        "sat",
+        BlockKind::Saturation {
+            lower: -2.0,
+            upper: 2.0,
+        },
+    ));
+    let floor = m.add(Block::new(
+        "floor",
+        BlockKind::Rounding {
+            mode: RoundMode::Floor,
+        },
+    ));
+    let gain = m.add(Block::new("gain", BlockKind::Gain { gain: 0.5 }));
+    m.connect(inp, 0, abs, 0).unwrap();
+    m.connect(abs, 0, bias, 0).unwrap();
+    m.connect(bias, 0, sqrt, 0).unwrap();
+    m.connect(sqrt, 0, square, 0).unwrap();
+    m.connect(square, 0, exp, 0).unwrap();
+    m.connect(exp, 0, log, 0).unwrap();
+    m.connect(log, 0, sin, 0).unwrap();
+    m.connect(sin, 0, cos, 0).unwrap();
+    m.connect(cos, 0, tanh, 0).unwrap();
+    m.connect(tanh, 0, neg, 0).unwrap();
+    m.connect(neg, 0, recip, 0).unwrap();
+    m.connect(recip, 0, sat, 0).unwrap();
+    m.connect(sat, 0, floor, 0).unwrap();
+    m.connect(floor, 0, gain, 0).unwrap();
+
+    // binary elementwise, with a scalar broadcast
+    let add = m.add(Block::new("add", BlockKind::Add));
+    let sub = m.add(Block::new("sub", BlockKind::Subtract));
+    let mul = m.add(Block::new("mul", BlockKind::Multiply));
+    let div = m.add(Block::new("div", BlockKind::Divide));
+    let minb = m.add(Block::new("minb", BlockKind::Min));
+    let maxb = m.add(Block::new("maxb", BlockKind::Max));
+    let modb = m.add(Block::new("modb", BlockKind::Mod));
+    m.connect(gain, 0, add, 0).unwrap();
+    m.connect(kvec, 0, add, 1).unwrap();
+    m.connect(add, 0, sub, 0).unwrap();
+    m.connect(kscl, 0, sub, 1).unwrap(); // broadcast
+    m.connect(sub, 0, mul, 0).unwrap();
+    m.connect(kvec, 0, mul, 1).unwrap();
+    m.connect(mul, 0, div, 0).unwrap();
+    m.connect(kvec, 0, div, 1).unwrap();
+    m.connect(div, 0, minb, 0).unwrap();
+    m.connect(kvec, 0, minb, 1).unwrap();
+    m.connect(minb, 0, maxb, 0).unwrap();
+    m.connect(kvec, 0, maxb, 1).unwrap();
+    m.connect(maxb, 0, modb, 0).unwrap();
+    m.connect(kscl, 0, modb, 1).unwrap(); // broadcast
+
+    // logic + switch
+    let relop = m.add(Block::new("relop", BlockKind::Relational { op: RelOp::Gt }));
+    let lnot = m.add(Block::new(
+        "lnot",
+        BlockKind::Logical {
+            op: frodo::model::LogicOp::Not,
+        },
+    ));
+    let land = m.add(Block::new(
+        "land",
+        BlockKind::Logical {
+            op: frodo::model::LogicOp::And,
+        },
+    ));
+    let sw = m.add(Block::new("sw", BlockKind::Switch { threshold: 0.5 }));
+    m.connect(modb, 0, relop, 0).unwrap();
+    m.connect(kscl, 0, relop, 1).unwrap();
+    m.connect(relop, 0, lnot, 0).unwrap();
+    m.connect(relop, 0, land, 0).unwrap();
+    m.connect(lnot, 0, land, 1).unwrap();
+    m.connect(modb, 0, sw, 0).unwrap();
+    m.connect(land, 0, sw, 1).unwrap();
+    m.connect(kvec, 0, sw, 2).unwrap();
+
+    // DSP / routing / truncation
+    let kern = m.add(Block::new(
+        "kern",
+        BlockKind::Constant {
+            value: Tensor::vector(vec![0.25, 0.5, 0.25]),
+        },
+    ));
+    let conv = m.add(Block::new("conv", BlockKind::Convolution));
+    let same = m.add(Block::new(
+        "same",
+        BlockKind::Selector {
+            mode: SelectorMode::StartEnd {
+                start: 1,
+                end: 1 + n,
+            },
+        },
+    ));
+    let fir = m.add(Block::new(
+        "fir",
+        BlockKind::FirFilter {
+            coeffs: vec![0.4, 0.3, 0.2, 0.1],
+        },
+    ));
+    let ma = m.add(Block::new("ma", BlockKind::MovingAverage { window: 3 }));
+    let cum = m.add(Block::new("cum", BlockKind::CumulativeSum));
+    let diff = m.add(Block::new("diff", BlockKind::Difference));
+    let ds = m.add(Block::new(
+        "ds",
+        BlockKind::Downsample {
+            factor: 2,
+            phase: 0,
+        },
+    ));
+    let pad = m.add(Block::new(
+        "pad",
+        BlockKind::Pad {
+            left: 2,
+            right: 2,
+            value: 0.5,
+        },
+    ));
+    let patch_src = m.add(Block::new(
+        "patch_src",
+        BlockKind::Constant {
+            value: Tensor::vector(vec![0.1, 0.2, 0.3, 0.4]),
+        },
+    ));
+    let asg = m.add(Block::new("asg", BlockKind::Assignment { start: 6 }));
+    let pick = m.add(Block::new(
+        "pick",
+        BlockKind::Selector {
+            mode: SelectorMode::IndexVector(vec![0, 3, 5, 7, 9, 11]),
+        },
+    ));
+    m.connect(sw, 0, conv, 0).unwrap();
+    m.connect(kern, 0, conv, 1).unwrap();
+    m.connect(conv, 0, same, 0).unwrap();
+    m.connect(same, 0, fir, 0).unwrap();
+    m.connect(fir, 0, ma, 0).unwrap();
+    m.connect(ma, 0, cum, 0).unwrap();
+    m.connect(cum, 0, diff, 0).unwrap();
+    m.connect(diff, 0, ds, 0).unwrap(); // 24 -> 12
+    m.connect(ds, 0, pad, 0).unwrap(); // 12 -> 16
+    m.connect(pad, 0, asg, 0).unwrap(); // patch [6,10) of 16
+    m.connect(patch_src, 0, asg, 1).unwrap();
+    m.connect(asg, 0, pick, 0).unwrap(); // 16 -> 6
+
+    // index-port selector driven by runtime data
+    let idxsrc = m.add(Block::new(
+        "idxsrc",
+        BlockKind::Constant {
+            value: Tensor::vector(vec![5.0, 1.0, 3.0]),
+        },
+    ));
+    let dynsel = m.add(Block::new(
+        "dynsel",
+        BlockKind::Selector {
+            mode: SelectorMode::IndexPort { output_len: 3 },
+        },
+    ));
+    m.connect(pick, 0, dynsel, 0).unwrap();
+    m.connect(idxsrc, 0, dynsel, 1).unwrap();
+
+    // mux / demux / concatenate
+    let mux = m.add(Block::new("mux", BlockKind::Mux { inputs: 2 }));
+    m.connect(pick, 0, mux, 0).unwrap();
+    m.connect(dynsel, 0, mux, 1).unwrap(); // 6 + 3 = 9
+    let demux = m.add(Block::new("demux", BlockKind::Demux { sizes: vec![4, 5] }));
+    m.connect(mux, 0, demux, 0).unwrap();
+    let cat = m.add(Block::new("cat", BlockKind::Concatenate { inputs: 2 }));
+    m.connect(demux, 1, cat, 0).unwrap();
+    m.connect(demux, 0, cat, 1).unwrap();
+
+    // matrix path
+    let tr = m.add(Block::new("tr", BlockKind::Transpose));
+    let mm = m.add(Block::new("mm", BlockKind::MatrixMultiply));
+    let subm = m.add(Block::new(
+        "subm",
+        BlockKind::Submatrix {
+            row_start: 0,
+            row_end: 2,
+            col_start: 1,
+            col_end: 4,
+        },
+    ));
+    let rs = m.add(Block::new(
+        "rs",
+        BlockKind::Reshape {
+            shape: Shape::Vector(6),
+        },
+    ));
+    m.connect(inm, 0, tr, 0).unwrap(); // 4x6 -> 6x4
+    m.connect(tr, 0, mm, 0).unwrap();
+    m.connect(inm, 0, mm, 1).unwrap(); // (6x4)(4x6) = 6x6
+    m.connect(mm, 0, subm, 0).unwrap(); // 2x3
+    m.connect(subm, 0, rs, 0).unwrap(); // [6]
+
+    // reductions + dot
+    let sum = m.add(Block::new("sum", BlockKind::SumOfElements));
+    let mean = m.add(Block::new("mean", BlockKind::MeanOfElements));
+    let minr = m.add(Block::new("minr", BlockKind::MinOfElements));
+    let maxr = m.add(Block::new("maxr", BlockKind::MaxOfElements));
+    let dot = m.add(Block::new("dot", BlockKind::DotProduct));
+    m.connect(cat, 0, sum, 0).unwrap();
+    m.connect(cat, 0, mean, 0).unwrap();
+    m.connect(cat, 0, minr, 0).unwrap();
+    m.connect(cat, 0, maxr, 0).unwrap();
+    m.connect(rs, 0, dot, 0).unwrap();
+    m.connect(pick, 0, dot, 1).unwrap();
+
+    // state + subsystem + terminator
+    let delay = m.add(Block::new(
+        "delay",
+        BlockKind::UnitDelay {
+            initial: Tensor::scalar(0.5),
+        },
+    ));
+    m.connect(sum, 0, delay, 0).unwrap();
+
+    let mut inner = Model::new("inner");
+    let ii = inner.add(Block::new(
+        "ii",
+        BlockKind::Inport {
+            index: 0,
+            shape: Shape::Scalar,
+        },
+    ));
+    let ig = inner.add(Block::new("ig", BlockKind::Gain { gain: -1.0 }));
+    let io = inner.add(Block::new("io", BlockKind::Outport { index: 0 }));
+    inner.connect(ii, 0, ig, 0).unwrap();
+    inner.connect(ig, 0, io, 0).unwrap();
+    let sub_blk = m.add(Block::new("subsys", BlockKind::Subsystem(Box::new(inner))));
+    m.connect(delay, 0, sub_blk, 0).unwrap();
+
+    let term = m.add(Block::new("term", BlockKind::Terminator));
+    m.connect(mean, 0, term, 0).unwrap();
+
+    // outputs
+    let pairs: [(frodo::model::BlockId, &str); 6] = [
+        (cat, "o_cat"),
+        (dot, "o_dot"),
+        (minr, "o_min"),
+        (maxr, "o_max"),
+        (sub_blk, "o_state"),
+        (rs, "o_mat"),
+    ];
+    for (i, (src, name)) in pairs.into_iter().enumerate() {
+        let o = m.add(Block::new(name, BlockKind::Outport { index: i }));
+        m.connect(src, 0, o, 0).unwrap();
+    }
+    m
+}
+
+fn nonzero_inputs(dfg: &frodo::graph::Dfg, seed: u64) -> Vec<Tensor> {
+    // keep values away from 0 so Reciprocal/Divide/Log stay finite
+    workload::random_inputs(dfg, seed)
+        .into_iter()
+        .map(|t| {
+            let shape = t.shape();
+            let data = t
+                .into_data()
+                .into_iter()
+                .map(|v| if v.abs() < 0.05 { 0.5 } else { v })
+                .collect();
+            Tensor::new(shape, data)
+        })
+        .collect()
+}
+
+#[test]
+fn every_block_kind_is_present() {
+    let m = kitchen_sink();
+    let mut kinds: Vec<&str> = m
+        .flattened()
+        .unwrap()
+        .blocks()
+        .iter()
+        .map(|b| b.kind.type_name())
+        .collect();
+    kinds.push("subsystem"); // flattening removes it by design
+    for required in [
+        "inport",
+        "constant",
+        "outport",
+        "terminator",
+        "gain",
+        "bias",
+        "abs",
+        "sqrt",
+        "square",
+        "exp",
+        "log",
+        "sin",
+        "cos",
+        "tanh",
+        "negate",
+        "reciprocal",
+        "saturation",
+        "rounding",
+        "add",
+        "subtract",
+        "multiply",
+        "divide",
+        "min",
+        "max",
+        "mod",
+        "relational",
+        "logical",
+        "switch",
+        "sum_of_elements",
+        "mean_of_elements",
+        "min_of_elements",
+        "max_of_elements",
+        "dot_product",
+        "matrix_multiply",
+        "transpose",
+        "reshape",
+        "selector",
+        "pad",
+        "submatrix",
+        "mux",
+        "demux",
+        "concatenate",
+        "convolution",
+        "fir_filter",
+        "moving_average",
+        "downsample",
+        "cumulative_sum",
+        "difference",
+        "unit_delay",
+        "subsystem",
+        "assignment",
+    ] {
+        assert!(kinds.contains(&required), "missing block kind '{required}'");
+    }
+}
+
+#[test]
+fn all_styles_match_simulation_on_every_block_kind() {
+    let analysis = Analysis::run(kitchen_sink()).expect("analyzes");
+    let dfg = analysis.dfg().clone();
+    for seed in [11u64, 22, 33] {
+        let mut oracle = ReferenceSimulator::new(dfg.clone());
+        let mut vms: Vec<_> = GeneratorStyle::ALL
+            .iter()
+            .map(|&s| {
+                let p = generate(&analysis, s);
+                let vm = Vm::new(&p);
+                (s, p, vm)
+            })
+            .collect();
+        for step in 0..3 {
+            let inputs = nonzero_inputs(&dfg, seed + step);
+            let expected = oracle.step(&inputs).expect("oracle accepts");
+            let raw: Vec<Vec<f64>> = inputs.iter().map(|t| t.data().to_vec()).collect();
+            for (style, p, vm) in vms.iter_mut() {
+                let got = vm.step(p, &raw);
+                for (o, (g, e)) in got.iter().zip(&expected).enumerate() {
+                    let worst = g
+                        .iter()
+                        .zip(e.data())
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0, f64::max);
+                    assert!(
+                        worst < 1e-9,
+                        "{style} seed {seed} step {step} out {o}: off by {worst}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kitchen_sink_roundtrips_both_formats() {
+    let m = kitchen_sink();
+    assert_eq!(
+        frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap()).unwrap(),
+        m
+    );
+    assert_eq!(frodo::slx::read_mdl(&frodo::slx::write_mdl(&m)).unwrap(), m);
+}
+
+#[test]
+fn kitchen_sink_compiles_and_runs_natively() {
+    if !native::gcc_available() {
+        eprintln!("skipping: no gcc");
+        return;
+    }
+    let analysis = Analysis::run(kitchen_sink()).expect("analyzes");
+    let mut checksums = Vec::new();
+    for style in GeneratorStyle::ALL {
+        let p = generate(&analysis, style);
+        let r = native::compile_and_run(&p, style, 2).unwrap_or_else(|e| panic!("{style}: {e}"));
+        assert!(r.checksum.is_finite(), "{style}: non-finite checksum");
+        checksums.push(r.checksum);
+    }
+    for w in checksums.windows(2) {
+        let scale = w[0].abs().max(1.0);
+        assert!(
+            (w[0] - w[1]).abs() / scale < 1e-9,
+            "style checksum divergence: {checksums:?}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end native validation: the emitted C, compiled with the real
+//! `gcc -O3` and executed, must agree with the VM running the same program
+//! on the same deterministic workload (the LCG built into the harness).
+//!
+//! Skipped silently when no C compiler is on the host.
+
+use frodo::prelude::*;
+use frodo_sim::native;
+
+/// Reproduces the C harness's LCG input fill in Rust.
+fn lcg_inputs(program: &frodo::codegen::lir::Program) -> Vec<Vec<f64>> {
+    let mut lcg: u64 = 0x243F_6A88_85A3_08D3;
+    program
+        .inputs()
+        .iter()
+        .map(|&(_, id)| {
+            let len = program.buffer(id).len;
+            (0..len)
+                .map(|_| {
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (lcg >> 40) as f64 / 16777216.0 - 0.5
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn native_gcc_matches_vm_on_manufacture() {
+    if !native::gcc_available() {
+        eprintln!("skipping: no gcc on host");
+        return;
+    }
+    let analysis = Analysis::run(frodo::benchmodels::manufacture()).expect("analyze");
+    for style in GeneratorStyle::ALL {
+        let program = generate(&analysis, style);
+        // VM checksum after 3 iterations of the same workload
+        let inputs = lcg_inputs(&program);
+        let mut vm = Vm::new(&program);
+        let mut outs = Vec::new();
+        for _ in 0..3 {
+            outs = vm.step(&program, &inputs);
+        }
+        let vm_checksum: f64 = outs.iter().flatten().sum();
+        // native checksum with the identical harness protocol
+        let native =
+            native::compile_and_run(&program, style, 3).unwrap_or_else(|e| panic!("{style}: {e}"));
+        let diff = (native.checksum - vm_checksum).abs();
+        let scale = vm_checksum.abs().max(1.0);
+        assert!(
+            diff / scale < 1e-9,
+            "{style}: native checksum {} vs VM {}",
+            native.checksum,
+            vm_checksum
+        );
+    }
+}
+
+#[test]
+fn native_gcc_all_styles_agree_on_every_small_model() {
+    if !native::gcc_available() {
+        eprintln!("skipping: no gcc on host");
+        return;
+    }
+    // the three fastest-to-compile models keep this test snappy
+    for model in [
+        frodo::benchmodels::back(),
+        frodo::benchmodels::hermitian_transpose(),
+        frodo::benchmodels::simpson(),
+    ] {
+        let name = model.name().to_string();
+        let analysis = Analysis::run(model).expect("analyze");
+        let mut checksums = Vec::new();
+        for style in GeneratorStyle::ALL {
+            let program = generate(&analysis, style);
+            let r = native::compile_and_run(&program, style, 2)
+                .unwrap_or_else(|e| panic!("{name}/{style}: {e}"));
+            checksums.push(r.checksum);
+        }
+        for w in checksums.windows(2) {
+            let scale = w[0].abs().max(1.0);
+            assert!(
+                (w[0] - w[1]).abs() / scale < 1e-9,
+                "{name}: checksum divergence across styles: {checksums:?}"
+            );
+        }
+    }
+}

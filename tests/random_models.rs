@@ -1,0 +1,114 @@
+//! Structure-level random testing: arbitrary valid models from the fuzzer
+//! in `frodo_benchmodels::random`, checked for cross-generator agreement,
+//! Algorithm-1 engine agreement, and format-roundtrip stability.
+
+use frodo::benchmodels::random::random_model;
+use frodo::prelude::*;
+use frodo::sim::workload;
+
+const MODEL_SEEDS: std::ops::Range<u64> = 0..40;
+
+#[test]
+fn all_styles_match_simulation_on_random_models() {
+    for seed in MODEL_SEEDS {
+        let model = random_model(seed, 30);
+        let analysis = Analysis::run(model).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let dfg = analysis.dfg().clone();
+        let mut oracle = ReferenceSimulator::new(dfg.clone());
+        let mut vms: Vec<_> = GeneratorStyle::ALL
+            .iter()
+            .map(|&s| {
+                let p = generate(&analysis, s);
+                let vm = Vm::new(&p);
+                (s, p, vm)
+            })
+            .collect();
+        for step in 0..2 {
+            let inputs = workload::random_inputs(&dfg, seed * 1000 + step);
+            let expected = oracle.step(&inputs).expect("oracle accepts");
+            let raw: Vec<Vec<f64>> = inputs.iter().map(|t| t.data().to_vec()).collect();
+            for (style, p, vm) in vms.iter_mut() {
+                let got = vm.step(p, &raw);
+                for (o, (g, e)) in got.iter().zip(&expected).enumerate() {
+                    let worst = g
+                        .iter()
+                        .zip(e.data())
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0, f64::max);
+                    assert!(
+                        worst < 1e-9,
+                        "seed {seed} {style} step {step} out {o}: off by {worst}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_random_models() {
+    for seed in MODEL_SEEDS {
+        let model = random_model(seed, 30);
+        let rec = Analysis::run_with(
+            model.clone(),
+            RangeOptions {
+                engine: RangeEngine::Recursive,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let it = Analysis::run_with(
+            model,
+            RangeOptions {
+                engine: RangeEngine::Iterative,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(rec.ranges(), it.ranges(), "seed {seed}: engines disagree");
+    }
+}
+
+#[test]
+fn random_models_roundtrip_both_formats() {
+    for seed in MODEL_SEEDS {
+        let model = random_model(seed, 30);
+        let via_slx = frodo::slx::read_slx(&frodo::slx::write_slx(&model).unwrap())
+            .unwrap_or_else(|e| panic!("seed {seed} slx: {e}"));
+        assert_eq!(via_slx, model, "seed {seed}: slx roundtrip");
+        let via_mdl = frodo::slx::read_mdl(&frodo::slx::write_mdl(&model))
+            .unwrap_or_else(|e| panic!("seed {seed} mdl: {e}"));
+        assert_eq!(via_mdl, model, "seed {seed}: mdl roundtrip");
+    }
+}
+
+#[test]
+fn frodo_never_computes_more_than_baselines() {
+    // redundancy elimination may only remove element computations
+    for seed in MODEL_SEEDS {
+        let model = random_model(seed, 30);
+        let analysis = Analysis::run(model).unwrap();
+        let frodo = generate(&analysis, GeneratorStyle::Frodo).computed_elements();
+        let base = generate(&analysis, GeneratorStyle::DfSynth).computed_elements();
+        assert!(
+            frodo <= base,
+            "seed {seed}: FRODO computes {frodo} > baseline {base}"
+        );
+    }
+}
+
+#[test]
+fn memory_parity_holds_on_random_models() {
+    for seed in MODEL_SEEDS {
+        let model = random_model(seed, 30);
+        let analysis = Analysis::run(model).unwrap();
+        let reports: Vec<MemoryReport> = GeneratorStyle::ALL
+            .iter()
+            .map(|&s| MemoryReport::of(&generate(&analysis, s)))
+            .collect();
+        assert!(
+            reports.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: {reports:?}"
+        );
+    }
+}
