@@ -1,0 +1,10 @@
+#!/bin/sh
+# Offline CI gate: the workspace must build, test, and lint with zero
+# registry access (see DESIGN.md §4 — no external crates).
+set -eux
+
+cargo build --release --offline
+cargo test -q --offline
+cargo test -q --workspace --offline
+# --all-targets keeps the harness-less bench targets compiling too
+cargo clippy --all-targets --offline -- -D warnings

@@ -8,18 +8,14 @@
 //! - **End-to-end generation**: the cost of FRODO's own pipeline (parse-to-
 //!   program), which the paper claims is practical for deployment.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frodo_bench::harness;
 use frodo_codegen::{generate, GeneratorStyle};
 use frodo_core::{determine_ranges, Analysis, IoMappings, RangeEngine, RangeOptions};
 use frodo_graph::Dfg;
 use std::hint::black_box;
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let models = frodo_benchmodels::all();
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_millis(500));
-    group.warm_up_time(std::time::Duration::from_millis(100));
 
     // biggest model exercises the analysis hardest
     let maintenance = models
@@ -30,47 +26,29 @@ fn bench_ablation(c: &mut Criterion) {
     let maps = IoMappings::derive(&dfg);
 
     for engine in [RangeEngine::Recursive, RangeEngine::Iterative] {
-        group.bench_with_input(
-            BenchmarkId::new("algorithm1", format!("{engine:?}")),
-            &engine,
-            |b, &engine| {
-                let opts = RangeOptions {
-                    engine,
-                    ..Default::default()
-                };
-                b.iter(|| black_box(determine_ranges(black_box(&dfg), black_box(&maps), opts)));
-            },
-        );
+        let opts = RangeOptions {
+            engine,
+            ..Default::default()
+        };
+        harness::bench("ablation", &format!("algorithm1/{engine:?}"), || {
+            black_box(determine_ranges(black_box(&dfg), black_box(&maps), opts));
+        });
     }
 
     for (label, eliminate) in [("paper_rule", false), ("dead_end_elim", true)] {
-        group.bench_with_input(
-            BenchmarkId::new("dead_ends", label),
-            &eliminate,
-            |b, &eliminate| {
-                let opts = RangeOptions {
-                    eliminate_dead_ends: eliminate,
-                    ..Default::default()
-                };
-                b.iter(|| black_box(determine_ranges(black_box(&dfg), black_box(&maps), opts)));
-            },
-        );
+        let opts = RangeOptions {
+            eliminate_dead_ends: eliminate,
+            ..Default::default()
+        };
+        harness::bench("ablation", &format!("dead_ends/{label}"), || {
+            black_box(determine_ranges(black_box(&dfg), black_box(&maps), opts));
+        });
     }
 
     for bench in &models {
-        group.bench_with_input(
-            BenchmarkId::new("pipeline", bench.name),
-            &bench.model,
-            |b, model| {
-                b.iter(|| {
-                    let analysis = Analysis::run(black_box(model.clone())).expect("analyzes");
-                    black_box(generate(&analysis, GeneratorStyle::Frodo))
-                });
-            },
-        );
+        harness::bench("ablation", &format!("pipeline/{}", bench.name), || {
+            let analysis = Analysis::run(black_box(bench.model.clone())).expect("analyzes");
+            black_box(generate(&analysis, GeneratorStyle::Frodo));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,40 +1,40 @@
-//! Criterion bench behind Figure 6: the cost-model evaluation itself for
-//! the ARM profiles, per model and generator.
+//! The bench behind Figure 6: the cost-model evaluation itself for the
+//! ARM profiles, per model and generator.
 //!
 //! Unlike `table2_x86` (which measures VM execution), this measures the
 //! deterministic ARM-profile duration estimate — the quantity Figure 6's
-//! bars are computed from — and reports it per (model, style) so regression
-//! in either the generated programs or the cost model is caught.
+//! bars are computed from — and reports it per (model, cost model) so
+//! regression in either the generated programs or the cost model is
+//! caught. Programs come through the batch service, so this bench also
+//! exercises the artifact cache.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use frodo_bench::build_suite;
+use frodo_bench::{harness, programs_via_service};
+use frodo_driver::CompileService;
 use frodo_sim::CostModel;
 use std::hint::black_box;
 
-fn bench_fig6(c: &mut Criterion) {
-    let suite = build_suite();
+fn main() {
+    let service = CompileService::with_defaults();
+    let (suite, batch) = programs_via_service(&service);
+    println!(
+        "compiled {} programs via service: {} hits / {} misses",
+        batch.jobs.len(),
+        batch.cache_hits(),
+        batch.cache_misses()
+    );
+
     let arm = [CostModel::arm_gcc(), CostModel::arm_clang()];
-    let mut group = c.benchmark_group("fig6_arm");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_millis(400));
-    group.warm_up_time(std::time::Duration::from_millis(100));
     for entry in &suite {
         for cm in &arm {
-            group.bench_with_input(
-                BenchmarkId::new(entry.name, cm.label().replace('/', "_")),
-                &entry.programs,
-                |b, programs| {
-                    b.iter(|| {
-                        for (_, p) in programs {
-                            black_box(cm.program_ns(black_box(p)));
-                        }
-                    });
+            harness::bench(
+                "fig6_arm",
+                &format!("{}/{}", entry.name, cm.label().replace('/', "_")),
+                || {
+                    for (_, p) in &entry.programs {
+                        black_box(cm.program_ns(black_box(p)));
+                    }
                 },
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Criterion bench behind the paper's Table 2: measured execution of every
+//! The bench behind the paper's Table 2: measured execution of every
 //! generator's program for every benchmark model.
 //!
 //! The measured subject is the loop-IR VM executing one step — real work
@@ -6,33 +6,47 @@
 //! emits, so FRODO's redundancy elimination shows up directly in the
 //! measured times (the absolute scale belongs to the VM, not to `gcc -O3`;
 //! the native harness in `table2 --native` covers that).
+//!
+//! Programs are compiled through the batch [`CompileService`], twice: the
+//! first submission populates the content-addressed cache, the second must
+//! be served entirely from it. The cold pass's per-stage timing table and
+//! both passes' cache counters are printed before the timing runs, so cache
+//! behavior is exercised — and visible — on every bench run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use frodo_bench::build_suite;
+use frodo_bench::{harness, programs_via_service};
+use frodo_driver::CompileService;
 use frodo_sim::{workload, Vm};
 use std::hint::black_box;
 
-fn bench_table2(c: &mut Criterion) {
-    let suite = build_suite();
-    let mut group = c.benchmark_group("table2_x86");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_millis(600));
-    group.warm_up_time(std::time::Duration::from_millis(150));
+fn main() {
+    let service = CompileService::with_defaults();
+    let (suite, cold) = programs_via_service(&service);
+    println!("cold batch (miss pass):");
+    print!("{}", cold.render_table());
+    let (_, warm) = programs_via_service(&service);
+    assert_eq!(
+        warm.cache_hits(),
+        warm.jobs.len(),
+        "identical resubmission must be served from the cache"
+    );
+    println!(
+        "warm batch: {} jobs, {} cache hits, {} misses",
+        warm.jobs.len(),
+        warm.cache_hits(),
+        warm.cache_misses()
+    );
+
     for entry in &suite {
         let inputs = workload::random_input_vecs(entry.analysis.dfg(), 7);
         for (style, program) in &entry.programs {
             let mut vm = Vm::new(program);
-            group.bench_with_input(
-                BenchmarkId::new(entry.name, style.label()),
-                program,
-                |b, program| {
-                    b.iter(|| black_box(vm.step(program, black_box(&inputs))));
+            harness::bench(
+                "table2_x86",
+                &format!("{}/{}", entry.name, style.label()),
+                || {
+                    black_box(vm.step(program, black_box(&inputs)));
                 },
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

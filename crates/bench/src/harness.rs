@@ -1,0 +1,105 @@
+//! A minimal self-contained timing harness.
+//!
+//! The workspace builds with zero registry access, so the bench targets
+//! cannot use Criterion; this module provides the small slice of it they
+//! need: warmup, automatic iteration calibration, repeated samples, and a
+//! median/min/max report on the monotonic clock. Output is one line per
+//! benchmark in a stable machine-greppable shape:
+//!
+//! ```text
+//! bench group/id median 1234 ns/iter (min 1200, max 1310, 15 samples x 1000 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// How long each calibrated sample should run.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+/// Samples per benchmark.
+const SAMPLES: usize = 15;
+/// Iteration cap, so pathologically fast subjects don't spin forever
+/// during calibration.
+const MAX_ITERS: usize = 1_000_000;
+
+/// One benchmark's aggregated measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median over samples, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: usize,
+}
+
+/// Times `f`, auto-calibrating iterations so each sample runs for roughly
+/// [`TARGET_SAMPLE`], then takes [`SAMPLES`] samples.
+pub fn measure<F: FnMut()>(mut f: F) -> Measurement {
+    // warmup + calibration: double until one batch clears the target
+    let mut iters = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= TARGET_SAMPLE || iters >= MAX_ITERS {
+            break;
+        }
+        iters = if elapsed.is_zero() {
+            (iters * 8).min(MAX_ITERS)
+        } else {
+            let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64();
+            ((iters as f64 * scale.clamp(1.5, 8.0)) as usize).min(MAX_ITERS)
+        };
+    }
+
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    Measurement {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        max_ns: per_iter[per_iter.len() - 1],
+        samples: SAMPLES,
+        iters,
+    }
+}
+
+/// Measures `f` and prints the standard report line for `group/id`.
+pub fn bench<F: FnMut()>(group: &str, id: &str, f: F) -> Measurement {
+    let m = measure(f);
+    println!(
+        "bench {group}/{id} median {:.0} ns/iter (min {:.0}, max {:.0}, {} samples x {} iters)",
+        m.median_ns, m.min_ns, m.max_ns, m.samples, m.iters
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_ordered_positive_stats() {
+        let mut acc = 0u64;
+        let m = measure(|| {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(acc);
+        });
+        assert!(m.min_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.median_ns <= m.max_ns);
+        assert!(m.iters > 1);
+    }
+}

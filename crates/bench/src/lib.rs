@@ -10,14 +10,19 @@
 //! - `memory` — static memory parity across generators (paper §5).
 //!
 //! The library surface exposes the measurement primitives the binaries and
-//! the Criterion benches share.
+//! the bench targets share, plus [`programs_via_service`] which routes
+//! suite compilation through the batch [`CompileService`] so the benches
+//! exercise the artifact cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use frodo_codegen::lir::Program;
 use frodo_codegen::{generate, GeneratorStyle};
 use frodo_core::Analysis;
+use frodo_driver::{BatchReport, CompileService, JobSpec};
 use frodo_sim::{CostModel, MemoryReport};
 
 /// The paper's measurement protocol: 10 000 repetitions, averaged.
@@ -51,6 +56,60 @@ pub fn build_suite() -> Vec<ModelPrograms> {
             }
         })
         .collect()
+}
+
+/// The Table-1 suite as a batch of driver jobs: every benchmark model
+/// crossed with every generator style, in suite-then-style order.
+pub fn suite_specs() -> Vec<JobSpec> {
+    frodo_benchmodels::all()
+        .into_iter()
+        .flat_map(|bench| {
+            GeneratorStyle::ALL.into_iter().map(move |style| {
+                JobSpec::from_model(bench.name, bench.model.clone(), style)
+            })
+        })
+        .collect()
+}
+
+/// Compiles the whole Table-1 suite through the batch service and returns
+/// the per-(model, style) programs for execution-based benches.
+///
+/// # Panics
+///
+/// Panics if any suite job fails or comes back without a lowered program
+/// (benchmark models always compile, and in-process cache hits retain
+/// their programs).
+pub fn programs_via_service(service: &CompileService) -> (Vec<ModelPrograms>, BatchReport) {
+    let report = service.compile_batch(suite_specs());
+    let mut outputs = report.jobs.iter();
+    let suite = frodo_benchmodels::all()
+        .into_iter()
+        .map(|bench| {
+            let analysis = Analysis::run(bench.model).expect("benchmark models analyze");
+            let programs = GeneratorStyle::ALL
+                .iter()
+                .map(|&style| {
+                    let out = outputs
+                        .next()
+                        .expect("one job per (model, style)")
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("suite job failed: {e}"));
+                    assert_eq!(out.report.style, style, "job order matches suite order");
+                    let program = out
+                        .program
+                        .clone()
+                        .expect("in-process jobs retain their programs");
+                    (style, program)
+                })
+                .collect();
+            ModelPrograms {
+                name: bench.name,
+                analysis,
+                programs,
+            }
+        })
+        .collect();
+    (suite, report)
 }
 
 /// One Table-2-style cell: estimated execution duration in seconds for
@@ -139,5 +198,27 @@ mod tests {
     #[test]
     fn fmt_matches_paper_style() {
         assert_eq!(fmt_seconds(0.333), "0.333s");
+    }
+
+    #[test]
+    fn service_suite_matches_direct_generation_and_caches() {
+        let service = CompileService::with_defaults();
+        let (suite, first) = programs_via_service(&service);
+        assert_eq!(first.jobs.len(), 40);
+        assert_eq!(first.cache_misses(), 40);
+
+        // programs produced through the service equal direct generation
+        for (direct, via) in build_suite().iter().zip(&suite) {
+            assert_eq!(direct.name, via.name);
+            for ((s1, p1), (s2, p2)) in direct.programs.iter().zip(&via.programs) {
+                assert_eq!(s1, s2);
+                assert_eq!(p1, p2, "{}/{}", direct.name, s1.label());
+            }
+        }
+
+        // an identical resubmission is served entirely from the cache
+        let (_, second) = programs_via_service(&service);
+        assert_eq!(second.cache_hits(), 40);
+        assert_eq!(second.cache_misses(), 0);
     }
 }

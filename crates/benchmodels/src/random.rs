@@ -9,29 +9,7 @@
 
 use frodo_model::{Block, BlockId, BlockKind, Model, RelOp, SelectorMode, Tensor};
 use frodo_ranges::Shape;
-
-/// A tiny deterministic PRNG (SplitMix64) so generated models depend only
-/// on the seed.
-#[derive(Debug, Clone)]
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-
-    fn f64(&mut self) -> f64 {
-        (self.next() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+use frodo_sim::rng::Rng;
 
 /// One available signal in the pool.
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +36,7 @@ struct Sig {
 /// `[-1, 1]` produces finite outputs, which keeps the VM-vs-simulation
 /// comparisons meaningful.
 pub fn random_model(seed: u64, size: usize) -> Model {
-    let mut rng = Rng(seed ^ 0xD1B5_4A32_D192_ED03);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
     let mut m = Model::new(format!("random_{seed}"));
     let mut pool: Vec<Sig> = Vec::new();
 
@@ -124,7 +102,7 @@ pub fn random_model(seed: u64, size: usize) -> Model {
                 let b = m.add(Block::new(
                     name,
                     BlockKind::Gain {
-                        gain: rng.f64() * 2.0 - 1.0,
+                        gain: rng.next_f64() * 2.0 - 1.0,
                     },
                 ));
                 m.connect(src.block, src.port, b, 0).unwrap();
@@ -138,7 +116,7 @@ pub fn random_model(seed: u64, size: usize) -> Model {
                 let b = m.add(Block::new(
                     name,
                     BlockKind::Bias {
-                        bias: rng.f64() - 0.5,
+                        bias: rng.next_f64() - 0.5,
                     },
                 ));
                 m.connect(src.block, src.port, b, 0).unwrap();
@@ -212,7 +190,7 @@ pub fn random_model(seed: u64, size: usize) -> Model {
                     BlockKind::Pad {
                         left,
                         right,
-                        value: rng.f64() - 0.5,
+                        value: rng.next_f64() - 0.5,
                     },
                 ));
                 m.connect(src.block, src.port, b, 0).unwrap();

@@ -4,6 +4,21 @@ use crate::{determine_ranges, IoMappings, OptimizationReport, RangeOptions, Rang
 use frodo_graph::Dfg;
 use frodo_model::{BlockId, Model, ModelError, OutPort};
 use frodo_ranges::IndexSet;
+use std::time::{Duration, Instant};
+
+/// Wall-clock cost of each analysis stage, measured with the monotonic
+/// clock by [`Analysis::run_instrumented`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisTimings {
+    /// Graph construction: flatten, validate, shape-infer, build adjacency.
+    pub dfg: Duration,
+    /// I/O-mapping derivation from the block property library.
+    pub iomap: Duration,
+    /// Algorithm 1: calculation range determination.
+    pub ranges: Duration,
+    /// Optimizable-block classification and report construction.
+    pub classify: Duration,
+}
 
 /// The complete output of FRODO's analysis for one model: the dataflow
 /// graph, the derived I/O mappings, the calculation ranges, and the
@@ -35,17 +50,46 @@ impl Analysis {
     ///
     /// Propagates model flattening/validation/shape-inference failures.
     pub fn run_with(model: Model, options: RangeOptions) -> Result<Self, ModelError> {
+        Analysis::run_instrumented(model, options).map(|(analysis, _)| analysis)
+    }
+
+    /// Runs the full pipeline and reports how long each analysis stage
+    /// took (monotonic clock). This is the entry point compilation drivers
+    /// use to attribute cost to graph construction, I/O-mapping derivation,
+    /// Algorithm 1, and classification separately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model flattening/validation/shape-inference failures.
+    pub fn run_instrumented(
+        model: Model,
+        options: RangeOptions,
+    ) -> Result<(Self, AnalysisTimings), ModelError> {
+        let t0 = Instant::now();
         let dfg = Dfg::new(model)?;
+        let t1 = Instant::now();
         let mappings = IoMappings::derive(&dfg);
+        let t2 = Instant::now();
         let ranges = determine_ranges(&dfg, &mappings, options);
+        let t3 = Instant::now();
         let report = OptimizationReport::build(&dfg, &ranges);
-        Ok(Analysis {
-            dfg,
-            mappings,
-            ranges,
-            report,
-            options,
-        })
+        let t4 = Instant::now();
+        let timings = AnalysisTimings {
+            dfg: t1 - t0,
+            iomap: t2 - t1,
+            ranges: t3 - t2,
+            classify: t4 - t3,
+        };
+        Ok((
+            Analysis {
+                dfg,
+                mappings,
+                ranges,
+                report,
+                options,
+            },
+            timings,
+        ))
     }
 
     /// The analyzed dataflow graph.
@@ -96,10 +140,8 @@ impl Analysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::RangeEngine;
     use frodo_model::{Block, BlockKind, SelectorMode, Tensor};
     use frodo_ranges::Shape;
-    use proptest::prelude::*;
 
     fn figure1() -> Model {
         let mut m = Model::new("Convolution");
@@ -140,111 +182,121 @@ mod tests {
         assert_eq!(a.options(), RangeOptions::default());
     }
 
-    /// Generates a random layered feed-forward model mixing elementwise,
-    /// windowed, and truncation blocks, to cross-check the two engines.
-    fn arb_model() -> impl Strategy<Value = Model> {
-        (
-            2usize..6,
-            proptest::collection::vec(0usize..6, 1..12),
-            any::<u64>(),
-        )
-            .prop_map(|(width, kinds, seed)| {
-                let n = 24usize;
-                let mut m = Model::new("rand");
-                let mut frontier: Vec<BlockId> = Vec::new();
-                for w in 0..width.min(3) {
-                    let id = m.add(Block::new(
-                        format!("in{w}"),
-                        BlockKind::Inport {
-                            index: w,
-                            shape: Shape::Vector(n),
-                        },
-                    ));
-                    frontier.push(id);
-                }
-                let mut rng = seed;
-                let mut next = move |m: usize| {
-                    rng = rng
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    ((rng >> 33) as usize) % m
-                };
-                for (step, k) in kinds.into_iter().enumerate() {
-                    let src = frontier[next(frontier.len())];
-                    let kind = match k {
-                        0 => BlockKind::Gain { gain: 2.0 },
-                        1 => BlockKind::Abs,
-                        2 => BlockKind::MovingAverage { window: 3 },
-                        3 => BlockKind::Difference,
-                        4 => BlockKind::Selector {
-                            mode: SelectorMode::StartEnd {
-                                start: 4,
-                                end: 4 + n / 2,
-                            },
-                        },
-                        _ => BlockKind::Pad {
-                            left: 2,
-                            right: 2,
-                            value: 0.0,
-                        },
-                    };
-                    // only chain blocks that preserve "vector in, vector out"
-                    let id = m.add(Block::new(format!("b{step}"), kind));
-                    m.connect(src, 0, id, 0).unwrap();
-                    // keep output length n by re-normalizing with a selector
-                    let fix = m.add(Block::new(
-                        format!("fix{step}"),
-                        BlockKind::Selector {
-                            mode: SelectorMode::StartEnd {
-                                start: 0,
-                                end: n / 2,
-                            },
-                        },
-                    ));
-                    m.connect(id, 0, fix, 0).unwrap();
-                    let pad = m.add(Block::new(
-                        format!("pad{step}"),
-                        BlockKind::Pad {
-                            left: 0,
-                            right: n - n / 2,
-                            value: 0.0,
-                        },
-                    ));
-                    m.connect(fix, 0, pad, 0).unwrap();
-                    frontier.push(pad);
-                }
-                for (w, src) in frontier.iter().enumerate().take(3) {
-                    let o = m.add(Block::new(
-                        format!("out{w}"),
-                        BlockKind::Outport { index: w },
-                    ));
-                    m.connect(*src, 0, o, 0).unwrap();
-                }
-                m
-            })
-    }
+    /// Property tests (gated: the `proptest` crate is not vendored, so the
+    /// default offline build compiles these out; re-add the dev-dependency
+    /// and run `cargo test --features proptest` to enable them).
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use crate::RangeEngine;
+        use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn prop_engines_agree_on_random_models(model in arb_model()) {
-            let rec = Analysis::run_with(
-                model.clone(),
-                RangeOptions { engine: RangeEngine::Recursive, ..Default::default() },
-            ).unwrap();
-            let it = Analysis::run_with(
-                model,
-                RangeOptions { engine: RangeEngine::Iterative, ..Default::default() },
-            ).unwrap();
-            prop_assert_eq!(rec.ranges(), it.ranges());
+        /// Generates a random layered feed-forward model mixing elementwise,
+        /// windowed, and truncation blocks, to cross-check the two engines.
+        fn arb_model() -> impl Strategy<Value = Model> {
+            (
+                2usize..6,
+                proptest::collection::vec(0usize..6, 1..12),
+                any::<u64>(),
+            )
+                .prop_map(|(width, kinds, seed)| {
+                    let n = 24usize;
+                    let mut m = Model::new("rand");
+                    let mut frontier: Vec<BlockId> = Vec::new();
+                    for w in 0..width.min(3) {
+                        let id = m.add(Block::new(
+                            format!("in{w}"),
+                            BlockKind::Inport {
+                                index: w,
+                                shape: Shape::Vector(n),
+                            },
+                        ));
+                        frontier.push(id);
+                    }
+                    let mut rng = seed;
+                    let mut next = move |m: usize| {
+                        rng = rng
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((rng >> 33) as usize) % m
+                    };
+                    for (step, k) in kinds.into_iter().enumerate() {
+                        let src = frontier[next(frontier.len())];
+                        let kind = match k {
+                            0 => BlockKind::Gain { gain: 2.0 },
+                            1 => BlockKind::Abs,
+                            2 => BlockKind::MovingAverage { window: 3 },
+                            3 => BlockKind::Difference,
+                            4 => BlockKind::Selector {
+                                mode: SelectorMode::StartEnd {
+                                    start: 4,
+                                    end: 4 + n / 2,
+                                },
+                            },
+                            _ => BlockKind::Pad {
+                                left: 2,
+                                right: 2,
+                                value: 0.0,
+                            },
+                        };
+                        // only chain blocks that preserve "vector in, vector out"
+                        let id = m.add(Block::new(format!("b{step}"), kind));
+                        m.connect(src, 0, id, 0).unwrap();
+                        // keep output length n by re-normalizing with a selector
+                        let fix = m.add(Block::new(
+                            format!("fix{step}"),
+                            BlockKind::Selector {
+                                mode: SelectorMode::StartEnd {
+                                    start: 0,
+                                    end: n / 2,
+                                },
+                            },
+                        ));
+                        m.connect(id, 0, fix, 0).unwrap();
+                        let pad = m.add(Block::new(
+                            format!("pad{step}"),
+                            BlockKind::Pad {
+                                left: 0,
+                                right: n - n / 2,
+                                value: 0.0,
+                            },
+                        ));
+                        m.connect(fix, 0, pad, 0).unwrap();
+                        frontier.push(pad);
+                    }
+                    for (w, src) in frontier.iter().enumerate().take(3) {
+                        let o = m.add(Block::new(
+                            format!("out{w}"),
+                            BlockKind::Outport { index: w },
+                        ));
+                        m.connect(*src, 0, o, 0).unwrap();
+                    }
+                    m
+                })
         }
 
-        #[test]
-        fn prop_ranges_never_exceed_full(model in arb_model()) {
-            let a = Analysis::run(model).unwrap();
-            for (port, range) in a.ranges().iter() {
-                let numel = a.dfg().shapes().output(port.block, port.port).numel();
-                prop_assert!(range.is_subset(&frodo_ranges::IndexSet::full(numel)));
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn prop_engines_agree_on_random_models(model in arb_model()) {
+                let rec = Analysis::run_with(
+                    model.clone(),
+                    RangeOptions { engine: RangeEngine::Recursive, ..Default::default() },
+                ).unwrap();
+                let it = Analysis::run_with(
+                    model,
+                    RangeOptions { engine: RangeEngine::Iterative, ..Default::default() },
+                ).unwrap();
+                prop_assert_eq!(rec.ranges(), it.ranges());
+            }
+
+            #[test]
+            fn prop_ranges_never_exceed_full(model in arb_model()) {
+                let a = Analysis::run(model).unwrap();
+                for (port, range) in a.ranges().iter() {
+                    let numel = a.dfg().shapes().output(port.block, port.port).numel();
+                    prop_assert!(range.is_subset(&frodo_ranges::IndexSet::full(numel)));
+                }
             }
         }
     }

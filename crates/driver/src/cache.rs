@@ -1,0 +1,257 @@
+//! The content-addressed artifact cache.
+//!
+//! Keys are [`ContentDigest`](frodo_slx::fnv::ContentDigest)s of the
+//! flattened model plus every option that affects the generated C (style,
+//! range engine, dead-end elimination, coalescing gap, emission options).
+//! Two layers:
+//!
+//! - an **in-memory** map, always on, which also retains the lowered
+//!   [`Program`] so in-process consumers (the bench harness, the VM) can
+//!   re-execute a hit without re-lowering;
+//! - an optional **on-disk** layer under a cache directory — `<digest>.c`
+//!   holds the emitted code verbatim, `<digest>.meta` the counters — so
+//!   hits survive process restarts. Disk writes are best-effort: an
+//!   unwritable cache dir degrades to memory-only operation, it never
+//!   fails a job.
+
+use crate::report::JobMetrics;
+use frodo_codegen::lir::Program;
+use frodo_codegen::GeneratorStyle;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a job's artifact was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Compiled from scratch this run.
+    Miss,
+    /// Served from the in-memory layer.
+    Memory,
+    /// Served from the on-disk layer.
+    Disk,
+}
+
+impl CacheStatus {
+    /// Whether analysis and emission were skipped.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, CacheStatus::Miss)
+    }
+
+    /// Short token used in both the human table and machine lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheStatus::Miss => "miss",
+            CacheStatus::Memory => "hit",
+            CacheStatus::Disk => "disk",
+        }
+    }
+}
+
+/// Cumulative cache counters for one service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from either layer.
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// The subset of `hits` served from disk.
+    pub disk_hits: usize,
+    /// Entries currently in the in-memory layer.
+    pub entries: usize,
+}
+
+/// One cached artifact.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedArtifact {
+    pub code: String,
+    /// Present when the artifact was compiled in this process; disk-loaded
+    /// artifacts carry code and counters only.
+    pub program: Option<Program>,
+    pub metrics: JobMetrics,
+}
+
+#[derive(Debug)]
+pub(crate) struct ArtifactCache {
+    mem: Mutex<HashMap<String, CachedArtifact>>,
+    dir: Option<PathBuf>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    disk_hits: AtomicUsize,
+}
+
+impl ArtifactCache {
+    /// Creates a cache; `dir` enables the on-disk layer (created eagerly,
+    /// and silently disabled if creation fails).
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        let dir = dir.filter(|d| std::fs::create_dir_all(d).is_ok());
+        ArtifactCache {
+            mem: Mutex::new(HashMap::new()),
+            dir,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Looks `digest` up in memory, then on disk. Counts the outcome.
+    /// A disk hit is promoted into the memory layer.
+    pub fn lookup(&self, digest: &str) -> Option<(CachedArtifact, CacheStatus)> {
+        if let Some(art) = self.mem.lock().unwrap().get(digest).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some((art, CacheStatus::Memory));
+        }
+        if let Some(art) = self.dir.as_deref().and_then(|d| load_disk(d, digest)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.mem
+                .lock()
+                .unwrap()
+                .insert(digest.to_string(), art.clone());
+            return Some((art, CacheStatus::Disk));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts a freshly compiled artifact into both layers.
+    pub fn store(&self, digest: &str, artifact: CachedArtifact) {
+        if let Some(d) = self.dir.as_deref() {
+            store_disk(d, digest, &artifact);
+        }
+        self.mem
+            .lock()
+            .unwrap()
+            .insert(digest.to_string(), artifact);
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            entries: self.mem.lock().unwrap().len(),
+        }
+    }
+}
+
+fn code_path(dir: &Path, digest: &str) -> PathBuf {
+    dir.join(format!("{digest}.c"))
+}
+
+fn meta_path(dir: &Path, digest: &str) -> PathBuf {
+    dir.join(format!("{digest}.meta"))
+}
+
+fn store_disk(dir: &Path, digest: &str, artifact: &CachedArtifact) {
+    let m = &artifact.metrics;
+    let meta = format!(
+        "blocks={}\noptimizable={}\nelements={}\neliminated={}\n",
+        m.blocks, m.optimizable_blocks, m.total_elements, m.eliminated_elements
+    );
+    // Best-effort: the meta file is written after the code so a torn cache
+    // (code without meta) reads as a miss, never as a half-artifact.
+    if std::fs::write(code_path(dir, digest), &artifact.code).is_ok() {
+        let _ = std::fs::write(meta_path(dir, digest), meta);
+    }
+}
+
+fn load_disk(dir: &Path, digest: &str) -> Option<CachedArtifact> {
+    let code = std::fs::read_to_string(code_path(dir, digest)).ok()?;
+    let meta = std::fs::read_to_string(meta_path(dir, digest)).ok()?;
+    let mut metrics = JobMetrics::default();
+    for line in meta.lines() {
+        let (key, value) = line.split_once('=')?;
+        let value: usize = value.trim().parse().ok()?;
+        match key {
+            "blocks" => metrics.blocks = value,
+            "optimizable" => metrics.optimizable_blocks = value,
+            "elements" => metrics.total_elements = value,
+            "eliminated" => metrics.eliminated_elements = value,
+            _ => return None,
+        }
+    }
+    Some(CachedArtifact {
+        code,
+        program: None,
+        metrics,
+    })
+}
+
+/// Parses a generator-style label written by the disk layer.
+#[allow(dead_code)]
+pub(crate) fn style_from_label(label: &str) -> Option<GeneratorStyle> {
+    GeneratorStyle::ALL.into_iter().find(|s| s.label() == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(code: &str) -> CachedArtifact {
+        CachedArtifact {
+            code: code.to_string(),
+            program: None,
+            metrics: JobMetrics {
+                blocks: 5,
+                optimizable_blocks: 2,
+                total_elements: 100,
+                eliminated_elements: 40,
+            },
+        }
+    }
+
+    #[test]
+    fn memory_roundtrip_and_counters() {
+        let cache = ArtifactCache::new(None);
+        assert!(cache.lookup("abc").is_none());
+        cache.store("abc", artifact("int x;"));
+        let (art, status) = cache.lookup("abc").unwrap();
+        assert_eq!(status, CacheStatus::Memory);
+        assert_eq!(art.code, "int x;");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn disk_roundtrip_promotes_to_memory() {
+        let dir = std::env::temp_dir().join(format!("frodo-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ArtifactCache::new(Some(dir.clone()));
+            cache.store("d1", artifact("void f(void) {}"));
+        }
+        // a fresh cache instance only has the disk layer
+        let cache = ArtifactCache::new(Some(dir.clone()));
+        let (art, status) = cache.lookup("d1").unwrap();
+        assert_eq!(status, CacheStatus::Disk);
+        assert_eq!(art.code, "void f(void) {}");
+        assert_eq!(art.metrics.eliminated_elements, 40);
+        assert!(art.program.is_none());
+        // promoted: second lookup is a memory hit
+        let (_, status) = cache.lookup("d1").unwrap();
+        assert_eq!(status, CacheStatus::Memory);
+        assert_eq!(cache.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_disk_entry_is_a_miss() {
+        let dir = std::env::temp_dir().join(format!("frodo-cache-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(code_path(&dir, "t1"), "int y;").unwrap(); // no .meta
+        let cache = ArtifactCache::new(Some(dir.clone()));
+        assert!(cache.lookup("t1").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn style_labels_roundtrip() {
+        for style in GeneratorStyle::ALL {
+            assert_eq!(style_from_label(style.label()), Some(style));
+        }
+        assert_eq!(style_from_label("nope"), None);
+    }
+}

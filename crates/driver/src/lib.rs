@@ -1,0 +1,569 @@
+//! # frodo-driver — the batch compilation service
+//!
+//! The rest of the workspace compiles one model at a time: the paper's
+//! pipeline (parse → flatten → I/O mapping → Algorithm 1 → concise
+//! codegen) behind one function call. This crate is the layer that turns
+//! that pipeline into a *service* able to take production-scale traffic:
+//!
+//! - **Batching & parallelism** — [`CompileService::compile_batch`] drains
+//!   a job queue on a `std::thread` worker pool. Jobs are panic-isolated:
+//!   a poisoned job becomes a [`JobError`] in its result slot, the rest of
+//!   the batch completes.
+//! - **Content-addressed caching** — every artifact is keyed by a digest
+//!   ([`frodo_slx::fnv`]) of the *flattened* model plus every option that
+//!   affects the generated C. Resubmitting an unchanged model skips
+//!   analysis and emission entirely; an optional on-disk layer persists
+//!   artifacts across processes. Hit/miss counters are exposed via
+//!   [`CompileService::cache_stats`].
+//! - **Pipeline observability** — each job reports monotonic per-stage
+//!   timings (parse, flatten, hash, dfg, iomap, algorithm1, lower, emit)
+//!   and redundancy counters (blocks analyzed, optimizable blocks,
+//!   elements eliminated), rendered as a human table
+//!   ([`BatchReport::render_table`]) and machine lines
+//!   ([`BatchReport::machine_lines`]).
+//!
+//! # Example
+//!
+//! ```
+//! use frodo_driver::{CompileService, JobSpec, ServiceConfig};
+//! use frodo_codegen::GeneratorStyle;
+//! use frodo_model::{Block, BlockKind, Model};
+//! use frodo_ranges::Shape;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut m = Model::new("twice");
+//! let i = m.add(Block::new("in", BlockKind::Inport { index: 0, shape: Shape::Vector(8) }));
+//! let g = m.add(Block::new("g", BlockKind::Gain { gain: 2.0 }));
+//! let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+//! m.connect(i, 0, g, 0)?;
+//! m.connect(g, 0, o, 0)?;
+//!
+//! let service = CompileService::new(ServiceConfig::default());
+//! let job = JobSpec::from_model("twice", m.clone(), GeneratorStyle::Frodo);
+//! let first = service.compile(job)?;
+//! assert!(!first.report.cache.is_hit());
+//!
+//! // resubmitting the unchanged model is a cache hit with identical code
+//! let again = service.compile(JobSpec::from_model("twice", m, GeneratorStyle::Frodo))?;
+//! assert!(again.report.cache.is_hit());
+//! assert_eq!(again.code, first.code);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod pool;
+pub mod report;
+
+pub use cache::{CacheStats, CacheStatus};
+pub use report::{BatchReport, CompileReport, JobMetrics, StageTimings};
+
+use cache::{ArtifactCache, CachedArtifact};
+use frodo_codegen::lir::Program;
+use frodo_codegen::{emit_c_with, generate_with, CEmitOptions, GeneratorStyle, LowerOptions};
+use frodo_core::{Analysis, RangeOptions};
+use frodo_model::Model;
+use frodo_slx::fnv::{ContentDigest, DigestWriter};
+use frodo_slx::{read_mdl, read_slx, write_mdl};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Every knob that affects the generated C, grouped so one value rides a
+/// job through analysis, lowering, and emission — and so the cache key can
+/// cover all of it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Range-determination options (engine, dead-end elimination).
+    pub range: RangeOptions,
+    /// Lowering options (run coalescing).
+    pub lower: LowerOptions,
+    /// C emission options (shared convolution helper).
+    pub emit: CEmitOptions,
+}
+
+/// Where a job's model comes from.
+pub enum JobSource {
+    /// An already-constructed model.
+    Model(Model),
+    /// A `.slx` or `.mdl` file, read and parsed by the worker (the job's
+    /// `parse` stage).
+    Path(PathBuf),
+    /// A deferred programmatic builder, run by the worker (the job's
+    /// `parse` stage). This is how generated or synthetic workloads enter
+    /// a batch without being materialized up front.
+    #[allow(clippy::type_complexity)]
+    Builder(Box<dyn FnOnce() -> Result<Model, String> + Send>),
+}
+
+impl std::fmt::Debug for JobSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobSource::Model(m) => f.debug_tuple("Model").field(&m.name()).finish(),
+            JobSource::Path(p) => f.debug_tuple("Path").field(p).finish(),
+            JobSource::Builder(_) => f.write_str("Builder(..)"),
+        }
+    }
+}
+
+/// One compilation job: a model source plus a generator style and options.
+#[derive(Debug)]
+pub struct JobSpec {
+    /// Display name used in reports.
+    pub name: String,
+    /// The model source.
+    pub source: JobSource,
+    /// Generator style to compile with.
+    pub style: GeneratorStyle,
+    /// Analysis/lowering/emission options.
+    pub options: CompileOptions,
+}
+
+impl JobSpec {
+    /// A job over an already-constructed model.
+    pub fn from_model(name: impl Into<String>, model: Model, style: GeneratorStyle) -> Self {
+        JobSpec {
+            name: name.into(),
+            source: JobSource::Model(model),
+            style,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// A job that reads a `.slx`/`.mdl` file on the worker thread.
+    pub fn from_path(path: impl Into<PathBuf>, style: GeneratorStyle) -> Self {
+        let path = path.into();
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        JobSpec {
+            name,
+            source: JobSource::Path(path),
+            style,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// A job whose model is built by `f` on the worker thread.
+    pub fn from_builder(
+        name: impl Into<String>,
+        style: GeneratorStyle,
+        f: impl FnOnce() -> Result<Model, String> + Send + 'static,
+    ) -> Self {
+        JobSpec {
+            name: name.into(),
+            source: JobSource::Builder(Box::new(f)),
+            style,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// Replaces the job's compile options.
+    pub fn with_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Why a job failed. The batch it belonged to still completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The model could not be obtained (file read/parse, builder failure).
+    Load {
+        /// Job display name.
+        job: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The pipeline rejected the model (validation, shape inference, …).
+    Analysis {
+        /// Job display name.
+        job: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The job panicked; the panic was contained by the worker.
+    Panicked {
+        /// Job display name.
+        job: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl JobError {
+    /// The display name of the job that failed.
+    pub fn job(&self) -> &str {
+        match self {
+            JobError::Load { job, .. }
+            | JobError::Analysis { job, .. }
+            | JobError::Panicked { job, .. } => job,
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Load { job, message } => write!(f, "{job}: load failed: {message}"),
+            JobError::Analysis { job, message } => write!(f, "{job}: analysis failed: {message}"),
+            JobError::Panicked { job, message } => write!(f, "{job}: job panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A completed job: the generated C plus the structured report.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The emitted C translation unit.
+    pub code: String,
+    /// The lowered program, when it exists in this process (fresh compiles
+    /// and in-memory cache hits; `None` for disk hits).
+    pub program: Option<Program>,
+    /// The structured per-job report.
+    pub report: CompileReport,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Worker threads for batches; `0` means one per available core.
+    pub workers: usize,
+    /// Enables the on-disk cache layer under this directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Disables all caching when `true` (every job compiles from scratch).
+    pub no_cache: bool,
+}
+
+/// The batch compilation service. Cheap to construct; shareable across
+/// threads (`&self` everywhere).
+#[derive(Debug)]
+pub struct CompileService {
+    config: ServiceConfig,
+    cache: ArtifactCache,
+}
+
+impl CompileService {
+    /// Creates a service from `config`.
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = ArtifactCache::new(config.cache_dir.clone());
+        CompileService { config, cache }
+    }
+
+    /// A service with default configuration (auto workers, memory cache).
+    pub fn with_defaults() -> Self {
+        CompileService::new(ServiceConfig::default())
+    }
+
+    /// The worker count batches run with.
+    pub fn workers(&self) -> usize {
+        if self.config.workers > 0 {
+            self.config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Cumulative cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Compiles a batch on the worker pool; results come back in
+    /// submission order.
+    pub fn compile_batch(&self, specs: Vec<JobSpec>) -> BatchReport {
+        let workers = self.workers();
+        let start = Instant::now();
+        let jobs = pool::run_batch(self, specs, workers);
+        BatchReport {
+            jobs,
+            wall: start.elapsed(),
+            workers,
+            cache: self.cache_stats(),
+        }
+    }
+
+    /// Compiles one job on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Load`] when the model cannot be obtained and
+    /// [`JobError::Analysis`] when the pipeline rejects it. (Panic
+    /// isolation is the batch path's job; this call propagates panics.)
+    pub fn compile(&self, spec: JobSpec) -> Result<JobOutput, JobError> {
+        let JobSpec {
+            name,
+            source,
+            style,
+            options,
+        } = spec;
+        let mut timings = StageTimings::default();
+
+        // parse: obtain the model
+        let t = Instant::now();
+        let model = match source {
+            JobSource::Model(m) => m,
+            JobSource::Path(p) => load_model(&p).map_err(|message| JobError::Load {
+                job: name.clone(),
+                message,
+            })?,
+            JobSource::Builder(f) => f().map_err(|message| JobError::Load {
+                job: name.clone(),
+                message,
+            })?,
+        };
+        timings.parse = t.elapsed();
+
+        // flatten: the canonical, cache-keyable form
+        let t = Instant::now();
+        let flat = model.flattened().map_err(|e| JobError::Analysis {
+            job: name.clone(),
+            message: e.to_string(),
+        })?;
+        timings.flatten = t.elapsed();
+
+        // hash: content digest of flattened model + options
+        let t = Instant::now();
+        let digest = cache_key(&flat, style, &options);
+        timings.hash = t.elapsed();
+        let hex = digest.to_hex();
+
+        if !self.config.no_cache {
+            if let Some((art, status)) = self.cache.lookup(&hex) {
+                return Ok(JobOutput {
+                    report: CompileReport {
+                        job: name,
+                        style,
+                        digest,
+                        cache: status,
+                        metrics: art.metrics,
+                        timings,
+                        code_bytes: art.code.len(),
+                    },
+                    code: art.code,
+                    program: art.program,
+                });
+            }
+        }
+
+        // analysis: dfg + iomap + Algorithm 1 + classification
+        let (analysis, at) =
+            Analysis::run_instrumented(flat, options.range).map_err(|e| JobError::Analysis {
+                job: name.clone(),
+                message: e.to_string(),
+            })?;
+        timings.dfg = at.dfg;
+        timings.iomap = at.iomap;
+        timings.algorithm1 = at.ranges + at.classify;
+
+        // lower: loop IR generation
+        let t = Instant::now();
+        let program = generate_with(&analysis, style, options.lower);
+        timings.lower = t.elapsed();
+
+        // emit: C text
+        let t = Instant::now();
+        let code = emit_c_with(&program, options.emit);
+        timings.emit = t.elapsed();
+
+        let metrics = JobMetrics::from_analysis(&analysis);
+        if !self.config.no_cache {
+            self.cache.store(
+                &hex,
+                CachedArtifact {
+                    code: code.clone(),
+                    program: Some(program.clone()),
+                    metrics,
+                },
+            );
+        }
+        Ok(JobOutput {
+            report: CompileReport {
+                job: name,
+                style,
+                digest,
+                cache: CacheStatus::Miss,
+                metrics,
+                timings,
+                code_bytes: code.len(),
+            },
+            code,
+            program: Some(program),
+        })
+    }
+}
+
+/// Reads a `.slx` or `.mdl` model file.
+fn load_model(path: &Path) -> Result<Model, String> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("slx") => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            read_slx(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+        }
+        Some("mdl") => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            read_mdl(&text).map_err(|e| format!("{}: {e}", path.display()))
+        }
+        _ => Err(format!(
+            "{}: expected a .slx or .mdl file",
+            path.display()
+        )),
+    }
+}
+
+/// The cache key: a content digest over the flattened model's canonical
+/// `.mdl` serialization, the generator style, and every compile option.
+fn cache_key(flat: &Model, style: GeneratorStyle, options: &CompileOptions) -> ContentDigest {
+    let mut digest = DigestWriter::new();
+    digest.update(write_mdl(flat).as_bytes());
+    digest.update(style.label().as_bytes());
+    digest.update(
+        format!(
+            ";engine={:?};dead_ends={};coalesce={};shared_conv={}",
+            options.range.engine,
+            options.range.eliminate_dead_ends,
+            options.lower.coalesce_gap,
+            options.emit.shared_conv_helper
+        )
+        .as_bytes(),
+    );
+    digest.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frodo_model::{Block, BlockKind};
+    use frodo_ranges::Shape;
+
+    fn gain_model(gain: f64) -> Model {
+        let mut m = Model::new("g");
+        let i = m.add(Block::new(
+            "in",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(8),
+            },
+        ));
+        let g = m.add(Block::new("g", BlockKind::Gain { gain }));
+        let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, g, 0).unwrap();
+        m.connect(g, 0, o, 0).unwrap();
+        m
+    }
+
+    #[test]
+    fn cache_key_separates_content_style_and_options() {
+        let base = gain_model(2.0).flattened().unwrap();
+        let opts = CompileOptions::default();
+        let k0 = cache_key(&base, GeneratorStyle::Frodo, &opts);
+        // same content, same key
+        assert_eq!(k0, cache_key(&base, GeneratorStyle::Frodo, &opts));
+        // different model content
+        let other = gain_model(3.0).flattened().unwrap();
+        assert_ne!(k0, cache_key(&other, GeneratorStyle::Frodo, &opts));
+        // different style
+        assert_ne!(k0, cache_key(&base, GeneratorStyle::Hcg, &opts));
+        // different lowering option
+        let mut coalesce0 = opts;
+        coalesce0.lower.coalesce_gap = 0;
+        assert_ne!(k0, cache_key(&base, GeneratorStyle::Frodo, &coalesce0));
+        // different emission option
+        let mut shared = opts;
+        shared.emit.shared_conv_helper = true;
+        assert_ne!(k0, cache_key(&base, GeneratorStyle::Frodo, &shared));
+    }
+
+    #[test]
+    fn single_compile_hit_and_no_cache_mode() {
+        let service = CompileService::with_defaults();
+        let spec = JobSpec::from_model("g", gain_model(2.0), GeneratorStyle::Frodo);
+        let first = service.compile(spec).unwrap();
+        assert_eq!(first.report.cache, CacheStatus::Miss);
+        assert!(first.program.is_some());
+        assert_eq!(first.report.metrics.blocks, 3);
+
+        let again = service
+            .compile(JobSpec::from_model("g", gain_model(2.0), GeneratorStyle::Frodo))
+            .unwrap();
+        assert_eq!(again.report.cache, CacheStatus::Memory);
+        assert_eq!(again.code, first.code);
+        assert!(again.program.is_some());
+        // hits skip analysis: no dfg/lower/emit time is attributed
+        assert_eq!(again.report.timings.dfg, std::time::Duration::ZERO);
+        assert_eq!(again.report.timings.emit, std::time::Duration::ZERO);
+
+        let uncached = CompileService::new(ServiceConfig {
+            no_cache: true,
+            ..ServiceConfig::default()
+        });
+        let a = uncached
+            .compile(JobSpec::from_model("g", gain_model(2.0), GeneratorStyle::Frodo))
+            .unwrap();
+        let b = uncached
+            .compile(JobSpec::from_model("g", gain_model(2.0), GeneratorStyle::Frodo))
+            .unwrap();
+        assert_eq!(a.report.cache, CacheStatus::Miss);
+        assert_eq!(b.report.cache, CacheStatus::Miss);
+        assert_eq!(a.code, b.code);
+        assert_eq!(uncached.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn builder_and_bad_path_errors() {
+        let service = CompileService::with_defaults();
+        let err = service
+            .compile(JobSpec::from_builder("nope", GeneratorStyle::Frodo, || {
+                Err("builder says no".to_string())
+            }))
+            .unwrap_err();
+        assert!(matches!(err, JobError::Load { .. }));
+        assert_eq!(err.job(), "nope");
+
+        let err = service
+            .compile(JobSpec::from_path("/does/not/exist.mdl", GeneratorStyle::Frodo))
+            .unwrap_err();
+        assert!(matches!(err, JobError::Load { .. }));
+    }
+
+    #[test]
+    fn batch_preserves_submission_order_and_isolates_panics() {
+        let service = CompileService::new(ServiceConfig {
+            workers: 3,
+            ..ServiceConfig::default()
+        });
+        let specs = vec![
+            JobSpec::from_model("a", gain_model(1.0), GeneratorStyle::Frodo),
+            JobSpec::from_builder("boom", GeneratorStyle::Frodo, || {
+                panic!("deliberate test panic")
+            }),
+            JobSpec::from_model("c", gain_model(4.0), GeneratorStyle::Frodo),
+        ];
+        let report = service.compile_batch(specs);
+        assert_eq!(report.jobs.len(), 3);
+        assert_eq!(report.jobs[0].as_ref().unwrap().report.job, "a");
+        match &report.jobs[1] {
+            Err(JobError::Panicked { job, message }) => {
+                assert_eq!(job, "boom");
+                assert!(message.contains("deliberate test panic"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+        assert_eq!(report.jobs[2].as_ref().unwrap().report.job, "c");
+        assert_eq!(report.succeeded(), 2);
+        assert_eq!(report.failed(), 1);
+        let table = report.render_table();
+        assert!(table.contains("boom"));
+        assert!(table.contains("2 ok, 1 failed"));
+        let lines = report.machine_lines();
+        assert!(lines.contains("frodo-batch jobs=3 ok=2 failed=1"));
+    }
+}

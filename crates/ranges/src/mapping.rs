@@ -218,7 +218,6 @@ impl PortMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn elementwise_is_identity() {
@@ -388,79 +387,87 @@ mod tests {
         assert!(PortMap::Elementwise.is_range_transparent());
     }
 
-    fn arb_request(max: usize) -> impl Strategy<Value = IndexSet> {
-        prop::collection::vec((0..max, 0..max), 0..6).prop_map(|pairs| {
-            IndexSet::from_intervals(
-                pairs
-                    .into_iter()
-                    .map(|(a, b)| Interval::new(a.min(b), a.max(b))),
-            )
-        })
-    }
-
-    fn arb_map() -> impl Strategy<Value = PortMap> {
-        prop_oneof![
-            Just(PortMap::Elementwise),
-            (1usize..64).prop_map(|n| PortMap::all(n)),
-            Just(PortMap::None),
-            (-20isize..20, 1usize..64).prop_map(|(o, n)| PortMap::shift(o, n)),
-            (0usize..8, 0usize..8, 1usize..64).prop_map(|(l, r, n)| PortMap::window(l, r, n)),
-            (1usize..5, 0usize..4, 1usize..64).prop_map(|(s, p, n)| PortMap::Stride {
-                stride: s,
-                phase: p,
-                input_len: n
-            }),
-            (1usize..8, 1usize..8).prop_map(|(r, c)| PortMap::Transpose {
-                out_rows: r,
-                out_cols: c
-            }),
-            (0usize..32, 1usize..32).prop_map(|(s, l)| PortMap::Segment {
-                start_in_output: s,
-                len: l
-            }),
-            (1usize..8, 1usize..8).prop_map(|(oc, ic)| PortMap::RowsOf {
-                out_cols: oc,
-                in_cols: ic
-            }),
-            (0usize..24, 0usize..24).prop_map(|(a, b)| PortMap::ExceptSegment {
-                start: a.min(b),
-                end: a.max(b)
-            }),
-            prop::collection::vec(0usize..48, 0..32).prop_map(PortMap::Gather),
-        ]
-    }
-
-    proptest! {
-        #[test]
-        fn prop_empty_request_empty_need(m in arb_map()) {
-            prop_assert!(m.apply(&IndexSet::new()).is_empty());
+    /// Property tests (gated: the `proptest` crate is not vendored, so the
+    /// default offline build compiles these out; re-add the dev-dependency
+    /// and run `cargo test --features proptest` to enable them).
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        fn arb_request(max: usize) -> impl Strategy<Value = IndexSet> {
+            prop::collection::vec((0..max, 0..max), 0..6).prop_map(|pairs| {
+                IndexSet::from_intervals(
+                    pairs
+                        .into_iter()
+                        .map(|(a, b)| Interval::new(a.min(b), a.max(b))),
+                )
+            })
         }
 
-        #[test]
-        fn prop_monotone(m in arb_map(), a in arb_request(64), b in arb_request(64)) {
-            // a ⊆ a∪b  ⇒  apply(a) ⊆ apply(a∪b)
-            let u = a.union(&b);
-            prop_assert!(m.apply(&a).is_subset(&m.apply(&u)));
+        fn arb_map() -> impl Strategy<Value = PortMap> {
+            prop_oneof![
+                Just(PortMap::Elementwise),
+                (1usize..64).prop_map(|n| PortMap::all(n)),
+                Just(PortMap::None),
+                (-20isize..20, 1usize..64).prop_map(|(o, n)| PortMap::shift(o, n)),
+                (0usize..8, 0usize..8, 1usize..64).prop_map(|(l, r, n)| PortMap::window(l, r, n)),
+                (1usize..5, 0usize..4, 1usize..64).prop_map(|(s, p, n)| PortMap::Stride {
+                    stride: s,
+                    phase: p,
+                    input_len: n
+                }),
+                (1usize..8, 1usize..8).prop_map(|(r, c)| PortMap::Transpose {
+                    out_rows: r,
+                    out_cols: c
+                }),
+                (0usize..32, 1usize..32).prop_map(|(s, l)| PortMap::Segment {
+                    start_in_output: s,
+                    len: l
+                }),
+                (1usize..8, 1usize..8).prop_map(|(oc, ic)| PortMap::RowsOf {
+                    out_cols: oc,
+                    in_cols: ic
+                }),
+                (0usize..24, 0usize..24).prop_map(|(a, b)| PortMap::ExceptSegment {
+                    start: a.min(b),
+                    end: a.max(b)
+                }),
+                prop::collection::vec(0usize..48, 0..32).prop_map(PortMap::Gather),
+            ]
         }
 
-        #[test]
-        fn prop_union_distributes(m in arb_map(), a in arb_request(64), b in arb_request(64)) {
-            // pointwise mappings: need(a ∪ b) = need(a) ∪ need(b)
-            // (All/Dynamic satisfy this too since both sides are the full set
-            //  whenever either request is non-empty.)
-            let lhs = m.apply(&a.union(&b));
-            let rhs = m.apply(&a).union(&m.apply(&b));
-            prop_assert_eq!(lhs, rhs);
-        }
+        proptest! {
+            #[test]
+            fn prop_empty_request_empty_need(m in arb_map()) {
+                prop_assert!(m.apply(&IndexSet::new()).is_empty());
+            }
 
-        #[test]
-        fn prop_transpose_involution(r in 1usize..8, c in 1usize..8, a in arb_request(64)) {
-            // transposing a request twice through matching maps is identity
-            // on requests limited to the matrix
-            let fwd = PortMap::Transpose { out_rows: r, out_cols: c };
-            let bwd = PortMap::Transpose { out_rows: c, out_cols: r };
-            let req = a.clamp_to(r * c);
-            prop_assert_eq!(bwd.apply(&fwd.apply(&req)), req);
+            #[test]
+            fn prop_monotone(m in arb_map(), a in arb_request(64), b in arb_request(64)) {
+                // a ⊆ a∪b  ⇒  apply(a) ⊆ apply(a∪b)
+                let u = a.union(&b);
+                prop_assert!(m.apply(&a).is_subset(&m.apply(&u)));
+            }
+
+            #[test]
+            fn prop_union_distributes(m in arb_map(), a in arb_request(64), b in arb_request(64)) {
+                // pointwise mappings: need(a ∪ b) = need(a) ∪ need(b)
+                // (All/Dynamic satisfy this too since both sides are the full set
+                //  whenever either request is non-empty.)
+                let lhs = m.apply(&a.union(&b));
+                let rhs = m.apply(&a).union(&m.apply(&b));
+                prop_assert_eq!(lhs, rhs);
+            }
+
+            #[test]
+            fn prop_transpose_involution(r in 1usize..8, c in 1usize..8, a in arb_request(64)) {
+                // transposing a request twice through matching maps is identity
+                // on requests limited to the matrix
+                let fwd = PortMap::Transpose { out_rows: r, out_cols: c };
+                let bwd = PortMap::Transpose { out_rows: c, out_cols: r };
+                let req = a.clamp_to(r * c);
+                prop_assert_eq!(bwd.apply(&fwd.apply(&req)), req);
+            }
         }
     }
 }

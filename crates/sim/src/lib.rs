@@ -14,6 +14,8 @@
 //! - [`native`] — real `gcc -O3` compile-and-run for the x86/GCC column.
 //! - [`MemoryReport`] — static memory accounting for the paper's §5 study.
 //! - [`workload`] — deterministic random input generation.
+//! - [`rng`] — the vendored SplitMix64 generator behind every random
+//!   workload in the workspace (no external `rand` dependency).
 //!
 //! # Example
 //!
@@ -52,6 +54,7 @@ pub mod cost;
 mod memory;
 pub mod native;
 mod reference;
+pub mod rng;
 mod vm;
 pub mod workload;
 

@@ -3,17 +3,16 @@
 //! The paper validates generated code with "a large number of random test
 //! cases"; these helpers produce reproducible random inputs for any model.
 
+use crate::rng::Rng;
 use frodo_graph::Dfg;
 use frodo_model::{BlockKind, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Random input tensors for one step of a model, ordered by inport index.
 ///
 /// Values are uniform in `[-1, 1)`; the same `seed` always produces the
 /// same workload.
 pub fn random_inputs(dfg: &Dfg, seed: u64) -> Vec<Tensor> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut ports: Vec<(usize, frodo_ranges::Shape)> = dfg
         .model()
         .blocks()
@@ -28,7 +27,7 @@ pub fn random_inputs(dfg: &Dfg, seed: u64) -> Vec<Tensor> {
         .into_iter()
         .map(|(_, shape)| {
             let data = (0..shape.numel())
-                .map(|_| rng.gen_range(-1.0..1.0))
+                .map(|_| rng.uniform(-1.0, 1.0))
                 .collect();
             Tensor::new(shape, data)
         })

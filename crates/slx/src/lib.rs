@@ -7,6 +7,8 @@
 //! stack from scratch — no external compression or XML crates:
 //!
 //! - [`crc32`] — CRC-32 (IEEE 802.3), as ZIP requires;
+//! - [`fnv`] — FNV-1a 64 and the combined content digest the compilation
+//!   driver uses for content-addressed artifact caching;
 //! - [`inflate`] — a raw-DEFLATE (RFC 1951) decompressor (stored, fixed-
 //!   and dynamic-Huffman blocks) plus a fixed-Huffman compressor;
 //! - [`zip`] — ZIP archive reader/writer (methods *stored* and *deflate*);
@@ -44,6 +46,7 @@
 
 pub mod crc32;
 mod error;
+pub mod fnv;
 pub mod inflate;
 pub mod mdl;
 mod params;

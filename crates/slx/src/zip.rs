@@ -237,7 +237,6 @@ impl Archive {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn roundtrip_stored_and_deflate() {
@@ -331,24 +330,32 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(
-            files in prop::collection::vec(
-                ("[a-z]{1,12}", prop::collection::vec(any::<u8>(), 0..200), any::<bool>()),
-                0..6,
-            )
-        ) {
-            let mut ar = Archive::new();
-            for (name, data, deflate) in &files {
-                let method = if *deflate { Method::Deflate } else { Method::Stored };
-                ar.add(name.clone(), data.clone(), method);
+    /// Property tests (gated: the `proptest` crate is not vendored, so the
+    /// default offline build compiles these out; re-add the dev-dependency
+    /// and run `cargo test --features proptest` to enable them).
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        proptest! {
+            #[test]
+            fn prop_roundtrip(
+                files in prop::collection::vec(
+                    ("[a-z]{1,12}", prop::collection::vec(any::<u8>(), 0..200), any::<bool>()),
+                    0..6,
+                )
+            ) {
+                let mut ar = Archive::new();
+                for (name, data, deflate) in &files {
+                    let method = if *deflate { Method::Deflate } else { Method::Stored };
+                    ar.add(name.clone(), data.clone(), method);
+                }
+                let back = Archive::from_bytes(&ar.to_bytes()).unwrap();
+                for e in ar.entries() {
+                    prop_assert_eq!(back.get(&e.name).unwrap(), e.data.as_slice());
+                }
+                prop_assert_eq!(back.entries().len(), ar.entries().len());
             }
-            let back = Archive::from_bytes(&ar.to_bytes()).unwrap();
-            for e in ar.entries() {
-                prop_assert_eq!(back.get(&e.name).unwrap(), e.data.as_slice());
-            }
-            prop_assert_eq!(back.entries().len(), ar.entries().len());
         }
     }
 }

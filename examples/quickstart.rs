@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. run the generated program and cross-check against simulation
     let signal: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
     let mut vm = Vm::new(&program);
-    let got = vm.step(&program, &[signal.clone()]);
+    let got = vm.step(&program, std::slice::from_ref(&signal));
     let mut reference = ReferenceSimulator::new(analysis.dfg().clone());
     let expected = reference.step(&[Tensor::vector(signal)])?;
     let worst = got[0]

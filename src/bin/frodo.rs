@@ -3,12 +3,20 @@
 //! ```text
 //! frodo analyze  <model.{slx,mdl}>                 redundancy-elimination report
 //! frodo build    <model> [-s STYLE] [--shared-helper] [-o out.c]
+//! frodo compile  <model> [-s STYLE] [--cache-dir D] [-o out.c]
+//! frodo batch    <models...> [--workers N] [--cache-dir D] [-s STYLES] [-o DIR]
 //! frodo simulate <model> [--seed N] [--steps N]    reference simulation
 //! frodo bench    <model> [--native]                compare the four generators
 //! frodo convert  <in.{slx,mdl}> <out.{slx,mdl}>    format conversion
 //! frodo demo     <name> <out.{slx,mdl}>            export a Table-1 benchmark
 //! frodo list                                       list bundled benchmarks
 //! ```
+//!
+//! `compile` and `batch` go through the [`frodo::driver`] service: jobs run
+//! on a worker pool, artifacts are content-addressed (optionally persisted
+//! under `--cache-dir`), and every job reports per-stage timings and
+//! redundancy counters. Models may be `.slx`/`.mdl` paths or bundled
+//! Table-1 benchmark names (`frodo list`).
 
 use frodo::prelude::*;
 use frodo::sim::{native, workload};
@@ -21,6 +29,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
@@ -49,6 +59,8 @@ fn print_usage() {
          USAGE:\n\
          \x20 frodo analyze  <model.{{slx,mdl}}>\n\
          \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [-o out.c]\n\
+         \x20 frodo compile  <model> [-s STYLE] [--cache-dir DIR] [--no-cache] [-o out.c]\n\
+         \x20 frodo batch    <models...> [--workers N] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
          \x20 frodo simulate <model> [--seed N] [--steps N]\n\
          \x20 frodo bench    <model> [--native]\n\
          \x20 frodo verify   <model> [--seeds N] [--steps N]\n\
@@ -162,6 +174,141 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         None => print!("{code}"),
     }
     Ok(())
+}
+
+/// Resolves a CLI model reference: a `.slx`/`.mdl` path, or the name of a
+/// bundled Table-1 benchmark.
+fn job_spec_for(model_ref: &str, style: GeneratorStyle) -> Result<JobSpec, String> {
+    let p = Path::new(model_ref);
+    if matches!(p.extension().and_then(|e| e.to_str()), Some("slx" | "mdl")) {
+        return Ok(JobSpec::from_path(p, style));
+    }
+    match frodo::benchmodels::by_name(model_ref) {
+        Some(bench) => Ok(JobSpec::from_model(bench.name, bench.model, style)),
+        None => Err(format!(
+            "'{model_ref}' is neither a .slx/.mdl path nor a bundled benchmark (try 'frodo list')"
+        )),
+    }
+}
+
+/// The service configuration shared by `compile` and `batch`.
+fn service_config(args: &[String]) -> Result<ServiceConfig, String> {
+    Ok(ServiceConfig {
+        workers: flag_value(args, &["--workers", "-j"])
+            .map(|s| s.parse().map_err(|_| "bad --workers".to_string()))
+            .transpose()?
+            .unwrap_or(0),
+        cache_dir: flag_value(args, &["--cache-dir"]).map(Into::into),
+        no_cache: args.iter().any(|a| a == "--no-cache"),
+    })
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let model_ref = args.first().ok_or("compile: missing model path or name")?;
+    let style = match flag_value(args, &["-s", "--style"]) {
+        Some(s) => parse_style(s)?,
+        None => GeneratorStyle::Frodo,
+    };
+    let service = CompileService::new(service_config(args)?);
+    let out = service
+        .compile(job_spec_for(model_ref, style)?)
+        .map_err(|e| e.to_string())?;
+    let r = &out.report;
+    eprintln!(
+        "{} ({}): cache {}, digest {}, {} blocks ({} optimizable), \
+         {}/{} elements eliminated, {} bytes of C",
+        r.job,
+        r.style.label(),
+        r.cache.label(),
+        r.digest,
+        r.metrics.blocks,
+        r.metrics.optimizable_blocks,
+        r.metrics.eliminated_elements,
+        r.metrics.total_elements,
+        r.code_bytes
+    );
+    for (name, d) in r.timings.rows() {
+        eprintln!("  {name:<10} {}", frodo::driver::report::fmt_duration(d));
+    }
+    eprintln!(
+        "  {:<10} {}",
+        "total",
+        frodo::driver::report::fmt_duration(r.timings.total())
+    );
+    match flag_value(args, &["-o", "--output"]) {
+        Some(path) => std::fs::write(path, &out.code).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{}", out.code);
+            Ok(())
+        }
+    }
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let styles: Vec<GeneratorStyle> = match flag_value(args, &["-s", "--styles", "--style"]) {
+        None => vec![GeneratorStyle::Frodo],
+        Some("all") => GeneratorStyle::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(parse_style)
+            .collect::<Result<_, _>>()?,
+    };
+    let out_dir = flag_value(args, &["-o", "--output"]);
+    let machine = args.iter().any(|a| a == "--machine");
+
+    // positional args are model references; flag values are not
+    let mut model_refs = Vec::new();
+    let mut skip = false;
+    for arg in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--workers" | "-j" | "--cache-dir" | "-s" | "--styles" | "--style" | "-o"
+            | "--output" => skip = true,
+            "--no-cache" | "--machine" => {}
+            _ => model_refs.push(arg.as_str()),
+        }
+    }
+    if model_refs.is_empty() {
+        return Err("batch: no models given (paths or benchmark names; see 'frodo list')".into());
+    }
+
+    let mut specs = Vec::new();
+    for model_ref in &model_refs {
+        for &style in &styles {
+            specs.push(job_spec_for(model_ref, style)?);
+        }
+    }
+
+    let service = CompileService::new(service_config(args)?);
+    let report = service.compile_batch(specs);
+    print!("{}", report.render_table());
+    if machine {
+        print!("{}", report.machine_lines());
+    }
+
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        for out in report.jobs.iter().flatten() {
+            let r = &out.report;
+            let file = format!(
+                "{}/{}_{}.c",
+                dir,
+                r.job.replace(['/', '\\'], "_"),
+                r.style.label().to_ascii_lowercase()
+            );
+            std::fs::write(&file, &out.code).map_err(|e| format!("{file}: {e}"))?;
+        }
+        eprintln!("wrote {} C files to {dir}", report.succeeded());
+    }
+
+    if report.failed() > 0 {
+        Err(format!("{} of {} jobs failed", report.failed(), report.jobs.len()))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {

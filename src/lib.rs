@@ -14,6 +14,7 @@
 //! | [`codegen`] | `frodo-codegen` | loop IR, generator styles, C emission |
 //! | [`sim`] | `frodo-sim` | reference simulator, VM, cost models, native runs |
 //! | [`benchmodels`] | `frodo-benchmodels` | the paper's Table-1 suite |
+//! | [`driver`] | `frodo-driver` | batch compile service: worker pool, artifact cache, metrics |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@
 pub use frodo_benchmodels as benchmodels;
 pub use frodo_codegen as codegen;
 pub use frodo_core as core;
+pub use frodo_driver as driver;
 pub use frodo_graph as graph;
 pub use frodo_model as model;
 pub use frodo_ranges as ranges;
@@ -58,6 +60,7 @@ pub use frodo_slx as slx;
 pub mod prelude {
     pub use frodo_codegen::{emit_c, emit_c_harness, generate, GeneratorStyle};
     pub use frodo_core::{Analysis, RangeEngine, RangeOptions};
+    pub use frodo_driver::{CompileOptions, CompileService, JobSpec, ServiceConfig};
     pub use frodo_graph::Dfg;
     pub use frodo_model::{
         Block, BlockKind, Model, ModelError, RelOp, RoundMode, SelectorMode, Tensor,

@@ -70,7 +70,7 @@ fn all_styles_agree_on_downsample() {
     let expected = sim.step(&[Tensor::vector(input.clone())]).unwrap();
     for style in GeneratorStyle::ALL {
         let p = generate(&analysis, style);
-        let got = Vm::new(&p).step(&p, &[input.clone()]);
+        let got = Vm::new(&p).step(&p, std::slice::from_ref(&input));
         assert_eq!(got[0], expected[0].data(), "style {style}");
     }
 }

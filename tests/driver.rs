@@ -1,0 +1,131 @@
+//! Integration tests of the batch compilation service (`frodo-driver`)
+//! over the real Table-1 suite: parallel batches must be byte-identical to
+//! sequential compilation, resubmission must be served from the cache, and
+//! a panicking job must not take its batch down.
+
+use frodo::codegen::GeneratorStyle;
+use frodo::prelude::*;
+
+/// Every (benchmark, style) pair as a batch of jobs, in a stable order.
+fn suite_specs() -> Vec<JobSpec> {
+    frodo::benchmodels::all()
+        .into_iter()
+        .flat_map(|bench| {
+            GeneratorStyle::ALL
+                .into_iter()
+                .map(move |style| JobSpec::from_model(bench.name, bench.model.clone(), style))
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_batch_is_byte_identical_to_sequential() {
+    // sequential reference: one worker, no cache, one job at a time
+    let sequential = CompileService::new(ServiceConfig {
+        workers: 1,
+        no_cache: true,
+        ..ServiceConfig::default()
+    });
+    let reference: Vec<String> = suite_specs()
+        .into_iter()
+        .map(|spec| sequential.compile(spec).expect("suite compiles").code)
+        .collect();
+    assert_eq!(reference.len(), 40, "10 models x 4 styles");
+
+    let parallel = CompileService::new(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let report = parallel.compile_batch(suite_specs());
+    assert_eq!(report.workers, 4);
+    assert_eq!(report.succeeded(), 40);
+    for (expected, job) in reference.iter().zip(&report.jobs) {
+        let out = job.as_ref().expect("suite compiles");
+        assert_eq!(
+            &out.code, expected,
+            "{}/{} differs between parallel and sequential compilation",
+            out.report.job,
+            out.report.style.label()
+        );
+    }
+}
+
+#[test]
+fn resubmission_is_served_entirely_from_the_cache() {
+    let service = CompileService::new(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let cold = service.compile_batch(suite_specs());
+    assert_eq!(cold.cache_hits(), 0);
+    assert_eq!(cold.cache_misses(), 40);
+
+    let warm = service.compile_batch(suite_specs());
+    assert_eq!(warm.cache_hits(), 40, "identical resubmission must all hit");
+    assert_eq!(warm.cache_misses(), 0);
+    for (a, b) in cold.jobs.iter().zip(&warm.jobs) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.report.digest, b.report.digest);
+        // hits skip analysis and emission entirely
+        assert_eq!(b.report.timings.algorithm1, std::time::Duration::ZERO);
+        assert_eq!(b.report.timings.emit, std::time::Duration::ZERO);
+    }
+    assert_eq!(service.cache_stats().hits, 40);
+    assert_eq!(service.cache_stats().misses, 40);
+}
+
+#[test]
+fn on_disk_cache_survives_service_restarts() {
+    let dir = std::env::temp_dir().join(format!("frodo-driver-test-{}", std::process::id()));
+    let config = ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+
+    let first = CompileService::new(config.clone());
+    let cold = first.compile_batch(suite_specs());
+    assert_eq!(cold.cache_misses(), 40);
+
+    // a fresh service (fresh process, in effect) finds the artifacts on disk
+    let second = CompileService::new(config);
+    let warm = second.compile_batch(suite_specs());
+    assert_eq!(warm.cache_hits(), 40);
+    for (a, b) in cold.jobs.iter().zip(&warm.jobs) {
+        assert_eq!(a.as_ref().unwrap().code, b.as_ref().unwrap().code);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn panicking_job_fails_alone_while_the_batch_completes() {
+    let service = CompileService::new(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let mut specs = suite_specs();
+    specs.insert(
+        7,
+        JobSpec::from_builder("poisoned", GeneratorStyle::Frodo, || {
+            panic!("deliberately poisoned job")
+        }),
+    );
+    let report = service.compile_batch(specs);
+    assert_eq!(report.jobs.len(), 41);
+    assert_eq!(report.succeeded(), 40);
+    assert_eq!(report.failed(), 1);
+    match &report.jobs[7] {
+        Err(frodo::driver::JobError::Panicked { job, message }) => {
+            assert_eq!(job, "poisoned");
+            assert!(message.contains("deliberately poisoned job"));
+        }
+        other => panic!("expected a contained panic, got {other:?}"),
+    }
+    // every other slot completed normally, in submission order
+    for (i, job) in report.jobs.iter().enumerate() {
+        if i != 7 {
+            assert!(job.is_ok(), "job {i} should have completed");
+        }
+    }
+}
