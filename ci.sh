@@ -8,3 +8,20 @@ cargo test -q --offline
 cargo test -q --workspace --offline
 # --all-targets keeps the harness-less bench targets compiling too
 cargo clippy --all-targets --offline -- -D warnings
+
+# frodo-obs must stay dependency-free: its cargo tree is exactly one line
+test "$(cargo tree -p frodo-obs --offline --edges normal | wc -l)" -eq 1
+
+# a traced compile of a Table-1 model emits parseable NDJSON covering
+# every pipeline stage
+trace_out="$(mktemp)"
+./target/release/frodo compile --trace "$trace_out" Kalman >/dev/null
+for stage in parse flatten hash cache dfg iomap ranges classify lower emit; do
+    grep -q "\"name\":\"$stage\"" "$trace_out"
+done
+# every line is one flat JSON object
+if grep -qv '^{.*}$' "$trace_out"; then
+    echo "malformed NDJSON line in $trace_out"
+    exit 1
+fi
+rm -f "$trace_out"

@@ -6,13 +6,17 @@
 //! a real `gcc -O3` compile-and-run pass is added for the x86/GCC column —
 //! the configuration this host can actually measure.
 
-use frodo_bench::{build_suite, duration_seconds, fmt_seconds, PAPER_ITERS};
+use frodo_bench::{duration_seconds, fmt_seconds, programs_via_service_traced, PAPER_ITERS};
 use frodo_codegen::GeneratorStyle;
+use frodo_driver::CompileService;
+use frodo_obs::{fmt_duration, StageTimings, Trace};
 use frodo_sim::{native, CostModel};
 
 fn main() {
     let native_requested = std::env::args().any(|a| a == "--native");
-    let suite = build_suite();
+    let trace = Trace::new();
+    let service = CompileService::with_defaults();
+    let (suite, batch) = programs_via_service_traced(&service, &trace);
     let gcc = CostModel::x86_gcc();
     let clang = CostModel::x86_clang();
 
@@ -65,6 +69,17 @@ fn main() {
             hcg.1
         );
     }
+
+    println!();
+    println!(
+        "Suite compile cost per stage ({} jobs through the batch service):",
+        batch.jobs.len()
+    );
+    let stages = StageTimings::from_trace(&trace);
+    for (name, d) in stages.rows() {
+        println!("  {name:<10} {}", fmt_duration(d));
+    }
+    println!("  {:<10} {}", "total", fmt_duration(stages.total()));
 
     if native_requested {
         if !native::gcc_available() {

@@ -23,6 +23,7 @@ use frodo_codegen::lir::Program;
 use frodo_codegen::{generate, GeneratorStyle};
 use frodo_core::Analysis;
 use frodo_driver::{BatchReport, CompileService, JobSpec};
+use frodo_obs::Trace;
 use frodo_sim::{CostModel, MemoryReport};
 
 /// The paper's measurement protocol: 10 000 repetitions, averaged.
@@ -80,7 +81,21 @@ pub fn suite_specs() -> Vec<JobSpec> {
 /// (benchmark models always compile, and in-process cache hits retain
 /// their programs).
 pub fn programs_via_service(service: &CompileService) -> (Vec<ModelPrograms>, BatchReport) {
-    let report = service.compile_batch(suite_specs());
+    programs_via_service_traced(service, &Trace::noop())
+}
+
+/// Same as [`programs_via_service`], but every suite job records into
+/// `trace`, so callers can derive per-stage compile costs for the whole
+/// suite ([`frodo_obs::StageTimings::from_trace`]) next to the programs.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`programs_via_service`].
+pub fn programs_via_service_traced(
+    service: &CompileService,
+    trace: &Trace,
+) -> (Vec<ModelPrograms>, BatchReport) {
+    let report = service.compile_batch_traced(suite_specs(), trace);
     let mut outputs = report.jobs.iter();
     let suite = frodo_benchmodels::all()
         .into_iter()

@@ -31,6 +31,15 @@ pub fn emit_c_with(program: &Program, opts: CEmitOptions) -> String {
     Emitter::new_with(program, opts).emit()
 }
 
+/// [`emit_c_with`], recorded as an `emit` span (with a `bytes_emitted`
+/// counter) on the given trace.
+pub fn emit_c_traced(program: &Program, opts: CEmitOptions, trace: &frodo_obs::Trace) -> String {
+    let span = trace.span("emit");
+    let code = emit_c_with(program, opts);
+    span.count("bytes_emitted", code.len() as u64);
+    code
+}
+
 /// Emits the translation unit plus a timing `main` that fills the inputs
 /// with a deterministic LCG, calls the step function `iters` times, and
 /// prints `<checksum> <nanoseconds-per-iteration>`.

@@ -44,6 +44,21 @@ pub fn generate_with(analysis: &Analysis, style: GeneratorStyle, opts: LowerOpti
     Lowerer::new(analysis, style, opts).run()
 }
 
+/// [`generate_with`], recorded as a `lower` span (with statement and
+/// computed-element counters) on the given trace.
+pub fn generate_traced(
+    analysis: &Analysis,
+    style: GeneratorStyle,
+    opts: LowerOptions,
+    trace: &frodo_obs::Trace,
+) -> Program {
+    let span = trace.span("lower");
+    let program = generate_with(analysis, style, opts);
+    span.count("stmts", program.stmts.len() as u64);
+    span.count("computed_elements", program.computed_elements() as u64);
+    program
+}
+
 struct Lowerer<'a> {
     analysis: &'a Analysis,
     style: GeneratorStyle,

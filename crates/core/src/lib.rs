@@ -61,4 +61,4 @@ mod pipeline;
 pub use algorithm1::{determine_ranges, full_ranges, RangeEngine, RangeOptions, Ranges};
 pub use classify::{BlockStat, OptimizationReport};
 pub use iomap::IoMappings;
-pub use pipeline::{Analysis, AnalysisTimings};
+pub use pipeline::Analysis;

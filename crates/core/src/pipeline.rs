@@ -3,22 +3,8 @@
 use crate::{determine_ranges, IoMappings, OptimizationReport, RangeOptions, Ranges};
 use frodo_graph::Dfg;
 use frodo_model::{BlockId, Model, ModelError, OutPort};
+use frodo_obs::Trace;
 use frodo_ranges::IndexSet;
-use std::time::{Duration, Instant};
-
-/// Wall-clock cost of each analysis stage, measured with the monotonic
-/// clock by [`Analysis::run_instrumented`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct AnalysisTimings {
-    /// Graph construction: flatten, validate, shape-infer, build adjacency.
-    pub dfg: Duration,
-    /// I/O-mapping derivation from the block property library.
-    pub iomap: Duration,
-    /// Algorithm 1: calculation range determination.
-    pub ranges: Duration,
-    /// Optimizable-block classification and report construction.
-    pub classify: Duration,
-}
 
 /// The complete output of FRODO's analysis for one model: the dataflow
 /// graph, the derived I/O mappings, the calculation ranges, and the
@@ -35,61 +21,72 @@ pub struct Analysis {
 }
 
 impl Analysis {
-    /// Runs the full pipeline with default options.
+    /// Runs the full pipeline with default options and no tracing.
+    /// (Thin wrapper over [`Analysis::run_traced`] with a no-op trace.)
     ///
     /// # Errors
     ///
     /// Propagates model flattening/validation/shape-inference failures.
     pub fn run(model: Model) -> Result<Self, ModelError> {
-        Analysis::run_with(model, RangeOptions::default())
+        Analysis::run_traced(model, RangeOptions::default(), &Trace::noop())
     }
 
-    /// Runs the full pipeline with explicit range options.
+    /// Runs the full pipeline with explicit range options and no tracing.
+    /// (Thin wrapper over [`Analysis::run_traced`] with a no-op trace.)
     ///
     /// # Errors
     ///
     /// Propagates model flattening/validation/shape-inference failures.
     pub fn run_with(model: Model, options: RangeOptions) -> Result<Self, ModelError> {
-        Analysis::run_instrumented(model, options).map(|(analysis, _)| analysis)
+        Analysis::run_traced(model, options, &Trace::noop())
     }
 
-    /// Runs the full pipeline and reports how long each analysis stage
-    /// took (monotonic clock). This is the entry point compilation drivers
-    /// use to attribute cost to graph construction, I/O-mapping derivation,
-    /// Algorithm 1, and classification separately.
+    /// The canonical pipeline entry: runs model analysis and redundancy
+    /// elimination, recording every stage on `trace` — `flatten` and `dfg`
+    /// spans from graph construction, then `iomap`, `ranges` (Algorithm 1),
+    /// and `classify` spans with redundancy counters (`blocks_analyzed`,
+    /// `blocks_optimizable`, `elements_total`, `elements_eliminated`).
+    ///
+    /// Pass [`Trace::noop`] when nobody is listening: the disabled
+    /// recorder compiles to near-zero cost, so this is also the plain
+    /// entry point ([`Analysis::run`] and [`Analysis::run_with`] are thin
+    /// wrappers over it). Stage timings are read off the trace via
+    /// [`frodo_obs::StageTimings::from_trace`] — there is no separate
+    /// timing struct.
     ///
     /// # Errors
     ///
     /// Propagates model flattening/validation/shape-inference failures.
-    pub fn run_instrumented(
+    pub fn run_traced(
         model: Model,
         options: RangeOptions,
-    ) -> Result<(Self, AnalysisTimings), ModelError> {
-        let t0 = Instant::now();
-        let dfg = Dfg::new(model)?;
-        let t1 = Instant::now();
-        let mappings = IoMappings::derive(&dfg);
-        let t2 = Instant::now();
-        let ranges = determine_ranges(&dfg, &mappings, options);
-        let t3 = Instant::now();
-        let report = OptimizationReport::build(&dfg, &ranges);
-        let t4 = Instant::now();
-        let timings = AnalysisTimings {
-            dfg: t1 - t0,
-            iomap: t2 - t1,
-            ranges: t3 - t2,
-            classify: t4 - t3,
+        trace: &Trace,
+    ) -> Result<Self, ModelError> {
+        let dfg = Dfg::new_traced(model, trace)?;
+        let mappings = {
+            let _s = trace.span("iomap");
+            IoMappings::derive(&dfg)
         };
-        Ok((
-            Analysis {
-                dfg,
-                mappings,
-                ranges,
-                report,
-                options,
-            },
-            timings,
-        ))
+        let ranges = {
+            let _s = trace.span("ranges");
+            determine_ranges(&dfg, &mappings, options)
+        };
+        let report = {
+            let span = trace.span("classify");
+            let report = OptimizationReport::build(&dfg, &ranges);
+            span.count("blocks_analyzed", report.stats().len() as u64);
+            span.count("blocks_optimizable", report.optimizable_blocks().len() as u64);
+            span.count("elements_total", report.total_elements() as u64);
+            span.count("elements_eliminated", report.total_eliminated() as u64);
+            report
+        };
+        Ok(Analysis {
+            dfg,
+            mappings,
+            ranges,
+            report,
+            options,
+        })
     }
 
     /// The analyzed dataflow graph.
@@ -180,6 +177,37 @@ mod tests {
         assert!(a.is_optimizable(conv));
         assert_eq!(a.reduced_ports().len(), 1);
         assert_eq!(a.options(), RangeOptions::default());
+    }
+
+    #[test]
+    fn traced_run_records_every_analysis_stage() {
+        let trace = Trace::new();
+        let a = Analysis::run_traced(figure1(), RangeOptions::default(), &trace).unwrap();
+        let snap = trace.snapshot();
+        for stage in ["flatten", "dfg", "iomap", "ranges", "classify"] {
+            assert!(
+                snap.spans.iter().any(|s| s.name == stage),
+                "missing {stage} span"
+            );
+        }
+        assert_eq!(trace.counter_total("blocks_analyzed"), 5);
+        assert_eq!(trace.counter_total("blocks_optimizable"), 1);
+        assert_eq!(
+            trace.counter_total("elements_eliminated") as usize,
+            a.report().total_eliminated()
+        );
+        let timings = frodo_obs::StageTimings::from_trace(&trace);
+        assert_eq!(timings.parse, std::time::Duration::ZERO);
+        assert!(timings.algorithm1() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn untraced_wrappers_match_the_canonical_entry() {
+        let via_run = Analysis::run(figure1()).unwrap();
+        let via_traced =
+            Analysis::run_traced(figure1(), RangeOptions::default(), &Trace::noop()).unwrap();
+        assert_eq!(via_run.ranges(), via_traced.ranges());
+        assert_eq!(via_run.report(), via_traced.report());
     }
 
     /// Property tests (gated: the `proptest` crate is not vendored, so the

@@ -15,12 +15,16 @@
 //!   analysis and emission entirely; an optional on-disk layer persists
 //!   artifacts across processes. Hit/miss counters are exposed via
 //!   [`CompileService::cache_stats`].
-//! - **Pipeline observability** — each job reports monotonic per-stage
-//!   timings (parse, flatten, hash, dfg, iomap, algorithm1, lower, emit)
-//!   and redundancy counters (blocks analyzed, optimizable blocks,
-//!   elements eliminated), rendered as a human table
-//!   ([`BatchReport::render_table`]) and machine lines
-//!   ([`BatchReport::machine_lines`]).
+//! - **Pipeline observability** — every job records its stages into a
+//!   [`frodo_obs::Trace`] (the caller's, via [`JobSpec::with_trace`] /
+//!   [`CompileService::compile_batch_traced`], or a job-local one
+//!   otherwise) and derives monotonic per-stage timings from it
+//!   ([`StageTimings`]: parse, flatten, hash, cache, dfg, iomap, ranges,
+//!   classify, lower, emit) plus redundancy counters (blocks analyzed,
+//!   optimizable blocks, elements eliminated), rendered as a human table
+//!   ([`BatchReport::render_table`]), machine lines
+//!   ([`BatchReport::machine_lines`]), and — for traced batches — a span
+//!   tree ([`BatchReport::render_trace`]).
 //!
 //! # Example
 //!
@@ -63,11 +67,12 @@ pub use report::{BatchReport, CompileReport, JobMetrics, StageTimings};
 
 use cache::{ArtifactCache, CachedArtifact};
 use frodo_codegen::lir::Program;
-use frodo_codegen::{emit_c_with, generate_with, CEmitOptions, GeneratorStyle, LowerOptions};
+use frodo_codegen::{emit_c_traced, generate_traced, CEmitOptions, GeneratorStyle, LowerOptions};
 use frodo_core::{Analysis, RangeOptions};
 use frodo_model::Model;
+use frodo_obs::Trace;
 use frodo_slx::fnv::{ContentDigest, DigestWriter};
-use frodo_slx::{read_mdl, read_slx, write_mdl};
+use frodo_slx::{read_mdl_traced, read_slx_traced, write_mdl};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -119,6 +124,10 @@ pub struct JobSpec {
     pub style: GeneratorStyle,
     /// Analysis/lowering/emission options.
     pub options: CompileOptions,
+    /// Trace sink the job records into. Defaults to [`Trace::noop`], in
+    /// which case the worker records into a job-local trace just to derive
+    /// the report's [`StageTimings`].
+    pub trace: Trace,
 }
 
 impl JobSpec {
@@ -129,6 +138,7 @@ impl JobSpec {
             source: JobSource::Model(model),
             style,
             options: CompileOptions::default(),
+            trace: Trace::noop(),
         }
     }
 
@@ -144,6 +154,7 @@ impl JobSpec {
             source: JobSource::Path(path),
             style,
             options: CompileOptions::default(),
+            trace: Trace::noop(),
         }
     }
 
@@ -158,12 +169,20 @@ impl JobSpec {
             source: JobSource::Builder(Box::new(f)),
             style,
             options: CompileOptions::default(),
+            trace: Trace::noop(),
         }
     }
 
     /// Replaces the job's compile options.
     pub fn with_options(mut self, options: CompileOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Attaches a trace sink: the job records its stage spans and counters
+    /// there (under a `job:{name}` root span) instead of a job-local trace.
+    pub fn with_trace(mut self, trace: &Trace) -> Self {
+        self.trace = trace.clone();
         self
     }
 }
@@ -279,18 +298,50 @@ impl CompileService {
     /// Compiles a batch on the worker pool; results come back in
     /// submission order.
     pub fn compile_batch(&self, specs: Vec<JobSpec>) -> BatchReport {
+        self.compile_batch_traced(specs, &Trace::noop())
+    }
+
+    /// Compiles a batch with every job recording into `trace` under a
+    /// shared `batch` root span. Workers record concurrently (the trace is
+    /// thread-safe); each job still gets isolated [`StageTimings`] because
+    /// they are derived from its own `job:{name}` subtree. Per-job wall
+    /// clocks land in the `job_total_ns` histogram, and the trace rides on
+    /// the report for [`BatchReport::render_trace`].
+    pub fn compile_batch_traced(&self, specs: Vec<JobSpec>, trace: &Trace) -> BatchReport {
         let workers = self.workers();
         let start = Instant::now();
+        let batch_span = trace.span("batch");
+        batch_span.count("jobs", specs.len() as u64);
+        let specs = if trace.is_enabled() {
+            let bt = batch_span.trace();
+            specs.into_iter().map(|s| s.with_trace(&bt)).collect()
+        } else {
+            specs
+        };
         let jobs = pool::run_batch(self, specs, workers);
+        batch_span.end();
+        if trace.is_enabled() {
+            for job in jobs.iter().flatten() {
+                trace.observe("job_total_ns", job.report.timings.total().as_nanos() as f64);
+            }
+        }
         BatchReport {
             jobs,
             wall: start.elapsed(),
             workers,
             cache: self.cache_stats(),
+            trace: trace.is_enabled().then(|| trace.clone()),
         }
     }
 
     /// Compiles one job on the calling thread.
+    ///
+    /// Every stage records a span on the job's trace — the sink attached
+    /// via [`JobSpec::with_trace`], or a job-local recorder otherwise (the
+    /// report's [`StageTimings`] are always derived from a real trace; the
+    /// job-local one is simply dropped afterwards). The spans nest under a
+    /// `job:{name}` root, so many jobs can share one sink and still be
+    /// told apart.
     ///
     /// # Errors
     ///
@@ -303,40 +354,58 @@ impl CompileService {
             source,
             style,
             options,
+            trace: sink,
         } = spec;
-        let mut timings = StageTimings::default();
+        let trace = if sink.is_enabled() { sink } else { Trace::new() };
+        let job_span = trace.span(&format!("job:{name}"));
+        let job_id = job_span.id();
+        let jt = job_span.trace();
 
         // parse: obtain the model
-        let t = Instant::now();
-        let model = match source {
-            JobSource::Model(m) => m,
-            JobSource::Path(p) => load_model(&p).map_err(|message| JobError::Load {
-                job: name.clone(),
-                message,
-            })?,
-            JobSource::Builder(f) => f().map_err(|message| JobError::Load {
-                job: name.clone(),
-                message,
-            })?,
+        let model = {
+            let parse = jt.span("parse");
+            let pt = parse.trace();
+            match source {
+                JobSource::Model(m) => m,
+                JobSource::Path(p) => {
+                    load_model(&p, &pt).map_err(|message| JobError::Load {
+                        job: name.clone(),
+                        message,
+                    })?
+                }
+                JobSource::Builder(f) => f().map_err(|message| JobError::Load {
+                    job: name.clone(),
+                    message,
+                })?,
+            }
         };
-        timings.parse = t.elapsed();
 
-        // flatten: the canonical, cache-keyable form
-        let t = Instant::now();
-        let flat = model.flattened().map_err(|e| JobError::Analysis {
-            job: name.clone(),
-            message: e.to_string(),
-        })?;
-        timings.flatten = t.elapsed();
+        // flatten: the canonical, cache-keyable form (records its own span)
+        let flat = model
+            .flattened_traced(&jt)
+            .map_err(|e| JobError::Analysis {
+                job: name.clone(),
+                message: e.to_string(),
+            })?;
 
         // hash: content digest of flattened model + options
-        let t = Instant::now();
-        let digest = cache_key(&flat, style, &options);
-        timings.hash = t.elapsed();
+        let digest = {
+            let _s = jt.span("hash");
+            cache_key(&flat, style, &options)
+        };
         let hex = digest.to_hex();
 
         if !self.config.no_cache {
-            if let Some((art, status)) = self.cache.lookup(&hex) {
+            let lookup = {
+                let span = jt.span("cache");
+                let lookup = self.cache.lookup(&hex);
+                span.count("cache_hits", lookup.is_some() as u64);
+                lookup
+            };
+            if let Some((art, status)) = lookup {
+                jt.count("bytes_emitted", art.code.len() as u64);
+                job_span.end();
+                let timings = StageTimings::for_span(&trace, job_id);
                 return Ok(JobOutput {
                     report: CompileReport {
                         job: name,
@@ -353,25 +422,18 @@ impl CompileService {
             }
         }
 
-        // analysis: dfg + iomap + Algorithm 1 + classification
-        let (analysis, at) =
-            Analysis::run_instrumented(flat, options.range).map_err(|e| JobError::Analysis {
+        // analysis: dfg + iomap + Algorithm 1 + classification. The
+        // model is already flat, so the inner flatten span is a no-op
+        // pass recorded alongside the real one above.
+        let analysis =
+            Analysis::run_traced(flat, options.range, &jt).map_err(|e| JobError::Analysis {
                 job: name.clone(),
                 message: e.to_string(),
             })?;
-        timings.dfg = at.dfg;
-        timings.iomap = at.iomap;
-        timings.algorithm1 = at.ranges + at.classify;
 
-        // lower: loop IR generation
-        let t = Instant::now();
-        let program = generate_with(&analysis, style, options.lower);
-        timings.lower = t.elapsed();
-
-        // emit: C text
-        let t = Instant::now();
-        let code = emit_c_with(&program, options.emit);
-        timings.emit = t.elapsed();
+        // lower + emit (each records its own span)
+        let program = generate_traced(&analysis, style, options.lower, &jt);
+        let code = emit_c_traced(&program, options.emit, &jt);
 
         let metrics = JobMetrics::from_analysis(&analysis);
         if !self.config.no_cache {
@@ -384,6 +446,8 @@ impl CompileService {
                 },
             );
         }
+        job_span.end();
+        let timings = StageTimings::for_span(&trace, job_id);
         Ok(JobOutput {
             report: CompileReport {
                 job: name,
@@ -400,17 +464,18 @@ impl CompileService {
     }
 }
 
-/// Reads a `.slx` or `.mdl` model file.
-fn load_model(path: &Path) -> Result<Model, String> {
+/// Reads a `.slx` or `.mdl` model file, recording parse sub-spans on
+/// `trace`.
+fn load_model(path: &Path, trace: &Trace) -> Result<Model, String> {
     match path.extension().and_then(|e| e.to_str()) {
         Some("slx") => {
             let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
-            read_slx(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+            read_slx_traced(&bytes, trace).map_err(|e| format!("{}: {e}", path.display()))
         }
         Some("mdl") => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-            read_mdl(&text).map_err(|e| format!("{}: {e}", path.display()))
+            read_mdl_traced(&text, trace).map_err(|e| format!("{}: {e}", path.display()))
         }
         _ => Err(format!(
             "{}: expected a .slx or .mdl file",
@@ -515,6 +580,25 @@ mod tests {
         assert_eq!(b.report.cache, CacheStatus::Miss);
         assert_eq!(a.code, b.code);
         assert_eq!(uncached.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn traced_jobs_share_a_sink_with_isolated_timings() {
+        use std::time::Duration;
+        let service = CompileService::with_defaults();
+        let trace = Trace::new();
+        let spec = |_: usize| {
+            JobSpec::from_model("g", gain_model(2.0), GeneratorStyle::Frodo).with_trace(&trace)
+        };
+        let first = service.compile(spec(0)).unwrap();
+        let again = service.compile(spec(1)).unwrap();
+        let snap = trace.snapshot();
+        assert_eq!(snap.spans.iter().filter(|s| s.name == "job:g").count(), 2);
+        assert_eq!(trace.counter_total("cache_hits"), 1);
+        // per-job timings come from each job's own subtree, not the sum
+        assert!(first.report.timings.emit > Duration::ZERO);
+        assert_eq!(again.report.timings.emit, Duration::ZERO);
+        assert!(again.report.timings.cache > Duration::ZERO);
     }
 
     #[test]

@@ -9,52 +9,11 @@ use frodo_slx::fnv::ContentDigest;
 use std::fmt::Write as _;
 use std::time::Duration;
 
-/// Monotonic wall-clock cost of each pipeline stage for one job.
-///
-/// Stages a cache hit skips (everything from `dfg` on) stay at zero; the
-/// stages that always run (`parse`, `flatten`, `hash`) are measured on
-/// hits too, so the table shows what a hit actually costs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StageTimings {
-    /// Model acquisition: file read + `.slx`/`.mdl` parse, or running a
-    /// programmatic builder.
-    pub parse: Duration,
-    /// Subsystem flattening of the parsed model.
-    pub flatten: Duration,
-    /// Content-digest computation over the flattened model + options.
-    pub hash: Duration,
-    /// Graph construction (validate, shape inference, adjacency).
-    pub dfg: Duration,
-    /// I/O-mapping derivation.
-    pub iomap: Duration,
-    /// Algorithm 1 (calculation ranges) + optimizable-block classification.
-    pub algorithm1: Duration,
-    /// Lowering to the loop IR.
-    pub lower: Duration,
-    /// C emission.
-    pub emit: Duration,
-}
-
-impl StageTimings {
-    /// Stage names and durations in pipeline order.
-    pub fn rows(&self) -> [(&'static str, Duration); 8] {
-        [
-            ("parse", self.parse),
-            ("flatten", self.flatten),
-            ("hash", self.hash),
-            ("dfg", self.dfg),
-            ("iomap", self.iomap),
-            ("algorithm1", self.algorithm1),
-            ("lower", self.lower),
-            ("emit", self.emit),
-        ]
-    }
-
-    /// Sum of all stages.
-    pub fn total(&self) -> Duration {
-        self.rows().iter().map(|&(_, d)| d).sum()
-    }
-}
+// The one per-stage timing type of the workspace lives in `frodo-obs`
+// and is *derived* from the job's trace; re-exported here so driver
+// consumers keep their import paths.
+pub use frodo_obs::{fmt_duration, StageTimings};
+use frodo_obs::Trace;
 
 /// Redundancy-elimination counters for one job, lifted from the analysis
 /// classification (`OptimizationReport`).
@@ -114,6 +73,9 @@ pub struct BatchReport {
     pub workers: usize,
     /// Cumulative service cache statistics after the batch.
     pub cache: CacheStats,
+    /// The trace the batch recorded into, when one was attached via
+    /// [`crate::CompileService::compile_batch_traced`]; `None` otherwise.
+    pub trace: Option<Trace>,
 }
 
 impl BatchReport {
@@ -185,7 +147,7 @@ impl BatchReport {
                         fmt_duration(t.flatten),
                         fmt_duration(t.dfg),
                         fmt_duration(t.iomap),
-                        fmt_duration(t.algorithm1),
+                        fmt_duration(t.algorithm1()),
                         fmt_duration(t.lower),
                         fmt_duration(t.emit),
                         fmt_duration(t.total()),
@@ -267,6 +229,12 @@ impl BatchReport {
         );
         out
     }
+
+    /// Renders the recorded span tree when the batch ran with a trace
+    /// attached; `None` for untraced batches.
+    pub fn render_trace(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| t.render_tree())
+    }
 }
 
 /// Replaces whitespace so a job name stays a single `key=value` token.
@@ -274,47 +242,9 @@ fn machine_token(s: &str) -> String {
     s.replace(char::is_whitespace, "_")
 }
 
-/// Formats a duration compactly for the human table (ns/us/ms/s).
-pub fn fmt_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
-    if ns < 1_000 {
-        format!("{ns}ns")
-    } else if ns < 1_000_000 {
-        format!("{:.1}us", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.1}ms", ns as f64 / 1e6)
-    } else {
-        format!("{:.2}s", ns as f64 / 1e9)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn stage_total_sums_rows() {
-        let t = StageTimings {
-            parse: Duration::from_nanos(1),
-            flatten: Duration::from_nanos(2),
-            hash: Duration::from_nanos(3),
-            dfg: Duration::from_nanos(4),
-            iomap: Duration::from_nanos(5),
-            algorithm1: Duration::from_nanos(6),
-            lower: Duration::from_nanos(7),
-            emit: Duration::from_nanos(8),
-        };
-        assert_eq!(t.total(), Duration::from_nanos(36));
-        assert_eq!(t.rows().len(), 8);
-    }
-
-    #[test]
-    fn duration_formatting_scales() {
-        assert_eq!(fmt_duration(Duration::from_nanos(17)), "17ns");
-        assert_eq!(fmt_duration(Duration::from_micros(17)), "17.0us");
-        assert_eq!(fmt_duration(Duration::from_millis(17)), "17.0ms");
-        assert_eq!(fmt_duration(Duration::from_secs(17)), "17.00s");
-    }
 
     #[test]
     fn machine_token_has_no_spaces() {

@@ -25,9 +25,30 @@ impl Dfg {
     /// Propagates any [`ModelError`] from flattening, validation, or shape
     /// inference.
     pub fn new(model: Model) -> Result<Self, ModelError> {
-        let flat = model.flattened()?;
-        flat.validate()?;
-        let shapes = flat.infer_shapes()?;
+        Dfg::new_traced(model, &frodo_obs::Trace::noop())
+    }
+
+    /// [`Dfg::new`], recorded on the given trace: a `flatten` span for
+    /// subsystem flattening and a `dfg` span (with nested `validate` and
+    /// `shape_infer` child spans and block/connection counters) for graph
+    /// construction proper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ModelError`] from flattening, validation, or shape
+    /// inference.
+    pub fn new_traced(model: Model, trace: &frodo_obs::Trace) -> Result<Self, ModelError> {
+        let flat = model.flattened_traced(trace)?;
+        let span = trace.span("dfg");
+        let inner = span.trace();
+        {
+            let _v = inner.span("validate");
+            flat.validate()?;
+        }
+        let shapes = {
+            let _s = inner.span("shape_infer");
+            flat.infer_shapes()?
+        };
         let n = flat.len();
         let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
         let mut parents: Vec<Vec<BlockId>> = vec![Vec::new(); n];
@@ -40,6 +61,8 @@ impl Dfg {
                 parents[d.index()].push(s);
             }
         }
+        span.count("blocks", n as u64);
+        span.count("connections", flat.connections().len() as u64);
         Ok(Dfg {
             model: flat,
             shapes,

@@ -239,6 +239,19 @@ impl Model {
         crate::flatten::flatten(self)
     }
 
+    /// [`Model::flattened`], recorded as a `flatten` span (with a
+    /// `blocks_flattened` counter) on the given trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a subsystem's port blocks are inconsistent.
+    pub fn flattened_traced(&self, trace: &frodo_obs::Trace) -> Result<Model, ModelError> {
+        let span = trace.span("flatten");
+        let flat = self.flattened()?;
+        span.count("blocks_flattened", flat.len() as u64);
+        Ok(flat)
+    }
+
     #[allow(dead_code)]
     pub(crate) fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();

@@ -1,0 +1,283 @@
+//! Trace renderings: the human span tree and the machine NDJSON / JSON
+//! exports. All JSON is emitted by hand — this crate depends on nothing.
+
+use crate::stage::fmt_duration;
+use crate::trace::{CounterRecord, SpanId, SpanRecord, Trace, TraceSnapshot, NO_PARENT};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+impl Trace {
+    /// Renders the recorded spans as an indented tree with durations and
+    /// per-span counters, followed by histogram summaries. Returns an
+    /// empty string for a no-op or empty trace.
+    pub fn render_tree(&self) -> String {
+        render_tree(&self.snapshot())
+    }
+
+    /// Exports the trace as NDJSON: one flat JSON object per line — every
+    /// span (`"type":"span"`), counter increment (`"type":"counter"`), and
+    /// histogram (`"type":"hist"`). Field and stage names are stable (see
+    /// [`crate::STAGE_NAMES`] and the golden schema test).
+    pub fn to_ndjson(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for s in &snap.spans {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{}}}",
+                s.id,
+                s.parent,
+                json_escape(&s.name),
+                s.start_ns,
+                s.dur_ns
+            );
+        }
+        for c in &snap.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"span\":{},\"name\":\"{}\",\"value\":{}}}",
+                c.span,
+                json_escape(&c.name),
+                c.value
+            );
+        }
+        for (name, h) in &snap.histograms {
+            let (uppers, counts): (Vec<String>, Vec<String>) = h
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(u, n)| (u.to_string(), n.to_string()))
+                .unzip();
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"bucket_upper\":[{}],\"bucket_count\":[{}]}}",
+                json_escape(name),
+                h.count(),
+                json_number(h.sum()),
+                json_number(h.min()),
+                json_number(h.max()),
+                uppers.join(","),
+                counts.join(",")
+            );
+        }
+        out
+    }
+
+    /// Exports the whole trace as one JSON object with `spans`,
+    /// `counters`, and `histograms` arrays (same records as the NDJSON
+    /// form, for consumers that prefer a single document).
+    pub fn to_json(&self) -> String {
+        let ndjson = self.to_ndjson();
+        let mut spans = Vec::new();
+        let mut counters = Vec::new();
+        let mut hists = Vec::new();
+        for line in ndjson.lines() {
+            // the NDJSON lines are already valid JSON objects; sort them
+            // into arrays by their type tag
+            let stripped: String = line
+                .replacen("\"type\":\"span\",", "", 1)
+                .replacen("\"type\":\"counter\",", "", 1)
+                .replacen("\"type\":\"hist\",", "", 1);
+            if line.contains("\"type\":\"span\"") {
+                spans.push(stripped);
+            } else if line.contains("\"type\":\"counter\"") {
+                counters.push(stripped);
+            } else {
+                hists.push(stripped);
+            }
+        }
+        format!(
+            "{{\"spans\":[{}],\"counters\":[{}],\"histograms\":[{}]}}",
+            spans.join(","),
+            counters.join(","),
+            hists.join(",")
+        )
+    }
+}
+
+/// Renders a snapshot as a span tree (see [`Trace::render_tree`]).
+pub fn render_tree(snap: &TraceSnapshot) -> String {
+    if snap.spans.is_empty() && snap.counters.is_empty() && snap.histograms.is_empty() {
+        return String::new();
+    }
+    let mut children: HashMap<SpanId, Vec<&SpanRecord>> = HashMap::new();
+    let known: HashMap<SpanId, ()> = snap.spans.iter().map(|s| (s.id, ())).collect();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for s in &snap.spans {
+        // a span whose parent never finished (or was recorded by a scoped
+        // handle outside any span) renders as a root
+        if s.parent == NO_PARENT || !known.contains_key(&s.parent) {
+            roots.push(s);
+        } else {
+            children.entry(s.parent).or_default().push(s);
+        }
+    }
+    let mut counters: HashMap<SpanId, Vec<&CounterRecord>> = HashMap::new();
+    for c in &snap.counters {
+        counters.entry(c.span).or_default().push(c);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} span{}, {} counter record{}, {} histogram{}",
+        snap.spans.len(),
+        plural(snap.spans.len()),
+        snap.counters.len(),
+        plural(snap.counters.len()),
+        snap.histograms.len(),
+        plural(snap.histograms.len())
+    );
+    for (i, root) in roots.iter().enumerate() {
+        render_span(&mut out, root, &children, &counters, "", i + 1 == roots.len());
+    }
+    if let Some(cs) = counters.get(&NO_PARENT) {
+        for c in cs {
+            let _ = writeln!(out, "counter {} = {}", c.name, c.value);
+        }
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "hist {name}: {} obs, mean {}, min {}, max {}",
+            h.count(),
+            fmt_duration(Duration::from_nanos(h.mean() as u64)),
+            fmt_duration(Duration::from_nanos(h.min() as u64)),
+            fmt_duration(Duration::from_nanos(h.max() as u64))
+        );
+    }
+    out
+}
+
+fn render_span(
+    out: &mut String,
+    span: &SpanRecord,
+    children: &HashMap<SpanId, Vec<&SpanRecord>>,
+    counters: &HashMap<SpanId, Vec<&CounterRecord>>,
+    prefix: &str,
+    last: bool,
+) {
+    let branch = if last { "└─ " } else { "├─ " };
+    let _ = write!(
+        out,
+        "{prefix}{branch}{} {}",
+        span.name,
+        fmt_duration(Duration::from_nanos(span.dur_ns))
+    );
+    if let Some(cs) = counters.get(&span.id) {
+        let attrs: Vec<String> = cs.iter().map(|c| format!("{}={}", c.name, c.value)).collect();
+        let _ = write!(out, " [{}]", attrs.join(", "));
+    }
+    out.push('\n');
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    if let Some(kids) = children.get(&span.id) {
+        for (i, kid) in kids.iter().enumerate() {
+            render_span(out, kid, children, counters, &child_prefix, i + 1 == kids.len());
+        }
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; they
+/// collapse to 0).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let t = Trace::new();
+        let job = t.span("job:demo");
+        {
+            let p = job.child("parse");
+            p.count("bytes", 128);
+        }
+        {
+            let _e = job.child("emit");
+        }
+        drop(job);
+        t.observe("job_ns", 1500.0);
+        t
+    }
+
+    #[test]
+    fn tree_shows_hierarchy_counters_and_hists() {
+        let tree = sample_trace().render_tree();
+        assert!(tree.starts_with("trace: 3 spans, 1 counter record, 1 histogram"));
+        assert!(tree.contains("└─ job:demo"));
+        assert!(tree.contains("├─ parse"));
+        assert!(tree.contains("[bytes=128]"));
+        assert!(tree.contains("└─ emit"));
+        assert!(tree.contains("hist job_ns: 1 obs"));
+    }
+
+    #[test]
+    fn empty_and_noop_traces_render_empty() {
+        assert_eq!(Trace::noop().render_tree(), "");
+        assert_eq!(Trace::new().render_tree(), "");
+        assert_eq!(Trace::noop().to_ndjson(), "");
+    }
+
+    #[test]
+    fn ndjson_lines_are_flat_objects_with_stable_fields() {
+        let text = sample_trace().to_ndjson();
+        assert_eq!(text.lines().count(), 5); // 3 spans + 1 counter + 1 hist
+        for line in text.lines() {
+            let fields = crate::ndjson::parse_line(line).expect("parses");
+            assert!(fields.iter().any(|(k, _)| k == "type"));
+        }
+        assert!(text.contains("\"type\":\"span\""));
+        assert!(text.contains("\"name\":\"parse\""));
+        assert!(text.contains("\"type\":\"counter\""));
+        assert!(text.contains("\"value\":128"));
+        assert!(text.contains("\"type\":\"hist\""));
+    }
+
+    #[test]
+    fn json_document_wraps_the_same_records() {
+        let doc = sample_trace().to_json();
+        assert!(doc.starts_with("{\"spans\":["));
+        assert!(doc.contains("\"counters\":["));
+        assert!(doc.contains("\"histograms\":["));
+        assert!(doc.contains("\"name\":\"emit\""));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,158 @@
+//! A small fixed-footprint histogram: count/sum/min/max plus power-of-two
+//! buckets, enough to characterize latency distributions without any
+//! external metrics crate.
+
+/// Log2-bucketed histogram over non-negative observations.
+///
+/// Bucket `i` covers values in `[2^(i-1), 2^i)` (bucket 0 covers `< 1`);
+/// the last bucket absorbs everything larger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; Histogram::BUCKETS],
+}
+
+impl Histogram {
+    /// Number of power-of-two buckets.
+    pub const BUCKETS: usize = 48;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; Histogram::BUCKETS],
+        }
+    }
+
+    /// Records one observation (negative values clamp to zero).
+    pub fn record(&mut self, value: f64) {
+        let v = value.max(0.0);
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        if v < 1.0 {
+            0
+        } else {
+            // number of bits of floor(v): 1 for [1,2), 2 for [2,4), ...
+            let bits = 64 - (v as u64).leading_zeros() as usize;
+            bits.min(Histogram::BUCKETS - 1)
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(exclusive upper bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (1u64 << i, n))
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn observations_land_in_log2_buckets() {
+        let mut h = Histogram::new();
+        h.record(0.5); // bucket 0: < 1
+        h.record(1.0); // bucket 1: [1, 2)
+        h.record(3.0); // bucket 2: [2, 4)
+        h.record(3.9);
+        h.record(-7.0); // clamps to 0 -> bucket 0
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 3.9);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(1, 2), (2, 1), (4, 2)],
+        );
+    }
+
+    #[test]
+    fn huge_values_saturate_the_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(f64::MAX);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0], (1u64 << (Histogram::BUCKETS - 1), 1));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = Histogram::new();
+        for v in [10.0, 20.0, 30.0] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.sum(), 60.0);
+        assert_eq!(h.min(), 10.0);
+        assert_eq!(h.max(), 30.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! A minimal NDJSON reader for the trace export format: enough JSON to
+//! parse the *flat* objects [`crate::Trace::to_ndjson`] emits, so tests
+//! and CI gates can validate exported traces without a JSON crate.
+
+/// A parsed JSON value in a flat trace object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string literal (unescaped).
+    Str(String),
+    /// A number.
+    Num(f64),
+    /// An array of numbers.
+    Arr(Vec<f64>),
+}
+
+/// Per-type line counts of a validated NDJSON document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// `"type":"span"` lines.
+    pub spans: usize,
+    /// `"type":"counter"` lines.
+    pub counters: usize,
+    /// `"type":"hist"` lines.
+    pub hists: usize,
+}
+
+/// Parses one NDJSON line: a flat JSON object whose values are strings,
+/// numbers, or arrays of numbers. Returns the fields in document order.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax violation.
+pub fn parse_line(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser {
+        bytes: line.trim().as_bytes(),
+        pos: 0,
+    };
+    let fields = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(fields)
+}
+
+/// Validates a whole NDJSON document: every non-empty line must parse and
+/// carry a known `"type"` with that type's required fields.
+///
+/// # Errors
+///
+/// Returns `line number: problem` for the first invalid line.
+pub fn validate(text: &str) -> Result<Stats, String> {
+    let mut stats = Stats::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let require = |keys: &[&str]| -> Result<(), String> {
+            for key in keys {
+                match get(key) {
+                    Some(_) => {}
+                    None => return Err(format!("line {}: missing field {key:?}", i + 1)),
+                }
+            }
+            Ok(())
+        };
+        match get("type") {
+            Some(Value::Str(t)) if t == "span" => {
+                require(&["id", "parent", "name", "start_ns", "dur_ns"])?;
+                stats.spans += 1;
+            }
+            Some(Value::Str(t)) if t == "counter" => {
+                require(&["span", "name", "value"])?;
+                stats.counters += 1;
+            }
+            Some(Value::Str(t)) if t == "hist" => {
+                require(&["name", "count", "sum", "min", "max"])?;
+                stats.hists += 1;
+            }
+            Some(Value::Str(t)) => return Err(format!("line {}: unknown type {t:?}", i + 1)),
+            _ => return Err(format!("line {}: missing \"type\"", i + 1)),
+        }
+    }
+    Ok(stats)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, Value)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.number()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                    }
+                }
+            }
+            Some(_) => Ok(Value::Num(self.number()?)),
+            None => Err("unexpected end of line".to_string()),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // consume one UTF-8 code point
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                    let _ = b;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let fields = parse_line(
+            r#"{"type":"span","id":3,"parent":0,"name":"pa\"rse","start_ns":12,"dur_ns":34}"#,
+        )
+        .unwrap();
+        assert_eq!(fields[0], ("type".to_string(), Value::Str("span".into())));
+        assert_eq!(fields[1], ("id".to_string(), Value::Num(3.0)));
+        assert_eq!(fields[3], ("name".to_string(), Value::Str("pa\"rse".into())));
+    }
+
+    #[test]
+    fn parses_number_arrays() {
+        let fields = parse_line(r#"{"bucket_upper":[1,2,4],"bucket_count":[]}"#).unwrap();
+        assert_eq!(
+            fields[0].1,
+            Value::Arr(vec![1.0, 2.0, 4.0])
+        );
+        assert_eq!(fields[1].1, Value::Arr(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("{").is_err());
+        assert!(parse_line(r#"{"a":}"#).is_err());
+        assert!(parse_line(r#"{"a":1} extra"#).is_err());
+        assert!(parse_line(r#"{"a":"unterminated}"#).is_err());
+    }
+
+    #[test]
+    fn validate_checks_required_fields_per_type() {
+        let good = "\
+{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"parse\",\"start_ns\":0,\"dur_ns\":5}\n\
+{\"type\":\"counter\",\"span\":1,\"name\":\"bytes\",\"value\":9}\n\
+{\"type\":\"hist\",\"name\":\"h\",\"count\":1,\"sum\":2,\"min\":2,\"max\":2,\"bucket_upper\":[2],\"bucket_count\":[1]}\n";
+        let stats = validate(good).unwrap();
+        assert_eq!(
+            stats,
+            Stats {
+                spans: 1,
+                counters: 1,
+                hists: 1
+            }
+        );
+        assert!(validate("{\"type\":\"span\",\"id\":1}\n").is_err());
+        assert!(validate("{\"type\":\"mystery\"}\n").is_err());
+        assert!(validate("not json\n").is_err());
+        assert_eq!(validate("\n\n").unwrap(), Stats::default());
+    }
+}

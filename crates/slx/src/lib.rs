@@ -55,5 +55,5 @@ pub mod xml;
 pub mod zip;
 
 pub use error::FormatError;
-pub use mdl::{read_mdl, write_mdl};
-pub use slx::{read_slx, write_slx};
+pub use mdl::{read_mdl, read_mdl_traced, write_mdl};
+pub use slx::{read_slx, read_slx_traced, write_slx};

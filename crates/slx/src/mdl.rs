@@ -251,6 +251,19 @@ fn system_to_section(model: &Model) -> Section {
 /// Returns [`FormatError::Mdl`] for syntax problems and
 /// [`FormatError::Schema`] for semantic ones.
 pub fn read_mdl(text: &str) -> Result<Model, FormatError> {
+    read_mdl_traced(text, &frodo_obs::Trace::noop())
+}
+
+/// [`read_mdl`], recorded as an `mdl_parse` span (with an `mdl_bytes`
+/// counter) on the given trace.
+///
+/// # Errors
+///
+/// Returns [`FormatError::Mdl`] for syntax problems and
+/// [`FormatError::Schema`] for semantic ones.
+pub fn read_mdl_traced(text: &str, trace: &frodo_obs::Trace) -> Result<Model, FormatError> {
+    let span = trace.span("mdl_parse");
+    span.count("mdl_bytes", text.len() as u64);
     let root = parse_sections(text)?;
     if root.name != "Model" {
         return Err(FormatError::Schema(format!(

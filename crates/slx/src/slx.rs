@@ -50,14 +50,37 @@ pub fn write_slx(model: &Model) -> Result<Vec<u8>, FormatError> {
 /// Propagates container ([`FormatError::Zip`]), decompression, XML, and
 /// schema errors.
 pub fn read_slx(bytes: &[u8]) -> Result<Model, FormatError> {
-    let ar = Archive::from_bytes(bytes)?;
-    let diagram = ar
-        .get(BLOCKDIAGRAM_PATH)
-        .ok_or_else(|| FormatError::Schema(format!("archive has no {BLOCKDIAGRAM_PATH}")))?;
-    let text = std::str::from_utf8(diagram)
-        .map_err(|_| FormatError::Schema("block diagram is not UTF-8".into()))?;
-    let root = parse_xml(text)?;
-    model_from_xml(&root)
+    read_slx_traced(bytes, &frodo_obs::Trace::noop())
+}
+
+/// [`read_slx`], recorded on the given trace: an `unzip` span for
+/// container decompression (with `slx_bytes`/`inflated_bytes` counters),
+/// an `xml_parse` span, and a `build_model` span for the XML→model
+/// mapping.
+///
+/// # Errors
+///
+/// Propagates container ([`FormatError::Zip`]), decompression, XML, and
+/// schema errors.
+pub fn read_slx_traced(bytes: &[u8], trace: &frodo_obs::Trace) -> Result<Model, FormatError> {
+    let text = {
+        let span = trace.span("unzip");
+        let ar = Archive::from_bytes(bytes)?;
+        let diagram = ar
+            .get(BLOCKDIAGRAM_PATH)
+            .ok_or_else(|| FormatError::Schema(format!("archive has no {BLOCKDIAGRAM_PATH}")))?;
+        span.count("slx_bytes", bytes.len() as u64);
+        span.count("inflated_bytes", diagram.len() as u64);
+        std::str::from_utf8(diagram)
+            .map_err(|_| FormatError::Schema("block diagram is not UTF-8".into()))?
+            .to_string()
+    };
+    let parsed = {
+        let _x = trace.span("xml_parse");
+        parse_xml(&text)?
+    };
+    let _b = trace.span("build_model");
+    model_from_xml(&parsed)
 }
 
 fn content_types() -> Element {

@@ -15,22 +15,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = frodo::benchmodels::all();
     let configs = CostModel::all();
 
+    // Analyze every model once, on a shared trace, instead of re-running
+    // the pipeline per cost profile.
+    let trace = Trace::new();
+    let mut analyses = Vec::new();
+    for bench in &suite {
+        let a = Analysis::run_traced(bench.model.clone(), RangeOptions::default(), &trace)?;
+        analyses.push((bench.name, a));
+    }
+
     for cm in &configs {
         println!("== {} ==", cm.label());
         println!(
             "{:<14} {:>10} {:>10} {:>10} {:>10} {:>18}",
             "model", "Simulink", "DFSynth", "HCG", "Frodo", "Frodo speedup"
         );
-        for bench in &suite {
-            let analysis = Analysis::run(bench.model.clone())?;
+        for (name, analysis) in &analyses {
             let us: Vec<f64> = GeneratorStyle::ALL
                 .iter()
-                .map(|&s| cm.program_ns(&generate(&analysis, s)) / 1e3)
+                .map(|&s| cm.program_ns(&generate(analysis, s)) / 1e3)
                 .collect();
             let best_other = us[..3].iter().cloned().fold(f64::MAX, f64::min);
             println!(
                 "{:<14} {:>8.1}us {:>8.1}us {:>8.1}us {:>8.1}us {:>13.2}x",
-                bench.name,
+                name,
                 us[0],
                 us[1],
                 us[2],
@@ -40,6 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
+
+    println!("== analysis cost across the suite (per stage) ==");
+    let stages = StageTimings::from_trace(&trace);
+    for (name, d) in stages.rows().iter().filter(|(_, d)| !d.is_zero()) {
+        println!("{name:<10} {}", frodo::obs::fmt_duration(*d));
+    }
+    println!("{:<10} {}\n", "total", frodo::obs::fmt_duration(stages.total()));
 
     if want_native {
         if !native::gcc_available() {
@@ -51,12 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<14} {:>10} {:>10} {:>10} {:>10} {:>14}",
             "model", "Simulink", "DFSynth", "HCG", "Frodo", "Frodo speedup"
         );
-        for bench in &suite {
-            let analysis = Analysis::run(bench.model.clone())?;
+        for (name, analysis) in &analyses {
             let ns: Vec<f64> = GeneratorStyle::ALL
                 .iter()
                 .map(|&s| {
-                    let p = generate(&analysis, s);
+                    let p = generate(analysis, s);
                     native::compile_and_run(&p, s, 10_000)
                         .map(|r| r.ns_per_iter)
                         .unwrap_or(f64::NAN)
@@ -65,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let best_other = ns[..3].iter().cloned().fold(f64::MAX, f64::min);
             println!(
                 "{:<14} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>13.2}x",
-                bench.name,
+                name,
                 ns[0],
                 ns[1],
                 ns[2],

@@ -36,8 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     m.connect(conv, 0, same, 0)?;
     m.connect(same, 0, out, 0)?;
 
-    // 1. model analysis + calculation range determination (Algorithm 1)
-    let analysis = Analysis::run(m)?;
+    // 1. model analysis + calculation range determination (Algorithm 1),
+    //    recorded on a trace so stage costs can be read back afterwards
+    let trace = Trace::new();
+    let analysis = Analysis::run_traced(m, RangeOptions::default(), &trace)?;
     println!("{}", analysis.report());
     println!("convolution calculation range: {}", analysis.range(conv, 0));
 
@@ -62,7 +64,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .fold(0.0, f64::max);
     println!("max deviation from model simulation: {worst:.2e}");
 
-    // 4. the deployable C
+    // 4. where the analysis time went
+    println!("\nanalysis stage timings:");
+    let stages = StageTimings::from_trace(&trace);
+    for (name, d) in stages.rows().iter().filter(|(_, d)| !d.is_zero()) {
+        println!("  {name:<10} {}", frodo::obs::fmt_duration(*d));
+    }
+    println!("  {:<10} {}", "total", frodo::obs::fmt_duration(stages.total()));
+
+    // 5. the deployable C
     println!("\n--- generated C ---\n{}", emit_c(&program));
     Ok(())
 }

@@ -3,8 +3,9 @@
 //! ```text
 //! frodo analyze  <model.{slx,mdl}>                 redundancy-elimination report
 //! frodo build    <model> [-s STYLE] [--shared-helper] [-o out.c]
-//! frodo compile  <model> [-s STYLE] [--cache-dir D] [-o out.c]
+//! frodo compile  <model> [-s STYLE] [--cache-dir D] [--trace out.ndjson] [-o out.c]
 //! frodo batch    <models...> [--workers N] [--cache-dir D] [-s STYLES] [-o DIR]
+//!                [--trace] [--trace-out out.ndjson]
 //! frodo simulate <model> [--seed N] [--steps N]    reference simulation
 //! frodo bench    <model> [--native]                compare the four generators
 //! frodo convert  <in.{slx,mdl}> <out.{slx,mdl}>    format conversion
@@ -59,8 +60,9 @@ fn print_usage() {
          USAGE:\n\
          \x20 frodo analyze  <model.{{slx,mdl}}>\n\
          \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [-o out.c]\n\
-         \x20 frodo compile  <model> [-s STYLE] [--cache-dir DIR] [--no-cache] [-o out.c]\n\
+         \x20 frodo compile  <model> [-s STYLE] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
          \x20 frodo batch    <models...> [--workers N] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
+         \x20                [--trace] [--trace-out out.ndjson]\n\
          \x20 frodo simulate <model> [--seed N] [--steps N]\n\
          \x20 frodo bench    <model> [--native]\n\
          \x20 frodo verify   <model> [--seeds N] [--steps N]\n\
@@ -113,6 +115,23 @@ fn flag_value<'a>(args: &'a [String], names: &[&str]) -> Option<&'a str> {
     args.windows(2)
         .find(|w| names.contains(&w[0].as_str()))
         .map(|w| w[1].as_str())
+}
+
+/// Positional arguments: everything that is neither a flag nor a
+/// value-taking flag's value.
+fn positionals<'a>(args: &'a [String], value_flags: &[&str], bool_flags: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for arg in args {
+        if skip {
+            skip = false;
+        } else if value_flags.contains(&arg.as_str()) {
+            skip = true;
+        } else if !bool_flags.contains(&arg.as_str()) {
+            out.push(arg.as_str());
+        }
+    }
+    out
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
@@ -204,15 +223,24 @@ fn service_config(args: &[String]) -> Result<ServiceConfig, String> {
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
-    let model_ref = args.first().ok_or("compile: missing model path or name")?;
+    let pos = positionals(
+        args,
+        &["-s", "--style", "--cache-dir", "--workers", "-j", "--trace", "-o", "--output"],
+        &["--no-cache"],
+    );
+    let model_ref = pos.first().ok_or("compile: missing model path or name")?;
     let style = match flag_value(args, &["-s", "--style"]) {
         Some(s) => parse_style(s)?,
         None => GeneratorStyle::Frodo,
     };
+    let trace_out = flag_value(args, &["--trace"]);
+    let trace = trace_out.map(|_| Trace::new());
+    let mut spec = job_spec_for(model_ref, style)?;
+    if let Some(t) = &trace {
+        spec = spec.with_trace(t);
+    }
     let service = CompileService::new(service_config(args)?);
-    let out = service
-        .compile(job_spec_for(model_ref, style)?)
-        .map_err(|e| e.to_string())?;
+    let out = service.compile(spec).map_err(|e| e.to_string())?;
     let r = &out.report;
     eprintln!(
         "{} ({}): cache {}, digest {}, {} blocks ({} optimizable), \
@@ -235,6 +263,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         "total",
         frodo::driver::report::fmt_duration(r.timings.total())
     );
+    if let (Some(path), Some(t)) = (trace_out, &trace) {
+        std::fs::write(path, t.to_ndjson()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote trace to {path} ({} spans)", t.span_count());
+    }
     match flag_value(args, &["-o", "--output"]) {
         Some(path) => std::fs::write(path, &out.code).map_err(|e| format!("{path}: {e}")),
         None => {
@@ -255,22 +287,16 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     };
     let out_dir = flag_value(args, &["-o", "--output"]);
     let machine = args.iter().any(|a| a == "--machine");
+    let want_tree = args.iter().any(|a| a == "--trace");
+    let trace_out = flag_value(args, &["--trace-out"]);
 
     // positional args are model references; flag values are not
-    let mut model_refs = Vec::new();
-    let mut skip = false;
-    for arg in args {
-        if skip {
-            skip = false;
-            continue;
-        }
-        match arg.as_str() {
-            "--workers" | "-j" | "--cache-dir" | "-s" | "--styles" | "--style" | "-o"
-            | "--output" => skip = true,
-            "--no-cache" | "--machine" => {}
-            _ => model_refs.push(arg.as_str()),
-        }
-    }
+    let model_refs = positionals(
+        args,
+        &["--workers", "-j", "--cache-dir", "-s", "--styles", "--style", "-o", "--output",
+            "--trace-out"],
+        &["--no-cache", "--machine", "--trace"],
+    );
     if model_refs.is_empty() {
         return Err("batch: no models given (paths or benchmark names; see 'frodo list')".into());
     }
@@ -283,10 +309,23 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
 
     let service = CompileService::new(service_config(args)?);
-    let report = service.compile_batch(specs);
+    let trace = (want_tree || trace_out.is_some()).then(Trace::new);
+    let report = match &trace {
+        Some(t) => service.compile_batch_traced(specs, t),
+        None => service.compile_batch(specs),
+    };
     print!("{}", report.render_table());
     if machine {
         print!("{}", report.machine_lines());
+    }
+    if want_tree {
+        if let Some(tree) = report.render_trace() {
+            println!("\nspan tree:\n{tree}");
+        }
+    }
+    if let (Some(path), Some(t)) = (trace_out, &trace) {
+        std::fs::write(path, t.to_ndjson()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote trace to {path} ({} spans)", t.span_count());
     }
 
     if let Some(dir) = out_dir {

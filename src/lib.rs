@@ -15,6 +15,7 @@
 //! | [`sim`] | `frodo-sim` | reference simulator, VM, cost models, native runs |
 //! | [`benchmodels`] | `frodo-benchmodels` | the paper's Table-1 suite |
 //! | [`driver`] | `frodo-driver` | batch compile service: worker pool, artifact cache, metrics |
+//! | [`obs`] | `frodo-obs` | observability: trace spans, counters, stage timings, NDJSON export |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use frodo_core as core;
 pub use frodo_driver as driver;
 pub use frodo_graph as graph;
 pub use frodo_model as model;
+pub use frodo_obs as obs;
 pub use frodo_ranges as ranges;
 pub use frodo_sim as sim;
 pub use frodo_slx as slx;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use frodo_model::{
         Block, BlockKind, Model, ModelError, RelOp, RoundMode, SelectorMode, Tensor,
     };
+    pub use frodo_obs::{StageTimings, Trace};
     pub use frodo_ranges::{IndexSet, Interval, PortMap, Shape};
     pub use frodo_sim::{CostModel, MemoryReport, ReferenceSimulator, Vm};
 }

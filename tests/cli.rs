@@ -118,6 +118,48 @@ fn verify_reports_consistency() {
 }
 
 #[test]
+fn compile_trace_writes_parseable_ndjson() {
+    let ndjson = temp_path("kalman.ndjson");
+    let c_out = temp_path("kalman.c");
+    let out = frodo()
+        .args([
+            "compile",
+            "--trace",
+            ndjson.to_str().unwrap(),
+            "Kalman",
+            "-o",
+            c_out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&ndjson).expect("trace file written");
+    let stats = frodo::obs::ndjson::validate(&text).expect("NDJSON parses");
+    assert!(stats.spans >= 11, "job root + 10 stages, got {}", stats.spans);
+    for stage in frodo::obs::STAGE_NAMES {
+        assert!(
+            text.contains(&format!("\"name\":\"{stage}\"")),
+            "missing stage {stage}"
+        );
+    }
+    let _ = std::fs::remove_file(ndjson);
+    let _ = std::fs::remove_file(c_out);
+}
+
+#[test]
+fn batch_trace_prints_the_span_tree() {
+    let out = frodo()
+        .args(["batch", "Kalman", "HT", "--trace"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("span tree:"));
+    assert!(text.contains("job:Kalman"));
+    assert!(text.contains("job:HT"));
+}
+
+#[test]
 fn unknown_command_fails_with_message() {
     let out = frodo().arg("frobnicate").output().expect("runs");
     assert!(!out.status.success());

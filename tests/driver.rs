@@ -51,6 +51,43 @@ fn parallel_batch_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn traced_parallel_batch_is_byte_identical_and_records_every_job() {
+    let untraced = CompileService::new(ServiceConfig {
+        workers: 1,
+        no_cache: true,
+        ..ServiceConfig::default()
+    });
+    let reference = untraced.compile_batch(suite_specs());
+
+    let service = CompileService::new(ServiceConfig {
+        workers: 4,
+        no_cache: true,
+        ..ServiceConfig::default()
+    });
+    let trace = Trace::new();
+    let report = service.compile_batch_traced(suite_specs(), &trace);
+    assert_eq!(report.succeeded(), 40);
+    for (a, b) in reference.jobs.iter().zip(&report.jobs) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(
+            a.code, b.code,
+            "{}/{} differs with tracing enabled",
+            b.report.job,
+            b.report.style.label()
+        );
+    }
+
+    // the shared trace holds one job subtree per (model, style) pair,
+    // and the report can render it
+    let snap = trace.snapshot();
+    let job_spans = snap.spans.iter().filter(|s| s.name.starts_with("job:")).count();
+    assert_eq!(job_spans, 40);
+    let tree = report.render_trace().expect("traced batches carry their trace");
+    assert!(tree.contains("batch"));
+    assert!(tree.contains("job:Kalman"));
+}
+
+#[test]
 fn resubmission_is_served_entirely_from_the_cache() {
     let service = CompileService::new(ServiceConfig {
         workers: 4,
@@ -68,7 +105,7 @@ fn resubmission_is_served_entirely_from_the_cache() {
         assert_eq!(a.code, b.code);
         assert_eq!(a.report.digest, b.report.digest);
         // hits skip analysis and emission entirely
-        assert_eq!(b.report.timings.algorithm1, std::time::Duration::ZERO);
+        assert_eq!(b.report.timings.algorithm1(), std::time::Duration::ZERO);
         assert_eq!(b.report.timings.emit, std::time::Duration::ZERO);
     }
     assert_eq!(service.cache_stats().hits, 40);

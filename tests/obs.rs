@@ -1,0 +1,91 @@
+//! Golden tests of the observability layer's export schema. The stage
+//! names and NDJSON field names are a stable interface — external tooling
+//! greps them — so renaming any of them must fail a test here first.
+
+use frodo::obs::ndjson;
+use frodo::prelude::*;
+
+/// Compiles one Table-1 model through the driver with a trace attached.
+fn traced_compile() -> Trace {
+    let trace = Trace::new();
+    let bench = frodo::benchmodels::by_name("Kalman").expect("bundled benchmark");
+    let service = CompileService::with_defaults();
+    service
+        .compile(
+            JobSpec::from_model(bench.name, bench.model, GeneratorStyle::Frodo)
+                .with_trace(&trace),
+        )
+        .expect("benchmark compiles");
+    trace
+}
+
+#[test]
+fn stage_names_are_the_canonical_ten() {
+    assert_eq!(
+        frodo::obs::STAGE_NAMES,
+        ["parse", "flatten", "hash", "cache", "dfg", "iomap", "ranges", "classify", "lower",
+            "emit"]
+    );
+}
+
+#[test]
+fn ndjson_export_validates_and_covers_every_stage() {
+    let trace = traced_compile();
+    let text = trace.to_ndjson();
+    let stats = ndjson::validate(&text).expect("every line parses with required fields");
+    assert!(stats.spans >= 11, "job root + 10 stages, got {}", stats.spans);
+    assert!(stats.counters > 0);
+
+    for stage in frodo::obs::STAGE_NAMES {
+        assert!(
+            text.contains(&format!("\"name\":\"{stage}\"")),
+            "missing stage span {stage}"
+        );
+    }
+}
+
+#[test]
+fn span_lines_keep_their_field_names() {
+    let trace = traced_compile();
+    let text = trace.to_ndjson();
+    let span_line = text
+        .lines()
+        .find(|l| l.contains("\"type\":\"span\""))
+        .expect("at least one span line");
+    for field in ["\"id\":", "\"parent\":", "\"name\":", "\"start_ns\":", "\"dur_ns\":"] {
+        assert!(span_line.contains(field), "span line lost {field}: {span_line}");
+    }
+    let counter_line = text
+        .lines()
+        .find(|l| l.contains("\"type\":\"counter\""))
+        .expect("at least one counter line");
+    for field in ["\"span\":", "\"name\":", "\"value\":"] {
+        assert!(
+            counter_line.contains(field),
+            "counter line lost {field}: {counter_line}"
+        );
+    }
+}
+
+#[test]
+fn timings_derived_from_the_trace_cover_the_compile() {
+    let trace = traced_compile();
+    let timings = StageTimings::from_trace(&trace);
+    for (name, d) in timings.rows() {
+        assert!(!d.is_zero(), "stage {name} recorded no time");
+    }
+    assert!(timings.algorithm1() > std::time::Duration::ZERO);
+    assert!(timings.total() >= timings.algorithm1());
+}
+
+#[test]
+fn noop_trace_stays_silent_through_the_whole_pipeline() {
+    let trace = Trace::noop();
+    let bench = frodo::benchmodels::by_name("Kalman").expect("bundled benchmark");
+    let analysis =
+        Analysis::run_traced(bench.model, RangeOptions::default(), &trace).expect("analyzes");
+    assert!(!analysis.report().stats().is_empty());
+    assert!(!trace.is_enabled());
+    assert_eq!(trace.span_count(), 0);
+    assert!(trace.to_ndjson().is_empty());
+}
