@@ -12,10 +12,15 @@ cargo clippy --all-targets --offline -- -D warnings
 # frodo-obs must stay dependency-free: its cargo tree is exactly one line
 test "$(cargo tree -p frodo-obs --offline --edges normal | wc -l)" -eq 1
 
+# the analysis hot-path bench must at least execute (1 quick pass per
+# subject; real measurements are BENCH_pr3.json)
+cargo bench -q -p frodo-bench --bench hotpath --offline -- --quick >/dev/null
+
 # a traced compile of a Table-1 model emits parseable NDJSON covering
-# every pipeline stage
+# every pipeline stage; --threads 1 pins the determinism-contract
+# reference path (sequential engines, sequential emitter)
 trace_out="$(mktemp)"
-./target/release/frodo compile --trace "$trace_out" Kalman >/dev/null
+./target/release/frodo compile --threads 1 --trace "$trace_out" Kalman >/dev/null
 for stage in parse flatten hash cache dfg iomap ranges classify lower emit; do
     grep -q "\"name\":\"$stage\"" "$trace_out"
 done

@@ -1,0 +1,232 @@
+//! Analysis hot-path microbench: isolates the pipeline stages this repo's
+//! intra-model parallelism targets — I/O-mapping derivation, Algorithm 1
+//! range determination, and C emission — and times each at several thread
+//! counts on the Table-1 models plus large synthetic models
+//! (`frodo_benchmodels::random`) where the paper's benchmarks are too
+//! small to show scaling.
+//!
+//! ```text
+//! cargo bench -p frodo-bench --bench hotpath [-- [--quick] [--json out.json]]
+//! ```
+//!
+//! `--quick` runs a single sample per subject (the CI smoke path);
+//! `--json PATH` additionally writes the per-(model, stage, threads)
+//! medians as a JSON document (`BENCH_pr3.json` in this repo is a
+//! committed run of it).
+
+use frodo_bench::harness;
+use frodo_benchmodels::random::random_model;
+use frodo_core::{determine_ranges, IoMappings, RangeEngine, RangeOptions};
+use frodo_codegen::{emit_c_threaded, generate, CEmitOptions, GeneratorStyle};
+use frodo_graph::Dfg;
+use frodo_model::Model;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Thread counts each stage is timed at.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Subject {
+    name: String,
+    model: Model,
+}
+
+fn subjects() -> Vec<Subject> {
+    let mut out: Vec<Subject> = frodo_benchmodels::all()
+        .into_iter()
+        .map(|b| Subject {
+            name: b.name.to_string(),
+            model: b.model,
+        })
+        .collect();
+    // Large feed-forward synthetics: wide levels, thousands of ports —
+    // the regime intra-model parallelism exists for.
+    for (seed, size) in [(11, 500), (7, 2000)] {
+        out.push(Subject {
+            name: format!("random_s{seed}_n{size}"),
+            model: random_model(seed, size),
+        });
+    }
+    out
+}
+
+struct Row {
+    model: String,
+    blocks: usize,
+    stage: &'static str,
+    threads: usize,
+    median_ns: f64,
+    iters: usize,
+    samples: usize,
+}
+
+fn run<F: FnMut()>(quick: bool, group: &str, id: &str, mut f: F) -> (f64, usize, usize) {
+    if quick {
+        // one untimed warmup + one timed iteration: enough to prove the
+        // path executes, which is all the CI smoke step needs
+        f();
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_nanos() as f64;
+        println!("bench {group}/{id} once {ns:.0} ns/iter (quick)");
+        (ns, 1, 1)
+    } else {
+        let m = harness::bench(group, id, f);
+        (m.median_ns, m.iters, m.samples)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `cargo bench` forwards `--bench`; ignore it like the other targets
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .windows(2)
+        .find(|w| w[0] == "--json")
+        .map(|w| w[1].clone());
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    for subject in subjects() {
+        let blocks = subject.model.deep_len();
+        let flat = subject.model.flattened().expect("subjects flatten");
+        let dfg = Dfg::new(flat).expect("subjects analyze");
+
+        for &threads in &THREAD_COUNTS {
+            // iomap: block-property derivation, chunked across workers
+            let (ns, iters, samples) = run(
+                quick,
+                "hotpath",
+                &format!("{}/iomap/t{threads}", subject.name),
+                || {
+                    black_box(IoMappings::derive_with(black_box(&dfg), threads));
+                },
+            );
+            rows.push(Row {
+                model: subject.name.clone(),
+                blocks,
+                stage: "iomap",
+                threads,
+                median_ns: ns,
+                iters,
+                samples,
+            });
+
+            // ranges: Algorithm 1; t1 is today's sequential engine, t>1
+            // the level-scheduled parallel engine
+            let maps = IoMappings::derive(&dfg);
+            let opts = if threads <= 1 {
+                RangeOptions::default()
+            } else {
+                RangeOptions {
+                    engine: RangeEngine::Parallel,
+                    threads,
+                    ..Default::default()
+                }
+            };
+            let (ns, iters, samples) = run(
+                quick,
+                "hotpath",
+                &format!("{}/ranges/t{threads}", subject.name),
+                || {
+                    black_box(determine_ranges(black_box(&dfg), black_box(&maps), opts));
+                },
+            );
+            rows.push(Row {
+                model: subject.name.clone(),
+                blocks,
+                stage: "ranges",
+                threads,
+                median_ns: ns,
+                iters,
+                samples,
+            });
+        }
+
+        // emit: per-statement rendering into per-thread buffers
+        let analysis =
+            frodo_core::Analysis::run(dfg.model().clone()).expect("subjects analyze");
+        let program = generate(&analysis, GeneratorStyle::Frodo);
+        for &threads in &THREAD_COUNTS {
+            let (ns, iters, samples) = run(
+                quick,
+                "hotpath",
+                &format!("{}/emit/t{threads}", subject.name),
+                || {
+                    black_box(emit_c_threaded(
+                        black_box(&program),
+                        CEmitOptions::default(),
+                        threads,
+                    ));
+                },
+            );
+            rows.push(Row {
+                model: subject.name.clone(),
+                blocks,
+                stage: "emit",
+                threads,
+                median_ns: ns,
+                iters,
+                samples,
+            });
+        }
+    }
+
+    // analysis = iomap + ranges: the stage pair the PR's acceptance
+    // criterion is written against, summarized as speedup over t1
+    println!("\nanalysis (iomap+ranges) speedup vs 1 thread:");
+    let models: Vec<String> = subjects().iter().map(|s| s.name.clone()).collect();
+    for model in &models {
+        let total = |threads: usize| -> f64 {
+            rows.iter()
+                .filter(|r| {
+                    r.model == *model
+                        && r.threads == threads
+                        && (r.stage == "iomap" || r.stage == "ranges")
+                })
+                .map(|r| r.median_ns)
+                .sum()
+        };
+        let base = total(1);
+        let cells: Vec<String> = THREAD_COUNTS
+            .iter()
+            .map(|&t| format!("t{t} {:.2}x", base / total(t)))
+            .collect();
+        println!("  {model:<16} {}", cells.join("  "));
+    }
+
+    if let Some(path) = json_path {
+        let json = to_json(&rows, quick);
+        std::fs::write(&path, json).expect("write --json output");
+        println!("wrote {path}");
+    }
+}
+
+fn to_json(rows: &[Row], quick: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(
+        s,
+        "  \"host\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"cores\": {} }},",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"model\": \"{}\", \"blocks\": {}, \"stage\": \"{}\", \"threads\": {}, \
+             \"median_ns\": {:.0}, \"iters\": {}, \"samples\": {} }}",
+            r.model, r.blocks, r.stage, r.threads, r.median_ns, r.iters, r.samples
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -31,11 +31,63 @@ pub fn emit_c_with(program: &Program, opts: CEmitOptions) -> String {
     Emitter::new_with(program, opts).emit()
 }
 
-/// [`emit_c_with`], recorded as an `emit` span (with a `bytes_emitted`
-/// counter) on the given trace.
-pub fn emit_c_traced(program: &Program, opts: CEmitOptions, trace: &frodo_obs::Trace) -> String {
+/// [`emit_c_with`] with the statement bodies rendered by `threads` worker
+/// threads into private string buffers that are rejoined in statement order.
+///
+/// Each statement renders from a fresh indent-1 emitter and is addressed by
+/// its *global* index (local tables like `idx_<n>` embed that index), so the
+/// output is byte-identical to [`emit_c_with`] for every thread count. Small
+/// programs fall back to the sequential path: parallel rendering only pays
+/// off when each worker has a meaningful amount of text to produce.
+pub fn emit_c_threaded(program: &Program, opts: CEmitOptions, threads: usize) -> String {
+    /// Below this many statements per worker, thread spawn overhead exceeds
+    /// the rendering cost.
+    const MIN_STMTS_PER_WORKER: usize = 64;
+    let n = program.stmts.len();
+    let threads = threads.min(n / MIN_STMTS_PER_WORKER).max(1);
+    if threads <= 1 {
+        return emit_c_with(program, opts);
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out = Emitter::new_with(program, opts).header();
+    let parts: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = program
+            .stmts
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, stmts)| {
+                s.spawn(move || {
+                    let mut e = Emitter::new_with(program, opts);
+                    for (j, stmt) in stmts.iter().enumerate() {
+                        e.emit_stmt(ci * chunk + j, stmt);
+                    }
+                    e.out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("emit worker panicked"))
+            .collect()
+    });
+    for part in &parts {
+        out.push_str(part);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// [`emit_c_threaded`], recorded as an `emit` span (with `bytes_emitted` and
+/// `emit_threads` counters) on the given trace.
+pub fn emit_c_traced(
+    program: &Program,
+    opts: CEmitOptions,
+    threads: usize,
+    trace: &frodo_obs::Trace,
+) -> String {
     let span = trace.span("emit");
-    let code = emit_c_with(program, opts);
+    span.count("emit_threads", threads as u64);
+    let code = emit_c_threaded(program, opts, threads);
     span.count("bytes_emitted", code.len() as u64);
     code
 }
@@ -179,6 +231,17 @@ impl<'a> Emitter<'a> {
     }
 
     fn emit(mut self) -> String {
+        self.out = self.header();
+        for (i, s) in self.p.stmts.iter().enumerate() {
+            self.emit_stmt(i, s);
+        }
+        self.out.push_str("}\n");
+        self.out
+    }
+
+    /// Everything before the statement bodies: file comment, includes,
+    /// buffers, optional conv helper, and the open `_step` signature.
+    fn header(&self) -> String {
         let p = self.p;
         let mut head = String::new();
         let _ = writeln!(
@@ -236,15 +299,7 @@ impl<'a> Emitter<'a> {
             params.push("void".to_string());
         }
         let _ = writeln!(head, "\nvoid {}_step({}) {{", p.name, params.join(", "));
-        self.out = head;
-
-        let stmts: Vec<Stmt> = p.stmts.clone();
-        for (i, s) in stmts.iter().enumerate() {
-            self.emit_stmt(i, s);
-        }
-
-        self.out.push_str("}\n");
-        self.out
+        head
     }
 
     fn src_expr(&self, src: Src, iv: &str) -> String {
@@ -301,8 +356,8 @@ impl<'a> Emitter<'a> {
     }
 
     fn emit_stmt(&mut self, idx: usize, s: &Stmt) {
-        match s.clone() {
-            Stmt::Unary { op, dst, src, len } => {
+        match s {
+            &Stmt::Unary { op, dst, src, len } => {
                 self.elementwise(s, len, |e, iv| {
                     format!(
                         "{} = {};",
@@ -312,15 +367,15 @@ impl<'a> Emitter<'a> {
                 });
             }
             Stmt::FusedUnary { ops, dst, src, len } => {
-                self.elementwise(s, len, |e, iv| {
-                    let mut expr = e.src_expr(src, iv);
-                    for &op in &ops {
+                self.elementwise(s, *len, |e, iv| {
+                    let mut expr = e.src_expr(*src, iv);
+                    for &op in ops {
                         expr = unop_expr(op, &format!("({expr})"));
                     }
-                    format!("{} = {};", e.dst_expr(dst, iv), expr)
+                    format!("{} = {};", e.dst_expr(*dst, iv), expr)
                 });
             }
-            Stmt::Binary { op, dst, a, b, len } => {
+            &Stmt::Binary { op, dst, a, b, len } => {
                 self.elementwise(s, len, |e, iv| {
                     format!(
                         "{} = {};",
@@ -329,7 +384,7 @@ impl<'a> Emitter<'a> {
                     )
                 });
             }
-            Stmt::Select {
+            &Stmt::Select {
                 dst,
                 ctrl,
                 threshold,
@@ -347,7 +402,7 @@ impl<'a> Emitter<'a> {
                     )
                 });
             }
-            Stmt::Copy { dst, src, len } => {
+            &Stmt::Copy { dst, src, len } => {
                 let d = self.buf_expr(dst.buf);
                 let sb = self.buf_expr(src.buf);
                 self.line(&format!(
@@ -355,7 +410,7 @@ impl<'a> Emitter<'a> {
                     dst.off, src.off
                 ));
             }
-            Stmt::Fill { dst, value, len } => {
+            &Stmt::Fill { dst, value, len } => {
                 self.emit_loop(len, |e, iv| format!("{} = {value:?};", e.dst_expr(dst, iv)));
             }
             Stmt::Gather { dst, src, indices } => {
@@ -365,13 +420,13 @@ impl<'a> Emitter<'a> {
                     indices.len(),
                     table.join(", ")
                 ));
-                let sb = self.buf_expr(src);
+                let sb = self.buf_expr(*src);
                 let n = indices.len();
                 self.emit_loop(n, |e, iv| {
-                    format!("{} = {sb}[idx_{idx}[{iv}]];", e.dst_expr(dst, iv))
+                    format!("{} = {sb}[idx_{idx}[{iv}]];", e.dst_expr(*dst, iv))
                 });
             }
-            Stmt::DynGather {
+            &Stmt::DynGather {
                 dst,
                 src,
                 src_len,
@@ -389,7 +444,7 @@ impl<'a> Emitter<'a> {
                     )
                 });
             }
-            Stmt::Reduce { op, dst, src, len } => {
+            &Stmt::Reduce { op, dst, src, len } => {
                 let d = self.dst_expr(dst, "0").replace(" + 0", ""); // cosmetic
                 let sb = self.buf_expr(src.buf);
                 let off = src.off;
@@ -426,7 +481,7 @@ impl<'a> Emitter<'a> {
                 self.indent -= 1;
                 self.line("}");
             }
-            Stmt::Dot { dst, a, b, len } => {
+            &Stmt::Dot { dst, a, b, len } => {
                 let d = self.dst_expr(dst, "0").replace(" + 0", "");
                 let ab = self.buf_expr(a.buf);
                 let bb = self.buf_expr(b.buf);
@@ -441,7 +496,7 @@ impl<'a> Emitter<'a> {
                 self.indent -= 1;
                 self.line("}");
             }
-            Stmt::Conv {
+            &Stmt::Conv {
                 dst,
                 u,
                 u_len,
@@ -487,7 +542,7 @@ impl<'a> Emitter<'a> {
                 let code = template.render(&subs).expect("conv template complete");
                 self.block_text(&code);
             }
-            Stmt::Fir {
+            &Stmt::Fir {
                 dst,
                 src,
                 coeffs,
@@ -507,7 +562,7 @@ impl<'a> Emitter<'a> {
                     .expect("fir template complete");
                 self.block_text(&code);
             }
-            Stmt::MovingAvg {
+            &Stmt::MovingAvg {
                 dst,
                 src,
                 window,
@@ -525,7 +580,7 @@ impl<'a> Emitter<'a> {
                     .expect("movavg template complete");
                 self.block_text(&code);
             }
-            Stmt::CumSum { dst, src, k_end } => {
+            &Stmt::CumSum { dst, src, k_end } => {
                 let code = library::CUMSUM_RUN
                     .render(&[
                         ("k_end", k_end.to_string()),
@@ -535,7 +590,7 @@ impl<'a> Emitter<'a> {
                     .expect("cumsum template complete");
                 self.block_text(&code);
             }
-            Stmt::Diff { dst, src, k0, k1 } => {
+            &Stmt::Diff { dst, src, k0, k1 } => {
                 let d = self.buf_expr(dst);
                 let sb = self.buf_expr(src);
                 let mut start = k0;
@@ -555,7 +610,7 @@ impl<'a> Emitter<'a> {
                     self.block_text(&code);
                 }
             }
-            Stmt::MatMul {
+            &Stmt::MatMul {
                 dst,
                 a,
                 b,
@@ -578,7 +633,7 @@ impl<'a> Emitter<'a> {
                     .expect("matmul template complete");
                 self.block_text(&code);
             }
-            Stmt::Transpose {
+            &Stmt::Transpose {
                 dst,
                 src,
                 rows,
@@ -594,12 +649,12 @@ impl<'a> Emitter<'a> {
                 self.indent -= 1;
                 self.line("}");
             }
-            Stmt::StateLoad { dst, state, len } => {
+            &Stmt::StateLoad { dst, state, len } => {
                 let d = self.buf_expr(dst);
                 let sb = self.buf_expr(state);
                 self.line(&format!("memcpy({d}, {sb}, {len} * sizeof(double));"));
             }
-            Stmt::StateStore { state, src, len } => {
+            &Stmt::StateStore { state, src, len } => {
                 let d = self.buf_expr(state);
                 let sb = self.buf_expr(src);
                 self.line(&format!("memcpy({d}, {sb}, {len} * sizeof(double));"));
@@ -760,6 +815,59 @@ mod tests {
         );
         // Simulink style is branchy, so the helper is unnecessary
         assert!(!c.contains("frodo_conv_range"));
+    }
+
+    #[test]
+    fn threaded_emit_is_byte_identical_for_any_thread_count() {
+        use crate::lir::{Buffer, BufferRole};
+        // Large enough to clear MIN_STMTS_PER_WORKER for several workers, and
+        // heavy on Gather so the `idx_<global index>` tables would expose any
+        // per-chunk index reset.
+        let mut stmts = Vec::new();
+        for i in 0..300 {
+            if i % 3 == 0 {
+                stmts.push(Stmt::Gather {
+                    dst: Slice::new(BufId(2), 0),
+                    src: BufId(0),
+                    indices: vec![i % 8, (i + 1) % 8],
+                });
+            } else {
+                stmts.push(Stmt::Unary {
+                    op: UnOp::Gain(1.5),
+                    dst: Slice::new(BufId(1), 0),
+                    src: Src::Run(Slice::new(BufId(2), 0)),
+                    len: 8,
+                });
+            }
+        }
+        let p = Program {
+            name: "wide".into(),
+            style: GeneratorStyle::Frodo,
+            buffers: vec![
+                Buffer {
+                    name: "a".into(),
+                    len: 8,
+                    role: BufferRole::Input(0),
+                },
+                Buffer {
+                    name: "b".into(),
+                    len: 8,
+                    role: BufferRole::Output(0),
+                },
+                Buffer {
+                    name: "t".into(),
+                    len: 8,
+                    role: BufferRole::Temp,
+                },
+            ],
+            stmts,
+        };
+        let sequential = emit_c(&p);
+        for threads in [1, 2, 4, 7] {
+            let threaded = emit_c_threaded(&p, CEmitOptions::default(), threads);
+            assert_eq!(threaded, sequential, "threads = {threads}");
+        }
+        assert!(sequential.contains("idx_297"));
     }
 
     /// Emits one statement in a minimal two-buffer program.

@@ -55,6 +55,9 @@ mod lower;
 pub mod optimize;
 mod style;
 
-pub use emit_c::{emit_c, emit_c_harness, emit_c_harness_with, emit_c_traced, emit_c_with, CEmitOptions};
+pub use emit_c::{
+    emit_c, emit_c_harness, emit_c_harness_with, emit_c_threaded, emit_c_traced, emit_c_with,
+    CEmitOptions,
+};
 pub use lower::{generate, generate_traced, generate_with, LowerOptions};
 pub use style::GeneratorStyle;

@@ -97,6 +97,8 @@ impl<'a> Lowerer<'a> {
         if sane.is_empty() || sane.chars().next().is_some_and(|c| c.is_ascii_digit()) {
             sane.insert(0, 'b');
         }
+        // the map owns one copy of the key and the buffer owns the name,
+        // so this clone is structural, not avoidable
         let n = self.used_names.entry(sane.clone()).or_insert(0);
         *n += 1;
         if *n > 1 {
@@ -154,12 +156,11 @@ impl<'a> Lowerer<'a> {
                 kind => {
                     for o in 0..kind.num_outputs() {
                         let len = shapes.output(id, o).numel();
-                        let base = if kind.num_outputs() > 1 {
-                            format!("{}_{o}", block.name)
+                        let b = if kind.num_outputs() > 1 {
+                            self.alloc(&format!("{}_{o}", block.name), len, BufferRole::Temp)
                         } else {
-                            block.name.clone()
+                            self.alloc(&block.name, len, BufferRole::Temp)
                         };
-                        let b = self.alloc(&base, len, BufferRole::Temp);
                         self.out_buf.insert(OutPort::new(id, o), b);
                     }
                     if let BlockKind::FirFilter { coeffs } = kind {
@@ -172,10 +173,12 @@ impl<'a> Lowerer<'a> {
         }
 
         // -- ranges --
-        let ranges = if self.style.uses_ranges() {
-            self.analysis.ranges().clone()
+        let full;
+        let ranges: &frodo_core::Ranges = if self.style.uses_ranges() {
+            self.analysis.ranges()
         } else {
-            full_ranges(dfg)
+            full = full_ranges(dfg);
+            &full
         };
 
         // -- state reads first: delay outputs are previous-step state --
@@ -194,7 +197,7 @@ impl<'a> Lowerer<'a> {
         // -- block bodies in schedule order --
         let order = dfg.schedule().expect("valid Dfg always schedules");
         for id in order {
-            self.lower_block(id, &ranges);
+            self.lower_block(id, ranges);
         }
 
         // -- state writes last --
@@ -242,8 +245,11 @@ impl<'a> Lowerer<'a> {
     }
 
     fn lower_block(&mut self, id: BlockId, ranges: &frodo_core::Ranges) {
-        let dfg = self.analysis.dfg();
-        let block = dfg.model().block(id).clone();
+        // borrow the block straight out of the analysis (which outlives
+        // `self`), so no per-block clone is needed
+        let analysis: &'a Analysis = self.analysis;
+        let dfg = analysis.dfg();
+        let block = dfg.model().block(id);
         let kind = &block.kind;
         match kind {
             // sources produce no code; delays were handled globally
@@ -320,7 +326,7 @@ impl<'a> Lowerer<'a> {
             BlockKind::Switch { threshold } => {
                 let dst = self.out_buf[&OutPort::new(id, 0)];
                 let out_scalar = dfg.shapes().output(id, 0).is_scalar();
-                for iv in self.range_runs(id, 0, ranges) {
+                for &iv in self.range_runs(id, 0, ranges).intervals() {
                     let a = self.operand(id, 0, iv.start, out_scalar);
                     let ctrl = self.operand(id, 1, iv.start, out_scalar);
                     let b = self.operand(id, 2, iv.start, out_scalar);
@@ -422,7 +428,7 @@ impl<'a> Lowerer<'a> {
             BlockKind::Reshape { .. } => {
                 let dst = self.out_buf[&OutPort::new(id, 0)];
                 let src = self.input_buf(InPort::new(id, 0));
-                for iv in self.range_runs(id, 0, ranges) {
+                for &iv in self.range_runs(id, 0, ranges).intervals() {
                     self.stmts.push(Stmt::Copy {
                         dst: Slice::new(dst, iv.start),
                         src: Slice::new(src, iv.start),
@@ -437,7 +443,7 @@ impl<'a> Lowerer<'a> {
                 let src = self.input_buf(InPort::new(id, 0));
                 match mode {
                     SelectorMode::StartEnd { start, .. } => {
-                        for iv in self.range_runs(id, 0, ranges) {
+                        for &iv in self.range_runs(id, 0, ranges).intervals() {
                             self.stmts.push(Stmt::Copy {
                                 dst: Slice::new(dst, iv.start),
                                 src: Slice::new(src, iv.start + start),
@@ -446,8 +452,7 @@ impl<'a> Lowerer<'a> {
                         }
                     }
                     SelectorMode::IndexVector(idxs) => {
-                        let idxs = idxs.clone();
-                        for iv in self.range_runs(id, 0, ranges) {
+                        for &iv in self.range_runs(id, 0, ranges).intervals() {
                             self.stmts.push(Stmt::Gather {
                                 dst: Slice::new(dst, iv.start),
                                 src,
@@ -458,7 +463,7 @@ impl<'a> Lowerer<'a> {
                     SelectorMode::IndexPort { .. } => {
                         let idx_buf = self.input_buf(InPort::new(id, 1));
                         let src_len = dfg.shapes().input(id, 0).numel();
-                        for iv in self.range_runs(id, 0, ranges) {
+                        for &iv in self.range_runs(id, 0, ranges).intervals() {
                             self.stmts.push(Stmt::DynGather {
                                 dst: Slice::new(dst, iv.start),
                                 src,
@@ -504,7 +509,7 @@ impl<'a> Lowerer<'a> {
                 let src = self.input_buf(InPort::new(id, 0));
                 let in_cols = dfg.shapes().input(id, 0).cols();
                 let out_cols = dfg.shapes().output(id, 0).cols();
-                for iv in self.range_runs(id, 0, ranges) {
+                for &iv in self.range_runs(id, 0, ranges).intervals() {
                     let indices: Vec<usize> = (iv.start..iv.end)
                         .map(|o| (row_start + o / out_cols) * in_cols + col_start + o % out_cols)
                         .collect();
@@ -584,7 +589,7 @@ impl<'a> Lowerer<'a> {
                 let u_len = dfg.shapes().input(id, 0).numel();
                 let v_len = dfg.shapes().input(id, 1).numel();
                 let style = self.style.conv_style();
-                for iv in self.range_runs(id, 0, ranges) {
+                for &iv in self.range_runs(id, 0, ranges).intervals() {
                     self.stmts.push(Stmt::Conv {
                         dst,
                         u,
@@ -603,7 +608,7 @@ impl<'a> Lowerer<'a> {
                 let src = self.input_buf(InPort::new(id, 0));
                 let taps = coeffs.len();
                 let cb = self.fir_coeffs[&id];
-                for iv in self.range_runs(id, 0, ranges) {
+                for &iv in self.range_runs(id, 0, ranges).intervals() {
                     self.stmts.push(Stmt::Fir {
                         dst,
                         src,
@@ -618,7 +623,7 @@ impl<'a> Lowerer<'a> {
             BlockKind::MovingAverage { window } => {
                 let dst = self.out_buf[&OutPort::new(id, 0)];
                 let src = self.input_buf(InPort::new(id, 0));
-                for iv in self.range_runs(id, 0, ranges) {
+                for &iv in self.range_runs(id, 0, ranges).intervals() {
                     self.stmts.push(Stmt::MovingAvg {
                         dst,
                         src,
@@ -632,7 +637,7 @@ impl<'a> Lowerer<'a> {
             BlockKind::Downsample { factor, phase } => {
                 let dst = self.out_buf[&OutPort::new(id, 0)];
                 let src = self.input_buf(InPort::new(id, 0));
-                for iv in self.range_runs(id, 0, ranges) {
+                for &iv in self.range_runs(id, 0, ranges).intervals() {
                     let indices: Vec<usize> =
                         (iv.start..iv.end).map(|i| i * factor + phase).collect();
                     self.stmts.push(Stmt::Gather {
@@ -659,7 +664,7 @@ impl<'a> Lowerer<'a> {
             BlockKind::Difference => {
                 let dst = self.out_buf[&OutPort::new(id, 0)];
                 let src = self.input_buf(InPort::new(id, 0));
-                for iv in self.range_runs(id, 0, ranges) {
+                for &iv in self.range_runs(id, 0, ranges).intervals() {
                     self.stmts.push(Stmt::Diff {
                         dst,
                         src,
@@ -684,20 +689,17 @@ impl<'a> Lowerer<'a> {
     }
 
     /// The runs (clamped, coalesced consecutive intervals) of a block's
-    /// calculation range on one output port.
-    fn range_runs(
-        &self,
-        id: BlockId,
-        port: usize,
-        ranges: &frodo_core::Ranges,
-    ) -> Vec<frodo_ranges::Interval> {
-        self.calc_range(id, port, ranges).intervals().to_vec()
+    /// calculation range on one output port. Iterate the returned set's
+    /// [`IndexSet::intervals`] — returning the set itself avoids a `Vec`
+    /// copy per lowered block.
+    fn range_runs(&self, id: BlockId, port: usize, ranges: &frodo_core::Ranges) -> IndexSet {
+        self.calc_range(id, port, ranges)
     }
 
     fn unary_runs(&mut self, id: BlockId, ranges: &frodo_core::Ranges, op: UnOp) {
         let dst = self.out_buf[&OutPort::new(id, 0)];
         let out_scalar = self.analysis.dfg().shapes().output(id, 0).is_scalar();
-        for iv in self.range_runs(id, 0, ranges) {
+        for &iv in self.range_runs(id, 0, ranges).intervals() {
             let src = self.operand(id, 0, iv.start, out_scalar);
             self.stmts.push(Stmt::Unary {
                 op,
@@ -711,7 +713,7 @@ impl<'a> Lowerer<'a> {
     fn binary_runs(&mut self, id: BlockId, ranges: &frodo_core::Ranges, op: BinOp) {
         let dst = self.out_buf[&OutPort::new(id, 0)];
         let out_scalar = self.analysis.dfg().shapes().output(id, 0).is_scalar();
-        for iv in self.range_runs(id, 0, ranges) {
+        for &iv in self.range_runs(id, 0, ranges).intervals() {
             let a = self.operand(id, 0, iv.start, out_scalar);
             let b = self.operand(id, 1, iv.start, out_scalar);
             self.stmts.push(Stmt::Binary {

@@ -44,20 +44,24 @@ use crate::lir::{Program, Slice, Src, Stmt};
 /// Chains of any length fold in one call; the result is returned as a new
 /// program.
 pub fn fold_expressions(program: &Program) -> Program {
+    // the input program is borrowed, so the statement list must be copied
+    // once up front; the folding loop below then works by ownership
     let mut stmts = program.stmts.clone();
     while let Some((producer, consumer)) = find_fusable(&stmts) {
-        // merge producer into consumer, drop producer
-        let (p_ops, p_src) = match stmts[producer].clone() {
+        // merge producer into consumer: removing the producer first hands
+        // us its statement by value (find_fusable guarantees
+        // producer < consumer, so the consumer shifts down by one)
+        let (mut ops, p_src) = match stmts.remove(producer) {
             Stmt::Unary { op, src, .. } => (vec![op], src),
             Stmt::FusedUnary { ops, src, .. } => (ops, src),
             _ => unreachable!("find_fusable only returns unary producers"),
         };
-        let (c_ops, c_dst, c_len) = match stmts[consumer].clone() {
-            Stmt::Unary { op, dst, len, .. } => (vec![op], dst, len),
-            Stmt::FusedUnary { ops, dst, len, .. } => (ops, dst, len),
+        let consumer = consumer - 1;
+        let (c_ops, c_dst, c_len) = match &stmts[consumer] {
+            &Stmt::Unary { op, dst, len, .. } => (vec![op], dst, len),
+            Stmt::FusedUnary { ops, dst, len, .. } => (ops.clone(), *dst, *len),
             _ => unreachable!("find_fusable only returns unary consumers"),
         };
-        let mut ops = p_ops;
         ops.extend(c_ops);
         stmts[consumer] = Stmt::FusedUnary {
             ops,
@@ -65,11 +69,12 @@ pub fn fold_expressions(program: &Program) -> Program {
             src: p_src,
             len: c_len,
         };
-        stmts.remove(producer);
     }
     Program {
+        name: program.name.clone(),
+        style: program.style,
+        buffers: program.buffers.clone(),
         stmts,
-        ..program.clone()
     }
 }
 

@@ -24,8 +24,9 @@
 use crate::IoMappings;
 use frodo_graph::Dfg;
 use frodo_model::{BlockId, BlockKind, InPort, OutPort};
-use frodo_ranges::IndexSet;
-use std::collections::BTreeMap;
+use frodo_ranges::{IndexSet, Interval, PortMap, Scratch};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Barrier, OnceLock};
 
 /// Which engine computes the ranges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,17 +37,146 @@ pub enum RangeEngine {
     Recursive,
     /// An equivalent single reverse-topological sweep.
     Iterative,
+    /// A level-scheduled fan-out over the range-dependency DAG: blocks in
+    /// the same level have data-independent ranges and are analyzed
+    /// concurrently by [`RangeOptions::threads`] workers. Produces ranges
+    /// identical to the sequential engines for any thread count.
+    Parallel,
 }
 
 /// Tuning knobs for range determination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RangeOptions {
-    /// Engine selection (the two engines produce identical results).
+    /// Engine selection (all engines produce identical results).
     pub engine: RangeEngine,
     /// When `true`, output ports with no consumers get an *empty* range
     /// (dead-code elimination) instead of the paper's conservative full
     /// range. Off by default for paper fidelity.
     pub eliminate_dead_ends: bool,
+    /// Worker threads for [`RangeEngine::Parallel`] (`0` = one per available
+    /// core). The sequential engines ignore it.
+    pub threads: usize,
+}
+
+impl RangeOptions {
+    /// The worker count the parallel engine would actually use: `threads`
+    /// with `0` resolved to the machine's available parallelism, and `1`
+    /// for the sequential engines.
+    pub fn resolved_threads(&self) -> usize {
+        if self.engine != RangeEngine::Parallel {
+            return 1;
+        }
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Hot-path instrumentation from one range-determination run.
+///
+/// Exposed so the pipeline can attach the numbers to the `ranges` trace
+/// span and the benchmarks can report cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RangeStats {
+    /// I/O-mapping apply-cache hits (identical `(mapping, request)` replayed).
+    pub iomap_cache_hits: u64,
+    /// I/O-mapping apply-cache misses (result computed and memoized).
+    pub iomap_cache_misses: u64,
+    /// In-place set operations that stayed in the inline one-interval
+    /// representation (no heap touched).
+    pub set_ops_inline: u64,
+    /// In-place set operations that spilled to the heap scratch buffer.
+    pub set_ops_spilled: u64,
+    /// Levels in the analysis schedule (parallel engine only).
+    pub levels: u64,
+    /// Widest level of the analysis schedule (parallel engine only).
+    pub max_level_width: u64,
+}
+
+impl RangeStats {
+    fn absorb(&mut self, other: &RangeStats) {
+        self.iomap_cache_hits += other.iomap_cache_hits;
+        self.iomap_cache_misses += other.iomap_cache_misses;
+        self.set_ops_inline += other.set_ops_inline;
+        self.set_ops_spilled += other.set_ops_spilled;
+        self.levels += other.levels;
+        self.max_level_width = self.max_level_width.max(other.max_level_width);
+    }
+}
+
+/// Content-addressed memo of [`PortMap::apply`] results.
+///
+/// Data-intensive models repeat the same block parameters and shapes many
+/// times, and fan-in unions re-request identical ranges, so the non-trivial
+/// mappings profit from applying once and replaying. The O(1) mappings
+/// (`Elementwise`, `All`, `None`, `Dynamic`) bypass the cache: hashing the
+/// request would cost more than the apply itself.
+#[derive(Debug, Default)]
+struct ApplyCache {
+    map: HashMap<PortMap, HashMap<IndexSet, IndexSet>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ApplyCache {
+    fn cacheable(map: &PortMap) -> bool {
+        !matches!(
+            map,
+            PortMap::Elementwise | PortMap::All { .. } | PortMap::None | PortMap::Dynamic { .. }
+        )
+    }
+
+    /// [`PortMap::apply_into`] through the memo.
+    fn apply_into(
+        &mut self,
+        map: &PortMap,
+        request: &IndexSet,
+        out: &mut IndexSet,
+        scratch: &mut Scratch,
+    ) {
+        if !Self::cacheable(map) {
+            map.apply_into(request, out, scratch);
+            return;
+        }
+        if let Some(hit) = self.map.get(map).and_then(|c| c.get(request)) {
+            self.hits += 1;
+            out.clone_from(hit);
+            return;
+        }
+        self.misses += 1;
+        map.apply_into(request, out, scratch);
+        self.map
+            .entry(map.clone())
+            .or_default()
+            .insert(request.clone(), out.clone());
+    }
+}
+
+/// Reusable per-engine (per-worker, for the parallel engine) buffers: one
+/// warmed-up workspace makes Algorithm 1's inner loop allocation-free in
+/// steady state.
+#[derive(Debug, Default)]
+struct EngineCtx {
+    scratch: Scratch,
+    need: IndexSet,
+    mapped: IndexSet,
+    cache: ApplyCache,
+}
+
+impl EngineCtx {
+    fn stats(&self) -> RangeStats {
+        RangeStats {
+            iomap_cache_hits: self.cache.hits,
+            iomap_cache_misses: self.cache.misses,
+            set_ops_inline: self.scratch.stats.inline,
+            set_ops_spilled: self.scratch.stats.spilled,
+            ..RangeStats::default()
+        }
+    }
 }
 
 /// The calculation range of every output port in a graph.
@@ -86,33 +216,47 @@ impl Ranges {
     }
 }
 
-/// The elements a consumer block needs from one of its input ports,
-/// given the consumer's own output ranges.
-fn input_need(
+/// Computes into `ctx.need` the elements a consumer block needs from one of
+/// its input ports, given a lookup of the consumer's own output ranges.
+///
+/// `ranges_of` may return `None` for a range that is not final yet; that
+/// only happens inside delay cycles (whose input requirement is constant
+/// anyway), and the full output range is conservatively assumed.
+fn input_need_into<'r>(
     dfg: &Dfg,
     maps: &IoMappings,
-    ranges_of: &mut dyn FnMut(OutPort) -> IndexSet,
+    ranges_of: &mut dyn FnMut(OutPort) -> Option<&'r IndexSet>,
     port: InPort,
-) -> IndexSet {
+    ctx: &mut EngineCtx,
+) {
     let block = port.block;
     let kind = &dfg.model().block(block).kind;
     let in_len = dfg.shapes().input(block, port.port).numel();
     match kind {
         // Model outputs must be produced in full.
-        BlockKind::Outport { .. } => IndexSet::full(in_len),
+        BlockKind::Outport { .. } => ctx.need.set_single(Interval::new(0, in_len)),
         // Discarded data is never needed.
-        BlockKind::Terminator => IndexSet::new(),
+        BlockKind::Terminator => ctx.need.clear(),
         // State must be maintained every step, independent of consumption.
-        k if k.is_stateful() => IndexSet::full(in_len),
+        k if k.is_stateful() => ctx.need.set_single(Interval::new(0, in_len)),
         _ => {
-            let n_out = kind.num_outputs();
-            let mut need = IndexSet::new();
-            for o in 0..n_out {
-                let out_range = ranges_of(OutPort::new(block, o));
+            ctx.need.clear();
+            for o in 0..kind.num_outputs() {
+                let p = OutPort::new(block, o);
+                let full;
+                let out_range = match ranges_of(p) {
+                    Some(r) => r,
+                    None => {
+                        // single-interval sets are inline: no allocation
+                        full = full_range_of(dfg, p);
+                        &full
+                    }
+                };
                 let m = maps.map(block, o, port.port);
-                need = need.union(&m.apply(&out_range));
+                ctx.cache
+                    .apply_into(m, out_range, &mut ctx.mapped, &mut ctx.scratch);
+                ctx.need.union_with(&ctx.mapped, &mut ctx.scratch);
             }
-            need
         }
     }
 }
@@ -121,14 +265,55 @@ fn full_range_of(dfg: &Dfg, port: OutPort) -> IndexSet {
     IndexSet::full(dfg.shapes().output(port.block, port.port).numel())
 }
 
+/// The calculation range of one output port, given final (or, inside delay
+/// cycles, absent) consumer ranges. The shared core of all three engines:
+/// Algorithm 1 lines 16–18 (no consumers ⇒ full output) and lines 20–25
+/// (union of the input needs of each consumer).
+fn port_range<'r>(
+    dfg: &Dfg,
+    maps: &IoMappings,
+    opts: RangeOptions,
+    port: OutPort,
+    ranges_of: &mut dyn FnMut(OutPort) -> Option<&'r IndexSet>,
+    ctx: &mut EngineCtx,
+) -> IndexSet {
+    let consumers = dfg.consumers_of(port);
+    if consumers.is_empty() {
+        if opts.eliminate_dead_ends {
+            IndexSet::new()
+        } else {
+            full_range_of(dfg, port)
+        }
+    } else {
+        let mut r = IndexSet::new();
+        for &c in consumers {
+            input_need_into(dfg, maps, ranges_of, c, ctx);
+            r.union_with(&ctx.need, &mut ctx.scratch);
+        }
+        r
+    }
+}
+
 /// Computes the calculation range of every output port.
 ///
-/// Dispatches on [`RangeOptions::engine`]; both engines implement the same
+/// Dispatches on [`RangeOptions::engine`]; all engines implement the same
 /// semantics (see the module docs) and are tested to agree.
 pub fn determine_ranges(dfg: &Dfg, maps: &IoMappings, opts: RangeOptions) -> Ranges {
+    determine_ranges_with_stats(dfg, maps, opts).0
+}
+
+/// [`determine_ranges`] plus the run's hot-path instrumentation
+/// ([`RangeStats`]): apply-cache effectiveness, inline-vs-spilled set
+/// operations, and (for the parallel engine) the level-schedule shape.
+pub fn determine_ranges_with_stats(
+    dfg: &Dfg,
+    maps: &IoMappings,
+    opts: RangeOptions,
+) -> (Ranges, RangeStats) {
     match opts.engine {
         RangeEngine::Recursive => recursive_ranges(dfg, maps, opts),
         RangeEngine::Iterative => iterative_ranges(dfg, maps, opts),
+        RangeEngine::Parallel => parallel_ranges(dfg, maps, opts),
     }
 }
 
@@ -154,8 +339,9 @@ pub fn full_ranges(dfg: &Dfg) -> Ranges {
 /// memoize per output port so diamonds are computed once, and run the
 /// depth-first walk on an explicit work stack so arbitrarily deep models
 /// (thousands of chained blocks) cannot overflow the call stack.
-fn recursive_ranges(dfg: &Dfg, maps: &IoMappings, opts: RangeOptions) -> Ranges {
+fn recursive_ranges(dfg: &Dfg, maps: &IoMappings, opts: RangeOptions) -> (Ranges, RangeStats) {
     let mut memo: BTreeMap<OutPort, IndexSet> = BTreeMap::new();
+    let mut ctx = EngineCtx::default();
 
     /// The output ports whose ranges a `Finish` of `port` will read:
     /// every output of every consumer whose input requirement actually
@@ -226,33 +412,20 @@ fn recursive_ranges(dfg: &Dfg, maps: &IoMappings, opts: RangeOptions) -> Ranges 
                     }
                     continue;
                 }
-                let consumers = dfg.consumers_of(port);
-                let range = if consumers.is_empty() {
-                    // Algorithm 1 lines 16–18: no children ⇒ keep the full
-                    // output, unless dead-end elimination is enabled.
-                    if opts.eliminate_dead_ends {
-                        IndexSet::new()
-                    } else {
-                        full_range_of(dfg, port)
-                    }
-                } else {
-                    // Lines 20–25: merge the input ranges of each child.
-                    let mut r = IndexSet::new();
-                    for c in consumers {
-                        let mut ranges_of = |p: OutPort| {
-                            memo.get(&p)
-                                .cloned()
-                                .expect("child ranges are final before Finish")
-                        };
-                        r = r.union(&input_need(dfg, maps, &mut ranges_of, c));
-                    }
-                    r
-                };
+                let range = port_range(
+                    dfg,
+                    maps,
+                    opts,
+                    port,
+                    &mut |p| Some(memo.get(&p).expect("child ranges are final before Finish")),
+                    &mut ctx,
+                );
                 memo.insert(port, range);
             }
         }
     }
-    Ranges { map: memo }
+    let stats = ctx.stats();
+    (Ranges { map: memo }, stats)
 }
 
 /// Iterative engine: one sweep over the reverse topological order.
@@ -261,38 +434,120 @@ fn recursive_ranges(dfg: &Dfg, maps: &IoMappings, opts: RangeOptions) -> Ranges 
 /// sequence backwards guarantees every consumer's range is final before its
 /// producers are processed. Stateful blocks need no ordering care because
 /// their input requirement is constant (full).
-fn iterative_ranges(dfg: &Dfg, maps: &IoMappings, opts: RangeOptions) -> Ranges {
+fn iterative_ranges(dfg: &Dfg, maps: &IoMappings, opts: RangeOptions) -> (Ranges, RangeStats) {
     let order = dfg.schedule().expect("a valid Dfg always has a schedule");
     let mut map: BTreeMap<OutPort, IndexSet> = BTreeMap::new();
+    let mut ctx = EngineCtx::default();
     for &id in order.iter().rev() {
         let n_out = dfg.model().block(id).kind.num_outputs();
         for o in 0..n_out {
             let port = OutPort::new(id, o);
-            let consumers = dfg.consumers_of(port);
-            let range = if consumers.is_empty() {
-                if opts.eliminate_dead_ends {
-                    IndexSet::new()
-                } else {
-                    full_range_of(dfg, port)
-                }
-            } else {
-                let mut r = IndexSet::new();
-                for c in consumers {
-                    let mut ranges_of = |p: OutPort| {
-                        map.get(&p)
-                            .cloned()
-                            // A consumer not yet final can only be a delay
-                            // cycle, whose input need ignores this value.
-                            .unwrap_or_else(|| full_range_of(dfg, p))
-                    };
-                    r = r.union(&input_need(dfg, maps, &mut ranges_of, c));
-                }
-                r
-            };
+            // A consumer not yet final (`None`) can only be a delay cycle,
+            // whose input need ignores the looked-up value.
+            let range = port_range(dfg, maps, opts, port, &mut |p| map.get(&p), &mut ctx);
             map.insert(port, range);
         }
     }
-    Ranges { map }
+    let stats = ctx.stats();
+    (Ranges { map }, stats)
+}
+
+/// Level-scheduled parallel engine.
+///
+/// [`Dfg::analysis_levels`] partitions the blocks so that every range a
+/// block's computation reads lives in a strictly earlier level (delay-broken
+/// feedback keeps the dependency relation acyclic). Workers are spawned
+/// once, split each level by block index modulo the worker count, and meet
+/// at a [`Barrier`] between levels; results live in [`OnceLock`] slots
+/// indexed by [`Dfg::out_port_index`], so cross-level reads are lock-free.
+///
+/// The per-port computation is byte-for-byte the one the sequential engines
+/// run ([`port_range`]), so the result is identical for any thread count.
+fn parallel_ranges(dfg: &Dfg, maps: &IoMappings, opts: RangeOptions) -> (Ranges, RangeStats) {
+    let levels = dfg
+        .analysis_levels()
+        .expect("a valid Dfg has no delay-free cycles");
+    let max_width = levels.iter().map(Vec::len).max().unwrap_or(0);
+    // More workers than the widest level would only ever idle at barriers.
+    let threads = opts.resolved_threads().min(max_width).max(1);
+
+    let slots: Vec<OnceLock<IndexSet>> = (0..dfg.num_out_ports()).map(|_| OnceLock::new()).collect();
+
+    let mut stats = RangeStats {
+        levels: levels.len() as u64,
+        max_level_width: max_width as u64,
+        ..RangeStats::default()
+    };
+
+    let run_worker = |worker: usize, sync: Option<&Barrier>| -> RangeStats {
+        let mut ctx = EngineCtx::default();
+        for level in &levels {
+            for (i, &b) in level.iter().enumerate() {
+                if i % threads != worker {
+                    continue;
+                }
+                for o in 0..dfg.model().block(b).kind.num_outputs() {
+                    let port = OutPort::new(b, o);
+                    let r = port_range(
+                        dfg,
+                        maps,
+                        opts,
+                        port,
+                        &mut |p| {
+                            Some(
+                                slots[dfg.out_port_index(p)]
+                                    .get()
+                                    .expect("level schedule finalizes consumers first"),
+                            )
+                        },
+                        &mut ctx,
+                    );
+                    slots[dfg.out_port_index(port)]
+                        .set(r)
+                        .expect("each port is owned by exactly one worker");
+                }
+            }
+            if let Some(b) = sync {
+                b.wait();
+            }
+        }
+        ctx.stats()
+    };
+
+    if threads <= 1 {
+        stats.absorb(&run_worker(0, None));
+    } else {
+        let barrier = Barrier::new(threads);
+        let run_worker = &run_worker;
+        let barrier = &barrier;
+        let worker_stats = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| s.spawn(move || run_worker(w, Some(barrier))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("range worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for ws in &worker_stats {
+            stats.absorb(ws);
+        }
+    }
+
+    // Slot order equals model iteration order (out_port_index is a prefix
+    // sum over blocks in id order), so draining the slots re-labels them.
+    let mut map = BTreeMap::new();
+    let mut drained = slots.into_iter();
+    for (id, block) in dfg.model().iter() {
+        for o in 0..block.kind.num_outputs() {
+            let r = drained
+                .next()
+                .and_then(OnceLock::into_inner)
+                .expect("every level was executed");
+            map.insert(OutPort::new(id, o), r);
+        }
+    }
+    (Ranges { map }, stats)
 }
 
 #[cfg(test)]
@@ -581,6 +836,119 @@ mod tests {
         let p = dfg.model().find("p").unwrap();
         assert_eq!(ranges.out(p, 0), &IndexSet::from_range(0, 5));
         assert_eq!(ranges.out(i, 0), &IndexSet::from_range(0, 2));
+    }
+
+    #[test]
+    fn parallel_engine_agrees_with_recursive_for_any_thread_count() {
+        for threads in [1, 2, 4, 9] {
+            let (_, _, rec) = analyze(figure1(), RangeOptions::default());
+            let (_, _, par) = analyze(
+                figure1(),
+                RangeOptions {
+                    engine: RangeEngine::Parallel,
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(rec, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_engine_handles_feedback_and_dead_ends() {
+        // delay feedback: add -> z -> add, plus a dangling gain
+        let mut m = Model::new("par-acc");
+        let i = m.add(Block::new(
+            "in",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(6),
+            },
+        ));
+        let add = m.add(Block::new("add", BlockKind::Add));
+        let z = m.add(Block::new(
+            "z",
+            BlockKind::UnitDelay {
+                initial: Tensor::vector(vec![0.0; 6]),
+            },
+        ));
+        let g = m.add(Block::new("g", BlockKind::Gain { gain: 2.0 }));
+        let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, add, 0).unwrap();
+        m.connect(z, 0, add, 1).unwrap();
+        m.connect(add, 0, z, 0).unwrap();
+        m.connect(add, 0, o, 0).unwrap();
+        m.connect(i, 0, g, 0).unwrap(); // g's output dangles
+        for eliminate_dead_ends in [false, true] {
+            let (_, _, rec) = analyze(
+                m.clone(),
+                RangeOptions {
+                    eliminate_dead_ends,
+                    ..Default::default()
+                },
+            );
+            let (_, _, par) = analyze(
+                m.clone(),
+                RangeOptions {
+                    engine: RangeEngine::Parallel,
+                    eliminate_dead_ends,
+                    threads: 3,
+                },
+            );
+            assert_eq!(rec, par, "eliminate_dead_ends={eliminate_dead_ends}");
+        }
+    }
+
+    #[test]
+    fn parallel_stats_record_the_level_schedule() {
+        let dfg = Dfg::new(figure1()).unwrap();
+        let maps = IoMappings::derive(&dfg);
+        let (_, stats) = determine_ranges_with_stats(
+            &dfg,
+            &maps,
+            RangeOptions {
+                engine: RangeEngine::Parallel,
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert!(stats.levels >= 3, "chain model has a deep level schedule");
+        assert!(stats.max_level_width >= 1);
+    }
+
+    #[test]
+    fn apply_cache_replays_identical_requests() {
+        // three identical selectors fanned out from one gain: the first
+        // consumer's (map, request) pair is computed, the rest replay it
+        let mut m = Model::new("cache");
+        let i = m.add(Block::new(
+            "in",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(100),
+            },
+        ));
+        let g = m.add(Block::new("g", BlockKind::Gain { gain: 2.0 }));
+        m.connect(i, 0, g, 0).unwrap();
+        for k in 0..3 {
+            let s = m.add(Block::new(
+                format!("s{k}"),
+                BlockKind::Selector {
+                    mode: SelectorMode::StartEnd { start: 10, end: 30 },
+                },
+            ));
+            let o = m.add(Block::new(format!("o{k}"), BlockKind::Outport { index: k }));
+            m.connect(g, 0, s, 0).unwrap();
+            m.connect(s, 0, o, 0).unwrap();
+        }
+        let dfg = Dfg::new(m).unwrap();
+        let maps = IoMappings::derive(&dfg);
+        let (_, stats) = determine_ranges_with_stats(&dfg, &maps, RangeOptions::default());
+        assert!(
+            stats.iomap_cache_hits >= 2,
+            "identical selector requests should hit: {stats:?}"
+        );
+        assert!(stats.iomap_cache_misses >= 1);
     }
 
     #[test]

@@ -65,6 +65,8 @@ impl OptimizationReport {
                 }
                 BlockStat {
                     block: id,
+                    // the report outlives the analysis it is built from, so
+                    // each row owns its display name
                     name: block.name.clone(),
                     type_name: block.kind.type_name(),
                     full_elements: full,

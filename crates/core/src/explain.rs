@@ -36,7 +36,7 @@ pub fn trace(analysis: &Analysis) -> String {
                 "no consumers: keep the full output (Algorithm 1, lines 16-18)".to_string()
             } else {
                 let mut parts = Vec::new();
-                for c in &consumers {
+                for c in consumers {
                     let cb = model.block(c.block);
                     let what = match &cb.kind {
                         BlockKind::Outport { .. } => "model output needs everything".to_string(),

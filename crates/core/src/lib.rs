@@ -12,9 +12,11 @@
 //!    shrank below their full output are *optimizable*
 //!    ([`Analysis::is_optimizable`]) and receive concise code downstream.
 //!
-//! Two interchangeable engines implement Algorithm 1 — the paper's recursion
-//! ([`RangeEngine::Recursive`]) and an iterative reverse-topological pass
-//! ([`RangeEngine::Iterative`]) — which are property-tested to agree.
+//! Three interchangeable engines implement Algorithm 1 — the paper's
+//! recursion ([`RangeEngine::Recursive`]), an iterative reverse-topological
+//! pass ([`RangeEngine::Iterative`]), and a level-scheduled multi-threaded
+//! fan-out ([`RangeEngine::Parallel`]) — which are tested to agree
+//! exactly on every model.
 //!
 //! # Example
 //!
@@ -58,7 +60,10 @@ pub mod explain;
 mod iomap;
 mod pipeline;
 
-pub use algorithm1::{determine_ranges, full_ranges, RangeEngine, RangeOptions, Ranges};
+pub use algorithm1::{
+    determine_ranges, determine_ranges_with_stats, full_ranges, RangeEngine, RangeOptions,
+    RangeStats, Ranges,
+};
 pub use classify::{BlockStat, OptimizationReport};
 pub use iomap::IoMappings;
 pub use pipeline::Analysis;

@@ -1,6 +1,6 @@
 //! The end-to-end analysis pipeline: model → graph → mappings → ranges.
 
-use crate::{determine_ranges, IoMappings, OptimizationReport, RangeOptions, Ranges};
+use crate::{determine_ranges_with_stats, IoMappings, OptimizationReport, RangeOptions, Ranges};
 use frodo_graph::Dfg;
 use frodo_model::{BlockId, Model, ModelError, OutPort};
 use frodo_obs::Trace;
@@ -63,13 +63,22 @@ impl Analysis {
         trace: &Trace,
     ) -> Result<Self, ModelError> {
         let dfg = Dfg::new_traced(model, trace)?;
+        let threads = options.resolved_threads();
         let mappings = {
-            let _s = trace.span("iomap");
-            IoMappings::derive(&dfg)
+            let span = trace.span("iomap");
+            span.count("iomap_threads", threads as u64);
+            IoMappings::derive_with(&dfg, threads)
         };
         let ranges = {
-            let _s = trace.span("ranges");
-            determine_ranges(&dfg, &mappings, options)
+            let span = trace.span("ranges");
+            let (ranges, stats) = determine_ranges_with_stats(&dfg, &mappings, options);
+            span.count("iomap_cache_hits", stats.iomap_cache_hits);
+            span.count("iomap_cache_misses", stats.iomap_cache_misses);
+            span.count("set_ops_inline", stats.set_ops_inline);
+            span.count("set_ops_spilled", stats.set_ops_spilled);
+            span.count("analysis_levels", stats.levels);
+            span.count("level_width_max", stats.max_level_width);
+            ranges
         };
         let report = {
             let span = trace.span("classify");
@@ -192,6 +201,11 @@ mod tests {
         }
         assert_eq!(trace.counter_total("blocks_analyzed"), 5);
         assert_eq!(trace.counter_total("blocks_optimizable"), 1);
+        // hot-path instrumentation: every run derives at least one mapping
+        // and performs at least one set operation, all inline on this model
+        assert_eq!(trace.counter_total("iomap_threads"), 1);
+        assert!(trace.counter_total("iomap_cache_misses") > 0);
+        assert!(trace.counter_total("set_ops_inline") > 0);
         assert_eq!(
             trace.counter_total("elements_eliminated") as usize,
             a.report().total_eliminated()
@@ -306,16 +320,25 @@ mod tests {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(64))]
             #[test]
-            fn prop_engines_agree_on_random_models(model in arb_model()) {
+            fn prop_engines_agree_on_random_models(model in arb_model(), threads in 1usize..8) {
                 let rec = Analysis::run_with(
                     model.clone(),
                     RangeOptions { engine: RangeEngine::Recursive, ..Default::default() },
                 ).unwrap();
                 let it = Analysis::run_with(
-                    model,
+                    model.clone(),
                     RangeOptions { engine: RangeEngine::Iterative, ..Default::default() },
                 ).unwrap();
+                let par = Analysis::run_with(
+                    model,
+                    RangeOptions {
+                        engine: RangeEngine::Parallel,
+                        threads,
+                        ..Default::default()
+                    },
+                ).unwrap();
                 prop_assert_eq!(rec.ranges(), it.ranges());
+                prop_assert_eq!(rec.ranges(), par.ranges());
             }
 
             #[test]

@@ -87,6 +87,28 @@ pub struct CompileOptions {
     pub lower: LowerOptions,
     /// C emission options (shared convolution helper).
     pub emit: CEmitOptions,
+    /// Intra-model thread budget for analysis and emission; `0` means one
+    /// per available core. `1` keeps every stage on the calling thread.
+    ///
+    /// The parallel stages are byte-identical to the sequential ones for
+    /// every thread count, so this knob is deliberately *excluded* from the
+    /// artifact cache key: compiles that differ only in `intra_threads`
+    /// share one cached artifact.
+    pub intra_threads: usize,
+}
+
+impl CompileOptions {
+    /// Resolves [`CompileOptions::intra_threads`]: `0` becomes one thread
+    /// per available core.
+    pub fn resolved_intra_threads(&self) -> usize {
+        if self.intra_threads > 0 {
+            self.intra_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
 }
 
 /// Where a job's model comes from.
@@ -312,6 +334,24 @@ impl CompileService {
         let start = Instant::now();
         let batch_span = trace.span("batch");
         batch_span.count("jobs", specs.len() as u64);
+        // Jobs that left intra_threads on auto split the machine with the
+        // pool instead of each claiming every core: `workers` jobs run at
+        // once, so each gets `cores / workers` threads. Explicit budgets
+        // (including 1) pass through untouched.
+        let intra_auto = (std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            / workers)
+            .max(1);
+        let specs: Vec<JobSpec> = specs
+            .into_iter()
+            .map(|mut s| {
+                if s.options.intra_threads == 0 {
+                    s.options.intra_threads = intra_auto;
+                }
+                s
+            })
+            .collect();
         let specs = if trace.is_enabled() {
             let bt = batch_span.trace();
             specs.into_iter().map(|s| s.with_trace(&bt)).collect()
@@ -422,18 +462,27 @@ impl CompileService {
             }
         }
 
+        // The intra-model thread budget is applied *after* the cache key is
+        // taken: the parallel engine and threaded emitter are byte-identical
+        // to the sequential path, so the budget must never split the cache.
+        let threads = options.resolved_intra_threads();
+        let mut range = options.range;
+        if threads > 1 {
+            range.engine = frodo_core::RangeEngine::Parallel;
+            range.threads = threads;
+        }
+
         // analysis: dfg + iomap + Algorithm 1 + classification. The
         // model is already flat, so the inner flatten span is a no-op
         // pass recorded alongside the real one above.
-        let analysis =
-            Analysis::run_traced(flat, options.range, &jt).map_err(|e| JobError::Analysis {
-                job: name.clone(),
-                message: e.to_string(),
-            })?;
+        let analysis = Analysis::run_traced(flat, range, &jt).map_err(|e| JobError::Analysis {
+            job: name.clone(),
+            message: e.to_string(),
+        })?;
 
         // lower + emit (each records its own span)
         let program = generate_traced(&analysis, style, options.lower, &jt);
-        let code = emit_c_traced(&program, options.emit, &jt);
+        let code = emit_c_traced(&program, options.emit, threads, &jt);
 
         let metrics = JobMetrics::from_analysis(&analysis);
         if !self.config.no_cache {

@@ -1,6 +1,6 @@
 //! The analyzed dataflow graph.
 
-use crate::toposort;
+use crate::{analysis_levels, topo_levels, toposort};
 use frodo_model::{BlockId, BlockKind, InPort, Model, ModelError, OutPort, ShapeTable};
 
 /// A flattened model together with its inferred shapes and adjacency
@@ -15,6 +15,13 @@ pub struct Dfg {
     shapes: ShapeTable,
     children: Vec<Vec<BlockId>>,
     parents: Vec<Vec<BlockId>>,
+    /// Offset of each block's first output port in the dense port index
+    /// space (prefix sums of `num_outputs`); the final entry is the total.
+    port_offsets: Vec<usize>,
+    /// Consumer input ports of every output port, indexed by
+    /// [`Dfg::out_port_index`] — the reverse adjacency that makes
+    /// [`Dfg::consumers_of`] an O(1) lookup instead of a connection scan.
+    port_consumers: Vec<Vec<InPort>>,
 }
 
 impl Dfg {
@@ -61,6 +68,17 @@ impl Dfg {
                 parents[d.index()].push(s);
             }
         }
+        let mut port_offsets = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
+        for (_, block) in flat.iter() {
+            port_offsets.push(total);
+            total += block.kind.num_outputs();
+        }
+        port_offsets.push(total);
+        let mut port_consumers: Vec<Vec<InPort>> = vec![Vec::new(); total];
+        for c in flat.connections() {
+            port_consumers[port_offsets[c.from.block.index()] + c.from.port].push(c.to);
+        }
         span.count("blocks", n as u64);
         span.count("connections", flat.connections().len() as u64);
         Ok(Dfg {
@@ -68,6 +86,8 @@ impl Dfg {
             shapes,
             children,
             parents,
+            port_offsets,
+            port_consumers,
         })
     }
 
@@ -131,9 +151,45 @@ impl Dfg {
             .expect("validated models have fully connected inputs")
     }
 
-    /// All consumer input ports of an output port.
-    pub fn consumers_of(&self, port: OutPort) -> Vec<InPort> {
-        self.model.consumers_of(port)
+    /// All consumer input ports of an output port — a precomputed O(1)
+    /// lookup (connection order, like `Model::consumers_of`).
+    pub fn consumers_of(&self, port: OutPort) -> &[InPort] {
+        &self.port_consumers[self.out_port_index(port)]
+    }
+
+    /// Dense index of an output port in `[0, num_out_ports())`: ports are
+    /// numbered block by block in id order. Used to key flat per-port
+    /// tables (e.g. the parallel range engine's result slots).
+    pub fn out_port_index(&self, port: OutPort) -> usize {
+        self.port_offsets[port.block.index()] + port.port
+    }
+
+    /// Total number of output ports in the graph.
+    pub fn num_out_ports(&self) -> usize {
+        *self.port_offsets.last().expect("offsets always has a total")
+    }
+
+    /// The blocks grouped into topological levels (see
+    /// [`topo_levels`]): blocks within a level have no scheduling path
+    /// between them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::AlgebraicLoop`] if a delay-free cycle remains.
+    pub fn levels(&self) -> Result<Vec<Vec<BlockId>>, ModelError> {
+        topo_levels(&self.model)
+    }
+
+    /// The blocks grouped into the reverse levels of Algorithm 1's
+    /// dependency structure (see [`analysis_levels`]): a block's
+    /// calculation range only reads ranges finalized in earlier levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::AlgebraicLoop`] if the dependency graph is
+    /// cyclic (implies a delay-free model cycle).
+    pub fn analysis_levels(&self) -> Result<Vec<Vec<BlockId>>, ModelError> {
+        analysis_levels(&self.model)
     }
 
     /// Number of data-truncation blocks in the graph (diagnostic used by the
@@ -200,6 +256,56 @@ mod tests {
         assert_eq!(dfg.children(add), &[o]);
         assert_eq!(dfg.roots(), vec![i]);
         assert_eq!(dfg.sinks(), vec![o]);
+    }
+
+    #[test]
+    fn port_consumers_match_model_scan() {
+        let (m, ids) = diamond();
+        let dfg = Dfg::new(m).unwrap();
+        for id in ids {
+            for o in 0..dfg.model().block(id).kind.num_outputs() {
+                let port = OutPort::new(id, o);
+                assert_eq!(
+                    dfg.consumers_of(port),
+                    dfg.model().consumers_of(port).as_slice(),
+                    "port {id:?}:{o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_port_indices_are_dense_and_distinct() {
+        let (m, ids) = diamond();
+        let dfg = Dfg::new(m).unwrap();
+        let mut seen = vec![false; dfg.num_out_ports()];
+        for id in ids {
+            for o in 0..dfg.model().block(id).kind.num_outputs() {
+                let idx = dfg.out_port_index(OutPort::new(id, o));
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dfg_levels_partition_the_blocks() {
+        let (m, _) = diamond();
+        let dfg = Dfg::new(m).unwrap();
+        let n = dfg.model().len();
+        assert_eq!(
+            dfg.levels().unwrap().iter().map(Vec::len).sum::<usize>(),
+            n
+        );
+        assert_eq!(
+            dfg.analysis_levels()
+                .unwrap()
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>(),
+            n
+        );
     }
 
     #[test]

@@ -36,4 +36,4 @@ mod dfg;
 mod topo;
 
 pub use dfg::Dfg;
-pub use topo::toposort;
+pub use topo::{analysis_levels, topo_levels, toposort};

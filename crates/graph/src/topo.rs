@@ -55,6 +55,106 @@ pub fn toposort(model: &Model) -> Result<Vec<BlockId>, ModelError> {
     Ok(order)
 }
 
+/// Groups the blocks of a valid model into *topological levels*: level 0
+/// holds the blocks with no scheduling predecessors, and every block sits
+/// one past its deepest predecessor. Blocks within a level are mutually
+/// data-independent (no scheduling path connects them), so they may be
+/// translated — or analyzed — concurrently. Edges leaving a `UnitDelay`
+/// are ignored exactly as in [`toposort`]; levels are sorted by block id.
+///
+/// # Errors
+///
+/// Returns [`ModelError::AlgebraicLoop`] if a delay-free cycle remains.
+pub fn topo_levels(model: &Model) -> Result<Vec<Vec<BlockId>>, ModelError> {
+    let order = toposort(model)?;
+    let n = model.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in model.connections() {
+        if matches!(model.block(c.from.block).kind, BlockKind::UnitDelay { .. }) {
+            continue; // state read: no ordering constraint
+        }
+        succs[c.from.block.index()].push(c.to.block.index());
+    }
+    let mut level = vec![0usize; n];
+    for &id in &order {
+        let i = id.index();
+        for &d in &succs[i] {
+            level[d] = level[d].max(level[i] + 1);
+        }
+    }
+    Ok(group_by_level(&level, n))
+}
+
+/// Groups the blocks into the *reverse* levels of Algorithm 1's dependency
+/// structure: a block's calculation range reads the ranges of its consumer
+/// blocks, **except** consumers whose input requirement is constant — model
+/// sinks (`Outport`, `Terminator`) and stateful blocks, whose needs do not
+/// depend on their own ranges (that independence is also what breaks
+/// delay feedback cycles).
+///
+/// Level 0 therefore holds the blocks whose ranges depend on nothing;
+/// every later level only reads ranges finalized in earlier levels, so the
+/// blocks of one level can be range-analyzed concurrently. Levels are
+/// sorted by block id.
+///
+/// # Errors
+///
+/// Returns [`ModelError::AlgebraicLoop`] listing the blocks on a cycle of
+/// the dependency graph (possible only if the model also fails
+/// [`toposort`], since any connection cycle must pass through a delay and
+/// delays are independent consumers).
+pub fn analysis_levels(model: &Model) -> Result<Vec<Vec<BlockId>>, ModelError> {
+    let n = model.len();
+    // deps: b -> consumers whose ranges b's range computation reads
+    let mut indeg = vec![0usize; n];
+    let mut rdeps: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in model.connections() {
+        let consumer = c.to.block;
+        let kind = &model.block(consumer).kind;
+        let independent = matches!(kind, BlockKind::Outport { .. } | BlockKind::Terminator)
+            || kind.is_stateful();
+        if independent {
+            continue;
+        }
+        indeg[c.from.block.index()] += 1;
+        rdeps[consumer.index()].push(c.from.block.index());
+    }
+
+    let mut level = vec![0usize; n];
+    let mut placed = vec![false; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut done = 0;
+    while let Some(i) = queue.pop() {
+        placed[i] = true;
+        done += 1;
+        for &b in &rdeps[i] {
+            level[b] = level[b].max(level[i] + 1);
+            indeg[b] -= 1;
+            if indeg[b] == 0 {
+                queue.push(b);
+            }
+        }
+    }
+    if done != n {
+        let cycle: Vec<BlockId> = (0..n)
+            .filter(|&i| !placed[i])
+            .map(BlockId::from_index)
+            .collect();
+        return Err(ModelError::AlgebraicLoop { cycle });
+    }
+    Ok(group_by_level(&level, n))
+}
+
+/// Buckets block indices by their level, each bucket sorted ascending.
+fn group_by_level(level: &[usize], n: usize) -> Vec<Vec<BlockId>> {
+    let depth = level.iter().max().map_or(0, |&d| d + 1);
+    let mut out: Vec<Vec<BlockId>> = vec![Vec::new(); if n == 0 { 0 } else { depth }];
+    for i in 0..n {
+        out[level[i]].push(BlockId::from_index(i));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +249,107 @@ mod tests {
     fn empty_model_is_trivially_sorted() {
         let m = Model::new("empty");
         assert!(toposort(&m).unwrap().is_empty());
+        assert!(topo_levels(&m).unwrap().is_empty());
+        assert!(analysis_levels(&m).unwrap().is_empty());
+    }
+
+    /// i -> g1 -> add -> o, i -> g2 -> add: the two gains share a level.
+    fn diamond() -> (Model, [BlockId; 5]) {
+        let mut m = Model::new("diamond");
+        let i = m.add(Block::new(
+            "i",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(4),
+            },
+        ));
+        let g1 = m.add(Block::new("g1", BlockKind::Gain { gain: 2.0 }));
+        let g2 = m.add(Block::new("g2", BlockKind::Gain { gain: 3.0 }));
+        let add = m.add(Block::new("add", BlockKind::Add));
+        let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, g1, 0).unwrap();
+        m.connect(i, 0, g2, 0).unwrap();
+        m.connect(g1, 0, add, 0).unwrap();
+        m.connect(g2, 0, add, 1).unwrap();
+        m.connect(add, 0, o, 0).unwrap();
+        (m, [i, g1, g2, add, o])
+    }
+
+    #[test]
+    fn topo_levels_group_independent_blocks() {
+        let (m, [i, g1, g2, add, o]) = diamond();
+        let levels = topo_levels(&m).unwrap();
+        assert_eq!(
+            levels,
+            vec![vec![i], vec![g1, g2], vec![add], vec![o]],
+        );
+        // levels partition the model and refine the topological order
+        assert_eq!(levels.iter().map(Vec::len).sum::<usize>(), m.len());
+    }
+
+    #[test]
+    fn analysis_levels_run_from_the_sinks() {
+        // range dependencies point downstream: add (whose only consumer is
+        // the independent outport) resolves first, the gains next, the
+        // sources last
+        let (m, [i, g1, g2, add, o]) = diamond();
+        let levels = analysis_levels(&m).unwrap();
+        let depth_of = |b: BlockId| levels.iter().position(|l| l.contains(&b)).unwrap();
+        assert_eq!(depth_of(o), 0); // no dependencies at all
+        assert_eq!(depth_of(add), 0);
+        assert_eq!(depth_of(g1), 1);
+        assert_eq!(depth_of(g2), 1);
+        assert_eq!(depth_of(i), 2);
+        assert_eq!(levels.iter().map(Vec::len).sum::<usize>(), m.len());
+    }
+
+    #[test]
+    fn analysis_levels_break_delay_feedback() {
+        // accumulator: add -> delay -> add; the delay is an independent
+        // consumer, so the dependency graph stays acyclic
+        let mut m = Model::new("acc");
+        let i = m.add(Block::new(
+            "i",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Scalar,
+            },
+        ));
+        let add = m.add(Block::new("add", BlockKind::Add));
+        let z = m.add(Block::new(
+            "z",
+            BlockKind::UnitDelay {
+                initial: Tensor::scalar(0.0),
+            },
+        ));
+        let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, add, 0).unwrap();
+        m.connect(z, 0, add, 1).unwrap();
+        m.connect(add, 0, z, 0).unwrap();
+        m.connect(add, 0, o, 0).unwrap();
+        let levels = analysis_levels(&m).unwrap();
+        let depth_of = |b: BlockId| levels.iter().position(|l| l.contains(&b)).unwrap();
+        // add depends on nothing (its consumers z and o are independent);
+        // the delay's range reads add's, and the source reads add's too
+        assert_eq!(depth_of(add), 0);
+        assert!(depth_of(z) > depth_of(add));
+        assert!(depth_of(i) > depth_of(add));
+    }
+
+    #[test]
+    fn analysis_levels_report_delay_free_cycles() {
+        let mut m = Model::new("loop");
+        let a = m.add(Block::new("a", BlockKind::Abs));
+        let b = m.add(Block::new("b", BlockKind::Negate));
+        m.connect(a, 0, b, 0).unwrap();
+        m.connect(b, 0, a, 0).unwrap();
+        assert!(matches!(
+            analysis_levels(&m),
+            Err(ModelError::AlgebraicLoop { .. })
+        ));
+        assert!(matches!(
+            topo_levels(&m),
+            Err(ModelError::AlgebraicLoop { .. })
+        ));
     }
 }

@@ -2,6 +2,28 @@
 
 use crate::Interval;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The canonical empty interval used by the inline representation.
+const EMPTY: Interval = Interval { start: 0, end: 0 };
+
+/// Storage behind an [`IndexSet`].
+///
+/// Calculation ranges are overwhelmingly a single contiguous run (the
+/// paper's Figure 5 ranges are all one interval), so the dominant case is
+/// stored inline and never touches the heap.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Zero or one interval stored inline; an empty interval encodes the
+    /// empty set.
+    Inline(Interval),
+    /// Intervals on the heap. The list is always canonical (sorted,
+    /// disjoint, non-adjacent, non-empty) but its *length* may drop to 0
+    /// or 1 after in-place operations so accumulator capacity survives
+    /// reuse; equality and hashing therefore go through
+    /// [`IndexSet::intervals`], never the representation.
+    Heap(Vec<Interval>),
+}
 
 /// A set of flattened element indices, stored as sorted, disjoint,
 /// non-adjacent half-open intervals.
@@ -10,7 +32,10 @@ use std::fmt;
 /// every block's *calculation range* and every I/O-mapping request is one of
 /// these. The representation is canonical — two sets containing the same
 /// indices always compare equal — which the constructors and operators
-/// maintain by merging overlapping or touching intervals.
+/// maintain by merging overlapping or touching intervals. Sets of at most
+/// one interval are stored inline (no heap allocation); the in-place
+/// operators ([`IndexSet::union_with`] and friends) together with a
+/// [`Scratch`] workspace keep hot loops allocation-free in steady state.
 ///
 /// # Example
 ///
@@ -24,20 +49,140 @@ use std::fmt;
 /// assert_eq!(u.intervals().len(), 2);
 /// assert!(u.contains(5) && u.contains(25) && !u.contains(15));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug)]
 pub struct IndexSet {
-    intervals: Vec<Interval>,
+    repr: Repr,
+}
+
+/// Reusable workspace for the in-place [`IndexSet`] operations.
+///
+/// The multi-interval merge paths build their result here and then *swap*
+/// buffers with the destination set, so a long-lived accumulator plus one
+/// scratch reach a steady state where no operation allocates. The
+/// workspace also tallies how each operation resolved ([`SetOpStats`]),
+/// which the analysis engines surface as observability counters.
+///
+/// # Example
+///
+/// ```
+/// use frodo_ranges::{IndexSet, Scratch};
+///
+/// let mut scratch = Scratch::new();
+/// let mut acc = IndexSet::new();
+/// acc.union_with(&IndexSet::from_range(0, 5), &mut scratch);
+/// acc.union_with(&IndexSet::from_range(5, 9), &mut scratch);
+/// assert_eq!(acc, IndexSet::from_range(0, 9));
+/// assert_eq!(scratch.stats.inline, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Scratch {
+    buf: Vec<Interval>,
+    /// Running tallies of how the in-place operations resolved.
+    pub stats: SetOpStats,
+}
+
+impl Scratch {
+    /// A fresh workspace with empty buffers and zeroed stats.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+/// How in-place set operations resolved: entirely inline (the ≤ 1-interval
+/// fast path, no heap traffic) or through the heap merge path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SetOpStats {
+    /// Operations resolved in the inline fast path.
+    pub inline: u64,
+    /// Operations that went through the multi-interval merge path.
+    pub spilled: u64,
+}
+
+/// Appends `iv` to a canonical interval list under construction, merging
+/// it into the last entry when they overlap or touch. Callers must append
+/// in non-decreasing `start` order.
+fn push_merge(out: &mut Vec<Interval>, iv: Interval) {
+    if iv.is_empty() {
+        return;
+    }
+    match out.last_mut() {
+        Some(last) if last.touches(&iv) => last.end = last.end.max(iv.end),
+        _ => out.push(iv),
+    }
+}
+
+/// Union of two canonical lists into `out` (cleared first).
+fn merge_union(a: &[Interval], b: &[Interval], out: &mut Vec<Interval>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let take_a = j >= b.len() || (i < a.len() && a[i].start <= b[j].start);
+        let iv = if take_a {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+        push_merge(out, iv);
+    }
+}
+
+/// Intersection of two canonical lists into `out` (cleared first).
+fn merge_intersect(a: &[Interval], b: &[Interval], out: &mut Vec<Interval>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let x = a[i].intersect(&b[j]);
+        if !x.is_empty() {
+            out.push(x);
+        }
+        if a[i].end <= b[j].end {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Difference `a \ b` of two canonical lists into `out` (cleared first).
+fn merge_difference(a: &[Interval], b: &[Interval], out: &mut Vec<Interval>) {
+    out.clear();
+    let mut j = 0;
+    for &iv in a {
+        let mut cur = iv.start;
+        while j < b.len() && b[j].end <= cur {
+            j += 1;
+        }
+        let mut k = j;
+        while k < b.len() && b[k].start < iv.end {
+            let hole = b[k];
+            if hole.start > cur {
+                out.push(Interval::new(cur, hole.start.min(iv.end)));
+            }
+            cur = cur.max(hole.end);
+            if cur >= iv.end {
+                break;
+            }
+            k += 1;
+        }
+        if cur < iv.end {
+            out.push(Interval::new(cur, iv.end));
+        }
+    }
 }
 
 impl IndexSet {
     /// The empty set.
     pub fn new() -> Self {
-        IndexSet::default()
+        IndexSet {
+            repr: Repr::Inline(EMPTY),
+        }
     }
 
     /// The empty set (alias of [`IndexSet::new`]).
     pub fn empty() -> Self {
-        IndexSet::default()
+        IndexSet::new()
     }
 
     /// The full range `[0, len)`.
@@ -48,12 +193,8 @@ impl IndexSet {
     /// The single interval `[start, end)`; empty if `start >= end`.
     pub fn from_range(start: usize, end: usize) -> Self {
         let iv = Interval::new(start, end);
-        if iv.is_empty() {
-            IndexSet::new()
-        } else {
-            IndexSet {
-                intervals: vec![iv],
-            }
+        IndexSet {
+            repr: Repr::Inline(if iv.is_empty() { EMPTY } else { iv }),
         }
     }
 
@@ -62,19 +203,33 @@ impl IndexSet {
         IndexSet::from_range(idx, idx + 1)
     }
 
+    /// Wraps an already-canonical interval list (sorted, disjoint,
+    /// non-adjacent, non-empty), demoting short lists to the inline form.
+    fn from_canonical(v: Vec<Interval>) -> Self {
+        match v.as_slice() {
+            [] => IndexSet::new(),
+            [iv] => IndexSet {
+                repr: Repr::Inline(*iv),
+            },
+            _ => IndexSet {
+                repr: Repr::Heap(v),
+            },
+        }
+    }
+
     /// Builds a set from an arbitrary iterator of intervals
     /// (they may overlap, touch, be empty, or arrive unsorted).
     pub fn from_intervals<I: IntoIterator<Item = Interval>>(ivs: I) -> Self {
         let mut v: Vec<Interval> = ivs.into_iter().filter(|iv| !iv.is_empty()).collect();
+        if v.len() <= 1 {
+            return IndexSet::from_canonical(v);
+        }
         v.sort();
         let mut out: Vec<Interval> = Vec::with_capacity(v.len());
         for iv in v {
-            match out.last_mut() {
-                Some(last) if last.touches(&iv) => last.end = last.end.max(iv.end),
-                _ => out.push(iv),
-            }
+            push_merge(&mut out, iv);
         }
-        IndexSet { intervals: out }
+        IndexSet::from_canonical(out)
     }
 
     /// Builds a set from individual indices (duplicates allowed, any order).
@@ -84,37 +239,122 @@ impl IndexSet {
 
     /// The canonical intervals, sorted and disjoint.
     pub fn intervals(&self) -> &[Interval] {
-        &self.intervals
+        match &self.repr {
+            Repr::Inline(iv) if iv.is_empty() => &[],
+            Repr::Inline(iv) => std::slice::from_ref(iv),
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// The sole interval, if the set is exactly one interval.
+    fn as_single(&self) -> Option<Interval> {
+        match self.intervals() {
+            [iv] => Some(*iv),
+            _ => None,
+        }
+    }
+
+    /// Empties the set, retaining any heap capacity for reuse.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline(iv) => *iv = EMPTY,
+            Repr::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Overwrites the set with a single interval (or empties it), without
+    /// giving up heap capacity.
+    pub fn set_single(&mut self, iv: Interval) {
+        let iv = if iv.is_empty() { EMPTY } else { iv };
+        match &mut self.repr {
+            Repr::Inline(slot) => *slot = iv,
+            Repr::Heap(v) => {
+                v.clear();
+                if !iv.is_empty() {
+                    v.push(iv);
+                }
+            }
+        }
+    }
+
+    /// Overwrites the set from intervals arriving in non-decreasing `start`
+    /// order (they may overlap, touch, or be empty), merging as it goes.
+    /// Reuses existing heap capacity; stays inline for ≤ 1-interval results.
+    pub(crate) fn assign_merged<I: IntoIterator<Item = Interval>>(&mut self, ivs: I) {
+        match &mut self.repr {
+            Repr::Heap(v) => {
+                v.clear();
+                for iv in ivs {
+                    push_merge(v, iv);
+                }
+            }
+            repr => {
+                let mut acc = EMPTY;
+                let mut heap: Vec<Interval> = Vec::new();
+                for iv in ivs {
+                    if iv.is_empty() {
+                        continue;
+                    }
+                    if acc.is_empty() {
+                        acc = iv;
+                    } else if acc.touches(&iv) {
+                        acc.end = acc.end.max(iv.end);
+                    } else {
+                        heap.push(acc);
+                        acc = iv;
+                    }
+                }
+                if heap.is_empty() {
+                    *repr = Repr::Inline(acc);
+                } else {
+                    heap.push(acc);
+                    *repr = Repr::Heap(heap);
+                }
+            }
+        }
+    }
+
+    /// Moves a merge result out of the scratch buffer into `self`. When
+    /// `self` already owns heap storage the buffers are swapped, so the
+    /// displaced capacity returns to the scratch for the next operation.
+    fn adopt(&mut self, scratch: &mut Scratch) {
+        match (&mut self.repr, scratch.buf.len()) {
+            (Repr::Heap(v), _) => std::mem::swap(v, &mut scratch.buf),
+            (repr, 0) => *repr = Repr::Inline(EMPTY),
+            (repr, 1) => *repr = Repr::Inline(scratch.buf[0]),
+            (repr, _) => *repr = Repr::Heap(std::mem::take(&mut scratch.buf)),
+        }
     }
 
     /// Whether the set contains no indices.
     pub fn is_empty(&self) -> bool {
-        self.intervals.is_empty()
+        self.intervals().is_empty()
     }
 
     /// Total number of indices in the set.
     pub fn count(&self) -> usize {
-        self.intervals.iter().map(Interval::len).sum()
+        self.intervals().iter().map(Interval::len).sum()
     }
 
     /// Whether `idx` is a member.
     pub fn contains(&self, idx: usize) -> bool {
+        let ivs = self.intervals();
         // Binary search on interval starts, then check the candidate.
-        match self.intervals.binary_search_by(|iv| iv.start.cmp(&idx)) {
+        match ivs.binary_search_by(|iv| iv.start.cmp(&idx)) {
             Ok(_) => true,
             Err(0) => false,
-            Err(pos) => self.intervals[pos - 1].contains(idx),
+            Err(pos) => ivs[pos - 1].contains(idx),
         }
     }
 
     /// Smallest contained index, if any.
     pub fn min(&self) -> Option<usize> {
-        self.intervals.first().map(|iv| iv.start)
+        self.intervals().first().map(|iv| iv.start)
     }
 
     /// Largest contained index, if any.
     pub fn max(&self) -> Option<usize> {
-        self.intervals.last().map(|iv| iv.end - 1)
+        self.intervals().last().map(|iv| iv.end - 1)
     }
 
     /// Smallest single interval covering every member (empty set ⇒ `None`).
@@ -127,55 +367,128 @@ impl IndexSet {
 
     /// Set union.
     pub fn union(&self, other: &IndexSet) -> IndexSet {
-        IndexSet::from_intervals(self.intervals.iter().chain(other.intervals.iter()).copied())
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
+        if let (Some(a), Some(b)) = (self.as_single(), other.as_single()) {
+            if a.touches(&b) {
+                return IndexSet::from_range(a.start.min(b.start), a.end.max(b.end));
+            }
+        }
+        let mut out = Vec::new();
+        merge_union(self.intervals(), other.intervals(), &mut out);
+        IndexSet::from_canonical(out)
     }
 
     /// Set intersection.
     pub fn intersect(&self, other: &IndexSet) -> IndexSet {
-        let mut out = Vec::new();
-        let (mut i, mut j) = (0, 0);
-        while i < self.intervals.len() && j < other.intervals.len() {
-            let a = self.intervals[i];
-            let b = other.intervals[j];
+        if let (Some(a), Some(b)) = (self.as_single(), other.as_single()) {
             let x = a.intersect(&b);
-            if !x.is_empty() {
-                out.push(x);
-            }
-            if a.end <= b.end {
-                i += 1;
-            } else {
-                j += 1;
-            }
+            return IndexSet {
+                repr: Repr::Inline(if x.is_empty() { EMPTY } else { x }),
+            };
         }
-        IndexSet { intervals: out }
+        let mut out = Vec::new();
+        merge_intersect(self.intervals(), other.intervals(), &mut out);
+        IndexSet::from_canonical(out)
     }
 
     /// Set difference `self \ other`.
     pub fn difference(&self, other: &IndexSet) -> IndexSet {
         let mut out = Vec::new();
-        let mut j = 0;
-        for &a in &self.intervals {
-            let mut cur = a.start;
-            while j < other.intervals.len() && other.intervals[j].end <= cur {
-                j += 1;
-            }
-            let mut k = j;
-            while k < other.intervals.len() && other.intervals[k].start < a.end {
-                let b = other.intervals[k];
-                if b.start > cur {
-                    out.push(Interval::new(cur, b.start.min(a.end)));
-                }
-                cur = cur.max(b.end);
-                if cur >= a.end {
-                    break;
-                }
-                k += 1;
-            }
-            if cur < a.end {
-                out.push(Interval::new(cur, a.end));
+        merge_difference(self.intervals(), other.intervals(), &mut out);
+        IndexSet::from_canonical(out)
+    }
+
+    /// In-place union: `self ∪= other`, allocation-free whenever both sides
+    /// are ≤ 1 interval that overlap or touch (the dominant case), or once
+    /// `self` and `scratch` have grown their buffers.
+    pub fn union_with(&mut self, other: &IndexSet, scratch: &mut Scratch) {
+        if other.is_empty() {
+            scratch.stats.inline += 1;
+            return;
+        }
+        if self.is_empty() {
+            scratch.stats.inline += 1;
+            self.clone_from(other);
+            return;
+        }
+        if let (Some(a), Some(b)) = (self.as_single(), other.as_single()) {
+            if a.touches(&b) {
+                scratch.stats.inline += 1;
+                self.set_single(Interval::new(a.start.min(b.start), a.end.max(b.end)));
+                return;
             }
         }
-        IndexSet { intervals: out }
+        scratch.stats.spilled += 1;
+        merge_union(self.intervals(), other.intervals(), &mut scratch.buf);
+        self.adopt(scratch);
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &IndexSet, scratch: &mut Scratch) {
+        if self.is_empty() {
+            scratch.stats.inline += 1;
+            return;
+        }
+        if other.is_empty() {
+            scratch.stats.inline += 1;
+            self.clear();
+            return;
+        }
+        if let (Some(a), Some(b)) = (self.as_single(), other.as_single()) {
+            scratch.stats.inline += 1;
+            self.set_single(a.intersect(&b));
+            return;
+        }
+        scratch.stats.spilled += 1;
+        merge_intersect(self.intervals(), other.intervals(), &mut scratch.buf);
+        self.adopt(scratch);
+    }
+
+    /// In-place difference: `self \= other`.
+    pub fn subtract_with(&mut self, other: &IndexSet, scratch: &mut Scratch) {
+        if self.is_empty() || other.is_empty() {
+            scratch.stats.inline += 1;
+            return;
+        }
+        if let (Some(a), Some(b)) = (self.as_single(), other.as_single()) {
+            if !a.overlaps(&b) {
+                scratch.stats.inline += 1;
+                return;
+            }
+            let left = Interval::new(a.start, a.end.min(b.start));
+            let right = Interval::new(a.start.max(b.end), a.end);
+            match (left.is_empty(), right.is_empty()) {
+                (false, false) => {
+                    // the subtrahend punches a hole: two pieces, heap needed
+                    scratch.stats.spilled += 1;
+                    scratch.buf.clear();
+                    scratch.buf.push(left);
+                    scratch.buf.push(right);
+                    self.adopt(scratch);
+                }
+                (false, true) => {
+                    scratch.stats.inline += 1;
+                    self.set_single(left);
+                }
+                (true, false) => {
+                    scratch.stats.inline += 1;
+                    self.set_single(right);
+                }
+                (true, true) => {
+                    scratch.stats.inline += 1;
+                    self.clear();
+                }
+            }
+            return;
+        }
+        scratch.stats.spilled += 1;
+        merge_difference(self.intervals(), other.intervals(), &mut scratch.buf);
+        self.adopt(scratch);
     }
 
     /// Complement within the universe `[0, len)`.
@@ -191,12 +504,12 @@ impl IndexSet {
     /// Translates every index by `offset`, dropping indices that would become
     /// negative (saturating clip at zero, per boundary-clamping block semantics).
     pub fn shift(&self, offset: isize) -> IndexSet {
-        IndexSet::from_intervals(self.intervals.iter().map(|iv| iv.shift(offset)))
+        IndexSet::from_intervals(self.intervals().iter().map(|iv| iv.shift(offset)))
     }
 
     /// Restricts the set to `[0, len)`.
     pub fn clamp_to(&self, len: usize) -> IndexSet {
-        IndexSet::from_intervals(self.intervals.iter().map(|iv| iv.clamp_to(len)))
+        IndexSet::from_intervals(self.intervals().iter().map(|iv| iv.clamp_to(len)))
     }
 
     /// Dilates each member index `k` to the window `[k - left, k + right]`
@@ -204,7 +517,7 @@ impl IndexSet {
     /// sliding-window blocks such as convolution and FIR filters.
     pub fn dilate(&self, left: usize, right: usize) -> IndexSet {
         IndexSet::from_intervals(
-            self.intervals
+            self.intervals()
                 .iter()
                 .map(|iv| Interval::new(iv.start.saturating_sub(left), iv.end + right)),
         )
@@ -228,8 +541,9 @@ impl IndexSet {
     /// costs more than computing a few redundant elements to keep runs
     /// contiguous. `max_gap = 0` is the identity.
     pub fn coalesce(&self, max_gap: usize) -> IndexSet {
-        let mut out: Vec<Interval> = Vec::with_capacity(self.intervals.len());
-        for &iv in &self.intervals {
+        let ivs = self.intervals();
+        let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+        for &iv in ivs {
             match out.last_mut() {
                 Some(last) if iv.start <= last.end + max_gap => {
                     last.end = last.end.max(iv.end);
@@ -237,15 +551,16 @@ impl IndexSet {
                 _ => out.push(iv),
             }
         }
-        IndexSet { intervals: out }
+        IndexSet::from_canonical(out)
     }
 
     /// Iterates over every member index in increasing order.
     pub fn iter(&self) -> Iter<'_> {
+        let intervals = self.intervals();
         Iter {
-            intervals: &self.intervals,
+            intervals,
             pos: 0,
-            next: self.intervals.first().map(|iv| iv.start).unwrap_or(0),
+            next: intervals.first().map(|iv| iv.start).unwrap_or(0),
         }
     }
 
@@ -260,12 +575,66 @@ impl IndexSet {
     }
 }
 
+impl Default for IndexSet {
+    fn default() -> Self {
+        IndexSet::new()
+    }
+}
+
+impl Clone for IndexSet {
+    fn clone(&self) -> Self {
+        // normalizes: a 0/1-interval heap set clones to the inline form
+        match self.intervals() {
+            [] => IndexSet::new(),
+            [iv] => IndexSet {
+                repr: Repr::Inline(*iv),
+            },
+            many => IndexSet {
+                repr: Repr::Heap(many.to_vec()),
+            },
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        match &mut self.repr {
+            // keep the existing buffer: no allocation when it already fits
+            Repr::Heap(v) => {
+                v.clear();
+                v.extend_from_slice(source.intervals());
+            }
+            repr => match source.intervals() {
+                [] => *repr = Repr::Inline(EMPTY),
+                [iv] => *repr = Repr::Inline(*iv),
+                many => *repr = Repr::Heap(many.to_vec()),
+            },
+        }
+    }
+}
+
+// Equality, ordering-insensitive hashing, and friends are defined over the
+// canonical interval *sequence*, so inline and heap representations of the
+// same set are indistinguishable.
+impl PartialEq for IndexSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.intervals() == other.intervals()
+    }
+}
+
+impl Eq for IndexSet {}
+
+impl Hash for IndexSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.intervals().hash(state);
+    }
+}
+
 impl fmt::Display for IndexSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.intervals.is_empty() {
+        let ivs = self.intervals();
+        if ivs.is_empty() {
             return write!(f, "{{}}");
         }
-        let parts: Vec<String> = self.intervals.iter().map(|iv| iv.to_string()).collect();
+        let parts: Vec<String> = ivs.iter().map(|iv| iv.to_string()).collect();
         write!(f, "{}", parts.join(" ∪ "))
     }
 }
@@ -284,7 +653,7 @@ impl FromIterator<usize> for IndexSet {
 
 impl Extend<Interval> for IndexSet {
     fn extend<T: IntoIterator<Item = Interval>>(&mut self, iter: T) {
-        let merged = IndexSet::from_intervals(self.intervals.iter().copied().chain(iter));
+        let merged = IndexSet::from_intervals(self.intervals().iter().copied().chain(iter));
         *self = merged;
     }
 }
@@ -467,6 +836,135 @@ mod tests {
         assert_eq!(s, IndexSet::from_range(0, 6));
     }
 
+    #[test]
+    fn inline_representation_for_single_intervals() {
+        // 0- and 1-interval sets never touch the heap
+        assert!(matches!(IndexSet::new().repr, Repr::Inline(_)));
+        assert!(matches!(IndexSet::from_range(3, 9).repr, Repr::Inline(_)));
+        assert!(matches!(IndexSet::full(100).repr, Repr::Inline(_)));
+        // two disjoint intervals spill
+        let two = IndexSet::from_range(0, 2).union(&IndexSet::from_range(5, 7));
+        assert!(matches!(two.repr, Repr::Heap(_)));
+        // a union collapsing to one interval stays inline
+        let one = IndexSet::from_range(0, 5).union(&IndexSet::from_range(3, 9));
+        assert!(matches!(one.repr, Repr::Inline(_)));
+    }
+
+    #[test]
+    fn representations_compare_and_hash_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        // construct the same set inline and on the heap
+        let inline = IndexSet::from_range(2, 8);
+        let mut heap = IndexSet::from_range(0, 1).union(&IndexSet::from_range(4, 8));
+        let mut scratch = Scratch::new();
+        heap.intersect_with(&IndexSet::from_range(2, 8), &mut scratch);
+        heap.union_with(&IndexSet::from_range(2, 5), &mut scratch);
+        assert!(matches!(heap.repr, Repr::Heap(_)));
+        assert_eq!(inline, heap);
+        let digest = |s: &IndexSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&inline), digest(&heap));
+    }
+
+    #[test]
+    fn union_with_matches_union() {
+        let cases = [
+            (IndexSet::new(), IndexSet::from_range(1, 4)),
+            (IndexSet::from_range(1, 4), IndexSet::new()),
+            (IndexSet::from_range(0, 5), IndexSet::from_range(5, 9)),
+            (IndexSet::from_range(0, 5), IndexSet::from_range(7, 9)),
+            (
+                IndexSet::from_indices([0, 2, 4, 6]),
+                IndexSet::from_indices([1, 2, 9]),
+            ),
+        ];
+        let mut scratch = Scratch::new();
+        for (a, b) in cases {
+            let mut acc = a.clone();
+            acc.union_with(&b, &mut scratch);
+            assert_eq!(acc, a.union(&b), "{a} ∪ {b}");
+        }
+        assert!(scratch.stats.inline + scratch.stats.spilled >= 5);
+    }
+
+    #[test]
+    fn intersect_with_matches_intersect() {
+        let cases = [
+            (IndexSet::from_range(0, 5), IndexSet::from_range(3, 9)),
+            (IndexSet::from_range(0, 5), IndexSet::from_range(7, 9)),
+            (
+                IndexSet::from_indices([0, 2, 4, 6]),
+                IndexSet::from_range(1, 5),
+            ),
+            (IndexSet::new(), IndexSet::from_range(1, 4)),
+        ];
+        let mut scratch = Scratch::new();
+        for (a, b) in cases {
+            let mut acc = a.clone();
+            acc.intersect_with(&b, &mut scratch);
+            assert_eq!(acc, a.intersect(&b), "{a} ∩ {b}");
+        }
+    }
+
+    #[test]
+    fn subtract_with_matches_difference() {
+        let cases = [
+            // hole punched in the middle: 1 → 2 intervals
+            (IndexSet::from_range(0, 10), IndexSet::from_range(3, 6)),
+            // prefix and suffix trims
+            (IndexSet::from_range(0, 10), IndexSet::from_range(0, 4)),
+            (IndexSet::from_range(0, 10), IndexSet::from_range(6, 12)),
+            // disjoint, covering, empty
+            (IndexSet::from_range(0, 4), IndexSet::from_range(6, 8)),
+            (IndexSet::from_range(2, 4), IndexSet::from_range(0, 8)),
+            (IndexSet::from_range(2, 4), IndexSet::new()),
+            (
+                IndexSet::from_indices([0, 2, 4, 6, 8]),
+                IndexSet::from_range(2, 7),
+            ),
+        ];
+        let mut scratch = Scratch::new();
+        for (a, b) in cases {
+            let mut acc = a.clone();
+            acc.subtract_with(&b, &mut scratch);
+            assert_eq!(acc, a.difference(&b), "{a} \\ {b}");
+        }
+    }
+
+    #[test]
+    fn scratch_reaches_allocation_free_steady_state() {
+        // after warm-up, a heap accumulator and its scratch swap buffers:
+        // capacities persist, so repeated spills stop allocating
+        let mut scratch = Scratch::new();
+        let mut acc = IndexSet::new();
+        for round in 0..3 {
+            acc.clear();
+            for i in 0..6 {
+                acc.union_with(&IndexSet::point(i * 3), &mut scratch);
+            }
+            assert_eq!(acc.count(), 6, "round {round}");
+        }
+        assert!(scratch.stats.spilled > 0);
+    }
+
+    #[test]
+    fn clear_preserves_heap_capacity() {
+        let mut s = IndexSet::from_indices([0, 2, 4, 6]);
+        let cap_before = match &s.repr {
+            Repr::Heap(v) => v.capacity(),
+            _ => panic!("expected heap"),
+        };
+        s.clear();
+        assert!(s.is_empty());
+        match &s.repr {
+            Repr::Heap(v) => assert_eq!(v.capacity(), cap_before),
+            _ => panic!("clear must not drop the buffer"),
+        }
+    }
+
     /// Property tests (gated: the `proptest` crate is not vendored, so the
     /// default offline build compiles these out; re-add the dev-dependency
     /// and run `cargo test --features proptest` to enable them).
@@ -585,6 +1083,53 @@ mod tests {
                 }
                 // gap 0 is the identity
                 prop_assert_eq!(s.coalesce(0), s);
+            }
+
+            // The in-place operators must agree with the allocating
+            // reference implementations on arbitrary inputs, for any
+            // (possibly warm) scratch state.
+            #[test]
+            fn prop_union_with_matches_union(a in arb_indexset(64), b in arb_indexset(64), w in arb_indexset(64)) {
+                let mut scratch = Scratch::new();
+                let mut warm = w.clone();
+                warm.union_with(&b, &mut scratch); // dirty the scratch buffer
+                let mut acc = a.clone();
+                acc.union_with(&b, &mut scratch);
+                prop_assert_eq!(acc, a.union(&b));
+            }
+
+            #[test]
+            fn prop_intersect_with_matches_intersect(a in arb_indexset(64), b in arb_indexset(64), w in arb_indexset(64)) {
+                let mut scratch = Scratch::new();
+                let mut warm = w.clone();
+                warm.subtract_with(&b, &mut scratch);
+                let mut acc = a.clone();
+                acc.intersect_with(&b, &mut scratch);
+                prop_assert_eq!(acc, a.intersect(&b));
+            }
+
+            #[test]
+            fn prop_subtract_with_matches_difference(a in arb_indexset(64), b in arb_indexset(64), w in arb_indexset(64)) {
+                let mut scratch = Scratch::new();
+                let mut warm = w.clone();
+                warm.union_with(&a, &mut scratch);
+                let mut acc = a.clone();
+                acc.subtract_with(&b, &mut scratch);
+                prop_assert_eq!(acc, a.difference(&b));
+            }
+
+            #[test]
+            fn prop_inplace_chain_matches_allocating_chain(
+                a in arb_indexset(64), b in arb_indexset(64), c in arb_indexset(64)
+            ) {
+                // a realistic accumulator pattern: (a ∪ b) ∩ c, then \ b
+                let reference = a.union(&b).intersect(&c).difference(&b);
+                let mut scratch = Scratch::new();
+                let mut acc = a.clone();
+                acc.union_with(&b, &mut scratch);
+                acc.intersect_with(&c, &mut scratch);
+                acc.subtract_with(&b, &mut scratch);
+                prop_assert_eq!(acc, reference);
             }
         }
     }

@@ -35,7 +35,7 @@ mod interval;
 mod mapping;
 mod shape;
 
-pub use indexset::IndexSet;
+pub use indexset::{IndexSet, Scratch, SetOpStats};
 pub use interval::Interval;
 pub use mapping::PortMap;
 pub use shape::Shape;

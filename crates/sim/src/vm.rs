@@ -400,7 +400,7 @@ mod tests {
         for style in GeneratorStyle::ALL {
             let p = generate(&a, style);
             let mut vm = Vm::new(&p);
-            let out = vm.step(&p, &[input.clone()]);
+            let out = vm.step(&p, std::slice::from_ref(&input));
             let diff: f64 = out[0]
                 .iter()
                 .zip(expected[0].data())
@@ -606,7 +606,7 @@ mod tests {
         let input: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let tight = generate(&a, GeneratorStyle::Frodo);
         let branchy = generate(&a, GeneratorStyle::SimulinkCoder);
-        let o1 = Vm::new(&tight).step(&tight, &[input.clone()]);
+        let o1 = Vm::new(&tight).step(&tight, std::slice::from_ref(&input));
         let o2 = Vm::new(&branchy).step(&branchy, &[input]);
         assert_eq!(o1, o2);
     }

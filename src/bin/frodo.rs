@@ -3,8 +3,8 @@
 //! ```text
 //! frodo analyze  <model.{slx,mdl}>                 redundancy-elimination report
 //! frodo build    <model> [-s STYLE] [--shared-helper] [-o out.c]
-//! frodo compile  <model> [-s STYLE] [--cache-dir D] [--trace out.ndjson] [-o out.c]
-//! frodo batch    <models...> [--workers N] [--cache-dir D] [-s STYLES] [-o DIR]
+//! frodo compile  <model> [-s STYLE] [--threads N] [--cache-dir D] [--trace out.ndjson] [-o out.c]
+//! frodo batch    <models...> [--workers N] [--threads N] [--cache-dir D] [-s STYLES] [-o DIR]
 //!                [--trace] [--trace-out out.ndjson]
 //! frodo simulate <model> [--seed N] [--steps N]    reference simulation
 //! frodo bench    <model> [--native]                compare the four generators
@@ -60,8 +60,8 @@ fn print_usage() {
          USAGE:\n\
          \x20 frodo analyze  <model.{{slx,mdl}}>\n\
          \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [-o out.c]\n\
-         \x20 frodo compile  <model> [-s STYLE] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
-         \x20 frodo batch    <models...> [--workers N] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
+         \x20 frodo compile  <model> [-s STYLE] [--threads N] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
+         \x20 frodo batch    <models...> [--workers N] [--threads N] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
          \x20                [--trace] [--trace-out out.ndjson]\n\
          \x20 frodo simulate <model> [--seed N] [--steps N]\n\
          \x20 frodo bench    <model> [--native]\n\
@@ -210,6 +210,16 @@ fn job_spec_for(model_ref: &str, style: GeneratorStyle) -> Result<JobSpec, Strin
     }
 }
 
+
+/// Parses `--threads N` (`0` or absent means auto: one per available core,
+/// split across batch workers).
+fn intra_threads(args: &[String]) -> Result<usize, String> {
+    flag_value(args, &["--threads", "-t"])
+        .map(|s| s.parse().map_err(|_| "bad --threads".to_string()))
+        .transpose()
+        .map(|v| v.unwrap_or(0))
+}
+
 /// The service configuration shared by `compile` and `batch`.
 fn service_config(args: &[String]) -> Result<ServiceConfig, String> {
     Ok(ServiceConfig {
@@ -225,7 +235,8 @@ fn service_config(args: &[String]) -> Result<ServiceConfig, String> {
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     let pos = positionals(
         args,
-        &["-s", "--style", "--cache-dir", "--workers", "-j", "--trace", "-o", "--output"],
+        &["-s", "--style", "--threads", "-t", "--cache-dir", "--workers", "-j", "--trace", "-o",
+            "--output"],
         &["--no-cache"],
     );
     let model_ref = pos.first().ok_or("compile: missing model path or name")?;
@@ -235,7 +246,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     };
     let trace_out = flag_value(args, &["--trace"]);
     let trace = trace_out.map(|_| Trace::new());
-    let mut spec = job_spec_for(model_ref, style)?;
+    let mut spec = job_spec_for(model_ref, style)?.with_options(CompileOptions {
+        intra_threads: intra_threads(args)?,
+        ..Default::default()
+    });
     if let Some(t) = &trace {
         spec = spec.with_trace(t);
     }
@@ -293,18 +307,22 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     // positional args are model references; flag values are not
     let model_refs = positionals(
         args,
-        &["--workers", "-j", "--cache-dir", "-s", "--styles", "--style", "-o", "--output",
-            "--trace-out"],
+        &["--workers", "-j", "--threads", "-t", "--cache-dir", "-s", "--styles", "--style",
+            "-o", "--output", "--trace-out"],
         &["--no-cache", "--machine", "--trace"],
     );
     if model_refs.is_empty() {
         return Err("batch: no models given (paths or benchmark names; see 'frodo list')".into());
     }
 
+    let options = CompileOptions {
+        intra_threads: intra_threads(args)?,
+        ..Default::default()
+    };
     let mut specs = Vec::new();
     for model_ref in &model_refs {
         for &style in &styles {
-            specs.push(job_spec_for(model_ref, style)?);
+            specs.push(job_spec_for(model_ref, style)?.with_options(options));
         }
     }
 
