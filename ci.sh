@@ -29,4 +29,30 @@ if grep -qv '^{.*}$' "$trace_out"; then
     echo "malformed NDJSON line in $trace_out"
     exit 1
 fi
-rm -f "$trace_out"
+
+# counter determinism: two traced compiles of the same model must agree
+# exactly on every deterministic counter (set-op stats, cache traffic,
+# statement counts); --fail-over 0 turns wall-time gating off, so only
+# counters are compared
+trace_out2="$(mktemp)"
+./target/release/frodo compile --threads 1 --trace "$trace_out2" Kalman >/dev/null
+./target/release/frodo obs diff "$trace_out" "$trace_out2" --fail-over 0
+
+# the chrome-trace export of the same trace is one trace_event document
+chrome_out="$(mktemp)"
+./target/release/frodo obs export "$trace_out" --format chrome -o "$chrome_out"
+grep -q '"traceEvents"' "$chrome_out"
+./target/release/frodo obs export "$trace_out" --format collapsed | grep -q '^job:Kalman;ranges '
+rm -f "$trace_out" "$trace_out2" "$chrome_out"
+
+# perf-ledger regression gate: a fresh single-threaded batch of the
+# Table-1 suite must be counter-identical to the committed baseline
+# (LEDGER.ndjson); counters are model/code-derived, so this holds across
+# hosts — wall times are informational only at --fail-over 0
+ledger_out="$(mktemp)"
+./target/release/frodo batch AudioProcess Decryption HighPass HT Kalman Back \
+    Maintenance Maunfacture RunningDiff Simpson \
+    --threads 1 --workers 1 --ledger-out "$ledger_out" >/dev/null
+./target/release/frodo obs diff LEDGER.ndjson "$ledger_out" --fail-over 0
+./target/release/frodo obs report "$ledger_out" >/dev/null
+rm -f "$ledger_out"

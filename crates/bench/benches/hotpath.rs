@@ -6,13 +6,15 @@
 //! small to show scaling.
 //!
 //! ```text
-//! cargo bench -p frodo-bench --bench hotpath [-- [--quick] [--json out.json]]
+//! cargo bench -p frodo-bench --bench hotpath [-- [--quick] [--json out.json] [--ledger F]]
 //! ```
 //!
 //! `--quick` runs a single sample per subject (the CI smoke path);
 //! `--json PATH` additionally writes the per-(model, stage, threads)
 //! medians as a JSON document (`BENCH_pr3.json` in this repo is a
-//! committed run of it).
+//! committed run of it); `--ledger F` appends a perf-ledger entry
+//! (label `bench:hotpath`, single-thread medians per stage) readable by
+//! `frodo obs diff`/`report`.
 
 use frodo_bench::harness;
 use frodo_benchmodels::random::random_model;
@@ -84,6 +86,10 @@ fn main() {
     let json_path = args
         .windows(2)
         .find(|w| w[0] == "--json")
+        .map(|w| w[1].clone());
+    let ledger_path = args
+        .windows(2)
+        .find(|w| w[0] == "--ledger")
         .map(|w| w[1].clone());
 
     let mut rows: Vec<Row> = Vec::new();
@@ -201,6 +207,37 @@ fn main() {
         std::fs::write(&path, json).expect("write --json output");
         println!("wrote {path}");
     }
+
+    if let Some(path) = ledger_path {
+        let entry = ledger_entry(&rows);
+        frodo_obs::append_entry(std::path::Path::new(&path), &entry)
+            .expect("append --ledger entry");
+        println!("appended ledger entry to {path}");
+    }
+}
+
+/// Folds the single-thread medians into a perf-ledger entry: one
+/// [`frodo_obs::StageSummary`] per measured stage (the other canonical
+/// stages ride along zeroed so the line schema stays stable), the row
+/// count as a counter, and the summed t1 medians as the wall time.
+fn ledger_entry(rows: &[Row]) -> frodo_obs::LedgerEntry {
+    use frodo_obs::{Histogram, StageSummary, LedgerEntry, TraceAgg, STAGE_NAMES};
+    let mut agg = TraceAgg::default();
+    for stage in STAGE_NAMES {
+        let mut h = Histogram::new();
+        for r in rows.iter().filter(|r| r.stage == stage && r.threads == 1) {
+            h.record(r.median_ns);
+        }
+        agg.stages.push((stage.to_string(), StageSummary::from_histogram(&h)));
+    }
+    agg.counters.push(("bench_rows".to_string(), rows.len() as i64));
+    agg.jobs = subjects().len() as u64;
+    let wall_ns: f64 = rows
+        .iter()
+        .filter(|r| r.threads == 1)
+        .map(|r| r.median_ns)
+        .sum();
+    LedgerEntry::from_agg(&agg, "bench:hotpath", "recursive", 1, 1, wall_ns as u64)
 }
 
 fn to_json(rows: &[Row], quick: bool) -> String {

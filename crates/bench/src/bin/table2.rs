@@ -13,7 +13,12 @@ use frodo_obs::{fmt_duration, StageTimings, Trace};
 use frodo_sim::{native, CostModel};
 
 fn main() {
-    let native_requested = std::env::args().any(|a| a == "--native");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let native_requested = args.iter().any(|a| a == "--native");
+    let ledger_path = args
+        .windows(2)
+        .find(|w| w[0] == "--ledger")
+        .map(|w| w[1].clone());
     let trace = Trace::new();
     let service = CompileService::with_defaults();
     let (suite, batch) = programs_via_service_traced(&service, &trace);
@@ -80,6 +85,15 @@ fn main() {
         println!("  {name:<10} {}", fmt_duration(d));
     }
     println!("  {:<10} {}", "total", fmt_duration(stages.total()));
+
+    if let Some(path) = ledger_path {
+        let entry = batch
+            .ledger_entry("bench:table2", "auto", 0)
+            .expect("table2 batch always runs traced");
+        frodo_obs::append_entry(std::path::Path::new(&path), &entry)
+            .expect("append --ledger entry");
+        println!("appended ledger entry to {path}");
+    }
 
     if native_requested {
         if !native::gcc_available() {

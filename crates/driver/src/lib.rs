@@ -352,13 +352,13 @@ impl CompileService {
                 s
             })
             .collect();
+        let bt = batch_span.trace();
         let specs = if trace.is_enabled() {
-            let bt = batch_span.trace();
             specs.into_iter().map(|s| s.with_trace(&bt)).collect()
         } else {
             specs
         };
-        let jobs = pool::run_batch(self, specs, workers);
+        let jobs = pool::run_batch(self, specs, workers, &bt);
         batch_span.end();
         if trace.is_enabled() {
             for job in jobs.iter().flatten() {

@@ -6,22 +6,32 @@
 //! result slot while every other job in the batch completes normally.
 
 use crate::{CompileService, JobError, JobOutput, JobSpec};
+use frodo_obs::Trace;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Runs `specs` on `workers` threads, returning results in submission
 /// order. `workers` is clamped to `1..=specs.len()`.
+///
+/// When `trace` is enabled, each dequeue records the job's queue wait
+/// (nanoseconds from batch start until a worker picked it up) into the
+/// `queue_wait_ns` histogram, and each worker records its total busy
+/// time into `worker_busy_ns` — the raw material for the service-level
+/// utilization metrics in the perf ledger.
 pub(crate) fn run_batch(
     service: &CompileService,
     specs: Vec<JobSpec>,
     workers: usize,
+    trace: &Trace,
 ) -> Vec<Result<JobOutput, JobError>> {
     let n = specs.len();
     if n == 0 {
         return Vec::new();
     }
     let workers = workers.clamp(1, n);
+    let start = Instant::now();
     let queue: Mutex<VecDeque<(usize, JobSpec)>> =
         Mutex::new(specs.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<Result<JobOutput, JobError>>>> =
@@ -29,22 +39,31 @@ pub(crate) fn run_batch(
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let (idx, spec) = match queue.lock().unwrap().pop_front() {
-                    Some(job) => job,
-                    None => break,
-                };
-                let job_name = spec.name.clone();
-                let result = match catch_unwind(AssertUnwindSafe(|| service.compile(spec))) {
-                    Ok(result) => result,
-                    Err(payload) => Err(JobError::Panicked {
-                        job: job_name,
-                        // deref past the Box: `&payload` would unsize the
-                        // Box itself into `&dyn Any` and never downcast
-                        message: panic_message(&*payload),
-                    }),
-                };
-                *slots[idx].lock().unwrap() = Some(result);
+            scope.spawn(|| {
+                let mut busy_ns = 0u128;
+                loop {
+                    let (idx, spec) = match queue.lock().unwrap().pop_front() {
+                        Some(job) => job,
+                        None => break,
+                    };
+                    trace.observe("queue_wait_ns", start.elapsed().as_nanos() as f64);
+                    let job_start = Instant::now();
+                    let job_name = spec.name.clone();
+                    let result = match catch_unwind(AssertUnwindSafe(|| service.compile(spec))) {
+                        Ok(result) => result,
+                        Err(payload) => Err(JobError::Panicked {
+                            job: job_name,
+                            // deref past the Box: `&payload` would unsize the
+                            // Box itself into `&dyn Any` and never downcast
+                            message: panic_message(&*payload),
+                        }),
+                    };
+                    busy_ns += job_start.elapsed().as_nanos();
+                    *slots[idx].lock().unwrap() = Some(result);
+                }
+                if busy_ns > 0 {
+                    trace.observe("worker_busy_ns", busy_ns as f64);
+                }
             });
         }
     });

@@ -12,7 +12,7 @@ use std::time::Duration;
 // The one per-stage timing type of the workspace lives in `frodo-obs`
 // and is *derived* from the job's trace; re-exported here so driver
 // consumers keep their import paths.
-pub use frodo_obs::{fmt_duration, StageTimings};
+pub use frodo_obs::{fmt_duration, LedgerEntry, ServiceMetrics, StageTimings};
 use frodo_obs::Trace;
 
 /// Redundancy-elimination counters for one job, lifted from the analysis
@@ -234,6 +234,40 @@ impl BatchReport {
     /// attached; `None` for untraced batches.
     pub fn render_trace(&self) -> Option<String> {
         self.trace.as_ref().map(|t| t.render_tree())
+    }
+
+    /// Folds the batch's trace into a perf-ledger entry: per-stage
+    /// summaries and deterministic counters from the aggregated spans,
+    /// plus driver service metrics (this batch's cache traffic, queue
+    /// wait, and worker utilization from the pool's `queue_wait_ns` /
+    /// `worker_busy_ns` histograms). `None` for untraced batches — the
+    /// ledger only records runs that were measured.
+    pub fn ledger_entry(&self, label: &str, engine: &str, threads: u64) -> Option<LedgerEntry> {
+        let trace = self.trace.as_ref()?;
+        let snap = trace.snapshot();
+        let agg = frodo_obs::aggregate(&snap);
+        let wall_ns = self.wall.as_nanos() as u64;
+        let mut entry =
+            LedgerEntry::from_agg(&agg, label, engine, threads, self.workers as u64, wall_ns);
+        let hist = |name: &str| snap.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h);
+        let (queue_p50, queue_max) = hist("queue_wait_ns")
+            .map(|h| (h.percentile(50.0) as u64, h.max() as u64))
+            .unwrap_or((0, 0));
+        let busy_ns = hist("worker_busy_ns").map(|h| h.sum() as u64).unwrap_or(0);
+        let capacity_ns = wall_ns.saturating_mul(self.workers as u64);
+        entry.svc = Some(ServiceMetrics {
+            cache_hits: self.cache_hits() as u64,
+            cache_misses: self.cache_misses() as u64,
+            queue_wait_p50_ns: queue_p50,
+            queue_wait_max_ns: queue_max,
+            worker_busy_ns: busy_ns,
+            utilization_pct: if capacity_ns == 0 {
+                0.0
+            } else {
+                busy_ns as f64 / capacity_ns as f64 * 100.0
+            },
+        });
+        Some(entry)
     }
 }
 

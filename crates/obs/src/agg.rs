@@ -1,0 +1,176 @@
+//! Longitudinal aggregation: folds the many per-job span subtrees of one
+//! trace (a whole `frodo batch`, a bench sweep) into per-stage summary
+//! statistics and totalled counters — the shape the perf ledger persists
+//! and `obs diff` compares.
+
+use crate::hist::Histogram;
+use crate::stage::STAGE_NAMES;
+use crate::trace::TraceSnapshot;
+
+/// Summary statistics for one pipeline stage across every span in a
+/// snapshot that carries the stage's canonical name.
+///
+/// Percentiles are estimated from a log2-bucket [`Histogram`] over the
+/// span durations (see [`Histogram::percentile`]); `count == 0` means the
+/// stage never ran and every field is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageSummary {
+    /// Spans observed for this stage.
+    pub count: u64,
+    /// Total nanoseconds across those spans.
+    pub sum_ns: u64,
+    /// Mean span duration in nanoseconds.
+    pub mean_ns: u64,
+    /// Median span duration in nanoseconds (interpolated).
+    pub p50_ns: u64,
+    /// 95th-percentile span duration in nanoseconds (interpolated).
+    pub p95_ns: u64,
+    /// Longest span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl StageSummary {
+    /// Derives the summary statistics from a histogram of span
+    /// durations (in nanoseconds).
+    pub fn from_histogram(h: &Histogram) -> StageSummary {
+        StageSummary {
+            count: h.count(),
+            sum_ns: h.sum() as u64,
+            mean_ns: h.mean() as u64,
+            p50_ns: h.percentile(50.0) as u64,
+            p95_ns: h.percentile(95.0) as u64,
+            max_ns: h.max() as u64,
+        }
+    }
+}
+
+/// The aggregate view of one trace: per-stage summaries plus totalled
+/// counters, ready to persist as a ledger entry or diff against another
+/// run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceAgg {
+    /// One summary per canonical stage, in [`STAGE_NAMES`] order. Every
+    /// stage is always present (zeroed when it never ran) so the ledger
+    /// schema stays stable across engines and model mixes.
+    pub stages: Vec<(String, StageSummary)>,
+    /// Counter totals summed across all spans, sorted by name. These are
+    /// the deterministic signals (`elements_eliminated`, `set_ops_*`,
+    /// `stmts`, `bytes_emitted`, …) that `obs diff` compares exactly.
+    pub counters: Vec<(String, i64)>,
+    /// Number of per-model jobs in the trace (spans named `job:*`).
+    pub jobs: u64,
+}
+
+impl TraceAgg {
+    /// Looks up a stage summary by canonical name.
+    pub fn stage(&self, name: &str) -> Option<&StageSummary> {
+        self.stages.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Looks up a counter total by name (0 when never recorded).
+    pub fn counter(&self, name: &str) -> i64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+/// Folds a snapshot into its aggregate view: span durations bucketed per
+/// canonical stage name, counters totalled by name, jobs counted by their
+/// `job:` span prefix.
+pub fn aggregate(snap: &TraceSnapshot) -> TraceAgg {
+    let mut hists: Vec<Histogram> = vec![Histogram::new(); STAGE_NAMES.len()];
+    let mut jobs = 0u64;
+    for s in &snap.spans {
+        if let Some(i) = STAGE_NAMES.iter().position(|&n| n == s.name) {
+            hists[i].record(s.dur_ns as f64);
+        } else if s.name.starts_with("job:") {
+            jobs += 1;
+        }
+    }
+    let stages = STAGE_NAMES
+        .iter()
+        .zip(&hists)
+        .map(|(&name, h)| (name.to_string(), StageSummary::from_histogram(h)))
+        .collect();
+
+    let mut counters: Vec<(String, i64)> = Vec::new();
+    for c in &snap.counters {
+        match counters.binary_search_by(|(n, _)| n.as_str().cmp(&c.name)) {
+            Ok(i) => counters[i].1 += c.value as i64,
+            Err(i) => counters.insert(i, (c.name.clone(), c.value as i64)),
+        }
+    }
+
+    TraceAgg { stages, counters, jobs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn aggregates_stages_counters_and_jobs() {
+        let t = Trace::new();
+        for model in ["a", "b"] {
+            let job = t.span(&format!("job:{model}"));
+            {
+                let p = job.child("parse");
+                p.count("mdl_bytes", 100);
+            }
+            {
+                let e = job.child("emit");
+                e.count("stmts", 7);
+            }
+        }
+        let agg = aggregate(&t.snapshot());
+        assert_eq!(agg.jobs, 2);
+        // every canonical stage is present, ran or not, in order
+        assert_eq!(agg.stages.len(), crate::STAGE_NAMES.len());
+        for ((name, _), &want) in agg.stages.iter().zip(crate::STAGE_NAMES.iter()) {
+            assert_eq!(name, want);
+        }
+        let parse = agg.stage("parse").unwrap();
+        assert_eq!(parse.count, 2);
+        assert!(parse.sum_ns >= parse.max_ns);
+        assert!(parse.max_ns >= parse.p95_ns);
+        let dfg = agg.stage("dfg").unwrap();
+        assert_eq!(*dfg, StageSummary::default());
+        // counters sum across jobs and come back sorted
+        assert_eq!(agg.counter("mdl_bytes"), 200);
+        assert_eq!(agg.counter("stmts"), 14);
+        assert_eq!(agg.counter("never_recorded"), 0);
+        let names: Vec<&str> = agg.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn empty_trace_aggregates_to_zeroes() {
+        let agg = aggregate(&Trace::new().snapshot());
+        assert_eq!(agg.jobs, 0);
+        assert!(agg.counters.is_empty());
+        assert!(agg.stages.iter().all(|(_, s)| *s == StageSummary::default()));
+    }
+
+    #[test]
+    fn summary_percentiles_track_the_histogram() {
+        let t = Trace::new();
+        {
+            let job = t.span("job:x");
+            for _ in 0..3 {
+                let _p = job.child("ranges");
+            }
+        }
+        let agg = aggregate(&t.snapshot());
+        let r = agg.stage("ranges").unwrap();
+        assert_eq!(r.count, 3);
+        assert!(r.p50_ns <= r.p95_ns);
+        assert!(r.p95_ns <= r.max_ns);
+        assert!(r.mean_ns * 3 <= r.sum_ns + 3);
+    }
+}

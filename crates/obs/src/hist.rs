@@ -96,6 +96,71 @@ impl Histogram {
             .map(|(i, &n)| (1u64 << i, n))
             .collect()
     }
+
+    /// The `q`-th percentile (`q` in `[0, 100]`), estimated by linear
+    /// interpolation inside the log2 bucket holding the target rank and
+    /// clamped to the exact observed `[min, max]`. Distributions narrower
+    /// than one bucket therefore come back exact; `percentile(100.0)` is
+    /// always exactly [`Histogram::max`]. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = if q.is_finite() { q.clamp(0.0, 100.0) } else { 100.0 };
+        let target = q / 100.0 * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (cum + n) as f64 >= target {
+                let lower = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                let upper = (1u64 << i) as f64;
+                let frac = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return (lower + frac * (upper - lower)).clamp(self.min, self.max);
+            }
+            cum += n;
+        }
+        self.max()
+    }
+
+    /// Rebuilds a histogram from its exported parts (the `hist` NDJSON
+    /// line's fields): summary stats plus `(exclusive upper bound, count)`
+    /// bucket pairs as produced by [`Histogram::nonzero_buckets`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects bucket bounds that are not powers of two, bounds past the
+    /// last bucket, and bucket counts that do not sum to `count`.
+    pub fn from_parts(
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        buckets: &[(u64, u64)],
+    ) -> Result<Self, String> {
+        let mut h = Histogram::new();
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { f64::INFINITY } else { min };
+        h.max = if count == 0 { f64::NEG_INFINITY } else { max };
+        let mut total = 0u64;
+        for &(upper, n) in buckets {
+            if !upper.is_power_of_two() {
+                return Err(format!("bucket upper bound {upper} is not a power of two"));
+            }
+            let idx = upper.trailing_zeros() as usize;
+            if idx >= Histogram::BUCKETS {
+                return Err(format!("bucket upper bound {upper} out of range"));
+            }
+            h.buckets[idx] += n;
+            total += n;
+        }
+        if total != count {
+            return Err(format!("bucket counts sum to {total}, expected {count}"));
+        }
+        Ok(h)
+    }
 }
 
 impl Default for Histogram {
@@ -142,6 +207,72 @@ mod tests {
         let buckets = h.nonzero_buckets();
         assert_eq!(buckets.len(), 1);
         assert_eq!(buckets[0], (1u64 << (Histogram::BUCKETS - 1), 1));
+    }
+
+    #[test]
+    fn percentiles_pin_known_distributions() {
+        // [10, 20, 30]: 10 in [8,16), {20, 30} in [16,32). p50 lands at
+        // rank 1.5 -> 1/4 into [16,32) = exactly 20; p95 interpolates to
+        // 30.8 and clamps to the exact max; p100 is the exact max.
+        let mut h = Histogram::new();
+        for v in [10.0, 20.0, 30.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), 20.0);
+        assert_eq!(h.percentile(95.0), 30.0);
+        assert_eq!(h.percentile(100.0), 30.0);
+        // p0 interpolates to the first bucket's lower bound (8) and clamps
+        // up to the exact min
+        assert_eq!(h.percentile(0.0), 10.0);
+
+        // a constant distribution is exact at every percentile: the
+        // min==max clamp collapses the bucket interpolation
+        let mut c = Histogram::new();
+        for _ in 0..5 {
+            c.record(42.0);
+        }
+        for q in [0.0, 25.0, 50.0, 95.0, 99.9, 100.0] {
+            assert_eq!(c.percentile(q), 42.0, "q={q}");
+        }
+
+        // empty and out-of-range inputs stay tame
+        assert_eq!(Histogram::new().percentile(50.0), 0.0);
+        assert_eq!(h.percentile(-3.0), 10.0);
+        assert_eq!(h.percentile(250.0), 30.0);
+        assert_eq!(h.percentile(f64::NAN), 30.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_inside_one_bucket() {
+        // 4 observations all inside [16,32): ranks split the bucket into
+        // quarters, so p50 -> 16 + 0.5*16 = 24 exactly
+        let mut h = Histogram::new();
+        for v in [16.0, 20.0, 28.0, 31.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), 24.0);
+        assert_eq!(h.percentile(100.0), 31.0);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_the_export() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.0, 3.0, 3.9, 100.0] {
+            h.record(v);
+        }
+        let back =
+            Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), &h.nonzero_buckets())
+                .unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.percentile(50.0), h.percentile(50.0));
+
+        // an empty histogram round-trips to the canonical empty state
+        let empty = Histogram::from_parts(0, 0.0, 0.0, 0.0, &[]).unwrap();
+        assert_eq!(empty, Histogram::new());
+
+        assert!(Histogram::from_parts(1, 3.0, 3.0, 3.0, &[(3, 1)]).is_err());
+        assert!(Histogram::from_parts(2, 3.0, 3.0, 3.0, &[(4, 1)]).is_err());
+        assert!(Histogram::from_parts(1, 3.0, 3.0, 3.0, &[(1u64 << 63, 1)]).is_err());
     }
 
     #[test]

@@ -16,9 +16,19 @@
 //!   keep its own clocks (core's analysis timings, the driver's report
 //!   counters, the bench harness) reads this type instead.
 //! - **Exports** — [`Trace::render_tree`] for humans,
-//!   [`Trace::to_ndjson`] / [`Trace::to_json`] for machines, and
-//!   [`ndjson`] with a dependency-free validator/parser for the export
-//!   format (used by the golden schema test and the CI gate).
+//!   [`Trace::to_ndjson`] / [`Trace::to_json`] for machines,
+//!   [`Trace::to_chrome_trace`] (chrome://tracing / Perfetto
+//!   `trace_event` JSON) and [`Trace::to_collapsed`] (flamegraph
+//!   collapsed stacks) for profile viewers, and [`ndjson`] with a
+//!   dependency-free validator/parser for the export format (used by the
+//!   golden schema test and the CI gate).
+//! - **Longitudinal view** — [`agg::aggregate`] folds a whole batch
+//!   trace into per-stage [`agg::StageSummary`]s (count/sum/mean/p50/
+//!   p95/max via [`Histogram::percentile`]) and totalled counters;
+//!   [`ledger`] persists those as append-only NDJSON
+//!   [`ledger::LedgerEntry`] lines; [`diff::diff_entries`] compares two
+//!   runs — exact equality for deterministic counters, a tolerance band
+//!   for wall times — and backs the `frodo obs diff` CI regression gate.
 //!
 //! This crate depends on **nothing** (ci.sh enforces it with `cargo
 //! tree`), so every other crate in the workspace may depend on it.
@@ -50,13 +60,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
+pub mod diff;
 mod export;
 mod hist;
+pub mod ledger;
 pub mod ndjson;
 mod stage;
 mod trace;
 
-pub use export::{json_escape, render_tree};
+pub use agg::{aggregate, StageSummary, TraceAgg};
+pub use diff::{diff_entries, Diff};
+pub use export::{chrome_trace, collapsed, json_escape, ndjson_export, render_tree};
 pub use hist::Histogram;
+pub use ledger::{
+    append_entry, git_rev, read_ledger, LedgerEntry, ServiceMetrics, LEDGER_SCHEMA,
+};
 pub use stage::{fmt_duration, StageTimings, STAGE_NAMES};
 pub use trace::{CounterRecord, Span, SpanId, SpanRecord, Trace, TraceSnapshot, NO_PARENT};

@@ -2,15 +2,62 @@
 //! parse the *flat* objects [`crate::Trace::to_ndjson`] emits, so tests
 //! and CI gates can validate exported traces without a JSON crate.
 
-/// A parsed JSON value in a flat trace object.
+use crate::hist::Histogram;
+use crate::trace::{CounterRecord, SpanRecord, TraceSnapshot};
+
+/// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// A string literal (unescaped).
     Str(String),
     /// A number.
     Num(f64),
-    /// An array of numbers.
-    Arr(Vec<f64>),
+    /// An array of values.
+    Arr(Vec<Value>),
+    /// A nested object, fields in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The number inside, or `None`.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string inside, or `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array inside, or `None`.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object fields inside, or `None`.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks a field up in an object value.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
 }
 
 /// Per-type line counts of a validated NDJSON document.
@@ -24,8 +71,14 @@ pub struct Stats {
     pub hists: usize,
 }
 
-/// Parses one NDJSON line: a flat JSON object whose values are strings,
-/// numbers, or arrays of numbers. Returns the fields in document order.
+/// Parses one JSON object: the NDJSON export's flat lines, or a whole
+/// nested document such as the chrome-trace export (insignificant
+/// whitespace, including newlines, is skipped). Returns the top-level
+/// fields in document order.
+///
+/// Strings must not contain raw (unescaped) control bytes below `0x20` —
+/// RFC 8259 forbids them, and rejecting them here keeps one malformed
+/// span name from corrupting a whole export.
 ///
 /// # Errors
 ///
@@ -86,6 +139,83 @@ pub fn validate(text: &str) -> Result<Stats, String> {
     Ok(stats)
 }
 
+/// Reconstructs a [`TraceSnapshot`] from its NDJSON export, so written
+/// traces can be re-ingested (aggregated, diffed, re-exported as chrome
+/// trace or collapsed stacks) without the original [`crate::Trace`].
+///
+/// # Errors
+///
+/// Returns `line number: problem` for the first line that fails to parse,
+/// is missing a required field, or carries a field of the wrong type.
+pub fn snapshot(text: &str) -> Result<TraceSnapshot, String> {
+    let mut snap = TraceSnapshot::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |e: String| format!("line {}: {e}", i + 1);
+        let fields = parse_line(line).map_err(at)?;
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let num = |key: &str| -> Result<f64, String> {
+            get(key)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("line {}: missing number {key:?}", i + 1))
+        };
+        let string = |key: &str| -> Result<String, String> {
+            get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("line {}: missing string {key:?}", i + 1))
+        };
+        match get("type").and_then(Value::as_str) {
+            Some("span") => snap.spans.push(SpanRecord {
+                id: num("id")? as u32,
+                parent: num("parent")? as u32,
+                name: string("name")?,
+                start_ns: num("start_ns")? as u64,
+                dur_ns: num("dur_ns")? as u64,
+            }),
+            Some("counter") => snap.counters.push(CounterRecord {
+                span: num("span")? as u32,
+                name: string("name")?,
+                value: num("value")? as u64,
+            }),
+            Some("hist") => {
+                let nums = |key: &str| -> Result<Vec<u64>, String> {
+                    get(key)
+                        .and_then(Value::as_arr)
+                        .and_then(|items| {
+                            items
+                                .iter()
+                                .map(|v| v.as_num().map(|n| n as u64))
+                                .collect::<Option<Vec<u64>>>()
+                        })
+                        .ok_or_else(|| format!("line {}: missing number array {key:?}", i + 1))
+                };
+                let uppers = nums("bucket_upper")?;
+                let counts = nums("bucket_count")?;
+                if uppers.len() != counts.len() {
+                    return Err(format!("line {}: bucket arrays differ in length", i + 1));
+                }
+                let pairs: Vec<(u64, u64)> = uppers.into_iter().zip(counts).collect();
+                let hist = Histogram::from_parts(
+                    num("count")? as u64,
+                    num("sum")?,
+                    num("min")?,
+                    num("max")?,
+                    &pairs,
+                )
+                .map_err(at)?;
+                snap.histograms.push((string("name")?, hist));
+            }
+            Some(other) => return Err(format!("line {}: unknown type {other:?}", i + 1)),
+            None => return Err(format!("line {}: missing \"type\"", i + 1)),
+        }
+    }
+    snap.spans.sort_by_key(|s| (s.start_ns, s.id));
+    Ok(snap)
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -142,6 +272,7 @@ impl Parser<'_> {
     fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
             Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'{') => Ok(Value::Obj(self.object()?)),
             Some(b'[') => {
                 self.pos += 1;
                 let mut items = Vec::new();
@@ -150,7 +281,7 @@ impl Parser<'_> {
                     return Ok(Value::Arr(items));
                 }
                 loop {
-                    items.push(self.number()?);
+                    items.push(self.value()?);
                     match self.peek() {
                         Some(b',') => self.pos += 1,
                         Some(b']') => {
@@ -202,14 +333,20 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(&b) => {
+                Some(&b) if b < 0x20 => {
+                    // RFC 8259: control characters must be escaped
+                    return Err(format!(
+                        "unescaped control byte 0x{b:02x} in string at offset {}",
+                        self.pos
+                    ));
+                }
+                Some(_) => {
                     // consume one UTF-8 code point
                     let s = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid UTF-8")?;
                     let c = s.chars().next().ok_or("unterminated string")?;
                     out.push(c);
                     self.pos += c.len_utf8();
-                    let _ = b;
                 }
             }
         }
@@ -252,9 +389,24 @@ mod tests {
         let fields = parse_line(r#"{"bucket_upper":[1,2,4],"bucket_count":[]}"#).unwrap();
         assert_eq!(
             fields[0].1,
-            Value::Arr(vec![1.0, 2.0, 4.0])
+            Value::Arr(vec![Value::Num(1.0), Value::Num(2.0), Value::Num(4.0)])
         );
         assert_eq!(fields[1].1, Value::Arr(vec![]));
+    }
+
+    #[test]
+    fn parses_nested_objects_and_mixed_arrays() {
+        let fields = parse_line(
+            r#"{"traceEvents":[{"name":"parse","ph":"X","ts":0.5,"dur":1.2}],"meta":{"pid":1}}"#,
+        )
+        .unwrap();
+        let events = fields[0].1.as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].field("ph"), Some(&Value::Str("X".into())));
+        assert_eq!(events[0].field("dur").unwrap().as_num(), Some(1.2));
+        assert_eq!(fields[1].1.field("pid").unwrap().as_num(), Some(1.0));
+        // insignificant newlines are fine: whole documents parse too
+        assert!(parse_line("{\n  \"a\": [1,\n 2]\n}").is_ok());
     }
 
     #[test]
@@ -263,6 +415,39 @@ mod tests {
         assert!(parse_line(r#"{"a":}"#).is_err());
         assert!(parse_line(r#"{"a":1} extra"#).is_err());
         assert!(parse_line(r#"{"a":"unterminated}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_unescaped_control_bytes_in_strings() {
+        // a raw 0x01 / newline / NUL inside a string literal is invalid
+        // JSON; the escaped forms parse fine
+        assert!(parse_line("{\"a\":\"x\u{1}y\"}").is_err());
+        assert!(parse_line("{\"a\":\"x\ny\"}").is_err());
+        assert!(parse_line("{\"a\":\"x\u{0}y\"}").is_err());
+        let fields = parse_line(r#"{"a":"x\u0001\n\u0000y"}"#).unwrap();
+        assert_eq!(fields[0].1, Value::Str("x\u{1}\n\u{0}y".into()));
+    }
+
+    #[test]
+    fn snapshot_reconstructs_the_export() {
+        let text = "\
+{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"job:m\",\"start_ns\":0,\"dur_ns\":90}\n\
+{\"type\":\"span\",\"id\":2,\"parent\":1,\"name\":\"parse\",\"start_ns\":10,\"dur_ns\":30}\n\
+{\"type\":\"counter\",\"span\":2,\"name\":\"bytes\",\"value\":128}\n\
+{\"type\":\"hist\",\"name\":\"job_ns\",\"count\":2,\"sum\":60,\"min\":20,\"max\":40,\
+\"bucket_upper\":[32,64],\"bucket_count\":[1,1]}\n";
+        let snap = snapshot(text).unwrap();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[1].name, "parse");
+        assert_eq!(snap.spans[1].parent, 1);
+        assert_eq!(snap.counters[0].value, 128);
+        let (name, h) = &snap.histograms[0];
+        assert_eq!(name, "job_ns");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 40.0);
+
+        assert!(snapshot("{\"type\":\"span\",\"id\":1}\n").is_err());
+        assert!(snapshot("{\"type\":\"mystery\"}\n").is_err());
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! ```text
 //! frodo analyze  <model.{slx,mdl}>                 redundancy-elimination report
 //! frodo build    <model> [-s STYLE] [--shared-helper] [-o out.c]
-//! frodo compile  <model> [-s STYLE] [--threads N] [--cache-dir D] [--trace out.ndjson] [-o out.c]
+//! frodo compile  <model> [-s STYLE] [--threads N] [--cache-dir D] [--trace out.ndjson]
+//!                [--ledger | --ledger-out F] [-o out.c]
 //! frodo batch    <models...> [--workers N] [--threads N] [--cache-dir D] [-s STYLES] [-o DIR]
-//!                [--trace] [--trace-out out.ndjson]
+//!                [--trace] [--trace-out out.ndjson] [--ledger | --ledger-out F]
+//! frodo obs      export|diff|report               trace exports, cross-run perf diffs
 //! frodo simulate <model> [--seed N] [--steps N]    reference simulation
 //! frodo bench    <model> [--native]                compare the four generators
 //! frodo convert  <in.{slx,mdl}> <out.{slx,mdl}>    format conversion
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -68,7 +71,13 @@ fn print_usage() {
          \x20 frodo verify   <model> [--seeds N] [--steps N]\n\
          \x20 frodo convert  <in.{{slx,mdl}}> <out.{{slx,mdl}}>\n\
          \x20 frodo demo     <benchmark-name> <out.{{slx,mdl}}>\n\
-         \x20 frodo list"
+         \x20 frodo obs      export <trace.ndjson> [--format chrome|collapsed|ndjson] [-o out]\n\
+         \x20 frodo obs      diff <OLD> <NEW> [--fail-over PCT]   (ledger files or raw traces)\n\
+         \x20 frodo obs      report <ledger.ndjson>\n\
+         \x20 frodo list\n\
+         \n\
+         compile and batch accept --ledger (append a perf-ledger entry to\n\
+         .frodo/ledger.ndjson) or --ledger-out FILE for an explicit path."
     );
 }
 
@@ -236,8 +245,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let pos = positionals(
         args,
         &["-s", "--style", "--threads", "-t", "--cache-dir", "--workers", "-j", "--trace", "-o",
-            "--output"],
-        &["--no-cache"],
+            "--output", "--ledger-out"],
+        &["--no-cache", "--ledger"],
     );
     let model_ref = pos.first().ok_or("compile: missing model path or name")?;
     let style = match flag_value(args, &["-s", "--style"]) {
@@ -245,9 +254,12 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         None => GeneratorStyle::Frodo,
     };
     let trace_out = flag_value(args, &["--trace"]);
-    let trace = trace_out.map(|_| Trace::new());
+    let ledger = ledger_path(args);
+    // the ledger is derived from a trace, so --ledger implies tracing
+    let trace = (trace_out.is_some() || ledger.is_some()).then(Trace::new);
+    let intra = intra_threads(args)?;
     let mut spec = job_spec_for(model_ref, style)?.with_options(CompileOptions {
-        intra_threads: intra_threads(args)?,
+        intra_threads: intra,
         ..Default::default()
     });
     if let Some(t) = &trace {
@@ -281,6 +293,19 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         std::fs::write(path, t.to_ndjson()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote trace to {path} ({} spans)", t.span_count());
     }
+    if let (Some(path), Some(t)) = (&ledger, &trace) {
+        let agg = frodo::obs::aggregate(&t.snapshot());
+        let entry = frodo::obs::LedgerEntry::from_agg(
+            &agg,
+            &r.job,
+            engine_label(intra),
+            intra as u64,
+            1,
+            r.timings.total().as_nanos() as u64,
+        );
+        frodo::obs::append_entry(path, &entry)?;
+        eprintln!("appended ledger entry to {}", path.display());
+    }
     match flag_value(args, &["-o", "--output"]) {
         Some(path) => std::fs::write(path, &out.code).map_err(|e| format!("{path}: {e}")),
         None => {
@@ -288,6 +313,28 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// The engine label a run is recorded under in the perf ledger, from its
+/// `--threads` request (the driver swaps in the parallel engine when the
+/// resolved budget exceeds one thread).
+fn engine_label(intra_threads: usize) -> &'static str {
+    match intra_threads {
+        0 => "auto",
+        1 => "recursive",
+        _ => "parallel",
+    }
+}
+
+/// Resolves the perf-ledger destination: `--ledger-out FILE` for an
+/// explicit path, bare `--ledger` for the default `.frodo/ledger.ndjson`.
+fn ledger_path(args: &[String]) -> Option<std::path::PathBuf> {
+    if let Some(path) = flag_value(args, &["--ledger-out"]) {
+        return Some(path.into());
+    }
+    args.iter()
+        .any(|a| a == "--ledger")
+        .then(|| Path::new(".frodo").join("ledger.ndjson"))
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), String> {
@@ -303,20 +350,22 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let machine = args.iter().any(|a| a == "--machine");
     let want_tree = args.iter().any(|a| a == "--trace");
     let trace_out = flag_value(args, &["--trace-out"]);
+    let ledger = ledger_path(args);
 
     // positional args are model references; flag values are not
     let model_refs = positionals(
         args,
         &["--workers", "-j", "--threads", "-t", "--cache-dir", "-s", "--styles", "--style",
-            "-o", "--output", "--trace-out"],
-        &["--no-cache", "--machine", "--trace"],
+            "-o", "--output", "--trace-out", "--ledger-out"],
+        &["--no-cache", "--machine", "--trace", "--ledger"],
     );
     if model_refs.is_empty() {
         return Err("batch: no models given (paths or benchmark names; see 'frodo list')".into());
     }
 
+    let intra = intra_threads(args)?;
     let options = CompileOptions {
-        intra_threads: intra_threads(args)?,
+        intra_threads: intra,
         ..Default::default()
     };
     let mut specs = Vec::new();
@@ -327,7 +376,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
 
     let service = CompileService::new(service_config(args)?);
-    let trace = (want_tree || trace_out.is_some()).then(Trace::new);
+    let trace = (want_tree || trace_out.is_some() || ledger.is_some()).then(Trace::new);
     let report = match &trace {
         Some(t) => service.compile_batch_traced(specs, t),
         None => service.compile_batch(specs),
@@ -344,6 +393,14 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     if let (Some(path), Some(t)) = (trace_out, &trace) {
         std::fs::write(path, t.to_ndjson()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote trace to {path} ({} spans)", t.span_count());
+    }
+    if let Some(path) = &ledger {
+        let label = format!("batch:{}", model_refs.len());
+        let entry = report
+            .ledger_entry(&label, engine_label(intra), intra as u64)
+            .ok_or("batch: ledger requested but no trace was recorded")?;
+        frodo::obs::append_entry(path, &entry)?;
+        eprintln!("appended ledger entry to {}", path.display());
     }
 
     if let Some(dir) = out_dir {
@@ -519,6 +576,132 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         bench.name,
         bench.model.deep_len()
     );
+    Ok(())
+}
+
+/// The `frodo obs` family: trace exports, cross-run diffs, and ledger
+/// reports — all over the NDJSON files the rest of the CLI produces.
+fn cmd_obs(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("export") => cmd_obs_export(&args[1..]),
+        Some("diff") => cmd_obs_diff(&args[1..]),
+        Some("report") => cmd_obs_report(&args[1..]),
+        _ => Err("obs: expected a subcommand: export | diff | report".into()),
+    }
+}
+
+fn cmd_obs_export(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args, &["--format", "-f", "-o", "--output"], &[]);
+    let input = pos.first().ok_or("obs export: missing trace file")?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let snap = frodo::obs::ndjson::snapshot(&text).map_err(|e| format!("{input}: {e}"))?;
+    let rendered = match flag_value(args, &["--format", "-f"]).unwrap_or("chrome") {
+        "chrome" => frodo::obs::chrome_trace(&snap),
+        "collapsed" => frodo::obs::collapsed(&snap),
+        "ndjson" => frodo::obs::ndjson_export(&snap),
+        other => {
+            return Err(format!(
+                "obs export: unknown format '{other}' (expected chrome|collapsed|ndjson)"
+            ))
+        }
+    };
+    match flag_value(args, &["-o", "--output"]) {
+        Some(out) => {
+            std::fs::write(out, &rendered).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("wrote {out} ({} bytes)", rendered.len());
+            Ok(())
+        }
+        None => {
+            print!("{rendered}");
+            Ok(())
+        }
+    }
+}
+
+/// Loads a comparison side for `obs diff`: the last entry of a ledger
+/// file, or a raw NDJSON trace folded into an equivalent entry on the
+/// fly (label = file name, wall = the latest span end).
+fn diff_side(path: &str) -> Result<frodo::obs::LedgerEntry, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if text.contains("\"type\":\"ledger\"") {
+        let entries = frodo::obs::read_ledger(&text).map_err(|e| format!("{path}: {e}"))?;
+        return entries
+            .into_iter()
+            .last()
+            .ok_or_else(|| format!("{path}: ledger file has no entries"));
+    }
+    let snap = frodo::obs::ndjson::snapshot(&text).map_err(|e| format!("{path}: {e}"))?;
+    let wall_ns = snap
+        .spans
+        .iter()
+        .map(|s| s.start_ns + s.dur_ns)
+        .max()
+        .unwrap_or(0);
+    let agg = frodo::obs::aggregate(&snap);
+    Ok(frodo::obs::LedgerEntry::from_agg(&agg, path, "trace", 0, 0, wall_ns))
+}
+
+fn cmd_obs_diff(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args, &["--fail-over"], &[]);
+    let (old_path, new_path) = match pos.as_slice() {
+        [a, b, ..] => (*a, *b),
+        _ => return Err("obs diff: need <OLD> and <NEW> (ledger files or raw traces)".into()),
+    };
+    let fail_over: f64 = flag_value(args, &["--fail-over"])
+        .map(|s| s.parse().map_err(|_| "bad --fail-over".to_string()))
+        .transpose()?
+        .unwrap_or(0.0);
+    let old = diff_side(old_path)?;
+    let new = diff_side(new_path)?;
+    let d = frodo::obs::diff_entries(&old, &new, fail_over);
+    print!("{}", d.render());
+    if d.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} counter drift(s), {} wall-time regression(s) between {old_path} and {new_path}",
+            d.drifts.len(),
+            d.regressions.len()
+        ))
+    }
+}
+
+fn cmd_obs_report(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("obs report: missing ledger file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let entries = frodo::obs::read_ledger(&text).map_err(|e| format!("{path}: {e}"))?;
+    if entries.is_empty() {
+        return Err(format!("{path}: ledger file has no entries"));
+    }
+    println!(
+        "{:<10} {:<14} {:<9} {:>7} {:>7} {:>5} {:>10} {:>10} {:>6}",
+        "rev", "label", "engine", "threads", "workers", "jobs", "wall", "alg1", "cache%"
+    );
+    for e in &entries {
+        let alg1_ns: u64 = ["dfg", "iomap", "ranges", "classify"]
+            .iter()
+            .filter_map(|s| e.stage(s))
+            .map(|s| s.sum_ns)
+            .sum();
+        let cache = e
+            .svc
+            .as_ref()
+            .map(|s| format!("{:.0}", s.cache_hit_rate_pct()))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<10} {:<14} {:<9} {:>7} {:>7} {:>5} {:>10} {:>10} {:>6}",
+            e.git_rev,
+            e.label,
+            e.engine,
+            e.threads,
+            e.workers,
+            e.jobs,
+            frodo::obs::fmt_duration(std::time::Duration::from_nanos(e.wall_ns)),
+            frodo::obs::fmt_duration(std::time::Duration::from_nanos(alg1_ns)),
+            cache
+        );
+    }
+    println!("{} entr{} in {path}", entries.len(), if entries.len() == 1 { "y" } else { "ies" });
     Ok(())
 }
 

@@ -194,3 +194,195 @@ fn simulate_prints_outputs() {
     assert!(text.contains("out0 ="));
     let _ = std::fs::remove_file(mdl);
 }
+
+#[test]
+fn obs_diff_proves_counter_determinism_of_two_compiles() {
+    let a = temp_path("det-a.ndjson");
+    let b = temp_path("det-b.ndjson");
+    for path in [&a, &b] {
+        let out = frodo()
+            .args([
+                "compile",
+                "Kalman",
+                "--threads",
+                "1",
+                "--trace",
+                path.to_str().unwrap(),
+                "-o",
+                temp_path("det.c").to_str().unwrap(),
+            ])
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let out = frodo()
+        .args([
+            "obs",
+            "diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--fail-over",
+            "0",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "deterministic counters drifted:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok: no counter drift"));
+    for p in [&a, &b] {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = std::fs::remove_file(temp_path("det.c"));
+}
+
+#[test]
+fn obs_diff_catches_injected_drift() {
+    let a = temp_path("drift-a.ndjson");
+    let b = temp_path("drift-b.ndjson");
+    let out = frodo()
+        .args([
+            "compile",
+            "HT",
+            "--threads",
+            "1",
+            "--trace",
+            a.to_str().unwrap(),
+            "-o",
+            temp_path("drift.c").to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // corrupt one deterministic counter in the second trace
+    let text = std::fs::read_to_string(&a).expect("trace written");
+    let corrupted = text.replacen("\"name\":\"stmts\",\"value\":", "\"name\":\"stmts\",\"value\":9", 1);
+    assert_ne!(text, corrupted, "expected a stmts counter to corrupt");
+    std::fs::write(&b, corrupted).expect("write corrupted trace");
+    let out = frodo()
+        .args(["obs", "diff", a.to_str().unwrap(), b.to_str().unwrap(), "--fail-over", "0"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "injected drift must fail the gate");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("drift"));
+    for p in [&a, &b] {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = std::fs::remove_file(temp_path("drift.c"));
+}
+
+#[test]
+fn obs_export_renders_chrome_and_collapsed() {
+    let trace = temp_path("export.ndjson");
+    let chrome = temp_path("export.json");
+    let out = frodo()
+        .args([
+            "compile",
+            "Simpson",
+            "--trace",
+            trace.to_str().unwrap(),
+            "-o",
+            temp_path("export.c").to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = frodo()
+        .args([
+            "obs",
+            "export",
+            trace.to_str().unwrap(),
+            "--format",
+            "chrome",
+            "-o",
+            chrome.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = std::fs::read_to_string(&chrome).expect("chrome export written");
+    let fields = frodo::obs::ndjson::parse_line(&doc).expect("valid trace_event JSON");
+    assert!(fields.iter().any(|(k, _)| k == "traceEvents"));
+
+    let out = frodo()
+        .args(["obs", "export", trace.to_str().unwrap(), "--format", "collapsed"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().any(|l| l.starts_with("job:Simpson;ranges ")));
+
+    for p in [&trace, &chrome] {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = std::fs::remove_file(temp_path("export.c"));
+}
+
+#[test]
+fn batch_ledger_entries_diff_clean_across_runs() {
+    let ledger = temp_path("suite-ledger.ndjson");
+    let _ = std::fs::remove_file(&ledger);
+    for _ in 0..2 {
+        let out = frodo()
+            .args([
+                "batch",
+                "Kalman",
+                "HT",
+                "Simpson",
+                "--threads",
+                "1",
+                "--workers",
+                "1",
+                "--ledger-out",
+                ledger.to_str().unwrap(),
+            ])
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let text = std::fs::read_to_string(&ledger).expect("ledger written");
+    let entries = frodo::obs::read_ledger(&text).expect("ledger parses");
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].jobs, 3);
+    assert!(entries[0].svc.is_some(), "batch entries carry service metrics");
+
+    // the two consecutive runs are counter-identical
+    let first = temp_path("suite-l1.ndjson");
+    let second = temp_path("suite-l2.ndjson");
+    std::fs::write(&first, entries[0].to_line()).expect("split first entry");
+    std::fs::write(&second, entries[1].to_line()).expect("split second entry");
+    let out = frodo()
+        .args([
+            "obs",
+            "diff",
+            first.to_str().unwrap(),
+            second.to_str().unwrap(),
+            "--fail-over",
+            "0",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "consecutive batch runs drifted:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // and the ledger renders as a report
+    let out = frodo()
+        .args(["obs", "report", ledger.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("batch:3"));
+    assert!(text.contains("2 entries"));
+
+    for p in [&ledger, &first, &second] {
+        let _ = std::fs::remove_file(p);
+    }
+}

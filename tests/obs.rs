@@ -89,3 +89,109 @@ fn noop_trace_stays_silent_through_the_whole_pipeline() {
     assert_eq!(trace.span_count(), 0);
     assert!(trace.to_ndjson().is_empty());
 }
+
+/// The overhead guard the satellite asks for: compiling with a real trace
+/// and with the disabled recorder must produce byte-identical C, and the
+/// disabled recorder must show exactly zero span-record drift.
+#[test]
+fn traced_and_noop_compiles_are_byte_identical() {
+    let compile_with = |trace: &Trace| {
+        let bench = frodo::benchmodels::by_name("Kalman").expect("bundled benchmark");
+        let service = CompileService::with_defaults();
+        service
+            .compile(
+                JobSpec::from_model(bench.name, bench.model, GeneratorStyle::Frodo)
+                    .with_trace(trace),
+            )
+            .expect("benchmark compiles")
+    };
+    let noop = Trace::noop();
+    let off = compile_with(&noop);
+    let traced = Trace::new();
+    let on = compile_with(&traced);
+    assert_eq!(off.code.as_bytes(), on.code.as_bytes());
+    assert_eq!(off.report.metrics, on.report.metrics);
+    assert_eq!(noop.span_count(), 0, "disabled recorder drifted");
+    assert!(traced.span_count() >= 11, "job root + 10 stages");
+}
+
+#[test]
+fn chrome_trace_export_is_valid_trace_event_json() {
+    let trace = traced_compile();
+    let doc = trace.to_chrome_trace();
+    // schema-validate with the crate's own parser: the whole document is
+    // one JSON object whose traceEvents array holds complete events
+    let fields = ndjson::parse_line(&doc).expect("chrome trace parses as JSON");
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_arr())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), trace.span_count());
+    let mut stage_events = 0;
+    for ev in events {
+        assert_eq!(ev.field("ph").and_then(|v| v.as_str()), Some("X"), "complete events only");
+        assert_eq!(ev.field("pid").and_then(|v| v.as_num()), Some(1.0));
+        assert!(ev.field("name").and_then(|v| v.as_str()).is_some());
+        assert!(ev.field("ts").and_then(|v| v.as_num()).is_some());
+        assert!(ev.field("dur").and_then(|v| v.as_num()).is_some());
+        assert!(ev.field("tid").and_then(|v| v.as_num()).is_some());
+        if ev.field("cat").and_then(|v| v.as_str()) == Some("stage") {
+            stage_events += 1;
+        }
+    }
+    assert!(
+        stage_events >= frodo::obs::STAGE_NAMES.len(),
+        "every pipeline stage appears as a cat=stage event"
+    );
+}
+
+#[test]
+fn collapsed_export_covers_algorithm1() {
+    let text = traced_compile().to_collapsed();
+    // Algorithm 1's stages appear as frames under the job root
+    assert!(text.contains("job:Kalman;ranges "), "missing ranges frame:\n{text}");
+    assert!(text.contains("job:Kalman;iomap"), "missing iomap frame:\n{text}");
+    for line in text.lines() {
+        let (_stack, value) = line.rsplit_once(' ').expect("stack + self time");
+        value.parse::<u64>().expect("integer self nanoseconds");
+    }
+}
+
+/// Round-trips a trace whose span/counter names are deliberately hostile:
+/// quotes, backslashes, separators, and raw control characters.
+#[test]
+fn pathological_names_roundtrip_through_ndjson() {
+    let trace = Trace::new();
+    let names = [
+        "job:evil \"model\"",
+        "semi;colons and spaces",
+        "back\\slash\tand\ttabs",
+        "ctrl\u{1}\u{1f}bytes",
+        "unicode→模型",
+    ];
+    {
+        let root = trace.span(names[0]);
+        for name in &names[1..] {
+            let child = root.child(name);
+            child.count(name, 7);
+        }
+    }
+    let text = trace.to_ndjson();
+    let snap = ndjson::snapshot(&text).expect("pathological export re-parses");
+    assert_eq!(snap.spans.len(), names.len());
+    for name in names {
+        assert!(
+            snap.spans.iter().any(|s| s.name == name),
+            "span name mangled in round-trip: {name:?}"
+        );
+    }
+    assert!(snap.counters.iter().all(|c| c.value == 7));
+    // the aggregate of the re-parsed snapshot matches the original's
+    assert_eq!(
+        frodo::obs::aggregate(&snap),
+        frodo::obs::aggregate(&trace.snapshot())
+    );
+    // the chrome export of the same trace is still valid JSON
+    ndjson::parse_line(&trace.to_chrome_trace()).expect("chrome trace parses");
+}
