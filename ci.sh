@@ -18,10 +18,11 @@ cargo bench -q -p frodo-bench --bench hotpath --offline -- --quick >/dev/null
 
 # a traced compile of a Table-1 model emits parseable NDJSON covering
 # every pipeline stage; --threads 1 pins the determinism-contract
-# reference path (sequential engines, sequential emitter)
+# reference path (sequential engines, sequential emitter); --verify
+# turns the opt-in verify stage on so its span is covered too
 trace_out="$(mktemp)"
-./target/release/frodo compile --threads 1 --trace "$trace_out" Kalman >/dev/null
-for stage in parse flatten hash cache dfg iomap ranges classify lower emit; do
+./target/release/frodo compile --threads 1 --verify --trace "$trace_out" Kalman >/dev/null
+for stage in parse flatten hash cache dfg iomap ranges classify lower verify emit; do
     grep -q "\"name\":\"$stage\"" "$trace_out"
 done
 # every line is one flat JSON object
@@ -35,7 +36,7 @@ fi
 # statement counts); --fail-over 0 turns wall-time gating off, so only
 # counters are compared
 trace_out2="$(mktemp)"
-./target/release/frodo compile --threads 1 --trace "$trace_out2" Kalman >/dev/null
+./target/release/frodo compile --threads 1 --verify --trace "$trace_out2" Kalman >/dev/null
 ./target/release/frodo obs diff "$trace_out" "$trace_out2" --fail-over 0
 
 # the chrome-trace export of the same trace is one trace_event document
@@ -56,3 +57,24 @@ ledger_out="$(mktemp)"
 ./target/release/frodo obs diff LEDGER.ndjson "$ledger_out" --fail-over 0
 ./target/release/frodo obs report "$ledger_out" >/dev/null
 rm -f "$ledger_out"
+
+# static verification gate: every benchmark model must lint clean of
+# errors, and every compile must pass the range-soundness checker under
+# all three range engines (no uninitialized reads, no OOB, outputs
+# written exactly as demanded)
+for model in AudioProcess Decryption HighPass HT Kalman Back \
+    Maintenance Maunfacture RunningDiff Simpson; do
+    ./target/release/frodo lint "$model" >/dev/null
+    for engine in recursive iterative parallel; do
+        ./target/release/frodo compile --no-cache --verify --threads 1 \
+            --engine "$engine" "$model" >/dev/null
+    done
+done
+
+# the SARIF rendering keeps the minimal schema code-scanning UIs need
+sarif_out="$(mktemp)"
+./target/release/frodo lint Kalman --format sarif -o "$sarif_out"
+for key in '"version":"2.1.0"' '"\$schema"' '"name":"frodo-verify"' '"rules"'; do
+    grep -q "$key" "$sarif_out"
+done
+rm -f "$sarif_out"

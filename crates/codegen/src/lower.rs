@@ -551,8 +551,19 @@ impl<'a> Lowerer<'a> {
                 for p in 0..kind.num_inputs() {
                     let len = dfg.shapes().input(id, p).numel();
                     let seg = IndexSet::from_range(seg_start, seg_start + len);
-                    let src = self.input_buf(InPort::new(id, p));
-                    for iv in range.intersect(&seg).intervals() {
+                    let in_port = InPort::new(id, p);
+                    let src = self.input_buf(in_port);
+                    // Coalescing runs per block, and joining segments can
+                    // bridge a gap across a segment boundary that the
+                    // producer (whose universe ends at the boundary) never
+                    // bridged — so clamp each copy to what the producer
+                    // actually writes; the skipped elements are coalesce
+                    // slop that no demanded output reads.
+                    let upstream = dfg.source_of(in_port);
+                    let written = self
+                        .calc_range(upstream.block, upstream.port, ranges)
+                        .shift(seg_start as isize);
+                    for iv in range.intersect(&seg).intersect(&written).intervals() {
                         self.stmts.push(Stmt::Copy {
                             dst: Slice::new(dst, iv.start),
                             src: Slice::new(src, iv.start - seg_start),

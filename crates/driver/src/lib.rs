@@ -95,6 +95,16 @@ pub struct CompileOptions {
     /// artifact cache key: compiles that differ only in `intra_threads`
     /// share one cached artifact.
     pub intra_threads: usize,
+    /// Runs the range-soundness checker (`frodo-verify`) on the lowered
+    /// program before emission; a failed check fails the job closed with
+    /// [`JobError::Verify`] carrying the structured diagnostics.
+    ///
+    /// Verification never changes the generated C, so — like
+    /// `intra_threads` — it is excluded from the cache key. Artifacts are
+    /// only stored after a (possibly skipped) verify pass, so cached code
+    /// under `verify: true` was verified when it was first compiled; cache
+    /// hits do not re-verify.
+    pub verify: bool,
 }
 
 impl CompileOptions {
@@ -233,6 +243,15 @@ pub enum JobError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The range-soundness checker rejected the lowered program
+    /// ([`CompileOptions::verify`]). The structured diagnostics name the
+    /// block, buffer, and offending interval of every finding.
+    Verify {
+        /// Job display name.
+        job: String,
+        /// Every finding, in program order.
+        diagnostics: Vec<frodo_verify::Diagnostic>,
+    },
 }
 
 impl JobError {
@@ -241,7 +260,17 @@ impl JobError {
         match self {
             JobError::Load { job, .. }
             | JobError::Analysis { job, .. }
-            | JobError::Panicked { job, .. } => job,
+            | JobError::Panicked { job, .. }
+            | JobError::Verify { job, .. } => job,
+        }
+    }
+
+    /// The structured diagnostics carried by a [`JobError::Verify`];
+    /// empty for the other variants.
+    pub fn diagnostics(&self) -> &[frodo_verify::Diagnostic] {
+        match self {
+            JobError::Verify { diagnostics, .. } => diagnostics,
+            _ => &[],
         }
     }
 }
@@ -252,6 +281,12 @@ impl std::fmt::Display for JobError {
             JobError::Load { job, message } => write!(f, "{job}: load failed: {message}"),
             JobError::Analysis { job, message } => write!(f, "{job}: analysis failed: {message}"),
             JobError::Panicked { job, message } => write!(f, "{job}: job panicked: {message}"),
+            JobError::Verify { job, diagnostics } => write!(
+                f,
+                "{job}: verification failed with {} diagnostic{}",
+                diagnostics.len(),
+                if diagnostics.len() == 1 { "" } else { "s" }
+            ),
         }
     }
 }
@@ -482,6 +517,24 @@ impl CompileService {
 
         // lower + emit (each records its own span)
         let program = generate_traced(&analysis, style, options.lower, &jt);
+
+        // verify (opt-in): certify the lowered program against the
+        // analysis before anything is emitted or cached
+        if options.verify {
+            let span = jt.span("verify");
+            let soundness = frodo_verify::check_compile(&analysis, &program);
+            span.count("verify_stmts", soundness.stmts_checked as u64);
+            span.count("verify_buffers", soundness.buffers_checked as u64);
+            span.count("verify_outputs", soundness.outputs_checked as u64);
+            span.count("verify_diagnostics", soundness.diagnostics.len() as u64);
+            if !soundness.is_sound() {
+                return Err(JobError::Verify {
+                    job: name.clone(),
+                    diagnostics: soundness.diagnostics,
+                });
+            }
+        }
+
         let code = emit_c_traced(&program, options.emit, threads, &jt);
 
         let metrics = JobMetrics::from_analysis(&analysis);
@@ -648,6 +701,42 @@ mod tests {
         assert!(first.report.timings.emit > Duration::ZERO);
         assert_eq!(again.report.timings.emit, Duration::ZERO);
         assert!(again.report.timings.cache > Duration::ZERO);
+    }
+
+    #[test]
+    fn verified_compile_passes_and_records_the_stage() {
+        let service = CompileService::new(ServiceConfig {
+            no_cache: true,
+            ..ServiceConfig::default()
+        });
+        let trace = Trace::new();
+        let spec = JobSpec::from_model("g", gain_model(2.0), GeneratorStyle::Frodo)
+            .with_options(CompileOptions {
+                verify: true,
+                ..CompileOptions::default()
+            })
+            .with_trace(&trace);
+        let out = service.compile(spec).unwrap();
+        assert!(!out.code.is_empty());
+        assert!(trace.counter_total("verify_stmts") > 0);
+        assert!(trace.counter_total("verify_buffers") > 0);
+        assert_eq!(trace.counter_total("verify_outputs"), 1);
+        assert_eq!(trace.counter_total("verify_diagnostics"), 0);
+        assert!(trace.snapshot().spans.iter().any(|s| s.name == "verify"));
+    }
+
+    #[test]
+    fn verify_does_not_split_the_cache() {
+        let base = gain_model(2.0).flattened().unwrap();
+        let plain = CompileOptions::default();
+        let verified = CompileOptions {
+            verify: true,
+            ..CompileOptions::default()
+        };
+        assert_eq!(
+            cache_key(&base, GeneratorStyle::Frodo, &plain),
+            cache_key(&base, GeneratorStyle::Frodo, &verified)
+        );
     }
 
     #[test]

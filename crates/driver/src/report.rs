@@ -156,6 +156,9 @@ impl BatchReport {
                 }
                 Err(e) => {
                     let _ = writeln!(out, "{:<14} ERROR  {e}", e.job());
+                    for line in frodo_verify::render_human(e.diagnostics()).lines() {
+                        let _ = writeln!(out, "{:<14}   {line}", "");
+                    }
                 }
             }
         }
@@ -213,6 +216,22 @@ impl BatchReport {
                         machine_token(e.job()),
                         e.to_string()
                     );
+                    for d in e.diagnostics() {
+                        let _ = write!(
+                            out,
+                            "frodo-diag job={} code={} severity={}",
+                            machine_token(e.job()),
+                            d.code,
+                            d.severity
+                        );
+                        if let Some(b) = &d.block {
+                            let _ = write!(out, " block={}", machine_token(b));
+                        }
+                        if let Some(l) = &d.location {
+                            let _ = write!(out, " location={}", machine_token(l));
+                        }
+                        let _ = writeln!(out, " message={:?}", d.message);
+                    }
                 }
             }
         }

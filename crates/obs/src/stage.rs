@@ -10,8 +10,9 @@ use std::time::Duration;
 /// one of these contribute to the matching [`StageTimings`] field; the
 /// NDJSON export uses the same names, and they are covered by a golden
 /// schema test — treat them as a stable interface.
-pub const STAGE_NAMES: [&str; 10] = [
-    "parse", "flatten", "hash", "cache", "dfg", "iomap", "ranges", "classify", "lower", "emit",
+pub const STAGE_NAMES: [&str; 11] = [
+    "parse", "flatten", "hash", "cache", "dfg", "iomap", "ranges", "classify", "lower", "verify",
+    "emit",
 ];
 
 /// Wall-clock cost of each pipeline stage (monotonic clock), derived from
@@ -42,6 +43,9 @@ pub struct StageTimings {
     pub classify: Duration,
     /// Lowering to the loop IR.
     pub lower: Duration,
+    /// Range-soundness verification of the lowered IR (opt-in; zero when
+    /// the compile did not run with `--verify`).
+    pub verify: Duration,
     /// C emission.
     pub emit: Duration,
 }
@@ -49,7 +53,7 @@ pub struct StageTimings {
 impl StageTimings {
     /// Stage names and durations in pipeline order (names match
     /// [`STAGE_NAMES`]).
-    pub fn rows(&self) -> [(&'static str, Duration); 10] {
+    pub fn rows(&self) -> [(&'static str, Duration); 11] {
         [
             ("parse", self.parse),
             ("flatten", self.flatten),
@@ -60,6 +64,7 @@ impl StageTimings {
             ("ranges", self.ranges),
             ("classify", self.classify),
             ("lower", self.lower),
+            ("verify", self.verify),
             ("emit", self.emit),
         ]
     }
@@ -118,6 +123,7 @@ impl StageTimings {
                 "ranges" => t.ranges += d,
                 "classify" => t.classify += d,
                 "lower" => t.lower += d,
+                "verify" => t.verify += d,
                 "emit" => t.emit += d,
                 _ => {}
             }
@@ -163,9 +169,10 @@ mod tests {
             ranges: Duration::from_nanos(7),
             classify: Duration::from_nanos(8),
             lower: Duration::from_nanos(9),
-            emit: Duration::from_nanos(10),
+            verify: Duration::from_nanos(10),
+            emit: Duration::from_nanos(11),
         };
-        assert_eq!(t.total(), Duration::from_nanos(55));
+        assert_eq!(t.total(), Duration::from_nanos(66));
         assert_eq!(t.algorithm1(), Duration::from_nanos(15));
     }
 

@@ -403,6 +403,30 @@ impl IndexSet {
         IndexSet::from_canonical(out)
     }
 
+    /// Debug-build check that the set is canonical: every interval non-empty,
+    /// sorted by start, and with a strict gap between neighbours (touching
+    /// intervals must have been merged). Compiled out of release builds.
+    #[inline]
+    fn debug_assert_canonical(&self, op: &str) {
+        if cfg!(debug_assertions) {
+            let ivs = self.intervals();
+            for iv in ivs {
+                debug_assert!(!iv.is_empty(), "{op}: empty interval in {self:?}");
+            }
+            for w in ivs.windows(2) {
+                debug_assert!(
+                    w[0].end < w[1].start,
+                    "{op}: intervals [{}, {}) and [{}, {}) out of order, overlapping, \
+                     or unmerged in {self:?}",
+                    w[0].start,
+                    w[0].end,
+                    w[1].start,
+                    w[1].end
+                );
+            }
+        }
+    }
+
     /// In-place union: `self ∪= other`, allocation-free whenever both sides
     /// are ≤ 1 interval that overlap or touch (the dominant case), or once
     /// `self` and `scratch` have grown their buffers.
@@ -414,18 +438,21 @@ impl IndexSet {
         if self.is_empty() {
             scratch.stats.inline += 1;
             self.clone_from(other);
+            self.debug_assert_canonical("union_with");
             return;
         }
         if let (Some(a), Some(b)) = (self.as_single(), other.as_single()) {
             if a.touches(&b) {
                 scratch.stats.inline += 1;
                 self.set_single(Interval::new(a.start.min(b.start), a.end.max(b.end)));
+                self.debug_assert_canonical("union_with");
                 return;
             }
         }
         scratch.stats.spilled += 1;
         merge_union(self.intervals(), other.intervals(), &mut scratch.buf);
         self.adopt(scratch);
+        self.debug_assert_canonical("union_with");
     }
 
     /// In-place intersection: `self ∩= other`.
@@ -442,11 +469,13 @@ impl IndexSet {
         if let (Some(a), Some(b)) = (self.as_single(), other.as_single()) {
             scratch.stats.inline += 1;
             self.set_single(a.intersect(&b));
+            self.debug_assert_canonical("intersect_with");
             return;
         }
         scratch.stats.spilled += 1;
         merge_intersect(self.intervals(), other.intervals(), &mut scratch.buf);
         self.adopt(scratch);
+        self.debug_assert_canonical("intersect_with");
     }
 
     /// In-place difference: `self \= other`.
@@ -484,11 +513,13 @@ impl IndexSet {
                     self.clear();
                 }
             }
+            self.debug_assert_canonical("subtract_with");
             return;
         }
         scratch.stats.spilled += 1;
         merge_difference(self.intervals(), other.intervals(), &mut scratch.buf);
         self.adopt(scratch);
+        self.debug_assert_canonical("subtract_with");
     }
 
     /// Complement within the universe `[0, len)`.

@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! frodo analyze  <model.{slx,mdl}>                 redundancy-elimination report
+//! frodo lint     <model> [--format human|json|sarif]  static model diagnostics
 //! frodo build    <model> [-s STYLE] [--shared-helper] [-o out.c]
-//! frodo compile  <model> [-s STYLE] [--threads N] [--cache-dir D] [--trace out.ndjson]
-//!                [--ledger | --ledger-out F] [-o out.c]
-//! frodo batch    <models...> [--workers N] [--threads N] [--cache-dir D] [-s STYLES] [-o DIR]
-//!                [--trace] [--trace-out out.ndjson] [--ledger | --ledger-out F]
+//! frodo compile  <model> [-s STYLE] [--threads N] [--engine E] [--verify] [--cache-dir D]
+//!                [--trace out.ndjson] [--ledger | --ledger-out F] [-o out.c]
+//! frodo batch    <models...> [--workers N] [--threads N] [--verify] [--cache-dir D]
+//!                [-s STYLES] [-o DIR] [--trace] [--trace-out out.ndjson]
+//!                [--ledger | --ledger-out F]
 //! frodo obs      export|diff|report               trace exports, cross-run perf diffs
 //! frodo simulate <model> [--seed N] [--steps N]    reference simulation
 //! frodo bench    <model> [--native]                compare the four generators
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
@@ -62,9 +65,11 @@ fn print_usage() {
          \n\
          USAGE:\n\
          \x20 frodo analyze  <model.{{slx,mdl}}>\n\
+         \x20 frodo lint     <model> [--format human|json|sarif]\n\
          \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [-o out.c]\n\
-         \x20 frodo compile  <model> [-s STYLE] [--threads N] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
-         \x20 frodo batch    <models...> [--workers N] [--threads N] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
+         \x20 frodo compile  <model> [-s STYLE] [--threads N] [--engine recursive|iterative|parallel]\n\
+         \x20                [--verify] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
+         \x20 frodo batch    <models...> [--workers N] [--threads N] [--verify] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
          \x20                [--trace] [--trace-out out.ndjson]\n\
          \x20 frodo simulate <model> [--seed N] [--steps N]\n\
          \x20 frodo bench    <model> [--native]\n\
@@ -77,7 +82,10 @@ fn print_usage() {
          \x20 frodo list\n\
          \n\
          compile and batch accept --ledger (append a perf-ledger entry to\n\
-         .frodo/ledger.ndjson) or --ledger-out FILE for an explicit path."
+         .frodo/ledger.ndjson) or --ledger-out FILE for an explicit path.\n\
+         --verify runs the range-soundness checker (frodo-verify) on every\n\
+         fresh compile and fails closed with F1xx diagnostics; frodo lint\n\
+         reports F0xx model diagnostics (exit 1 on errors, not warnings)."
     );
 }
 
@@ -174,6 +182,63 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves a CLI model reference to a model: a `.slx`/`.mdl` path, or the
+/// name of a bundled Table-1 benchmark.
+fn resolve_model(model_ref: &str) -> Result<Model, String> {
+    let p = Path::new(model_ref);
+    if matches!(p.extension().and_then(|e| e.to_str()), Some("slx" | "mdl")) {
+        return load_model(model_ref);
+    }
+    match frodo::benchmodels::by_name(model_ref) {
+        Some(bench) => Ok(bench.model),
+        None => Err(format!(
+            "'{model_ref}' is neither a .slx/.mdl path nor a bundled benchmark (try 'frodo list')"
+        )),
+    }
+}
+
+/// Static model diagnostics (`frodo-verify` layer 1). Exit code is only
+/// non-zero for error-severity findings; warnings report and pass.
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args, &["--format", "-f", "-o", "--output"], &[]);
+    let model_ref = pos.first().ok_or("lint: missing model path or name")?;
+    let model = resolve_model(model_ref)?;
+    let diags = frodo::verify::lint(&model);
+    let rendered = match flag_value(args, &["--format", "-f"]).unwrap_or("human") {
+        "human" => frodo::verify::render_human(&diags),
+        "json" => frodo::verify::render_json(&diags),
+        "sarif" => frodo::verify::render_sarif(&diags),
+        other => {
+            return Err(format!(
+                "lint: unknown format '{other}' (expected human|json|sarif)"
+            ))
+        }
+    };
+    match flag_value(args, &["-o", "--output"]) {
+        Some(out) => std::fs::write(out, &rendered).map_err(|e| format!("{out}: {e}"))?,
+        None => print!("{rendered}"),
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == frodo::verify::Severity::Error)
+        .count();
+    if errors > 0 {
+        Err(format!(
+            "{errors} error{} in '{model_ref}' ({} finding{} total)",
+            if errors == 1 { "" } else { "s" },
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        ))
+    } else {
+        eprintln!(
+            "lint '{model_ref}': {} finding{}, no errors",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+        Ok(())
+    }
+}
+
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("build: missing model path")?;
     let style = match flag_value(args, &["-s", "--style"]) {
@@ -229,6 +294,27 @@ fn intra_threads(args: &[String]) -> Result<usize, String> {
         .map(|v| v.unwrap_or(0))
 }
 
+/// Parses `--engine` into range options. The explicit engine is respected
+/// as long as the resolved intra-model thread budget stays at one; with
+/// more threads the driver swaps in the parallel engine (byte-identical
+/// results either way).
+fn range_options(args: &[String]) -> Result<RangeOptions, String> {
+    let engine = match flag_value(args, &["--engine"]) {
+        None | Some("recursive") => RangeEngine::Recursive,
+        Some("iterative") => RangeEngine::Iterative,
+        Some("parallel") => RangeEngine::Parallel,
+        Some(other) => {
+            return Err(format!(
+                "unknown engine '{other}' (expected recursive|iterative|parallel)"
+            ))
+        }
+    };
+    Ok(RangeOptions {
+        engine,
+        ..Default::default()
+    })
+}
+
 /// The service configuration shared by `compile` and `batch`.
 fn service_config(args: &[String]) -> Result<ServiceConfig, String> {
     Ok(ServiceConfig {
@@ -244,9 +330,9 @@ fn service_config(args: &[String]) -> Result<ServiceConfig, String> {
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     let pos = positionals(
         args,
-        &["-s", "--style", "--threads", "-t", "--cache-dir", "--workers", "-j", "--trace", "-o",
-            "--output", "--ledger-out"],
-        &["--no-cache", "--ledger"],
+        &["-s", "--style", "--threads", "-t", "--engine", "--cache-dir", "--workers", "-j",
+            "--trace", "-o", "--output", "--ledger-out"],
+        &["--no-cache", "--ledger", "--verify"],
     );
     let model_ref = pos.first().ok_or("compile: missing model path or name")?;
     let style = match flag_value(args, &["-s", "--style"]) {
@@ -260,13 +346,20 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let intra = intra_threads(args)?;
     let mut spec = job_spec_for(model_ref, style)?.with_options(CompileOptions {
         intra_threads: intra,
+        range: range_options(args)?,
+        verify: args.iter().any(|a| a == "--verify"),
         ..Default::default()
     });
     if let Some(t) = &trace {
         spec = spec.with_trace(t);
     }
     let service = CompileService::new(service_config(args)?);
-    let out = service.compile(spec).map_err(|e| e.to_string())?;
+    let out = service.compile(spec).map_err(|e| {
+        for line in frodo::verify::render_human(e.diagnostics()).lines() {
+            eprintln!("{line}");
+        }
+        e.to_string()
+    })?;
     let r = &out.report;
     eprintln!(
         "{} ({}): cache {}, digest {}, {} blocks ({} optimizable), \
@@ -355,9 +448,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     // positional args are model references; flag values are not
     let model_refs = positionals(
         args,
-        &["--workers", "-j", "--threads", "-t", "--cache-dir", "-s", "--styles", "--style",
-            "-o", "--output", "--trace-out", "--ledger-out"],
-        &["--no-cache", "--machine", "--trace", "--ledger"],
+        &["--workers", "-j", "--threads", "-t", "--engine", "--cache-dir", "-s", "--styles",
+            "--style", "-o", "--output", "--trace-out", "--ledger-out"],
+        &["--no-cache", "--machine", "--trace", "--ledger", "--verify"],
     );
     if model_refs.is_empty() {
         return Err("batch: no models given (paths or benchmark names; see 'frodo list')".into());
@@ -366,6 +459,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let intra = intra_threads(args)?;
     let options = CompileOptions {
         intra_threads: intra,
+        range: range_options(args)?,
+        verify: args.iter().any(|a| a == "--verify"),
         ..Default::default()
     };
     let mut specs = Vec::new();

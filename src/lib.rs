@@ -16,6 +16,7 @@
 //! | [`benchmodels`] | `frodo-benchmodels` | the paper's Table-1 suite |
 //! | [`driver`] | `frodo-driver` | batch compile service: worker pool, artifact cache, metrics |
 //! | [`obs`] | `frodo-obs` | observability: trace spans, counters, stage timings, NDJSON export |
+//! | [`verify`] | `frodo-verify` | model lint + range-soundness checker (translation validation) |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use frodo_obs as obs;
 pub use frodo_ranges as ranges;
 pub use frodo_sim as sim;
 pub use frodo_slx as slx;
+pub use frodo_verify as verify;
 
 /// One-stop imports for the common pipeline.
 pub mod prelude {
@@ -70,4 +72,5 @@ pub mod prelude {
     pub use frodo_obs::{StageTimings, Trace};
     pub use frodo_ranges::{IndexSet, Interval, PortMap, Shape};
     pub use frodo_sim::{CostModel, MemoryReport, ReferenceSimulator, Vm};
+    pub use frodo_verify::{Diagnostic, Severity, SoundnessReport};
 }

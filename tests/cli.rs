@@ -124,6 +124,7 @@ fn compile_trace_writes_parseable_ndjson() {
     let out = frodo()
         .args([
             "compile",
+            "--verify",
             "--trace",
             ndjson.to_str().unwrap(),
             "Kalman",
@@ -135,7 +136,7 @@ fn compile_trace_writes_parseable_ndjson() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = std::fs::read_to_string(&ndjson).expect("trace file written");
     let stats = frodo::obs::ndjson::validate(&text).expect("NDJSON parses");
-    assert!(stats.spans >= 11, "job root + 10 stages, got {}", stats.spans);
+    assert!(stats.spans >= 12, "job root + 11 stages, got {}", stats.spans);
     for stage in frodo::obs::STAGE_NAMES {
         assert!(
             text.contains(&format!("\"name\":\"{stage}\"")),

@@ -6,6 +6,7 @@ use frodo::obs::ndjson;
 use frodo::prelude::*;
 
 /// Compiles one Table-1 model through the driver with a trace attached.
+/// Verification is on so the opt-in `verify` stage records a span too.
 fn traced_compile() -> Trace {
     let trace = Trace::new();
     let bench = frodo::benchmodels::by_name("Kalman").expect("bundled benchmark");
@@ -13,6 +14,10 @@ fn traced_compile() -> Trace {
     service
         .compile(
             JobSpec::from_model(bench.name, bench.model, GeneratorStyle::Frodo)
+                .with_options(CompileOptions {
+                    verify: true,
+                    ..Default::default()
+                })
                 .with_trace(&trace),
         )
         .expect("benchmark compiles");
@@ -20,11 +25,11 @@ fn traced_compile() -> Trace {
 }
 
 #[test]
-fn stage_names_are_the_canonical_ten() {
+fn stage_names_are_the_canonical_eleven() {
     assert_eq!(
         frodo::obs::STAGE_NAMES,
         ["parse", "flatten", "hash", "cache", "dfg", "iomap", "ranges", "classify", "lower",
-            "emit"]
+            "verify", "emit"]
     );
 }
 
