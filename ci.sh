@@ -71,6 +71,31 @@ for model in AudioProcess Decryption HighPass HT Kalman Back \
     done
 done
 
+# compile-daemon parity gate: the same jobs through a resident daemon
+# must be counter-identical to a fresh one-shot batch (serve and batch
+# record through the same trace schema); shutdown must drain, flush the
+# daemon's ledger entry, and remove the socket file
+serve_dir="$(mktemp -d)"
+serve_sock="$serve_dir/serve.sock"
+./target/release/frodo serve --socket "$serve_sock" --workers 1 \
+    --ledger-out "$serve_dir/serve-ledger.ndjson" &
+serve_pid=$!
+for _ in $(seq 1 200); do test -S "$serve_sock" && break; sleep 0.05; done
+test -S "$serve_sock"
+./target/release/frodo client --socket "$serve_sock" batch Kalman HT \
+    -s all --threads 1 >/dev/null
+./target/release/frodo client --socket "$serve_sock" status \
+    | grep -q '"completed":8'
+./target/release/frodo client --socket "$serve_sock" shutdown \
+    | grep -q '"type":"shutdown"'
+wait "$serve_pid"
+test ! -e "$serve_sock"
+./target/release/frodo batch Kalman HT -s all --threads 1 --workers 1 \
+    --ledger-out "$serve_dir/batch-ledger.ndjson" >/dev/null
+./target/release/frodo obs diff "$serve_dir/batch-ledger.ndjson" \
+    "$serve_dir/serve-ledger.ndjson" --fail-over 0
+rm -rf "$serve_dir"
+
 # the SARIF rendering keeps the minimal schema code-scanning UIs need
 sarif_out="$(mktemp)"
 ./target/release/frodo lint Kalman --format sarif -o "$sarif_out"

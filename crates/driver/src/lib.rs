@@ -59,10 +59,11 @@
 #![warn(missing_docs)]
 
 mod cache;
-mod pool;
+pub mod lifecycle;
 pub mod report;
 
 pub use cache::{CacheStats, CacheStatus};
+pub use lifecycle::{JobPool, JobTicket, PoolConfig, PoolSnapshot, SubmitError};
 pub use report::{BatchReport, CompileReport, JobMetrics, StageTimings};
 
 use cache::{ArtifactCache, CachedArtifact};
@@ -105,6 +106,15 @@ pub struct CompileOptions {
     /// under `verify: true` was verified when it was first compiled; cache
     /// hits do not re-verify.
     pub verify: bool,
+    /// Wall-clock budget for the whole job in milliseconds; `0` means no
+    /// limit. Enforced by the worker pool ([`JobPool`]): an overrunning
+    /// job is abandoned on its runner thread and fails with
+    /// [`JobError::Timeout`], so a hung job never occupies a worker
+    /// forever. Direct [`CompileService::compile`] calls run on the
+    /// calling thread and do not enforce it. Like `intra_threads`, the
+    /// budget never changes the generated C, so it is excluded from the
+    /// artifact cache key.
+    pub timeout_ms: u64,
 }
 
 impl CompileOptions {
@@ -252,6 +262,14 @@ pub enum JobError {
         /// Every finding, in program order.
         diagnostics: Vec<frodo_verify::Diagnostic>,
     },
+    /// The job overran its [`CompileOptions::timeout_ms`] budget and was
+    /// abandoned by the worker pool.
+    Timeout {
+        /// Job display name.
+        job: String,
+        /// The budget that was exceeded.
+        timeout_ms: u64,
+    },
 }
 
 impl JobError {
@@ -261,7 +279,8 @@ impl JobError {
             JobError::Load { job, .. }
             | JobError::Analysis { job, .. }
             | JobError::Panicked { job, .. }
-            | JobError::Verify { job, .. } => job,
+            | JobError::Verify { job, .. }
+            | JobError::Timeout { job, .. } => job,
         }
     }
 
@@ -287,6 +306,9 @@ impl std::fmt::Display for JobError {
                 diagnostics.len(),
                 if diagnostics.len() == 1 { "" } else { "s" }
             ),
+            JobError::Timeout { job, timeout_ms } => {
+                write!(f, "{job}: timed out after {timeout_ms}ms")
+            }
         }
     }
 }
@@ -314,20 +336,29 @@ pub struct ServiceConfig {
     pub cache_dir: Option<PathBuf>,
     /// Disables all caching when `true` (every job compiles from scratch).
     pub no_cache: bool,
+    /// Byte-size cap on each artifact-cache layer (in-memory and on-disk
+    /// independently), sized by emitted code; least-recently-used entries
+    /// are evicted past it. `0` means unbounded.
+    pub cache_cap_bytes: usize,
 }
 
 /// The batch compilation service. Cheap to construct; shareable across
-/// threads (`&self` everywhere).
-#[derive(Debug)]
+/// threads (`&self` everywhere). Cloning is cheap and shares the
+/// artifact cache — that is how [`JobPool`] workers and a daemon's many
+/// connections serve one cache.
+#[derive(Debug, Clone)]
 pub struct CompileService {
     config: ServiceConfig,
-    cache: ArtifactCache,
+    cache: std::sync::Arc<ArtifactCache>,
 }
 
 impl CompileService {
     /// Creates a service from `config`.
     pub fn new(config: ServiceConfig) -> Self {
-        let cache = ArtifactCache::new(config.cache_dir.clone());
+        let cache = std::sync::Arc::new(ArtifactCache::new(
+            config.cache_dir.clone(),
+            config.cache_cap_bytes,
+        ));
         CompileService { config, cache }
     }
 
@@ -393,7 +424,25 @@ impl CompileService {
         } else {
             specs
         };
-        let jobs = pool::run_batch(self, specs, workers, &bt);
+        let jobs: Vec<Result<JobOutput, JobError>> = {
+            let pool = JobPool::start(
+                self,
+                PoolConfig {
+                    workers,
+                    queue_cap: 0,
+                },
+                &bt,
+            );
+            // an unbounded queue admits every job; results come back in
+            // submission order because the tickets are waited in order
+            let tickets: Vec<JobTicket> = specs
+                .into_iter()
+                .map(|s| pool.submit(0, s).expect("unbounded queue admits every job"))
+                .collect();
+            let jobs = tickets.into_iter().map(JobTicket::wait).collect();
+            pool.shutdown();
+            jobs
+        };
         batch_span.end();
         if trace.is_enabled() {
             for job in jobs.iter().flatten() {
@@ -539,7 +588,7 @@ impl CompileService {
 
         let metrics = JobMetrics::from_analysis(&analysis);
         if !self.config.no_cache {
-            self.cache.store(
+            let evicted = self.cache.store(
                 &hex,
                 CachedArtifact {
                     code: code.clone(),
@@ -547,6 +596,11 @@ impl CompileService {
                     metrics,
                 },
             );
+            // conditional so caches without a cap keep ledger counters
+            // byte-identical to pre-eviction runs
+            if evicted > 0 {
+                jt.count("svc_cache_evictions", evicted as u64);
+            }
         }
         job_span.end();
         let timings = StageTimings::for_span(&trace, job_id);

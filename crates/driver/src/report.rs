@@ -285,6 +285,13 @@ impl BatchReport {
             } else {
                 busy_ns as f64 / capacity_ns as f64 * 100.0
             },
+            // cumulative over the service, like `self.cache` itself
+            cache_evictions: self.cache.evictions as u64,
+            job_timeouts: self
+                .jobs
+                .iter()
+                .filter(|j| matches!(j, Err(JobError::Timeout { .. })))
+                .count() as u64,
         });
         Some(entry)
     }

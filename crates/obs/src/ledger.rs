@@ -34,6 +34,12 @@ pub struct ServiceMetrics {
     pub worker_busy_ns: u64,
     /// Worker utilization in percent: busy time over `workers × wall`.
     pub utilization_pct: f64,
+    /// Artifact-cache evictions (memory + disk layers) forced by the
+    /// configured byte-size cap.
+    pub cache_evictions: u64,
+    /// Jobs that exceeded their `timeout_ms` budget and were failed with
+    /// `JobError::Timeout`.
+    pub job_timeouts: u64,
 }
 
 impl ServiceMetrics {
@@ -151,13 +157,16 @@ impl LedgerEntry {
             let _ = write!(
                 out,
                 ",\"svc_cache_hits\":{},\"svc_cache_misses\":{},\"svc_queue_wait_p50_ns\":{},\
-                 \"svc_queue_wait_max_ns\":{},\"svc_worker_busy_ns\":{},\"svc_utilization_pct\":{:.2}",
+                 \"svc_queue_wait_max_ns\":{},\"svc_worker_busy_ns\":{},\"svc_utilization_pct\":{:.2},\
+                 \"svc_cache_evictions\":{},\"svc_job_timeouts\":{}",
                 svc.cache_hits,
                 svc.cache_misses,
                 svc.queue_wait_p50_ns,
                 svc.queue_wait_max_ns,
                 svc.worker_busy_ns,
-                svc.utilization_pct
+                svc.utilization_pct,
+                svc.cache_evictions,
+                svc.job_timeouts
             );
         }
         out.push('}');
@@ -229,6 +238,10 @@ impl LedgerEntry {
                 utilization_pct: get("svc_utilization_pct")
                     .and_then(|v| v.as_num())
                     .unwrap_or(0.0),
+                // introduced after schema-1 entries existed; absent in
+                // old ledgers, so they read back as zero
+                cache_evictions: num("svc_cache_evictions").unwrap_or(0),
+                job_timeouts: num("svc_job_timeouts").unwrap_or(0),
             })
         } else {
             None
@@ -338,6 +351,8 @@ mod tests {
             queue_wait_max_ns: 900,
             worker_busy_ns: 100_000,
             utilization_pct: 81.25,
+            cache_evictions: 2,
+            job_timeouts: 1,
         });
         entry
     }
@@ -365,6 +380,22 @@ mod tests {
         assert_eq!(svc.cache_misses, 1);
         assert_eq!(svc.cache_hit_rate_pct(), 75.0);
         assert!((svc.utilization_pct - 81.25).abs() < 1e-9);
+        assert_eq!(svc.cache_evictions, 2);
+        assert_eq!(svc.job_timeouts, 1);
+    }
+
+    #[test]
+    fn pre_eviction_ledger_lines_read_back_with_zeroes() {
+        // entries written before the eviction/timeout fields existed
+        // lack the two svc keys; they must still parse
+        let line = sample_entry().to_line();
+        let old = line
+            .replace(",\"svc_cache_evictions\":2", "")
+            .replace(",\"svc_job_timeouts\":1", "");
+        let back = LedgerEntry::from_line(&old).expect("parses");
+        let svc = back.svc.expect("svc metrics");
+        assert_eq!(svc.cache_evictions, 0);
+        assert_eq!(svc.job_timeouts, 0);
     }
 
     #[test]

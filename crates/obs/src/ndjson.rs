@@ -1,9 +1,16 @@
-//! A minimal NDJSON reader for the trace export format: enough JSON to
-//! parse the *flat* objects [`crate::Trace::to_ndjson`] emits, so tests
-//! and CI gates can validate exported traces without a JSON crate.
+//! A minimal NDJSON reader and writer for the flat-object wire format:
+//! enough JSON to parse the objects [`crate::Trace::to_ndjson`] emits —
+//! so tests and CI gates can validate exported traces without a JSON
+//! crate — plus [`ObjWriter`], the emitting counterpart used by the perf
+//! ledger and the `frodo serve` request/response protocol so every
+//! producer escapes strings the same way. Parse errors locate the fault
+//! by 1-based line *and* byte offset, because wire documents span many
+//! request/response lines.
 
+use crate::export::json_escape;
 use crate::hist::Histogram;
 use crate::trace::{CounterRecord, SpanRecord, TraceSnapshot};
+use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +67,95 @@ impl Value {
     }
 }
 
+/// Looks a field up in a parsed field list ([`parse_line`]'s output).
+pub fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// The string field named `key`, or `None` when absent or non-string.
+pub fn get_str<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a str> {
+    get(fields, key).and_then(Value::as_str)
+}
+
+/// The numeric field named `key`, or `None` when absent or non-numeric.
+pub fn get_num(fields: &[(String, Value)], key: &str) -> Option<f64> {
+    get(fields, key).and_then(Value::as_num)
+}
+
+/// Builds one flat JSON object line incrementally: the emitting
+/// counterpart of [`parse_line`]. Strings are escaped with the same
+/// rules the parser enforces (all control bytes below `0x20`), so a
+/// written line always parses back. The request/response schema of the
+/// compile daemon and the perf ledger are both built on this writer.
+///
+/// ```
+/// use frodo_obs::ndjson;
+/// let mut w = ndjson::ObjWriter::new();
+/// w.field_str("type", "status").field_num("queue_depth", 3);
+/// let line = w.finish();
+/// assert_eq!(line, "{\"type\":\"status\",\"queue_depth\":3}");
+/// assert!(ndjson::parse_line(&line).is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObjWriter {
+    buf: String,
+}
+
+impl ObjWriter {
+    /// An empty object writer.
+    pub fn new() -> ObjWriter {
+        ObjWriter::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", json_escape(key));
+    }
+
+    /// Appends a string field (value escaped).
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", json_escape(value));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn field_num(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends a signed integer field.
+    pub fn field_int(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends a float field with two decimals (rates, percentages).
+    pub fn field_pct(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{:.2}", if value.is_finite() { value } else { 0.0 });
+        self
+    }
+
+    /// Appends pre-rendered JSON (a nested array or object) verbatim.
+    /// The caller is responsible for its validity.
+    pub fn field_raw(&mut self, key: &str, raw_json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(raw_json);
+        self
+    }
+
+    /// Renders the complete object (no trailing newline).
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
 /// Per-type line counts of a validated NDJSON document.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -91,7 +187,7 @@ pub fn parse_line(line: &str) -> Result<Vec<(String, Value)>, String> {
     let fields = p.object()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(format!("trailing bytes at offset {}", p.pos));
+        return Err(format!("trailing bytes {}", p.at()));
     }
     Ok(fields)
 }
@@ -222,6 +318,15 @@ struct Parser<'a> {
 }
 
 impl Parser<'_> {
+    /// Locates the current position for error messages: the 1-based line
+    /// index (multi-line wire documents make a bare byte offset painful
+    /// to chase) plus the byte offset within the parsed text.
+    fn at(&self) -> String {
+        let pos = self.pos.min(self.bytes.len());
+        let line = 1 + self.bytes[..pos].iter().filter(|&&b| b == b'\n').count();
+        format!("at line {line}, offset {pos}")
+    }
+
     fn skip_ws(&mut self) {
         while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
             self.pos += 1;
@@ -234,10 +339,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected {:?} at offset {}",
-                b as char, self.pos
-            ))
+            Err(format!("expected {:?} {}", b as char, self.at()))
         }
     }
 
@@ -264,7 +366,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(fields);
                 }
-                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                _ => return Err(format!("expected ',' or '}}' {}", self.at())),
             }
         }
     }
@@ -288,7 +390,7 @@ impl Parser<'_> {
                             self.pos += 1;
                             return Ok(Value::Arr(items));
                         }
-                        _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                        _ => return Err(format!("expected ',' or ']' {}", self.at())),
                     }
                 }
             }
@@ -336,8 +438,8 @@ impl Parser<'_> {
                 Some(&b) if b < 0x20 => {
                     // RFC 8259: control characters must be escaped
                     return Err(format!(
-                        "unescaped control byte 0x{b:02x} in string at offset {}",
-                        self.pos
+                        "unescaped control byte 0x{b:02x} in string {}",
+                        self.at()
                     ));
                 }
                 Some(_) => {
@@ -365,7 +467,10 @@ impl Parser<'_> {
         std::str::from_utf8(&self.bytes[start..self.pos])
             .ok()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format!("bad number at offset {start}"))
+            .ok_or_else(|| {
+                let at = Parser { bytes: self.bytes, pos: start }.at();
+                format!("bad number {at}")
+            })
     }
 }
 
@@ -415,6 +520,43 @@ mod tests {
         assert!(parse_line(r#"{"a":}"#).is_err());
         assert!(parse_line(r#"{"a":1} extra"#).is_err());
         assert!(parse_line(r#"{"a":"unterminated}"#).is_err());
+    }
+
+    #[test]
+    fn errors_locate_the_fault_by_line_and_offset() {
+        // single-line wire request: line 1, with the byte offset
+        let err = parse_line(r#"{"type":"compile","threads":x}"#).unwrap_err();
+        assert!(err.contains("at line 1, offset 28"), "{err}");
+        // a fault inside a multi-line document names the faulty line —
+        // line 3 here, where the bad value sits
+        let err = parse_line("{\n  \"a\": 1,\n  \"b\": ?\n}").unwrap_err();
+        assert!(err.contains("at line 3"), "{err}");
+        let err = parse_line("{\n  \"a\": [1,\n 2\n").unwrap_err();
+        assert!(err.contains("at line 3, offset 15"), "{err}");
+    }
+
+    #[test]
+    fn obj_writer_output_parses_back() {
+        let mut w = ObjWriter::new();
+        w.field_str("type", "result")
+            .field_str("job", "a \"b\"\nc")
+            .field_num("code_bytes", 123)
+            .field_int("delta", -4)
+            .field_pct("hit_rate", 66.666)
+            .field_raw("diags", r#"[{"code":"F001"}]"#);
+        let line = w.finish();
+        assert!(!line.contains('\n'));
+        let fields = parse_line(&line).unwrap();
+        assert_eq!(get_str(&fields, "type"), Some("result"));
+        assert_eq!(get_str(&fields, "job"), Some("a \"b\"\nc"));
+        assert_eq!(get_num(&fields, "code_bytes"), Some(123.0));
+        assert_eq!(get_num(&fields, "delta"), Some(-4.0));
+        assert_eq!(get_num(&fields, "hit_rate"), Some(66.67));
+        let diags = get(&fields, "diags").unwrap().as_arr().unwrap();
+        assert_eq!(diags[0].field("code"), Some(&Value::Str("F001".into())));
+        assert_eq!(get_str(&fields, "missing"), None);
+        // empty object is valid too
+        assert_eq!(ObjWriter::new().finish(), "{}");
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! The `frodo serve` and `frodo client` verb implementations, called
+//! from the binary's dispatcher.
+
+use crate::client::{self, Client, Endpoint};
+use crate::proto::RequestOptions;
+use crate::server::{Server, ServerConfig};
+use frodo_core::{RangeEngine, RangeOptions};
+use frodo_obs::ndjson;
+use std::path::Path;
+
+/// The default unix socket, next to the default ledger.
+pub const DEFAULT_SOCKET: &str = ".frodo/serve.sock";
+
+fn flag_value<'a>(args: &'a [String], names: &[&str]) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| names.contains(&w[0].as_str()))
+        .map(|w| w[1].as_str())
+}
+
+fn positionals<'a>(args: &'a [String], value_flags: &[&str], bool_flags: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for arg in args {
+        if skip {
+            skip = false;
+        } else if value_flags.contains(&arg.as_str()) {
+            skip = true;
+        } else if !bool_flags.contains(&arg.as_str()) {
+            out.push(arg.as_str());
+        }
+    }
+    out
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], names: &[&str], what: &str) -> Result<Option<T>, String> {
+    flag_value(args, names)
+        .map(|s| s.parse().map_err(|_| format!("bad {what}")))
+        .transpose()
+}
+
+/// Resolves `--socket PATH` / `--tcp ADDR` (mutually exclusive; the unix
+/// socket at [`DEFAULT_SOCKET`] otherwise).
+fn endpoint(args: &[String]) -> Result<Endpoint, String> {
+    match (flag_value(args, &["--socket"]), flag_value(args, &["--tcp"])) {
+        (Some(_), Some(_)) => Err("--socket and --tcp are mutually exclusive".into()),
+        (Some(path), None) => Ok(Endpoint::Unix(path.into())),
+        (None, Some(addr)) => Ok(Endpoint::Tcp(addr.to_string())),
+        (None, None) => Ok(Endpoint::Unix(DEFAULT_SOCKET.into())),
+    }
+}
+
+/// `frodo serve`: run the daemon in the foreground until a client sends
+/// `shutdown`.
+pub fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let ledger_out = if let Some(path) = flag_value(args, &["--ledger-out"]) {
+        Some(path.into())
+    } else {
+        args.iter()
+            .any(|a| a == "--ledger")
+            .then(|| Path::new(".frodo").join("ledger.ndjson"))
+    };
+    let config = ServerConfig {
+        endpoint: endpoint(args)?,
+        workers: parse_num(args, &["--workers", "-j"], "--workers")?.unwrap_or(0),
+        queue_cap: parse_num(args, &["--queue-cap"], "--queue-cap")?.unwrap_or(256),
+        cache_dir: flag_value(args, &["--cache-dir"]).map(Into::into),
+        cache_cap_bytes: parse_num(args, &["--cache-cap"], "--cache-cap")?.unwrap_or(0),
+        ledger_out,
+    };
+    let server = Server::start(config)?;
+    eprintln!("frodo serve: listening on {}", server.endpoint());
+    server.wait();
+    eprintln!("frodo serve: stopped");
+    Ok(())
+}
+
+/// `frodo client`: one request against a running daemon.
+pub fn cmd_client(args: &[String]) -> Result<(), String> {
+    let value_flags = [
+        "--socket", "--tcp", "-s", "--style", "--styles", "--threads", "-t", "--engine",
+        "--timeout", "--client", "--retries", "-o", "--output",
+    ];
+    let bool_flags = ["--verify", "--trace"];
+    let pos = positionals(args, &value_flags, &bool_flags);
+    let kind = *pos.first().ok_or(
+        "client: missing request kind (compile|lint|batch|status|shutdown)",
+    )?;
+    let mut conn = Client::connect(&endpoint(args)?)?;
+    let options = request_options(args)?;
+    let client_id = parse_num(args, &["--client"], "--client")?;
+    let retries: u32 = parse_num(args, &["--retries"], "--retries")?.unwrap_or(100);
+    let output = flag_value(args, &["-o", "--output"]);
+    match kind {
+        "compile" => {
+            let model = *pos.get(1).ok_or("client compile: missing model")?;
+            let style = flag_value(args, &["-s", "--style"]);
+            let line = client::compile_request(model, style, &options, client_id);
+            let response = conn.request_with_retry(&line, retries)?;
+            handle_result_line(&response, output)
+        }
+        "lint" => {
+            let model = *pos.get(1).ok_or("client lint: missing model")?;
+            let response = conn.request_one(&client::simple_request("lint", Some(model)))?;
+            println!("{response}");
+            let fields = ndjson::parse_line(&response)?;
+            expect_ok(&fields)
+        }
+        "batch" => {
+            let models = &pos[1..];
+            if models.is_empty() {
+                return Err("client batch: no models given".into());
+            }
+            let styles = flag_value(args, &["-s", "--style", "--styles"]);
+            let line = client::batch_request(models, styles, &options, client_id);
+            let responses = conn.request_batch(&line)?;
+            handle_batch_lines(&responses, output)
+        }
+        "status" => {
+            let response = conn.request_one(&client::simple_request("status", None))?;
+            println!("{response}");
+            Ok(())
+        }
+        "shutdown" => {
+            let response = conn.request_one(&client::simple_request("shutdown", None))?;
+            println!("{response}");
+            Ok(())
+        }
+        other => Err(format!(
+            "client: unknown request kind '{other}' (expected compile|lint|batch|status|shutdown)"
+        )),
+    }
+}
+
+fn request_options(args: &[String]) -> Result<RequestOptions, String> {
+    let engine = match flag_value(args, &["--engine"]) {
+        None | Some("recursive") => RangeEngine::Recursive,
+        Some("iterative") => RangeEngine::Iterative,
+        Some("parallel") => RangeEngine::Parallel,
+        Some(other) => {
+            return Err(format!(
+                "unknown engine '{other}' (expected recursive|iterative|parallel)"
+            ))
+        }
+    };
+    Ok(RequestOptions {
+        threads: parse_num(args, &["--threads", "-t"], "--threads")?.unwrap_or(0),
+        range: RangeOptions {
+            engine,
+            ..RangeOptions::default()
+        },
+        verify: args.iter().any(|a| a == "--verify"),
+        trace: args.iter().any(|a| a == "--trace"),
+        timeout_ms: parse_num(args, &["--timeout"], "--timeout")?.unwrap_or(0),
+    })
+}
+
+/// Unpacks a single `result` line: code to `-o` (or stdout), a summary
+/// to stderr; failures become the exit error.
+fn handle_result_line(line: &str, output: Option<&str>) -> Result<(), String> {
+    let fields = ndjson::parse_line(line)?;
+    match ndjson::get_str(&fields, "type") {
+        Some("result") => {}
+        Some("draining") => return Err("daemon is draining; resubmit later".into()),
+        _ => return Err(response_error(&fields)),
+    }
+    expect_ok(&fields)?;
+    let code = ndjson::get_str(&fields, "code").unwrap_or_default();
+    match output {
+        Some(path) => std::fs::write(path, code).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{code}"),
+    }
+    eprintln!(
+        "{} [{}] cache={} {} bytes",
+        ndjson::get_str(&fields, "job").unwrap_or("?"),
+        ndjson::get_str(&fields, "style").unwrap_or("?"),
+        ndjson::get_str(&fields, "cache").unwrap_or("?"),
+        ndjson::get_num(&fields, "code_bytes").unwrap_or(0.0) as u64,
+    );
+    Ok(())
+}
+
+/// Unpacks a batch's `result` stream: code files into `-o DIR` (named
+/// like `frodo batch -o`), per-job summaries to stderr.
+fn handle_batch_lines(lines: &[String], output: Option<&str>) -> Result<(), String> {
+    if let Some(dir) = output {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    }
+    let mut failures = Vec::new();
+    for line in lines {
+        let fields = ndjson::parse_line(line)?;
+        match ndjson::get_str(&fields, "type") {
+            Some("result") => {
+                let job = ndjson::get_str(&fields, "job").unwrap_or("?");
+                if ndjson::get_num(&fields, "ok") == Some(1.0) {
+                    let style = ndjson::get_str(&fields, "style").unwrap_or("?");
+                    eprintln!(
+                        "{job} [{style}] cache={} {} bytes",
+                        ndjson::get_str(&fields, "cache").unwrap_or("?"),
+                        ndjson::get_num(&fields, "code_bytes").unwrap_or(0.0) as u64,
+                    );
+                    if let Some(dir) = output {
+                        let file = format!(
+                            "{dir}/{}_{}.c",
+                            job.replace(['/', '\\'], "_"),
+                            style.to_ascii_lowercase()
+                        );
+                        let code = ndjson::get_str(&fields, "code").unwrap_or_default();
+                        std::fs::write(&file, code).map_err(|e| format!("{file}: {e}"))?;
+                    }
+                } else {
+                    failures.push(format!(
+                        "{job}: {}",
+                        ndjson::get_str(&fields, "error").unwrap_or("failed")
+                    ));
+                }
+            }
+            Some("batch-done") => {
+                let rejected = ndjson::get_num(&fields, "rejected").unwrap_or(0.0) as u64;
+                eprintln!(
+                    "batch: {} jobs, {} ok, {} failed, {rejected} rejected",
+                    ndjson::get_num(&fields, "jobs").unwrap_or(0.0) as u64,
+                    ndjson::get_num(&fields, "ok").unwrap_or(0.0) as u64,
+                    ndjson::get_num(&fields, "failed").unwrap_or(0.0) as u64,
+                );
+                if rejected > 0 {
+                    failures.push(format!("{rejected} jobs rejected by admission control"));
+                }
+            }
+            Some("busy") => failures.push("daemon busy; retry later".into()),
+            Some("draining") => failures.push("daemon is draining".into()),
+            _ => return Err(response_error(&fields)),
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn expect_ok(fields: &[(String, ndjson::Value)]) -> Result<(), String> {
+    if ndjson::get_num(fields, "ok") == Some(1.0) {
+        Ok(())
+    } else {
+        Err(response_error(fields))
+    }
+}
+
+fn response_error(fields: &[(String, ndjson::Value)]) -> String {
+    ndjson::get_str(fields, "error")
+        .or_else(|| ndjson::get_str(fields, "message"))
+        .unwrap_or("request failed")
+        .to_string()
+}

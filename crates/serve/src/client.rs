@@ -1,0 +1,293 @@
+//! The client side: connection plumbing (shared with the server) and a
+//! line-oriented request/response driver with backpressure-aware retry.
+
+use crate::proto;
+use frodo_obs::ndjson;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A unix-domain socket at this path (the default transport).
+    Unix(PathBuf),
+    /// A TCP address (`host:port`), behind the `--tcp` flag.
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// One accepted or dialed connection, over either transport.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub(crate) fn connect(endpoint: &Endpoint) -> std::io::Result<Stream> {
+        match endpoint {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Stream::Tcp),
+        }
+    }
+
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected client. One request at a time per connection; the daemon
+/// answers each request with one line, except `batch`, which streams one
+/// `result` line per job and terminates with `batch-done`.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Dials the daemon.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client, String> {
+        let stream =
+            Stream::connect(endpoint).map_err(|e| format!("cannot reach {endpoint}: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone connection: {e}"))?,
+        );
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line verbatim (the newline is added here).
+    pub fn send(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    /// Reads one response line; `None` when the daemon closed the
+    /// connection.
+    pub fn read_line(&mut self) -> Result<Option<String>, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Ok(None),
+            Ok(_) => Ok(Some(line.trim_end_matches('\n').to_string())),
+            Err(e) => Err(format!("read failed: {e}")),
+        }
+    }
+
+    /// Sends a single-response request (`compile`, `lint`, `status`,
+    /// `shutdown`) and returns the daemon's one line.
+    pub fn request_one(&mut self, line: &str) -> Result<String, String> {
+        self.send(line)?;
+        self.read_line()?
+            .ok_or_else(|| "daemon closed the connection".to_string())
+    }
+
+    /// Sends a `batch` request and collects every line through the
+    /// terminator (`batch-done`, or a `busy`/`draining`/`error` line).
+    pub fn request_batch(&mut self, line: &str) -> Result<Vec<String>, String> {
+        self.send(line)?;
+        let mut lines = Vec::new();
+        loop {
+            let Some(response) = self.read_line()? else {
+                return Err("daemon closed the connection mid-batch".to_string());
+            };
+            let done = response_type(&response)? != "result";
+            lines.push(response);
+            if done {
+                return Ok(lines);
+            }
+        }
+    }
+
+    /// Like [`Self::request_one`], but on a `busy` response honors the
+    /// daemon's `retry_after_ms` hint and resends, up to `max_retries`
+    /// times. Returns the first non-busy response.
+    pub fn request_with_retry(&mut self, line: &str, max_retries: u32) -> Result<String, String> {
+        for _ in 0..max_retries {
+            let response = self.request_one(line)?;
+            if response_type(&response)? != "busy" {
+                return Ok(response);
+            }
+            let fields = ndjson::parse_line(&response)?;
+            let backoff = ndjson::get_num(&fields, "retry_after_ms").unwrap_or(25.0) as u64;
+            std::thread::sleep(Duration::from_millis(backoff.max(1)));
+        }
+        Err(format!("still busy after {max_retries} retries"))
+    }
+}
+
+/// The `"type"` of a response line.
+pub fn response_type(line: &str) -> Result<String, String> {
+    let fields = ndjson::parse_line(line)?;
+    ndjson::get_str(&fields, "type")
+        .map(str::to_string)
+        .ok_or_else(|| "response has no \"type\" field".to_string())
+}
+
+/// Builds a `compile` request line from CLI-level parts.
+pub fn compile_request(
+    model: &str,
+    style: Option<&str>,
+    options: &proto::RequestOptions,
+    client: Option<u64>,
+) -> String {
+    let mut w = ndjson::ObjWriter::new();
+    w.field_str("type", "compile").field_str("model", model);
+    if let Some(style) = style {
+        w.field_str("style", style);
+    }
+    write_options(&mut w, options, client);
+    w.finish()
+}
+
+/// Builds a `batch` request line from CLI-level parts.
+pub fn batch_request(
+    models: &[&str],
+    styles: Option<&str>,
+    options: &proto::RequestOptions,
+    client: Option<u64>,
+) -> String {
+    let items: Vec<String> = models
+        .iter()
+        .map(|m| format!("\"{}\"", frodo_obs::json_escape(m)))
+        .collect();
+    let mut w = ndjson::ObjWriter::new();
+    w.field_str("type", "batch")
+        .field_raw("models", &format!("[{}]", items.join(",")));
+    if let Some(styles) = styles {
+        w.field_str("styles", styles);
+    }
+    write_options(&mut w, options, client);
+    w.finish()
+}
+
+/// Builds a bare request line (`lint` takes a model; `status` and
+/// `shutdown` take nothing).
+pub fn simple_request(kind: &str, model: Option<&str>) -> String {
+    let mut w = ndjson::ObjWriter::new();
+    w.field_str("type", kind);
+    if let Some(model) = model {
+        w.field_str("model", model);
+    }
+    w.finish()
+}
+
+fn write_options(w: &mut ndjson::ObjWriter, options: &proto::RequestOptions, client: Option<u64>) {
+    if options.threads > 0 {
+        w.field_num("threads", options.threads as u64);
+    }
+    match options.range.engine {
+        frodo_core::RangeEngine::Recursive => {}
+        frodo_core::RangeEngine::Iterative => {
+            w.field_str("engine", "iterative");
+        }
+        frodo_core::RangeEngine::Parallel => {
+            w.field_str("engine", "parallel");
+        }
+    }
+    if options.verify {
+        w.field_num("verify", 1);
+    }
+    if options.trace {
+        w.field_num("trace", 1);
+    }
+    if options.timeout_ms > 0 {
+        w.field_num("timeout_ms", options.timeout_ms);
+    }
+    if let Some(client) = client {
+        w.field_num("client", client);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{parse_request, Request};
+
+    #[test]
+    fn built_requests_parse_back() {
+        let opts = proto::RequestOptions {
+            threads: 1,
+            verify: true,
+            timeout_ms: 250,
+            ..Default::default()
+        };
+        let line = compile_request("models/a b.mdl", Some("hcg"), &opts, Some(3));
+        match parse_request(&line).unwrap() {
+            Request::Compile {
+                model,
+                style,
+                options,
+                client,
+            } => {
+                assert_eq!(model, "models/a b.mdl");
+                assert_eq!(style, frodo_codegen::GeneratorStyle::Hcg);
+                assert_eq!(options.threads, 1);
+                assert!(options.verify);
+                assert_eq!(options.timeout_ms, 250);
+                assert_eq!(client, Some(3));
+            }
+            other => panic!("expected compile, got {other:?}"),
+        }
+
+        let line = batch_request(&["Kalman", "x\"y.mdl"], Some("all"), &Default::default(), None);
+        match parse_request(&line).unwrap() {
+            Request::Batch { models, styles, .. } => {
+                assert_eq!(models, ["Kalman", "x\"y.mdl"]);
+                assert_eq!(styles.len(), 4);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+
+        assert!(matches!(
+            parse_request(&simple_request("status", None)).unwrap(),
+            Request::Status
+        ));
+    }
+}

@@ -1,0 +1,465 @@
+//! The NDJSON wire protocol.
+//!
+//! One flat JSON object per line, in both directions, parsed and written
+//! with [`frodo_obs::ndjson`] — the same format the trace exporter and
+//! perf ledger speak, so one parser serves the whole workspace. The
+//! hand-rolled parser has no boolean literals; **flags travel as `0`/`1`
+//! numbers** (`"verify":1`).
+//!
+//! Request kinds (`"type"`):
+//!
+//! | type | fields |
+//! |------|--------|
+//! | `compile` | `model`, optional `style`, `threads`, `engine`, `verify`, `trace`, `timeout_ms`, `client` |
+//! | `lint` | `model` |
+//! | `batch` | `models` (array), optional `styles` (comma list or `all`), plus the `compile` options |
+//! | `status` | — |
+//! | `shutdown` | — |
+//!
+//! `model` is a `.slx`/`.mdl` path (resolved server-side) or a bundled
+//! Table-1 benchmark name. `client` names the fairness bucket submissions
+//! queue under; connections without one get a per-connection bucket.
+//!
+//! Response kinds: `result` (one per job; `ok` 0/1), `lint-result`,
+//! `batch-done` (terminator after a batch's `result` lines), `status`,
+//! `busy` (admission backpressure, with `retry_after_ms`), `draining`,
+//! `shutdown` (the final ack), and `error` (malformed request).
+
+use frodo_codegen::GeneratorStyle;
+use frodo_core::{RangeEngine, RangeOptions};
+use frodo_driver::{CacheStats, CompileOptions, JobError, JobOutput, PoolSnapshot};
+use frodo_obs::ndjson::{self, ObjWriter, Value};
+
+/// Per-request compile options — the CLI surface, carried on the wire.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOptions {
+    /// Intra-model thread budget (`threads`); `0` = auto.
+    pub threads: usize,
+    /// Range-determination options (`engine`).
+    pub range: RangeOptions,
+    /// Run the range-soundness checker (`verify`, as 0/1).
+    pub verify: bool,
+    /// Include per-stage timings in each `result` line (`trace`, as 0/1).
+    pub trace: bool,
+    /// Per-job wall-clock budget in milliseconds (`timeout_ms`); `0` = none.
+    pub timeout_ms: u64,
+}
+
+impl RequestOptions {
+    /// Lowers the wire options onto the driver's option set.
+    pub fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            intra_threads: self.threads,
+            range: self.range,
+            verify: self.verify,
+            timeout_ms: self.timeout_ms,
+            ..CompileOptions::default()
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// Compile one model.
+    Compile {
+        /// Model path or benchmark name.
+        model: String,
+        /// Generator style (defaults to `frodo`).
+        style: GeneratorStyle,
+        /// Compile options.
+        options: RequestOptions,
+        /// Fairness bucket, when the client names one.
+        client: Option<u64>,
+    },
+    /// Lint one model (static diagnostics; runs inline, never queued).
+    Lint {
+        /// Model path or benchmark name.
+        model: String,
+    },
+    /// Compile a models × styles grid.
+    Batch {
+        /// Model paths or benchmark names.
+        models: Vec<String>,
+        /// Generator styles (defaults to `frodo` only).
+        styles: Vec<GeneratorStyle>,
+        /// Compile options, shared by every job.
+        options: RequestOptions,
+        /// Fairness bucket, when the client names one.
+        client: Option<u64>,
+    },
+    /// Report queue, cache, and worker metrics.
+    Status,
+    /// Drain in-flight jobs, flush the final ledger entry, and stop.
+    Shutdown,
+}
+
+/// Parses a generator style label (`simulink|dfsynth|hcg|frodo`).
+pub fn parse_style(s: &str) -> Result<GeneratorStyle, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "simulink" => Ok(GeneratorStyle::SimulinkCoder),
+        "dfsynth" => Ok(GeneratorStyle::DfSynth),
+        "hcg" => Ok(GeneratorStyle::Hcg),
+        "frodo" => Ok(GeneratorStyle::Frodo),
+        other => Err(format!(
+            "unknown style '{other}' (expected simulink|dfsynth|hcg|frodo)"
+        )),
+    }
+}
+
+/// Parses a `styles` list: a comma-separated label list or `all`.
+pub fn parse_styles(s: &str) -> Result<Vec<GeneratorStyle>, String> {
+    if s == "all" {
+        return Ok(GeneratorStyle::ALL.to_vec());
+    }
+    s.split(',').map(parse_style).collect()
+}
+
+fn options_from(fields: &[(String, Value)]) -> Result<RequestOptions, String> {
+    let engine = match ndjson::get_str(fields, "engine") {
+        None | Some("recursive") => RangeEngine::Recursive,
+        Some("iterative") => RangeEngine::Iterative,
+        Some("parallel") => RangeEngine::Parallel,
+        Some(other) => {
+            return Err(format!(
+                "unknown engine '{other}' (expected recursive|iterative|parallel)"
+            ))
+        }
+    };
+    let num = |key: &str| ndjson::get_num(fields, key).unwrap_or(0.0);
+    Ok(RequestOptions {
+        threads: num("threads") as usize,
+        range: RangeOptions {
+            engine,
+            ..RangeOptions::default()
+        },
+        verify: num("verify") != 0.0,
+        trace: num("trace") != 0.0,
+        timeout_ms: num("timeout_ms") as u64,
+    })
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let fields = ndjson::parse_line(line)?;
+    let typ = ndjson::get_str(&fields, "type").ok_or("request has no \"type\" field")?;
+    let model = || -> Result<String, String> {
+        ndjson::get_str(&fields, "model")
+            .map(str::to_string)
+            .ok_or_else(|| format!("{typ} request has no \"model\" field"))
+    };
+    let client = ndjson::get_num(&fields, "client").map(|n| n as u64);
+    match typ {
+        "compile" => Ok(Request::Compile {
+            model: model()?,
+            style: match ndjson::get_str(&fields, "style") {
+                Some(s) => parse_style(s)?,
+                None => GeneratorStyle::Frodo,
+            },
+            options: options_from(&fields)?,
+            client,
+        }),
+        "lint" => Ok(Request::Lint { model: model()? }),
+        "batch" => {
+            let models: Vec<String> = ndjson::get(&fields, "models")
+                .and_then(Value::as_arr)
+                .ok_or("batch request has no \"models\" array")?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "\"models\" entries must be strings".to_string())
+                })
+                .collect::<Result<_, _>>()?;
+            if models.is_empty() {
+                return Err("batch request has an empty \"models\" array".into());
+            }
+            Ok(Request::Batch {
+                models,
+                styles: match ndjson::get_str(&fields, "styles") {
+                    Some(s) => parse_styles(s)?,
+                    None => vec![GeneratorStyle::Frodo],
+                },
+                options: options_from(&fields)?,
+                client,
+            })
+        }
+        "status" => Ok(Request::Status),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown request type '{other}'")),
+    }
+}
+
+/// Renders a completed job. `code` rides along so clients can write the
+/// artifact without a second round trip; `stages` only when the request
+/// asked for per-stage timings (`"trace":1`).
+pub fn render_result(out: &JobOutput, with_stages: bool) -> String {
+    let r = &out.report;
+    let mut w = ObjWriter::new();
+    w.field_str("type", "result")
+        .field_num("ok", 1)
+        .field_str("job", &r.job)
+        .field_str("style", r.style.label())
+        .field_str("cache", r.cache.label())
+        .field_str("digest", &r.digest.to_string())
+        .field_num("blocks", r.metrics.blocks as u64)
+        .field_num("optimizable", r.metrics.optimizable_blocks as u64)
+        .field_num("elements", r.metrics.total_elements as u64)
+        .field_num("eliminated", r.metrics.eliminated_elements as u64)
+        .field_num("code_bytes", r.code_bytes as u64);
+    if with_stages {
+        let mut stages = ObjWriter::new();
+        for (name, d) in r.timings.rows() {
+            stages.field_num(name, d.as_nanos() as u64);
+        }
+        stages.field_num("total", r.timings.total().as_nanos() as u64);
+        w.field_raw("stages", &stages.finish());
+    }
+    w.field_str("code", &out.code);
+    w.finish()
+}
+
+/// Renders a failed job as an `ok:0` result.
+pub fn render_job_error(err: &JobError) -> String {
+    let mut w = ObjWriter::new();
+    w.field_str("type", "result")
+        .field_num("ok", 0)
+        .field_str("job", err.job())
+        .field_str("error", &err.to_string());
+    if matches!(err, JobError::Timeout { .. }) {
+        w.field_num("timeout", 1);
+    }
+    let diags = err.diagnostics();
+    if !diags.is_empty() {
+        w.field_raw("diags", &render_diags(diags));
+    }
+    w.finish()
+}
+
+/// Renders lint findings for one model.
+pub fn render_lint(model: &str, diags: &[frodo_verify::Diagnostic]) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == frodo_verify::Severity::Error)
+        .count();
+    let mut w = ObjWriter::new();
+    w.field_str("type", "lint-result")
+        .field_num("ok", u64::from(errors == 0))
+        .field_str("model", model)
+        .field_num("findings", diags.len() as u64)
+        .field_num("errors", errors as u64)
+        .field_raw("diags", &render_diags(diags));
+    w.finish()
+}
+
+fn render_diags(diags: &[frodo_verify::Diagnostic]) -> String {
+    let items: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            let mut w = ObjWriter::new();
+            w.field_str("code", d.code)
+                .field_str("severity", &d.severity.to_string())
+                .field_str("message", &d.message);
+            if let Some(b) = &d.block {
+                w.field_str("block", b);
+            }
+            if let Some(l) = &d.location {
+                w.field_str("location", l);
+            }
+            w.finish()
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Renders the backpressure response for a full admission queue.
+pub fn render_busy(queued: usize, retry_after_ms: u64) -> String {
+    let mut w = ObjWriter::new();
+    w.field_str("type", "busy")
+        .field_num("ok", 0)
+        .field_num("queued", queued as u64)
+        .field_num("retry_after_ms", retry_after_ms);
+    w.finish()
+}
+
+/// Renders the rejection sent while the server drains.
+pub fn render_draining() -> String {
+    let mut w = ObjWriter::new();
+    w.field_str("type", "draining").field_num("ok", 0);
+    w.finish()
+}
+
+/// Renders a request-level error (parse failure, unknown model, …).
+pub fn render_error(message: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.field_str("type", "error")
+        .field_num("ok", 0)
+        .field_str("message", message);
+    w.finish()
+}
+
+/// Renders the terminator after a batch's `result` lines. `rejected`
+/// counts jobs the admission queue turned away (resubmit those).
+pub fn render_batch_done(jobs: usize, ok: usize, failed: usize, rejected: usize) -> String {
+    let mut w = ObjWriter::new();
+    w.field_str("type", "batch-done")
+        .field_num("jobs", jobs as u64)
+        .field_num("ok", ok as u64)
+        .field_num("failed", failed as u64)
+        .field_num("rejected", rejected as u64);
+    w.finish()
+}
+
+/// Renders the live metrics line: queue, cache, and worker state.
+pub fn render_status(
+    pool: &PoolSnapshot,
+    cache: &CacheStats,
+    uptime_ms: u64,
+    jobs_ok: u64,
+    jobs_failed: u64,
+) -> String {
+    let lookups = cache.hits + cache.misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        cache.hits as f64 / lookups as f64 * 100.0
+    };
+    let capacity_ns = (uptime_ms as u128) * 1_000_000 * pool.workers as u128;
+    let utilization = if capacity_ns == 0 {
+        0.0
+    } else {
+        pool.busy_ns as f64 / capacity_ns as f64 * 100.0
+    };
+    let mut w = ObjWriter::new();
+    w.field_str("type", "status")
+        .field_num("ok", 1)
+        .field_num("uptime_ms", uptime_ms)
+        .field_num("workers", pool.workers as u64)
+        .field_num("queue_depth", pool.queue_depth as u64)
+        .field_num("in_flight", pool.in_flight as u64)
+        .field_num("submitted", pool.submitted)
+        .field_num("completed", pool.completed)
+        .field_num("rejected", pool.rejected)
+        .field_num("timeouts", pool.timeouts)
+        .field_num("jobs_ok", jobs_ok)
+        .field_num("jobs_failed", jobs_failed)
+        .field_num("draining", u64::from(pool.draining))
+        .field_pct("utilization_pct", utilization)
+        .field_num("cache_hits", cache.hits as u64)
+        .field_num("cache_misses", cache.misses as u64)
+        .field_pct("cache_hit_rate_pct", hit_rate)
+        .field_num("cache_entries", cache.entries as u64)
+        .field_num("cache_bytes", cache.bytes as u64)
+        .field_num("cache_evictions", cache.evictions as u64);
+    w.finish()
+}
+
+/// Renders the shutdown ack: sent after the drain completes, immediately
+/// before the listener goes away.
+pub fn render_shutdown_ack(completed: u64, ledger: Option<&str>) -> String {
+    let mut w = ObjWriter::new();
+    w.field_str("type", "shutdown")
+        .field_num("ok", 1)
+        .field_num("completed", completed);
+    if let Some(path) = ledger {
+        w.field_str("ledger", path);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_covers_every_kind() {
+        let r = parse_request(
+            r#"{"type":"compile","model":"Kalman","style":"hcg","threads":2,"engine":"iterative","verify":1,"timeout_ms":500,"client":7}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Compile {
+                model,
+                style,
+                options,
+                client,
+            } => {
+                assert_eq!(model, "Kalman");
+                assert_eq!(style, GeneratorStyle::Hcg);
+                assert_eq!(options.threads, 2);
+                assert_eq!(options.range.engine, RangeEngine::Iterative);
+                assert!(options.verify);
+                assert!(!options.trace);
+                assert_eq!(options.timeout_ms, 500);
+                assert_eq!(client, Some(7));
+                let co = options.compile_options();
+                assert_eq!(co.intra_threads, 2);
+                assert_eq!(co.timeout_ms, 500);
+            }
+            other => panic!("expected compile, got {other:?}"),
+        }
+
+        let r = parse_request(r#"{"type":"batch","models":["a.mdl","Kalman"],"styles":"frodo,hcg"}"#)
+            .unwrap();
+        match r {
+            Request::Batch { models, styles, .. } => {
+                assert_eq!(models, ["a.mdl", "Kalman"]);
+                assert_eq!(styles, [GeneratorStyle::Frodo, GeneratorStyle::Hcg]);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+
+        assert!(matches!(
+            parse_request(r#"{"type":"lint","model":"m.slx"}"#).unwrap(),
+            Request::Lint { .. }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"type":"status"}"#).unwrap(),
+            Request::Status
+        ));
+        assert!(matches!(
+            parse_request(r#"{"type":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_name_the_fault() {
+        assert!(parse_request(r#"{"model":"x"}"#).unwrap_err().contains("type"));
+        assert!(parse_request(r#"{"type":"dance"}"#)
+            .unwrap_err()
+            .contains("unknown request type"));
+        assert!(parse_request(r#"{"type":"batch","models":[]}"#)
+            .unwrap_err()
+            .contains("empty"));
+        assert!(parse_request(r#"{"type":"compile","model":"x","engine":"warp"}"#)
+            .unwrap_err()
+            .contains("unknown engine"));
+        // parse errors carry the line/offset locator from frodo-obs
+        assert!(parse_request(r#"{"type":"compile","threads":x}"#)
+            .unwrap_err()
+            .contains("at line 1"));
+    }
+
+    #[test]
+    fn response_lines_parse_back_as_flat_ndjson() {
+        let busy = render_busy(12, 75);
+        let fields = ndjson::parse_line(&busy).unwrap();
+        assert_eq!(ndjson::get_str(&fields, "type"), Some("busy"));
+        assert_eq!(ndjson::get_num(&fields, "retry_after_ms"), Some(75.0));
+
+        let done = render_batch_done(4, 3, 1, 0);
+        let fields = ndjson::parse_line(&done).unwrap();
+        assert_eq!(ndjson::get_num(&fields, "jobs"), Some(4.0));
+
+        let status = render_status(&PoolSnapshot::default(), &CacheStats::default(), 0, 0, 0);
+        let fields = ndjson::parse_line(&status).unwrap();
+        assert_eq!(ndjson::get_str(&fields, "type"), Some("status"));
+        assert_eq!(ndjson::get_num(&fields, "queue_depth"), Some(0.0));
+
+        let ack = render_shutdown_ack(9, Some(".frodo/ledger.ndjson"));
+        let fields = ndjson::parse_line(&ack).unwrap();
+        assert_eq!(ndjson::get_num(&fields, "completed"), Some(9.0));
+        assert_eq!(ndjson::get_str(&fields, "ledger"), Some(".frodo/ledger.ndjson"));
+    }
+}

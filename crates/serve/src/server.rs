@@ -1,0 +1,442 @@
+//! The daemon: listener, per-connection handlers, and the request
+//! dispatch onto the shared [`JobPool`].
+//!
+//! One accept thread takes connections off the unix (or TCP) listener
+//! and hands each to its own handler thread; handlers parse NDJSON
+//! request lines and answer on the same connection. All compile work
+//! funnels through one [`JobPool`] over one [`CompileService`], so every
+//! connection shares the artifact cache, the admission queue, and the
+//! fairness ring. Jobs record into one server-wide [`Trace`] — the
+//! `status` endpoint and the final ledger entry are projections of it.
+//!
+//! Shutdown (the `shutdown` request) drains the pool — in-flight and
+//! queued jobs complete, new submissions are rejected with `draining` —
+//! flushes a final [`LedgerEntry`] when the server was started with a
+//! ledger path, acks the requester, and then stops the accept loop by
+//! dialing itself awake.
+
+use crate::client::{Endpoint, Stream};
+use crate::proto::{self, Request};
+use frodo_driver::{
+    CompileService, JobPool, JobSpec, JobTicket, PoolConfig, ServiceConfig, SubmitError,
+};
+use frodo_model::Model;
+use frodo_obs::{aggregate, append_entry, LedgerEntry, ServiceMetrics, Trace};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// Worker threads for the shared pool; `0` = one per core.
+    pub workers: usize,
+    /// Admission-queue capacity; `0` = unbounded (no backpressure).
+    pub queue_cap: usize,
+    /// On-disk artifact cache directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Byte cap per artifact-cache layer; `0` = unbounded.
+    pub cache_cap_bytes: usize,
+    /// Appends a final ledger entry here on shutdown.
+    pub ledger_out: Option<PathBuf>,
+}
+
+/// Fairness buckets for connections that do not name a `client` start
+/// above this bound, so they can never collide with client-chosen ids.
+const CONN_CLIENT_BASE: u64 = 1 << 32;
+
+struct Shared {
+    service: CompileService,
+    pool: JobPool,
+    trace: Trace,
+    endpoint: Endpoint,
+    started: Instant,
+    workers: usize,
+    jobs_ok: AtomicU64,
+    jobs_failed: AtomicU64,
+    conn_seq: AtomicU64,
+    stopping: AtomicBool,
+    ledger_out: Option<PathBuf>,
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does not stop it; send a
+/// `shutdown` request (or call [`Server::wait`] from the CLI and let a
+/// client do it).
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the endpoint and starts the accept loop and worker pool.
+    /// A stale unix socket file at the path is removed first (the common
+    /// leftover of a killed daemon).
+    pub fn start(config: ServerConfig) -> Result<Server, String> {
+        let listener = match &config.endpoint {
+            Endpoint::Unix(path) => {
+                if let Some(dir) = path.parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+                    }
+                }
+                let _ = std::fs::remove_file(path);
+                Listener::Unix(
+                    UnixListener::bind(path).map_err(|e| format!("{}: {e}", path.display()))?,
+                )
+            }
+            Endpoint::Tcp(addr) => {
+                Listener::Tcp(TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?)
+            }
+        };
+        let service = CompileService::new(ServiceConfig {
+            workers: config.workers,
+            cache_dir: config.cache_dir.clone(),
+            cache_cap_bytes: config.cache_cap_bytes,
+            no_cache: false,
+        });
+        let trace = Trace::new();
+        let pool = JobPool::start(
+            &service,
+            PoolConfig {
+                workers: config.workers,
+                queue_cap: config.queue_cap,
+            },
+            &trace,
+        );
+        let workers = pool.workers();
+        let shared = Arc::new(Shared {
+            service,
+            pool,
+            trace,
+            endpoint: config.endpoint,
+            started: Instant::now(),
+            workers,
+            jobs_ok: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+            ledger_out: config.ledger_out,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The endpoint the daemon listens on.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.shared.endpoint
+    }
+
+    /// Blocks until a `shutdown` request stops the daemon.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: Listener) {
+    loop {
+        let conn = listener.accept();
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_conn(&shared, stream));
+            }
+            Err(_) => break,
+        }
+    }
+    if let Endpoint::Unix(path) = &shared.endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: Stream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let conn_client =
+        CONN_CLIENT_BASE + shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut stop_after = false;
+        let responses = match proto::parse_request(&line) {
+            Ok(request) => handle_request(shared, request, conn_client, &mut stop_after),
+            Err(message) => vec![proto::render_error(&message)],
+        };
+        for response in responses {
+            if writer
+                .write_all(response.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .is_err()
+            {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+        if stop_after {
+            stop_listener(shared);
+            return;
+        }
+    }
+}
+
+/// Wakes the accept loop out of its blocking `accept` so it can exit.
+fn stop_listener(shared: &Shared) {
+    shared.stopping.store(true, Ordering::SeqCst);
+    let _ = Stream::connect(&shared.endpoint);
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    request: Request,
+    conn_client: u64,
+    stop_after: &mut bool,
+) -> Vec<String> {
+    match request {
+        Request::Compile {
+            model,
+            style,
+            options,
+            client,
+        } => {
+            let spec = match job_spec_for(&model, style) {
+                Ok(spec) => spec
+                    .with_options(options.compile_options())
+                    .with_trace(&shared.trace),
+                Err(message) => return vec![proto::render_error(&message)],
+            };
+            match shared.pool.submit(client.unwrap_or(conn_client), spec) {
+                Ok(ticket) => vec![finish_job(shared, ticket, options.trace).0],
+                Err(e) => vec![render_submit_error(&e)],
+            }
+        }
+        Request::Lint { model } => match resolve_model(&model) {
+            Ok(m) => vec![proto::render_lint(&model, &frodo_verify::lint(&m))],
+            Err(message) => vec![proto::render_error(&message)],
+        },
+        Request::Batch {
+            models,
+            styles,
+            options,
+            client,
+        } => handle_batch(shared, &models, &styles, options, client.unwrap_or(conn_client)),
+        Request::Status => {
+            let uptime_ms = shared.started.elapsed().as_millis() as u64;
+            vec![proto::render_status(
+                &shared.pool.snapshot(),
+                &shared.service.cache_stats(),
+                uptime_ms,
+                shared.jobs_ok.load(Ordering::Relaxed),
+                shared.jobs_failed.load(Ordering::Relaxed),
+            )]
+        }
+        Request::Shutdown => {
+            shared.pool.drain();
+            let ledger = flush_ledger(shared);
+            *stop_after = true;
+            vec![proto::render_shutdown_ack(
+                shared.pool.snapshot().completed,
+                ledger.as_deref(),
+            )]
+        }
+    }
+}
+
+/// Submits the whole grid before waiting on anything, so a batch keeps
+/// the queue fed while earlier jobs run; results stream back in
+/// submission order. Jobs the admission queue turns away are counted in
+/// the `batch-done` terminator (resubmit those), never silently dropped.
+fn handle_batch(
+    shared: &Arc<Shared>,
+    models: &[String],
+    styles: &[frodo_codegen::GeneratorStyle],
+    options: proto::RequestOptions,
+    client: u64,
+) -> Vec<String> {
+    let mut specs = Vec::new();
+    for model in models {
+        for &style in styles {
+            match job_spec_for(model, style) {
+                Ok(spec) => specs.push(
+                    spec.with_options(options.compile_options())
+                        .with_trace(&shared.trace),
+                ),
+                Err(message) => return vec![proto::render_error(&message)],
+            }
+        }
+    }
+    // mirror the one-shot batch path, which counts its jobs on the batch
+    // span — keeps serve ledger entries diffable against `frodo batch`
+    shared.trace.count("jobs", specs.len() as u64);
+    let total = specs.len();
+    let mut tickets: Vec<JobTicket> = Vec::new();
+    let mut rejected = 0usize;
+    let mut draining = false;
+    for spec in specs {
+        if draining {
+            rejected += 1;
+            continue;
+        }
+        match shared.pool.submit(client, spec) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(SubmitError::Full { .. }) => rejected += 1,
+            Err(SubmitError::Draining) => {
+                rejected += 1;
+                draining = true;
+            }
+        }
+    }
+    let mut lines = Vec::new();
+    let (mut ok, mut failed) = (0, 0);
+    for ticket in tickets {
+        let (line, succeeded) = finish_job(shared, ticket, options.trace);
+        if succeeded {
+            ok += 1;
+        } else {
+            failed += 1;
+        }
+        lines.push(line);
+    }
+    lines.push(proto::render_batch_done(total, ok, failed, rejected));
+    lines
+}
+
+/// Waits a ticket out and renders the result, keeping the server-wide
+/// ok/failed tallies. The flag is whether the job succeeded.
+fn finish_job(shared: &Shared, ticket: JobTicket, with_stages: bool) -> (String, bool) {
+    match ticket.wait() {
+        Ok(out) => {
+            shared.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            (proto::render_result(&out, with_stages), true)
+        }
+        Err(e) => {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            (proto::render_job_error(&e), false)
+        }
+    }
+}
+
+fn render_submit_error(e: &SubmitError) -> String {
+    match e {
+        SubmitError::Draining => proto::render_draining(),
+        SubmitError::Full {
+            queued,
+            retry_after_ms,
+        } => proto::render_busy(*queued, *retry_after_ms),
+    }
+}
+
+/// Resolves a model reference the way the CLI does: a `.slx`/`.mdl`
+/// path, or a bundled Table-1 benchmark name.
+fn resolve_model(model_ref: &str) -> Result<Model, String> {
+    let path = std::path::Path::new(model_ref);
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("slx") => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{model_ref}: {e}"))?;
+            frodo_slx::read_slx(&bytes).map_err(|e| format!("{model_ref}: {e}"))
+        }
+        Some("mdl") => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{model_ref}: {e}"))?;
+            frodo_slx::read_mdl(&text).map_err(|e| format!("{model_ref}: {e}"))
+        }
+        _ => match frodo_benchmodels::by_name(model_ref) {
+            Some(bench) => Ok(bench.model),
+            None => Err(format!(
+                "'{model_ref}' is neither a .slx/.mdl path nor a bundled benchmark"
+            )),
+        },
+    }
+}
+
+/// Builds the job spec for a model reference; file parsing stays on the
+/// worker (the job's `parse` stage), bench models are materialized here.
+fn job_spec_for(
+    model_ref: &str,
+    style: frodo_codegen::GeneratorStyle,
+) -> Result<JobSpec, String> {
+    let path = std::path::Path::new(model_ref);
+    if matches!(path.extension().and_then(|e| e.to_str()), Some("slx" | "mdl")) {
+        if !path.exists() {
+            return Err(format!("{model_ref}: no such file"));
+        }
+        return Ok(JobSpec::from_path(path, style));
+    }
+    match frodo_benchmodels::by_name(model_ref) {
+        Some(bench) => Ok(JobSpec::from_model(bench.name, bench.model, style)),
+        None => Err(format!(
+            "'{model_ref}' is neither a .slx/.mdl path nor a bundled benchmark"
+        )),
+    }
+}
+
+/// Folds the server-wide trace into one ledger entry, mirroring the
+/// one-shot batch path: per-stage aggregates and counters from the trace,
+/// service metrics from the pool and cache. Returns the path written to.
+fn flush_ledger(shared: &Shared) -> Option<String> {
+    let path = shared.ledger_out.as_ref()?;
+    let snap = shared.trace.snapshot();
+    let agg = aggregate(&snap);
+    let wall_ns = shared.started.elapsed().as_nanos() as u64;
+    let mut entry = LedgerEntry::from_agg(&agg, "serve", "auto", 0, shared.workers as u64, wall_ns);
+    let pool = shared.pool.snapshot();
+    let cache = shared.service.cache_stats();
+    let hist = |name: &str| snap.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h);
+    let (queue_p50, queue_max) = hist("queue_wait_ns")
+        .map(|h| (h.percentile(50.0) as u64, h.max() as u64))
+        .unwrap_or((0, 0));
+    let capacity_ns = wall_ns.saturating_mul(shared.workers as u64);
+    entry.svc = Some(ServiceMetrics {
+        cache_hits: cache.hits as u64,
+        cache_misses: cache.misses as u64,
+        queue_wait_p50_ns: queue_p50,
+        queue_wait_max_ns: queue_max,
+        worker_busy_ns: pool.busy_ns,
+        utilization_pct: if capacity_ns == 0 {
+            0.0
+        } else {
+            pool.busy_ns as f64 / capacity_ns as f64 * 100.0
+        },
+        cache_evictions: cache.evictions as u64,
+        job_timeouts: pool.timeouts,
+    });
+    match append_entry(path, &entry) {
+        Ok(()) => Some(path.display().to_string()),
+        Err(_) => None,
+    }
+}

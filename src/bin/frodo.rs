@@ -9,6 +9,9 @@
 //! frodo batch    <models...> [--workers N] [--threads N] [--verify] [--cache-dir D]
 //!                [-s STYLES] [-o DIR] [--trace] [--trace-out out.ndjson]
 //!                [--ledger | --ledger-out F]
+//! frodo serve    [--socket PATH|--tcp ADDR] [--workers N] [--queue-cap N]
+//!                [--cache-cap BYTES] [--cache-dir D] [--ledger | --ledger-out F]
+//! frodo client   [--socket PATH|--tcp ADDR] compile|lint|batch|status|shutdown ...
 //! frodo obs      export|diff|report               trace exports, cross-run perf diffs
 //! frodo simulate <model> [--seed N] [--steps N]    reference simulation
 //! frodo bench    <model> [--native]                compare the four generators
@@ -37,6 +40,8 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => frodo::serve::cli::cmd_serve(&args[1..]),
+        Some("client") => frodo::serve::cli::cmd_client(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
@@ -71,6 +76,11 @@ fn print_usage() {
          \x20                [--verify] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
          \x20 frodo batch    <models...> [--workers N] [--threads N] [--verify] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
          \x20                [--trace] [--trace-out out.ndjson]\n\
+         \x20 frodo serve    [--socket PATH|--tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap BYTES]\n\
+         \x20                [--cache-dir DIR] [--ledger | --ledger-out F]\n\
+         \x20 frodo client   [--socket PATH|--tcp ADDR] compile <model> [-s STYLE] [--threads N] [--verify] [--timeout MS] [-o out.c]\n\
+         \x20 frodo client   [--socket PATH|--tcp ADDR] batch <models...> [-s STYLES|all] [-o DIR]\n\
+         \x20 frodo client   [--socket PATH|--tcp ADDR] lint <model> | status | shutdown\n\
          \x20 frodo simulate <model> [--seed N] [--steps N]\n\
          \x20 frodo bench    <model> [--native]\n\
          \x20 frodo verify   <model> [--seeds N] [--steps N]\n\
@@ -324,6 +334,10 @@ fn service_config(args: &[String]) -> Result<ServiceConfig, String> {
             .unwrap_or(0),
         cache_dir: flag_value(args, &["--cache-dir"]).map(Into::into),
         no_cache: args.iter().any(|a| a == "--no-cache"),
+        cache_cap_bytes: flag_value(args, &["--cache-cap"])
+            .map(|s| s.parse().map_err(|_| "bad --cache-cap".to_string()))
+            .transpose()?
+            .unwrap_or(0),
     })
 }
 

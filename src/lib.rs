@@ -15,6 +15,7 @@
 //! | [`sim`] | `frodo-sim` | reference simulator, VM, cost models, native runs |
 //! | [`benchmodels`] | `frodo-benchmodels` | the paper's Table-1 suite |
 //! | [`driver`] | `frodo-driver` | batch compile service: worker pool, artifact cache, metrics |
+//! | [`serve`] | `frodo-serve` | persistent compile daemon: NDJSON socket protocol, admission control |
 //! | [`obs`] | `frodo-obs` | observability: trace spans, counters, stage timings, NDJSON export |
 //! | [`verify`] | `frodo-verify` | model lint + range-soundness checker (translation validation) |
 //!
@@ -56,6 +57,7 @@ pub use frodo_graph as graph;
 pub use frodo_model as model;
 pub use frodo_obs as obs;
 pub use frodo_ranges as ranges;
+pub use frodo_serve as serve;
 pub use frodo_sim as sim;
 pub use frodo_slx as slx;
 pub use frodo_verify as verify;

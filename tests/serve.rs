@@ -1,0 +1,351 @@
+//! Integration tests of the compile daemon (`frodo-serve`): several
+//! concurrent clients over one unix socket must get artifacts
+//! byte-identical to one-shot compiles, a saturated admission queue must
+//! answer with backpressure instead of blocking or dropping, round-robin
+//! admission must keep a small client from starving behind a big batch,
+//! and shutdown must drain the backlog before the listener goes away.
+
+use frodo::obs::ndjson;
+use frodo::prelude::*;
+use frodo::serve::{Client, Endpoint, RequestOptions, Server, ServerConfig};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+fn socket_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("frodo-serve-{}-{name}.sock", std::process::id()))
+}
+
+fn start_server(name: &str, workers: usize, queue_cap: usize) -> Server {
+    Server::start(ServerConfig {
+        endpoint: Endpoint::Unix(socket_path(name)),
+        workers,
+        queue_cap,
+        cache_dir: None,
+        cache_cap_bytes: 0,
+        ledger_out: None,
+    })
+    .expect("daemon binds the socket")
+}
+
+fn str_field(line: &str, key: &str) -> String {
+    let fields = ndjson::parse_line(line).expect("response parses");
+    ndjson::get_str(&fields, key)
+        .unwrap_or_else(|| panic!("response has no \"{key}\": {line}"))
+        .to_string()
+}
+
+fn num_field(line: &str, key: &str) -> f64 {
+    let fields = ndjson::parse_line(line).expect("response parses");
+    ndjson::get_num(&fields, key)
+        .unwrap_or_else(|| panic!("response has no \"{key}\": {line}"))
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_artifacts() {
+    // one-shot reference: a fresh uncached service per (model, style)
+    let benches: Vec<_> = frodo::benchmodels::all().into_iter().take(4).collect();
+    let styles = [GeneratorStyle::Frodo, GeneratorStyle::Hcg];
+    let one_shot = CompileService::new(ServiceConfig {
+        workers: 1,
+        no_cache: true,
+        ..ServiceConfig::default()
+    });
+    let mut reference = std::collections::HashMap::new();
+    for bench in &benches {
+        for style in styles {
+            let out = one_shot
+                .compile(JobSpec::from_model(bench.name, bench.model.clone(), style))
+                .expect("suite compiles");
+            reference.insert((bench.name.to_string(), style.label().to_string()), out.code);
+        }
+    }
+
+    let server = start_server("ident", 2, 0);
+    let endpoint = server.endpoint().clone();
+    let handles: Vec<_> = benches
+        .iter()
+        .map(|bench| {
+            let endpoint = endpoint.clone();
+            let model = bench.name.to_string();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&endpoint).expect("daemon is up");
+
+                // mixed traffic: lint and status interleave with compiles
+                let lint = client
+                    .request_one(&frodo::serve::client::simple_request("lint", Some(&model)))
+                    .unwrap();
+                assert_eq!(str_field(&lint, "type"), "lint-result");
+
+                let status = client
+                    .request_one(&frodo::serve::client::simple_request("status", None))
+                    .unwrap();
+                assert_eq!(str_field(&status, "type"), "status");
+                assert_eq!(num_field(&status, "ok"), 1.0);
+
+                let mut got = Vec::new();
+                for style in ["frodo", "hcg"] {
+                    let line = client
+                        .request_one(&frodo::serve::client::compile_request(
+                            &model,
+                            Some(style),
+                            &RequestOptions::default(),
+                            None,
+                        ))
+                        .unwrap();
+                    assert_eq!(str_field(&line, "type"), "result");
+                    assert_eq!(num_field(&line, "ok"), 1.0, "compile failed: {line}");
+                    got.push((
+                        model.clone(),
+                        str_field(&line, "style"),
+                        str_field(&line, "code"),
+                    ));
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut compiled = 0;
+    for handle in handles {
+        for (model, style, code) in handle.join().expect("client thread") {
+            let expected = reference
+                .get(&(model.clone(), style.clone()))
+                .expect("reference covers the pair");
+            assert_eq!(
+                &code, expected,
+                "{model}/{style} differs between the daemon and a one-shot compile"
+            );
+            compiled += 1;
+        }
+    }
+    assert_eq!(compiled, 8, "4 clients x 2 styles");
+
+    let mut client = Client::connect(&endpoint).expect("daemon is up");
+    let ack = client
+        .request_one(&frodo::serve::client::simple_request("shutdown", None))
+        .unwrap();
+    assert_eq!(str_field(&ack, "type"), "shutdown");
+    server.wait();
+}
+
+#[test]
+fn saturated_queue_answers_busy_instead_of_blocking_or_dropping() {
+    // one worker, a one-slot queue: an overstuffed batch must see
+    // rejections (the submission loop outruns any compile), and the
+    // daemon must keep answering — nothing blocks, nothing vanishes.
+    let server = start_server("busy", 1, 1);
+    let endpoint = server.endpoint().clone();
+
+    let models: Vec<&str> = ["Kalman", "Kalman", "Kalman"].to_vec();
+    let mut client = Client::connect(&endpoint).expect("daemon is up");
+    let lines = client
+        .request_batch(&frodo::serve::client::batch_request(
+            &models,
+            Some("all"),
+            &RequestOptions::default(),
+            Some(1),
+        ))
+        .unwrap();
+    let done = lines.last().expect("batch terminates");
+    assert_eq!(str_field(done, "type"), "batch-done");
+    let total = num_field(done, "jobs") as usize;
+    let ok = num_field(done, "ok") as usize;
+    let rejected = num_field(done, "rejected") as usize;
+    assert_eq!(total, 12, "3 models x 4 styles");
+    assert!(
+        rejected >= 1,
+        "a 12-job burst through a 1-slot queue must hit admission control: {done}"
+    );
+    assert_eq!(ok + rejected, total, "every job is answered or rejected, never dropped");
+    // one streamed result line per accepted job, plus the terminator
+    assert_eq!(lines.len(), ok + 1);
+
+    // the rejected jobs are retryable: backpressure is advisory, not fatal
+    for _ in 0..rejected {
+        let line = client
+            .request_with_retry(
+                &frodo::serve::client::compile_request(
+                    "Kalman",
+                    Some("frodo"),
+                    &RequestOptions::default(),
+                    Some(1),
+                ),
+                200,
+            )
+            .unwrap();
+        assert_eq!(num_field(&line, "ok"), 1.0, "retried compile failed: {line}");
+    }
+
+    // a busy line, when one is surfaced, must carry a usable retry hint
+    let probe = frodo::serve::client::compile_request(
+        "Kalman",
+        Some("frodo"),
+        &RequestOptions::default(),
+        Some(2),
+    );
+    let response = client.request_one(&probe).unwrap();
+    match str_field(&response, "type").as_str() {
+        "busy" => assert!(num_field(&response, "retry_after_ms") >= 1.0),
+        "result" => assert_eq!(num_field(&response, "ok"), 1.0),
+        other => panic!("unexpected response type '{other}': {response}"),
+    }
+
+    let ack = client
+        .request_one(&frodo::serve::client::simple_request("shutdown", None))
+        .unwrap();
+    assert_eq!(str_field(&ack, "type"), "shutdown");
+    server.wait();
+}
+
+#[test]
+fn round_robin_admission_keeps_a_small_client_ahead_of_a_big_batch() {
+    // client 1 floods the daemon with the whole suite; client 2 asks for
+    // one compile right after. Round-robin admission must interleave
+    // client 2's job into the backlog, so it finishes well before the
+    // flood's terminator — under FIFO it would queue behind all 40 jobs.
+    let server = start_server("fair", 1, 0);
+    let endpoint = server.endpoint().clone();
+    let finished = Arc::new(Mutex::new(Vec::<(String, Instant)>::new()));
+
+    let flood = {
+        let endpoint = endpoint.clone();
+        let finished = Arc::clone(&finished);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&endpoint).expect("daemon is up");
+            let models: Vec<String> = frodo::benchmodels::all()
+                .into_iter()
+                .map(|b| b.name.to_string())
+                .collect();
+            let refs: Vec<&str> = models.iter().map(String::as_str).collect();
+            let lines = client
+                .request_batch(&frodo::serve::client::batch_request(
+                    &refs,
+                    Some("all"),
+                    &RequestOptions::default(),
+                    Some(1),
+                ))
+                .unwrap();
+            let done = lines.last().unwrap().clone();
+            assert_eq!(str_field(&done, "type"), "batch-done");
+            assert_eq!(num_field(&done, "ok"), 40.0, "10 models x 4 styles all compile");
+            finished.lock().unwrap().push(("flood".into(), Instant::now()));
+        })
+    };
+    let small = {
+        let endpoint = endpoint.clone();
+        let finished = Arc::clone(&finished);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&endpoint).expect("daemon is up");
+            let line = client
+                .request_with_retry(
+                    &frodo::serve::client::compile_request(
+                        "Kalman",
+                        Some("frodo"),
+                        &RequestOptions::default(),
+                        Some(2),
+                    ),
+                    200,
+                )
+                .unwrap();
+            assert_eq!(num_field(&line, "ok"), 1.0, "small client's compile failed: {line}");
+            finished.lock().unwrap().push(("small".into(), Instant::now()));
+        })
+    };
+    flood.join().expect("flood client");
+    small.join().expect("small client");
+
+    let order = finished.lock().unwrap();
+    let at = |who: &str| order.iter().find(|(n, _)| n == who).unwrap().1;
+    assert!(
+        at("small") < at("flood"),
+        "round-robin admission should finish the single job before the 40-job flood"
+    );
+
+    let mut client = Client::connect(&endpoint).expect("daemon is up");
+    client
+        .request_one(&frodo::serve::client::simple_request("shutdown", None))
+        .unwrap();
+    server.wait();
+}
+
+#[test]
+fn shutdown_drains_the_backlog_and_removes_the_socket() {
+    let socket = socket_path("drain");
+    let ledger = std::env::temp_dir().join(format!(
+        "frodo-serve-{}-drain-ledger.ndjson",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&ledger);
+    let server = Server::start(ServerConfig {
+        endpoint: Endpoint::Unix(socket.clone()),
+        workers: 1,
+        queue_cap: 0,
+        cache_dir: None,
+        cache_cap_bytes: 0,
+        ledger_out: Some(ledger.clone()),
+    })
+    .expect("daemon binds the socket");
+    let endpoint = server.endpoint().clone();
+
+    // a batch holds the backlog open while the shutdown lands
+    let batch = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&endpoint).expect("daemon is up");
+            let lines = client
+                .request_batch(&frodo::serve::client::batch_request(
+                    &["Kalman", "HighPass"],
+                    Some("all"),
+                    &RequestOptions::default(),
+                    Some(1),
+                ))
+                .unwrap();
+            let done = lines.last().unwrap().clone();
+            (num_field(&done, "ok") as usize, num_field(&done, "rejected") as usize)
+        })
+    };
+
+    // wait until the whole batch is admitted, then pull the plug
+    let mut control = Client::connect(&endpoint).expect("daemon is up");
+    loop {
+        let status = control
+            .request_one(&frodo::serve::client::simple_request("status", None))
+            .unwrap();
+        if num_field(&status, "submitted") as usize >= 8 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let ack = control
+        .request_one(&frodo::serve::client::simple_request("shutdown", None))
+        .unwrap();
+    assert_eq!(str_field(&ack, "type"), "shutdown");
+    assert_eq!(
+        num_field(&ack, "completed"),
+        8.0,
+        "the drain finishes every admitted job before the ack: {ack}"
+    );
+    assert_eq!(str_field(&ack, "ledger"), ledger.display().to_string());
+
+    // the in-flight batch still got every result — drained, not dropped
+    let (ok, rejected) = batch.join().expect("batch client");
+    assert_eq!((ok, rejected), (8, 0), "2 models x 4 styles, none shed by the drain");
+
+    server.wait();
+    assert!(!socket.exists(), "the daemon removes its socket file on exit");
+    assert!(
+        Client::connect(&endpoint).is_err(),
+        "no listener after shutdown"
+    );
+
+    // the final ledger entry is a well-formed schema line with the
+    // service metrics the drain left behind
+    let text = std::fs::read_to_string(&ledger).expect("ledger flushed");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "one entry per daemon lifetime");
+    let entry = frodo::obs::LedgerEntry::from_line(lines[0]).expect("ledger line parses");
+    assert_eq!(entry.label, "serve");
+    let svc = entry.svc.expect("serve entries carry service metrics");
+    assert_eq!(svc.cache_hits + svc.cache_misses, 8, "every job consulted the cache");
+    let _ = std::fs::remove_file(&ledger);
+}
