@@ -103,3 +103,43 @@ for key in '"version":"2.1.0"' '"\$schema"' '"name":"frodo-verify"' '"rules"'; d
     grep -q "$key" "$sarif_out"
 done
 rm -f "$sarif_out"
+
+# incremental-recompilation gate: the 2000-block synthetic cold, then the
+# same model with one gain edited, through one compile session
+# (`batch --incremental` writes one ledger entry per job). The edit must
+# reuse >=90% of the region cache, recompile faster than the cold run,
+# and stitch C byte-identical to a cold compile of the edited model.
+inc_dir="$(mktemp -d)"
+./target/release/frodo batch random:42:2000 random:42:2000:edit:1 \
+    --incremental --threads 1 --ledger-out "$inc_dir/ledger.ndjson" \
+    -o "$inc_dir/out" >/dev/null
+./target/release/frodo obs report "$inc_dir/ledger.ndjson" \
+    | grep -q 'random:42:2000:edit:1'
+./target/release/frodo compile --no-cache --threads 1 \
+    random:42:2000:edit:1 -o "$inc_dir/cold-edit.c" >/dev/null
+cmp "$inc_dir/out/random_42_2000_edit_1_frodo.c" "$inc_dir/cold-edit.c"
+region_hits="$(grep -o '"counter_region_hits":[0-9]*' "$inc_dir/ledger.ndjson" | tail -1 | cut -d: -f2)"
+region_total="$(grep -o '"counter_region_total":[0-9]*' "$inc_dir/ledger.ndjson" | tail -1 | cut -d: -f2)"
+test "$((region_hits * 10))" -ge "$((region_total * 9))"
+cold_wall="$(grep -o '"wall_ns":[0-9]*' "$inc_dir/ledger.ndjson" | head -1 | cut -d: -f2)"
+inc_wall="$(grep -o '"wall_ns":[0-9]*' "$inc_dir/ledger.ndjson" | tail -1 | cut -d: -f2)"
+test "$inc_wall" -lt "$cold_wall"
+rm -rf "$inc_dir"
+
+# serve-daemon recompile parity: the same edit pair through a named
+# session on a resident daemon must also reuse regions and answer with
+# the session's protocol version
+inc_sock_dir="$(mktemp -d)"
+./target/release/frodo serve --socket "$inc_sock_dir/serve.sock" --workers 1 &
+inc_serve_pid=$!
+for _ in $(seq 1 200); do test -S "$inc_sock_dir/serve.sock" && break; sleep 0.05; done
+./target/release/frodo client --socket "$inc_sock_dir/serve.sock" recompile \
+    random:42:400 --session ci-edit --threads 1 >/dev/null
+./target/release/frodo client --socket "$inc_sock_dir/serve.sock" recompile \
+    random:42:400:edit:1 --session ci-edit --threads 1 >/dev/null 2>"$inc_sock_dir/warm.err"
+grep -q 'regions 3[0-9]/3[0-9] reused' "$inc_sock_dir/warm.err"
+./target/release/frodo client --socket "$inc_sock_dir/serve.sock" status \
+    | grep -q '"proto_version":2'
+./target/release/frodo client --socket "$inc_sock_dir/serve.sock" shutdown >/dev/null
+wait "$inc_serve_pid"
+rm -rf "$inc_sock_dir"

@@ -22,7 +22,7 @@ fn main() {
         .iter()
         .find(|b| b.name == "Maintenance")
         .expect("suite contains Maintenance");
-    let dfg = Dfg::new(maintenance.model.clone()).expect("analyzable");
+    let dfg = Dfg::new(maintenance.model.clone(), &frodo_obs::Trace::noop()).expect("analyzable");
     let maps = IoMappings::derive(&dfg);
 
     for engine in [RangeEngine::Recursive, RangeEngine::Iterative] {
@@ -48,7 +48,7 @@ fn main() {
     for bench in &models {
         harness::bench("ablation", &format!("pipeline/{}", bench.name), || {
             let analysis = Analysis::run(black_box(bench.model.clone())).expect("analyzes");
-            black_box(generate(&analysis, GeneratorStyle::Frodo));
+            black_box(generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()));
         });
     }
 }

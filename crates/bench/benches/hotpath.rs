@@ -96,8 +96,8 @@ fn main() {
 
     for subject in subjects() {
         let blocks = subject.model.deep_len();
-        let flat = subject.model.flattened().expect("subjects flatten");
-        let dfg = Dfg::new(flat).expect("subjects analyze");
+        let flat = subject.model.flattened(&frodo_obs::Trace::noop()).expect("subjects flatten");
+        let dfg = Dfg::new(flat, &frodo_obs::Trace::noop()).expect("subjects analyze");
 
         for &threads in &THREAD_COUNTS {
             // iomap: block-property derivation, chunked across workers
@@ -153,7 +153,7 @@ fn main() {
         // emit: per-statement rendering into per-thread buffers
         let analysis =
             frodo_core::Analysis::run(dfg.model().clone()).expect("subjects analyze");
-        let program = generate(&analysis, GeneratorStyle::Frodo);
+        let program = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         for &threads in &THREAD_COUNTS {
             let (ns, iters, samples) = run(
                 quick,

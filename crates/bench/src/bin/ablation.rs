@@ -31,8 +31,8 @@ fn main() {
         let analysis = Analysis::run(bench.model.clone()).expect("analyzes");
         // DFSynth emits the same (tight, auto-vec) code at full ranges,
         // so it is exactly "FRODO minus range elimination".
-        let full = cm.program_ns(&generate(&analysis, GeneratorStyle::DfSynth));
-        let frodo = cm.program_ns(&generate(&analysis, GeneratorStyle::Frodo));
+        let full = cm.program_ns(&generate(&analysis, GeneratorStyle::DfSynth, &frodo_obs::Trace::noop()));
+        let frodo = cm.program_ns(&generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()));
         println!(
             "{:<14} {:>10.1}us {:>10.1}us {:>8.2}x",
             bench.name,
@@ -57,6 +57,7 @@ fn main() {
                 &analysis,
                 GeneratorStyle::Frodo,
                 LowerOptions { coalesce_gap: gap },
+                &frodo_obs::Trace::noop(),
             );
             cells.push(format!("{:.1}({})", cm.program_ns(&p) / 1e3, p.stmts.len()));
         }
@@ -106,7 +107,7 @@ fn main() {
     println!("{}", "-".repeat(55));
     for bench in &suite {
         let analysis = Analysis::run(bench.model.clone()).expect("analyzes");
-        let p = generate(&analysis, GeneratorStyle::Frodo);
+        let p = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let inline = emit_c(&p).len();
         let shared = emit_c_with(
             &p,
@@ -133,7 +134,7 @@ fn main() {
     println!("{}", "-".repeat(60));
     for bench in &suite {
         let analysis = Analysis::run(bench.model.clone()).expect("analyzes");
-        let p = generate(&analysis, GeneratorStyle::Frodo);
+        let p = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let folded = fold_expressions(&p);
         println!(
             "{:<14} {:>8} {:>8} {:>10.1}us {:>10.1}us",

@@ -48,7 +48,7 @@ pub fn build_suite() -> Vec<ModelPrograms> {
             let analysis = Analysis::run(bench.model).expect("benchmark models analyze");
             let programs = GeneratorStyle::ALL
                 .iter()
-                .map(|&style| (style, generate(&analysis, style)))
+                .map(|&style| (style, generate(&analysis, style, &frodo_obs::Trace::noop())))
                 .collect();
             ModelPrograms {
                 name: bench.name,

@@ -158,6 +158,32 @@ pub fn by_name(name: &str) -> Option<BenchModel> {
         .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
+/// Resolves a model *spec*: either a Table-1 benchmark name (via
+/// [`by_name`]) or a synthetic-model spec of the form
+/// `random:<seed>:<size>` — optionally `random:<seed>:<size>:edit:<k>`
+/// for the same model with its `k`-th `Gain` parameter perturbed
+/// ([`random::random_model_edited`]). Specs are how the CLI's batch and
+/// serve paths name reproducible synthetic workloads, including the
+/// cold-vs-incremental pairs the CI gate compiles.
+///
+/// Returns `None` for an unknown name or a malformed `random:` spec.
+pub fn by_spec(spec: &str) -> Option<Model> {
+    if let Some(rest) = spec.strip_prefix("random:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let (seed, size) = match parts.as_slice() {
+            [seed, size] | [seed, size, "edit", _] => {
+                (seed.parse::<u64>().ok()?, size.parse::<usize>().ok()?)
+            }
+            _ => return None,
+        };
+        return Some(match parts.as_slice() {
+            [_, _, "edit", k] => random::random_model_edited(seed, size, k.parse().ok()?),
+            _ => random::random_model(seed, size),
+        });
+    }
+    by_name(spec).map(|b| b.model)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,7 +218,7 @@ mod tests {
     #[test]
     fn every_model_contains_truncation_blocks() {
         for bench in all() {
-            let flat = bench.model.flattened().unwrap();
+            let flat = bench.model.flattened(&frodo_obs::Trace::noop()).unwrap();
             let truncations = flat
                 .blocks()
                 .iter()
@@ -211,5 +237,18 @@ mod tests {
         assert!(by_name("kalman").is_some());
         assert!(by_name("KALMAN").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn by_spec_resolves_names_and_random_specs() {
+        assert!(by_spec("Kalman").is_some());
+        let base = by_spec("random:42:60").unwrap();
+        assert_eq!(base, random::random_model(42, 60));
+        let edited = by_spec("random:42:60:edit:0").unwrap();
+        assert_ne!(base, edited);
+        assert_eq!(edited, random::random_model_edited(42, 60, 0));
+        for bad in ["random:x:30", "random:7", "random:7:30:edit:x", "nope"] {
+            assert!(by_spec(bad).is_none(), "{bad} should not resolve");
+        }
     }
 }

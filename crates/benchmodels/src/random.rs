@@ -422,9 +422,51 @@ pub fn random_model(seed: u64, size: usize) -> Model {
     m
 }
 
+/// [`random_model`] with its `edit`-th `Gain` block's parameter perturbed
+/// (counting Gains in block order, wrapping around) — the canonical
+/// "one-block edit" used by the incremental-recompilation tests and the
+/// CI gate. The edit is numeric only: the block graph, names, and shapes
+/// are identical to the unedited model, so exactly one region's content
+/// changes.
+///
+/// A model with no `Gain` blocks is returned unedited (the random
+/// vocabulary makes that vanishingly unlikely at realistic sizes).
+pub fn random_model_edited(seed: u64, size: usize, edit: usize) -> Model {
+    let mut m = random_model(seed, size);
+    let gains: Vec<BlockId> = m
+        .ids()
+        .filter(|&id| matches!(m.block(id).kind, BlockKind::Gain { .. }))
+        .collect();
+    if gains.is_empty() {
+        return m;
+    }
+    let target = gains[edit % gains.len()];
+    if let BlockKind::Gain { gain } = &mut m.block_mut(target).kind {
+        *gain = *gain * 1.5 + 0.25;
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn edited_model_differs_in_exactly_one_block() {
+        let base = random_model(42, 60);
+        let edited = random_model_edited(42, 60, 1);
+        assert_ne!(base, edited);
+        edited.validate().unwrap();
+        let changed: Vec<_> = base
+            .ids()
+            .filter(|&id| base.block(id).kind != edited.block(id).kind)
+            .collect();
+        assert_eq!(changed.len(), 1, "exactly one block edited");
+        assert!(matches!(
+            edited.block(changed[0]).kind,
+            BlockKind::Gain { .. }
+        ));
+    }
 
     #[test]
     fn random_models_are_valid_and_deterministic() {

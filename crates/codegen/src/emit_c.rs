@@ -748,7 +748,7 @@ mod tests {
 
     #[test]
     fn frodo_c_has_tight_restricted_loop() {
-        let p = generate(&figure1(), GeneratorStyle::Frodo);
+        let p = generate(&figure1(), GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let c = emit_c(&p);
         assert!(c.contains("void conv_step(const double *in0, double *out0)"));
         assert!(c.contains("for (int k = 5; k < 55; ++k)"));
@@ -757,7 +757,7 @@ mod tests {
 
     #[test]
     fn simulink_c_has_boundary_judgments() {
-        let p = generate(&figure1(), GeneratorStyle::SimulinkCoder);
+        let p = generate(&figure1(), GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop());
         let c = emit_c(&p);
         assert!(c.contains("for (int k = 0; k < 60; ++k)"));
         assert!(c.contains("if (k - j >= 0 && k - j < 50)"));
@@ -765,21 +765,21 @@ mod tests {
 
     #[test]
     fn hcg_c_has_simd_batches() {
-        let p = generate(&figure1(), GeneratorStyle::Hcg);
+        let p = generate(&figure1(), GeneratorStyle::Hcg, &frodo_obs::Trace::noop());
         let c = emit_c(&p);
         assert!(c.contains("hcg: explicit simd batch"));
     }
 
     #[test]
     fn const_kernel_is_embedded() {
-        let p = generate(&figure1(), GeneratorStyle::Frodo);
+        let p = generate(&figure1(), GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let c = emit_c(&p);
         assert!(c.contains("static const double g_k[11]"));
     }
 
     #[test]
     fn harness_contains_timing_main() {
-        let p = generate(&figure1(), GeneratorStyle::Frodo);
+        let p = generate(&figure1(), GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let c = emit_c_harness(&p, 10_000);
         assert!(c.contains("int main(void)"));
         assert!(c.contains("clock_gettime"));
@@ -789,7 +789,7 @@ mod tests {
 
     #[test]
     fn shared_conv_helper_replaces_inline_loops() {
-        let p = generate(&figure1(), GeneratorStyle::Frodo);
+        let p = generate(&figure1(), GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let c = emit_c_with(
             &p,
             CEmitOptions {
@@ -806,7 +806,7 @@ mod tests {
 
     #[test]
     fn shared_conv_helper_is_skipped_without_tight_convs() {
-        let p = generate(&figure1(), GeneratorStyle::SimulinkCoder);
+        let p = generate(&figure1(), GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop());
         let c = emit_c_with(
             &p,
             CEmitOptions {
@@ -1009,7 +1009,7 @@ mod tests {
     #[test]
     fn generated_c_is_brace_balanced() {
         for style in GeneratorStyle::ALL {
-            let p = generate(&figure1(), style);
+            let p = generate(&figure1(), style, &frodo_obs::Trace::noop());
             let c = emit_c_harness(&p, 10);
             let open = c.matches('{').count();
             let close = c.matches('}').count();

@@ -38,7 +38,7 @@
 //! m.connect(s, 0, o, 0)?;
 //!
 //! let analysis = Analysis::run(m)?;
-//! let program = generate(&analysis, GeneratorStyle::Frodo);
+//! let program = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
 //! let c_code = emit_c(&program);
 //! assert!(c_code.contains("void conv_step"));
 //! # Ok(())
@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod emit_c;
+mod fragment;
 pub mod library;
 pub mod lir;
 mod lower;
@@ -59,5 +60,8 @@ pub use emit_c::{
     emit_c, emit_c_harness, emit_c_harness_with, emit_c_threaded, emit_c_traced, emit_c_with,
     CEmitOptions,
 };
-pub use lower::{generate, generate_traced, generate_with, LowerOptions};
+pub use fragment::{generate_from_fragments, FragmentCache, FragmentStats};
+pub use lower::{generate, generate_with, LowerOptions};
+#[allow(deprecated)]
+pub use lower::generate_traced;
 pub use style::GeneratorStyle;

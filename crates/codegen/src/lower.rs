@@ -30,36 +30,47 @@ impl Default for LowerOptions {
     }
 }
 
-/// Generates a program from an analysis, in the given style.
+/// Generates a program from an analysis, in the given style; recorded as
+/// a `lower` span (with statement and computed-element counters) on the
+/// given trace. Pass `&Trace::noop()` when no instrumentation is wanted.
 ///
 /// All styles allocate the same buffers (the paper's memory study relies on
 /// this); they differ in calculation ranges, convolution loop style, and
 /// SIMD hints (see [`GeneratorStyle`]).
-pub fn generate(analysis: &Analysis, style: GeneratorStyle) -> Program {
-    generate_with(analysis, style, LowerOptions::default())
+pub fn generate(analysis: &Analysis, style: GeneratorStyle, trace: &frodo_obs::Trace) -> Program {
+    generate_with(analysis, style, LowerOptions::default(), trace)
 }
 
 /// [`generate`] with explicit [`LowerOptions`] (ablation studies).
-pub fn generate_with(analysis: &Analysis, style: GeneratorStyle, opts: LowerOptions) -> Program {
-    Lowerer::new(analysis, style, opts).run()
-}
-
-/// [`generate_with`], recorded as a `lower` span (with statement and
-/// computed-element counters) on the given trace.
-pub fn generate_traced(
+pub fn generate_with(
     analysis: &Analysis,
     style: GeneratorStyle,
     opts: LowerOptions,
     trace: &frodo_obs::Trace,
 ) -> Program {
     let span = trace.span("lower");
-    let program = generate_with(analysis, style, opts);
+    let program = Lowerer::new(analysis, style, opts).run();
     span.count("stmts", program.stmts.len() as u64);
     span.count("computed_elements", program.computed_elements() as u64);
     program
 }
 
-struct Lowerer<'a> {
+/// Deprecated alias of [`generate_with`], kept one release for callers of
+/// the old split traced/untraced entry points.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `generate_with(analysis, style, opts, trace)` instead"
+)]
+pub fn generate_traced(
+    analysis: &Analysis,
+    style: GeneratorStyle,
+    opts: LowerOptions,
+    trace: &frodo_obs::Trace,
+) -> Program {
+    generate_with(analysis, style, opts, trace)
+}
+
+pub(crate) struct Lowerer<'a> {
     analysis: &'a Analysis,
     style: GeneratorStyle,
     opts: LowerOptions,
@@ -75,7 +86,7 @@ struct Lowerer<'a> {
 }
 
 impl<'a> Lowerer<'a> {
-    fn new(analysis: &'a Analysis, style: GeneratorStyle, opts: LowerOptions) -> Self {
+    pub(crate) fn new(analysis: &'a Analysis, style: GeneratorStyle, opts: LowerOptions) -> Self {
         Lowerer {
             analysis,
             style,
@@ -115,11 +126,38 @@ impl<'a> Lowerer<'a> {
     }
 
     fn run(mut self) -> Program {
+        self.alloc_buffers();
+
+        // -- ranges --
+        let full;
+        let ranges: &frodo_core::Ranges = if self.style.uses_ranges() {
+            self.analysis.ranges()
+        } else {
+            full = full_ranges(self.analysis.dfg());
+            &full
+        };
+
+        self.push_state_loads();
+
+        // -- block bodies in schedule order --
+        let order = self.analysis.dfg().schedule().expect("valid Dfg always schedules");
+        for id in order {
+            self.lower_block(id, ranges);
+        }
+
+        self.push_state_stores();
+        self.into_program()
+    }
+
+    /// Phase 1: buffer allocation, identical across styles and the only
+    /// phase that touches the name/buffer tables. Deterministic in model
+    /// iteration order — the fragment stitcher relies on re-running this
+    /// phase reproducing the exact `BufId` assignment of a cold compile.
+    pub(crate) fn alloc_buffers(&mut self) {
         let dfg = self.analysis.dfg();
         let model = dfg.model();
         let shapes = dfg.shapes();
 
-        // -- buffer allocation (identical across styles) --
         for (id, block) in model.iter() {
             match &block.kind {
                 BlockKind::Inport { index, shape } => {
@@ -171,17 +209,11 @@ impl<'a> Lowerer<'a> {
                 }
             }
         }
+    }
 
-        // -- ranges --
-        let full;
-        let ranges: &frodo_core::Ranges = if self.style.uses_ranges() {
-            self.analysis.ranges()
-        } else {
-            full = full_ranges(dfg);
-            &full
-        };
-
-        // -- state reads first: delay outputs are previous-step state --
+    /// State reads first: delay outputs are previous-step state.
+    pub(crate) fn push_state_loads(&mut self) {
+        let model = self.analysis.dfg().model();
         for (id, block) in model.iter() {
             if let BlockKind::UnitDelay { initial } = &block.kind {
                 let dst = self.out_buf[&OutPort::new(id, 0)];
@@ -193,14 +225,11 @@ impl<'a> Lowerer<'a> {
                 });
             }
         }
+    }
 
-        // -- block bodies in schedule order --
-        let order = dfg.schedule().expect("valid Dfg always schedules");
-        for id in order {
-            self.lower_block(id, ranges);
-        }
-
-        // -- state writes last --
+    /// State writes last.
+    pub(crate) fn push_state_stores(&mut self) {
+        let model = self.analysis.dfg().model();
         for (id, block) in model.iter() {
             if let BlockKind::UnitDelay { initial } = &block.kind {
                 let src = self.input_buf(InPort::new(id, 0));
@@ -212,9 +241,44 @@ impl<'a> Lowerer<'a> {
                 });
             }
         }
+    }
 
+    /// Number of statements emitted so far; paired with
+    /// [`Lowerer::drain_stmts_from`] to harvest one block's statements.
+    pub(crate) fn stmt_mark(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Removes and returns every statement emitted since `mark`.
+    pub(crate) fn drain_stmts_from(&mut self, mark: usize) -> Vec<Stmt> {
+        self.stmts.split_off(mark)
+    }
+
+    /// Appends pre-lowered statements (a cached fragment replay).
+    pub(crate) fn push_stmts(&mut self, stmts: &[Stmt]) {
+        self.stmts.extend_from_slice(stmts);
+    }
+
+    /// The buffer assigned to a block output port, if any. `Outport`
+    /// blocks stash theirs under a `usize::MAX` sentinel port.
+    pub(crate) fn out_buf_of(&self, port: OutPort) -> Option<BufId> {
+        self.out_buf.get(&port).copied()
+    }
+
+    /// The state buffer of a unit delay, if any.
+    pub(crate) fn state_buf_of(&self, id: BlockId) -> Option<BufId> {
+        self.state_buf.get(&id).copied()
+    }
+
+    /// The tap-constant buffer of a FIR filter, if any.
+    pub(crate) fn fir_coeffs_of(&self, id: BlockId) -> Option<BufId> {
+        self.fir_coeffs.get(&id).copied()
+    }
+
+    /// Finalizes into a [`Program`].
+    pub(crate) fn into_program(self) -> Program {
         Program {
-            name: model.name().to_string(),
+            name: self.analysis.dfg().model().name().to_string(),
             style: self.style,
             buffers: self.buffers,
             stmts: self.stmts,
@@ -222,7 +286,7 @@ impl<'a> Lowerer<'a> {
     }
 
     /// Buffer feeding one of a block's input ports.
-    fn input_buf(&self, port: InPort) -> BufId {
+    pub(crate) fn input_buf(&self, port: InPort) -> BufId {
         let src = self.analysis.dfg().source_of(port);
         self.out_buf[&src]
     }
@@ -244,7 +308,7 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_block(&mut self, id: BlockId, ranges: &frodo_core::Ranges) {
+    pub(crate) fn lower_block(&mut self, id: BlockId, ranges: &frodo_core::Ranges) {
         // borrow the block straight out of the analysis (which outlives
         // `self`), so no per-block clone is needed
         let analysis: &'a Analysis = self.analysis;
@@ -790,9 +854,19 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_traced_shim_still_works() {
+        let a = figure1();
+        let noop = frodo_obs::Trace::noop();
+        let via_shim = generate_traced(&a, GeneratorStyle::Frodo, LowerOptions::default(), &noop);
+        let direct = generate(&a, GeneratorStyle::Frodo, &noop);
+        assert_eq!(via_shim, direct);
+    }
+
+    #[test]
     fn frodo_conv_is_range_restricted() {
         let a = figure1();
-        let p = generate(&a, GeneratorStyle::Frodo);
+        let p = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let conv = p
             .stmts
             .iter()
@@ -807,7 +881,7 @@ mod tests {
     #[test]
     fn simulink_conv_is_full_and_branchy() {
         let a = figure1();
-        let p = generate(&a, GeneratorStyle::SimulinkCoder);
+        let p = generate(&a, GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop());
         let conv = p
             .stmts
             .iter()
@@ -822,8 +896,8 @@ mod tests {
     #[test]
     fn frodo_computes_fewer_elements_than_baselines() {
         let a = figure1();
-        let frodo = generate(&a, GeneratorStyle::Frodo);
-        let dfsynth = generate(&a, GeneratorStyle::DfSynth);
+        let frodo = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let dfsynth = generate(&a, GeneratorStyle::DfSynth, &frodo_obs::Trace::noop());
         assert!(frodo.computed_elements() < dfsynth.computed_elements());
     }
 
@@ -832,7 +906,7 @@ mod tests {
         let a = figure1();
         let sizes: Vec<usize> = GeneratorStyle::ALL
             .iter()
-            .map(|&s| generate(&a, s).total_buffer_elements())
+            .map(|&s| generate(&a, s, &frodo_obs::Trace::noop()).total_buffer_elements())
             .collect();
         assert!(
             sizes.windows(2).all(|w| w[0] == w[1]),
@@ -843,7 +917,7 @@ mod tests {
     #[test]
     fn selector_lowers_to_offset_copy() {
         let a = figure1();
-        let p = generate(&a, GeneratorStyle::Frodo);
+        let p = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         assert!(p.stmts.iter().any(|s| matches!(
             s,
             Stmt::Copy { src, len: 50, .. } if src.off == 5
@@ -872,7 +946,7 @@ mod tests {
         m.connect(i, 0, p, 0).unwrap();
         m.connect(p, 0, o, 0).unwrap();
         let a = Analysis::run(m).unwrap();
-        let prog = generate(&a, GeneratorStyle::Frodo);
+        let prog = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let fills = prog
             .stmts
             .iter()
@@ -901,7 +975,7 @@ mod tests {
         m.connect(i, 0, z, 0).unwrap();
         m.connect(z, 0, o, 0).unwrap();
         let a = Analysis::run(m).unwrap();
-        let prog = generate(&a, GeneratorStyle::Frodo);
+        let prog = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         assert!(matches!(prog.stmts.first(), Some(Stmt::StateLoad { .. })));
         assert!(matches!(prog.stmts.last(), Some(Stmt::StateStore { .. })));
     }
@@ -923,11 +997,11 @@ mod tests {
         m.connect(g, 0, t, 0).unwrap();
         m.connect(i, 0, o, 0).unwrap();
         let a = Analysis::run(m).unwrap();
-        let prog = generate(&a, GeneratorStyle::Frodo);
+        let prog = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         // only the outport copy remains
         assert_eq!(prog.stmts.len(), 1);
         // the baseline still computes the dead gain
-        let base = generate(&a, GeneratorStyle::DfSynth);
+        let base = generate(&a, GeneratorStyle::DfSynth, &frodo_obs::Trace::noop());
         assert_eq!(base.stmts.len(), 2);
     }
 
@@ -965,7 +1039,7 @@ mod tests {
         m.connect(mm, 0, sub, 0).unwrap();
         m.connect(sub, 0, o, 0).unwrap();
         let an = Analysis::run(m).unwrap();
-        let prog = generate(&an, GeneratorStyle::Frodo);
+        let prog = generate(&an, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let rows = prog
             .stmts
             .iter()

@@ -29,7 +29,7 @@ use crate::lir::{Program, Slice, Src, Stmt};
 /// m.connect(i, 0, g, 0)?;
 /// m.connect(g, 0, a, 0)?;
 /// m.connect(a, 0, o, 0)?;
-/// let p = generate(&Analysis::run(m)?, GeneratorStyle::Frodo);
+/// let p = generate(&Analysis::run(m)?, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
 /// let folded = fold_expressions(&p);
 /// assert_eq!(folded.stmts.len(), p.stmts.len() - 1); // gain+abs fused
 /// # Ok(())
@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn chain_folds_to_single_loop() {
         let analysis = Analysis::run(unary_chain_model()).unwrap();
-        let p = generate(&analysis, GeneratorStyle::Frodo);
+        let p = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let folded = fold_expressions(&p);
         let fused: Vec<&Stmt> = folded
             .stmts
@@ -287,7 +287,7 @@ mod tests {
     fn folding_preserves_semantics() {
         let analysis = Analysis::run(unary_chain_model()).unwrap();
         for style in GeneratorStyle::ALL {
-            let p = generate(&analysis, style);
+            let p = generate(&analysis, style, &frodo_obs::Trace::noop());
             let folded = fold_expressions(&p);
             let input: Vec<f64> = (0..16).map(|i| i as f64 - 8.0).collect();
             assert_eq!(
@@ -320,7 +320,7 @@ mod tests {
         m.connect(a, 0, o0, 0).unwrap();
         m.connect(q, 0, o1, 0).unwrap();
         let analysis = Analysis::run(m).unwrap();
-        let p = generate(&analysis, GeneratorStyle::Frodo);
+        let p = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let folded = fold_expressions(&p);
         // the gain feeds two consumers, so nothing may fold into it
         assert_eq!(folded.stmts.len(), p.stmts.len());

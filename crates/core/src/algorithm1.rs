@@ -160,7 +160,7 @@ impl ApplyCache {
 /// warmed-up workspace makes Algorithm 1's inner loop allocation-free in
 /// steady state.
 #[derive(Debug, Default)]
-struct EngineCtx {
+pub(crate) struct EngineCtx {
     scratch: Scratch,
     need: IndexSet,
     mapped: IndexSet,
@@ -168,7 +168,7 @@ struct EngineCtx {
 }
 
 impl EngineCtx {
-    fn stats(&self) -> RangeStats {
+    pub(crate) fn stats(&self) -> RangeStats {
         RangeStats {
             iomap_cache_hits: self.cache.hits,
             iomap_cache_misses: self.cache.misses,
@@ -186,6 +186,12 @@ pub struct Ranges {
 }
 
 impl Ranges {
+    /// Assembles a range table from an already-computed map (the
+    /// incremental region analysis builds the map region by region).
+    pub(crate) fn from_map(map: BTreeMap<OutPort, IndexSet>) -> Ranges {
+        Ranges { map }
+    }
+
     /// The calculation range of `block`'s output `port`.
     ///
     /// # Panics
@@ -222,7 +228,7 @@ impl Ranges {
 /// `ranges_of` may return `None` for a range that is not final yet; that
 /// only happens inside delay cycles (whose input requirement is constant
 /// anyway), and the full output range is conservatively assumed.
-fn input_need_into<'r>(
+pub(crate) fn input_need_into<'r>(
     dfg: &Dfg,
     maps: &IoMappings,
     ranges_of: &mut dyn FnMut(OutPort) -> Option<&'r IndexSet>,
@@ -261,7 +267,7 @@ fn input_need_into<'r>(
     }
 }
 
-fn full_range_of(dfg: &Dfg, port: OutPort) -> IndexSet {
+pub(crate) fn full_range_of(dfg: &Dfg, port: OutPort) -> IndexSet {
     IndexSet::full(dfg.shapes().output(port.block, port.port).numel())
 }
 
@@ -269,7 +275,7 @@ fn full_range_of(dfg: &Dfg, port: OutPort) -> IndexSet {
 /// cycles, absent) consumer ranges. The shared core of all three engines:
 /// Algorithm 1 lines 16–18 (no consumers ⇒ full output) and lines 20–25
 /// (union of the input needs of each consumer).
-fn port_range<'r>(
+pub(crate) fn port_range<'r>(
     dfg: &Dfg,
     maps: &IoMappings,
     opts: RangeOptions,
@@ -557,7 +563,7 @@ mod tests {
     use frodo_ranges::Shape;
 
     fn analyze(m: Model, opts: RangeOptions) -> (Dfg, IoMappings, Ranges) {
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         let maps = IoMappings::derive(&dfg);
         let ranges = determine_ranges(&dfg, &maps, opts);
         (dfg, maps, ranges)
@@ -901,7 +907,7 @@ mod tests {
 
     #[test]
     fn parallel_stats_record_the_level_schedule() {
-        let dfg = Dfg::new(figure1()).unwrap();
+        let dfg = Dfg::new(figure1(), &frodo_obs::Trace::noop()).unwrap();
         let maps = IoMappings::derive(&dfg);
         let (_, stats) = determine_ranges_with_stats(
             &dfg,
@@ -941,7 +947,7 @@ mod tests {
             m.connect(g, 0, s, 0).unwrap();
             m.connect(s, 0, o, 0).unwrap();
         }
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         let maps = IoMappings::derive(&dfg);
         let (_, stats) = determine_ranges_with_stats(&dfg, &maps, RangeOptions::default());
         assert!(
@@ -953,7 +959,7 @@ mod tests {
 
     #[test]
     fn full_ranges_matches_shapes() {
-        let dfg = Dfg::new(figure1()).unwrap();
+        let dfg = Dfg::new(figure1(), &frodo_obs::Trace::noop()).unwrap();
         let full = full_ranges(&dfg);
         let conv = dfg.model().find("conv").unwrap();
         assert_eq!(full.out(conv, 0), &IndexSet::full(60));

@@ -196,7 +196,7 @@ mod tests {
         m.connect(k, 0, c, 1).unwrap();
         m.connect(c, 0, s, 0).unwrap();
         m.connect(s, 0, o, 0).unwrap();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         let maps = IoMappings::derive(&dfg);
         let ranges = determine_ranges(&dfg, &maps, RangeOptions::default());
         let report = OptimizationReport::build(&dfg, &ranges);

@@ -115,7 +115,7 @@ mod tests {
         let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
         m.connect(i, 0, s, 0).unwrap();
         m.connect(s, 0, o, 0).unwrap();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         let (s, o) = (
             dfg.model().find("s").unwrap(),
             dfg.model().find("o").unwrap(),
@@ -150,7 +150,7 @@ mod tests {
         let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
         m.connect(i, 0, r, 0).unwrap();
         m.connect(r, 0, o, 0).unwrap();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         let maps = IoMappings::derive(&dfg);
         let r = dfg.model().find("r").unwrap();
         assert!(!maps.is_range_transparent(r));

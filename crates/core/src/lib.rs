@@ -57,6 +57,7 @@
 mod algorithm1;
 mod classify;
 pub mod explain;
+pub mod incremental;
 mod iomap;
 mod pipeline;
 

@@ -21,6 +21,25 @@ pub struct Analysis {
 }
 
 impl Analysis {
+    /// Assembles an analysis from independently computed parts (the
+    /// incremental region analysis produces the same artifact without a
+    /// monolithic range pass).
+    pub(crate) fn from_parts(
+        dfg: Dfg,
+        mappings: IoMappings,
+        ranges: Ranges,
+        report: OptimizationReport,
+        options: RangeOptions,
+    ) -> Self {
+        Analysis {
+            dfg,
+            mappings,
+            ranges,
+            report,
+            options,
+        }
+    }
+
     /// Runs the full pipeline with default options and no tracing.
     /// (Thin wrapper over [`Analysis::run_traced`] with a no-op trace.)
     ///
@@ -62,7 +81,7 @@ impl Analysis {
         options: RangeOptions,
         trace: &Trace,
     ) -> Result<Self, ModelError> {
-        let dfg = Dfg::new_traced(model, trace)?;
+        let dfg = Dfg::new(model, trace)?;
         let threads = options.resolved_threads();
         let mappings = {
             let span = trace.span("iomap");

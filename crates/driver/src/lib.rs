@@ -61,48 +61,55 @@
 mod cache;
 pub mod lifecycle;
 pub mod report;
+pub mod session;
 
 pub use cache::{CacheStats, CacheStatus};
 pub use lifecycle::{JobPool, JobTicket, PoolConfig, PoolSnapshot, SubmitError};
 pub use report::{BatchReport, CompileReport, JobMetrics, StageTimings};
+pub use session::{CompileSession, SessionBuilder, SessionStats, DEFAULT_REGION_MAX};
 
 use cache::{ArtifactCache, CachedArtifact};
 use frodo_codegen::lir::Program;
-use frodo_codegen::{emit_c_traced, generate_traced, CEmitOptions, GeneratorStyle, LowerOptions};
+use frodo_codegen::{emit_c_traced, generate_with, CEmitOptions, GeneratorStyle, LowerOptions};
 use frodo_core::{Analysis, RangeOptions};
 use frodo_model::Model;
 use frodo_obs::Trace;
 use frodo_slx::fnv::{ContentDigest, DigestWriter};
-use frodo_slx::{read_mdl_traced, read_slx_traced, write_mdl};
+use frodo_slx::{read_mdl, read_slx, write_mdl};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-/// Every knob that affects the generated C, grouped so one value rides a
-/// job through analysis, lowering, and emission — and so the cache key can
-/// cover all of it.
+/// The options that determine the generated C — exactly the set the
+/// artifact cache key (and the incremental session's per-region keys)
+/// must cover. Two compiles whose model and `KeyedOptions` agree produce
+/// byte-identical code.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CompileOptions {
+pub struct KeyedOptions {
     /// Range-determination options (engine, dead-end elimination).
     pub range: RangeOptions,
     /// Lowering options (run coalescing).
     pub lower: LowerOptions,
     /// C emission options (shared convolution helper).
     pub emit: CEmitOptions,
+}
+
+/// The options that only affect *how* a job executes, never *what* it
+/// produces. The type split (instead of the old per-field "excluded from
+/// the cache key" comments) makes the cache keys correct by construction:
+/// [`cache_key`] takes [`KeyedOptions`] and cannot see these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecOptions {
     /// Intra-model thread budget for analysis and emission; `0` means one
     /// per available core. `1` keeps every stage on the calling thread.
-    ///
     /// The parallel stages are byte-identical to the sequential ones for
-    /// every thread count, so this knob is deliberately *excluded* from the
-    /// artifact cache key: compiles that differ only in `intra_threads`
-    /// share one cached artifact.
+    /// every thread count.
     pub intra_threads: usize,
     /// Runs the range-soundness checker (`frodo-verify`) on the lowered
     /// program before emission; a failed check fails the job closed with
     /// [`JobError::Verify`] carrying the structured diagnostics.
     ///
-    /// Verification never changes the generated C, so — like
-    /// `intra_threads` — it is excluded from the cache key. Artifacts are
-    /// only stored after a (possibly skipped) verify pass, so cached code
+    /// Verification never changes the generated C. Artifacts are only
+    /// stored after a (possibly skipped) verify pass, so cached code
     /// under `verify: true` was verified when it was first compiled; cache
     /// hits do not re-verify.
     pub verify: bool,
@@ -111,23 +118,99 @@ pub struct CompileOptions {
     /// job is abandoned on its runner thread and fails with
     /// [`JobError::Timeout`], so a hung job never occupies a worker
     /// forever. Direct [`CompileService::compile`] calls run on the
-    /// calling thread and do not enforce it. Like `intra_threads`, the
-    /// budget never changes the generated C, so it is excluded from the
-    /// artifact cache key.
+    /// calling thread and do not enforce it.
     pub timeout_ms: u64,
 }
 
+/// Every compile knob, split into the half that shapes the generated C
+/// ([`KeyedOptions`], digested into cache keys) and the half that only
+/// shapes execution ([`ExecOptions`], invisible to every cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Options digested into the artifact (and region) cache keys.
+    pub keyed: KeyedOptions,
+    /// Execution-only options, excluded from every cache key by type.
+    pub exec: ExecOptions,
+}
+
 impl CompileOptions {
-    /// Resolves [`CompileOptions::intra_threads`]: `0` becomes one thread
+    /// A builder over every knob, flat like the CLI surface.
+    pub fn builder() -> CompileOptionsBuilder {
+        CompileOptionsBuilder::default()
+    }
+
+    /// Resolves [`ExecOptions::intra_threads`]: `0` becomes one thread
     /// per available core.
     pub fn resolved_intra_threads(&self) -> usize {
-        if self.intra_threads > 0 {
-            self.intra_threads
+        if self.exec.intra_threads > 0 {
+            self.exec.intra_threads
         } else {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         }
+    }
+}
+
+/// Builds a [`CompileOptions`] one knob at a time; each setter routes its
+/// value to the correct half of the keyed/exec split.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileOptionsBuilder {
+    options: CompileOptions,
+}
+
+impl CompileOptionsBuilder {
+    /// Range-determination engine (keyed).
+    pub fn engine(mut self, engine: frodo_core::RangeEngine) -> Self {
+        self.options.keyed.range.engine = engine;
+        self
+    }
+
+    /// Full range-determination options (keyed).
+    pub fn range(mut self, range: RangeOptions) -> Self {
+        self.options.keyed.range = range;
+        self
+    }
+
+    /// Dead-end elimination in range determination (keyed).
+    pub fn eliminate_dead_ends(mut self, on: bool) -> Self {
+        self.options.keyed.range.eliminate_dead_ends = on;
+        self
+    }
+
+    /// Coalescing gap for fragmented calculation ranges (keyed).
+    pub fn coalesce_gap(mut self, gap: usize) -> Self {
+        self.options.keyed.lower.coalesce_gap = gap;
+        self
+    }
+
+    /// Shared convolution helper emission (keyed).
+    pub fn shared_conv_helper(mut self, on: bool) -> Self {
+        self.options.keyed.emit.shared_conv_helper = on;
+        self
+    }
+
+    /// Intra-model thread budget (exec-only).
+    pub fn intra_threads(mut self, threads: usize) -> Self {
+        self.options.exec.intra_threads = threads;
+        self
+    }
+
+    /// Range-soundness verification (exec-only).
+    pub fn verify(mut self, on: bool) -> Self {
+        self.options.exec.verify = on;
+        self
+    }
+
+    /// Per-job wall-clock budget in milliseconds (exec-only).
+    pub fn timeout_ms(mut self, ms: u64) -> Self {
+        self.options.exec.timeout_ms = ms;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> CompileOptions {
+        self.options
     }
 }
 
@@ -412,8 +495,8 @@ impl CompileService {
         let specs: Vec<JobSpec> = specs
             .into_iter()
             .map(|mut s| {
-                if s.options.intra_threads == 0 {
-                    s.options.intra_threads = intra_auto;
+                if s.options.exec.intra_threads == 0 {
+                    s.options.exec.intra_threads = intra_auto;
                 }
                 s
             })
@@ -506,16 +589,16 @@ impl CompileService {
 
         // flatten: the canonical, cache-keyable form (records its own span)
         let flat = model
-            .flattened_traced(&jt)
+            .flattened(&jt)
             .map_err(|e| JobError::Analysis {
                 job: name.clone(),
                 message: e.to_string(),
             })?;
 
-        // hash: content digest of flattened model + options
+        // hash: content digest of flattened model + keyed options
         let digest = {
             let _s = jt.span("hash");
-            cache_key(&flat, style, &options)
+            cache_key(&flat, style, &options.keyed)
         };
         let hex = digest.to_hex();
 
@@ -550,7 +633,7 @@ impl CompileService {
         // taken: the parallel engine and threaded emitter are byte-identical
         // to the sequential path, so the budget must never split the cache.
         let threads = options.resolved_intra_threads();
-        let mut range = options.range;
+        let mut range = options.keyed.range;
         if threads > 1 {
             range.engine = frodo_core::RangeEngine::Parallel;
             range.threads = threads;
@@ -565,11 +648,11 @@ impl CompileService {
         })?;
 
         // lower + emit (each records its own span)
-        let program = generate_traced(&analysis, style, options.lower, &jt);
+        let program = generate_with(&analysis, style, options.keyed.lower, &jt);
 
         // verify (opt-in): certify the lowered program against the
         // analysis before anything is emitted or cached
-        if options.verify {
+        if options.exec.verify {
             let span = jt.span("verify");
             let soundness = frodo_verify::check_compile(&analysis, &program);
             span.count("verify_stmts", soundness.stmts_checked as u64);
@@ -584,7 +667,7 @@ impl CompileService {
             }
         }
 
-        let code = emit_c_traced(&program, options.emit, threads, &jt);
+        let code = emit_c_traced(&program, options.keyed.emit, threads, &jt);
 
         let metrics = JobMetrics::from_analysis(&analysis);
         if !self.config.no_cache {
@@ -626,12 +709,12 @@ fn load_model(path: &Path, trace: &Trace) -> Result<Model, String> {
     match path.extension().and_then(|e| e.to_str()) {
         Some("slx") => {
             let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
-            read_slx_traced(&bytes, trace).map_err(|e| format!("{}: {e}", path.display()))
+            read_slx(&bytes, trace).map_err(|e| format!("{}: {e}", path.display()))
         }
         Some("mdl") => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-            read_mdl_traced(&text, trace).map_err(|e| format!("{}: {e}", path.display()))
+            read_mdl(&text, trace).map_err(|e| format!("{}: {e}", path.display()))
         }
         _ => Err(format!(
             "{}: expected a .slx or .mdl file",
@@ -641,8 +724,14 @@ fn load_model(path: &Path, trace: &Trace) -> Result<Model, String> {
 }
 
 /// The cache key: a content digest over the flattened model's canonical
-/// `.mdl` serialization, the generator style, and every compile option.
-fn cache_key(flat: &Model, style: GeneratorStyle, options: &CompileOptions) -> ContentDigest {
+/// `.mdl` serialization, the generator style, and every keyed option.
+/// Taking [`KeyedOptions`] (not [`CompileOptions`]) makes it impossible
+/// for an execution-only knob to split the cache.
+pub(crate) fn cache_key(
+    flat: &Model,
+    style: GeneratorStyle,
+    options: &KeyedOptions,
+) -> ContentDigest {
     let mut digest = DigestWriter::new();
     digest.update(write_mdl(flat).as_bytes());
     digest.update(style.label().as_bytes());
@@ -683,13 +772,13 @@ mod tests {
 
     #[test]
     fn cache_key_separates_content_style_and_options() {
-        let base = gain_model(2.0).flattened().unwrap();
-        let opts = CompileOptions::default();
+        let base = gain_model(2.0).flattened(&frodo_obs::Trace::noop()).unwrap();
+        let opts = KeyedOptions::default();
         let k0 = cache_key(&base, GeneratorStyle::Frodo, &opts);
         // same content, same key
         assert_eq!(k0, cache_key(&base, GeneratorStyle::Frodo, &opts));
         // different model content
-        let other = gain_model(3.0).flattened().unwrap();
+        let other = gain_model(3.0).flattened(&frodo_obs::Trace::noop()).unwrap();
         assert_ne!(k0, cache_key(&other, GeneratorStyle::Frodo, &opts));
         // different style
         assert_ne!(k0, cache_key(&base, GeneratorStyle::Hcg, &opts));
@@ -765,10 +854,7 @@ mod tests {
         });
         let trace = Trace::new();
         let spec = JobSpec::from_model("g", gain_model(2.0), GeneratorStyle::Frodo)
-            .with_options(CompileOptions {
-                verify: true,
-                ..CompileOptions::default()
-            })
+            .with_options(CompileOptions::builder().verify(true).build())
             .with_trace(&trace);
         let out = service.compile(spec).unwrap();
         assert!(!out.code.is_empty());
@@ -780,17 +866,35 @@ mod tests {
     }
 
     #[test]
-    fn verify_does_not_split_the_cache() {
-        let base = gain_model(2.0).flattened().unwrap();
+    fn cache_key_is_invariant_under_every_exec_option() {
+        // the key's signature only admits KeyedOptions, so any combination
+        // of exec knobs maps to the same key by construction; assert it
+        // end to end through the builder anyway
+        let base = gain_model(2.0).flattened(&frodo_obs::Trace::noop()).unwrap();
         let plain = CompileOptions::default();
-        let verified = CompileOptions {
-            verify: true,
-            ..CompileOptions::default()
-        };
+        let exec_heavy = CompileOptions::builder()
+            .intra_threads(7)
+            .verify(true)
+            .timeout_ms(1234)
+            .build();
+        assert_eq!(plain.keyed, exec_heavy.keyed);
+        assert_ne!(plain.exec, exec_heavy.exec);
         assert_eq!(
-            cache_key(&base, GeneratorStyle::Frodo, &plain),
-            cache_key(&base, GeneratorStyle::Frodo, &verified)
+            cache_key(&base, GeneratorStyle::Frodo, &plain.keyed),
+            cache_key(&base, GeneratorStyle::Frodo, &exec_heavy.keyed)
         );
+        // every ExecOptions field, one at a time
+        for exec in [
+            ExecOptions { intra_threads: 3, ..ExecOptions::default() },
+            ExecOptions { verify: true, ..ExecOptions::default() },
+            ExecOptions { timeout_ms: 99, ..ExecOptions::default() },
+        ] {
+            let opts = CompileOptions { keyed: plain.keyed, exec };
+            assert_eq!(
+                cache_key(&base, GeneratorStyle::Frodo, &plain.keyed),
+                cache_key(&base, GeneratorStyle::Frodo, &opts.keyed)
+            );
+        }
     }
 
     #[test]

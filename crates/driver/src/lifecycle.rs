@@ -367,7 +367,7 @@ fn pop_round_robin(state: &mut PoolState) -> Option<QueuedJob> {
 /// timeout budget — on a detached runner thread the worker abandons on
 /// overrun.
 fn run_job(inner: &PoolInner, spec: JobSpec) -> Result<JobOutput, JobError> {
-    let timeout_ms = spec.options.timeout_ms;
+    let timeout_ms = spec.options.exec.timeout_ms;
     let job = spec.name.clone();
     if timeout_ms == 0 {
         return run_isolated(&inner.service, spec, &job);
@@ -559,10 +559,8 @@ mod tests {
         // never opened: the job would hang forever without the timeout
         let (_open, gate) = mpsc::channel::<()>();
         let hung = pool
-            .submit(1, gated_job("hung", gate).with_options(CompileOptions {
-                timeout_ms: 50,
-                ..CompileOptions::default()
-            }))
+            .submit(1, gated_job("hung", gate)
+                .with_options(CompileOptions::builder().timeout_ms(50).build()))
             .unwrap();
         match hung.wait() {
             Err(JobError::Timeout { job, timeout_ms }) => {

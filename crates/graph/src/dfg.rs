@@ -26,26 +26,18 @@ pub struct Dfg {
 
 impl Dfg {
     /// Analyzes a model: flatten, validate, infer shapes, build adjacency.
-    ///
-    /// # Errors
-    ///
-    /// Propagates any [`ModelError`] from flattening, validation, or shape
-    /// inference.
-    pub fn new(model: Model) -> Result<Self, ModelError> {
-        Dfg::new_traced(model, &frodo_obs::Trace::noop())
-    }
-
-    /// [`Dfg::new`], recorded on the given trace: a `flatten` span for
-    /// subsystem flattening and a `dfg` span (with nested `validate` and
+    /// Recorded on the given trace: a `flatten` span for subsystem
+    /// flattening and a `dfg` span (with nested `validate` and
     /// `shape_infer` child spans and block/connection counters) for graph
-    /// construction proper.
+    /// construction proper. Pass `&Trace::noop()` when no instrumentation
+    /// is wanted.
     ///
     /// # Errors
     ///
     /// Propagates any [`ModelError`] from flattening, validation, or shape
     /// inference.
-    pub fn new_traced(model: Model, trace: &frodo_obs::Trace) -> Result<Self, ModelError> {
-        let flat = model.flattened_traced(trace)?;
+    pub fn new(model: Model, trace: &frodo_obs::Trace) -> Result<Self, ModelError> {
+        let flat = model.flattened(trace)?;
         let span = trace.span("dfg");
         let inner = span.trace();
         {
@@ -89,6 +81,18 @@ impl Dfg {
             port_offsets,
             port_consumers,
         })
+    }
+
+    /// Deprecated alias of [`Dfg::new`], kept one release for callers of
+    /// the old split traced/untraced entry points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ModelError`] from flattening, validation, or shape
+    /// inference.
+    #[deprecated(since = "0.7.0", note = "use `Dfg::new(model, trace)` instead")]
+    pub fn new_traced(model: Model, trace: &frodo_obs::Trace) -> Result<Self, ModelError> {
+        Dfg::new(model, trace)
     }
 
     /// The flattened model.
@@ -248,9 +252,18 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_traced_shim_still_works() {
+        let (m, _) = diamond();
+        let via_shim = Dfg::new_traced(m.clone(), &frodo_obs::Trace::noop()).unwrap();
+        let direct = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
+        assert_eq!(via_shim.model(), direct.model());
+    }
+
+    #[test]
     fn adjacency_of_diamond() {
         let (m, [i, g1, g2, add, o]) = diamond();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         assert_eq!(dfg.children(i), &[g1, g2]);
         assert_eq!(dfg.parents(add), &[g1, g2]);
         assert_eq!(dfg.children(add), &[o]);
@@ -261,7 +274,7 @@ mod tests {
     #[test]
     fn port_consumers_match_model_scan() {
         let (m, ids) = diamond();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         for id in ids {
             for o in 0..dfg.model().block(id).kind.num_outputs() {
                 let port = OutPort::new(id, o);
@@ -277,7 +290,7 @@ mod tests {
     #[test]
     fn out_port_indices_are_dense_and_distinct() {
         let (m, ids) = diamond();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         let mut seen = vec![false; dfg.num_out_ports()];
         for id in ids {
             for o in 0..dfg.model().block(id).kind.num_outputs() {
@@ -292,7 +305,7 @@ mod tests {
     #[test]
     fn dfg_levels_partition_the_blocks() {
         let (m, _) = diamond();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         let n = dfg.model().len();
         assert_eq!(
             dfg.levels().unwrap().iter().map(Vec::len).sum::<usize>(),
@@ -311,7 +324,7 @@ mod tests {
     #[test]
     fn schedule_respects_dependencies() {
         let (m, ids) = diamond();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         let order = dfg.schedule().unwrap();
         let pos = |b: BlockId| order.iter().position(|&x| x == b).unwrap();
         assert!(pos(ids[0]) < pos(ids[1]));
@@ -335,7 +348,7 @@ mod tests {
         m.connect(c, 0, add, 0).unwrap();
         m.connect(c, 0, add, 1).unwrap();
         m.connect(add, 0, o, 0).unwrap();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         assert_eq!(dfg.children(c).len(), 1);
         assert_eq!(dfg.parents(add).len(), 1);
     }
@@ -359,7 +372,7 @@ mod tests {
         let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
         m.connect(i, 0, s, 0).unwrap();
         m.connect(s, 0, o, 0).unwrap();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         assert_eq!(dfg.truncation_count(), 1);
     }
 
@@ -391,7 +404,7 @@ mod tests {
         m.connect(x, 0, s, 0).unwrap();
         m.connect(s, 0, y, 0).unwrap();
 
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         assert!(dfg
             .model()
             .blocks()
@@ -413,7 +426,7 @@ mod tests {
         m.connect(i, 0, g, 0).unwrap();
         m.connect(g, 0, o, 0).unwrap();
         m.connect(i, 0, dangling, 0).unwrap();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         // the outport is a sink but not a dead end (it has no outputs at all)
         assert!(dfg.sinks().contains(&o));
         assert!(!dfg.is_dead_end(o));
@@ -436,7 +449,7 @@ mod tests {
         let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
         m.connect(i, 0, z, 0).unwrap();
         m.connect(z, 0, o, 0).unwrap();
-        let dfg = Dfg::new(m).unwrap();
+        let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         assert!(dfg.is_stateful(z));
         assert!(!dfg.is_stateful(i));
     }
@@ -445,6 +458,6 @@ mod tests {
     fn invalid_model_is_rejected() {
         let mut m = Model::new("bad");
         m.add(Block::new("g", BlockKind::Gain { gain: 1.0 }));
-        assert!(Dfg::new(m).is_err());
+        assert!(Dfg::new(m, &frodo_obs::Trace::noop()).is_err());
     }
 }

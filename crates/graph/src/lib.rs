@@ -21,7 +21,7 @@
 //! let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
 //! m.connect(i, 0, g, 0)?;
 //! m.connect(g, 0, o, 0)?;
-//! let dfg = Dfg::new(m)?;
+//! let dfg = Dfg::new(m, &frodo_obs::Trace::noop())?;
 //! assert_eq!(dfg.roots().len(), 1);
 //! let order = dfg.schedule()?;
 //! assert_eq!(order.len(), 3);
@@ -33,7 +33,9 @@
 #![warn(missing_docs)]
 
 mod dfg;
+mod region;
 mod topo;
 
 pub use dfg::Dfg;
+pub use region::{partition_regions, RegionPartition};
 pub use topo::{analysis_levels, topo_levels, toposort};

@@ -1,0 +1,247 @@
+//! Region partitioning for incremental recompilation.
+//!
+//! A **region** is a dependency-closed chunk of the range-dependency DAG:
+//! the connected components of the undirected graph whose edges are the
+//! producer→consumer connections that Algorithm 1 actually follows (a
+//! consumer participates unless it is *independent* — an `Outport`, a
+//! `Terminator`, or a stateful block, whose input requirement never reads
+//! its own ranges), split into chunks of at most `max_blocks` blocks along
+//! the analysis-level order.
+//!
+//! The partition is what makes per-region caching sound: a region's
+//! calculation ranges are a pure function of its own content plus the
+//! demand arriving at its boundary, and the emission order below
+//! guarantees that demand is final before the region is processed.
+//!
+//! Two ordering invariants, relied on by `frodo-core`'s incremental
+//! analysis:
+//!
+//! 1. **Cross-region**: if block `C` is a non-independent consumer of a
+//!    port of block `B`, then `C`'s region appears at the same or an
+//!    earlier position than `B`'s region in [`RegionPartition::regions`]
+//!    (both blocks share a component by construction, and `C`'s analysis
+//!    level is strictly lower, so `C` lands in an earlier-or-equal chunk).
+//! 2. **Intra-region**: within one region the blocks are sorted by
+//!    `(analysis_level, id)`, so walking a region front to back always
+//!    finalizes consumer ranges before their producers read them.
+
+use crate::Dfg;
+use frodo_model::{BlockId, BlockKind, ModelError};
+
+/// A partition of a [`Dfg`]'s blocks into dependency-ordered regions.
+/// Produced by [`partition_regions`]; every block belongs to exactly one
+/// region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionPartition {
+    regions: Vec<Vec<BlockId>>,
+    region_of: Vec<usize>,
+}
+
+impl RegionPartition {
+    /// The regions in dependency-safe processing order (see the module
+    /// docs for the two ordering invariants).
+    pub fn regions(&self) -> &[Vec<BlockId>] {
+        &self.regions
+    }
+
+    /// The index (into [`RegionPartition::regions`]) of the region a block
+    /// belongs to.
+    pub fn region_of(&self, id: BlockId) -> usize {
+        self.region_of[id.index()]
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the partition has no regions (empty model).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// Whether a consumer's input requirement ignores its own calculation
+/// ranges — the blocks Algorithm 1 treats as recursion anchors.
+fn independent(kind: &BlockKind) -> bool {
+    matches!(kind, BlockKind::Outport { .. } | BlockKind::Terminator) || kind.is_stateful()
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // union by smaller root keeps roots deterministic
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Partitions a graph's blocks into regions of at most `max_blocks` blocks
+/// (`0` means unbounded — one region per connected component).
+///
+/// Deterministic: the same graph and `max_blocks` always produce the same
+/// partition. Components are emitted in order of their smallest block id;
+/// each component's blocks are sorted by `(analysis_level, id)` and cut
+/// into consecutive chunks.
+///
+/// # Errors
+///
+/// Returns [`ModelError::AlgebraicLoop`] if the range-dependency graph is
+/// cyclic (implies a delay-free model cycle).
+pub fn partition_regions(dfg: &Dfg, max_blocks: usize) -> Result<RegionPartition, ModelError> {
+    let model = dfg.model();
+    let n = model.len();
+    let levels = dfg.analysis_levels()?;
+    let mut level_of = vec![0usize; n];
+    for (lvl, blocks) in levels.iter().enumerate() {
+        for &b in blocks {
+            level_of[b.index()] = lvl;
+        }
+    }
+
+    let mut uf = UnionFind::new(n);
+    for c in model.connections() {
+        if !independent(&model.block(c.to.block).kind) {
+            uf.union(c.from.block.index(), c.to.block.index());
+        }
+    }
+
+    // components keyed by root, in order of first (smallest-id) member
+    let mut component_of_root: Vec<Option<usize>> = vec![None; n];
+    let mut components: Vec<Vec<BlockId>> = Vec::new();
+    for id in model.ids() {
+        let root = uf.find(id.index());
+        let slot = match component_of_root[root] {
+            Some(slot) => slot,
+            None => {
+                component_of_root[root] = Some(components.len());
+                components.push(Vec::new());
+                components.len() - 1
+            }
+        };
+        components[slot].push(id);
+    }
+
+    let mut regions: Vec<Vec<BlockId>> = Vec::new();
+    let mut region_of = vec![0usize; n];
+    for mut component in components {
+        component.sort_by_key(|&b| (level_of[b.index()], b));
+        let chunk = if max_blocks == 0 {
+            component.len().max(1)
+        } else {
+            max_blocks
+        };
+        for piece in component.chunks(chunk) {
+            for &b in piece {
+                region_of[b.index()] = regions.len();
+            }
+            regions.push(piece.to_vec());
+        }
+    }
+
+    Ok(RegionPartition { regions, region_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frodo_model::{Block, Model};
+    use frodo_ranges::Shape;
+
+    fn chain(len: usize) -> Model {
+        let mut m = Model::new("chain");
+        let mut prev = m.add(Block::new(
+            "in",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(8),
+            },
+        ));
+        for k in 0..len {
+            let g = m.add(Block::new(format!("g{k}"), BlockKind::Gain { gain: 2.0 }));
+            m.connect(prev, 0, g, 0).unwrap();
+            prev = g;
+        }
+        let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+        m.connect(prev, 0, o, 0).unwrap();
+        m
+    }
+
+    #[test]
+    fn partition_covers_every_block_exactly_once() {
+        let dfg = Dfg::new(chain(10), &frodo_obs::Trace::noop()).unwrap();
+        let p = partition_regions(&dfg, 4).unwrap();
+        let mut seen = vec![false; dfg.model().len()];
+        for (r, region) in p.regions().iter().enumerate() {
+            for &b in region {
+                assert!(!seen[b.index()], "block {b:?} in two regions");
+                seen[b.index()] = true;
+                assert_eq!(p.region_of(b), r);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn max_blocks_bounds_every_region() {
+        let dfg = Dfg::new(chain(23), &frodo_obs::Trace::noop()).unwrap();
+        for max in [1, 3, 8] {
+            let p = partition_regions(&dfg, max).unwrap();
+            assert!(p.regions().iter().all(|r| r.len() <= max), "max={max}");
+        }
+        // unbounded: the chain plus its outport = two components
+        let p = partition_regions(&dfg, 0).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn consumers_never_land_after_their_producers() {
+        let dfg = Dfg::new(chain(17), &frodo_obs::Trace::noop()).unwrap();
+        let p = partition_regions(&dfg, 5).unwrap();
+        let position = |id: BlockId| {
+            let r = p.region_of(id);
+            let within = p.regions()[r].iter().position(|&b| b == id).unwrap();
+            (r, within)
+        };
+        for c in dfg.model().connections() {
+            if independent(&dfg.model().block(c.to.block).kind) {
+                continue;
+            }
+            assert!(
+                position(c.to.block) < position(c.from.block),
+                "consumer {:?} must precede producer {:?}",
+                c.to.block,
+                c.from.block
+            );
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let a = partition_regions(&Dfg::new(chain(12), &frodo_obs::Trace::noop()).unwrap(), 4)
+            .unwrap();
+        let b = partition_regions(&Dfg::new(chain(12), &frodo_obs::Trace::noop()).unwrap(), 4)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

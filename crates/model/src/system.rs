@@ -230,26 +230,29 @@ impl Model {
     }
 
     /// Returns a copy with every [`BlockKind::Subsystem`] flattened away,
-    /// its inner blocks rewired to the outer connections.
+    /// its inner blocks rewired to the outer connections; recorded as a
+    /// `flatten` span (with a `blocks_flattened` counter) on the given
+    /// trace. Pass `&Trace::noop()` when no instrumentation is wanted.
     ///
     /// # Errors
     ///
     /// Returns an error if a subsystem's port blocks are inconsistent.
-    pub fn flattened(&self) -> Result<Model, ModelError> {
-        crate::flatten::flatten(self)
-    }
-
-    /// [`Model::flattened`], recorded as a `flatten` span (with a
-    /// `blocks_flattened` counter) on the given trace.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if a subsystem's port blocks are inconsistent.
-    pub fn flattened_traced(&self, trace: &frodo_obs::Trace) -> Result<Model, ModelError> {
+    pub fn flattened(&self, trace: &frodo_obs::Trace) -> Result<Model, ModelError> {
         let span = trace.span("flatten");
-        let flat = self.flattened()?;
+        let flat = crate::flatten::flatten(self)?;
         span.count("blocks_flattened", flat.len() as u64);
         Ok(flat)
+    }
+
+    /// Deprecated alias of [`Model::flattened`], kept one release for
+    /// callers of the old split traced/untraced entry points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a subsystem's port blocks are inconsistent.
+    #[deprecated(since = "0.7.0", note = "use `flattened(trace)` instead")]
+    pub fn flattened_traced(&self, trace: &frodo_obs::Trace) -> Result<Model, ModelError> {
+        self.flattened(trace)
     }
 
     #[allow(dead_code)]
@@ -350,6 +353,15 @@ mod tests {
         ));
         let b = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
         (m, a, b)
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_traced_shim_still_works() {
+        let (mut m, a, b) = two_block_model();
+        m.connect(a, 0, b, 0).unwrap();
+        let noop = frodo_obs::Trace::noop();
+        assert_eq!(m.flattened_traced(&noop).unwrap(), m.flattened(&noop).unwrap());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub fn validate(model: &Model) -> Result<(), ModelError> {
     }
 
     // (4) the whole model must type-check
-    model.flattened()?.infer_shapes()?;
+    model.flattened(&frodo_obs::Trace::noop())?.infer_shapes()?;
     Ok(())
 }
 

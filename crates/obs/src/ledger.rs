@@ -124,6 +124,19 @@ impl LedgerEntry {
         self.stages.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 
+    /// Region-cache hit rate in percent, from the incremental-compile
+    /// counters (`counter_region_hits` / `counter_region_total`). `None`
+    /// for runs that did not go through an incremental session — the
+    /// counters only exist on that path, so old ledgers and one-shot
+    /// entries read back unchanged.
+    pub fn region_hit_rate_pct(&self) -> Option<f64> {
+        let total = self.counter("region_total");
+        if total <= 0 {
+            return None;
+        }
+        Some(self.counter("region_hits") as f64 / total as f64 * 100.0)
+    }
+
     /// Serializes the entry as one flat NDJSON line (no trailing
     /// newline).
     pub fn to_line(&self) -> String {
@@ -396,6 +409,16 @@ mod tests {
         let svc = back.svc.expect("svc metrics");
         assert_eq!(svc.cache_evictions, 0);
         assert_eq!(svc.job_timeouts, 0);
+    }
+
+    #[test]
+    fn region_hit_rate_comes_from_the_incremental_counters() {
+        let mut entry = sample_entry();
+        assert_eq!(entry.region_hit_rate_pct(), None, "one-shot runs have no rate");
+        entry.counters.push(("region_hits".into(), 36));
+        entry.counters.push(("region_total".into(), 40));
+        let back = LedgerEntry::from_line(&entry.to_line()).expect("parses");
+        assert_eq!(back.region_hit_rate_pct(), Some(90.0));
     }
 
     #[test]

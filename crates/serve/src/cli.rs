@@ -78,12 +78,12 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
 pub fn cmd_client(args: &[String]) -> Result<(), String> {
     let value_flags = [
         "--socket", "--tcp", "-s", "--style", "--styles", "--threads", "-t", "--engine",
-        "--timeout", "--client", "--retries", "-o", "--output",
+        "--timeout", "--client", "--retries", "-o", "--output", "--session", "--region-max",
     ];
     let bool_flags = ["--verify", "--trace"];
     let pos = positionals(args, &value_flags, &bool_flags);
     let kind = *pos.first().ok_or(
-        "client: missing request kind (compile|lint|batch|status|shutdown)",
+        "client: missing request kind (compile|recompile|lint|batch|status|shutdown)",
     )?;
     let mut conn = Client::connect(&endpoint(args)?)?;
     let options = request_options(args)?;
@@ -98,11 +98,22 @@ pub fn cmd_client(args: &[String]) -> Result<(), String> {
             let response = conn.request_with_retry(&line, retries)?;
             handle_result_line(&response, output)
         }
+        "recompile" => {
+            let model = *pos.get(1).ok_or("client recompile: missing model")?;
+            let session = flag_value(args, &["--session"])
+                .ok_or("client recompile: missing --session NAME")?;
+            let style = flag_value(args, &["-s", "--style"]);
+            let region_max: usize = parse_num(args, &["--region-max"], "--region-max")?.unwrap_or(0);
+            let line = client::recompile_request(session, model, style, &options, region_max);
+            let response = conn.request_one(&line)?;
+            handle_result_line(&response, output)
+        }
         "lint" => {
             let model = *pos.get(1).ok_or("client lint: missing model")?;
             let response = conn.request_one(&client::simple_request("lint", Some(model)))?;
             println!("{response}");
             let fields = ndjson::parse_line(&response)?;
+            client::check_proto(&fields)?;
             expect_ok(&fields)
         }
         "batch" => {
@@ -118,15 +129,16 @@ pub fn cmd_client(args: &[String]) -> Result<(), String> {
         "status" => {
             let response = conn.request_one(&client::simple_request("status", None))?;
             println!("{response}");
-            Ok(())
+            client::check_proto(&ndjson::parse_line(&response)?)
         }
         "shutdown" => {
             let response = conn.request_one(&client::simple_request("shutdown", None))?;
             println!("{response}");
-            Ok(())
+            client::check_proto(&ndjson::parse_line(&response)?)
         }
         other => Err(format!(
-            "client: unknown request kind '{other}' (expected compile|lint|batch|status|shutdown)"
+            "client: unknown request kind '{other}' \
+             (expected compile|recompile|lint|batch|status|shutdown)"
         )),
     }
 }
@@ -155,9 +167,11 @@ fn request_options(args: &[String]) -> Result<RequestOptions, String> {
 }
 
 /// Unpacks a single `result` line: code to `-o` (or stdout), a summary
-/// to stderr; failures become the exit error.
+/// to stderr; failures become the exit error. `recompile` results add a
+/// region-reuse line.
 fn handle_result_line(line: &str, output: Option<&str>) -> Result<(), String> {
     let fields = ndjson::parse_line(line)?;
+    client::check_proto(&fields)?;
     match ndjson::get_str(&fields, "type") {
         Some("result") => {}
         Some("draining") => return Err("daemon is draining; resubmit later".into()),
@@ -176,6 +190,15 @@ fn handle_result_line(line: &str, output: Option<&str>) -> Result<(), String> {
         ndjson::get_str(&fields, "cache").unwrap_or("?"),
         ndjson::get_num(&fields, "code_bytes").unwrap_or(0.0) as u64,
     );
+    if let Some(regions) = ndjson::get_num(&fields, "regions") {
+        eprintln!(
+            "  regions {}/{} reused, {} dirty blocks, {} fragments reused",
+            ndjson::get_num(&fields, "region_hits").unwrap_or(0.0) as u64,
+            regions as u64,
+            ndjson::get_num(&fields, "dirty_blocks").unwrap_or(0.0) as u64,
+            ndjson::get_num(&fields, "fragment_hits").unwrap_or(0.0) as u64,
+        );
+    }
     Ok(())
 }
 
@@ -188,6 +211,7 @@ fn handle_batch_lines(lines: &[String], output: Option<&str>) -> Result<(), Stri
     let mut failures = Vec::new();
     for line in lines {
         let fields = ndjson::parse_line(line)?;
+        client::check_proto(&fields)?;
         match ndjson::get_str(&fields, "type") {
             Some("result") => {
                 let job = ndjson::get_str(&fields, "job").unwrap_or("?");

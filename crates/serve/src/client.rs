@@ -170,6 +170,30 @@ pub fn response_type(line: &str) -> Result<String, String> {
         .ok_or_else(|| "response has no \"type\" field".to_string())
 }
 
+/// Starts a request object: `type` plus the protocol version this build
+/// speaks, so a newer daemon knows exactly what it is talking to and an
+/// older one (which ignores unknown fields) is unaffected.
+fn request(kind: &str) -> ndjson::ObjWriter {
+    let mut w = ndjson::ObjWriter::new();
+    w.field_str("type", kind)
+        .field_num("proto_version", proto::PROTO_VERSION);
+    w
+}
+
+/// Checks a response's `proto_version` against this build's. Responses
+/// without one (a version-1 daemon) pass; a version this client does not
+/// speak is a clean error instead of a misread line.
+pub fn check_proto(fields: &[(String, ndjson::Value)]) -> Result<(), String> {
+    match ndjson::get_num(fields, "proto_version").map(|v| v as u64) {
+        None => Ok(()),
+        Some(v) if (1..=proto::PROTO_VERSION).contains(&v) => Ok(()),
+        Some(v) => Err(format!(
+            "daemon speaks proto_version {v}; this client speaks 1..={} — upgrade the client",
+            proto::PROTO_VERSION
+        )),
+    }
+}
+
 /// Builds a `compile` request line from CLI-level parts.
 pub fn compile_request(
     model: &str,
@@ -177,8 +201,8 @@ pub fn compile_request(
     options: &proto::RequestOptions,
     client: Option<u64>,
 ) -> String {
-    let mut w = ndjson::ObjWriter::new();
-    w.field_str("type", "compile").field_str("model", model);
+    let mut w = request("compile");
+    w.field_str("model", model);
     if let Some(style) = style {
         w.field_str("style", style);
     }
@@ -197,9 +221,8 @@ pub fn batch_request(
         .iter()
         .map(|m| format!("\"{}\"", frodo_obs::json_escape(m)))
         .collect();
-    let mut w = ndjson::ObjWriter::new();
-    w.field_str("type", "batch")
-        .field_raw("models", &format!("[{}]", items.join(",")));
+    let mut w = request("batch");
+    w.field_raw("models", &format!("[{}]", items.join(",")));
     if let Some(styles) = styles {
         w.field_str("styles", styles);
     }
@@ -207,11 +230,31 @@ pub fn batch_request(
     w.finish()
 }
 
+/// Builds a `recompile` request line: a compile through the named
+/// server-side incremental session.
+pub fn recompile_request(
+    session: &str,
+    model: &str,
+    style: Option<&str>,
+    options: &proto::RequestOptions,
+    region_max: usize,
+) -> String {
+    let mut w = request("recompile");
+    w.field_str("session", session).field_str("model", model);
+    if let Some(style) = style {
+        w.field_str("style", style);
+    }
+    if region_max > 0 {
+        w.field_num("region_max", region_max as u64);
+    }
+    write_options(&mut w, options, None);
+    w.finish()
+}
+
 /// Builds a bare request line (`lint` takes a model; `status` and
 /// `shutdown` take nothing).
 pub fn simple_request(kind: &str, model: Option<&str>) -> String {
-    let mut w = ndjson::ObjWriter::new();
-    w.field_str("type", kind);
+    let mut w = request(kind);
     if let Some(model) = model {
         w.field_str("model", model);
     }
@@ -285,9 +328,46 @@ mod tests {
             other => panic!("expected batch, got {other:?}"),
         }
 
+        let line = recompile_request("s1", "random:42:60", None, &Default::default(), 16);
+        match parse_request(&line).unwrap() {
+            Request::Recompile {
+                session,
+                model,
+                region_max,
+                ..
+            } => {
+                assert_eq!(session, "s1");
+                assert_eq!(model, "random:42:60");
+                assert_eq!(region_max, 16);
+            }
+            other => panic!("expected recompile, got {other:?}"),
+        }
+
         assert!(matches!(
             parse_request(&simple_request("status", None)).unwrap(),
             Request::Status
         ));
+    }
+
+    #[test]
+    fn requests_carry_the_proto_version_and_responses_are_checked() {
+        let line = simple_request("status", None);
+        let fields = ndjson::parse_line(&line).unwrap();
+        assert_eq!(
+            ndjson::get_num(&fields, "proto_version"),
+            Some(proto::PROTO_VERSION as f64)
+        );
+
+        let v1 = ndjson::parse_line(r#"{"type":"status","ok":1}"#).unwrap();
+        assert!(check_proto(&v1).is_ok());
+        let current = ndjson::parse_line(&format!(
+            r#"{{"type":"status","proto_version":{}}}"#,
+            proto::PROTO_VERSION
+        ))
+        .unwrap();
+        assert!(check_proto(&current).is_ok());
+        let future = ndjson::parse_line(r#"{"type":"status","proto_version":99}"#).unwrap();
+        let err = check_proto(&future).unwrap_err();
+        assert!(err.contains("proto_version 99"), "{err}");
     }
 }

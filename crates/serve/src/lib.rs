@@ -40,5 +40,5 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, Endpoint};
-pub use proto::{Request, RequestOptions};
+pub use proto::{Request, RequestOptions, PROTO_VERSION};
 pub use server::{Server, ServerConfig};

@@ -13,22 +13,45 @@
 //! | `compile` | `model`, optional `style`, `threads`, `engine`, `verify`, `trace`, `timeout_ms`, `client` |
 //! | `lint` | `model` |
 //! | `batch` | `models` (array), optional `styles` (comma list or `all`), plus the `compile` options |
+//! | `recompile` | `session`, `model`, optional `style`, `region_max`, plus the `compile` options |
 //! | `status` | — |
 //! | `shutdown` | — |
 //!
-//! `model` is a `.slx`/`.mdl` path (resolved server-side) or a bundled
-//! Table-1 benchmark name. `client` names the fairness bucket submissions
-//! queue under; connections without one get a per-connection bucket.
+//! `model` is a `.slx`/`.mdl` path (resolved server-side), a bundled
+//! Table-1 benchmark name, or a `random:<seed>:<size>[:edit:<k>]` spec.
+//! `client` names the fairness bucket submissions queue under;
+//! connections without one get a per-connection bucket. `recompile`
+//! compiles through a named server-side [`frodo_driver::CompileSession`]:
+//! resubmitting an edited model under the same `session` re-analyzes only
+//! the regions the edit dirtied (the session pins the first request's
+//! style and options).
 //!
-//! Response kinds: `result` (one per job; `ok` 0/1), `lint-result`,
-//! `batch-done` (terminator after a batch's `result` lines), `status`,
-//! `busy` (admission backpressure, with `retry_after_ms`), `draining`,
-//! `shutdown` (the final ack), and `error` (malformed request).
+//! Response kinds: `result` (one per job; `ok` 0/1; `recompile` results
+//! add `regions`/`region_hits`/`dirty_blocks`/`fragment_hits`),
+//! `lint-result`, `batch-done` (terminator after a batch's `result`
+//! lines), `status`, `busy` (admission backpressure, with
+//! `retry_after_ms`), `draining`, `shutdown` (the final ack), and `error`
+//! (malformed request).
+//!
+//! # Versioning
+//!
+//! Every request and response may carry a `proto_version` number; this
+//! build speaks [`PROTO_VERSION`], and every response states it. A
+//! request without one is treated as version 1 (the pre-versioned wire
+//! format, which this build still accepts). A request with a version this
+//! daemon does not speak gets a structured `error` response naming the
+//! supported range — it is never silently misparsed.
 
 use frodo_codegen::GeneratorStyle;
 use frodo_core::{RangeEngine, RangeOptions};
-use frodo_driver::{CacheStats, CompileOptions, JobError, JobOutput, PoolSnapshot};
+use frodo_driver::{CacheStats, CompileOptions, JobError, JobOutput, PoolSnapshot, SessionStats};
 use frodo_obs::ndjson::{self, ObjWriter, Value};
+
+/// The wire-protocol version this build speaks. Version 1 is the
+/// pre-versioned NDJSON format (still accepted when a request carries no
+/// `proto_version`); version 2 added the field itself and the
+/// `recompile` request.
+pub const PROTO_VERSION: u64 = 2;
 
 /// Per-request compile options — the CLI surface, carried on the wire.
 #[derive(Debug, Clone, Copy, Default)]
@@ -48,13 +71,12 @@ pub struct RequestOptions {
 impl RequestOptions {
     /// Lowers the wire options onto the driver's option set.
     pub fn compile_options(&self) -> CompileOptions {
-        CompileOptions {
-            intra_threads: self.threads,
-            range: self.range,
-            verify: self.verify,
-            timeout_ms: self.timeout_ms,
-            ..CompileOptions::default()
-        }
+        CompileOptions::builder()
+            .range(self.range)
+            .intra_threads(self.threads)
+            .verify(self.verify)
+            .timeout_ms(self.timeout_ms)
+            .build()
     }
 }
 
@@ -87,6 +109,20 @@ pub enum Request {
         options: RequestOptions,
         /// Fairness bucket, when the client names one.
         client: Option<u64>,
+    },
+    /// Compile through a named server-side incremental compile session.
+    Recompile {
+        /// Session name (created on first use; pins style and options).
+        session: String,
+        /// Model path, benchmark name, or `random:` spec.
+        model: String,
+        /// Generator style (defaults to `frodo`; pinned at creation).
+        style: GeneratorStyle,
+        /// Compile options (pinned at creation).
+        options: RequestOptions,
+        /// Region-size cap for the partition (`0` = the driver default;
+        /// pinned at creation).
+        region_max: usize,
     },
     /// Report queue, cache, and worker metrics.
     Status,
@@ -139,9 +175,18 @@ fn options_from(fields: &[(String, Value)]) -> Result<RequestOptions, String> {
     })
 }
 
-/// Parses one request line.
+/// Parses one request line. A `proto_version` this build does not speak
+/// is a structured error before the `type` is even looked at.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let fields = ndjson::parse_line(line)?;
+    if let Some(v) = ndjson::get_num(&fields, "proto_version") {
+        let v = v as u64;
+        if v == 0 || v > PROTO_VERSION {
+            return Err(format!(
+                "unsupported proto_version {v} (this daemon speaks 1..={PROTO_VERSION})"
+            ));
+        }
+    }
     let typ = ndjson::get_str(&fields, "type").ok_or("request has no \"type\" field")?;
     let model = || -> Result<String, String> {
         ndjson::get_str(&fields, "model")
@@ -184,21 +229,37 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 client,
             })
         }
+        "recompile" => Ok(Request::Recompile {
+            session: ndjson::get_str(&fields, "session")
+                .map(str::to_string)
+                .ok_or("recompile request has no \"session\" field")?,
+            model: model()?,
+            style: match ndjson::get_str(&fields, "style") {
+                Some(s) => parse_style(s)?,
+                None => GeneratorStyle::Frodo,
+            },
+            options: options_from(&fields)?,
+            region_max: ndjson::get_num(&fields, "region_max").unwrap_or(0.0) as usize,
+        }),
         "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown request type '{other}'")),
     }
 }
 
-/// Renders a completed job. `code` rides along so clients can write the
-/// artifact without a second round trip; `stages` only when the request
-/// asked for per-stage timings (`"trace":1`).
-pub fn render_result(out: &JobOutput, with_stages: bool) -> String {
-    let r = &out.report;
+/// Starts a response object: `type`, the protocol version, and `ok`.
+fn response(typ: &str, ok: u64) -> ObjWriter {
     let mut w = ObjWriter::new();
-    w.field_str("type", "result")
-        .field_num("ok", 1)
-        .field_str("job", &r.job)
+    w.field_str("type", typ)
+        .field_num("proto_version", PROTO_VERSION)
+        .field_num("ok", ok);
+    w
+}
+
+/// The shared body of a `result` line, minus the trailing `code` field.
+fn result_fields(w: &mut ObjWriter, out: &JobOutput, with_stages: bool) {
+    let r = &out.report;
+    w.field_str("job", &r.job)
         .field_str("style", r.style.label())
         .field_str("cache", r.cache.label())
         .field_str("digest", &r.digest.to_string())
@@ -215,16 +276,35 @@ pub fn render_result(out: &JobOutput, with_stages: bool) -> String {
         stages.field_num("total", r.timings.total().as_nanos() as u64);
         w.field_raw("stages", &stages.finish());
     }
+}
+
+/// Renders a completed job. `code` rides along so clients can write the
+/// artifact without a second round trip; `stages` only when the request
+/// asked for per-stage timings (`"trace":1`).
+pub fn render_result(out: &JobOutput, with_stages: bool) -> String {
+    let mut w = response("result", 1);
+    result_fields(&mut w, out, with_stages);
     w.field_str("code", &out.code);
+    w.finish()
+}
+
+/// Renders a completed `recompile` job: a `result` line with the
+/// session's region-reuse stats for this compile.
+pub fn render_recompile_result(out: &JobOutput, stats: &SessionStats, with_stages: bool) -> String {
+    let mut w = response("result", 1);
+    result_fields(&mut w, out, with_stages);
+    w.field_num("regions", stats.last_region_total)
+        .field_num("region_hits", stats.last_region_hits)
+        .field_num("dirty_blocks", stats.last_dirty_blocks)
+        .field_num("fragment_hits", stats.last_fragment_hits)
+        .field_str("code", &out.code);
     w.finish()
 }
 
 /// Renders a failed job as an `ok:0` result.
 pub fn render_job_error(err: &JobError) -> String {
-    let mut w = ObjWriter::new();
-    w.field_str("type", "result")
-        .field_num("ok", 0)
-        .field_str("job", err.job())
+    let mut w = response("result", 0);
+    w.field_str("job", err.job())
         .field_str("error", &err.to_string());
     if matches!(err, JobError::Timeout { .. }) {
         w.field_num("timeout", 1);
@@ -242,10 +322,8 @@ pub fn render_lint(model: &str, diags: &[frodo_verify::Diagnostic]) -> String {
         .iter()
         .filter(|d| d.severity == frodo_verify::Severity::Error)
         .count();
-    let mut w = ObjWriter::new();
-    w.field_str("type", "lint-result")
-        .field_num("ok", u64::from(errors == 0))
-        .field_str("model", model)
+    let mut w = response("lint-result", u64::from(errors == 0));
+    w.field_str("model", model)
         .field_num("findings", diags.len() as u64)
         .field_num("errors", errors as u64)
         .field_raw("diags", &render_diags(diags));
@@ -274,27 +352,21 @@ fn render_diags(diags: &[frodo_verify::Diagnostic]) -> String {
 
 /// Renders the backpressure response for a full admission queue.
 pub fn render_busy(queued: usize, retry_after_ms: u64) -> String {
-    let mut w = ObjWriter::new();
-    w.field_str("type", "busy")
-        .field_num("ok", 0)
-        .field_num("queued", queued as u64)
+    let mut w = response("busy", 0);
+    w.field_num("queued", queued as u64)
         .field_num("retry_after_ms", retry_after_ms);
     w.finish()
 }
 
 /// Renders the rejection sent while the server drains.
 pub fn render_draining() -> String {
-    let mut w = ObjWriter::new();
-    w.field_str("type", "draining").field_num("ok", 0);
-    w.finish()
+    response("draining", 0).finish()
 }
 
 /// Renders a request-level error (parse failure, unknown model, …).
 pub fn render_error(message: &str) -> String {
-    let mut w = ObjWriter::new();
-    w.field_str("type", "error")
-        .field_num("ok", 0)
-        .field_str("message", message);
+    let mut w = response("error", 0);
+    w.field_str("message", message);
     w.finish()
 }
 
@@ -303,6 +375,7 @@ pub fn render_error(message: &str) -> String {
 pub fn render_batch_done(jobs: usize, ok: usize, failed: usize, rejected: usize) -> String {
     let mut w = ObjWriter::new();
     w.field_str("type", "batch-done")
+        .field_num("proto_version", PROTO_VERSION)
         .field_num("jobs", jobs as u64)
         .field_num("ok", ok as u64)
         .field_num("failed", failed as u64)
@@ -330,10 +403,8 @@ pub fn render_status(
     } else {
         pool.busy_ns as f64 / capacity_ns as f64 * 100.0
     };
-    let mut w = ObjWriter::new();
-    w.field_str("type", "status")
-        .field_num("ok", 1)
-        .field_num("uptime_ms", uptime_ms)
+    let mut w = response("status", 1);
+    w.field_num("uptime_ms", uptime_ms)
         .field_num("workers", pool.workers as u64)
         .field_num("queue_depth", pool.queue_depth as u64)
         .field_num("in_flight", pool.in_flight as u64)
@@ -357,10 +428,8 @@ pub fn render_status(
 /// Renders the shutdown ack: sent after the drain completes, immediately
 /// before the listener goes away.
 pub fn render_shutdown_ack(completed: u64, ledger: Option<&str>) -> String {
-    let mut w = ObjWriter::new();
-    w.field_str("type", "shutdown")
-        .field_num("ok", 1)
-        .field_num("completed", completed);
+    let mut w = response("shutdown", 1);
+    w.field_num("completed", completed);
     if let Some(path) = ledger {
         w.field_str("ledger", path);
     }
@@ -393,8 +462,9 @@ mod tests {
                 assert_eq!(options.timeout_ms, 500);
                 assert_eq!(client, Some(7));
                 let co = options.compile_options();
-                assert_eq!(co.intra_threads, 2);
-                assert_eq!(co.timeout_ms, 500);
+                assert_eq!(co.exec.intra_threads, 2);
+                assert_eq!(co.exec.timeout_ms, 500);
+                assert_eq!(co.keyed.range.engine, RangeEngine::Iterative);
             }
             other => panic!("expected compile, got {other:?}"),
         }
@@ -421,6 +491,63 @@ mod tests {
             parse_request(r#"{"type":"shutdown"}"#).unwrap(),
             Request::Shutdown
         ));
+    }
+
+    #[test]
+    fn recompile_requests_parse_with_session_and_region_max() {
+        let r = parse_request(
+            r#"{"type":"recompile","proto_version":2,"session":"edit-loop","model":"random:42:60","style":"frodo","region_max":8}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Recompile {
+                session,
+                model,
+                style,
+                region_max,
+                ..
+            } => {
+                assert_eq!(session, "edit-loop");
+                assert_eq!(model, "random:42:60");
+                assert_eq!(style, GeneratorStyle::Frodo);
+                assert_eq!(region_max, 8);
+            }
+            other => panic!("expected recompile, got {other:?}"),
+        }
+        assert!(parse_request(r#"{"type":"recompile","model":"Kalman"}"#)
+            .unwrap_err()
+            .contains("session"));
+    }
+
+    #[test]
+    fn unknown_proto_versions_are_rejected_and_stated() {
+        // absent = version 1; the current version passes
+        assert!(parse_request(r#"{"type":"status"}"#).is_ok());
+        assert!(parse_request(&format!(
+            r#"{{"type":"status","proto_version":{PROTO_VERSION}}}"#
+        ))
+        .is_ok());
+        // a future (or zero) version is a structured refusal
+        let err = parse_request(r#"{"type":"status","proto_version":99}"#).unwrap_err();
+        assert!(err.contains("unsupported proto_version 99"), "{err}");
+        assert!(err.contains(&format!("1..={PROTO_VERSION}")), "{err}");
+        assert!(parse_request(r#"{"type":"status","proto_version":0}"#).is_err());
+        // every response states the version it speaks
+        for line in [
+            render_error("nope"),
+            render_busy(1, 5),
+            render_draining(),
+            render_batch_done(1, 1, 0, 0),
+            render_shutdown_ack(0, None),
+            render_status(&PoolSnapshot::default(), &CacheStats::default(), 0, 0, 0),
+        ] {
+            let fields = ndjson::parse_line(&line).unwrap();
+            assert_eq!(
+                ndjson::get_num(&fields, "proto_version"),
+                Some(PROTO_VERSION as f64),
+                "{line}"
+            );
+        }
     }
 
     #[test]

@@ -16,18 +16,21 @@
 //! dialing itself awake.
 
 use crate::client::{Endpoint, Stream};
-use crate::proto::{self, Request};
+use crate::proto::{self, Request, RequestOptions};
+use frodo_codegen::GeneratorStyle;
 use frodo_driver::{
-    CompileService, JobPool, JobSpec, JobTicket, PoolConfig, ServiceConfig, SubmitError,
+    CompileService, CompileSession, JobPool, JobSpec, JobTicket, PoolConfig, ServiceConfig,
+    SubmitError,
 };
 use frodo_model::Model;
 use frodo_obs::{aggregate, append_entry, LedgerEntry, ServiceMetrics, Trace};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Daemon configuration.
@@ -63,6 +66,10 @@ struct Shared {
     conn_seq: AtomicU64,
     stopping: AtomicBool,
     ledger_out: Option<PathBuf>,
+    /// Named incremental compile sessions (`recompile` requests), shared
+    /// across connections. Each session serializes its own compiles;
+    /// distinct sessions run concurrently.
+    sessions: Mutex<HashMap<String, Arc<Mutex<CompileSession>>>>,
 }
 
 enum Listener {
@@ -136,6 +143,7 @@ impl Server {
             conn_seq: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
             ledger_out: config.ledger_out,
+            sessions: Mutex::new(HashMap::new()),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -255,6 +263,13 @@ fn handle_request(
             options,
             client,
         } => handle_batch(shared, &models, &styles, options, client.unwrap_or(conn_client)),
+        Request::Recompile {
+            session,
+            model,
+            style,
+            options,
+            region_max,
+        } => vec![handle_recompile(shared, &session, &model, style, options, region_max)],
         Request::Status => {
             let uptime_ms = shared.started.elapsed().as_millis() as u64;
             vec![proto::render_status(
@@ -336,6 +351,60 @@ fn handle_batch(
     lines
 }
 
+/// Compiles through a named incremental session, creating it on first
+/// use. The session pins the style, options, and region cap of the
+/// request that created it; a later request naming the same session with
+/// a different style is refused rather than silently recompiled cold.
+/// Runs inline on the connection handler (sessions own in-memory caches,
+/// so their compiles cannot move across pool workers); the map lock is
+/// held only for the lookup, so distinct sessions compile concurrently.
+fn handle_recompile(
+    shared: &Arc<Shared>,
+    session: &str,
+    model_ref: &str,
+    style: GeneratorStyle,
+    options: RequestOptions,
+    region_max: usize,
+) -> String {
+    let model = match resolve_model(model_ref) {
+        Ok(m) => m,
+        Err(message) => return proto::render_error(&message),
+    };
+    let entry = {
+        let mut sessions = shared.sessions.lock().unwrap();
+        Arc::clone(sessions.entry(session.to_string()).or_insert_with(|| {
+            Arc::new(Mutex::new(
+                CompileSession::builder(style)
+                    .options(options.compile_options())
+                    .region_max(if region_max == 0 {
+                        frodo_driver::DEFAULT_REGION_MAX
+                    } else {
+                        region_max
+                    })
+                    .build(),
+            ))
+        }))
+    };
+    let mut sess = entry.lock().unwrap();
+    if sess.style() != style {
+        return proto::render_error(&format!(
+            "session '{session}' is pinned to style {}; open another session for {}",
+            sess.style().label(),
+            style.label()
+        ));
+    }
+    match sess.compile(model_ref, model, &shared.trace) {
+        Ok(out) => {
+            shared.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            proto::render_recompile_result(&out, &sess.stats(), options.trace)
+        }
+        Err(e) => {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            proto::render_job_error(&e)
+        }
+    }
+}
+
 /// Waits a ticket out and renders the result, keeping the server-wide
 /// ok/failed tallies. The flag is whether the job succeeded.
 fn finish_job(shared: &Shared, ticket: JobTicket, with_stages: bool) -> (String, bool) {
@@ -362,25 +431,26 @@ fn render_submit_error(e: &SubmitError) -> String {
 }
 
 /// Resolves a model reference the way the CLI does: a `.slx`/`.mdl`
-/// path, or a bundled Table-1 benchmark name.
+/// path, a bundled Table-1 benchmark name, or a
+/// `random:<seed>:<size>[:edit:<k>]` spec.
 fn resolve_model(model_ref: &str) -> Result<Model, String> {
     let path = std::path::Path::new(model_ref);
     match path.extension().and_then(|e| e.to_str()) {
         Some("slx") => {
             let bytes = std::fs::read(path).map_err(|e| format!("{model_ref}: {e}"))?;
-            frodo_slx::read_slx(&bytes).map_err(|e| format!("{model_ref}: {e}"))
+            frodo_slx::read_slx(&bytes, &frodo_obs::Trace::noop()).map_err(|e| format!("{model_ref}: {e}"))
         }
         Some("mdl") => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("{model_ref}: {e}"))?;
-            frodo_slx::read_mdl(&text).map_err(|e| format!("{model_ref}: {e}"))
+            frodo_slx::read_mdl(&text, &frodo_obs::Trace::noop()).map_err(|e| format!("{model_ref}: {e}"))
         }
-        _ => match frodo_benchmodels::by_name(model_ref) {
-            Some(bench) => Ok(bench.model),
-            None => Err(format!(
-                "'{model_ref}' is neither a .slx/.mdl path nor a bundled benchmark"
-            )),
-        },
+        _ => frodo_benchmodels::by_spec(model_ref).ok_or_else(|| {
+            format!(
+                "'{model_ref}' is not a .slx/.mdl path, a bundled benchmark, \
+                 or a random:<seed>:<size>[:edit:<k>] spec"
+            )
+        }),
     }
 }
 
@@ -397,10 +467,14 @@ fn job_spec_for(
         }
         return Ok(JobSpec::from_path(path, style));
     }
-    match frodo_benchmodels::by_name(model_ref) {
-        Some(bench) => Ok(JobSpec::from_model(bench.name, bench.model, style)),
+    if let Some(bench) = frodo_benchmodels::by_name(model_ref) {
+        return Ok(JobSpec::from_model(bench.name, bench.model, style));
+    }
+    match frodo_benchmodels::by_spec(model_ref) {
+        Some(model) => Ok(JobSpec::from_model(model_ref, model, style)),
         None => Err(format!(
-            "'{model_ref}' is neither a .slx/.mdl path nor a bundled benchmark"
+            "'{model_ref}' is not a .slx/.mdl path, a bundled benchmark, \
+             or a random:<seed>:<size>[:edit:<k>] spec"
         )),
     }
 }

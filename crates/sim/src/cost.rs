@@ -377,13 +377,13 @@ mod tests {
     fn frodo_is_fastest_on_every_config() {
         let a = figure1();
         for cm in CostModel::all() {
-            let frodo = cm.program_ns(&generate(&a, GeneratorStyle::Frodo));
+            let frodo = cm.program_ns(&generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()));
             for style in [
                 GeneratorStyle::SimulinkCoder,
                 GeneratorStyle::DfSynth,
                 GeneratorStyle::Hcg,
             ] {
-                let other = cm.program_ns(&generate(&a, style));
+                let other = cm.program_ns(&generate(&a, style, &frodo_obs::Trace::noop()));
                 assert!(
                     frodo < other,
                     "{}: frodo {frodo} !< {style} {other}",
@@ -397,8 +397,8 @@ mod tests {
     fn branchy_conv_is_much_slower_than_tight() {
         let a = figure1();
         let cm = CostModel::x86_gcc();
-        let simulink = cm.program_ns(&generate(&a, GeneratorStyle::SimulinkCoder));
-        let dfsynth = cm.program_ns(&generate(&a, GeneratorStyle::DfSynth));
+        let simulink = cm.program_ns(&generate(&a, GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop()));
+        let dfsynth = cm.program_ns(&generate(&a, GeneratorStyle::DfSynth, &frodo_obs::Trace::noop()));
         assert!(simulink > dfsynth * 1.5, "{simulink} vs {dfsynth}");
     }
 
@@ -409,8 +409,8 @@ mod tests {
         let x86 = CostModel::x86_gcc();
         let arm = CostModel::arm_gcc();
         let ratio = |cm: &CostModel| {
-            cm.program_ns(&generate(&a, GeneratorStyle::SimulinkCoder))
-                / cm.program_ns(&generate(&a, GeneratorStyle::Frodo))
+            cm.program_ns(&generate(&a, GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop()))
+                / cm.program_ns(&generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()))
         };
         assert!(ratio(&arm) > ratio(&x86) * 0.9);
     }
@@ -418,7 +418,7 @@ mod tests {
     #[test]
     fn clang_profile_is_faster_on_clean_code() {
         let a = figure1();
-        let p = generate(&a, GeneratorStyle::Frodo);
+        let p = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         assert!(CostModel::x86_clang().program_ns(&p) < CostModel::x86_gcc().program_ns(&p));
     }
 
@@ -431,7 +431,7 @@ mod tests {
     #[test]
     fn execution_seconds_scales_with_iters() {
         let a = figure1();
-        let p = generate(&a, GeneratorStyle::Frodo);
+        let p = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let cm = CostModel::x86_gcc();
         let one = cm.execution_seconds(&p, 1);
         let many = cm.execution_seconds(&p, 10_000);

@@ -39,7 +39,7 @@
 //! let mut reference = ReferenceSimulator::new(analysis.dfg().clone());
 //! let expected = reference.step(&[input.clone()])?;
 //!
-//! let program = generate(&analysis, GeneratorStyle::Frodo);
+//! let program = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
 //! let mut vm = Vm::new(&program);
 //! let got = vm.step(&program, &[input.data().to_vec()]);
 //! assert_eq!(got[0], expected[0].data());

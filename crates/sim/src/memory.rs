@@ -106,7 +106,7 @@ mod tests {
         let a = Analysis::run(m).unwrap();
         let reports: Vec<MemoryReport> = GeneratorStyle::ALL
             .iter()
-            .map(|&st| MemoryReport::of(&generate(&a, st)))
+            .map(|&st| MemoryReport::of(&generate(&a, st, &frodo_obs::Trace::noop())))
             .collect();
         assert!(reports.windows(2).all(|w| w[0] == w[1]), "{reports:?}");
         // figure1: conv(60) + sel(50) temps, kernel 11 consts, 50 in + 50 out

@@ -203,7 +203,7 @@ mod tests {
         let a = figure1();
         let mut checksums = Vec::new();
         for style in GeneratorStyle::ALL {
-            let p = generate(&a, style);
+            let p = generate(&a, style, &frodo_obs::Trace::noop());
             let r = compile_and_run(&p, style, 3).expect("native run");
             checksums.push(r.checksum);
         }

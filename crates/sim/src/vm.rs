@@ -398,7 +398,7 @@ mod tests {
         let mut reference = crate::ReferenceSimulator::new(a.dfg().clone());
         let expected = reference.step(&[Tensor::vector(input.clone())]).unwrap();
         for style in GeneratorStyle::ALL {
-            let p = generate(&a, style);
+            let p = generate(&a, style, &frodo_obs::Trace::noop());
             let mut vm = Vm::new(&p);
             let out = vm.step(&p, std::slice::from_ref(&input));
             let diff: f64 = out[0]
@@ -591,7 +591,7 @@ mod tests {
         m.connect(add, 0, z, 0).unwrap();
         m.connect(add, 0, o, 0).unwrap();
         let a = Analysis::run(m).unwrap();
-        let p = generate(&a, GeneratorStyle::Frodo);
+        let p = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let mut vm = Vm::new(&p);
         assert_eq!(vm.step(&p, &[vec![1.0]])[0], vec![1.0]);
         assert_eq!(vm.step(&p, &[vec![2.0]])[0], vec![3.0]);
@@ -604,8 +604,8 @@ mod tests {
     fn branchy_and_tight_conv_agree_numerically() {
         let a = figure1();
         let input: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let tight = generate(&a, GeneratorStyle::Frodo);
-        let branchy = generate(&a, GeneratorStyle::SimulinkCoder);
+        let tight = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let branchy = generate(&a, GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop());
         let o1 = Vm::new(&tight).step(&tight, std::slice::from_ref(&input));
         let o2 = Vm::new(&branchy).step(&branchy, &[input]);
         assert_eq!(o1, o2);

@@ -69,7 +69,7 @@ mod tests {
         m.connect(a, 0, add, 0).unwrap();
         m.connect(b, 0, add, 1).unwrap();
         m.connect(add, 0, o, 0).unwrap();
-        Dfg::new(m).unwrap()
+        Dfg::new(m, &frodo_obs::Trace::noop()).unwrap()
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! m.connect(g, 0, o, 0)?;
 //!
 //! let bytes = write_slx(&m)?;
-//! let back = read_slx(&bytes)?;
+//! let back = read_slx(&bytes, &frodo_obs::Trace::noop())?;
 //! assert_eq!(back, m);
 //! # Ok(())
 //! # }
@@ -55,5 +55,9 @@ pub mod xml;
 pub mod zip;
 
 pub use error::FormatError;
-pub use mdl::{read_mdl, read_mdl_traced, write_mdl};
-pub use slx::{read_slx, read_slx_traced, write_slx};
+pub use mdl::{read_mdl, write_mdl};
+pub use slx::{read_slx, write_slx};
+#[allow(deprecated)]
+pub use mdl::read_mdl_traced;
+#[allow(deprecated)]
+pub use slx::read_slx_traced;

@@ -244,24 +244,15 @@ fn system_to_section(model: &Model) -> Section {
     system
 }
 
-/// Parses `.mdl` text back into a model.
+/// Parses `.mdl` text back into a model, recorded as an `mdl_parse`
+/// span (with an `mdl_bytes` counter) on the given trace. Pass
+/// `&Trace::noop()` when no instrumentation is wanted.
 ///
 /// # Errors
 ///
 /// Returns [`FormatError::Mdl`] for syntax problems and
 /// [`FormatError::Schema`] for semantic ones.
-pub fn read_mdl(text: &str) -> Result<Model, FormatError> {
-    read_mdl_traced(text, &frodo_obs::Trace::noop())
-}
-
-/// [`read_mdl`], recorded as an `mdl_parse` span (with an `mdl_bytes`
-/// counter) on the given trace.
-///
-/// # Errors
-///
-/// Returns [`FormatError::Mdl`] for syntax problems and
-/// [`FormatError::Schema`] for semantic ones.
-pub fn read_mdl_traced(text: &str, trace: &frodo_obs::Trace) -> Result<Model, FormatError> {
+pub fn read_mdl(text: &str, trace: &frodo_obs::Trace) -> Result<Model, FormatError> {
     let span = trace.span("mdl_parse");
     span.count("mdl_bytes", text.len() as u64);
     let root = parse_sections(text)?;
@@ -279,6 +270,18 @@ pub fn read_mdl_traced(text: &str, trace: &frodo_obs::Trace) -> Result<Model, Fo
         .next()
         .ok_or_else(|| FormatError::Schema("Model missing System".into()))?;
     system_to_model(name, system)
+}
+
+/// Deprecated alias of [`read_mdl`], kept one release for callers of the
+/// old split traced/untraced entry points.
+///
+/// # Errors
+///
+/// Returns [`FormatError::Mdl`] for syntax problems and
+/// [`FormatError::Schema`] for semantic ones.
+#[deprecated(since = "0.7.0", note = "use `read_mdl(text, trace)` instead")]
+pub fn read_mdl_traced(text: &str, trace: &frodo_obs::Trace) -> Result<Model, FormatError> {
+    read_mdl(text, trace)
 }
 
 fn system_to_model(name: &str, system: &Section) -> Result<Model, FormatError> {
@@ -379,7 +382,7 @@ mod tests {
     fn roundtrip_preserves_model() {
         let m = sample();
         let text = write_mdl(&m);
-        let back = read_mdl(&text).unwrap();
+        let back = read_mdl(&text, &frodo_obs::Trace::noop()).unwrap();
         assert_eq!(back, m);
     }
 
@@ -403,7 +406,7 @@ mod tests {
         ));
         let t = m.add(Block::new("t", BlockKind::Terminator));
         m.connect(a, 0, t, 0).unwrap();
-        let back = read_mdl(&write_mdl(&m)).unwrap();
+        let back = read_mdl(&write_mdl(&m), &frodo_obs::Trace::noop()).unwrap();
         assert_eq!(back, m);
     }
 
@@ -430,20 +433,20 @@ mod tests {
         let t = m.add(Block::new("t", BlockKind::Terminator));
         m.connect(c, 0, s, 0).unwrap();
         m.connect(s, 0, t, 0).unwrap();
-        assert_eq!(read_mdl(&write_mdl(&m)).unwrap(), m);
+        assert_eq!(read_mdl(&write_mdl(&m), &frodo_obs::Trace::noop()).unwrap(), m);
     }
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
         let text = "# header comment\n\nModel {\n  Name \"m\"\n  System {\n  }\n}\n";
-        let m = read_mdl(text).unwrap();
+        let m = read_mdl(text, &frodo_obs::Trace::noop()).unwrap();
         assert_eq!(m.name(), "m");
         assert!(m.is_empty());
     }
 
     #[test]
     fn syntax_errors_carry_line_numbers() {
-        let err = read_mdl("Model {\n  Name \"m\"\n  }}\n").unwrap_err();
+        let err = read_mdl("Model {\n  Name \"m\"\n  }}\n", &frodo_obs::Trace::noop()).unwrap_err();
         match err {
             FormatError::Mdl { line, .. } => assert_eq!(line, 3),
             e => panic!("unexpected {e}"),
@@ -453,7 +456,7 @@ mod tests {
     #[test]
     fn unclosed_section_is_reported() {
         assert!(matches!(
-            read_mdl("Model {\n  Name \"m\"\n"),
+            read_mdl("Model {\n  Name \"m\"\n", &frodo_obs::Trace::noop()),
             Err(FormatError::Mdl { .. })
         ));
     }
@@ -462,14 +465,14 @@ mod tests {
     fn duplicate_input_wire_is_rejected() {
         // two Lines into the same destination port
         let text = "Model {\n  Name \"m\"\n  System {\n    Block {\n      BlockType constant\n      Name \"c\"\n      SID 0\n      Shape scalar\n      Value [1.0]\n    }\n    Block {\n      BlockType terminator\n      Name \"t\"\n      SID 1\n    }\n    Line {\n      Src \"0#out:0\"\n      Dst \"1#in:0\"\n    }\n    Line {\n      Src \"0#out:0\"\n      Dst \"1#in:0\"\n    }\n  }\n}\n";
-        let err = read_mdl(text).unwrap_err();
+        let err = read_mdl(text, &frodo_obs::Trace::noop()).unwrap_err();
         assert!(err.to_string().contains("more than one"), "{err}");
     }
 
     #[test]
     fn unknown_sid_in_line_is_reported() {
         let text = "Model {\n  Name \"m\"\n  System {\n    Block {\n      BlockType terminator\n      Name \"t\"\n      SID 0\n    }\n    Line {\n      Src \"9#out:0\"\n      Dst \"0#in:0\"\n    }\n  }\n}\n";
-        let err = read_mdl(text).unwrap_err();
+        let err = read_mdl(text, &frodo_obs::Trace::noop()).unwrap_err();
         assert!(err.to_string().contains("unknown SID"));
     }
 }

@@ -43,26 +43,17 @@ pub fn write_slx(model: &Model) -> Result<Vec<u8>, FormatError> {
     Ok(ar.to_bytes())
 }
 
-/// Parses `.slx` bytes back into a model.
+/// Parses `.slx` bytes back into a model, recorded on the given trace:
+/// an `unzip` span for container decompression (with
+/// `slx_bytes`/`inflated_bytes` counters), an `xml_parse` span, and a
+/// `build_model` span for the XML→model mapping. Pass
+/// `&Trace::noop()` when no instrumentation is wanted.
 ///
 /// # Errors
 ///
 /// Propagates container ([`FormatError::Zip`]), decompression, XML, and
 /// schema errors.
-pub fn read_slx(bytes: &[u8]) -> Result<Model, FormatError> {
-    read_slx_traced(bytes, &frodo_obs::Trace::noop())
-}
-
-/// [`read_slx`], recorded on the given trace: an `unzip` span for
-/// container decompression (with `slx_bytes`/`inflated_bytes` counters),
-/// an `xml_parse` span, and a `build_model` span for the XML→model
-/// mapping.
-///
-/// # Errors
-///
-/// Propagates container ([`FormatError::Zip`]), decompression, XML, and
-/// schema errors.
-pub fn read_slx_traced(bytes: &[u8], trace: &frodo_obs::Trace) -> Result<Model, FormatError> {
+pub fn read_slx(bytes: &[u8], trace: &frodo_obs::Trace) -> Result<Model, FormatError> {
     let text = {
         let span = trace.span("unzip");
         let ar = Archive::from_bytes(bytes)?;
@@ -81,6 +72,18 @@ pub fn read_slx_traced(bytes: &[u8], trace: &frodo_obs::Trace) -> Result<Model, 
     };
     let _b = trace.span("build_model");
     model_from_xml(&parsed)
+}
+
+/// Deprecated alias of [`read_slx`], kept one release for callers of the
+/// old split traced/untraced entry points.
+///
+/// # Errors
+///
+/// Propagates container ([`FormatError::Zip`]), decompression, XML, and
+/// schema errors.
+#[deprecated(since = "0.7.0", note = "use `read_slx(bytes, trace)` instead")]
+pub fn read_slx_traced(bytes: &[u8], trace: &frodo_obs::Trace) -> Result<Model, FormatError> {
+    read_slx(bytes, trace)
 }
 
 fn content_types() -> Element {
@@ -285,7 +288,7 @@ mod tests {
     fn figure1_roundtrips_through_slx() {
         let m = figure1();
         let bytes = write_slx(&m).unwrap();
-        let back = read_slx(&bytes).unwrap();
+        let back = read_slx(&bytes, &frodo_obs::Trace::noop()).unwrap();
         assert_eq!(back, m);
     }
 
@@ -324,7 +327,7 @@ mod tests {
         let y = m.add(Block::new("y", BlockKind::Outport { index: 0 }));
         m.connect(x, 0, s, 0).unwrap();
         m.connect(s, 0, y, 0).unwrap();
-        let back = read_slx(&write_slx(&m).unwrap()).unwrap();
+        let back = read_slx(&write_slx(&m).unwrap(), &frodo_obs::Trace::noop()).unwrap();
         assert_eq!(back, m);
     }
 
@@ -332,7 +335,7 @@ mod tests {
     fn every_benchmark_model_roundtrips() {
         for bench in frodo_benchmodels_proxy() {
             let bytes = write_slx(&bench).unwrap();
-            let back = read_slx(&bytes).unwrap();
+            let back = read_slx(&bytes, &frodo_obs::Trace::noop()).unwrap();
             assert_eq!(back, bench);
         }
     }
@@ -373,9 +376,18 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_traced_shim_still_works() {
+        let m = figure1();
+        let bytes = write_slx(&m).unwrap();
+        let via_shim = read_slx_traced(&bytes, &frodo_obs::Trace::noop()).unwrap();
+        assert_eq!(via_shim, read_slx(&bytes, &frodo_obs::Trace::noop()).unwrap());
+    }
+
+    #[test]
     fn missing_diagram_is_reported() {
         let ar = Archive::new();
-        let err = read_slx(&ar.to_bytes()).unwrap_err();
+        let err = read_slx(&ar.to_bytes(), &frodo_obs::Trace::noop()).unwrap_err();
         assert!(err.to_string().contains("blockdiagram"));
     }
 

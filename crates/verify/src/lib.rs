@@ -35,7 +35,7 @@
 //! assert!(frodo_verify::lint(&m).is_empty());
 //!
 //! let analysis = Analysis::run(m)?;
-//! let program = generate(&analysis, GeneratorStyle::Frodo);
+//! let program = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
 //! let report = frodo_verify::check_compile(&analysis, &program);
 //! assert!(report.is_sound());
 //! # Ok(())

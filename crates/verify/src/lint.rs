@@ -14,7 +14,7 @@ use frodo_model::{BlockKind, InPort, Model, OutPort, SelectorMode, ShapeTable};
 /// Lints a model and returns every finding, errors first, in block order
 /// within each severity.
 pub fn lint(model: &Model) -> Vec<Diagnostic> {
-    let flat = match model.flattened() {
+    let flat = match model.flattened(&frodo_obs::Trace::noop()) {
         Ok(f) => f,
         Err(e) => return vec![from_model_error(Some(model), &e)],
     };
@@ -175,7 +175,7 @@ fn lint_truncation_params(flat: &Model, shapes: &ShapeTable, diags: &mut Vec<Dia
 /// empty calculation ranges (F006) via Algorithm 1. Only reached when the
 /// model has no structural errors.
 fn lint_semantics(flat: &Model, shapes: &ShapeTable, diags: &mut Vec<Diagnostic>) {
-    match Dfg::new(flat.clone()) {
+    match Dfg::new(flat.clone(), &frodo_obs::Trace::noop()) {
         Err(e) => {
             diags.push(from_model_error(Some(flat), &e));
             return;

@@ -646,7 +646,7 @@ mod tests {
         m.connect(c, 0, s, 0).unwrap();
         m.connect(s, 0, o, 0).unwrap();
         let analysis = Analysis::run(m).unwrap();
-        let program = frodo_codegen::generate(&analysis, GeneratorStyle::Frodo);
+        let program = frodo_codegen::generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let report = check_compile(&analysis, &program);
         assert!(report.is_sound(), "{:?}", report.diagnostics);
         assert!(report.outputs_checked == 1);

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "generator", "elements", "x86/gcc", "arm/gcc", "max dev"
     );
     for style in GeneratorStyle::ALL {
-        let program = generate(&analysis, style);
+        let program = generate(&analysis, style, &frodo_obs::Trace::noop());
         let mut vm = Vm::new(&program);
         let got = vm.step(&program, &raw);
         let worst = got
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // memory parity (paper §5)
     let reports: Vec<MemoryReport> = GeneratorStyle::ALL
         .iter()
-        .map(|&s| MemoryReport::of(&generate(&analysis, s)))
+        .map(|&s| MemoryReport::of(&generate(&analysis, s, &frodo_obs::Trace::noop())))
         .collect();
     assert!(reports.windows(2).all(|w| w[0] == w[1]));
     println!(

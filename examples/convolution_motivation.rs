@@ -52,11 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("-- Simulink-Embedded-Coder-style code (boundary judgments, green box) --\n");
-    let simulink = generate(&analysis, GeneratorStyle::SimulinkCoder);
+    let simulink = generate(&analysis, GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop());
     print_block(&emit_c(&simulink), "for (int k = 0");
 
     println!("-- FRODO's concise code (exact calculation range [5, 55)) --\n");
-    let frodo = generate(&analysis, GeneratorStyle::Frodo);
+    let frodo = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
     print_block(&emit_c(&frodo), "for (int k = 5");
 
     println!("== quantitative effect ==\n");
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "generator", "elements", "est. x86/gcc"
     );
     for style in GeneratorStyle::ALL {
-        let p = generate(&analysis, style);
+        let p = generate(&analysis, style, &frodo_obs::Trace::noop());
         let ns = CostModel::x86_gcc().program_ns(&p);
         println!(
             "{:<22} {:>10} {:>11.0} ns",

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (name, analysis) in &analyses {
             let us: Vec<f64> = GeneratorStyle::ALL
                 .iter()
-                .map(|&s| cm.program_ns(&generate(analysis, s)) / 1e3)
+                .map(|&s| cm.program_ns(&generate(analysis, s, &frodo_obs::Trace::noop())) / 1e3)
                 .collect();
             let best_other = us[..3].iter().cloned().fold(f64::MAX, f64::min);
             println!(
@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let ns: Vec<f64> = GeneratorStyle::ALL
                 .iter()
                 .map(|&s| {
-                    let p = generate(analysis, s);
+                    let p = generate(analysis, s, &frodo_obs::Trace::noop());
                     native::compile_and_run(&p, s, 10_000)
                         .map(|r| r.ns_per_iter)
                         .unwrap_or(f64::NAN)

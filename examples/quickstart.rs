@@ -44,11 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("convolution calculation range: {}", analysis.range(conv, 0));
 
     // 2. concise code generation
-    let program = generate(&analysis, GeneratorStyle::Frodo);
+    let program = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
     println!(
         "FRODO computes {} elements/step; the Simulink-style baseline computes {}",
         program.computed_elements(),
-        generate(&analysis, GeneratorStyle::SimulinkCoder).computed_elements()
+        generate(&analysis, GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop()).computed_elements()
     );
 
     // 3. run the generated program and cross-check against simulation

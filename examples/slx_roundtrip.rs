@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:<32} {:>7} bytes", entry.name, entry.data.len());
     }
 
-    let reread = read_slx(&bytes)?;
+    let reread = read_slx(&bytes, &frodo_obs::Trace::noop())?;
     assert_eq!(reread, model);
     println!("\nre-read model is identical to the original");
 

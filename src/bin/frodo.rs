@@ -8,7 +8,7 @@
 //!                [--trace out.ndjson] [--ledger | --ledger-out F] [-o out.c]
 //! frodo batch    <models...> [--workers N] [--threads N] [--verify] [--cache-dir D]
 //!                [-s STYLES] [-o DIR] [--trace] [--trace-out out.ndjson]
-//!                [--ledger | --ledger-out F]
+//!                [--ledger | --ledger-out F] [--incremental [--region-max N]]
 //! frodo serve    [--socket PATH|--tcp ADDR] [--workers N] [--queue-cap N]
 //!                [--cache-cap BYTES] [--cache-dir D] [--ledger | --ledger-out F]
 //! frodo client   [--socket PATH|--tcp ADDR] compile|lint|batch|status|shutdown ...
@@ -23,8 +23,11 @@
 //! `compile` and `batch` go through the [`frodo::driver`] service: jobs run
 //! on a worker pool, artifacts are content-addressed (optionally persisted
 //! under `--cache-dir`), and every job reports per-stage timings and
-//! redundancy counters. Models may be `.slx`/`.mdl` paths or bundled
-//! Table-1 benchmark names (`frodo list`).
+//! redundancy counters. `batch --incremental` instead feeds the jobs
+//! sequentially through a [`frodo::driver::CompileSession`] per style, so a
+//! resubmitted model recompiles only the regions its edit dirtied. Models
+//! may be `.slx`/`.mdl` paths, bundled Table-1 benchmark names
+//! (`frodo list`), or `random:<seed>:<size>[:edit:<k>]` synthetic specs.
 
 use frodo::prelude::*;
 use frodo::sim::{native, workload};
@@ -75,7 +78,7 @@ fn print_usage() {
          \x20 frodo compile  <model> [-s STYLE] [--threads N] [--engine recursive|iterative|parallel]\n\
          \x20                [--verify] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
          \x20 frodo batch    <models...> [--workers N] [--threads N] [--verify] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
-         \x20                [--trace] [--trace-out out.ndjson]\n\
+         \x20                [--trace] [--trace-out out.ndjson] [--incremental [--region-max N]]\n\
          \x20 frodo serve    [--socket PATH|--tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap BYTES]\n\
          \x20                [--cache-dir DIR] [--ledger | --ledger-out F]\n\
          \x20 frodo client   [--socket PATH|--tcp ADDR] compile <model> [-s STYLE] [--threads N] [--verify] [--timeout MS] [-o out.c]\n\
@@ -93,6 +96,10 @@ fn print_usage() {
          \n\
          compile and batch accept --ledger (append a perf-ledger entry to\n\
          .frodo/ledger.ndjson) or --ledger-out FILE for an explicit path.\n\
+         batch --incremental compiles jobs sequentially through one compile\n\
+         session per style: resubmitting an edited model re-analyzes only the\n\
+         dirtied regions (models also accept random:<seed>:<size>[:edit:<k>]\n\
+         specs; with --ledger, one entry per job).\n\
          --verify runs the range-soundness checker (frodo-verify) on every\n\
          fresh compile and fails closed with F1xx diagnostics; frodo lint\n\
          reports F0xx model diagnostics (exit 1 on errors, not warnings)."
@@ -104,11 +111,11 @@ fn load_model(path: &str) -> Result<Model, String> {
     match p.extension().and_then(|e| e.to_str()) {
         Some("slx") => {
             let bytes = std::fs::read(p).map_err(|e| format!("{path}: {e}"))?;
-            read_slx(&bytes).map_err(|e| format!("{path}: {e}"))
+            read_slx(&bytes, &frodo_obs::Trace::noop()).map_err(|e| format!("{path}: {e}"))
         }
         Some("mdl") => {
             let text = std::fs::read_to_string(p).map_err(|e| format!("{path}: {e}"))?;
-            read_mdl(&text).map_err(|e| format!("{path}: {e}"))
+            read_mdl(&text, &frodo_obs::Trace::noop()).map_err(|e| format!("{path}: {e}"))
         }
         _ => Err(format!("{path}: expected a .slx or .mdl file")),
     }
@@ -192,19 +199,20 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Resolves a CLI model reference to a model: a `.slx`/`.mdl` path, or the
-/// name of a bundled Table-1 benchmark.
+/// Resolves a CLI model reference to a model: a `.slx`/`.mdl` path, the
+/// name of a bundled Table-1 benchmark, or a synthetic-model spec
+/// (`random:<seed>:<size>[:edit:<k>]`).
 fn resolve_model(model_ref: &str) -> Result<Model, String> {
     let p = Path::new(model_ref);
     if matches!(p.extension().and_then(|e| e.to_str()), Some("slx" | "mdl")) {
         return load_model(model_ref);
     }
-    match frodo::benchmodels::by_name(model_ref) {
-        Some(bench) => Ok(bench.model),
-        None => Err(format!(
-            "'{model_ref}' is neither a .slx/.mdl path nor a bundled benchmark (try 'frodo list')"
-        )),
-    }
+    frodo::benchmodels::by_spec(model_ref).ok_or_else(|| {
+        format!(
+            "'{model_ref}' is not a .slx/.mdl path, a bundled benchmark (try 'frodo list'), \
+             or a random:<seed>:<size>[:edit:<k>] spec"
+        )
+    })
 }
 
 /// Static model diagnostics (`frodo-verify` layer 1). Exit code is only
@@ -258,7 +266,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let shared = args.iter().any(|a| a == "--shared-helper");
     let model = load_model(path)?;
     let analysis = Analysis::run(model).map_err(|e| e.to_string())?;
-    let program = generate(&analysis, style);
+    let program = generate(&analysis, style, &frodo_obs::Trace::noop());
     let code = frodo::codegen::emit_c_with(
         &program,
         frodo::codegen::CEmitOptions {
@@ -279,17 +287,21 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Resolves a CLI model reference: a `.slx`/`.mdl` path, or the name of a
-/// bundled Table-1 benchmark.
+/// Resolves a CLI model reference: a `.slx`/`.mdl` path, the name of a
+/// bundled Table-1 benchmark, or a `random:<seed>:<size>[:edit:<k>]` spec.
 fn job_spec_for(model_ref: &str, style: GeneratorStyle) -> Result<JobSpec, String> {
     let p = Path::new(model_ref);
     if matches!(p.extension().and_then(|e| e.to_str()), Some("slx" | "mdl")) {
         return Ok(JobSpec::from_path(p, style));
     }
-    match frodo::benchmodels::by_name(model_ref) {
-        Some(bench) => Ok(JobSpec::from_model(bench.name, bench.model, style)),
+    if let Some(bench) = frodo::benchmodels::by_name(model_ref) {
+        return Ok(JobSpec::from_model(bench.name, bench.model, style));
+    }
+    match frodo::benchmodels::by_spec(model_ref) {
+        Some(model) => Ok(JobSpec::from_model(model_ref, model, style)),
         None => Err(format!(
-            "'{model_ref}' is neither a .slx/.mdl path nor a bundled benchmark (try 'frodo list')"
+            "'{model_ref}' is not a .slx/.mdl path, a bundled benchmark (try 'frodo list'), \
+             or a random:<seed>:<size>[:edit:<k>] spec"
         )),
     }
 }
@@ -358,12 +370,13 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     // the ledger is derived from a trace, so --ledger implies tracing
     let trace = (trace_out.is_some() || ledger.is_some()).then(Trace::new);
     let intra = intra_threads(args)?;
-    let mut spec = job_spec_for(model_ref, style)?.with_options(CompileOptions {
-        intra_threads: intra,
-        range: range_options(args)?,
-        verify: args.iter().any(|a| a == "--verify"),
-        ..Default::default()
-    });
+    let mut spec = job_spec_for(model_ref, style)?.with_options(
+        CompileOptions::builder()
+            .range(range_options(args)?)
+            .intra_threads(intra)
+            .verify(args.iter().any(|a| a == "--verify"))
+            .build(),
+    );
     if let Some(t) = &trace {
         spec = spec.with_trace(t);
     }
@@ -463,20 +476,22 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let model_refs = positionals(
         args,
         &["--workers", "-j", "--threads", "-t", "--engine", "--cache-dir", "-s", "--styles",
-            "--style", "-o", "--output", "--trace-out", "--ledger-out"],
-        &["--no-cache", "--machine", "--trace", "--ledger", "--verify"],
+            "--style", "-o", "--output", "--trace-out", "--ledger-out", "--region-max"],
+        &["--no-cache", "--machine", "--trace", "--ledger", "--verify", "--incremental"],
     );
     if model_refs.is_empty() {
         return Err("batch: no models given (paths or benchmark names; see 'frodo list')".into());
     }
 
     let intra = intra_threads(args)?;
-    let options = CompileOptions {
-        intra_threads: intra,
-        range: range_options(args)?,
-        verify: args.iter().any(|a| a == "--verify"),
-        ..Default::default()
-    };
+    let options = CompileOptions::builder()
+        .range(range_options(args)?)
+        .intra_threads(intra)
+        .verify(args.iter().any(|a| a == "--verify"))
+        .build();
+    if args.iter().any(|a| a == "--incremental") {
+        return cmd_batch_incremental(args, &model_refs, &styles, options);
+    }
     let mut specs = Vec::new();
     for model_ref in &model_refs {
         for &style in &styles {
@@ -534,6 +549,118 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `batch --incremental`: jobs run sequentially through one
+/// [`frodo::driver::CompileSession`] per style, so a resubmitted model
+/// reuses the per-region analysis and lowering of every region whose
+/// inputs are unchanged. With `--ledger` each job appends its own entry
+/// (labelled by its model reference), which is how the CI gate reads the
+/// region hit rate of a cold-then-edited pair.
+fn cmd_batch_incremental(
+    args: &[String],
+    model_refs: &[&str],
+    styles: &[GeneratorStyle],
+    options: CompileOptions,
+) -> Result<(), String> {
+    let out_dir = flag_value(args, &["-o", "--output"]);
+    let want_tree = args.iter().any(|a| a == "--trace");
+    let trace_out = flag_value(args, &["--trace-out"]);
+    let ledger = ledger_path(args);
+    let intra = intra_threads(args)?;
+    let region_max: usize = flag_value(args, &["--region-max"])
+        .map(|s| s.parse().map_err(|_| "bad --region-max".to_string()))
+        .transpose()?
+        .unwrap_or(frodo::driver::DEFAULT_REGION_MAX);
+
+    let mut sessions: Vec<frodo::driver::CompileSession> = styles
+        .iter()
+        .map(|&style| {
+            frodo::driver::CompileSession::builder(style)
+                .options(options)
+                .region_max(region_max)
+                .build()
+        })
+        .collect();
+
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    }
+
+    let mut last_trace = None;
+    let mut ledger_entries = 0usize;
+    let mut wrote = 0usize;
+    for model_ref in model_refs {
+        for (session, &style) in sessions.iter_mut().zip(styles) {
+            let model = resolve_model(model_ref)?;
+            let trace = if want_tree || trace_out.is_some() || ledger.is_some() {
+                Trace::new()
+            } else {
+                Trace::noop()
+            };
+            let out = session.compile(model_ref, model, &trace).map_err(|e| {
+                for line in frodo::verify::render_human(e.diagnostics()).lines() {
+                    eprintln!("{line}");
+                }
+                e.to_string()
+            })?;
+            let r = &out.report;
+            let s = session.stats();
+            eprintln!(
+                "{} ({}): regions {}/{} reused, {} dirty blocks, {}/{} elements eliminated, \
+                 {} bytes of C, {}",
+                r.job,
+                r.style.label(),
+                s.last_region_hits,
+                s.last_region_total,
+                s.last_dirty_blocks,
+                r.metrics.eliminated_elements,
+                r.metrics.total_elements,
+                r.code_bytes,
+                frodo::driver::report::fmt_duration(r.timings.total()),
+            );
+            if want_tree {
+                println!("{}", trace.render_tree());
+            }
+            if let Some(path) = &ledger {
+                let agg = frodo::obs::aggregate(&trace.snapshot());
+                let entry = frodo::obs::LedgerEntry::from_agg(
+                    &agg,
+                    &r.job,
+                    engine_label(intra),
+                    intra as u64,
+                    1,
+                    r.timings.total().as_nanos() as u64,
+                );
+                frodo::obs::append_entry(path, &entry)?;
+                ledger_entries += 1;
+            }
+            if let Some(dir) = out_dir {
+                let file = format!(
+                    "{}/{}_{}.c",
+                    dir,
+                    r.job.replace(['/', '\\', ':'], "_"),
+                    style.label().to_ascii_lowercase()
+                );
+                std::fs::write(&file, &out.code).map_err(|e| format!("{file}: {e}"))?;
+                wrote += 1;
+            }
+            if trace_out.is_some() {
+                last_trace = Some(trace);
+            }
+        }
+    }
+    if let (Some(path), Some(t)) = (trace_out, &last_trace) {
+        std::fs::write(path, t.to_ndjson()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote final job's trace to {path} ({} spans)", t.span_count());
+    }
+    if let Some(path) = &ledger {
+        eprintln!("appended {ledger_entries} ledger entries to {}", path.display());
+    }
+    if let Some(dir) = out_dir {
+        eprintln!("wrote {wrote} C files to {dir}");
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("simulate: missing model path")?;
     let seed: u64 = flag_value(args, &["--seed"])
@@ -545,7 +672,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(1);
     let model = load_model(path)?;
-    let dfg = frodo::graph::Dfg::new(model).map_err(|e| e.to_string())?;
+    let dfg = frodo::graph::Dfg::new(model, &frodo_obs::Trace::noop()).map_err(|e| e.to_string())?;
     let mut sim = ReferenceSimulator::new(dfg.clone());
     for step in 0..steps {
         let inputs = workload::random_inputs(&dfg, seed.wrapping_add(step as u64));
@@ -568,7 +695,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         "style", "elements", "x86/gcc", "x86/clang", "arm/gcc", "arm/clang"
     );
     for style in GeneratorStyle::ALL {
-        let p = generate(&analysis, style);
+        let p = generate(&analysis, style, &frodo_obs::Trace::noop());
         let cells: Vec<String> = CostModel::all()
             .iter()
             .map(|cm| format!("{:.1}us", cm.program_ns(&p) / 1e3))
@@ -589,7 +716,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         }
         println!("\nnative x86 gcc -O3 (10000 iterations):");
         for style in GeneratorStyle::ALL {
-            let p = generate(&analysis, style);
+            let p = generate(&analysis, style, &frodo_obs::Trace::noop());
             let r = native::compile_and_run(&p, style, 10_000).map_err(|e| e.to_string())?;
             println!("{:<10} {:>12.0} ns/iter", style.label(), r.ns_per_iter);
         }
@@ -619,7 +746,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         let mut vms: Vec<_> = GeneratorStyle::ALL
             .iter()
             .map(|&s| {
-                let p = generate(&analysis, s);
+                let p = generate(&analysis, s, &frodo_obs::Trace::noop());
                 let vm = Vm::new(&p);
                 (p, vm)
             })
@@ -783,8 +910,8 @@ fn cmd_obs_report(args: &[String]) -> Result<(), String> {
         return Err(format!("{path}: ledger file has no entries"));
     }
     println!(
-        "{:<10} {:<14} {:<9} {:>7} {:>7} {:>5} {:>10} {:>10} {:>6}",
-        "rev", "label", "engine", "threads", "workers", "jobs", "wall", "alg1", "cache%"
+        "{:<10} {:<14} {:<9} {:>7} {:>7} {:>5} {:>10} {:>10} {:>6} {:>7}",
+        "rev", "label", "engine", "threads", "workers", "jobs", "wall", "alg1", "cache%", "region%"
     );
     for e in &entries {
         let alg1_ns: u64 = ["dfg", "iomap", "ranges", "classify"]
@@ -797,8 +924,12 @@ fn cmd_obs_report(args: &[String]) -> Result<(), String> {
             .as_ref()
             .map(|s| format!("{:.0}", s.cache_hit_rate_pct()))
             .unwrap_or_else(|| "-".to_string());
+        let region = e
+            .region_hit_rate_pct()
+            .map(|r| format!("{r:.0}"))
+            .unwrap_or_else(|| "-".to_string());
         println!(
-            "{:<10} {:<14} {:<9} {:>7} {:>7} {:>5} {:>10} {:>10} {:>6}",
+            "{:<10} {:<14} {:<9} {:>7} {:>7} {:>5} {:>10} {:>10} {:>6} {:>7}",
             e.git_rev,
             e.label,
             e.engine,
@@ -807,7 +938,8 @@ fn cmd_obs_report(args: &[String]) -> Result<(), String> {
             e.jobs,
             frodo::obs::fmt_duration(std::time::Duration::from_nanos(e.wall_ns)),
             frodo::obs::fmt_duration(std::time::Duration::from_nanos(alg1_ns)),
-            cache
+            cache,
+            region
         );
     }
     println!("{} entr{} in {path}", entries.len(), if entries.len() == 1 { "y" } else { "ies" });

@@ -39,7 +39,7 @@
 //! m.connect(s, 0, o, 0)?;
 //!
 //! let analysis = Analysis::run(m)?;
-//! let program = generate(&analysis, GeneratorStyle::Frodo);
+//! let program = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
 //! let c_code = emit_c(&program);
 //! assert!(c_code.contains("for (int k = 5; k < 55; ++k)"));
 //! # Ok(())

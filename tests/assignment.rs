@@ -86,7 +86,7 @@ fn all_styles_agree_and_formats_roundtrip() {
     for select in [(0usize, 32usize), (10, 18), (4, 24)] {
         let m = model(select);
         assert_eq!(
-            frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap()).unwrap(),
+            frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap(), &frodo_obs::Trace::noop()).unwrap(),
             m
         );
         let analysis = Analysis::run(m).unwrap();
@@ -97,7 +97,7 @@ fn all_styles_agree_and_formats_roundtrip() {
             .step(&[Tensor::vector(base.clone()), Tensor::vector(patch.clone())])
             .unwrap();
         for style in GeneratorStyle::ALL {
-            let p = generate(&analysis, style);
+            let p = generate(&analysis, style, &frodo_obs::Trace::noop());
             let got = Vm::new(&p).step(&p, &[base.clone(), patch.clone()]);
             assert_eq!(got[0], expected[0].data(), "{select:?} {style}");
         }

@@ -89,8 +89,8 @@ fn convert_roundtrips_between_formats() {
         .expect("runs")
         .success());
     // both .slx files decode to the same model
-    let a = frodo::slx::read_slx(&std::fs::read(&slx).unwrap()).unwrap();
-    let b = frodo::slx::read_slx(&std::fs::read(&slx2).unwrap()).unwrap();
+    let a = frodo::slx::read_slx(&std::fs::read(&slx).unwrap(), &frodo_obs::Trace::noop()).unwrap();
+    let b = frodo::slx::read_slx(&std::fs::read(&slx2).unwrap(), &frodo_obs::Trace::noop()).unwrap();
     assert_eq!(a, b);
 
     for p in [slx, mdl, slx2] {

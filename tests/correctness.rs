@@ -20,7 +20,7 @@ fn check_model(name: &str, model: Model) {
         let mut vms: Vec<(GeneratorStyle, _, Vm)> = GeneratorStyle::ALL
             .iter()
             .map(|&style| {
-                let p = generate(&analysis, style);
+                let p = generate(&analysis, style, &frodo_obs::Trace::noop());
                 let vm = Vm::new(&p);
                 (style, p, vm)
             })

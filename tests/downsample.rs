@@ -69,7 +69,7 @@ fn all_styles_agree_on_downsample() {
     let mut sim = ReferenceSimulator::new(analysis.dfg().clone());
     let expected = sim.step(&[Tensor::vector(input.clone())]).unwrap();
     for style in GeneratorStyle::ALL {
-        let p = generate(&analysis, style);
+        let p = generate(&analysis, style, &frodo_obs::Trace::noop());
         let got = Vm::new(&p).step(&p, std::slice::from_ref(&input));
         assert_eq!(got[0], expected[0].data(), "style {style}");
     }
@@ -79,8 +79,8 @@ fn all_styles_agree_on_downsample() {
 fn downsample_roundtrips_through_formats() {
     let m = model();
     assert_eq!(
-        frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap()).unwrap(),
+        frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap(), &frodo_obs::Trace::noop()).unwrap(),
         m
     );
-    assert_eq!(frodo::slx::read_mdl(&frodo::slx::write_mdl(&m)).unwrap(), m);
+    assert_eq!(frodo::slx::read_mdl(&frodo::slx::write_mdl(&m), &frodo_obs::Trace::noop()).unwrap(), m);
 }

@@ -11,7 +11,7 @@ fn folding_is_semantics_preserving_on_the_suite() {
         let analysis = Analysis::run(bench.model.clone()).unwrap();
         let inputs = workload::random_input_vecs(analysis.dfg(), 99);
         for style in GeneratorStyle::ALL {
-            let p = generate(&analysis, style);
+            let p = generate(&analysis, style, &frodo_obs::Trace::noop());
             let folded = fold_expressions(&p);
             assert!(
                 folded.stmts.len() <= p.stmts.len(),
@@ -29,7 +29,7 @@ fn folding_is_semantics_preserving_on_the_suite() {
 fn folding_shrinks_unary_heavy_models() {
     // Decryption's rounds are full of unary chains
     let analysis = Analysis::run(frodo::benchmodels::decryption()).unwrap();
-    let p = generate(&analysis, GeneratorStyle::Frodo);
+    let p = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
     let folded = fold_expressions(&p);
     assert!(
         folded.stmts.len() < p.stmts.len(),
@@ -47,7 +47,7 @@ fn folded_programs_still_match_simulation() {
     let raw: Vec<Vec<f64>> = inputs.iter().map(|t| t.data().to_vec()).collect();
     let mut oracle = ReferenceSimulator::new(dfg);
     let expected = oracle.step(&inputs).unwrap();
-    let p = fold_expressions(&generate(&analysis, GeneratorStyle::Frodo));
+    let p = fold_expressions(&generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()));
     let got = Vm::new(&p).step(&p, &raw);
     for (g, e) in got.iter().zip(&expected) {
         let worst = g

@@ -322,7 +322,7 @@ fn nonzero_inputs(dfg: &frodo::graph::Dfg, seed: u64) -> Vec<Tensor> {
 fn every_block_kind_is_present() {
     let m = kitchen_sink();
     let mut kinds: Vec<&str> = m
-        .flattened()
+        .flattened(&frodo_obs::Trace::noop())
         .unwrap()
         .blocks()
         .iter()
@@ -395,7 +395,7 @@ fn all_styles_match_simulation_on_every_block_kind() {
         let mut vms: Vec<_> = GeneratorStyle::ALL
             .iter()
             .map(|&s| {
-                let p = generate(&analysis, s);
+                let p = generate(&analysis, s, &frodo_obs::Trace::noop());
                 let vm = Vm::new(&p);
                 (s, p, vm)
             })
@@ -426,10 +426,10 @@ fn all_styles_match_simulation_on_every_block_kind() {
 fn kitchen_sink_roundtrips_both_formats() {
     let m = kitchen_sink();
     assert_eq!(
-        frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap()).unwrap(),
+        frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap(), &frodo_obs::Trace::noop()).unwrap(),
         m
     );
-    assert_eq!(frodo::slx::read_mdl(&frodo::slx::write_mdl(&m)).unwrap(), m);
+    assert_eq!(frodo::slx::read_mdl(&frodo::slx::write_mdl(&m), &frodo_obs::Trace::noop()).unwrap(), m);
 }
 
 #[test]
@@ -441,7 +441,7 @@ fn kitchen_sink_compiles_and_runs_natively() {
     let analysis = Analysis::run(kitchen_sink()).expect("analyzes");
     let mut checksums = Vec::new();
     for style in GeneratorStyle::ALL {
-        let p = generate(&analysis, style);
+        let p = generate(&analysis, style, &frodo_obs::Trace::noop());
         let r = native::compile_and_run(&p, style, 2).unwrap_or_else(|e| panic!("{style}: {e}"));
         assert!(r.checksum.is_finite(), "{style}: non-finite checksum");
         checksums.push(r.checksum);

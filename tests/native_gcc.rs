@@ -35,7 +35,7 @@ fn native_gcc_matches_vm_on_manufacture() {
     }
     let analysis = Analysis::run(frodo::benchmodels::manufacture()).expect("analyze");
     for style in GeneratorStyle::ALL {
-        let program = generate(&analysis, style);
+        let program = generate(&analysis, style, &frodo_obs::Trace::noop());
         // VM checksum after 3 iterations of the same workload
         let inputs = lcg_inputs(&program);
         let mut vm = Vm::new(&program);
@@ -74,7 +74,7 @@ fn native_gcc_all_styles_agree_on_every_small_model() {
         let analysis = Analysis::run(model).expect("analyze");
         let mut checksums = Vec::new();
         for style in GeneratorStyle::ALL {
-            let program = generate(&analysis, style);
+            let program = generate(&analysis, style, &frodo_obs::Trace::noop());
             let r = native::compile_and_run(&program, style, 2)
                 .unwrap_or_else(|e| panic!("{name}/{style}: {e}"));
             checksums.push(r.checksum);

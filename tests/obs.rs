@@ -14,10 +14,7 @@ fn traced_compile() -> Trace {
     service
         .compile(
             JobSpec::from_model(bench.name, bench.model, GeneratorStyle::Frodo)
-                .with_options(CompileOptions {
-                    verify: true,
-                    ..Default::default()
-                })
+                .with_options(CompileOptions::builder().verify(true).build())
                 .with_trace(&trace),
         )
         .expect("benchmark compiles");

@@ -26,7 +26,7 @@ fn subjects() -> Vec<(String, Model)> {
 #[test]
 fn all_three_engines_agree_on_every_benchmark_model() {
     for (name, model) in subjects() {
-        let dfg = Dfg::new(model.flattened().unwrap()).unwrap();
+        let dfg = Dfg::new(model.flattened(&frodo_obs::Trace::noop()).unwrap(), &frodo_obs::Trace::noop()).unwrap();
         let maps = IoMappings::derive(&dfg);
         for dead_ends in [false, true] {
             let base = RangeOptions {
@@ -69,7 +69,7 @@ fn threaded_emission_is_byte_identical_on_every_benchmark_model() {
     for (name, model) in subjects() {
         let analysis = Analysis::run(model).unwrap();
         for style in GeneratorStyle::ALL {
-            let program = generate(&analysis, style);
+            let program = generate(&analysis, style, &frodo_obs::Trace::noop());
             for opts in [
                 CEmitOptions::default(),
                 CEmitOptions {
@@ -101,10 +101,7 @@ fn compile_service_output_is_invariant_under_intra_threads() {
         let mut outputs = Vec::new();
         for intra_threads in [1, 4] {
             let spec = JobSpec::from_model(&name, model.clone(), GeneratorStyle::Frodo)
-                .with_options(CompileOptions {
-                    intra_threads,
-                    ..Default::default()
-                });
+                .with_options(CompileOptions::builder().intra_threads(intra_threads).build());
             outputs.push(service.compile(spec).unwrap());
         }
         assert_eq!(

@@ -15,7 +15,7 @@ fn thousand_block_random_model_flows_through_the_pipeline() {
     );
     let t0 = Instant::now();
     let analysis = Analysis::run(model).expect("large model analyzes");
-    let program = generate(&analysis, GeneratorStyle::Frodo);
+    let program = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
     let c = emit_c(&program);
     eprintln!(
         "1k-block pipeline: {} stmts, {} bytes of C, {:?}",

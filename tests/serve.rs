@@ -129,6 +129,100 @@ fn concurrent_clients_get_byte_identical_artifacts() {
 }
 
 #[test]
+fn recompile_sessions_reuse_regions_and_match_one_shot_compiles() {
+    let server = start_server("recompile", 1, 0);
+    let endpoint = server.endpoint().clone();
+    let mut client = Client::connect(&endpoint).expect("daemon is up");
+
+    // every response states the protocol version it speaks
+    let status = client
+        .request_one(&frodo::serve::client::simple_request("status", None))
+        .unwrap();
+    assert_eq!(
+        num_field(&status, "proto_version"),
+        frodo::serve::PROTO_VERSION as f64
+    );
+
+    // a request from the future gets a structured refusal, not a misparse
+    let refused = client
+        .request_one(r#"{"type":"status","proto_version":99}"#)
+        .unwrap();
+    assert_eq!(str_field(&refused, "type"), "error");
+    assert!(
+        str_field(&refused, "message").contains("unsupported proto_version 99"),
+        "{refused}"
+    );
+
+    // cold compile through a named session
+    let cold = client
+        .request_one(&frodo::serve::client::recompile_request(
+            "edit-loop",
+            "random:42:120",
+            None,
+            &RequestOptions::default(),
+            8,
+        ))
+        .unwrap();
+    assert_eq!(num_field(&cold, "ok"), 1.0, "cold recompile failed: {cold}");
+    assert_eq!(num_field(&cold, "region_hits"), 0.0);
+    assert!(num_field(&cold, "regions") > 0.0);
+
+    // resubmit with one gain edited: most regions must be reused, and the
+    // code must be byte-identical to a one-shot compile of the edited model
+    let warm = client
+        .request_one(&frodo::serve::client::recompile_request(
+            "edit-loop",
+            "random:42:120:edit:1",
+            None,
+            &RequestOptions::default(),
+            8,
+        ))
+        .unwrap();
+    assert_eq!(num_field(&warm, "ok"), 1.0, "warm recompile failed: {warm}");
+    let regions = num_field(&warm, "regions");
+    let hits = num_field(&warm, "region_hits");
+    assert!(
+        hits >= regions - 1.0 && hits < regions,
+        "a one-block edit should dirty exactly one region: {warm}"
+    );
+    let one_shot = CompileService::new(ServiceConfig {
+        workers: 1,
+        no_cache: true,
+        ..ServiceConfig::default()
+    });
+    let expected = one_shot
+        .compile(JobSpec::from_model(
+            "edited",
+            frodo::benchmodels::by_spec("random:42:120:edit:1").unwrap(),
+            GeneratorStyle::Frodo,
+        ))
+        .expect("one-shot compiles");
+    assert_eq!(
+        str_field(&warm, "code"),
+        expected.code,
+        "incremental recompile must be byte-identical to a cold compile"
+    );
+
+    // the session pins its style; asking for another is refused cleanly
+    let clash = client
+        .request_one(&frodo::serve::client::recompile_request(
+            "edit-loop",
+            "random:42:120",
+            Some("hcg"),
+            &RequestOptions::default(),
+            0,
+        ))
+        .unwrap();
+    assert_eq!(str_field(&clash, "type"), "error");
+    assert!(str_field(&clash, "message").contains("pinned"), "{clash}");
+
+    client
+        .request_one(&frodo::serve::client::simple_request("shutdown", None))
+        .unwrap();
+    server.wait();
+}
+
+#[test]
 fn saturated_queue_answers_busy_instead_of_blocking_or_dropping() {
     // one worker, a one-slot queue: an overstuffed batch must see
     // rejections (the submission loop outruns any compile), and the

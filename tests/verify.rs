@@ -151,7 +151,7 @@ fn every_benchmark_is_sound_under_every_engine() {
             };
             let analysis = Analysis::run_with(bench.model.clone(), options)
                 .unwrap_or_else(|e| panic!("{} analyzes under {engine:?}: {e}", bench.name));
-            let program = generate(&analysis, GeneratorStyle::Frodo);
+            let program = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
             let report = check_compile(&analysis, &program);
             assert!(
                 report.is_sound(),
