@@ -8,13 +8,20 @@
 //!    conservative rule for unconsumed ports.
 //! 4. **Shared convolution helper** — the §5 code-size remedy (generic
 //!    function interface with range parameters).
+//! 5. **Expression folding** — the optional LIR fusion pass.
+//! 6. **Vectorization mode** — scalar vs hinted vs explicitly batched
+//!    emission, under the per-arch cost model.
+//! 7. **Sliding-window reuse** — the inter-invocation delta-update rewrite,
+//!    in arch-independent FLOPs and estimated time.
 
-use frodo_codegen::optimize::fold_expressions;
+use frodo_codegen::optimize::{fold_expressions, window_reuse};
+use frodo_codegen::lir::Stmt;
 use frodo_codegen::{
     emit_c, emit_c_with, generate, generate_with, CEmitOptions, GeneratorStyle, LowerOptions,
+    VectorMode,
 };
 use frodo_core::{Analysis, RangeOptions};
-use frodo_sim::CostModel;
+use frodo_sim::{program_flops, CostModel};
 
 fn main() {
     let suite = frodo_benchmodels::all();
@@ -56,7 +63,10 @@ fn main() {
             let p = generate_with(
                 &analysis,
                 GeneratorStyle::Frodo,
-                LowerOptions { coalesce_gap: gap },
+                LowerOptions {
+                    coalesce_gap: gap,
+                    ..Default::default()
+                },
                 &frodo_obs::Trace::noop(),
             );
             cells.push(format!("{:.1}({})", cm.program_ns(&p) / 1e3, p.stmts.len()));
@@ -113,6 +123,7 @@ fn main() {
             &p,
             CEmitOptions {
                 shared_conv_helper: true,
+                ..Default::default()
             },
         )
         .len();
@@ -143,6 +154,59 @@ fn main() {
             folded.stmts.len(),
             cm.program_ns(&p) / 1e3,
             cm.program_ns(&folded) / 1e3
+        );
+    }
+
+    println!();
+    println!("Ablation 6: vectorization mode (FRODO emission, per-arch estimate)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}  (us)",
+        "model", "off", "hints", "batch:8", "x86 gain", "arm batch:2"
+    );
+    println!("{}", "-".repeat(72));
+    let arm = CostModel::arm_gcc();
+    for bench in &suite {
+        let analysis = Analysis::run(bench.model.clone()).expect("analyzes");
+        let p = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let off = cm.program_ns_with(&p, VectorMode::Off);
+        let hints = cm.program_ns_with(&p, VectorMode::Hints);
+        let batch = cm.program_ns_with(&p, VectorMode::Batch(cm.lanes()));
+        let arm_batch = arm.program_ns_with(&p, VectorMode::Batch(arm.lanes()));
+        println!(
+            "{:<14} {:>10.1} {:>10.1} {:>10.1} {:>9.2}x {:>10.1}",
+            bench.name,
+            off / 1e3,
+            hints / 1e3,
+            batch / 1e3,
+            off / batch,
+            arm_batch / 1e3
+        );
+    }
+
+    println!();
+    println!("Ablation 7: sliding-window reuse (inter-invocation delta updates)");
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "model", "rewrit.", "FLOPs scalar", "FLOPs reuse", "est. before", "est. after"
+    );
+    println!("{}", "-".repeat(76));
+    for bench in &suite {
+        let analysis = Analysis::run(bench.model.clone()).expect("analyzes");
+        let p = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let reused = window_reuse(&p);
+        let rewritten = reused
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::WindowedReuse { .. }))
+            .count();
+        println!(
+            "{:<14} {:>8} {:>12} {:>12} {:>10.1}us {:>10.1}us",
+            bench.name,
+            rewritten,
+            program_flops(&p),
+            program_flops(&reused),
+            cm.program_ns(&p) / 1e3,
+            cm.program_ns(&reused) / 1e3
         );
     }
 }

@@ -58,7 +58,7 @@ mod style;
 
 pub use emit_c::{
     emit_c, emit_c_harness, emit_c_harness_with, emit_c_threaded, emit_c_traced, emit_c_with,
-    CEmitOptions,
+    CEmitOptions, VectorMode,
 };
 pub use fragment::{generate_from_fragments, FragmentCache, FragmentStats};
 pub use lower::{generate, generate_with, LowerOptions};

@@ -59,19 +59,88 @@ impl CodeTemplate {
     /// Returns [`RenderError`] if a placeholder remains unsubstituted —
     /// a template/parameter mismatch in the block library.
     pub fn render(&self, subs: &[(&str, String)]) -> Result<String, RenderError> {
-        let mut out = self.text.to_string();
-        for (key, value) in subs {
-            out = out.replace(&format!("${key}$"), value);
-        }
-        if let Some(start) = out.find('$') {
-            let rest = &out[start + 1..];
-            let end = rest.find('$').unwrap_or(rest.len());
-            return Err(RenderError {
-                placeholder: rest[..end].to_string(),
-            });
-        }
-        Ok(out)
+        render_text(self.text, subs)
     }
+}
+
+/// [`CodeTemplate::render`] over template text built at run time (the
+/// width-parameterized snippets from [`conv_batched_template`]).
+///
+/// # Errors
+///
+/// Returns [`RenderError`] if a placeholder remains unsubstituted.
+pub fn render_text(text: &str, subs: &[(&str, String)]) -> Result<String, RenderError> {
+    let mut out = text.to_string();
+    for (key, value) in subs {
+        out = out.replace(&format!("${key}$"), value);
+    }
+    if let Some(start) = out.find('$') {
+        let rest = &out[start + 1..];
+        let end = rest.find('$').unwrap_or(rest.len());
+        return Err(RenderError {
+            placeholder: rest[..end].to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Pairwise-reduction expression over `acc0 .. acc{width-1}` — the
+/// accumulator merge of a batched dot product (`(acc0 + acc1) + (acc2 +
+/// acc3)` at width 4). Pairing keeps the reduction tree balanced, which is
+/// what lets the compiler map it onto horizontal vector adds.
+fn pairwise_sum(lo: usize, len: usize) -> String {
+    if len == 1 {
+        return format!("acc{lo}");
+    }
+    let half = len / 2;
+    let wrap = |s: String, l: usize| if l > 1 { format!("({s})") } else { s };
+    format!(
+        "{} + {}",
+        wrap(pairwise_sum(lo, half), half),
+        wrap(pairwise_sum(lo + half, len - half), len - half)
+    )
+}
+
+/// Builds the consecutive-elements convolution snippet with an explicit
+/// `width`-lane batched inner dot product, tagged with the generator's
+/// lowercase label. `conv_batched_template(4, "hcg")` reproduces
+/// [`CONV_RUN_HCG`] byte-for-byte; other widths generalize the same
+/// structure to the target's SIMD lane count.
+///
+/// # Panics
+///
+/// Panics if `width < 2` — a one-lane batch is just [`CONV_RUN`].
+pub fn conv_batched_template(width: usize, tag: &str) -> String {
+    assert!(width >= 2, "batched conv needs at least two lanes");
+    let mut t = String::new();
+    t.push_str(&format!("/* {tag}: explicit simd batch (width {width}) */\n"));
+    t.push_str("for (int k = $k0$; k < $k1$; ++k) {\n");
+    t.push_str("    int lo = k >= $Input2_size$ ? k - ($Input2_size$ - 1) : 0;\n");
+    t.push_str("    int hi = k < $Input1_size$ - 1 ? k : $Input1_size$ - 1;\n");
+    let decls: Vec<String> = (0..width).map(|l| format!("acc{l} = 0.0")).collect();
+    t.push_str(&format!("    double {};\n", decls.join(", ")));
+    t.push_str("    int j = lo;\n");
+    t.push_str(&format!(
+        "    for (; j + {} <= hi; j += {width}) {{\n",
+        width - 1
+    ));
+    for l in 0..width {
+        if l == 0 {
+            t.push_str("        acc0 += $Input1$[j] * $Input2$[k - j];\n");
+        } else {
+            t.push_str(&format!(
+                "        acc{l} += $Input1$[j + {l}] * $Input2$[k - j - {l}];\n"
+            ));
+        }
+    }
+    t.push_str("    }\n");
+    t.push_str(&format!("    double acc = {};\n", pairwise_sum(0, width)));
+    t.push_str("    for (; j <= hi; ++j) {\n");
+    t.push_str("        acc += $Input1$[j] * $Input2$[k - j];\n");
+    t.push_str("    }\n");
+    t.push_str("    $Output$[k] = acc;\n");
+    t.push('}');
+    t
 }
 
 /// Convolution, consecutive-elements snippet (paper Figure 4 ②):
@@ -138,6 +207,39 @@ pub const CONV_RUN_HCG: CodeTemplate = CodeTemplate::new(
      \x20       acc += $Input1$[j] * $Input2$[k - j];\n\
      \x20   }\n\
      \x20   $Output$[k] = acc;\n\
+     }",
+);
+
+/// Sliding-window sum with a rolling accumulator and a persistent
+/// ring-buffer handoff (the `window_reuse` pass): the seed element `k0` is
+/// summed once, every later element reuses the retained overlap by one
+/// delta add and one delta subtract, and the final window tail is stored
+/// into `$State$` for the next invocation. `$AccOut$` is the scaling
+/// expression over `acc` (`acc / (double)W` for a moving average, `acc *
+/// c` for a uniform kernel).
+pub const WINDOW_REUSE_RUN: CodeTemplate = CodeTemplate::new(
+    "/* window_reuse: rolling window sum (window $Window$) */\n\
+     {\n\
+     \x20   int lo = $k0$ + 1 >= $Window$ ? $k0$ + 1 - $Window$ : 0;\n\
+     \x20   int hi = $k0$ < $SrcLen$ - 1 ? $k0$ : $SrcLen$ - 1;\n\
+     \x20   double acc = 0.0;\n\
+     \x20   for (int j = lo; j <= hi; ++j) {\n\
+     \x20       acc += $Input$[j];\n\
+     \x20   }\n\
+     \x20   $Output$[$k0$] = $AccOut$;\n\
+     \x20   for (int k = $k0$ + 1; k < $k1$; ++k) {\n\
+     \x20       if (k <= $SrcLen$ - 1) {\n\
+     \x20           acc += $Input$[k];\n\
+     \x20       }\n\
+     \x20       if (k >= $Window$) {\n\
+     \x20           acc -= $Input$[k - $Window$];\n\
+     \x20       }\n\
+     \x20       $Output$[k] = $AccOut$;\n\
+     \x20   }\n\
+     \x20   for (int t = 0; t < $Window$; ++t) {\n\
+     \x20       int j = $k1$ - $Window$ + t;\n\
+     \x20       $State$[t] = (j >= 0 && j < $SrcLen$) ? $Input$[j] : 0.0;\n\
+     \x20   }\n\
      }",
 );
 
@@ -230,6 +332,44 @@ mod tests {
     fn branchy_template_contains_boundary_judgment() {
         assert!(CONV_BRANCHY.text().contains("if (k - j >= 0"));
         assert!(!CONV_RUN.text().contains("if (k - j"));
+    }
+
+    #[test]
+    fn conv_batched_width_4_reproduces_the_hcg_snippet() {
+        assert_eq!(conv_batched_template(4, "hcg"), CONV_RUN_HCG.text());
+    }
+
+    #[test]
+    fn conv_batched_scales_lanes_and_keeps_pairwise_merge() {
+        let w8 = conv_batched_template(8, "frodo");
+        assert!(w8.starts_with("/* frodo: explicit simd batch (width 8) */"));
+        assert!(w8.contains("for (; j + 7 <= hi; j += 8)"));
+        assert!(w8.contains("acc7 += $Input1$[j + 7] * $Input2$[k - j - 7];"));
+        assert!(w8.contains(
+            "((acc0 + acc1) + (acc2 + acc3)) + ((acc4 + acc5) + (acc6 + acc7))"
+        ));
+        let w2 = conv_batched_template(2, "frodo");
+        assert!(w2.contains("double acc = acc0 + acc1;"));
+    }
+
+    #[test]
+    fn window_reuse_snippet_renders_and_stores_state() {
+        let code = WINDOW_REUSE_RUN
+            .render(&[
+                ("k0", "5".into()),
+                ("k1", "55".into()),
+                ("Window", "11".into()),
+                ("SrcLen", "50".into()),
+                ("Input", "in0".into()),
+                ("Output", "g_conv".into()),
+                ("State", "g_conv_win".into()),
+                ("AccOut", "acc * 0.1".into()),
+            ])
+            .unwrap();
+        assert!(code.contains("g_conv[5] = acc * 0.1;"));
+        assert!(code.contains("acc -= in0[k - 11];"));
+        assert!(code.contains("g_conv_win[t] = (j >= 0 && j < 50) ? in0[j] : 0.0;"));
+        assert!(!code.contains('$'));
     }
 
     #[test]

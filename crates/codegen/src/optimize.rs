@@ -6,8 +6,15 @@
 //! level so its interaction with redundancy elimination can be studied
 //! (`frodo-bench --bin ablation`). The pass is opt-in: the default pipeline
 //! leaves folding to the C compiler, like the paper's generators do.
+//!
+//! [`window_reuse`] is the second opt-in pass: it rewrites sliding-window
+//! statements (moving averages, uniform-kernel convolutions and FIR runs)
+//! into [`Stmt::WindowedReuse`] rolling-accumulator form with persistent
+//! ring-buffer state, eliminating the overlap recomputation between
+//! consecutive output elements and retaining the window tail across
+//! invocations.
 
-use crate::lir::{Program, Slice, Src, Stmt};
+use crate::lir::{Buffer, BufferRole, BufId, ConvStyle, Program, Slice, Src, Stmt, WindowScale};
 
 /// Fuses chains of elementwise unary statements into single loops.
 ///
@@ -47,7 +54,7 @@ pub fn fold_expressions(program: &Program) -> Program {
     // the input program is borrowed, so the statement list must be copied
     // once up front; the folding loop below then works by ownership
     let mut stmts = program.stmts.clone();
-    while let Some((producer, consumer)) = find_fusable(&stmts) {
+    while let Some((producer, consumer, delta)) = find_fusable(&stmts) {
         // merge producer into consumer: removing the producer first hands
         // us its statement by value (find_fusable guarantees
         // producer < consumer, so the consumer shifts down by one)
@@ -55,6 +62,12 @@ pub fn fold_expressions(program: &Program) -> Program {
             Stmt::Unary { op, src, .. } => (vec![op], src),
             Stmt::FusedUnary { ops, src, .. } => (ops, src),
             _ => unreachable!("find_fusable only returns unary producers"),
+        };
+        // a subset consumer fuses on the intersection — its own (smaller)
+        // run — so the producer's run source shifts by the same offset
+        let p_src = match p_src {
+            Src::Run(s) => Src::Run(Slice::new(s.buf, s.off + delta)),
+            other => other,
         };
         let consumer = consumer - 1;
         let (c_ops, c_dst, c_len) = match &stmts[consumer] {
@@ -78,8 +91,10 @@ pub fn fold_expressions(program: &Program) -> Program {
     }
 }
 
-/// Finds `(producer, consumer)` indices of a fusable unary pair.
-fn find_fusable(stmts: &[Stmt]) -> Option<(usize, usize)> {
+/// Finds `(producer, consumer, delta)` of a fusable unary pair, where
+/// `delta` is the consumer run's offset into the producer's run (`0` when
+/// the runs coincide exactly).
+fn find_fusable(stmts: &[Stmt]) -> Option<(usize, usize, usize)> {
     for (j, stmt) in stmts.iter().enumerate() {
         let (src, len) = match stmt {
             Stmt::Unary {
@@ -94,12 +109,20 @@ fn find_fusable(stmts: &[Stmt]) -> Option<(usize, usize)> {
             } => (*s, *len),
             _ => continue,
         };
-        // the producer must be the unique unary statement writing this run
-        let Some(i) = stmts.iter().position(|p| match p {
+        // the producer must be the unique unary statement writing a run
+        // the consumer's read run sits inside — fusion happens on the
+        // intersection, which for a subset read is the consumer's own
+        // `[k0, k1)`; the producer's uncovered tail elements are written
+        // for nobody (the uniqueness check below guarantees no other
+        // reader) and simply drop out
+        let Some((i, delta)) = stmts.iter().enumerate().find_map(|(i, p)| match p {
             Stmt::Unary { dst, len: plen, .. } | Stmt::FusedUnary { dst, len: plen, .. } => {
-                *dst == src && *plen == len
+                (dst.buf == src.buf
+                    && src.off >= dst.off
+                    && src.off + len <= dst.off + plen)
+                    .then(|| (i, src.off - dst.off))
             }
-            _ => false,
+            _ => None,
         }) else {
             continue;
         };
@@ -111,7 +134,7 @@ fn find_fusable(stmts: &[Stmt]) -> Option<(usize, usize)> {
             k == i || k == j || (!writes_buffer(s, src) && !reads_buffer(s, src.buf))
         });
         if unique {
-            return Some((i, j));
+            return Some((i, j, delta));
         }
     }
     None
@@ -138,6 +161,7 @@ fn writes_buffer(stmt: &Stmt, dst: Slice) -> bool {
         | Stmt::Transpose { dst: d, .. }
         | Stmt::StateLoad { dst: d, .. } => *d == dst.buf,
         Stmt::StateStore { state, .. } => *state == dst.buf,
+        Stmt::WindowedReuse { dst: d, state, .. } => *d == dst.buf || *state == dst.buf,
     }
 }
 
@@ -169,6 +193,148 @@ fn reads_buffer(stmt: &Stmt, buf: crate::lir::BufId) -> bool {
         Stmt::Transpose { src, .. } => *src == buf,
         Stmt::StateLoad { state, .. } => *state == buf,
         Stmt::StateStore { src, .. } => *src == buf,
+        Stmt::WindowedReuse { src, .. } => *src == buf,
+    }
+}
+
+/// Minimum window length for which the rolling accumulator pays off: the
+/// delta update costs ~2 flops per element against `window` flops for a
+/// fresh sum, so tiny windows are left alone.
+const MIN_WINDOW: usize = 4;
+
+/// Rewrites eligible sliding-window statements into rolling-accumulator
+/// [`Stmt::WindowedReuse`] form.
+///
+/// A statement qualifies when its read windows at consecutive output
+/// indices overlap and the per-element weights are uniform, so the window
+/// sum can be maintained incrementally (add the entering sample, subtract
+/// the leaving one) instead of recomputed from scratch:
+///
+/// - [`Stmt::MovingAvg`] always qualifies (scale `1/window`);
+/// - [`Stmt::Conv`] with [`ConvStyle::Tight`] qualifies when either
+///   operand is a uniform constant `c` (scale `c`, window over the other
+///   operand — convolution is commutative);
+/// - [`Stmt::Fir`] qualifies when all taps are the same constant `c`.
+///
+/// Each rewrite appends a persistent [`BufferRole::State`] ring buffer of
+/// `window` elements holding the retained window tail, so a subsequent
+/// invocation of a streaming deployment can seed its accumulator from the
+/// previous input's trailing samples instead of recomputing the overlap.
+/// Windows shorter than `MIN_WINDOW` and runs shorter than two elements
+/// are left untouched (no overlap worth reusing).
+pub fn window_reuse(program: &Program) -> Program {
+    let mut buffers = program.buffers.clone();
+    let mut stmts = Vec::with_capacity(program.stmts.len());
+    let mut rewritten = 0usize;
+    for stmt in &program.stmts {
+        match window_candidate(program, stmt) {
+            Some((dst, src, src_len, window, scale, k0, k1)) => {
+                let state = BufId(buffers.len());
+                let dst_name = buffers[dst.0].name.clone();
+                buffers.push(Buffer {
+                    name: format!("{dst_name}_win{rewritten}"),
+                    len: window,
+                    role: BufferRole::State(vec![0.0; window]),
+                });
+                rewritten += 1;
+                stmts.push(Stmt::WindowedReuse {
+                    dst,
+                    src,
+                    src_len,
+                    state,
+                    window,
+                    scale,
+                    k0,
+                    k1,
+                });
+            }
+            None => stmts.push(stmt.clone()),
+        }
+    }
+    Program {
+        name: program.name.clone(),
+        style: program.style,
+        buffers,
+        stmts,
+    }
+}
+
+/// Returns the `(dst, src, src_len, window, scale, k0, k1)` pieces of a
+/// [`Stmt::WindowedReuse`] rewrite when `stmt` qualifies.
+#[allow(clippy::type_complexity)]
+fn window_candidate(
+    program: &Program,
+    stmt: &Stmt,
+) -> Option<(BufId, BufId, usize, usize, WindowScale, usize, usize)> {
+    let (dst, src, src_len, window, scale, k0, k1) = match *stmt {
+        Stmt::MovingAvg {
+            dst,
+            src,
+            window,
+            k0,
+            k1,
+        } => (
+            dst,
+            src,
+            program.buffers[src.0].len,
+            window,
+            WindowScale::Div(window as f64),
+            k0,
+            k1,
+        ),
+        Stmt::Conv {
+            dst,
+            u,
+            u_len,
+            v,
+            v_len,
+            k0,
+            k1,
+            style: ConvStyle::Tight,
+        } => {
+            if let Some(c) = uniform_const(program, v) {
+                (dst, u, u_len, v_len, WindowScale::Mul(c), k0, k1)
+            } else if let Some(c) = uniform_const(program, u) {
+                (dst, v, v_len, u_len, WindowScale::Mul(c), k0, k1)
+            } else {
+                return None;
+            }
+        }
+        Stmt::Fir {
+            dst,
+            src,
+            coeffs,
+            taps,
+            k0,
+            k1,
+        } => {
+            let c = uniform_const(program, coeffs)?;
+            (
+                dst,
+                src,
+                program.buffers[src.0].len,
+                taps,
+                WindowScale::Mul(c),
+                k0,
+                k1,
+            )
+        }
+        _ => return None,
+    };
+    (window >= MIN_WINDOW && k1 - k0 >= 2).then_some((dst, src, src_len, window, scale, k0, k1))
+}
+
+/// The single value every element of a constant buffer holds, if the
+/// buffer is constant, non-empty, and bit-identical throughout.
+fn uniform_const(program: &Program, buf: BufId) -> Option<f64> {
+    match &program.buffers[buf.0].role {
+        BufferRole::Const(data) if !data.is_empty() => {
+            let first = data[0];
+            data.iter()
+                .all(|d| d.to_bits() == first.to_bits())
+                .then_some(first)
+        }
+        _ => None,
     }
 }
 
@@ -324,5 +490,173 @@ mod tests {
         let folded = fold_expressions(&p);
         // the gain feeds two consumers, so nothing may fold into it
         assert_eq!(folded.stmts.len(), p.stmts.len());
+    }
+
+    #[test]
+    fn subset_run_fuses_on_the_intersection() {
+        use crate::lir::UnOp;
+        // the producer writes a 16-wide run; the consumer reads only the
+        // middle 8 elements starting at offset 4 — fusion must land on the
+        // consumer's run with the producer's source shifted by the delta
+        let p = Program {
+            name: "subset".into(),
+            style: GeneratorStyle::Frodo,
+            buffers: vec![
+                Buffer {
+                    name: "u".into(),
+                    len: 16,
+                    role: BufferRole::Input(0),
+                },
+                Buffer {
+                    name: "t".into(),
+                    len: 16,
+                    role: BufferRole::Temp,
+                },
+                Buffer {
+                    name: "y".into(),
+                    len: 8,
+                    role: BufferRole::Output(0),
+                },
+            ],
+            stmts: vec![
+                Stmt::Unary {
+                    op: UnOp::Gain(2.0),
+                    dst: Slice::new(BufId(1), 0),
+                    src: Src::Run(Slice::new(BufId(0), 0)),
+                    len: 16,
+                },
+                Stmt::Unary {
+                    op: UnOp::Abs,
+                    dst: Slice::new(BufId(2), 0),
+                    src: Src::Run(Slice::new(BufId(1), 4)),
+                    len: 8,
+                },
+            ],
+        };
+        let folded = fold_expressions(&p);
+        assert_eq!(folded.stmts.len(), 1, "{folded}");
+        match &folded.stmts[0] {
+            Stmt::FusedUnary { ops, src, len, .. } => {
+                assert_eq!(ops.len(), 2);
+                assert_eq!(*len, 8);
+                assert_eq!(*src, Src::Run(Slice::new(BufId(0), 4)));
+            }
+            other => panic!("expected fused statement, got {other:?}"),
+        }
+        let input: Vec<f64> = (0..16).map(|i| i as f64 - 8.0).collect();
+        assert_eq!(mini_eval(&p, &input), mini_eval(&folded, &input));
+    }
+
+    fn uniform_conv_program(kernel: Vec<f64>) -> Program {
+        let v_len = kernel.len();
+        Program {
+            name: "conv".into(),
+            style: GeneratorStyle::Frodo,
+            buffers: vec![
+                Buffer {
+                    name: "u".into(),
+                    len: 50,
+                    role: BufferRole::Input(0),
+                },
+                Buffer {
+                    name: "h".into(),
+                    len: v_len,
+                    role: BufferRole::Const(kernel),
+                },
+                Buffer {
+                    name: "y".into(),
+                    len: 50 + v_len - 1,
+                    role: BufferRole::Output(0),
+                },
+            ],
+            stmts: vec![Stmt::Conv {
+                dst: BufId(2),
+                u: BufId(0),
+                u_len: 50,
+                v: BufId(1),
+                v_len,
+                k0: 5,
+                k1: 55,
+                style: ConvStyle::Tight,
+            }],
+        }
+    }
+
+    #[test]
+    fn window_reuse_rewrites_uniform_kernel_conv() {
+        // the figure-1 shape: x * [0.1; 11] truncated to a trailing run
+        let p = uniform_conv_program(vec![0.1; 11]);
+        let reused = window_reuse(&p);
+        assert_eq!(reused.stmts.len(), 1);
+        match &reused.stmts[0] {
+            Stmt::WindowedReuse {
+                dst,
+                src,
+                src_len,
+                state,
+                window,
+                scale,
+                k0,
+                k1,
+            } => {
+                assert_eq!((*dst, *src, *src_len), (BufId(2), BufId(0), 50));
+                assert_eq!((*window, *k0, *k1), (11, 5, 55));
+                assert_eq!(*scale, WindowScale::Mul(0.1));
+                assert_eq!(*state, BufId(3));
+            }
+            other => panic!("expected WindowedReuse, got {other:?}"),
+        }
+        // one persistent ring buffer of `window` zeros was appended
+        assert_eq!(reused.buffers.len(), p.buffers.len() + 1);
+        let ring = reused.buffers.last().unwrap();
+        assert_eq!(ring.name, "y_win0");
+        assert_eq!(ring.len, 11);
+        assert_eq!(ring.role, BufferRole::State(vec![0.0; 11]));
+    }
+
+    #[test]
+    fn window_reuse_skips_non_uniform_and_tiny_windows() {
+        // non-uniform taps: the weighted sum cannot roll
+        let varying: Vec<f64> = (0..11).map(|i| 0.01 * i as f64).collect();
+        let p = uniform_conv_program(varying);
+        assert_eq!(window_reuse(&p).stmts, p.stmts);
+        // uniform but below MIN_WINDOW: delta update would not pay off
+        let tiny = uniform_conv_program(vec![0.5; 3]);
+        assert_eq!(window_reuse(&tiny).stmts, tiny.stmts);
+    }
+
+    #[test]
+    fn window_reuse_rewrites_moving_average() {
+        let p = Program {
+            name: "avg".into(),
+            style: GeneratorStyle::Frodo,
+            buffers: vec![
+                Buffer {
+                    name: "u".into(),
+                    len: 40,
+                    role: BufferRole::Input(0),
+                },
+                Buffer {
+                    name: "y".into(),
+                    len: 40,
+                    role: BufferRole::Output(0),
+                },
+            ],
+            stmts: vec![Stmt::MovingAvg {
+                dst: BufId(1),
+                src: BufId(0),
+                window: 8,
+                k0: 10,
+                k1: 40,
+            }],
+        };
+        let reused = window_reuse(&p);
+        match &reused.stmts[0] {
+            Stmt::WindowedReuse { scale, window, .. } => {
+                assert_eq!(*scale, WindowScale::Div(8.0));
+                assert_eq!(*window, 8);
+            }
+            other => panic!("expected WindowedReuse, got {other:?}"),
+        }
     }
 }

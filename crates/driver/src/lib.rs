@@ -190,6 +190,18 @@ impl CompileOptionsBuilder {
         self
     }
 
+    /// Vectorization mode of the emitted C (keyed).
+    pub fn vectorize(mut self, mode: frodo_codegen::VectorMode) -> Self {
+        self.options.keyed.emit.vectorize = mode;
+        self
+    }
+
+    /// Sliding-window reuse pass after lowering (keyed).
+    pub fn window_reuse(mut self, on: bool) -> Self {
+        self.options.keyed.lower.window_reuse = on;
+        self
+    }
+
     /// Intra-model thread budget (exec-only).
     pub fn intra_threads(mut self, threads: usize) -> Self {
         self.options.exec.intra_threads = threads;
@@ -737,11 +749,13 @@ pub(crate) fn cache_key(
     digest.update(style.label().as_bytes());
     digest.update(
         format!(
-            ";engine={:?};dead_ends={};coalesce={};shared_conv={}",
+            ";engine={:?};dead_ends={};coalesce={};shared_conv={};vectorize={:?};window_reuse={}",
             options.range.engine,
             options.range.eliminate_dead_ends,
             options.lower.coalesce_gap,
-            options.emit.shared_conv_helper
+            options.emit.shared_conv_helper,
+            options.emit.vectorize,
+            options.lower.window_reuse
         )
         .as_bytes(),
     );
@@ -790,6 +804,14 @@ mod tests {
         let mut shared = opts;
         shared.emit.shared_conv_helper = true;
         assert_ne!(k0, cache_key(&base, GeneratorStyle::Frodo, &shared));
+        // different vectorization mode
+        let mut vec = opts;
+        vec.emit.vectorize = frodo_codegen::VectorMode::Batch(8);
+        assert_ne!(k0, cache_key(&base, GeneratorStyle::Frodo, &vec));
+        // different reuse setting
+        let mut reuse = opts;
+        reuse.lower.window_reuse = true;
+        assert_ne!(k0, cache_key(&base, GeneratorStyle::Frodo, &reuse));
     }
 
     #[test]

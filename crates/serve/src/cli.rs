@@ -79,8 +79,9 @@ pub fn cmd_client(args: &[String]) -> Result<(), String> {
     let value_flags = [
         "--socket", "--tcp", "-s", "--style", "--styles", "--threads", "-t", "--engine",
         "--timeout", "--client", "--retries", "-o", "--output", "--session", "--region-max",
+        "--vectorize",
     ];
-    let bool_flags = ["--verify", "--trace"];
+    let bool_flags = ["--verify", "--trace", "--window-reuse"];
     let pos = positionals(args, &value_flags, &bool_flags);
     let kind = *pos.first().ok_or(
         "client: missing request kind (compile|recompile|lint|batch|status|shutdown)",
@@ -154,6 +155,11 @@ fn request_options(args: &[String]) -> Result<RequestOptions, String> {
             ))
         }
     };
+    // Bare `batch` widths resolve server-side; the label travels verbatim.
+    let vectorize = match flag_value(args, &["--vectorize"]) {
+        None => frodo_codegen::VectorMode::default(),
+        Some(s) => frodo_codegen::VectorMode::parse(s, 8)?,
+    };
     Ok(RequestOptions {
         threads: parse_num(args, &["--threads", "-t"], "--threads")?.unwrap_or(0),
         range: RangeOptions {
@@ -163,6 +169,8 @@ fn request_options(args: &[String]) -> Result<RequestOptions, String> {
         verify: args.iter().any(|a| a == "--verify"),
         trace: args.iter().any(|a| a == "--trace"),
         timeout_ms: parse_num(args, &["--timeout"], "--timeout")?.unwrap_or(0),
+        vectorize,
+        window_reuse: args.iter().any(|a| a == "--window-reuse"),
     })
 }
 

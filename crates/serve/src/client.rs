@@ -283,6 +283,21 @@ fn write_options(w: &mut ndjson::ObjWriter, options: &proto::RequestOptions, cli
     if options.timeout_ms > 0 {
         w.field_num("timeout_ms", options.timeout_ms);
     }
+    match options.vectorize {
+        frodo_codegen::VectorMode::Auto => {}
+        frodo_codegen::VectorMode::Off => {
+            w.field_str("vectorize", "off");
+        }
+        frodo_codegen::VectorMode::Hints => {
+            w.field_str("vectorize", "hints");
+        }
+        frodo_codegen::VectorMode::Batch(width) => {
+            w.field_str("vectorize", &format!("batch:{width}"));
+        }
+    }
+    if options.window_reuse {
+        w.field_num("window_reuse", 1);
+    }
     if let Some(client) = client {
         w.field_num("client", client);
     }

@@ -10,7 +10,7 @@
 //!
 //! | type | fields |
 //! |------|--------|
-//! | `compile` | `model`, optional `style`, `threads`, `engine`, `verify`, `trace`, `timeout_ms`, `client` |
+//! | `compile` | `model`, optional `style`, `threads`, `engine`, `verify`, `trace`, `timeout_ms`, `vectorize`, `window_reuse`, `client` |
 //! | `lint` | `model` |
 //! | `batch` | `models` (array), optional `styles` (comma list or `all`), plus the `compile` options |
 //! | `recompile` | `session`, `model`, optional `style`, `region_max`, plus the `compile` options |
@@ -42,7 +42,7 @@
 //! daemon does not speak gets a structured `error` response naming the
 //! supported range — it is never silently misparsed.
 
-use frodo_codegen::GeneratorStyle;
+use frodo_codegen::{GeneratorStyle, VectorMode};
 use frodo_core::{RangeEngine, RangeOptions};
 use frodo_driver::{CacheStats, CompileOptions, JobError, JobOutput, PoolSnapshot, SessionStats};
 use frodo_obs::ndjson::{self, ObjWriter, Value};
@@ -66,6 +66,10 @@ pub struct RequestOptions {
     pub trace: bool,
     /// Per-job wall-clock budget in milliseconds (`timeout_ms`); `0` = none.
     pub timeout_ms: u64,
+    /// Vectorization mode of the emitted C (`vectorize`, as a label).
+    pub vectorize: VectorMode,
+    /// Run the sliding-window reuse pass (`window_reuse`, as 0/1).
+    pub window_reuse: bool,
 }
 
 impl RequestOptions {
@@ -76,6 +80,8 @@ impl RequestOptions {
             .intra_threads(self.threads)
             .verify(self.verify)
             .timeout_ms(self.timeout_ms)
+            .vectorize(self.vectorize)
+            .window_reuse(self.window_reuse)
             .build()
     }
 }
@@ -162,6 +168,12 @@ fn options_from(fields: &[(String, Value)]) -> Result<RequestOptions, String> {
             ))
         }
     };
+    // Bare `batch` gets the x86 lane count; the daemon compiles for the
+    // host it runs on, and clients wanting another width say `batch:W`.
+    let vectorize = match ndjson::get_str(fields, "vectorize") {
+        None => VectorMode::default(),
+        Some(s) => VectorMode::parse(s, 8)?,
+    };
     let num = |key: &str| ndjson::get_num(fields, key).unwrap_or(0.0);
     Ok(RequestOptions {
         threads: num("threads") as usize,
@@ -172,6 +184,8 @@ fn options_from(fields: &[(String, Value)]) -> Result<RequestOptions, String> {
         verify: num("verify") != 0.0,
         trace: num("trace") != 0.0,
         timeout_ms: num("timeout_ms") as u64,
+        vectorize,
+        window_reuse: num("window_reuse") != 0.0,
     })
 }
 
@@ -443,7 +457,7 @@ mod tests {
     #[test]
     fn request_roundtrip_covers_every_kind() {
         let r = parse_request(
-            r#"{"type":"compile","model":"Kalman","style":"hcg","threads":2,"engine":"iterative","verify":1,"timeout_ms":500,"client":7}"#,
+            r#"{"type":"compile","model":"Kalman","style":"hcg","threads":2,"engine":"iterative","verify":1,"timeout_ms":500,"vectorize":"batch:4","window_reuse":1,"client":7}"#,
         )
         .unwrap();
         match r {
@@ -461,10 +475,14 @@ mod tests {
                 assert!(!options.trace);
                 assert_eq!(options.timeout_ms, 500);
                 assert_eq!(client, Some(7));
+                assert_eq!(options.vectorize, VectorMode::Batch(4));
+                assert!(options.window_reuse);
                 let co = options.compile_options();
                 assert_eq!(co.exec.intra_threads, 2);
                 assert_eq!(co.exec.timeout_ms, 500);
                 assert_eq!(co.keyed.range.engine, RangeEngine::Iterative);
+                assert_eq!(co.keyed.emit.vectorize, VectorMode::Batch(4));
+                assert!(co.keyed.lower.window_reuse);
             }
             other => panic!("expected compile, got {other:?}"),
         }
@@ -562,6 +580,12 @@ mod tests {
         assert!(parse_request(r#"{"type":"compile","model":"x","engine":"warp"}"#)
             .unwrap_err()
             .contains("unknown engine"));
+        assert!(parse_request(r#"{"type":"compile","model":"x","vectorize":"warp"}"#)
+            .unwrap_err()
+            .contains("unknown vectorize mode"));
+        assert!(parse_request(r#"{"type":"compile","model":"x","vectorize":"batch:99"}"#)
+            .unwrap_err()
+            .contains("out of range"));
         // parse errors carry the line/offset locator from frodo-obs
         assert!(parse_request(r#"{"type":"compile","threads":x}"#)
             .unwrap_err()

@@ -58,7 +58,7 @@ pub mod rng;
 mod vm;
 pub mod workload;
 
-pub use cost::{Arch, CompilerProfile, CostModel};
+pub use cost::{program_flops, stmt_flops, Arch, CompilerProfile, CostModel};
 pub use memory::MemoryReport;
 pub use reference::{ReferenceSimulator, SimError};
 pub use vm::Vm;

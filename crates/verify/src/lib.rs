@@ -54,4 +54,6 @@ pub use diag::{
     RULES,
 };
 pub use lint::lint;
-pub use soundness::{check_compile, check_program, OutputDemand, SoundnessReport};
+pub use soundness::{
+    check_compile, check_program, check_program_invocations, OutputDemand, SoundnessReport,
+};

@@ -62,7 +62,11 @@ impl SoundnessReport {
 
 /// Checks a compiled [`Analysis`] + [`Program`] pair: derives each model
 /// output's demanded range the way Algorithm 1 anchors it (the `Outport`'s
-/// full input extent) and runs [`check_program`].
+/// full input extent) and runs the written-set interpretation across **two
+/// consecutive invocations** (see [`check_program_invocations`]) — the
+/// second invocation proves that persistent state handed to the next step
+/// was fully refreshed by the first, which is what makes rewrites carrying
+/// inter-invocation state (`Stmt::WindowedReuse`) sound to deploy.
 pub fn check_compile(analysis: &Analysis, program: &Program) -> SoundnessReport {
     let model = analysis.dfg().model();
     let shapes = analysis.dfg().shapes();
@@ -82,16 +86,40 @@ pub fn check_compile(analysis: &Analysis, program: &Program) -> SoundnessReport 
             },
         })
         .collect();
-    check_program(program, &demands)
+    check_program_invocations(program, &demands, 2)
 }
 
-/// Checks a [`Program`] against explicit output demands. Tests inject
-/// partial or shifted demands here to prove the checker rejects
-/// corrupted calculation ranges.
+/// Checks a [`Program`] against explicit output demands over a single
+/// invocation. Tests inject partial or shifted demands here to prove the
+/// checker rejects corrupted calculation ranges.
 pub fn check_program(program: &Program, demands: &[OutputDemand]) -> SoundnessReport {
+    check_program_invocations(program, demands, 1)
+}
+
+/// [`check_program`] across `invocations` consecutive invocations.
+///
+/// The first invocation starts from the usual abstract state (inputs,
+/// constants, and state buffers fully written). At each invocation
+/// boundary, temporaries and outputs reset to empty and inputs/constants
+/// to full — but each **state** buffer's written set becomes exactly the
+/// elements the previous invocation wrote to it: stale initial values are
+/// treated as poison, so a transform that fails to fully refresh the state
+/// it hands to the next step surfaces as an uninitialized read (F101)
+/// in the second invocation. Output coverage (F103/F104) is judged once,
+/// after the final invocation.
+pub fn check_program_invocations(
+    program: &Program,
+    demands: &[OutputDemand],
+    invocations: usize,
+) -> SoundnessReport {
     let mut ck = Checker::new(program);
-    for (i, stmt) in program.stmts.iter().enumerate() {
-        ck.step(i, stmt);
+    for inv in 0..invocations.max(1) {
+        if inv > 0 {
+            ck.next_invocation();
+        }
+        for (i, stmt) in program.stmts.iter().enumerate() {
+            ck.step(i, stmt);
+        }
     }
     ck.check_outputs(demands);
     ck.report
@@ -128,6 +156,9 @@ fn src(s: &Src, len: usize, what: &'static str) -> Option<Access> {
 struct Checker<'p> {
     program: &'p Program,
     written: Vec<IndexSet>,
+    /// Elements written during the current invocation only (feeds the
+    /// state carry-over at invocation boundaries).
+    inv_writes: Vec<IndexSet>,
     report: SoundnessReport,
 }
 
@@ -147,11 +178,27 @@ impl<'p> Checker<'p> {
         let buffers_checked = written.len();
         Checker {
             program,
+            inv_writes: vec![IndexSet::new(); written.len()],
             written,
             report: SoundnessReport {
                 buffers_checked,
                 ..SoundnessReport::default()
             },
+        }
+    }
+
+    /// Re-arms the written sets for the next consecutive invocation: a
+    /// state buffer keeps only what this invocation actually wrote to it
+    /// (its pre-first-step initial values are spent), everything else
+    /// resets to its start-of-step state.
+    fn next_invocation(&mut self) {
+        for (i, b) in self.program.buffers.iter().enumerate() {
+            self.written[i] = match b.role {
+                BufferRole::Input(_) | BufferRole::Const(_) => IndexSet::full(b.len),
+                BufferRole::Temp | BufferRole::Output(_) => IndexSet::new(),
+                BufferRole::State(_) => self.inv_writes[i].clone(),
+            };
+            self.inv_writes[i] = IndexSet::new();
         }
     }
 
@@ -225,6 +272,7 @@ impl<'p> Checker<'p> {
         }
         let w = a.set.intersect(&IndexSet::full(len));
         self.written[a.buf.0] = self.written[a.buf.0].union(&w);
+        self.inv_writes[a.buf.0] = self.inv_writes[a.buf.0].union(&w);
     }
 
     /// Interprets one statement: derives its read/write sets (mirroring
@@ -404,6 +452,35 @@ impl<'p> Checker<'p> {
                 reads.push(run(*s, 0, *len, "src"));
                 writes.push(run(*state, 0, *len, "state"));
             }
+            Stmt::WindowedReuse {
+                dst,
+                src: s,
+                src_len,
+                state,
+                window,
+                k0,
+                k1,
+                ..
+            } => {
+                if *k0 >= *k1 || *window == 0 || *src_len == 0 {
+                    return self.malformed(i, *dst, "empty windowed-reuse run");
+                }
+                if *src_len > self.program.buffer(*s).len {
+                    return self.malformed(i, *s, "windowed-reuse clamp beyond the source extent");
+                }
+                // union of the clamped windows over [k0, k1); the tail
+                // retention reads a subset of the same range
+                let lo = (*k0 + 1).saturating_sub(*window);
+                let hi = (*k1 - 1).min(*src_len - 1);
+                if lo > hi {
+                    return self.malformed(i, *s, "windowed-reuse run past the source extent");
+                }
+                reads.push(run(*s, lo, hi + 1 - lo, "src"));
+                writes.push(run(*dst, *k0, *k1 - *k0, "dst"));
+                // the retained tail must be refreshed in full — this write
+                // is what the second-invocation carry-over validates
+                writes.push(run(*state, 0, *window, "state"));
+            }
         }
         for r in &reads {
             self.check_read(i, r);
@@ -556,6 +633,132 @@ mod tests {
             .find(|d| d.code == "F104")
             .expect("over-computation");
         assert!(d.message.contains("[4, 8)"), "{}", d.message);
+    }
+
+    /// in(8) -> state round-trip -> out(8), with the state store writing
+    /// only `store_len` of the 8 state elements.
+    fn stateful_program(store_len: usize) -> Program {
+        Program {
+            name: "st".into(),
+            style: GeneratorStyle::Frodo,
+            buffers: vec![
+                buffer("in0", 8, BufferRole::Input(0)),
+                buffer("st", 8, BufferRole::State(vec![0.0; 8])),
+                buffer("out0", 8, BufferRole::Output(0)),
+            ],
+            stmts: vec![
+                Stmt::Copy {
+                    dst: Slice::new(BufId(2), 0),
+                    src: Slice::new(BufId(1), 0),
+                    len: 8,
+                },
+                Stmt::StateStore {
+                    state: BufId(1),
+                    src: BufId(0),
+                    len: store_len,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn partially_refreshed_state_is_caught_on_the_second_invocation() {
+        let p = stateful_program(4);
+        // one invocation: the initial state values cover the read
+        assert!(check_program(&p, &full_demand()).is_sound());
+        // two invocations: stale initial values are spent, so the copy
+        // reads state elements [4, 8) nothing refreshed
+        let report = check_program_invocations(&p, &full_demand(), 2);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "F101")
+            .expect("stale state read");
+        assert!(d.message.contains("[4, 8)"), "{}", d.message);
+    }
+
+    #[test]
+    fn fully_refreshed_state_passes_across_invocations() {
+        let report = check_program_invocations(&stateful_program(8), &full_demand(), 3);
+        assert!(report.is_sound(), "{:?}", report.diagnostics);
+        assert_eq!(report.stmts_checked, 6);
+        assert_eq!(report.outputs_checked, 1);
+    }
+
+    #[test]
+    fn windowed_reuse_rewrite_is_sound_across_invocations() {
+        use frodo_codegen::lir::{ConvStyle, WindowScale};
+        // a Conv run [5, 55) over in(50) * uniform(11), rewritten to
+        // rolling form with an 11-deep ring buffer
+        let reuse = Stmt::WindowedReuse {
+            dst: BufId(2),
+            src: BufId(0),
+            src_len: 50,
+            state: BufId(3),
+            window: 11,
+            scale: WindowScale::Mul(0.1),
+            k0: 5,
+            k1: 55,
+        };
+        let conv = Stmt::Conv {
+            dst: BufId(2),
+            u: BufId(0),
+            u_len: 50,
+            v: BufId(1),
+            v_len: 11,
+            k0: 5,
+            k1: 55,
+            style: ConvStyle::Tight,
+        };
+        let program = |stmt: Stmt| Program {
+            name: "wr".into(),
+            style: GeneratorStyle::Frodo,
+            buffers: vec![
+                buffer("in0", 50, BufferRole::Input(0)),
+                buffer("k", 11, BufferRole::Const(vec![0.1; 11])),
+                buffer("out0", 60, BufferRole::Output(0)),
+                buffer("out0_win0", 11, BufferRole::State(vec![0.0; 11])),
+            ],
+            stmts: vec![stmt],
+        };
+        let demands = vec![OutputDemand {
+            index: 0,
+            range: IndexSet::from_range(5, 55),
+            block: Some("out".into()),
+        }];
+        // the rewrite writes the same output run as the Conv it replaced,
+        // and its state store survives the invocation-boundary carry-over
+        for p in [program(reuse), program(conv)] {
+            let report = check_program_invocations(&p, &demands, 2);
+            assert!(report.is_sound(), "{:?}", report.diagnostics);
+        }
+    }
+
+    #[test]
+    fn windowed_reuse_past_the_source_extent_is_malformed() {
+        use frodo_codegen::lir::WindowScale;
+        let p = Program {
+            name: "bad".into(),
+            style: GeneratorStyle::Frodo,
+            buffers: vec![
+                buffer("in0", 50, BufferRole::Input(0)),
+                buffer("out0", 200, BufferRole::Output(0)),
+                buffer("win", 11, BufferRole::State(vec![0.0; 11])),
+            ],
+            stmts: vec![Stmt::WindowedReuse {
+                dst: BufId(1),
+                src: BufId(0),
+                src_len: 50,
+                state: BufId(2),
+                window: 11,
+                // every window in this run starts past the source's end
+                k0: 120,
+                k1: 130,
+                scale: WindowScale::Div(11.0),
+            }],
+        };
+        let report = check_program(&p, &[]);
+        assert!(report.diagnostics.iter().any(|d| d.code == "F105"));
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! ```text
 //! frodo analyze  <model.{slx,mdl}>                 redundancy-elimination report
 //! frodo lint     <model> [--format human|json|sarif]  static model diagnostics
-//! frodo build    <model> [-s STYLE] [--shared-helper] [-o out.c]
+//! frodo build    <model> [-s STYLE] [--shared-helper] [--vectorize M] [-o out.c]
 //! frodo compile  <model> [-s STYLE] [--threads N] [--engine E] [--verify] [--cache-dir D]
+//!                [--vectorize M] [--window-reuse]
 //!                [--trace out.ndjson] [--ledger | --ledger-out F] [-o out.c]
 //! frodo batch    <models...> [--workers N] [--threads N] [--verify] [--cache-dir D]
-//!                [-s STYLES] [-o DIR] [--trace] [--trace-out out.ndjson]
+//!                [-s STYLES] [-o DIR] [--vectorize M] [--window-reuse]
+//!                [--trace] [--trace-out out.ndjson]
 //!                [--ledger | --ledger-out F] [--incremental [--region-max N]]
 //! frodo serve    [--socket PATH|--tcp ADDR] [--workers N] [--queue-cap N]
 //!                [--cache-cap BYTES] [--cache-dir D] [--ledger | --ledger-out F]
@@ -74,11 +76,12 @@ fn print_usage() {
          USAGE:\n\
          \x20 frodo analyze  <model.{{slx,mdl}}>\n\
          \x20 frodo lint     <model> [--format human|json|sarif]\n\
-         \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [-o out.c]\n\
+         \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [--vectorize M] [-o out.c]\n\
          \x20 frodo compile  <model> [-s STYLE] [--threads N] [--engine recursive|iterative|parallel]\n\
+         \x20                [--vectorize auto|off|hints|batch[:W]] [--window-reuse]\n\
          \x20                [--verify] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
          \x20 frodo batch    <models...> [--workers N] [--threads N] [--verify] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
-         \x20                [--trace] [--trace-out out.ndjson] [--incremental [--region-max N]]\n\
+         \x20                [--vectorize M] [--window-reuse] [--trace] [--trace-out out.ndjson] [--incremental [--region-max N]]\n\
          \x20 frodo serve    [--socket PATH|--tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap BYTES]\n\
          \x20                [--cache-dir DIR] [--ledger | --ledger-out F]\n\
          \x20 frodo client   [--socket PATH|--tcp ADDR] compile <model> [-s STYLE] [--threads N] [--verify] [--timeout MS] [-o out.c]\n\
@@ -102,7 +105,10 @@ fn print_usage() {
          specs; with --ledger, one entry per job).\n\
          --verify runs the range-soundness checker (frodo-verify) on every\n\
          fresh compile and fails closed with F1xx diagnostics; frodo lint\n\
-         reports F0xx model diagnostics (exit 1 on errors, not warnings)."
+         reports F0xx model diagnostics (exit 1 on errors, not warnings).\n\
+         --vectorize shapes loops for SIMD (hints adds restrict/alignment,\n\
+         batch[:W] emits W-wide bodies); --window-reuse rewrites sliding-\n\
+         window statements into delta updates over a persistent ring buffer."
     );
 }
 
@@ -257,6 +263,15 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Parses `--vectorize auto|off|hints|batch[:W]`; bare `batch` takes the
+/// x86 cost model's lane count.
+fn vector_mode(args: &[String]) -> Result<frodo::codegen::VectorMode, String> {
+    match flag_value(args, &["--vectorize"]) {
+        None => Ok(frodo::codegen::VectorMode::default()),
+        Some(s) => frodo::codegen::VectorMode::parse(s, CostModel::x86_gcc().lanes()),
+    }
+}
+
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("build: missing model path")?;
     let style = match flag_value(args, &["-s", "--style"]) {
@@ -271,6 +286,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         &program,
         frodo::codegen::CEmitOptions {
             shared_conv_helper: shared,
+            vectorize: vector_mode(args)?,
         },
     );
     match flag_value(args, &["-o", "--output"]) {
@@ -357,8 +373,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let pos = positionals(
         args,
         &["-s", "--style", "--threads", "-t", "--engine", "--cache-dir", "--workers", "-j",
-            "--trace", "-o", "--output", "--ledger-out"],
-        &["--no-cache", "--ledger", "--verify"],
+            "--trace", "-o", "--output", "--ledger-out", "--vectorize"],
+        &["--no-cache", "--ledger", "--verify", "--window-reuse"],
     );
     let model_ref = pos.first().ok_or("compile: missing model path or name")?;
     let style = match flag_value(args, &["-s", "--style"]) {
@@ -375,6 +391,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             .range(range_options(args)?)
             .intra_threads(intra)
             .verify(args.iter().any(|a| a == "--verify"))
+            .vectorize(vector_mode(args)?)
+            .window_reuse(args.iter().any(|a| a == "--window-reuse"))
             .build(),
     );
     if let Some(t) = &trace {
@@ -476,8 +494,10 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let model_refs = positionals(
         args,
         &["--workers", "-j", "--threads", "-t", "--engine", "--cache-dir", "-s", "--styles",
-            "--style", "-o", "--output", "--trace-out", "--ledger-out", "--region-max"],
-        &["--no-cache", "--machine", "--trace", "--ledger", "--verify", "--incremental"],
+            "--style", "-o", "--output", "--trace-out", "--ledger-out", "--region-max",
+            "--vectorize"],
+        &["--no-cache", "--machine", "--trace", "--ledger", "--verify", "--incremental",
+            "--window-reuse"],
     );
     if model_refs.is_empty() {
         return Err("batch: no models given (paths or benchmark names; see 'frodo list')".into());
@@ -488,6 +508,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .range(range_options(args)?)
         .intra_threads(intra)
         .verify(args.iter().any(|a| a == "--verify"))
+        .vectorize(vector_mode(args)?)
+        .window_reuse(args.iter().any(|a| a == "--window-reuse"))
         .build();
     if args.iter().any(|a| a == "--incremental") {
         return cmd_batch_incremental(args, &model_refs, &styles, options);

@@ -58,6 +58,60 @@ fn native_gcc_matches_vm_on_manufacture() {
     }
 }
 
+/// The vectorization modes reshape loops and the window-reuse pass
+/// reorders window summation, but neither may change what the program
+/// computes: every variant's native checksum must agree with the scalar
+/// FRODO emission on the same workload.
+#[test]
+fn native_gcc_vector_modes_and_window_reuse_match_scalar() {
+    use frodo::codegen::{optimize, CEmitOptions, VectorMode};
+    if !native::gcc_available() {
+        eprintln!("skipping: no gcc on host");
+        return;
+    }
+    let analysis = Analysis::run(frodo::benchmodels::manufacture()).expect("analyze");
+    let program = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+    let scalar = native::compile_and_run_with(
+        &program,
+        GeneratorStyle::Frodo,
+        3,
+        CEmitOptions {
+            vectorize: VectorMode::Off,
+            ..Default::default()
+        },
+    )
+    .expect("scalar emission runs");
+    let close = |checksum: f64, what: &str| {
+        let scale = scalar.checksum.abs().max(1.0);
+        assert!(
+            (checksum - scalar.checksum).abs() / scale < 1e-9,
+            "{what}: native checksum {checksum} vs scalar {}",
+            scalar.checksum
+        );
+    };
+    for mode in [VectorMode::Hints, VectorMode::Batch(8), VectorMode::Batch(2)] {
+        let r = native::compile_and_run_with(
+            &program,
+            GeneratorStyle::Frodo,
+            3,
+            CEmitOptions {
+                vectorize: mode,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        close(r.checksum, &format!("{mode:?}"));
+    }
+    let reused = optimize::window_reuse(&program);
+    assert_ne!(
+        reused.stmts, program.stmts,
+        "manufacture should have a uniform-kernel window to rewrite"
+    );
+    let r = native::compile_and_run(&reused, GeneratorStyle::Frodo, 3)
+        .expect("window-reuse emission runs");
+    close(r.checksum, "window_reuse");
+}
+
 #[test]
 fn native_gcc_all_styles_agree_on_every_small_model() {
     if !native::gcc_available() {

@@ -74,6 +74,11 @@ fn threaded_emission_is_byte_identical_on_every_benchmark_model() {
                 CEmitOptions::default(),
                 CEmitOptions {
                     shared_conv_helper: true,
+                    ..Default::default()
+                },
+                CEmitOptions {
+                    vectorize: frodo::codegen::VectorMode::Batch(8),
+                    ..Default::default()
                 },
             ] {
                 let sequential = emit_c_with(&program, opts);
