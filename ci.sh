@@ -3,6 +3,8 @@
 # registry access (see DESIGN.md §4 — no external crates).
 set -eux
 
+cargo fmt --all -- --check
+
 cargo build --release --offline
 cargo test -q --offline
 cargo test -q --workspace --offline
@@ -196,7 +198,50 @@ done
     random:42:400:edit:1 --session ci-edit --threads 1 >/dev/null 2>"$inc_sock_dir/warm.err"
 grep -q 'regions 3[0-9]/3[0-9] reused' "$inc_sock_dir/warm.err"
 ./target/release/frodo client --socket "$inc_sock_dir/serve.sock" status \
-    | grep -q '"proto_version":2'
+    | grep -q '"proto_version":3'
+
+# live-metrics smoke on the same daemon, before any drain: three compile
+# requests must land in the rolling per-verb latency window, with the
+# histogram-derived percentile columns rendering real durations
+for _ in 1 2 3; do
+    ./target/release/frodo client --socket "$inc_sock_dir/serve.sock" \
+        compile Kalman --threads 1 >/dev/null
+done
+./target/release/frodo client --socket "$inc_sock_dir/serve.sock" metrics \
+    > "$inc_sock_dir/metrics.txt"
+grep -q '^uptime ' "$inc_sock_dir/metrics.txt"
+compile_window="$(awk '$1 == "compile" {print $2}' "$inc_sock_dir/metrics.txt")"
+test "$compile_window" -ge 3
+awk '$1 == "compile" {print $3}' "$inc_sock_dir/metrics.txt" | grep -Eq '^[0-9]'
+awk '$1 == "compile" {print $4}' "$inc_sock_dir/metrics.txt" | grep -Eq '^[0-9]'
+
 ./target/release/frodo client --socket "$inc_sock_dir/serve.sock" shutdown >/dev/null
 wait "$inc_serve_pid"
 rm -rf "$inc_sock_dir"
+
+# self-profiling emission gate: --profile compiles per-statement hooks
+# and the NDJSON dumper into the generated C; the default emission must
+# stay free of any profiling symbol
+prof_dir="$(mktemp -d)"
+./target/release/frodo compile --no-cache --threads 1 --profile \
+    Kalman -o "$prof_dir/prof.c" >/dev/null
+grep -q 'frodo_prof_dump' "$prof_dir/prof.c"
+grep -q 'stmt_%d_%s' "$prof_dir/prof.c"
+grep -q 'frodo_prof_kind' "$prof_dir/prof.c"
+if command -v gcc >/dev/null 2>&1; then
+    gcc -fsyntax-only -O0 "$prof_dir/prof.c"
+fi
+./target/release/frodo compile --no-cache --threads 1 \
+    Kalman -o "$prof_dir/plain.c" >/dev/null
+! grep -q 'frodo_prof' "$prof_dir/plain.c"
+rm -rf "$prof_dir"
+
+# cost-model calibration gate: the VM calibration must report a ratio
+# for every exercised statement kind inside the committed bands, and
+# append a label:"calibrate" ledger entry
+calib_ledger="$(mktemp)"
+./target/release/frodo calibrate --check CALIBRATION_BANDS.ndjson \
+    --ledger-out "$calib_ledger" >/dev/null
+grep -q '"label":"calibrate"' "$calib_ledger"
+grep -q 'calib_fir_ratio_p50_x1000' "$calib_ledger"
+rm -f "$calib_ledger"

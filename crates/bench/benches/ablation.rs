@@ -48,7 +48,11 @@ fn main() {
     for bench in &models {
         harness::bench("ablation", &format!("pipeline/{}", bench.name), || {
             let analysis = Analysis::run(black_box(bench.model.clone())).expect("analyzes");
-            black_box(generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()));
+            black_box(generate(
+                &analysis,
+                GeneratorStyle::Frodo,
+                &frodo_obs::Trace::noop(),
+            ));
         });
     }
 }

@@ -18,8 +18,8 @@
 
 use frodo_bench::harness;
 use frodo_benchmodels::random::random_model;
-use frodo_core::{determine_ranges, IoMappings, RangeEngine, RangeOptions};
 use frodo_codegen::{emit_c_threaded, generate, CEmitOptions, GeneratorStyle};
+use frodo_core::{determine_ranges, IoMappings, RangeEngine, RangeOptions};
 use frodo_graph::Dfg;
 use frodo_model::Model;
 use std::fmt::Write as _;
@@ -96,7 +96,10 @@ fn main() {
 
     for subject in subjects() {
         let blocks = subject.model.deep_len();
-        let flat = subject.model.flattened(&frodo_obs::Trace::noop()).expect("subjects flatten");
+        let flat = subject
+            .model
+            .flattened(&frodo_obs::Trace::noop())
+            .expect("subjects flatten");
         let dfg = Dfg::new(flat, &frodo_obs::Trace::noop()).expect("subjects analyze");
 
         for &threads in &THREAD_COUNTS {
@@ -151,8 +154,7 @@ fn main() {
         }
 
         // emit: per-statement rendering into per-thread buffers
-        let analysis =
-            frodo_core::Analysis::run(dfg.model().clone()).expect("subjects analyze");
+        let analysis = frodo_core::Analysis::run(dfg.model().clone()).expect("subjects analyze");
         let program = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         for &threads in &THREAD_COUNTS {
             let (ns, iters, samples) = run(
@@ -221,16 +223,18 @@ fn main() {
 /// stages ride along zeroed so the line schema stays stable), the row
 /// count as a counter, and the summed t1 medians as the wall time.
 fn ledger_entry(rows: &[Row]) -> frodo_obs::LedgerEntry {
-    use frodo_obs::{Histogram, StageSummary, LedgerEntry, TraceAgg, STAGE_NAMES};
+    use frodo_obs::{Histogram, LedgerEntry, StageSummary, TraceAgg, STAGE_NAMES};
     let mut agg = TraceAgg::default();
     for stage in STAGE_NAMES {
         let mut h = Histogram::new();
         for r in rows.iter().filter(|r| r.stage == stage && r.threads == 1) {
             h.record(r.median_ns);
         }
-        agg.stages.push((stage.to_string(), StageSummary::from_histogram(&h)));
+        agg.stages
+            .push((stage.to_string(), StageSummary::from_histogram(&h)));
     }
-    agg.counters.push(("bench_rows".to_string(), rows.len() as i64));
+    agg.counters
+        .push(("bench_rows".to_string(), rows.len() as i64));
     agg.jobs = subjects().len() as u64;
     let wall_ns: f64 = rows
         .iter()

@@ -14,8 +14,8 @@
 //! 7. **Sliding-window reuse** — the inter-invocation delta-update rewrite,
 //!    in arch-independent FLOPs and estimated time.
 
-use frodo_codegen::optimize::{fold_expressions, window_reuse};
 use frodo_codegen::lir::Stmt;
+use frodo_codegen::optimize::{fold_expressions, window_reuse};
 use frodo_codegen::{
     emit_c, emit_c_with, generate, generate_with, CEmitOptions, GeneratorStyle, LowerOptions,
     VectorMode,
@@ -38,8 +38,16 @@ fn main() {
         let analysis = Analysis::run(bench.model.clone()).expect("analyzes");
         // DFSynth emits the same (tight, auto-vec) code at full ranges,
         // so it is exactly "FRODO minus range elimination".
-        let full = cm.program_ns(&generate(&analysis, GeneratorStyle::DfSynth, &frodo_obs::Trace::noop()));
-        let frodo = cm.program_ns(&generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()));
+        let full = cm.program_ns(&generate(
+            &analysis,
+            GeneratorStyle::DfSynth,
+            &frodo_obs::Trace::noop(),
+        ));
+        let frodo = cm.program_ns(&generate(
+            &analysis,
+            GeneratorStyle::Frodo,
+            &frodo_obs::Trace::noop(),
+        ));
         println!(
             "{:<14} {:>10.1}us {:>10.1}us {:>8.2}x",
             bench.name,

@@ -1,0 +1,82 @@
+//! `calibrate` — cost-model calibration over the Table-1 suite.
+//!
+//! ```text
+//! cargo run -p frodo-bench --bin calibrate -- [--steps N] [--native [--iters N]]
+//!     [--check BANDS.ndjson] [--ledger-out FILE]
+//! ```
+//!
+//! Runs every benchmark's FRODO program through the profiled VM (and,
+//! with `--native`, through self-profiling `gcc -O3` binaries), joins the
+//! measured per-statement costs against the [`frodo_sim::CostModel`]
+//! predictions, and prints per-kind p50/p95 measured/predicted ratios.
+//! `--check` exits nonzero when any kind's p50 leaves its committed band;
+//! `--ledger-out` appends the report as a perf-ledger entry.
+
+use frodo_bench::calibrate::{calibrate_native, calibrate_vm, check_bands, parse_bands};
+use frodo_sim::native;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("calibrate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let steps: usize = flag_value(args, "--steps")
+        .map(|s| s.parse().map_err(|_| "bad --steps".to_string()))
+        .transpose()?
+        .unwrap_or(5);
+    let start = Instant::now();
+    let report = if args.iter().any(|a| a == "--native") {
+        if !native::gcc_available() {
+            return Err("--native requested but gcc is unavailable".into());
+        }
+        let iters: usize = flag_value(args, "--iters")
+            .map(|s| s.parse().map_err(|_| "bad --iters".to_string()))
+            .transpose()?
+            .unwrap_or(200);
+        calibrate_native(iters).map_err(|e| e.to_string())?
+    } else {
+        calibrate_vm(steps)
+    };
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    print!("{}", report.render());
+
+    if let Some(path) = flag_value(args, "--ledger-out") {
+        let entry = report.ledger_entry(wall_ns);
+        frodo_obs::append_entry(std::path::Path::new(path), &entry)?;
+        eprintln!("appended calibration entry to {path}");
+    }
+    if let Some(path) = flag_value(args, "--check") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let bands = parse_bands(&text).map_err(|e| format!("{path}: {e}"))?;
+        let violations = check_bands(&report, &bands);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("calibrate: {v}");
+            }
+            return Err(format!(
+                "{} band violation(s) against {path}",
+                violations.len()
+            ));
+        }
+        eprintln!(
+            "all {} kinds inside their bands ({path})",
+            report.kinds.len()
+        );
+    }
+    Ok(())
+}

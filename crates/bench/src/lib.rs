@@ -7,7 +7,10 @@
 //!   GCC-like and Clang-like profiles (paper Table 2); `--native` adds real
 //!   `gcc -O3` wall-clock measurements when a compiler is available;
 //! - `figure6` — ARM improvement ratios (paper Figure 6);
-//! - `memory` — static memory parity across generators (paper §5).
+//! - `memory` — static memory parity across generators (paper §5);
+//! - `calibrate` — measured-vs-predicted cost-model ratios per statement
+//!   kind (see [`calibrate`]); `--native` joins self-profiling `gcc -O3`
+//!   binaries instead of the VM.
 //!
 //! The library surface exposes the measurement primitives the binaries and
 //! the bench targets share, plus [`programs_via_service`] which routes
@@ -17,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod harness;
 
 use frodo_codegen::lir::Program;
@@ -65,9 +69,9 @@ pub fn suite_specs() -> Vec<JobSpec> {
     frodo_benchmodels::all()
         .into_iter()
         .flat_map(|bench| {
-            GeneratorStyle::ALL.into_iter().map(move |style| {
-                JobSpec::from_model(bench.name, bench.model.clone(), style)
-            })
+            GeneratorStyle::ALL
+                .into_iter()
+                .map(move |style| JobSpec::from_model(bench.name, bench.model.clone(), style))
         })
         .collect()
 }

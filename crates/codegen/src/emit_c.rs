@@ -90,6 +90,14 @@ pub struct CEmitOptions {
     pub shared_conv_helper: bool,
     /// Loop shaping for SIMD execution; see [`VectorMode`].
     pub vectorize: VectorMode,
+    /// Self-profiling emission: wrap every statement in monotonic-clock
+    /// hooks that accumulate per-statement invocation counts, nanosecond
+    /// totals, log2-bucket latency histograms, and FLOP tallies into a
+    /// static table, and emit a `frodo_prof_dump(FILE*)` that prints them
+    /// in the `frodo-obs` flat-NDJSON export schema (`span` / `counter` /
+    /// `hist` lines, keyed `stmt_<index>_<kind>`). Off by default; the
+    /// non-profiled emission is byte-identical to `profile: false`.
+    pub profile: bool,
 }
 
 /// Emits a complete C translation unit for the program.
@@ -222,6 +230,11 @@ pub fn emit_c_harness_with(program: &Program, iters: usize, opts: CEmitOptions) 
         "    double ns = ((t1.tv_sec - t0.tv_sec) * 1e9 + (t1.tv_nsec - t0.tv_nsec)) / {iters}.0;"
     );
     let _ = writeln!(main, "    printf(\"%.17g %.3f\\n\", checksum, ns);");
+    if opts.profile {
+        // the profile goes to stderr so the stdout checksum line stays
+        // machine-parseable on its own
+        let _ = writeln!(main, "    frodo_prof_dump(stderr);");
+    }
     let _ = writeln!(main, "    return 0;");
     let _ = writeln!(main, "}}");
     out.push_str(&main);
@@ -329,7 +342,14 @@ impl<'a> Emitter<'a> {
             p.name
         );
         let _ = writeln!(head, "#include <math.h>");
-        let _ = writeln!(head, "#include <string.h>\n");
+        if self.opts.profile {
+            let _ = writeln!(head, "#include <stdio.h>");
+        }
+        let _ = writeln!(head, "#include <string.h>");
+        if self.opts.profile {
+            let _ = writeln!(head, "#include <time.h>");
+        }
+        let _ = writeln!(head);
 
         // file-scope buffers; under hints/batch modes they carry an
         // explicit 64-byte alignment so the assumed alignment below holds
@@ -369,6 +389,10 @@ impl<'a> Emitter<'a> {
 
         if self.uses_conv_helper() {
             let _ = writeln!(head, "\n{CONV_HELPER}");
+        }
+
+        if self.opts.profile {
+            head.push_str(&self.profile_runtime());
         }
 
         // signature; hints/batch modes promise the compiler non-aliasing
@@ -501,7 +525,152 @@ impl<'a> Emitter<'a> {
         }
     }
 
+    /// One statement, wrapped in the per-statement timing hooks when
+    /// profiling is on. The wrapper braces give the hook's `t0` local its
+    /// own scope, so statement bodies (including the conv helper's early
+    /// return path) never see it.
     fn emit_stmt(&mut self, idx: usize, s: &Stmt) {
+        if !self.opts.profile {
+            self.emit_stmt_body(idx, s);
+            return;
+        }
+        self.line("{");
+        self.indent += 1;
+        self.line("unsigned long long frodo_prof_t0 = frodo_prof_now();");
+        self.emit_stmt_body(idx, s);
+        self.line(&format!("frodo_prof_record({idx}, frodo_prof_t0);"));
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    /// The self-profiling runtime: static accumulation tables sized to the
+    /// statement count, a monotonic-clock reader, the per-statement
+    /// recorder (whose log2 bucketing matches `frodo_obs::Histogram`
+    /// exactly), and `frodo_prof_dump`, which prints the tables in the
+    /// `frodo-obs` NDJSON export schema — one root `prof:<model>` span,
+    /// one span + `_calls`/`_flops` counters per statement, and one
+    /// latency `hist` line per executed statement.
+    fn profile_runtime(&self) -> String {
+        let p = self.p;
+        let n = p.stmts.len();
+        // C forbids zero-length arrays; a statement-less program still
+        // gets well-formed (never-indexed) tables
+        let cap = n.max(1);
+        let flops: Vec<String> = if n == 0 {
+            vec!["0ULL".to_string()]
+        } else {
+            p.stmts
+                .iter()
+                .map(|s| format!("{}ULL", s.flops()))
+                .collect()
+        };
+        let kinds: Vec<String> = if n == 0 {
+            vec!["\"none\"".to_string()]
+        } else {
+            p.stmts
+                .iter()
+                .map(|s| format!("\"{}\"", s.kind_label()))
+                .collect()
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "\n#define FRODO_PROF_N {n}");
+        let _ = writeln!(out, "#define FRODO_PROF_BUCKETS 48");
+        let _ = writeln!(out, "static unsigned long long frodo_prof_calls[{cap}];");
+        let _ = writeln!(out, "static unsigned long long frodo_prof_ns[{cap}];");
+        let _ = writeln!(out, "static unsigned long long frodo_prof_ns_min[{cap}];");
+        let _ = writeln!(out, "static unsigned long long frodo_prof_ns_max[{cap}];");
+        let _ = writeln!(
+            out,
+            "static unsigned long long frodo_prof_hist[{cap}][FRODO_PROF_BUCKETS];"
+        );
+        let _ = writeln!(
+            out,
+            "static const unsigned long long frodo_prof_flops[{cap}] = {{{}}};",
+            flops.join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "static const char *const frodo_prof_kind[{cap}] = {{{}}};",
+            kinds.join(", ")
+        );
+        out.push_str(
+            "\nstatic unsigned long long frodo_prof_now(void) {\n\
+             \x20   struct timespec ts;\n\
+             \x20   clock_gettime(CLOCK_MONOTONIC, &ts);\n\
+             \x20   return (unsigned long long)ts.tv_sec * 1000000000ULL\n\
+             \x20       + (unsigned long long)ts.tv_nsec;\n\
+             }\n\
+             \n\
+             static void frodo_prof_record(int idx, unsigned long long t0) {\n\
+             \x20   unsigned long long ns = frodo_prof_now() - t0;\n\
+             \x20   unsigned long long v = ns;\n\
+             \x20   int bits = 0;\n\
+             \x20   if (frodo_prof_calls[idx] == 0 || ns < frodo_prof_ns_min[idx]) {\n\
+             \x20       frodo_prof_ns_min[idx] = ns;\n\
+             \x20   }\n\
+             \x20   if (frodo_prof_calls[idx] == 0 || ns > frodo_prof_ns_max[idx]) {\n\
+             \x20       frodo_prof_ns_max[idx] = ns;\n\
+             \x20   }\n\
+             \x20   frodo_prof_calls[idx] += 1;\n\
+             \x20   frodo_prof_ns[idx] += ns;\n\
+             \x20   while (v) { v >>= 1; ++bits; }\n\
+             \x20   if (bits > FRODO_PROF_BUCKETS - 1) bits = FRODO_PROF_BUCKETS - 1;\n\
+             \x20   frodo_prof_hist[idx][bits] += 1;\n\
+             }\n\
+             \n\
+             static void frodo_prof_dump(FILE *out) {\n\
+             \x20   unsigned long long total = 0;\n\
+             \x20   int i, b, first;\n\
+             \x20   for (i = 0; i < FRODO_PROF_N; ++i) total += frodo_prof_ns[i];\n",
+        );
+        let _ = writeln!(
+            out,
+            "    fprintf(out, \"{{\\\"type\\\":\\\"span\\\",\\\"id\\\":1,\\\"parent\\\":0,\
+             \\\"name\\\":\\\"prof:{}\\\",\\\"start_ns\\\":0,\\\"dur_ns\\\":%llu}}\\n\", total);",
+            p.name
+        );
+        out.push_str(
+            "    for (i = 0; i < FRODO_PROF_N; ++i) {\n\
+             \x20       fprintf(out, \"{\\\"type\\\":\\\"span\\\",\\\"id\\\":%d,\\\"parent\\\":1,\
+             \\\"name\\\":\\\"stmt_%d_%s\\\",\\\"start_ns\\\":0,\\\"dur_ns\\\":%llu}\\n\",\n\
+             \x20               i + 2, i, frodo_prof_kind[i], frodo_prof_ns[i]);\n\
+             \x20   }\n\
+             \x20   for (i = 0; i < FRODO_PROF_N; ++i) {\n\
+             \x20       fprintf(out, \"{\\\"type\\\":\\\"counter\\\",\\\"span\\\":%d,\
+             \\\"name\\\":\\\"stmt_%d_%s_calls\\\",\\\"value\\\":%llu}\\n\",\n\
+             \x20               i + 2, i, frodo_prof_kind[i], frodo_prof_calls[i]);\n\
+             \x20       fprintf(out, \"{\\\"type\\\":\\\"counter\\\",\\\"span\\\":%d,\
+             \\\"name\\\":\\\"stmt_%d_%s_flops\\\",\\\"value\\\":%llu}\\n\",\n\
+             \x20               i + 2, i, frodo_prof_kind[i],\n\
+             \x20               frodo_prof_flops[i] * frodo_prof_calls[i]);\n\
+             \x20   }\n\
+             \x20   for (i = 0; i < FRODO_PROF_N; ++i) {\n\
+             \x20       if (frodo_prof_calls[i] == 0) continue;\n\
+             \x20       fprintf(out, \"{\\\"type\\\":\\\"hist\\\",\\\"name\\\":\\\"stmt_%d_%s_ns\\\",\
+             \\\"count\\\":%llu,\\\"sum\\\":%llu,\\\"min\\\":%llu,\\\"max\\\":%llu,\\\"bucket_upper\\\":[\",\n\
+             \x20               i, frodo_prof_kind[i], frodo_prof_calls[i], frodo_prof_ns[i],\n\
+             \x20               frodo_prof_ns_min[i], frodo_prof_ns_max[i]);\n\
+             \x20       first = 1;\n\
+             \x20       for (b = 0; b < FRODO_PROF_BUCKETS; ++b) {\n\
+             \x20           if (!frodo_prof_hist[i][b]) continue;\n\
+             \x20           fprintf(out, first ? \"%llu\" : \",%llu\", 1ULL << b);\n\
+             \x20           first = 0;\n\
+             \x20       }\n\
+             \x20       fprintf(out, \"],\\\"bucket_count\\\":[\");\n\
+             \x20       first = 1;\n\
+             \x20       for (b = 0; b < FRODO_PROF_BUCKETS; ++b) {\n\
+             \x20           if (!frodo_prof_hist[i][b]) continue;\n\
+             \x20           fprintf(out, first ? \"%llu\" : \",%llu\", frodo_prof_hist[i][b]);\n\
+             \x20           first = 0;\n\
+             \x20       }\n\
+             \x20       fprintf(out, \"]}\\n\");\n\
+             \x20   }\n\
+             }\n",
+        );
+        out
+    }
+
+    fn emit_stmt_body(&mut self, idx: usize, s: &Stmt) {
         match s {
             &Stmt::Unary { op, dst, src, len } => {
                 self.elementwise(s, len, |e, iv| {
@@ -680,9 +849,7 @@ impl<'a> Emitter<'a> {
                         &library::conv_batched_template(w, &self.style_tag()),
                         &subs,
                     ),
-                    (ConvStyle::Tight, None) if k1 - k0 == 1 => {
-                        library::CONV_SINGLE.render(&subs)
-                    }
+                    (ConvStyle::Tight, None) if k1 - k0 == 1 => library::CONV_SINGLE.render(&subs),
                     (ConvStyle::Tight, None) => library::CONV_RUN.render(&subs),
                     (ConvStyle::Branchy, _) => library::CONV_BRANCHY.render(&subs),
                 }
@@ -932,7 +1099,11 @@ mod tests {
 
     #[test]
     fn simulink_c_has_boundary_judgments() {
-        let p = generate(&figure1(), GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop());
+        let p = generate(
+            &figure1(),
+            GeneratorStyle::SimulinkCoder,
+            &frodo_obs::Trace::noop(),
+        );
         let c = emit_c(&p);
         assert!(c.contains("for (int k = 0; k < 60; ++k)"));
         assert!(c.contains("if (k - j >= 0 && k - j < 50)"));
@@ -1105,7 +1276,11 @@ mod tests {
 
     #[test]
     fn shared_conv_helper_is_skipped_without_tight_convs() {
-        let p = generate(&figure1(), GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop());
+        let p = generate(
+            &figure1(),
+            GeneratorStyle::SimulinkCoder,
+            &frodo_obs::Trace::noop(),
+        );
         let c = emit_c_with(
             &p,
             CEmitOptions {
@@ -1315,5 +1490,119 @@ mod tests {
             let close = c.matches('}').count();
             assert_eq!(open, close, "style {style}");
         }
+    }
+
+    #[test]
+    fn profiled_emission_carries_hooks_tables_and_dump() {
+        let p = generate(&figure1(), GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let c = emit_c_with(
+            &p,
+            CEmitOptions {
+                profile: true,
+                ..CEmitOptions::default()
+            },
+        );
+        assert!(c.contains(&format!("#define FRODO_PROF_N {}", p.stmts.len())));
+        assert!(c.contains("static unsigned long long frodo_prof_now(void)"));
+        assert!(c.contains("static void frodo_prof_dump(FILE *out)"));
+        assert!(c.contains("\"name\\\":\\\"prof:conv\\\""));
+        // every statement is bracketed by exactly one timing hook pair
+        assert_eq!(
+            c.matches("unsigned long long frodo_prof_t0 = frodo_prof_now();")
+                .count(),
+            p.stmts.len()
+        );
+        for i in 0..p.stmts.len() {
+            assert!(c.contains(&format!("frodo_prof_record({i}, frodo_prof_t0);")));
+        }
+        assert_eq!(c.matches('{').count(), c.matches('}').count());
+        // deterministic
+        let again = emit_c_with(
+            &p,
+            CEmitOptions {
+                profile: true,
+                ..CEmitOptions::default()
+            },
+        );
+        assert_eq!(c, again);
+    }
+
+    #[test]
+    fn profiled_emission_is_off_by_default_and_byte_invisible_when_off() {
+        let p = generate(&figure1(), GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let plain = emit_c(&p);
+        assert!(!plain.contains("frodo_prof"));
+        let explicit_off = emit_c_with(
+            &p,
+            CEmitOptions {
+                profile: false,
+                ..CEmitOptions::default()
+            },
+        );
+        assert_eq!(plain, explicit_off);
+    }
+
+    #[test]
+    fn profiled_threaded_emit_matches_sequential() {
+        use crate::lir::{Buffer, BufferRole};
+        let stmts: Vec<Stmt> = (0..200)
+            .map(|_| Stmt::Unary {
+                op: UnOp::Gain(1.5),
+                dst: Slice::new(BufId(1), 0),
+                src: Src::Run(Slice::new(BufId(0), 0)),
+                len: 8,
+            })
+            .collect();
+        let p = Program {
+            name: "wide".into(),
+            style: GeneratorStyle::Frodo,
+            buffers: vec![
+                Buffer {
+                    name: "a".into(),
+                    len: 8,
+                    role: BufferRole::Input(0),
+                },
+                Buffer {
+                    name: "b".into(),
+                    len: 8,
+                    role: BufferRole::Output(0),
+                },
+            ],
+            stmts,
+        };
+        let opts = CEmitOptions {
+            profile: true,
+            ..CEmitOptions::default()
+        };
+        let sequential = emit_c_with(&p, opts);
+        for threads in [2, 3] {
+            assert_eq!(emit_c_threaded(&p, opts, threads), sequential);
+        }
+        assert!(sequential.contains("frodo_prof_record(199, frodo_prof_t0);"));
+    }
+
+    #[test]
+    fn profiled_harness_dumps_to_stderr() {
+        let p = generate(&figure1(), GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let opts = CEmitOptions {
+            profile: true,
+            ..CEmitOptions::default()
+        };
+        let c = emit_c_harness_with(&p, 100, opts);
+        assert!(c.contains("frodo_prof_dump(stderr);"));
+        assert_eq!(c.matches('{').count(), c.matches('}').count());
+        // the profiled conv helper path keeps the record hook after the
+        // early-returning helper call
+        let shared = emit_c_with(
+            &p,
+            CEmitOptions {
+                shared_conv_helper: true,
+                profile: true,
+                ..CEmitOptions::default()
+            },
+        );
+        assert!(shared.contains("frodo_conv_range("));
+        assert!(shared.contains("frodo_prof_record("));
+        assert_eq!(shared.matches('{').count(), shared.matches('}').count());
     }
 }

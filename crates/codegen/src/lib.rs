@@ -61,7 +61,7 @@ pub use emit_c::{
     CEmitOptions, VectorMode,
 };
 pub use fragment::{generate_from_fragments, FragmentCache, FragmentStats};
-pub use lower::{generate, generate_with, LowerOptions};
 #[allow(deprecated)]
 pub use lower::generate_traced;
+pub use lower::{generate, generate_with, LowerOptions};
 pub use style::GeneratorStyle;

@@ -113,7 +113,9 @@ fn pairwise_sum(lo: usize, len: usize) -> String {
 pub fn conv_batched_template(width: usize, tag: &str) -> String {
     assert!(width >= 2, "batched conv needs at least two lanes");
     let mut t = String::new();
-    t.push_str(&format!("/* {tag}: explicit simd batch (width {width}) */\n"));
+    t.push_str(&format!(
+        "/* {tag}: explicit simd batch (width {width}) */\n"
+    ));
     t.push_str("for (int k = $k0$; k < $k1$; ++k) {\n");
     t.push_str("    int lo = k >= $Input2_size$ ? k - ($Input2_size$ - 1) : 0;\n");
     t.push_str("    int hi = k < $Input1_size$ - 1 ? k : $Input1_size$ - 1;\n");
@@ -345,9 +347,7 @@ mod tests {
         assert!(w8.starts_with("/* frodo: explicit simd batch (width 8) */"));
         assert!(w8.contains("for (; j + 7 <= hi; j += 8)"));
         assert!(w8.contains("acc7 += $Input1$[j + 7] * $Input2$[k - j - 7];"));
-        assert!(w8.contains(
-            "((acc0 + acc1) + (acc2 + acc3)) + ((acc4 + acc5) + (acc6 + acc7))"
-        ));
+        assert!(w8.contains("((acc0 + acc1) + (acc2 + acc3)) + ((acc4 + acc5) + (acc6 + acc7))"));
         let w2 = conv_batched_template(2, "frodo");
         assert!(w2.contains("double acc = acc0 + acc1;"));
     }

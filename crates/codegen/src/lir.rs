@@ -511,6 +511,93 @@ impl Stmt {
         }
     }
 
+    /// A stable lowercase label for the statement kind, shared by the
+    /// self-profiling C emission, the VM statement profiler, and the
+    /// calibration report so the three views key their data identically.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Stmt::Unary { .. } => "unary",
+            Stmt::FusedUnary { .. } => "fused_unary",
+            Stmt::Binary { .. } => "binary",
+            Stmt::Select { .. } => "select",
+            Stmt::Copy { .. } => "copy",
+            Stmt::Fill { .. } => "fill",
+            Stmt::Gather { .. } => "gather",
+            Stmt::DynGather { .. } => "dyn_gather",
+            Stmt::Reduce { .. } => "reduce",
+            Stmt::Dot { .. } => "dot",
+            Stmt::Conv { .. } => "conv",
+            Stmt::Fir { .. } => "fir",
+            Stmt::MovingAvg { .. } => "moving_avg",
+            Stmt::CumSum { .. } => "cumsum",
+            Stmt::Diff { .. } => "diff",
+            Stmt::MatMul { .. } => "matmul",
+            Stmt::Transpose { .. } => "transpose",
+            Stmt::StateLoad { .. } => "state_load",
+            Stmt::StateStore { .. } => "state_store",
+            Stmt::WindowedReuse { .. } => "window_reuse",
+        }
+    }
+
+    /// Architecture-independent floating-point operations per execution:
+    /// the arithmetic actually performed given the statement's exact loop
+    /// bounds (boundary-clamped convolutions count only the taken inner
+    /// iterations). Pure data movement (copies, gathers, transposes,
+    /// state transfer) counts zero.
+    pub fn flops(&self) -> u64 {
+        let flops = |n: usize| n as u64;
+        match self {
+            Stmt::Unary { len, .. } => flops(*len),
+            Stmt::FusedUnary { ops, len, .. } => flops(len * ops.len()),
+            Stmt::Binary { len, .. } => flops(*len),
+            Stmt::Select { .. }
+            | Stmt::Copy { .. }
+            | Stmt::Fill { .. }
+            | Stmt::Gather { .. }
+            | Stmt::DynGather { .. }
+            | Stmt::Transpose { .. }
+            | Stmt::StateLoad { .. }
+            | Stmt::StateStore { .. } => 0,
+            Stmt::Reduce { len, .. } => flops(*len),
+            Stmt::Dot { len, .. } => flops(2 * len),
+            Stmt::Conv {
+                u_len,
+                v_len,
+                k0,
+                k1,
+                ..
+            } => {
+                let taken: usize = (*k0..*k1)
+                    .map(|k| k.min(u_len - 1) - k.saturating_sub(v_len - 1) + 1)
+                    .sum();
+                flops(2 * taken)
+            }
+            Stmt::Fir { taps, k0, k1, .. } => {
+                let inner: usize = (*k0..*k1).map(|k| k.min(taps - 1) + 1).sum();
+                flops(2 * inner)
+            }
+            Stmt::MovingAvg { window, k0, k1, .. } => {
+                let inner: usize = (*k0..*k1)
+                    .map(|k| k - k.saturating_sub(window - 1) + 1)
+                    .sum();
+                flops(inner + (k1 - k0))
+            }
+            Stmt::CumSum { k_end, .. } => flops(*k_end),
+            Stmt::Diff { k0, k1, .. } => flops(*k1 - *k0),
+            Stmt::MatMul { k, n, r0, r1, .. } => flops(2 * (r1 - r0) * n * k),
+            Stmt::WindowedReuse {
+                src_len,
+                window,
+                k0,
+                k1,
+                ..
+            } => {
+                let seed = k0.min(&(src_len - 1)) + 1 - (k0 + 1).saturating_sub(*window);
+                flops(seed + 3 * (k1 - k0))
+            }
+        }
+    }
+
     /// Number of output elements the statement produces (used for
     /// element-count accounting in the evaluation).
     pub fn output_elements(&self) -> usize {

@@ -160,7 +160,11 @@ impl<'a> Lowerer<'a> {
         self.push_state_loads();
 
         // -- block bodies in schedule order --
-        let order = self.analysis.dfg().schedule().expect("valid Dfg always schedules");
+        let order = self
+            .analysis
+            .dfg()
+            .schedule()
+            .expect("valid Dfg always schedules");
         for id in order {
             self.lower_block(id, ranges);
         }

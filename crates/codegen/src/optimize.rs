@@ -14,7 +14,7 @@
 //! consecutive output elements and retaining the window tail across
 //! invocations.
 
-use crate::lir::{Buffer, BufferRole, BufId, ConvStyle, Program, Slice, Src, Stmt, WindowScale};
+use crate::lir::{BufId, Buffer, BufferRole, ConvStyle, Program, Slice, Src, Stmt, WindowScale};
 
 /// Fuses chains of elementwise unary statements into single loops.
 ///
@@ -117,9 +117,7 @@ fn find_fusable(stmts: &[Stmt]) -> Option<(usize, usize, usize)> {
         // reader) and simply drop out
         let Some((i, delta)) = stmts.iter().enumerate().find_map(|(i, p)| match p {
             Stmt::Unary { dst, len: plen, .. } | Stmt::FusedUnary { dst, len: plen, .. } => {
-                (dst.buf == src.buf
-                    && src.off >= dst.off
-                    && src.off + len <= dst.off + plen)
+                (dst.buf == src.buf && src.off >= dst.off && src.off + len <= dst.off + plen)
                     .then(|| (i, src.off - dst.off))
             }
             _ => None,
@@ -390,7 +388,11 @@ mod tests {
 
     /// A minimal evaluator sufficient for unary-chain programs (the full
     /// VM lives in `frodo-sim`, which depends on this crate).
-    fn mini_eval(p: &Program, input: &[f64]) -> Vec<f64> {
+    ///
+    /// Returns `None` when the program contains an op or statement outside
+    /// its repertoire: callers skip the semantics comparison for that fold
+    /// instead of aborting, so an unexpected op can never panic the suite.
+    fn mini_eval(p: &Program, input: &[f64]) -> Option<Vec<f64>> {
         use crate::lir::{BufferRole, Src};
         let mut bufs: Vec<Vec<f64>> = p
             .buffers
@@ -401,15 +403,15 @@ mod tests {
                 _ => vec![0.0; b.len],
             })
             .collect();
-        let apply = |op: crate::lir::UnOp, x: f64| -> f64 {
+        let apply = |op: crate::lir::UnOp, x: f64| -> Option<f64> {
             use crate::lir::UnOp::*;
             match op {
-                Gain(g) => x * g,
-                Bias(b) => x + b,
-                Abs => x.abs(),
-                Sqrt => x.sqrt(),
-                Square => x * x,
-                _ => unimplemented!("mini_eval covers chain-test ops only"),
+                Gain(g) => Some(x * g),
+                Bias(b) => Some(x + b),
+                Abs => Some(x.abs()),
+                Sqrt => Some(x.sqrt()),
+                Square => Some(x * x),
+                _ => None, // outside the chain-test repertoire
             }
         };
         for stmt in &p.stmts {
@@ -421,7 +423,7 @@ mod tests {
                             Src::Broadcast(s) => bufs[s.buf.0][s.off],
                             Src::Const(c) => c,
                         };
-                        bufs[dst.buf.0][dst.off + i] = apply(op, x);
+                        bufs[dst.buf.0][dst.off + i] = apply(op, x)?;
                     }
                 }
                 Stmt::FusedUnary { ops, dst, src, len } => {
@@ -432,7 +434,7 @@ mod tests {
                             Src::Const(c) => c,
                         };
                         for &op in &ops {
-                            x = apply(op, x);
+                            x = apply(op, x)?;
                         }
                         bufs[dst.buf.0][dst.off + i] = x;
                     }
@@ -442,11 +444,11 @@ mod tests {
                         bufs[dst.buf.0][dst.off + i] = bufs[src.buf.0][src.off + i];
                     }
                 }
-                other => unimplemented!("mini_eval: {other:?}"),
+                _ => return None, // statement kind the mini evaluator can't model
             }
         }
         let (_, out) = p.outputs()[0];
-        bufs[out.0].clone()
+        Some(bufs[out.0].clone())
     }
 
     #[test]
@@ -456,12 +458,46 @@ mod tests {
             let p = generate(&analysis, style, &frodo_obs::Trace::noop());
             let folded = fold_expressions(&p);
             let input: Vec<f64> = (0..16).map(|i| i as f64 - 8.0).collect();
-            assert_eq!(
-                mini_eval(&p, &input),
-                mini_eval(&folded, &input),
-                "style {style}"
-            );
+            let before = mini_eval(&p, &input).expect("chain ops are in repertoire");
+            let after = mini_eval(&folded, &input).expect("fold keeps ops in repertoire");
+            assert_eq!(before, after, "style {style}");
         }
+    }
+
+    #[test]
+    fn unknown_ops_skip_the_semantics_check_instead_of_panicking() {
+        // in -> sin -> exp -> tanh -> out: every op is outside mini_eval's
+        // repertoire. The fold itself must still fuse the chain, and the
+        // evaluator must decline gracefully rather than abort the suite.
+        let mut m = Model::new("transcendental");
+        let i = m.add(Block::new(
+            "i",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(16),
+            },
+        ));
+        let s = m.add(Block::new("s", BlockKind::Sin));
+        let e = m.add(Block::new("e", BlockKind::Exp));
+        let t = m.add(Block::new("t", BlockKind::Tanh));
+        let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, s, 0).unwrap();
+        m.connect(s, 0, e, 0).unwrap();
+        m.connect(e, 0, t, 0).unwrap();
+        m.connect(t, 0, o, 0).unwrap();
+        let analysis = Analysis::run(m).unwrap();
+        let p = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let folded = fold_expressions(&p);
+        assert!(
+            folded
+                .stmts
+                .iter()
+                .any(|s| matches!(s, Stmt::FusedUnary { .. })),
+            "transcendental chain still fuses: {folded}"
+        );
+        let input: Vec<f64> = (0..16).map(|i| i as f64 - 8.0).collect();
+        assert_eq!(mini_eval(&p, &input), None);
+        assert_eq!(mini_eval(&folded, &input), None);
     }
 
     #[test]
@@ -544,7 +580,8 @@ mod tests {
             other => panic!("expected fused statement, got {other:?}"),
         }
         let input: Vec<f64> = (0..16).map(|i| i as f64 - 8.0).collect();
-        assert_eq!(mini_eval(&p, &input), mini_eval(&folded, &input));
+        let before = mini_eval(&p, &input).expect("subset ops are in repertoire");
+        assert_eq!(Some(before), mini_eval(&folded, &input));
     }
 
     fn uniform_conv_program(kernel: Vec<f64>) -> Program {

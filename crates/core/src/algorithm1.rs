@@ -477,7 +477,8 @@ fn parallel_ranges(dfg: &Dfg, maps: &IoMappings, opts: RangeOptions) -> (Ranges,
     // More workers than the widest level would only ever idle at barriers.
     let threads = opts.resolved_threads().min(max_width).max(1);
 
-    let slots: Vec<OnceLock<IndexSet>> = (0..dfg.num_out_ports()).map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<IndexSet>> =
+        (0..dfg.num_out_ports()).map(|_| OnceLock::new()).collect();
 
     let mut stats = RangeStats {
         levels: levels.len() as u64,

@@ -279,7 +279,11 @@ pub fn analyze_incremental(
     let options_digest = {
         let mut h = Fnv128::new();
         h.write(b"regions-v1");
-        h.write(if options.eliminate_dead_ends { b"1" } else { b"0" });
+        h.write(if options.eliminate_dead_ends {
+            b"1"
+        } else {
+            b"0"
+        });
         h.finish()
     };
 
@@ -307,7 +311,12 @@ pub fn analyze_incremental(
             let mut h = Fnv128::new();
             h.write_u128(info.content);
             h.write_u128(demand_digest(
-                &dfg, &mappings, &partition, idx, &info.blocks, &map,
+                &dfg,
+                &mappings,
+                &partition,
+                idx,
+                &info.blocks,
+                &map,
             ));
             h.write_u128(options_digest);
             h.finish()
@@ -329,7 +338,14 @@ pub fn analyze_incremental(
                 // the partition order finalizes them first — so this is
                 // the same conservative fallback the engines use inside
                 // delay cycles
-                let r = port_range(&dfg, &mappings, options, port, &mut |p| map.get(&p), &mut ctx);
+                let r = port_range(
+                    &dfg,
+                    &mappings,
+                    options,
+                    port,
+                    &mut |p| map.get(&p),
+                    &mut ctx,
+                );
                 map.insert(port, r.clone());
                 computed.push((port, r));
             }
@@ -352,7 +368,10 @@ pub fn analyze_incremental(
         let span = trace.span("classify");
         let report = OptimizationReport::build(&dfg, &ranges);
         span.count("blocks_analyzed", report.stats().len() as u64);
-        span.count("blocks_optimizable", report.optimizable_blocks().len() as u64);
+        span.count(
+            "blocks_optimizable",
+            report.optimizable_blocks().len() as u64,
+        );
         span.count("elements_total", report.total_elements() as u64);
         span.count("elements_eliminated", report.total_eliminated() as u64);
         report
@@ -414,7 +433,11 @@ mod tests {
                 &Trace::noop(),
             )
             .unwrap();
-            assert_eq!(inc.analysis.ranges(), cold.ranges(), "region_max={region_max}");
+            assert_eq!(
+                inc.analysis.ranges(),
+                cold.ranges(),
+                "region_max={region_max}"
+            );
             assert_eq!(inc.analysis.report(), cold.report());
         }
         // and a second identical submission hits every region

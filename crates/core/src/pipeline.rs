@@ -103,7 +103,10 @@ impl Analysis {
             let span = trace.span("classify");
             let report = OptimizationReport::build(&dfg, &ranges);
             span.count("blocks_analyzed", report.stats().len() as u64);
-            span.count("blocks_optimizable", report.optimizable_blocks().len() as u64);
+            span.count(
+                "blocks_optimizable",
+                report.optimizable_blocks().len() as u64,
+            );
             span.count("elements_total", report.total_elements() as u64);
             span.count("elements_eliminated", report.total_eliminated() as u64);
             report

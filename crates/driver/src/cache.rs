@@ -185,11 +185,11 @@ impl ArtifactCache {
             if let Some(d) = self.dir.as_deref() {
                 touch_disk(&code_path(d, digest));
             }
-            let evicted = self
-                .mem
-                .lock()
-                .unwrap()
-                .insert(self.cap_bytes, digest.to_string(), art.clone());
+            let evicted =
+                self.mem
+                    .lock()
+                    .unwrap()
+                    .insert(self.cap_bytes, digest.to_string(), art.clone());
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
             return Some((art, CacheStatus::Disk));
         }
@@ -242,7 +242,11 @@ fn meta_path(dir: &Path, digest: &str) -> PathBuf {
 fn touch_disk(path: &Path) {
     if let Ok(file) = std::fs::File::options().append(true).open(path) {
         let now = SystemTime::now();
-        let _ = file.set_times(std::fs::FileTimes::new().set_accessed(now).set_modified(now));
+        let _ = file.set_times(
+            std::fs::FileTimes::new()
+                .set_accessed(now)
+                .set_modified(now),
+        );
     }
 }
 

@@ -196,6 +196,14 @@ impl CompileOptionsBuilder {
         self
     }
 
+    /// Self-profiling emission hooks in the generated C (keyed — the
+    /// hooks change the emitted bytes, so profiled and plain artifacts
+    /// must never share a cache slot).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.options.keyed.emit.profile = on;
+        self
+    }
+
     /// Sliding-window reuse pass after lowering (keyed).
     pub fn window_reuse(mut self, on: bool) -> Self {
         self.options.keyed.lower.window_reuse = on;
@@ -575,7 +583,11 @@ impl CompileService {
             options,
             trace: sink,
         } = spec;
-        let trace = if sink.is_enabled() { sink } else { Trace::new() };
+        let trace = if sink.is_enabled() {
+            sink
+        } else {
+            Trace::new()
+        };
         let job_span = trace.span(&format!("job:{name}"));
         let job_id = job_span.id();
         let jt = job_span.trace();
@@ -586,12 +598,10 @@ impl CompileService {
             let pt = parse.trace();
             match source {
                 JobSource::Model(m) => m,
-                JobSource::Path(p) => {
-                    load_model(&p, &pt).map_err(|message| JobError::Load {
-                        job: name.clone(),
-                        message,
-                    })?
-                }
+                JobSource::Path(p) => load_model(&p, &pt).map_err(|message| JobError::Load {
+                    job: name.clone(),
+                    message,
+                })?,
                 JobSource::Builder(f) => f().map_err(|message| JobError::Load {
                     job: name.clone(),
                     message,
@@ -600,12 +610,10 @@ impl CompileService {
         };
 
         // flatten: the canonical, cache-keyable form (records its own span)
-        let flat = model
-            .flattened(&jt)
-            .map_err(|e| JobError::Analysis {
-                job: name.clone(),
-                message: e.to_string(),
-            })?;
+        let flat = model.flattened(&jt).map_err(|e| JobError::Analysis {
+            job: name.clone(),
+            message: e.to_string(),
+        })?;
 
         // hash: content digest of flattened model + keyed options
         let digest = {
@@ -728,10 +736,7 @@ fn load_model(path: &Path, trace: &Trace) -> Result<Model, String> {
                 std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
             read_mdl(&text, trace).map_err(|e| format!("{}: {e}", path.display()))
         }
-        _ => Err(format!(
-            "{}: expected a .slx or .mdl file",
-            path.display()
-        )),
+        _ => Err(format!("{}: expected a .slx or .mdl file", path.display())),
     }
 }
 
@@ -749,13 +754,14 @@ pub(crate) fn cache_key(
     digest.update(style.label().as_bytes());
     digest.update(
         format!(
-            ";engine={:?};dead_ends={};coalesce={};shared_conv={};vectorize={:?};window_reuse={}",
+            ";engine={:?};dead_ends={};coalesce={};shared_conv={};vectorize={:?};window_reuse={};profile={}",
             options.range.engine,
             options.range.eliminate_dead_ends,
             options.lower.coalesce_gap,
             options.emit.shared_conv_helper,
             options.emit.vectorize,
-            options.lower.window_reuse
+            options.lower.window_reuse,
+            options.emit.profile
         )
         .as_bytes(),
     );
@@ -786,13 +792,17 @@ mod tests {
 
     #[test]
     fn cache_key_separates_content_style_and_options() {
-        let base = gain_model(2.0).flattened(&frodo_obs::Trace::noop()).unwrap();
+        let base = gain_model(2.0)
+            .flattened(&frodo_obs::Trace::noop())
+            .unwrap();
         let opts = KeyedOptions::default();
         let k0 = cache_key(&base, GeneratorStyle::Frodo, &opts);
         // same content, same key
         assert_eq!(k0, cache_key(&base, GeneratorStyle::Frodo, &opts));
         // different model content
-        let other = gain_model(3.0).flattened(&frodo_obs::Trace::noop()).unwrap();
+        let other = gain_model(3.0)
+            .flattened(&frodo_obs::Trace::noop())
+            .unwrap();
         assert_ne!(k0, cache_key(&other, GeneratorStyle::Frodo, &opts));
         // different style
         assert_ne!(k0, cache_key(&base, GeneratorStyle::Hcg, &opts));
@@ -812,6 +822,10 @@ mod tests {
         let mut reuse = opts;
         reuse.lower.window_reuse = true;
         assert_ne!(k0, cache_key(&base, GeneratorStyle::Frodo, &reuse));
+        // profiled emission must not share a slot with plain emission
+        let mut prof = opts;
+        prof.emit.profile = true;
+        assert_ne!(k0, cache_key(&base, GeneratorStyle::Frodo, &prof));
     }
 
     #[test]
@@ -824,7 +838,11 @@ mod tests {
         assert_eq!(first.report.metrics.blocks, 3);
 
         let again = service
-            .compile(JobSpec::from_model("g", gain_model(2.0), GeneratorStyle::Frodo))
+            .compile(JobSpec::from_model(
+                "g",
+                gain_model(2.0),
+                GeneratorStyle::Frodo,
+            ))
             .unwrap();
         assert_eq!(again.report.cache, CacheStatus::Memory);
         assert_eq!(again.code, first.code);
@@ -838,10 +856,18 @@ mod tests {
             ..ServiceConfig::default()
         });
         let a = uncached
-            .compile(JobSpec::from_model("g", gain_model(2.0), GeneratorStyle::Frodo))
+            .compile(JobSpec::from_model(
+                "g",
+                gain_model(2.0),
+                GeneratorStyle::Frodo,
+            ))
             .unwrap();
         let b = uncached
-            .compile(JobSpec::from_model("g", gain_model(2.0), GeneratorStyle::Frodo))
+            .compile(JobSpec::from_model(
+                "g",
+                gain_model(2.0),
+                GeneratorStyle::Frodo,
+            ))
             .unwrap();
         assert_eq!(a.report.cache, CacheStatus::Miss);
         assert_eq!(b.report.cache, CacheStatus::Miss);
@@ -892,7 +918,9 @@ mod tests {
         // the key's signature only admits KeyedOptions, so any combination
         // of exec knobs maps to the same key by construction; assert it
         // end to end through the builder anyway
-        let base = gain_model(2.0).flattened(&frodo_obs::Trace::noop()).unwrap();
+        let base = gain_model(2.0)
+            .flattened(&frodo_obs::Trace::noop())
+            .unwrap();
         let plain = CompileOptions::default();
         let exec_heavy = CompileOptions::builder()
             .intra_threads(7)
@@ -907,11 +935,23 @@ mod tests {
         );
         // every ExecOptions field, one at a time
         for exec in [
-            ExecOptions { intra_threads: 3, ..ExecOptions::default() },
-            ExecOptions { verify: true, ..ExecOptions::default() },
-            ExecOptions { timeout_ms: 99, ..ExecOptions::default() },
+            ExecOptions {
+                intra_threads: 3,
+                ..ExecOptions::default()
+            },
+            ExecOptions {
+                verify: true,
+                ..ExecOptions::default()
+            },
+            ExecOptions {
+                timeout_ms: 99,
+                ..ExecOptions::default()
+            },
         ] {
-            let opts = CompileOptions { keyed: plain.keyed, exec };
+            let opts = CompileOptions {
+                keyed: plain.keyed,
+                exec,
+            };
             assert_eq!(
                 cache_key(&base, GeneratorStyle::Frodo, &plain.keyed),
                 cache_key(&base, GeneratorStyle::Frodo, &opts.keyed)
@@ -931,7 +971,10 @@ mod tests {
         assert_eq!(err.job(), "nope");
 
         let err = service
-            .compile(JobSpec::from_path("/does/not/exist.mdl", GeneratorStyle::Frodo))
+            .compile(JobSpec::from_path(
+                "/does/not/exist.mdl",
+                GeneratorStyle::Frodo,
+            ))
             .unwrap_err();
         assert!(matches!(err, JobError::Load { .. }));
     }

@@ -388,11 +388,7 @@ fn run_job(inner: &PoolInner, spec: JobSpec) -> Result<JobOutput, JobError> {
     }
 }
 
-fn run_isolated(
-    service: &CompileService,
-    spec: JobSpec,
-    job: &str,
-) -> Result<JobOutput, JobError> {
+fn run_isolated(service: &CompileService, spec: JobSpec, job: &str) -> Result<JobOutput, JobError> {
     match catch_unwind(AssertUnwindSafe(|| service.compile(spec))) {
         Ok(result) => result,
         Err(payload) => Err(JobError::Panicked {
@@ -476,10 +472,16 @@ mod tests {
         let blocked = pool.submit(1, gated_job("blocked", gate)).unwrap();
         // wait until the worker holds it, so the queue slot is free
         wait_until(&pool, |s| s.in_flight == 1);
-        let queued = pool.submit(1, JobSpec::from_model("q", tiny_model("q"), GeneratorStyle::Frodo));
+        let queued = pool.submit(
+            1,
+            JobSpec::from_model("q", tiny_model("q"), GeneratorStyle::Frodo),
+        );
         let queued = queued.expect("one slot in the queue");
         let rejected = pool
-            .submit(1, JobSpec::from_model("r", tiny_model("r"), GeneratorStyle::Frodo))
+            .submit(
+                1,
+                JobSpec::from_model("r", tiny_model("r"), GeneratorStyle::Frodo),
+            )
             .unwrap_err();
         match rejected {
             SubmitError::Full {
@@ -559,8 +561,11 @@ mod tests {
         // never opened: the job would hang forever without the timeout
         let (_open, gate) = mpsc::channel::<()>();
         let hung = pool
-            .submit(1, gated_job("hung", gate)
-                .with_options(CompileOptions::builder().timeout_ms(50).build()))
+            .submit(
+                1,
+                gated_job("hung", gate)
+                    .with_options(CompileOptions::builder().timeout_ms(50).build()),
+            )
             .unwrap();
         match hung.wait() {
             Err(JobError::Timeout { job, timeout_ms }) => {
@@ -571,7 +576,10 @@ mod tests {
         }
         // the worker is free again: a normal job completes
         let ok = pool
-            .submit(1, JobSpec::from_model("ok", tiny_model("ok"), GeneratorStyle::Frodo))
+            .submit(
+                1,
+                JobSpec::from_model("ok", tiny_model("ok"), GeneratorStyle::Frodo),
+            )
             .unwrap();
         assert!(ok.wait().is_ok());
         assert_eq!(pool.snapshot().timeouts, 1);
@@ -607,7 +615,10 @@ mod tests {
         assert_eq!((snap.queue_depth, snap.in_flight), (0, 0));
         assert!(snap.draining);
         let err = pool
-            .submit(1, JobSpec::from_model("late", tiny_model("m"), GeneratorStyle::Frodo))
+            .submit(
+                1,
+                JobSpec::from_model("late", tiny_model("m"), GeneratorStyle::Frodo),
+            )
             .unwrap_err();
         assert_eq!(err, SubmitError::Draining);
         for t in tickets {

@@ -12,8 +12,8 @@ use std::time::Duration;
 // The one per-stage timing type of the workspace lives in `frodo-obs`
 // and is *derived* from the job's trace; re-exported here so driver
 // consumers keep their import paths.
-pub use frodo_obs::{fmt_duration, LedgerEntry, ServiceMetrics, StageTimings};
 use frodo_obs::Trace;
+pub use frodo_obs::{fmt_duration, LedgerEntry, ServiceMetrics, StageTimings};
 
 /// Redundancy-elimination counters for one job, lifted from the analysis
 /// classification (`OptimizationReport`).
@@ -268,7 +268,12 @@ impl BatchReport {
         let wall_ns = self.wall.as_nanos() as u64;
         let mut entry =
             LedgerEntry::from_agg(&agg, label, engine, threads, self.workers as u64, wall_ns);
-        let hist = |name: &str| snap.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h);
+        let hist = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h)
+        };
         let (queue_p50, queue_max) = hist("queue_wait_ns")
             .map(|h| (h.percentile(50.0) as u64, h.max() as u64))
             .unwrap_or((0, 0));
@@ -292,6 +297,8 @@ impl BatchReport {
                 .iter()
                 .filter(|j| matches!(j, Err(JobError::Timeout { .. })))
                 .count() as u64,
+            // request-level rollups exist only on the daemon path
+            ..Default::default()
         });
         Some(entry)
     }

@@ -370,9 +370,13 @@ mod tests {
     #[test]
     fn invalidate_forces_a_cold_recompile() {
         let mut session = CompileSession::builder(GeneratorStyle::Frodo).build();
-        session.compile("chain", chain(2.0), &Trace::noop()).unwrap();
+        session
+            .compile("chain", chain(2.0), &Trace::noop())
+            .unwrap();
         session.invalidate();
-        session.compile("chain", chain(2.0), &Trace::noop()).unwrap();
+        session
+            .compile("chain", chain(2.0), &Trace::noop())
+            .unwrap();
         assert_eq!(session.stats().last_region_hits, 0);
     }
 }

@@ -170,7 +170,10 @@ impl Dfg {
 
     /// Total number of output ports in the graph.
     pub fn num_out_ports(&self) -> usize {
-        *self.port_offsets.last().expect("offsets always has a total")
+        *self
+            .port_offsets
+            .last()
+            .expect("offsets always has a total")
     }
 
     /// The blocks grouped into topological levels (see
@@ -307,10 +310,7 @@ mod tests {
         let (m, _) = diamond();
         let dfg = Dfg::new(m, &frodo_obs::Trace::noop()).unwrap();
         let n = dfg.model().len();
-        assert_eq!(
-            dfg.levels().unwrap().iter().map(Vec::len).sum::<usize>(),
-            n
-        );
+        assert_eq!(dfg.levels().unwrap().iter().map(Vec::len).sum::<usize>(), n);
         assert_eq!(
             dfg.analysis_levels()
                 .unwrap()
@@ -418,7 +418,10 @@ mod tests {
         let mut m = Model::new("cls");
         let i = m.add(Block::new(
             "i",
-            BlockKind::Inport { index: 0, shape: Shape::Vector(4) },
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(4),
+            },
         ));
         let g = m.add(Block::new("g", BlockKind::Gain { gain: 1.0 }));
         let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
@@ -440,11 +443,16 @@ mod tests {
         let mut m = Model::new("st");
         let i = m.add(Block::new(
             "i",
-            BlockKind::Inport { index: 0, shape: Shape::Scalar },
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Scalar,
+            },
         ));
         let z = m.add(Block::new(
             "z",
-            BlockKind::UnitDelay { initial: Tensor::scalar(0.0) },
+            BlockKind::UnitDelay {
+                initial: Tensor::scalar(0.0),
+            },
         ));
         let o = m.add(Block::new("o", BlockKind::Outport { index: 0 }));
         m.connect(i, 0, z, 0).unwrap();

@@ -238,10 +238,10 @@ mod tests {
 
     #[test]
     fn partition_is_deterministic() {
-        let a = partition_regions(&Dfg::new(chain(12), &frodo_obs::Trace::noop()).unwrap(), 4)
-            .unwrap();
-        let b = partition_regions(&Dfg::new(chain(12), &frodo_obs::Trace::noop()).unwrap(), 4)
-            .unwrap();
+        let a =
+            partition_regions(&Dfg::new(chain(12), &frodo_obs::Trace::noop()).unwrap(), 4).unwrap();
+        let b =
+            partition_regions(&Dfg::new(chain(12), &frodo_obs::Trace::noop()).unwrap(), 4).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -111,8 +111,8 @@ pub fn analysis_levels(model: &Model) -> Result<Vec<Vec<BlockId>>, ModelError> {
     for c in model.connections() {
         let consumer = c.to.block;
         let kind = &model.block(consumer).kind;
-        let independent = matches!(kind, BlockKind::Outport { .. } | BlockKind::Terminator)
-            || kind.is_stateful();
+        let independent =
+            matches!(kind, BlockKind::Outport { .. } | BlockKind::Terminator) || kind.is_stateful();
         if independent {
             continue;
         }
@@ -279,10 +279,7 @@ mod tests {
     fn topo_levels_group_independent_blocks() {
         let (m, [i, g1, g2, add, o]) = diamond();
         let levels = topo_levels(&m).unwrap();
-        assert_eq!(
-            levels,
-            vec![vec![i], vec![g1, g2], vec![add], vec![o]],
-        );
+        assert_eq!(levels, vec![vec![i], vec![g1, g2], vec![add], vec![o]],);
         // levels partition the model and refine the topological order
         assert_eq!(levels.iter().map(Vec::len).sum::<usize>(), m.len());
     }

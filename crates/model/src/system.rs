@@ -361,7 +361,10 @@ mod tests {
         let (mut m, a, b) = two_block_model();
         m.connect(a, 0, b, 0).unwrap();
         let noop = frodo_obs::Trace::noop();
-        assert_eq!(m.flattened_traced(&noop).unwrap(), m.flattened(&noop).unwrap());
+        assert_eq!(
+            m.flattened_traced(&noop).unwrap(),
+            m.flattened(&noop).unwrap()
+        );
     }
 
     #[test]

@@ -104,7 +104,11 @@ pub fn aggregate(snap: &TraceSnapshot) -> TraceAgg {
         }
     }
 
-    TraceAgg { stages, counters, jobs }
+    TraceAgg {
+        stages,
+        counters,
+        jobs,
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +158,10 @@ mod tests {
         let agg = aggregate(&Trace::new().snapshot());
         assert_eq!(agg.jobs, 0);
         assert!(agg.counters.is_empty());
-        assert!(agg.stages.iter().all(|(_, s)| *s == StageSummary::default()));
+        assert!(agg
+            .stages
+            .iter()
+            .all(|(_, s)| *s == StageSummary::default()));
     }
 
     #[test]

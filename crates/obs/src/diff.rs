@@ -48,10 +48,7 @@ impl Diff {
             let _ = writeln!(out, "  drift   {name}: {old} -> {new}");
         }
         for (what, old, new, pct) in &self.regressions {
-            let _ = writeln!(
-                out,
-                "  slower  {what}: {old} ns -> {new} ns (+{pct:.1}%)"
-            );
+            let _ = writeln!(out, "  slower  {what}: {old} ns -> {new} ns (+{pct:.1}%)");
         }
         for note in &self.notes {
             let _ = writeln!(out, "  note    {note}");
@@ -71,16 +68,24 @@ pub fn diff_entries(old: &LedgerEntry, new: &LedgerEntry, fail_over_pct: f64) ->
     let mut d = Diff::default();
 
     if old.engine != new.engine {
-        d.notes.push(format!("engine changed: {} -> {}", old.engine, new.engine));
+        d.notes
+            .push(format!("engine changed: {} -> {}", old.engine, new.engine));
     }
     if old.threads != new.threads {
-        d.notes.push(format!("threads changed: {} -> {}", old.threads, new.threads));
+        d.notes.push(format!(
+            "threads changed: {} -> {}",
+            old.threads, new.threads
+        ));
     }
     if old.workers != new.workers {
-        d.notes.push(format!("workers changed: {} -> {}", old.workers, new.workers));
+        d.notes.push(format!(
+            "workers changed: {} -> {}",
+            old.workers, new.workers
+        ));
     }
     if old.jobs != new.jobs {
-        d.drifts.push(("jobs".to_string(), old.jobs as i64, new.jobs as i64));
+        d.drifts
+            .push(("jobs".to_string(), old.jobs as i64, new.jobs as i64));
     }
 
     // walk the two sorted counter lists in lockstep
@@ -219,6 +224,27 @@ mod tests {
         assert!(d.ok());
         assert_eq!(d.notes.len(), 2);
         assert!(d.render().contains("engine changed: dense -> parallel"));
+    }
+
+    #[test]
+    fn missing_stage_on_one_side_is_skipped_by_the_wall_band() {
+        // The band gate compares only stages present in BOTH entries: a
+        // stage that vanished or appeared is neither a regression nor a
+        // note, however slow it was. Pins current behavior — pipeline
+        // stage renames would otherwise fail every historical diff.
+        let mut a = entry_with(&[("stmts", 1)], 1000);
+        let mut b = entry_with(&[("stmts", 1)], 1000);
+        let slow = crate::agg::StageSummary {
+            count: 1,
+            sum_ns: 1_000_000,
+            ..Default::default()
+        };
+        a.stages.push(("vanished".to_string(), slow.clone()));
+        b.stages.push(("appeared".to_string(), slow));
+        let d = diff_entries(&a, &b, 10.0);
+        assert!(d.ok(), "{}", d.render());
+        assert!(d.regressions.is_empty());
+        assert!(d.notes.is_empty());
     }
 
     #[test]

@@ -148,7 +148,14 @@ pub fn render_tree(snap: &TraceSnapshot) -> String {
         plural(snap.histograms.len())
     );
     for (i, root) in roots.iter().enumerate() {
-        render_span(&mut out, root, &children, &counters, "", i + 1 == roots.len());
+        render_span(
+            &mut out,
+            root,
+            &children,
+            &counters,
+            "",
+            i + 1 == roots.len(),
+        );
     }
     if let Some(cs) = counters.get(&NO_PARENT) {
         for c in cs {
@@ -184,14 +191,24 @@ fn render_span(
         fmt_duration(Duration::from_nanos(span.dur_ns))
     );
     if let Some(cs) = counters.get(&span.id) {
-        let attrs: Vec<String> = cs.iter().map(|c| format!("{}={}", c.name, c.value)).collect();
+        let attrs: Vec<String> = cs
+            .iter()
+            .map(|c| format!("{}={}", c.name, c.value))
+            .collect();
         let _ = write!(out, " [{}]", attrs.join(", "));
     }
     out.push('\n');
     let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
     if let Some(kids) = children.get(&span.id) {
         for (i, kid) in kids.iter().enumerate() {
-            render_span(out, kid, children, counters, &child_prefix, i + 1 == kids.len());
+            render_span(
+                out,
+                kid,
+                children,
+                counters,
+                &child_prefix,
+                i + 1 == kids.len(),
+            );
         }
     }
 }
@@ -284,7 +301,9 @@ pub fn collapsed(snap: &TraceSnapshot) -> String {
             id = p.parent;
         }
         path.reverse();
-        let self_ns = s.dur_ns.saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        let self_ns = s
+            .dur_ns
+            .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
         stacks.push((path.join(";"), self_ns));
     }
     stacks.sort();
@@ -428,7 +447,10 @@ mod tests {
             .iter()
             .find(|e| e.field("name").and_then(|v| v.as_str()) == Some("parse"))
             .expect("parse event");
-        assert_eq!(parse_ev.field("cat").and_then(|v| v.as_str()), Some("stage"));
+        assert_eq!(
+            parse_ev.field("cat").and_then(|v| v.as_str()),
+            Some("stage")
+        );
         let args = parse_ev.field("args").expect("args");
         assert_eq!(args.field("bytes").and_then(|v| v.as_num()), Some(128.0));
     }
@@ -469,7 +491,11 @@ mod tests {
         assert!(text.contains("outer_name_weird "));
         assert!(text.contains("outer_name_weird;inner "));
         let snap = t.snapshot();
-        let outer = snap.spans.iter().find(|s| s.name.contains("outer")).unwrap();
+        let outer = snap
+            .spans
+            .iter()
+            .find(|s| s.name.contains("outer"))
+            .unwrap();
         let inner = snap.spans.iter().find(|s| s.name == "inner").unwrap();
         let outer_self: u64 = text
             .lines()

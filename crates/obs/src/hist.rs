@@ -106,7 +106,11 @@ impl Histogram {
         if self.count == 0 {
             return 0.0;
         }
-        let q = if q.is_finite() { q.clamp(0.0, 100.0) } else { 100.0 };
+        let q = if q.is_finite() {
+            q.clamp(0.0, 100.0)
+        } else {
+            100.0
+        };
         let target = q / 100.0 * self.count as f64;
         let mut cum = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -114,7 +118,11 @@ impl Histogram {
                 continue;
             }
             if (cum + n) as f64 >= target {
-                let lower = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
                 let upper = (1u64 << i) as f64;
                 let frac = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
                 return (lower + frac * (upper - lower)).clamp(self.min, self.max);
@@ -122,6 +130,22 @@ impl Histogram {
             cum += n;
         }
         self.max()
+    }
+
+    /// Folds another histogram into this one bucket-by-bucket; the result
+    /// is exactly what recording both observation streams into one
+    /// histogram would have produced.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
     }
 
     /// Rebuilds a histogram from its exported parts (the `hist` NDJSON
@@ -194,10 +218,7 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 3.9);
-        assert_eq!(
-            h.nonzero_buckets(),
-            vec![(1, 2), (2, 1), (4, 2)],
-        );
+        assert_eq!(h.nonzero_buckets(), vec![(1, 2), (2, 1), (4, 2)],);
     }
 
     #[test]
@@ -243,6 +264,17 @@ mod tests {
     }
 
     #[test]
+    fn percentile_of_a_single_observation_is_exact_everywhere() {
+        // count == 1: the min==max clamp makes every percentile the one
+        // observed value, with no bucket interpolation leaking through
+        let mut h = Histogram::new();
+        h.record(7.0);
+        for q in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(q), 7.0, "q={q}");
+        }
+    }
+
+    #[test]
     fn percentile_interpolates_inside_one_bucket() {
         // 4 observations all inside [16,32): ranks split the bucket into
         // quarters, so p50 -> 16 + 0.5*16 = 24 exactly
@@ -252,6 +284,33 @@ mod tests {
         }
         assert_eq!(h.percentile(50.0), 24.0);
         assert_eq!(h.percentile(100.0), 31.0);
+    }
+
+    #[test]
+    fn merge_matches_recording_both_streams() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [0.5, 10.0, 300.0] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2.0, 4096.0] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+
+        // merging an empty histogram is a no-op, including min/max
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+
+        // merging into an empty histogram copies the other side
+        let mut empty = Histogram::new();
+        empty.merge(&both);
+        assert_eq!(empty, both);
     }
 
     #[test]

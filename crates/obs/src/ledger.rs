@@ -40,6 +40,14 @@ pub struct ServiceMetrics {
     /// Jobs that exceeded their `timeout_ms` budget and were failed with
     /// `JobError::Timeout`.
     pub job_timeouts: u64,
+    /// Requests the daemon served across every verb (`frodo serve` runs
+    /// only; zero for one-shot batch runs).
+    pub requests_total: u64,
+    /// Median request latency in nanoseconds across every verb, over the
+    /// daemon's whole lifetime.
+    pub request_p50_ns: u64,
+    /// Slowest request in nanoseconds over the daemon's whole lifetime.
+    pub request_max_ns: u64,
 }
 
 impl ServiceMetrics {
@@ -171,7 +179,8 @@ impl LedgerEntry {
                 out,
                 ",\"svc_cache_hits\":{},\"svc_cache_misses\":{},\"svc_queue_wait_p50_ns\":{},\
                  \"svc_queue_wait_max_ns\":{},\"svc_worker_busy_ns\":{},\"svc_utilization_pct\":{:.2},\
-                 \"svc_cache_evictions\":{},\"svc_job_timeouts\":{}",
+                 \"svc_cache_evictions\":{},\"svc_job_timeouts\":{},\
+                 \"svc_requests_total\":{},\"svc_request_p50_ns\":{},\"svc_request_max_ns\":{}",
                 svc.cache_hits,
                 svc.cache_misses,
                 svc.queue_wait_p50_ns,
@@ -179,7 +188,10 @@ impl LedgerEntry {
                 svc.worker_busy_ns,
                 svc.utilization_pct,
                 svc.cache_evictions,
-                svc.job_timeouts
+                svc.job_timeouts,
+                svc.requests_total,
+                svc.request_p50_ns,
+                svc.request_max_ns
             );
         }
         out.push('}');
@@ -255,6 +267,9 @@ impl LedgerEntry {
                 // old ledgers, so they read back as zero
                 cache_evictions: num("svc_cache_evictions").unwrap_or(0),
                 job_timeouts: num("svc_job_timeouts").unwrap_or(0),
+                requests_total: num("svc_requests_total").unwrap_or(0),
+                request_p50_ns: num("svc_request_p50_ns").unwrap_or(0),
+                request_max_ns: num("svc_request_max_ns").unwrap_or(0),
             })
         } else {
             None
@@ -298,8 +313,7 @@ pub fn read_ledger(text: &str) -> Result<Vec<LedgerEntry>, String> {
 pub fn append_entry(path: &Path, entry: &LedgerEntry) -> Result<(), String> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)
-                .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
         }
     }
     let mut f = std::fs::OpenOptions::new()
@@ -366,6 +380,9 @@ mod tests {
             utilization_pct: 81.25,
             cache_evictions: 2,
             job_timeouts: 1,
+            requests_total: 17,
+            request_p50_ns: 2_000,
+            request_max_ns: 9_000,
         });
         entry
     }
@@ -395,26 +412,40 @@ mod tests {
         assert!((svc.utilization_pct - 81.25).abs() < 1e-9);
         assert_eq!(svc.cache_evictions, 2);
         assert_eq!(svc.job_timeouts, 1);
+        assert_eq!(svc.requests_total, 17);
+        assert_eq!(svc.request_p50_ns, 2_000);
+        assert_eq!(svc.request_max_ns, 9_000);
     }
 
     #[test]
     fn pre_eviction_ledger_lines_read_back_with_zeroes() {
-        // entries written before the eviction/timeout fields existed
-        // lack the two svc keys; they must still parse
+        // entries written before the eviction/timeout fields (and the
+        // later daemon request rollups) existed lack those svc keys;
+        // they must still parse
         let line = sample_entry().to_line();
         let old = line
             .replace(",\"svc_cache_evictions\":2", "")
-            .replace(",\"svc_job_timeouts\":1", "");
+            .replace(",\"svc_job_timeouts\":1", "")
+            .replace(",\"svc_requests_total\":17", "")
+            .replace(",\"svc_request_p50_ns\":2000", "")
+            .replace(",\"svc_request_max_ns\":9000", "");
         let back = LedgerEntry::from_line(&old).expect("parses");
         let svc = back.svc.expect("svc metrics");
         assert_eq!(svc.cache_evictions, 0);
         assert_eq!(svc.job_timeouts, 0);
+        assert_eq!(svc.requests_total, 0);
+        assert_eq!(svc.request_p50_ns, 0);
+        assert_eq!(svc.request_max_ns, 0);
     }
 
     #[test]
     fn region_hit_rate_comes_from_the_incremental_counters() {
         let mut entry = sample_entry();
-        assert_eq!(entry.region_hit_rate_pct(), None, "one-shot runs have no rate");
+        assert_eq!(
+            entry.region_hit_rate_pct(),
+            None,
+            "one-shot runs have no rate"
+        );
         entry.counters.push(("region_hits".into(), 36));
         entry.counters.push(("region_total".into(), 40));
         let back = LedgerEntry::from_line(&entry.to_line()).expect("parses");
@@ -434,7 +465,9 @@ mod tests {
     fn from_line_rejects_foreign_and_stale_lines() {
         assert!(LedgerEntry::from_line("{\"type\":\"span\",\"id\":1}").is_err());
         assert!(LedgerEntry::from_line("not json").is_err());
-        let stale = sample_entry().to_line().replacen("\"schema\":1", "\"schema\":99", 1);
+        let stale = sample_entry()
+            .to_line()
+            .replacen("\"schema\":1", "\"schema\":99", 1);
         let err = LedgerEntry::from_line(&stale).unwrap_err();
         assert!(err.contains("schema 99"), "{err}");
     }

@@ -66,6 +66,7 @@ mod export;
 mod hist;
 pub mod ledger;
 pub mod ndjson;
+pub mod rolling;
 mod stage;
 mod trace;
 
@@ -73,8 +74,7 @@ pub use agg::{aggregate, StageSummary, TraceAgg};
 pub use diff::{diff_entries, Diff};
 pub use export::{chrome_trace, collapsed, json_escape, ndjson_export, render_tree};
 pub use hist::Histogram;
-pub use ledger::{
-    append_entry, git_rev, read_ledger, LedgerEntry, ServiceMetrics, LEDGER_SCHEMA,
-};
+pub use ledger::{append_entry, git_rev, read_ledger, LedgerEntry, ServiceMetrics, LEDGER_SCHEMA};
+pub use rolling::RollingWindow;
 pub use stage::{fmt_duration, StageTimings, STAGE_NAMES};
 pub use trace::{CounterRecord, Span, SpanId, SpanRecord, Trace, TraceSnapshot, NO_PARENT};

@@ -138,7 +138,11 @@ impl ObjWriter {
     /// Appends a float field with two decimals (rates, percentages).
     pub fn field_pct(&mut self, key: &str, value: f64) -> &mut Self {
         self.key(key);
-        let _ = write!(self.buf, "{:.2}", if value.is_finite() { value } else { 0.0 });
+        let _ = write!(
+            self.buf,
+            "{:.2}",
+            if value.is_finite() { value } else { 0.0 }
+        );
         self
     }
 
@@ -468,7 +472,11 @@ impl Parser<'_> {
             .ok()
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| {
-                let at = Parser { bytes: self.bytes, pos: start }.at();
+                let at = Parser {
+                    bytes: self.bytes,
+                    pos: start,
+                }
+                .at();
                 format!("bad number {at}")
             })
     }
@@ -486,7 +494,10 @@ mod tests {
         .unwrap();
         assert_eq!(fields[0], ("type".to_string(), Value::Str("span".into())));
         assert_eq!(fields[1], ("id".to_string(), Value::Num(3.0)));
-        assert_eq!(fields[3], ("name".to_string(), Value::Str("pa\"rse".into())));
+        assert_eq!(
+            fields[3],
+            ("name".to_string(), Value::Str("pa\"rse".into()))
+        );
     }
 
     #[test]

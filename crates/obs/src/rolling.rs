@@ -1,0 +1,140 @@
+//! Rolling time-window statistics: a ring of one-second [`Histogram`]
+//! slots over a caller-supplied clock.
+//!
+//! The serve daemon's `metrics` verb reports per-verb request rates and
+//! latency percentiles over "the last N seconds", not over the whole
+//! process lifetime — a burst five minutes ago should not dominate the
+//! p95 forever. A [`RollingWindow`] keeps one histogram per second in a
+//! fixed ring; recording into the current second lazily evicts whatever
+//! stale second previously occupied that slot, so there is no background
+//! sweeper thread and no allocation after construction.
+//!
+//! The clock is an explicit `now_sec` argument (seconds from any fixed
+//! origin, e.g. the daemon's start [`std::time::Instant`]). Keeping the
+//! clock out of this type makes the ring deterministic under test and
+//! keeps this crate free of time-source policy.
+
+use crate::hist::Histogram;
+
+/// A ring of per-second [`Histogram`] slots covering the last
+/// `window_secs` seconds of observations.
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    /// `(stamp_sec, observations recorded during that second)`; a slot is
+    /// live iff its stamp is within the window ending at `now_sec`.
+    slots: Vec<(u64, Histogram)>,
+    window_secs: u64,
+    total: u64,
+}
+
+impl RollingWindow {
+    /// A window covering the last `window_secs` seconds (clamped to at
+    /// least 1). Allocates `window_secs` histogram slots up front.
+    pub fn new(window_secs: u64) -> Self {
+        let window_secs = window_secs.max(1);
+        RollingWindow {
+            slots: vec![(u64::MAX, Histogram::new()); window_secs as usize],
+            window_secs,
+            total: 0,
+        }
+    }
+
+    /// The configured window width in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    /// Lifetime observation count (never evicted, unlike the window).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one observation at time `now_sec` (seconds since the
+    /// caller's fixed origin). `now_sec` must not go backwards by more
+    /// than the window width; a stale slot reached again after a full
+    /// ring revolution is reset before recording.
+    pub fn record(&mut self, now_sec: u64, value: f64) {
+        self.total += 1;
+        let idx = (now_sec % self.window_secs) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.0 != now_sec {
+            *slot = (now_sec, Histogram::new());
+        }
+        slot.1.record(value);
+    }
+
+    /// Merges every slot still inside the window ending at `now_sec`
+    /// (i.e. stamped within the last `window_secs` seconds, inclusive of
+    /// the current second) into one histogram.
+    pub fn snapshot(&self, now_sec: u64) -> Histogram {
+        let oldest = now_sec.saturating_sub(self.window_secs - 1);
+        let mut merged = Histogram::new();
+        for (stamp, hist) in &self.slots {
+            if *stamp >= oldest && *stamp <= now_sec {
+                merged.merge(hist);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_keeps_only_recent_seconds() {
+        let mut w = RollingWindow::new(3);
+        w.record(0, 10.0);
+        w.record(1, 20.0);
+        w.record(2, 30.0);
+        // all three seconds live at t=2
+        let snap = w.snapshot(2);
+        assert_eq!(snap.count(), 3);
+        assert_eq!(snap.sum(), 60.0);
+        // at t=3 the t=0 second has aged out
+        let snap = w.snapshot(3);
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.sum(), 50.0);
+        // lifetime total is unaffected by eviction
+        assert_eq!(w.total(), 3);
+    }
+
+    #[test]
+    fn recording_reclaims_stale_ring_slots() {
+        let mut w = RollingWindow::new(2);
+        w.record(0, 1.0);
+        w.record(1, 2.0);
+        // t=2 maps onto t=0's slot; the stale histogram must be dropped,
+        // not merged into
+        w.record(2, 4.0);
+        let snap = w.snapshot(2);
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.sum(), 6.0);
+        assert_eq!(w.total(), 3);
+    }
+
+    #[test]
+    fn empty_and_far_future_snapshots_are_empty() {
+        let mut w = RollingWindow::new(5);
+        assert_eq!(w.snapshot(0).count(), 0);
+        w.record(10, 7.0);
+        assert_eq!(w.snapshot(10).count(), 1);
+        assert_eq!(w.snapshot(1000).count(), 0);
+    }
+
+    #[test]
+    fn merged_snapshot_preserves_percentiles() {
+        let mut w = RollingWindow::new(60);
+        for (sec, v) in [(0u64, 10.0), (1, 20.0), (2, 30.0)] {
+            w.record(sec, v);
+        }
+        let snap = w.snapshot(2);
+        let mut direct = Histogram::new();
+        for v in [10.0, 20.0, 30.0] {
+            direct.record(v);
+        }
+        assert_eq!(snap, direct);
+        assert_eq!(snap.percentile(50.0), direct.percentile(50.0));
+    }
+}

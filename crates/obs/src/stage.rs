@@ -93,8 +93,7 @@ impl StageTimings {
     }
 
     fn from_spans(spans: &[SpanRecord], root: Option<SpanId>) -> Self {
-        let parents: HashMap<SpanId, SpanId> =
-            spans.iter().map(|s| (s.id, s.parent)).collect();
+        let parents: HashMap<SpanId, SpanId> = spans.iter().map(|s| (s.id, s.parent)).collect();
         let in_subtree = |mut id: SpanId| -> bool {
             let Some(root) = root else { return true };
             loop {

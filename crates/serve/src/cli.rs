@@ -32,7 +32,11 @@ fn positionals<'a>(args: &'a [String], value_flags: &[&str], bool_flags: &[&str]
     out
 }
 
-fn parse_num<T: std::str::FromStr>(args: &[String], names: &[&str], what: &str) -> Result<Option<T>, String> {
+fn parse_num<T: std::str::FromStr>(
+    args: &[String],
+    names: &[&str],
+    what: &str,
+) -> Result<Option<T>, String> {
     flag_value(args, names)
         .map(|s| s.parse().map_err(|_| format!("bad {what}")))
         .transpose()
@@ -41,7 +45,10 @@ fn parse_num<T: std::str::FromStr>(args: &[String], names: &[&str], what: &str) 
 /// Resolves `--socket PATH` / `--tcp ADDR` (mutually exclusive; the unix
 /// socket at [`DEFAULT_SOCKET`] otherwise).
 fn endpoint(args: &[String]) -> Result<Endpoint, String> {
-    match (flag_value(args, &["--socket"]), flag_value(args, &["--tcp"])) {
+    match (
+        flag_value(args, &["--socket"]),
+        flag_value(args, &["--tcp"]),
+    ) {
         (Some(_), Some(_)) => Err("--socket and --tcp are mutually exclusive".into()),
         (Some(path), None) => Ok(Endpoint::Unix(path.into())),
         (None, Some(addr)) => Ok(Endpoint::Tcp(addr.to_string())),
@@ -77,14 +84,27 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
 /// `frodo client`: one request against a running daemon.
 pub fn cmd_client(args: &[String]) -> Result<(), String> {
     let value_flags = [
-        "--socket", "--tcp", "-s", "--style", "--styles", "--threads", "-t", "--engine",
-        "--timeout", "--client", "--retries", "-o", "--output", "--session", "--region-max",
+        "--socket",
+        "--tcp",
+        "-s",
+        "--style",
+        "--styles",
+        "--threads",
+        "-t",
+        "--engine",
+        "--timeout",
+        "--client",
+        "--retries",
+        "-o",
+        "--output",
+        "--session",
+        "--region-max",
         "--vectorize",
     ];
     let bool_flags = ["--verify", "--trace", "--window-reuse"];
     let pos = positionals(args, &value_flags, &bool_flags);
     let kind = *pos.first().ok_or(
-        "client: missing request kind (compile|recompile|lint|batch|status|shutdown)",
+        "client: missing request kind (compile|recompile|lint|batch|status|metrics|shutdown)",
     )?;
     let mut conn = Client::connect(&endpoint(args)?)?;
     let options = request_options(args)?;
@@ -104,7 +124,8 @@ pub fn cmd_client(args: &[String]) -> Result<(), String> {
             let session = flag_value(args, &["--session"])
                 .ok_or("client recompile: missing --session NAME")?;
             let style = flag_value(args, &["-s", "--style"]);
-            let region_max: usize = parse_num(args, &["--region-max"], "--region-max")?.unwrap_or(0);
+            let region_max: usize =
+                parse_num(args, &["--region-max"], "--region-max")?.unwrap_or(0);
             let line = client::recompile_request(session, model, style, &options, region_max);
             let response = conn.request_one(&line)?;
             handle_result_line(&response, output)
@@ -132,6 +153,14 @@ pub fn cmd_client(args: &[String]) -> Result<(), String> {
             println!("{response}");
             client::check_proto(&ndjson::parse_line(&response)?)
         }
+        "metrics" => {
+            let response = conn.request_one(&client::simple_request("metrics", None))?;
+            let fields = ndjson::parse_line(&response)?;
+            client::check_proto(&fields)?;
+            expect_ok(&fields)?;
+            print_metrics(&fields);
+            Ok(())
+        }
         "shutdown" => {
             let response = conn.request_one(&client::simple_request("shutdown", None))?;
             println!("{response}");
@@ -139,7 +168,7 @@ pub fn cmd_client(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!(
             "client: unknown request kind '{other}' \
-             (expected compile|recompile|lint|batch|status|shutdown)"
+             (expected compile|recompile|lint|batch|status|metrics|shutdown)"
         )),
     }
 }
@@ -267,6 +296,62 @@ fn handle_batch_lines(lines: &[String], output: Option<&str>) -> Result<(), Stri
         Ok(())
     } else {
         Err(failures.join("; "))
+    }
+}
+
+/// Renders a `metrics` response as a per-verb latency table plus a line
+/// per live compile session.
+fn print_metrics(fields: &[(String, ndjson::Value)]) {
+    use std::time::Duration;
+    let ns = |v: f64| frodo_obs::fmt_duration(Duration::from_nanos(v as u64));
+    let num = |key: &str| ndjson::get_num(fields, key).unwrap_or(0.0);
+    println!(
+        "uptime {:.1}s, rolling window {}s",
+        num("uptime_ms") / 1000.0,
+        num("window_secs") as u64
+    );
+    println!(
+        "{:<10} {:>7} {:>10} {:>10} {:>10} {:>8}",
+        "verb", "window", "p50", "p95", "max", "total"
+    );
+    let arr = |key: &str| {
+        ndjson::get(fields, key)
+            .and_then(ndjson::Value::as_arr)
+            .unwrap_or(&[])
+    };
+    for verb in arr("verbs") {
+        let f = |key: &str| {
+            verb.field(key)
+                .and_then(ndjson::Value::as_num)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:<10} {:>7} {:>10} {:>10} {:>10} {:>8}",
+            verb.field("verb")
+                .and_then(ndjson::Value::as_str)
+                .unwrap_or("?"),
+            f("window_count") as u64,
+            ns(f("p50_ns")),
+            ns(f("p95_ns")),
+            ns(f("max_ns")),
+            f("total") as u64,
+        );
+    }
+    let sessions = arr("sessions");
+    if !sessions.is_empty() {
+        println!("sessions:");
+        for s in sessions {
+            let f = |key: &str| s.field(key).and_then(ndjson::Value::as_num).unwrap_or(0.0);
+            println!(
+                "  {}: {} compiles, {} region hits / {} misses",
+                s.field("session")
+                    .and_then(ndjson::Value::as_str)
+                    .unwrap_or("?"),
+                f("compiles") as u64,
+                f("region_hits") as u64,
+                f("region_misses") as u64,
+            );
+        }
     }
 }
 

@@ -334,7 +334,12 @@ mod tests {
             other => panic!("expected compile, got {other:?}"),
         }
 
-        let line = batch_request(&["Kalman", "x\"y.mdl"], Some("all"), &Default::default(), None);
+        let line = batch_request(
+            &["Kalman", "x\"y.mdl"],
+            Some("all"),
+            &Default::default(),
+            None,
+        );
         match parse_request(&line).unwrap() {
             Request::Batch { models, styles, .. } => {
                 assert_eq!(models, ["Kalman", "x\"y.mdl"]);

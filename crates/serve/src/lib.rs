@@ -12,8 +12,11 @@
 //!   backpressure (`busy` + `retry_after_ms`) instead of blocking,
 //!   plus graceful drain on `shutdown` with a final perf-ledger entry.
 //! - [`proto`] — the NDJSON wire protocol (`compile`, `lint`, `batch`,
-//!   `status`, `shutdown`), written and parsed with [`frodo_obs::ndjson`]
-//!   so the daemon speaks the same dialect as the trace/ledger tooling.
+//!   `recompile`, `status`, `metrics`, `shutdown`), written and parsed
+//!   with [`frodo_obs::ndjson`] so the daemon speaks the same dialect as
+//!   the trace/ledger tooling. Since protocol version 3 every response
+//!   carries a `request_id` stamp, and `metrics` reports rolling-window
+//!   per-verb latency histograms.
 //! - [`client`] — a line-oriented client with backpressure-aware retry,
 //!   used by `frodo client` and the integration tests.
 //! - [`cli`] — the `frodo serve` / `frodo client` verb implementations.

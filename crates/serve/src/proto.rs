@@ -15,6 +15,7 @@
 //! | `batch` | `models` (array), optional `styles` (comma list or `all`), plus the `compile` options |
 //! | `recompile` | `session`, `model`, optional `style`, `region_max`, plus the `compile` options |
 //! | `status` | — |
+//! | `metrics` | — |
 //! | `shutdown` | — |
 //!
 //! `model` is a `.slx`/`.mdl` path (resolved server-side), a bundled
@@ -29,9 +30,10 @@
 //! Response kinds: `result` (one per job; `ok` 0/1; `recompile` results
 //! add `regions`/`region_hits`/`dirty_blocks`/`fragment_hits`),
 //! `lint-result`, `batch-done` (terminator after a batch's `result`
-//! lines), `status`, `busy` (admission backpressure, with
-//! `retry_after_ms`), `draining`, `shutdown` (the final ack), and `error`
-//! (malformed request).
+//! lines), `status`, `metrics` (rolling-window per-verb latency
+//! histograms plus per-session cache stats), `busy` (admission
+//! backpressure, with `retry_after_ms`), `draining`, `shutdown` (the
+//! final ack), and `error` (malformed request).
 //!
 //! # Versioning
 //!
@@ -41,17 +43,32 @@
 //! format, which this build still accepts). A request with a version this
 //! daemon does not speak gets a structured `error` response naming the
 //! supported range — it is never silently misparsed.
+//!
+//! # Request correlation
+//!
+//! Since version 3 the server stamps a `request_id` onto every response
+//! line: the client-supplied `request_id` field when the request carried
+//! one, a server-assigned sequence number otherwise. Every line a request
+//! produces (a batch's whole `result` stream and its `batch-done`
+//! terminator included) carries the same id, so clients multiplexing one
+//! connection can correlate responses without counting lines. The stamp
+//! is prepended by the connection loop, not the renderers here — the
+//! renderers stay request-agnostic. Version 1 and 2 clients ignore the
+//! extra field; the flat-NDJSON parser skips unknown keys by design.
 
 use frodo_codegen::{GeneratorStyle, VectorMode};
 use frodo_core::{RangeEngine, RangeOptions};
 use frodo_driver::{CacheStats, CompileOptions, JobError, JobOutput, PoolSnapshot, SessionStats};
 use frodo_obs::ndjson::{self, ObjWriter, Value};
+use frodo_obs::Histogram;
 
 /// The wire-protocol version this build speaks. Version 1 is the
 /// pre-versioned NDJSON format (still accepted when a request carries no
 /// `proto_version`); version 2 added the field itself and the
-/// `recompile` request.
-pub const PROTO_VERSION: u64 = 2;
+/// `recompile` request; version 3 added the `metrics` request and the
+/// `request_id` stamp on every response. Versions 1 and 2 remain fully
+/// accepted — v3 only adds fields and a verb, it changes none.
+pub const PROTO_VERSION: u64 = 3;
 
 /// Per-request compile options — the CLI surface, carried on the wire.
 #[derive(Debug, Clone, Copy, Default)]
@@ -132,6 +149,9 @@ pub enum Request {
     },
     /// Report queue, cache, and worker metrics.
     Status,
+    /// Report rolling-window per-verb request rates and latency
+    /// histograms plus per-session stats (protocol version 3).
+    Metrics,
     /// Drain in-flight jobs, flush the final ledger entry, and stop.
     Shutdown,
 }
@@ -256,6 +276,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             region_max: ndjson::get_num(&fields, "region_max").unwrap_or(0.0) as usize,
         }),
         "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown request type '{other}'")),
     }
@@ -439,6 +460,67 @@ pub fn render_status(
     w.finish()
 }
 
+/// One verb's share of the `metrics` response: its lifetime request
+/// count and its request-latency histogram over the rolling window.
+#[derive(Debug, Clone)]
+pub struct VerbMetrics {
+    /// Request verb (`compile`, `batch`, …).
+    pub verb: &'static str,
+    /// Requests of this verb since the daemon started (never evicted).
+    pub total: u64,
+    /// Request latency in nanoseconds over the rolling window.
+    pub window: Histogram,
+}
+
+/// Renders the `metrics` response (protocol version 3): one entry per
+/// verb with window count, latency percentiles, and the full log2 bucket
+/// arrays (the same `bucket_upper`/`bucket_count` shape the trace
+/// exporter's `hist` lines use, so one parser reads both), plus one
+/// entry per live compile session.
+pub fn render_metrics(
+    uptime_ms: u64,
+    window_secs: u64,
+    verbs: &[VerbMetrics],
+    sessions: &[(String, SessionStats)],
+) -> String {
+    let verb_items: Vec<String> = verbs
+        .iter()
+        .map(|v| {
+            let (uppers, counts): (Vec<_>, Vec<_>) = v.window.nonzero_buckets().into_iter().unzip();
+            let join = |ns: &[u64]| ns.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+            let mut w = ObjWriter::new();
+            w.field_str("verb", v.verb)
+                .field_num("total", v.total)
+                .field_num("window_count", v.window.count())
+                .field_num("p50_ns", v.window.percentile(50.0) as u64)
+                .field_num("p95_ns", v.window.percentile(95.0) as u64)
+                .field_num("max_ns", v.window.max() as u64)
+                .field_raw("bucket_upper", &format!("[{}]", join(&uppers)))
+                .field_raw("bucket_count", &format!("[{}]", join(&counts)));
+            w.finish()
+        })
+        .collect();
+    let session_items: Vec<String> = sessions
+        .iter()
+        .map(|(name, s)| {
+            let mut w = ObjWriter::new();
+            w.field_str("session", name)
+                .field_num("compiles", s.compiles)
+                .field_num("region_hits", s.region_hits)
+                .field_num("region_misses", s.region_misses)
+                .field_num("last_region_total", s.last_region_total)
+                .field_num("last_region_hits", s.last_region_hits);
+            w.finish()
+        })
+        .collect();
+    let mut w = response("metrics", 1);
+    w.field_num("uptime_ms", uptime_ms)
+        .field_num("window_secs", window_secs)
+        .field_raw("verbs", &format!("[{}]", verb_items.join(",")))
+        .field_raw("sessions", &format!("[{}]", session_items.join(",")));
+    w.finish()
+}
+
 /// Renders the shutdown ack: sent after the drain completes, immediately
 /// before the listener goes away.
 pub fn render_shutdown_ack(completed: u64, ledger: Option<&str>) -> String {
@@ -487,8 +569,9 @@ mod tests {
             other => panic!("expected compile, got {other:?}"),
         }
 
-        let r = parse_request(r#"{"type":"batch","models":["a.mdl","Kalman"],"styles":"frodo,hcg"}"#)
-            .unwrap();
+        let r =
+            parse_request(r#"{"type":"batch","models":["a.mdl","Kalman"],"styles":"frodo,hcg"}"#)
+                .unwrap();
         match r {
             Request::Batch { models, styles, .. } => {
                 assert_eq!(models, ["a.mdl", "Kalman"]);
@@ -504,6 +587,10 @@ mod tests {
         assert!(matches!(
             parse_request(r#"{"type":"status"}"#).unwrap(),
             Request::Status
+        ));
+        assert!(matches!(
+            parse_request(r#"{"type":"metrics"}"#).unwrap(),
+            Request::Metrics
         ));
         assert!(matches!(
             parse_request(r#"{"type":"shutdown"}"#).unwrap(),
@@ -558,6 +645,7 @@ mod tests {
             render_batch_done(1, 1, 0, 0),
             render_shutdown_ack(0, None),
             render_status(&PoolSnapshot::default(), &CacheStats::default(), 0, 0, 0),
+            render_metrics(0, 60, &[], &[]),
         ] {
             let fields = ndjson::parse_line(&line).unwrap();
             assert_eq!(
@@ -570,22 +658,30 @@ mod tests {
 
     #[test]
     fn malformed_requests_name_the_fault() {
-        assert!(parse_request(r#"{"model":"x"}"#).unwrap_err().contains("type"));
+        assert!(parse_request(r#"{"model":"x"}"#)
+            .unwrap_err()
+            .contains("type"));
         assert!(parse_request(r#"{"type":"dance"}"#)
             .unwrap_err()
             .contains("unknown request type"));
         assert!(parse_request(r#"{"type":"batch","models":[]}"#)
             .unwrap_err()
             .contains("empty"));
-        assert!(parse_request(r#"{"type":"compile","model":"x","engine":"warp"}"#)
-            .unwrap_err()
-            .contains("unknown engine"));
-        assert!(parse_request(r#"{"type":"compile","model":"x","vectorize":"warp"}"#)
-            .unwrap_err()
-            .contains("unknown vectorize mode"));
-        assert!(parse_request(r#"{"type":"compile","model":"x","vectorize":"batch:99"}"#)
-            .unwrap_err()
-            .contains("out of range"));
+        assert!(
+            parse_request(r#"{"type":"compile","model":"x","engine":"warp"}"#)
+                .unwrap_err()
+                .contains("unknown engine")
+        );
+        assert!(
+            parse_request(r#"{"type":"compile","model":"x","vectorize":"warp"}"#)
+                .unwrap_err()
+                .contains("unknown vectorize mode")
+        );
+        assert!(
+            parse_request(r#"{"type":"compile","model":"x","vectorize":"batch:99"}"#)
+                .unwrap_err()
+                .contains("out of range")
+        );
         // parse errors carry the line/offset locator from frodo-obs
         assert!(parse_request(r#"{"type":"compile","threads":x}"#)
             .unwrap_err()
@@ -611,6 +707,94 @@ mod tests {
         let ack = render_shutdown_ack(9, Some(".frodo/ledger.ndjson"));
         let fields = ndjson::parse_line(&ack).unwrap();
         assert_eq!(ndjson::get_num(&fields, "completed"), Some(9.0));
-        assert_eq!(ndjson::get_str(&fields, "ledger"), Some(".frodo/ledger.ndjson"));
+        assert_eq!(
+            ndjson::get_str(&fields, "ledger"),
+            Some(".frodo/ledger.ndjson")
+        );
+    }
+
+    #[test]
+    fn metrics_lines_carry_parseable_latency_histograms() {
+        let mut window = Histogram::new();
+        for ns in [1_000.0, 2_000.0, 50_000.0] {
+            window.record(ns);
+        }
+        let line = render_metrics(
+            1234,
+            60,
+            &[
+                VerbMetrics {
+                    verb: "compile",
+                    total: 7,
+                    window: window.clone(),
+                },
+                VerbMetrics {
+                    verb: "status",
+                    total: 0,
+                    window: Histogram::new(),
+                },
+            ],
+            &[(
+                "edit-loop".into(),
+                SessionStats {
+                    compiles: 3,
+                    region_hits: 5,
+                    ..Default::default()
+                },
+            )],
+        );
+        let fields = ndjson::parse_line(&line).unwrap();
+        assert_eq!(ndjson::get_str(&fields, "type"), Some("metrics"));
+        assert_eq!(ndjson::get_num(&fields, "window_secs"), Some(60.0));
+
+        let verbs = ndjson::get(&fields, "verbs").unwrap().as_arr().unwrap();
+        assert_eq!(verbs.len(), 2);
+        let compile = &verbs[0];
+        assert_eq!(compile.field("verb"), Some(&Value::Str("compile".into())));
+        assert_eq!(compile.field("total").unwrap().as_num(), Some(7.0));
+        assert_eq!(compile.field("window_count").unwrap().as_num(), Some(3.0));
+        assert_eq!(compile.field("max_ns").unwrap().as_num(), Some(50_000.0));
+        // the bucket arrays rebuild the histogram exactly — the wire
+        // format is lossless down to the log2 buckets
+        let nums = |key: &str| -> Vec<u64> {
+            compile
+                .field(key)
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_num().unwrap() as u64)
+                .collect()
+        };
+        let pairs: Vec<(u64, u64)> = nums("bucket_upper")
+            .into_iter()
+            .zip(nums("bucket_count"))
+            .collect();
+        assert_eq!(pairs.iter().map(|&(_, n)| n).sum::<u64>(), 3);
+        let rebuilt =
+            Histogram::from_parts(3, window.sum(), window.min(), window.max(), &pairs).unwrap();
+        assert_eq!(rebuilt.nonzero_buckets(), window.nonzero_buckets());
+        // an idle verb still appears, with an empty histogram
+        assert_eq!(verbs[1].field("window_count").unwrap().as_num(), Some(0.0));
+        assert_eq!(
+            verbs[1]
+                .field("bucket_upper")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            0
+        );
+
+        let sessions = ndjson::get(&fields, "sessions").unwrap().as_arr().unwrap();
+        assert_eq!(
+            sessions[0].field("session"),
+            Some(&Value::Str("edit-loop".into()))
+        );
+        assert_eq!(sessions[0].field("compiles").unwrap().as_num(), Some(3.0));
+        assert_eq!(
+            sessions[0].field("region_hits").unwrap().as_num(),
+            Some(5.0)
+        );
     }
 }

@@ -20,10 +20,12 @@ use crate::proto::{self, Request, RequestOptions};
 use frodo_codegen::GeneratorStyle;
 use frodo_driver::{
     CompileService, CompileSession, JobPool, JobSpec, JobTicket, PoolConfig, ServiceConfig,
-    SubmitError,
+    SessionStats, SubmitError,
 };
 use frodo_model::Model;
-use frodo_obs::{aggregate, append_entry, LedgerEntry, ServiceMetrics, Trace};
+use frodo_obs::{
+    aggregate, append_entry, ndjson, Histogram, LedgerEntry, RollingWindow, ServiceMetrics, Trace,
+};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -54,6 +56,29 @@ pub struct ServerConfig {
 /// above this bound, so they can never collide with client-chosen ids.
 const CONN_CLIENT_BASE: u64 = 1 << 32;
 
+/// Width of the `metrics` verb's rolling latency window.
+const METRICS_WINDOW_SECS: u64 = 60;
+
+/// Request verbs tracked by the per-verb latency windows, in the order
+/// the `metrics` response reports them.
+const VERBS: [&str; 7] = [
+    "compile",
+    "lint",
+    "batch",
+    "recompile",
+    "status",
+    "metrics",
+    "shutdown",
+];
+
+/// One verb's latency recorders: the rolling window the `metrics`
+/// response reports, plus a lifetime histogram the shutdown ledger
+/// entry folds into `svc_request_*`.
+struct VerbStats {
+    window: RollingWindow,
+    lifetime: Histogram,
+}
+
 struct Shared {
     service: CompileService,
     pool: JobPool,
@@ -64,6 +89,11 @@ struct Shared {
     jobs_ok: AtomicU64,
     jobs_failed: AtomicU64,
     conn_seq: AtomicU64,
+    /// Server-assigned `request_id` sequence for requests that do not
+    /// carry their own.
+    request_seq: AtomicU64,
+    /// Per-verb request latency, indexed like [`VERBS`].
+    verbs: Mutex<Vec<VerbStats>>,
     stopping: AtomicBool,
     ledger_out: Option<PathBuf>,
     /// Named incremental compile sessions (`recompile` requests), shared
@@ -103,7 +133,8 @@ impl Server {
             Endpoint::Unix(path) => {
                 if let Some(dir) = path.parent() {
                     if !dir.as_os_str().is_empty() {
-                        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+                        std::fs::create_dir_all(dir)
+                            .map_err(|e| format!("{}: {e}", dir.display()))?;
                     }
                 }
                 let _ = std::fs::remove_file(path);
@@ -141,6 +172,15 @@ impl Server {
             jobs_ok: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             conn_seq: AtomicU64::new(0),
+            request_seq: AtomicU64::new(0),
+            verbs: Mutex::new(
+                (0..VERBS.len())
+                    .map(|_| VerbStats {
+                        window: RollingWindow::new(METRICS_WINDOW_SECS),
+                        lifetime: Histogram::new(),
+                    })
+                    .collect(),
+            ),
             stopping: AtomicBool::new(false),
             ledger_out: config.ledger_out,
             sessions: Mutex::new(HashMap::new()),
@@ -192,21 +232,36 @@ fn handle_conn(shared: &Arc<Shared>, stream: Stream) {
         return;
     };
     let mut writer = stream;
-    let conn_client =
-        CONN_CLIENT_BASE + shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+    let conn_client = CONN_CLIENT_BASE + shared.conn_seq.fetch_add(1, Ordering::Relaxed);
     for line in BufReader::new(read_half).lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
         let mut stop_after = false;
-        let responses = match proto::parse_request(&line) {
+        // correlation id: the client's `request_id` when the line carries
+        // one, a server-assigned sequence number otherwise; every line
+        // this request produces gets the same stamp
+        let request_id = ndjson::parse_line(&line)
+            .ok()
+            .and_then(|fields| ndjson::get_num(&fields, "request_id"))
+            .map_or_else(
+                || shared.request_seq.fetch_add(1, Ordering::Relaxed),
+                |n| n as u64,
+            );
+        let started = Instant::now();
+        let parsed = proto::parse_request(&line);
+        let verb_idx = parsed.as_ref().ok().map(verb_index);
+        let responses = match parsed {
             Ok(request) => handle_request(shared, request, conn_client, &mut stop_after),
             Err(message) => vec![proto::render_error(&message)],
         };
+        if let Some(idx) = verb_idx {
+            record_request(shared, idx, started.elapsed().as_nanos() as f64);
+        }
         for response in responses {
             if writer
-                .write_all(response.as_bytes())
+                .write_all(stamp_request_id(&response, request_id).as_bytes())
                 .and_then(|()| writer.write_all(b"\n"))
                 .is_err()
             {
@@ -221,6 +276,38 @@ fn handle_conn(shared: &Arc<Shared>, stream: Stream) {
             return;
         }
     }
+}
+
+/// Which [`VERBS`] slot a request records latency under.
+fn verb_index(request: &Request) -> usize {
+    match request {
+        Request::Compile { .. } => 0,
+        Request::Lint { .. } => 1,
+        Request::Batch { .. } => 2,
+        Request::Recompile { .. } => 3,
+        Request::Status => 4,
+        Request::Metrics => 5,
+        Request::Shutdown => 6,
+    }
+}
+
+/// Records one request's wall time into its verb's rolling window and
+/// lifetime histogram.
+fn record_request(shared: &Shared, verb_idx: usize, dur_ns: f64) {
+    let now_sec = shared.started.elapsed().as_secs();
+    let mut verbs = shared.verbs.lock().unwrap();
+    let v = &mut verbs[verb_idx];
+    v.window.record(now_sec, dur_ns);
+    v.lifetime.record(dur_ns);
+}
+
+/// Prepends the correlation id onto a rendered response line. Every
+/// renderer emits one non-empty flat object (`{"type":...`), so splicing
+/// after the opening brace keeps the line valid JSON with `request_id`
+/// first.
+fn stamp_request_id(line: &str, id: u64) -> String {
+    debug_assert!(line.len() > 2 && line.starts_with('{'));
+    format!("{{\"request_id\":{id},{}", &line[1..])
 }
 
 /// Wakes the accept loop out of its blocking `accept` so it can exit.
@@ -262,14 +349,22 @@ fn handle_request(
             styles,
             options,
             client,
-        } => handle_batch(shared, &models, &styles, options, client.unwrap_or(conn_client)),
+        } => handle_batch(
+            shared,
+            &models,
+            &styles,
+            options,
+            client.unwrap_or(conn_client),
+        ),
         Request::Recompile {
             session,
             model,
             style,
             options,
             region_max,
-        } => vec![handle_recompile(shared, &session, &model, style, options, region_max)],
+        } => vec![handle_recompile(
+            shared, &session, &model, style, options, region_max,
+        )],
         Request::Status => {
             let uptime_ms = shared.started.elapsed().as_millis() as u64;
             vec![proto::render_status(
@@ -278,6 +373,38 @@ fn handle_request(
                 uptime_ms,
                 shared.jobs_ok.load(Ordering::Relaxed),
                 shared.jobs_failed.load(Ordering::Relaxed),
+            )]
+        }
+        Request::Metrics => {
+            let uptime_ms = shared.started.elapsed().as_millis() as u64;
+            let now_sec = shared.started.elapsed().as_secs();
+            let verbs: Vec<proto::VerbMetrics> = {
+                let stats = shared.verbs.lock().unwrap();
+                VERBS
+                    .iter()
+                    .zip(stats.iter())
+                    .map(|(&verb, v)| proto::VerbMetrics {
+                        verb,
+                        total: v.window.total(),
+                        window: v.window.snapshot(now_sec),
+                    })
+                    .collect()
+            };
+            // sessions mid-compile hold their own lock for the whole
+            // compile; skip those rather than stall the metrics endpoint
+            let mut sessions: Vec<(String, SessionStats)> = shared
+                .sessions
+                .lock()
+                .unwrap()
+                .iter()
+                .filter_map(|(name, s)| s.try_lock().ok().map(|sess| (name.clone(), sess.stats())))
+                .collect();
+            sessions.sort_by(|a, b| a.0.cmp(&b.0));
+            vec![proto::render_metrics(
+                uptime_ms,
+                METRICS_WINDOW_SECS,
+                &verbs,
+                &sessions,
             )]
         }
         Request::Shutdown => {
@@ -438,12 +565,13 @@ fn resolve_model(model_ref: &str) -> Result<Model, String> {
     match path.extension().and_then(|e| e.to_str()) {
         Some("slx") => {
             let bytes = std::fs::read(path).map_err(|e| format!("{model_ref}: {e}"))?;
-            frodo_slx::read_slx(&bytes, &frodo_obs::Trace::noop()).map_err(|e| format!("{model_ref}: {e}"))
+            frodo_slx::read_slx(&bytes, &frodo_obs::Trace::noop())
+                .map_err(|e| format!("{model_ref}: {e}"))
         }
         Some("mdl") => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("{model_ref}: {e}"))?;
-            frodo_slx::read_mdl(&text, &frodo_obs::Trace::noop()).map_err(|e| format!("{model_ref}: {e}"))
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{model_ref}: {e}"))?;
+            frodo_slx::read_mdl(&text, &frodo_obs::Trace::noop())
+                .map_err(|e| format!("{model_ref}: {e}"))
         }
         _ => frodo_benchmodels::by_spec(model_ref).ok_or_else(|| {
             format!(
@@ -456,12 +584,12 @@ fn resolve_model(model_ref: &str) -> Result<Model, String> {
 
 /// Builds the job spec for a model reference; file parsing stays on the
 /// worker (the job's `parse` stage), bench models are materialized here.
-fn job_spec_for(
-    model_ref: &str,
-    style: frodo_codegen::GeneratorStyle,
-) -> Result<JobSpec, String> {
+fn job_spec_for(model_ref: &str, style: frodo_codegen::GeneratorStyle) -> Result<JobSpec, String> {
     let path = std::path::Path::new(model_ref);
-    if matches!(path.extension().and_then(|e| e.to_str()), Some("slx" | "mdl")) {
+    if matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("slx" | "mdl")
+    ) {
         if !path.exists() {
             return Err(format!("{model_ref}: no such file"));
         }
@@ -490,11 +618,26 @@ fn flush_ledger(shared: &Shared) -> Option<String> {
     let mut entry = LedgerEntry::from_agg(&agg, "serve", "auto", 0, shared.workers as u64, wall_ns);
     let pool = shared.pool.snapshot();
     let cache = shared.service.cache_stats();
-    let hist = |name: &str| snap.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h);
+    let hist = |name: &str| {
+        snap.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    };
     let (queue_p50, queue_max) = hist("queue_wait_ns")
         .map(|h| (h.percentile(50.0) as u64, h.max() as u64))
         .unwrap_or((0, 0));
     let capacity_ns = wall_ns.saturating_mul(shared.workers as u64);
+    // request-level rollup across every verb, over the daemon's lifetime
+    // (the shutdown request itself is still in flight and not counted)
+    let all_requests = {
+        let verbs = shared.verbs.lock().unwrap();
+        let mut all = Histogram::new();
+        for v in verbs.iter() {
+            all.merge(&v.lifetime);
+        }
+        all
+    };
     entry.svc = Some(ServiceMetrics {
         cache_hits: cache.hits as u64,
         cache_misses: cache.misses as u64,
@@ -508,6 +651,9 @@ fn flush_ledger(shared: &Shared) -> Option<String> {
         },
         cache_evictions: cache.evictions as u64,
         job_timeouts: pool.timeouts,
+        requests_total: all_requests.count(),
+        request_p50_ns: all_requests.percentile(50.0) as u64,
+        request_max_ns: all_requests.max() as u64,
     });
     match append_entry(path, &entry) {
         Ok(()) => Some(path.display().to_string()),

@@ -407,60 +407,7 @@ impl CostModel {
 /// this is the redundancy-elimination metric the window-reuse ablation
 /// gates on, not a timing estimate.
 pub fn stmt_flops(stmt: &Stmt) -> u64 {
-    let flops = |n: usize| n as u64;
-    match stmt {
-        Stmt::Unary { len, .. } => flops(*len),
-        Stmt::FusedUnary { ops, len, .. } => flops(len * ops.len()),
-        Stmt::Binary { len, .. } => flops(*len),
-        Stmt::Select { .. }
-        | Stmt::Copy { .. }
-        | Stmt::Fill { .. }
-        | Stmt::Gather { .. }
-        | Stmt::DynGather { .. }
-        | Stmt::Transpose { .. }
-        | Stmt::StateLoad { .. }
-        | Stmt::StateStore { .. } => 0,
-        Stmt::Reduce { len, .. } => flops(*len),
-        Stmt::Dot { len, .. } => flops(2 * len),
-        Stmt::Conv {
-            u_len,
-            v_len,
-            k0,
-            k1,
-            ..
-        } => {
-            // both styles compute the same products; Branchy merely pays
-            // extra (non-flop) boundary judgments
-            let taken: usize = (*k0..*k1)
-                .map(|k| k.min(u_len - 1) - k.saturating_sub(v_len - 1) + 1)
-                .sum();
-            flops(2 * taken)
-        }
-        Stmt::Fir { taps, k0, k1, .. } => {
-            let inner: usize = (*k0..*k1).map(|k| k.min(taps - 1) + 1).sum();
-            flops(2 * inner)
-        }
-        Stmt::MovingAvg { window, k0, k1, .. } => {
-            let inner: usize = (*k0..*k1)
-                .map(|k| k - k.saturating_sub(window - 1) + 1)
-                .sum();
-            flops(inner + (k1 - k0))
-        }
-        Stmt::CumSum { k_end, .. } => flops(*k_end),
-        Stmt::Diff { k0, k1, .. } => flops(*k1 - *k0),
-        Stmt::MatMul { k, n, r0, r1, .. } => flops(2 * (r1 - r0) * n * k),
-        Stmt::WindowedReuse {
-            src_len,
-            window,
-            k0,
-            k1,
-            ..
-        } => {
-            // seed sum + one add, one subtract, one scale per element
-            let seed = k0.min(&(src_len - 1)) + 1 - (k0 + 1).saturating_sub(*window);
-            flops(seed + 3 * (k1 - k0))
-        }
-    }
+    stmt.flops()
 }
 
 /// Total floating-point operations of one program step.
@@ -515,7 +462,11 @@ mod tests {
     fn frodo_is_fastest_on_every_config() {
         let a = figure1();
         for cm in CostModel::all() {
-            let frodo = cm.program_ns(&generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()));
+            let frodo = cm.program_ns(&generate(
+                &a,
+                GeneratorStyle::Frodo,
+                &frodo_obs::Trace::noop(),
+            ));
             for style in [
                 GeneratorStyle::SimulinkCoder,
                 GeneratorStyle::DfSynth,
@@ -535,8 +486,16 @@ mod tests {
     fn branchy_conv_is_much_slower_than_tight() {
         let a = figure1();
         let cm = CostModel::x86_gcc();
-        let simulink = cm.program_ns(&generate(&a, GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop()));
-        let dfsynth = cm.program_ns(&generate(&a, GeneratorStyle::DfSynth, &frodo_obs::Trace::noop()));
+        let simulink = cm.program_ns(&generate(
+            &a,
+            GeneratorStyle::SimulinkCoder,
+            &frodo_obs::Trace::noop(),
+        ));
+        let dfsynth = cm.program_ns(&generate(
+            &a,
+            GeneratorStyle::DfSynth,
+            &frodo_obs::Trace::noop(),
+        ));
         assert!(simulink > dfsynth * 1.5, "{simulink} vs {dfsynth}");
     }
 
@@ -547,8 +506,15 @@ mod tests {
         let x86 = CostModel::x86_gcc();
         let arm = CostModel::arm_gcc();
         let ratio = |cm: &CostModel| {
-            cm.program_ns(&generate(&a, GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop()))
-                / cm.program_ns(&generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()))
+            cm.program_ns(&generate(
+                &a,
+                GeneratorStyle::SimulinkCoder,
+                &frodo_obs::Trace::noop(),
+            )) / cm.program_ns(&generate(
+                &a,
+                GeneratorStyle::Frodo,
+                &frodo_obs::Trace::noop(),
+            ))
         };
         assert!(ratio(&arm) > ratio(&x86) * 0.9);
     }

@@ -61,4 +61,4 @@ pub mod workload;
 pub use cost::{program_flops, stmt_flops, Arch, CompilerProfile, CostModel};
 pub use memory::MemoryReport;
 pub use reference::{ReferenceSimulator, SimError};
-pub use vm::Vm;
+pub use vm::{Profile, StmtProfile, Vm};

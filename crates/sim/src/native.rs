@@ -99,6 +99,33 @@ pub fn compile_and_run_with(
     iters: usize,
     opts: CEmitOptions,
 ) -> Result<NativeResult, NativeError> {
+    compile_and_run_inner(program, style, iters, opts).map(|(r, _)| r)
+}
+
+/// [`compile_and_run_with`] under self-profiling emission: forces
+/// `opts.profile` on and additionally returns the harness's stderr — the
+/// per-statement profile in the `frodo-obs` NDJSON export schema, ready
+/// for [`frodo_obs::ndjson::snapshot`].
+///
+/// # Errors
+///
+/// Same as [`compile_and_run`].
+pub fn compile_and_run_profiled(
+    program: &Program,
+    style: GeneratorStyle,
+    iters: usize,
+    mut opts: CEmitOptions,
+) -> Result<(NativeResult, String), NativeError> {
+    opts.profile = true;
+    compile_and_run_inner(program, style, iters, opts)
+}
+
+fn compile_and_run_inner(
+    program: &Program,
+    style: GeneratorStyle,
+    iters: usize,
+    opts: CEmitOptions,
+) -> Result<(NativeResult, String), NativeError> {
     if !gcc_available() {
         return Err(NativeError::CompilerUnavailable);
     }
@@ -150,10 +177,13 @@ pub fn compile_and_run_with(
                 reason: format!("bad output: {text}"),
             })?;
     let _ = std::fs::remove_dir_all(&dir);
-    Ok(NativeResult {
-        checksum,
-        ns_per_iter,
-    })
+    Ok((
+        NativeResult {
+            checksum,
+            ns_per_iter,
+        },
+        String::from_utf8_lossy(&run.stderr).into_owned(),
+    ))
 }
 
 #[cfg(test)]
@@ -192,6 +222,52 @@ mod tests {
         m.connect(c, 0, s, 0).unwrap();
         m.connect(s, 0, o, 0).unwrap();
         Analysis::run(m).unwrap()
+    }
+
+    #[test]
+    fn profiled_native_run_emits_parseable_ndjson() {
+        if !gcc_available() {
+            eprintln!("skipping: gcc not available");
+            return;
+        }
+        let a = figure1();
+        let p = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let (r, profile) =
+            compile_and_run_profiled(&p, GeneratorStyle::Frodo, 50, CEmitOptions::default())
+                .expect("profiled native run");
+        assert!(r.ns_per_iter >= 0.0);
+        let snap = frodo_obs::ndjson::snapshot(&profile).expect("profile parses");
+        // one root span plus one span per statement
+        assert_eq!(snap.spans.len(), p.stmts.len() + 1);
+        assert!(snap.spans.iter().any(|s| s.name == "prof:conv"));
+        // a calls and a flops counter per statement, counting every rep
+        assert_eq!(snap.counters.len(), 2 * p.stmts.len());
+        let conv_calls = snap
+            .counters
+            .iter()
+            .find(|c| c.name.ends_with("_conv_calls"))
+            .expect("conv calls counter");
+        assert_eq!(conv_calls.value, 50);
+        // the conv statement ran, so it has a latency histogram whose
+        // count matches its calls counter
+        let conv_hist = snap
+            .histograms
+            .iter()
+            .find(|(name, _)| name.ends_with("_conv_ns"))
+            .expect("conv latency histogram");
+        assert_eq!(conv_hist.1.count(), 50);
+        // measured flops match the static model exactly, per statement
+        let ci = p
+            .stmts
+            .iter()
+            .position(|s| s.kind_label() == "conv")
+            .expect("conv statement");
+        let conv_flops = snap
+            .counters
+            .iter()
+            .find(|c| c.name == format!("stmt_{ci}_conv_flops"))
+            .expect("conv flops counter");
+        assert_eq!(conv_flops.value, 50 * p.stmts[ci].flops());
     }
 
     #[test]

@@ -88,18 +88,24 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed_and_seed_sensitive() {
-        let a: Vec<u64> = (0..8).map({
-            let mut r = Rng::seed_from_u64(7);
-            move |_| r.next_u64()
-        }).collect();
-        let b: Vec<u64> = (0..8).map({
-            let mut r = Rng::seed_from_u64(7);
-            move |_| r.next_u64()
-        }).collect();
-        let c: Vec<u64> = (0..8).map({
-            let mut r = Rng::seed_from_u64(8);
-            move |_| r.next_u64()
-        }).collect();
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::seed_from_u64(7);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::seed_from_u64(7);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::seed_from_u64(8);
+                move |_| r.next_u64()
+            })
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

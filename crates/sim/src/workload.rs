@@ -26,9 +26,7 @@ pub fn random_inputs(dfg: &Dfg, seed: u64) -> Vec<Tensor> {
     ports
         .into_iter()
         .map(|(_, shape)| {
-            let data = (0..shape.numel())
-                .map(|_| rng.uniform(-1.0, 1.0))
-                .collect();
+            let data = (0..shape.numel()).map(|_| rng.uniform(-1.0, 1.0)).collect();
             Tensor::new(shape, data)
         })
         .collect()

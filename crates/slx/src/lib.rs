@@ -55,9 +55,9 @@ pub mod xml;
 pub mod zip;
 
 pub use error::FormatError;
-pub use mdl::{read_mdl, write_mdl};
-pub use slx::{read_slx, write_slx};
 #[allow(deprecated)]
 pub use mdl::read_mdl_traced;
+pub use mdl::{read_mdl, write_mdl};
 #[allow(deprecated)]
 pub use slx::read_slx_traced;
+pub use slx::{read_slx, write_slx};

@@ -433,7 +433,10 @@ mod tests {
         let t = m.add(Block::new("t", BlockKind::Terminator));
         m.connect(c, 0, s, 0).unwrap();
         m.connect(s, 0, t, 0).unwrap();
-        assert_eq!(read_mdl(&write_mdl(&m), &frodo_obs::Trace::noop()).unwrap(), m);
+        assert_eq!(
+            read_mdl(&write_mdl(&m), &frodo_obs::Trace::noop()).unwrap(),
+            m
+        );
     }
 
     #[test]

@@ -381,7 +381,10 @@ mod tests {
         let m = figure1();
         let bytes = write_slx(&m).unwrap();
         let via_shim = read_slx_traced(&bytes, &frodo_obs::Trace::noop()).unwrap();
-        assert_eq!(via_shim, read_slx(&bytes, &frodo_obs::Trace::noop()).unwrap());
+        assert_eq!(
+            via_shim,
+            read_slx(&bytes, &frodo_obs::Trace::noop()).unwrap()
+        );
     }
 
     #[test]

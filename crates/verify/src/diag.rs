@@ -198,13 +198,12 @@ fn block_name(model: Option<&Model>, id: frodo_model::BlockId) -> String {
 /// id-compatible with the error) resolves block ids to names.
 pub fn from_model_error(model: Option<&Model>, err: &ModelError) -> Diagnostic {
     match err {
-        ModelError::UnconnectedInput(p) => Diagnostic::new(
-            "F001",
-            format!("input port {p} has no incoming connection"),
-        )
-        .with_block(block_name(model, p.block))
-        .with_location(p.to_string())
-        .with_help("connect a source block or remove the consumer"),
+        ModelError::UnconnectedInput(p) => {
+            Diagnostic::new("F001", format!("input port {p} has no incoming connection"))
+                .with_block(block_name(model, p.block))
+                .with_location(p.to_string())
+                .with_help("connect a source block or remove the consumer")
+        }
         ModelError::DuplicateInput(p) => Diagnostic::new(
             "F002",
             format!("input port {p} has more than one incoming connection"),
@@ -347,8 +346,7 @@ mod tests {
     }
 
     #[test]
-    fn json_rendering_is_flat_ndjson(
-    ) {
+    fn json_rendering_is_flat_ndjson() {
         let d = Diagnostic::new("F101", "read of \"x\" before write").with_block("conv");
         let line = render_json(&[d]);
         assert!(line.ends_with("}\n"));

@@ -39,16 +39,15 @@ fn lint_connectivity(flat: &Model, diags: &mut Vec<Diagnostic>) {
     for (id, block) in flat.iter() {
         for port in 0..block.kind.num_inputs() {
             let p = InPort::new(id, port);
-            let driving = flat
-                .connections()
-                .iter()
-                .filter(|c| c.to == p)
-                .count();
+            let driving = flat.connections().iter().filter(|c| c.to == p).count();
             if driving == 0 {
                 diags.push(
                     Diagnostic::new(
                         "F001",
-                        format!("input port {port} of `{}` has no incoming connection", block.name),
+                        format!(
+                            "input port {port} of `{}` has no incoming connection",
+                            block.name
+                        ),
                     )
                     .with_block(&block.name)
                     .with_location(p.to_string())

@@ -235,7 +235,10 @@ impl<'p> Checker<'p> {
                 ),
             );
         }
-        let uninit = a.set.intersect(&IndexSet::full(len)).difference(&self.written[a.buf.0]);
+        let uninit = a
+            .set
+            .intersect(&IndexSet::full(len))
+            .difference(&self.written[a.buf.0]);
         if let Some(iv) = uninit.intervals().first().copied() {
             self.diag(
                 "F101",
@@ -282,7 +285,12 @@ impl<'p> Checker<'p> {
         let mut reads: Vec<Access> = Vec::new();
         let mut writes: Vec<Access> = Vec::new();
         match stmt {
-            Stmt::Unary { dst, src: s, len, .. } | Stmt::FusedUnary { dst, src: s, len, .. } => {
+            Stmt::Unary {
+                dst, src: s, len, ..
+            }
+            | Stmt::FusedUnary {
+                dst, src: s, len, ..
+            } => {
                 if *len == 0 {
                     return self.malformed(i, dst.buf, "zero-length run");
                 }
@@ -297,7 +305,14 @@ impl<'p> Checker<'p> {
                 reads.extend(src(b, *len, "rhs"));
                 writes.push(slice(*dst, *len, "dst"));
             }
-            Stmt::Select { dst, ctrl, a, b, len, .. } => {
+            Stmt::Select {
+                dst,
+                ctrl,
+                a,
+                b,
+                len,
+                ..
+            } => {
                 if *len == 0 {
                     return self.malformed(i, dst.buf, "zero-length run");
                 }
@@ -319,7 +334,11 @@ impl<'p> Checker<'p> {
                 }
                 writes.push(slice(*dst, *len, "dst"));
             }
-            Stmt::Gather { dst, src: s, indices } => {
+            Stmt::Gather {
+                dst,
+                src: s,
+                indices,
+            } => {
                 if indices.is_empty() {
                     return self.malformed(i, dst.buf, "empty gather index vector");
                 }
@@ -330,7 +349,13 @@ impl<'p> Checker<'p> {
                 });
                 writes.push(slice(*dst, indices.len(), "dst"));
             }
-            Stmt::DynGather { dst, src: s, src_len, idx, len } => {
+            Stmt::DynGather {
+                dst,
+                src: s,
+                src_len,
+                idx,
+                len,
+            } => {
                 if *len == 0 {
                     return self.malformed(i, dst.buf, "zero-length run");
                 }
@@ -347,7 +372,9 @@ impl<'p> Checker<'p> {
                 reads.push(slice(*idx, *len, "indices"));
                 writes.push(slice(*dst, *len, "dst"));
             }
-            Stmt::Reduce { dst, src: s, len, .. } => {
+            Stmt::Reduce {
+                dst, src: s, len, ..
+            } => {
                 if *len == 0 {
                     return self.malformed(i, dst.buf, "zero-length reduction");
                 }
@@ -362,7 +389,16 @@ impl<'p> Checker<'p> {
                 reads.push(slice(*b, *len, "rhs"));
                 writes.push(slice(*dst, 1, "dst"));
             }
-            Stmt::Conv { dst, u, u_len, v, v_len, k0, k1, .. } => {
+            Stmt::Conv {
+                dst,
+                u,
+                u_len,
+                v,
+                v_len,
+                k0,
+                k1,
+                ..
+            } => {
                 if *k0 >= *k1 || *u_len == 0 || *v_len == 0 {
                     return self.malformed(i, *dst, "empty convolution run");
                 }
@@ -385,7 +421,14 @@ impl<'p> Checker<'p> {
                 });
                 writes.push(run(*dst, *k0, *k1 - *k0, "dst"));
             }
-            Stmt::Fir { dst, src: s, coeffs, taps, k0, k1 } => {
+            Stmt::Fir {
+                dst,
+                src: s,
+                coeffs,
+                taps,
+                k0,
+                k1,
+            } => {
                 if *k0 >= *k1 || *taps == 0 {
                     return self.malformed(i, *dst, "empty FIR run");
                 }
@@ -397,7 +440,13 @@ impl<'p> Checker<'p> {
                 reads.push(run(*coeffs, 0, (*k1 - 1).min(*taps - 1) + 1, "coeffs"));
                 writes.push(run(*dst, *k0, *k1 - *k0, "dst"));
             }
-            Stmt::MovingAvg { dst, src: s, window, k0, k1 } => {
+            Stmt::MovingAvg {
+                dst,
+                src: s,
+                window,
+                k0,
+                k1,
+            } => {
                 if *k0 >= *k1 || *window == 0 {
                     return self.malformed(i, *dst, "empty moving-average run");
                 }
@@ -415,7 +464,12 @@ impl<'p> Checker<'p> {
                 reads.push(run(*s, 0, *k_end, "src"));
                 writes.push(run(*dst, 0, *k_end, "dst"));
             }
-            Stmt::Diff { dst, src: s, k0, k1 } => {
+            Stmt::Diff {
+                dst,
+                src: s,
+                k0,
+                k1,
+            } => {
                 if *k0 >= *k1 {
                     return self.malformed(i, *dst, "empty difference run");
                 }
@@ -423,7 +477,16 @@ impl<'p> Checker<'p> {
                 reads.push(run(*s, lo, *k1 - lo, "src"));
                 writes.push(run(*dst, *k0, *k1 - *k0, "dst"));
             }
-            Stmt::MatMul { dst, a, b, m, k, n, r0, r1 } => {
+            Stmt::MatMul {
+                dst,
+                a,
+                b,
+                m,
+                k,
+                n,
+                r0,
+                r1,
+            } => {
                 if *r0 >= *r1 || *r1 > *m || *k == 0 || *n == 0 {
                     return self.malformed(i, *dst, "empty or out-of-shape matmul row run");
                 }
@@ -431,7 +494,12 @@ impl<'p> Checker<'p> {
                 reads.push(run(*b, 0, k * n, "rhs"));
                 writes.push(run(*dst, r0 * n, (*r1 - *r0) * n, "dst rows"));
             }
-            Stmt::Transpose { dst, src: s, rows, cols } => {
+            Stmt::Transpose {
+                dst,
+                src: s,
+                rows,
+                cols,
+            } => {
                 if *rows == 0 || *cols == 0 {
                     return self.malformed(i, *dst, "empty transpose");
                 }
@@ -849,7 +917,8 @@ mod tests {
         m.connect(c, 0, s, 0).unwrap();
         m.connect(s, 0, o, 0).unwrap();
         let analysis = Analysis::run(m).unwrap();
-        let program = frodo_codegen::generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let program =
+            frodo_codegen::generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
         let report = check_compile(&analysis, &program);
         assert!(report.is_sound(), "{:?}", report.diagnostics);
         assert!(report.outputs_checked == 1);

@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("-- Simulink-Embedded-Coder-style code (boundary judgments, green box) --\n");
-    let simulink = generate(&analysis, GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop());
+    let simulink = generate(
+        &analysis,
+        GeneratorStyle::SimulinkCoder,
+        &frodo_obs::Trace::noop(),
+    );
     print_block(&emit_c(&simulink), "for (int k = 0");
 
     println!("-- FRODO's concise code (exact calculation range [5, 55)) --\n");

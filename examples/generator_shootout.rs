@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, d) in stages.rows().iter().filter(|(_, d)| !d.is_zero()) {
         println!("{name:<10} {}", frodo::obs::fmt_duration(*d));
     }
-    println!("{:<10} {}\n", "total", frodo::obs::fmt_duration(stages.total()));
+    println!(
+        "{:<10} {}\n",
+        "total",
+        frodo::obs::fmt_duration(stages.total())
+    );
 
     if want_native {
         if !native::gcc_available() {

@@ -48,7 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "FRODO computes {} elements/step; the Simulink-style baseline computes {}",
         program.computed_elements(),
-        generate(&analysis, GeneratorStyle::SimulinkCoder, &frodo_obs::Trace::noop()).computed_elements()
+        generate(
+            &analysis,
+            GeneratorStyle::SimulinkCoder,
+            &frodo_obs::Trace::noop()
+        )
+        .computed_elements()
     );
 
     // 3. run the generated program and cross-check against simulation
@@ -70,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, d) in stages.rows().iter().filter(|(_, d)| !d.is_zero()) {
         println!("  {name:<10} {}", frodo::obs::fmt_duration(*d));
     }
-    println!("  {:<10} {}", "total", frodo::obs::fmt_duration(stages.total()));
+    println!(
+        "  {:<10} {}",
+        "total",
+        frodo::obs::fmt_duration(stages.total())
+    );
 
     // 5. the deployable C
     println!("\n--- generated C ---\n{}", emit_c(&program));

@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dfg = analysis.dfg().clone();
 
     let frodo_prog = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
-    let baseline = generate(&analysis, GeneratorStyle::DfSynth, &frodo_obs::Trace::noop());
+    let baseline = generate(
+        &analysis,
+        GeneratorStyle::DfSynth,
+        &frodo_obs::Trace::noop(),
+    );
     println!(
         "Kalman observer: FRODO computes {} elements/step, the full-range baseline {}",
         frodo_prog.computed_elements(),

@@ -13,10 +13,12 @@
 //!                [--ledger | --ledger-out F] [--incremental [--region-max N]]
 //! frodo serve    [--socket PATH|--tcp ADDR] [--workers N] [--queue-cap N]
 //!                [--cache-cap BYTES] [--cache-dir D] [--ledger | --ledger-out F]
-//! frodo client   [--socket PATH|--tcp ADDR] compile|lint|batch|status|shutdown ...
+//! frodo client   [--socket PATH|--tcp ADDR] compile|recompile|lint|batch|status|metrics|shutdown ...
 //! frodo obs      export|diff|report               trace exports, cross-run perf diffs
 //! frodo simulate <model> [--seed N] [--steps N]    reference simulation
 //! frodo bench    <model> [--native]                compare the four generators
+//! frodo calibrate [--steps N] [--native [--iters N]] [--check BANDS]
+//!                [--ledger | --ledger-out F]       cost-model calibration
 //! frodo convert  <in.{slx,mdl}> <out.{slx,mdl}>    format conversion
 //! frodo demo     <name> <out.{slx,mdl}>            export a Table-1 benchmark
 //! frodo list                                       list bundled benchmarks
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
         Some("client") => frodo::serve::cli::cmd_client(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
@@ -76,9 +79,9 @@ fn print_usage() {
          USAGE:\n\
          \x20 frodo analyze  <model.{{slx,mdl}}>\n\
          \x20 frodo lint     <model> [--format human|json|sarif]\n\
-         \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [--vectorize M] [-o out.c]\n\
+         \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [--vectorize M] [--profile] [-o out.c]\n\
          \x20 frodo compile  <model> [-s STYLE] [--threads N] [--engine recursive|iterative|parallel]\n\
-         \x20                [--vectorize auto|off|hints|batch[:W]] [--window-reuse]\n\
+         \x20                [--vectorize auto|off|hints|batch[:W]] [--window-reuse] [--profile]\n\
          \x20                [--verify] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
          \x20 frodo batch    <models...> [--workers N] [--threads N] [--verify] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
          \x20                [--vectorize M] [--window-reuse] [--trace] [--trace-out out.ndjson] [--incremental [--region-max N]]\n\
@@ -86,15 +89,16 @@ fn print_usage() {
          \x20                [--cache-dir DIR] [--ledger | --ledger-out F]\n\
          \x20 frodo client   [--socket PATH|--tcp ADDR] compile <model> [-s STYLE] [--threads N] [--verify] [--timeout MS] [-o out.c]\n\
          \x20 frodo client   [--socket PATH|--tcp ADDR] batch <models...> [-s STYLES|all] [-o DIR]\n\
-         \x20 frodo client   [--socket PATH|--tcp ADDR] lint <model> | status | shutdown\n\
+         \x20 frodo client   [--socket PATH|--tcp ADDR] lint <model> | status | metrics | shutdown\n\
          \x20 frodo simulate <model> [--seed N] [--steps N]\n\
          \x20 frodo bench    <model> [--native]\n\
+         \x20 frodo calibrate [--steps N] [--native [--iters N]] [--check BANDS.ndjson] [--ledger | --ledger-out F]\n\
          \x20 frodo verify   <model> [--seeds N] [--steps N]\n\
          \x20 frodo convert  <in.{{slx,mdl}}> <out.{{slx,mdl}}>\n\
          \x20 frodo demo     <benchmark-name> <out.{{slx,mdl}}>\n\
          \x20 frodo obs      export <trace.ndjson> [--format chrome|collapsed|ndjson] [-o out]\n\
          \x20 frodo obs      diff <OLD> <NEW> [--fail-over PCT]   (ledger files or raw traces)\n\
-         \x20 frodo obs      report <ledger.ndjson>\n\
+         \x20 frodo obs      report <ledger.ndjson> [--strict]\n\
          \x20 frodo list\n\
          \n\
          compile and batch accept --ledger (append a perf-ledger entry to\n\
@@ -108,7 +112,12 @@ fn print_usage() {
          reports F0xx model diagnostics (exit 1 on errors, not warnings).\n\
          --vectorize shapes loops for SIMD (hints adds restrict/alignment,\n\
          batch[:W] emits W-wide bodies); --window-reuse rewrites sliding-\n\
-         window statements into delta updates over a persistent ring buffer."
+         window statements into delta updates over a persistent ring buffer.\n\
+         --profile emits self-profiling C: per-statement call counts, wall\n\
+         nanoseconds, and FLOP tallies, dumped as obs-schema NDJSON by the\n\
+         generated frodo_prof_dump() (the harness dumps to stderr on exit);\n\
+         frodo calibrate joins such measurements against the cost model and\n\
+         gates per-kind drift with --check CALIBRATION_BANDS.ndjson."
     );
 }
 
@@ -287,6 +296,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         frodo::codegen::CEmitOptions {
             shared_conv_helper: shared,
             vectorize: vector_mode(args)?,
+            profile: args.iter().any(|a| a == "--profile"),
         },
     );
     match flag_value(args, &["-o", "--output"]) {
@@ -321,7 +331,6 @@ fn job_spec_for(model_ref: &str, style: GeneratorStyle) -> Result<JobSpec, Strin
         )),
     }
 }
-
 
 /// Parses `--threads N` (`0` or absent means auto: one per available core,
 /// split across batch workers).
@@ -372,9 +381,28 @@ fn service_config(args: &[String]) -> Result<ServiceConfig, String> {
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     let pos = positionals(
         args,
-        &["-s", "--style", "--threads", "-t", "--engine", "--cache-dir", "--workers", "-j",
-            "--trace", "-o", "--output", "--ledger-out", "--vectorize"],
-        &["--no-cache", "--ledger", "--verify", "--window-reuse"],
+        &[
+            "-s",
+            "--style",
+            "--threads",
+            "-t",
+            "--engine",
+            "--cache-dir",
+            "--workers",
+            "-j",
+            "--trace",
+            "-o",
+            "--output",
+            "--ledger-out",
+            "--vectorize",
+        ],
+        &[
+            "--no-cache",
+            "--ledger",
+            "--verify",
+            "--window-reuse",
+            "--profile",
+        ],
     );
     let model_ref = pos.first().ok_or("compile: missing model path or name")?;
     let style = match flag_value(args, &["-s", "--style"]) {
@@ -393,6 +421,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             .verify(args.iter().any(|a| a == "--verify"))
             .vectorize(vector_mode(args)?)
             .window_reuse(args.iter().any(|a| a == "--window-reuse"))
+            .profile(args.iter().any(|a| a == "--profile"))
             .build(),
     );
     if let Some(t) = &trace {
@@ -479,10 +508,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let styles: Vec<GeneratorStyle> = match flag_value(args, &["-s", "--styles", "--style"]) {
         None => vec![GeneratorStyle::Frodo],
         Some("all") => GeneratorStyle::ALL.to_vec(),
-        Some(list) => list
-            .split(',')
-            .map(parse_style)
-            .collect::<Result<_, _>>()?,
+        Some(list) => list.split(',').map(parse_style).collect::<Result<_, _>>()?,
     };
     let out_dir = flag_value(args, &["-o", "--output"]);
     let machine = args.iter().any(|a| a == "--machine");
@@ -493,11 +519,33 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     // positional args are model references; flag values are not
     let model_refs = positionals(
         args,
-        &["--workers", "-j", "--threads", "-t", "--engine", "--cache-dir", "-s", "--styles",
-            "--style", "-o", "--output", "--trace-out", "--ledger-out", "--region-max",
-            "--vectorize"],
-        &["--no-cache", "--machine", "--trace", "--ledger", "--verify", "--incremental",
-            "--window-reuse"],
+        &[
+            "--workers",
+            "-j",
+            "--threads",
+            "-t",
+            "--engine",
+            "--cache-dir",
+            "-s",
+            "--styles",
+            "--style",
+            "-o",
+            "--output",
+            "--trace-out",
+            "--ledger-out",
+            "--region-max",
+            "--vectorize",
+        ],
+        &[
+            "--no-cache",
+            "--machine",
+            "--trace",
+            "--ledger",
+            "--verify",
+            "--incremental",
+            "--window-reuse",
+            "--profile",
+        ],
     );
     if model_refs.is_empty() {
         return Err("batch: no models given (paths or benchmark names; see 'frodo list')".into());
@@ -510,6 +558,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .verify(args.iter().any(|a| a == "--verify"))
         .vectorize(vector_mode(args)?)
         .window_reuse(args.iter().any(|a| a == "--window-reuse"))
+        .profile(args.iter().any(|a| a == "--profile"))
         .build();
     if args.iter().any(|a| a == "--incremental") {
         return cmd_batch_incremental(args, &model_refs, &styles, options);
@@ -565,7 +614,11 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
 
     if report.failed() > 0 {
-        Err(format!("{} of {} jobs failed", report.failed(), report.jobs.len()))
+        Err(format!(
+            "{} of {} jobs failed",
+            report.failed(),
+            report.jobs.len()
+        ))
     } else {
         Ok(())
     }
@@ -672,10 +725,16 @@ fn cmd_batch_incremental(
     }
     if let (Some(path), Some(t)) = (trace_out, &last_trace) {
         std::fs::write(path, t.to_ndjson()).map_err(|e| format!("{path}: {e}"))?;
-        eprintln!("wrote final job's trace to {path} ({} spans)", t.span_count());
+        eprintln!(
+            "wrote final job's trace to {path} ({} spans)",
+            t.span_count()
+        );
     }
     if let Some(path) = &ledger {
-        eprintln!("appended {ledger_entries} ledger entries to {}", path.display());
+        eprintln!(
+            "appended {ledger_entries} ledger entries to {}",
+            path.display()
+        );
     }
     if let Some(dir) = out_dir {
         eprintln!("wrote {wrote} C files to {dir}");
@@ -694,7 +753,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(1);
     let model = load_model(path)?;
-    let dfg = frodo::graph::Dfg::new(model, &frodo_obs::Trace::noop()).map_err(|e| e.to_string())?;
+    let dfg =
+        frodo::graph::Dfg::new(model, &frodo_obs::Trace::noop()).map_err(|e| e.to_string())?;
     let mut sim = ReferenceSimulator::new(dfg.clone());
     for step in 0..steps {
         let inputs = workload::random_inputs(&dfg, seed.wrapping_add(step as u64));
@@ -742,6 +802,59 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             let r = native::compile_and_run(&p, style, 10_000).map_err(|e| e.to_string())?;
             println!("{:<10} {:>12.0} ns/iter", style.label(), r.ns_per_iter);
         }
+    }
+    Ok(())
+}
+
+/// Cost-model calibration: runs the Table-1 suite's FRODO programs under
+/// the profiled VM (or self-profiling native binaries with `--native`),
+/// joins measured per-statement costs against [`CostModel`] predictions,
+/// and prints per-kind p50/p95 measured/predicted ratios. `--check FILE`
+/// exits nonzero when a kind's p50 leaves its committed tolerance band;
+/// `--ledger`/`--ledger-out` append the report as a perf-ledger entry.
+fn cmd_calibrate(args: &[String]) -> Result<(), String> {
+    use frodo::bench::calibrate;
+    let steps: usize = flag_value(args, &["--steps"])
+        .map(|s| s.parse().map_err(|_| "bad --steps".to_string()))
+        .transpose()?
+        .unwrap_or(5);
+    let start = std::time::Instant::now();
+    let report = if args.iter().any(|a| a == "--native") {
+        if !native::gcc_available() {
+            return Err("calibrate: --native requested but gcc is unavailable".into());
+        }
+        let iters: usize = flag_value(args, &["--iters"])
+            .map(|s| s.parse().map_err(|_| "bad --iters".to_string()))
+            .transpose()?
+            .unwrap_or(200);
+        calibrate::calibrate_native(iters).map_err(|e| e.to_string())?
+    } else {
+        calibrate::calibrate_vm(steps)
+    };
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    print!("{}", report.render());
+    if let Some(path) = ledger_path(args) {
+        let entry = report.ledger_entry(wall_ns);
+        frodo::obs::append_entry(&path, &entry)?;
+        eprintln!("appended calibration entry to {}", path.display());
+    }
+    if let Some(path) = flag_value(args, &["--check"]) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let bands = calibrate::parse_bands(&text).map_err(|e| format!("{path}: {e}"))?;
+        let violations = calibrate::check_bands(&report, &bands);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("calibrate: {v}");
+            }
+            return Err(format!(
+                "{} calibration band violation(s) against {path}",
+                violations.len()
+            ));
+        }
+        eprintln!(
+            "all {} kinds inside their bands ({path})",
+            report.kinds.len()
+        );
     }
     Ok(())
 }
@@ -796,11 +909,19 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     );
     let mut ok = true;
     for (style, worst) in GeneratorStyle::ALL.iter().zip(&worst_by_style) {
-        let verdict = if *worst < 1e-9 { "consistent" } else { "DEVIATES" };
+        let verdict = if *worst < 1e-9 {
+            "consistent"
+        } else {
+            "DEVIATES"
+        };
         if *worst >= 1e-9 {
             ok = false;
         }
-        println!("  {:<10} max deviation {:>10.2e}  {verdict}", style.label(), worst);
+        println!(
+            "  {:<10} max deviation {:>10.2e}  {verdict}",
+            style.label(),
+            worst
+        );
     }
     if ok {
         println!("all generators are consistent with model simulation");
@@ -896,7 +1017,9 @@ fn diff_side(path: &str) -> Result<frodo::obs::LedgerEntry, String> {
         .max()
         .unwrap_or(0);
     let agg = frodo::obs::aggregate(&snap);
-    Ok(frodo::obs::LedgerEntry::from_agg(&agg, path, "trace", 0, 0, wall_ns))
+    Ok(frodo::obs::LedgerEntry::from_agg(
+        &agg, path, "trace", 0, 0, wall_ns,
+    ))
 }
 
 fn cmd_obs_diff(args: &[String]) -> Result<(), String> {
@@ -925,9 +1048,27 @@ fn cmd_obs_diff(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_obs_report(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("obs report: missing ledger file")?;
+    let strict = args.iter().any(|a| a == "--strict");
+    let pos = positionals(args, &[], &["--strict"]);
+    let path = *pos.first().ok_or("obs report: missing ledger file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let entries = frodo::obs::read_ledger(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Parse line by line so one corrupt line (a truncated write, a
+    // foreign tool appending to the same file) degrades to a warning
+    // instead of hiding every other entry behind a hard error.
+    let mut entries = Vec::new();
+    let mut skipped = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match frodo::obs::LedgerEntry::from_line(line) {
+            Ok(entry) => entries.push(entry),
+            Err(e) => {
+                skipped += 1;
+                eprintln!("obs report: {path} line {}: skipping: {e}", i + 1);
+            }
+        }
+    }
     if entries.is_empty() {
         return Err(format!("{path}: ledger file has no entries"));
     }
@@ -964,7 +1105,16 @@ fn cmd_obs_report(args: &[String]) -> Result<(), String> {
             region
         );
     }
-    println!("{} entr{} in {path}", entries.len(), if entries.len() == 1 { "y" } else { "ies" });
+    println!(
+        "{} entr{} in {path}",
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" }
+    );
+    if strict && skipped > 0 {
+        return Err(format!(
+            "obs report: {skipped} unparseable ledger line(s) in {path} (--strict)"
+        ));
+    }
     Ok(())
 }
 

@@ -14,6 +14,7 @@
 //! | [`codegen`] | `frodo-codegen` | loop IR, generator styles, C emission |
 //! | [`sim`] | `frodo-sim` | reference simulator, VM, cost models, native runs |
 //! | [`benchmodels`] | `frodo-benchmodels` | the paper's Table-1 suite |
+//! | [`bench`] | `frodo-bench` | benchmark harness + cost-model calibration |
 //! | [`driver`] | `frodo-driver` | batch compile service: worker pool, artifact cache, metrics |
 //! | [`serve`] | `frodo-serve` | persistent compile daemon: NDJSON socket protocol, admission control |
 //! | [`obs`] | `frodo-obs` | observability: trace spans, counters, stage timings, NDJSON export |
@@ -49,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use frodo_bench as bench;
 pub use frodo_benchmodels as benchmodels;
 pub use frodo_codegen as codegen;
 pub use frodo_core as core;

@@ -86,7 +86,11 @@ fn all_styles_agree_and_formats_roundtrip() {
     for select in [(0usize, 32usize), (10, 18), (4, 24)] {
         let m = model(select);
         assert_eq!(
-            frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap(), &frodo_obs::Trace::noop()).unwrap(),
+            frodo::slx::read_slx(
+                &frodo::slx::write_slx(&m).unwrap(),
+                &frodo_obs::Trace::noop()
+            )
+            .unwrap(),
             m
         );
         let analysis = Analysis::run(m).unwrap();

@@ -30,7 +30,11 @@ fn demo_analyze_build_pipeline() {
         .args(["demo", "HT", slx.to_str().unwrap()])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = frodo()
         .args(["analyze", slx.to_str().unwrap()])
@@ -59,7 +63,11 @@ fn demo_analyze_build_pipeline() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let c = std::fs::read_to_string(&c_out).expect("C file written");
     assert!(c.contains("void HT_step("));
 
@@ -90,7 +98,8 @@ fn convert_roundtrips_between_formats() {
         .success());
     // both .slx files decode to the same model
     let a = frodo::slx::read_slx(&std::fs::read(&slx).unwrap(), &frodo_obs::Trace::noop()).unwrap();
-    let b = frodo::slx::read_slx(&std::fs::read(&slx2).unwrap(), &frodo_obs::Trace::noop()).unwrap();
+    let b =
+        frodo::slx::read_slx(&std::fs::read(&slx2).unwrap(), &frodo_obs::Trace::noop()).unwrap();
     assert_eq!(a, b);
 
     for p in [slx, mdl, slx2] {
@@ -107,7 +116,14 @@ fn verify_reports_consistency() {
         .expect("runs")
         .success());
     let out = frodo()
-        .args(["verify", mdl.to_str().unwrap(), "--seeds", "4", "--steps", "2"])
+        .args([
+            "verify",
+            mdl.to_str().unwrap(),
+            "--seeds",
+            "4",
+            "--steps",
+            "2",
+        ])
         .output()
         .expect("runs");
     assert!(out.status.success());
@@ -133,10 +149,18 @@ fn compile_trace_writes_parseable_ndjson() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&ndjson).expect("trace file written");
     let stats = frodo::obs::ndjson::validate(&text).expect("NDJSON parses");
-    assert!(stats.spans >= 12, "job root + 11 stages, got {}", stats.spans);
+    assert!(
+        stats.spans >= 12,
+        "job root + 11 stages, got {}",
+        stats.spans
+    );
     for stage in frodo::obs::STAGE_NAMES {
         assert!(
             text.contains(&format!("\"name\":\"{stage}\"")),
@@ -153,7 +177,11 @@ fn batch_trace_prints_the_span_tree() {
         .args(["batch", "Kalman", "HT", "--trace"])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("span tree:"));
     assert!(text.contains("job:Kalman"));
@@ -185,7 +213,14 @@ fn simulate_prints_outputs() {
         .expect("runs")
         .success());
     let out = frodo()
-        .args(["simulate", mdl.to_str().unwrap(), "--steps", "2", "--seed", "3"])
+        .args([
+            "simulate",
+            mdl.to_str().unwrap(),
+            "--steps",
+            "2",
+            "--seed",
+            "3",
+        ])
         .output()
         .expect("runs");
     assert!(out.status.success());
@@ -214,7 +249,11 @@ fn obs_diff_proves_counter_determinism_of_two_compiles() {
             ])
             .output()
             .expect("runs");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
     let out = frodo()
         .args([
@@ -257,14 +296,29 @@ fn obs_diff_catches_injected_drift() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // corrupt one deterministic counter in the second trace
     let text = std::fs::read_to_string(&a).expect("trace written");
-    let corrupted = text.replacen("\"name\":\"stmts\",\"value\":", "\"name\":\"stmts\",\"value\":9", 1);
+    let corrupted = text.replacen(
+        "\"name\":\"stmts\",\"value\":",
+        "\"name\":\"stmts\",\"value\":9",
+        1,
+    );
     assert_ne!(text, corrupted, "expected a stmts counter to corrupt");
     std::fs::write(&b, corrupted).expect("write corrupted trace");
     let out = frodo()
-        .args(["obs", "diff", a.to_str().unwrap(), b.to_str().unwrap(), "--fail-over", "0"])
+        .args([
+            "obs",
+            "diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--fail-over",
+            "0",
+        ])
         .output()
         .expect("runs");
     assert!(!out.status.success(), "injected drift must fail the gate");
@@ -290,7 +344,11 @@ fn obs_export_renders_chrome_and_collapsed() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = frodo()
         .args([
@@ -304,13 +362,23 @@ fn obs_export_renders_chrome_and_collapsed() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let doc = std::fs::read_to_string(&chrome).expect("chrome export written");
     let fields = frodo::obs::ndjson::parse_line(&doc).expect("valid trace_event JSON");
     assert!(fields.iter().any(|(k, _)| k == "traceEvents"));
 
     let out = frodo()
-        .args(["obs", "export", trace.to_str().unwrap(), "--format", "collapsed"])
+        .args([
+            "obs",
+            "export",
+            trace.to_str().unwrap(),
+            "--format",
+            "collapsed",
+        ])
         .output()
         .expect("runs");
     assert!(out.status.success());
@@ -343,13 +411,20 @@ fn batch_ledger_entries_diff_clean_across_runs() {
             ])
             .output()
             .expect("runs");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
     let text = std::fs::read_to_string(&ledger).expect("ledger written");
     let entries = frodo::obs::read_ledger(&text).expect("ledger parses");
     assert_eq!(entries.len(), 2);
     assert_eq!(entries[0].jobs, 3);
-    assert!(entries[0].svc.is_some(), "batch entries carry service metrics");
+    assert!(
+        entries[0].svc.is_some(),
+        "batch entries carry service metrics"
+    );
 
     // the two consecutive runs are counter-identical
     let first = temp_path("suite-l1.ndjson");
@@ -386,4 +461,63 @@ fn batch_ledger_entries_diff_clean_across_runs() {
     for p in [&ledger, &first, &second] {
         let _ = std::fs::remove_file(p);
     }
+}
+
+#[test]
+fn obs_report_warns_on_corrupt_lines_and_strict_exits_nonzero() {
+    let ledger = temp_path("corrupt-ledger.ndjson");
+    let _ = std::fs::remove_file(&ledger);
+    let out = frodo()
+        .args(["batch", "Kalman", "--ledger-out", ledger.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // splice a corrupt line between two good entries
+    let good = std::fs::read_to_string(&ledger).expect("ledger written");
+    let good = good.trim_end();
+    std::fs::write(
+        &ledger,
+        format!("{good}\nthis is not a ledger line\n{good}\n"),
+    )
+    .expect("rewrite ledger");
+
+    // lenient mode: warn with the 1-based line index, report the rest
+    let out = frodo()
+        .args(["obs", "report", ledger.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 2"),
+        "warning names the bad line: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("2 entries"),
+        "good entries still render: {stdout}"
+    );
+
+    // strict mode: same report, nonzero exit
+    let out = frodo()
+        .args(["obs", "report", ledger.to_str().unwrap(), "--strict"])
+        .output()
+        .expect("runs");
+    assert!(
+        !out.status.success(),
+        "--strict exits nonzero on corrupt lines"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unparseable"), "{stderr}");
+
+    let _ = std::fs::remove_file(&ledger);
 }

@@ -79,8 +79,15 @@ fn all_styles_agree_on_downsample() {
 fn downsample_roundtrips_through_formats() {
     let m = model();
     assert_eq!(
-        frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap(), &frodo_obs::Trace::noop()).unwrap(),
+        frodo::slx::read_slx(
+            &frodo::slx::write_slx(&m).unwrap(),
+            &frodo_obs::Trace::noop()
+        )
+        .unwrap(),
         m
     );
-    assert_eq!(frodo::slx::read_mdl(&frodo::slx::write_mdl(&m), &frodo_obs::Trace::noop()).unwrap(), m);
+    assert_eq!(
+        frodo::slx::read_mdl(&frodo::slx::write_mdl(&m), &frodo_obs::Trace::noop()).unwrap(),
+        m
+    );
 }

@@ -42,7 +42,8 @@ fn parallel_batch_is_byte_identical_to_sequential() {
     for (expected, job) in reference.iter().zip(&report.jobs) {
         let out = job.as_ref().expect("suite compiles");
         assert_eq!(
-            &out.code, expected,
+            &out.code,
+            expected,
             "{}/{} differs between parallel and sequential compilation",
             out.report.job,
             out.report.style.label()
@@ -70,7 +71,8 @@ fn traced_parallel_batch_is_byte_identical_and_records_every_job() {
     for (a, b) in reference.jobs.iter().zip(&report.jobs) {
         let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
         assert_eq!(
-            a.code, b.code,
+            a.code,
+            b.code,
             "{}/{} differs with tracing enabled",
             b.report.job,
             b.report.style.label()
@@ -80,9 +82,15 @@ fn traced_parallel_batch_is_byte_identical_and_records_every_job() {
     // the shared trace holds one job subtree per (model, style) pair,
     // and the report can render it
     let snap = trace.snapshot();
-    let job_spans = snap.spans.iter().filter(|s| s.name.starts_with("job:")).count();
+    let job_spans = snap
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("job:"))
+        .count();
     assert_eq!(job_spans, 40);
-    let tree = report.render_trace().expect("traced batches carry their trace");
+    let tree = report
+        .render_trace()
+        .expect("traced batches carry their trace");
     assert!(tree.contains("batch"));
     assert!(tree.contains("job:Kalman"));
 }

@@ -47,7 +47,11 @@ fn folded_programs_still_match_simulation() {
     let raw: Vec<Vec<f64>> = inputs.iter().map(|t| t.data().to_vec()).collect();
     let mut oracle = ReferenceSimulator::new(dfg);
     let expected = oracle.step(&inputs).unwrap();
-    let p = fold_expressions(&generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()));
+    let p = fold_expressions(&generate(
+        &analysis,
+        GeneratorStyle::Frodo,
+        &frodo_obs::Trace::noop(),
+    ));
     let got = Vm::new(&p).step(&p, &raw);
     for (g, e) in got.iter().zip(&expected) {
         let worst = g

@@ -9,7 +9,8 @@ use frodo::slx::{read_mdl, read_slx, write_mdl, write_slx};
 fn all_benchmarks_roundtrip_through_slx() {
     for bench in frodo::benchmodels::all() {
         let bytes = write_slx(&bench.model).expect("serialize");
-        let back = read_slx(&bytes, &frodo_obs::Trace::noop()).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let back = read_slx(&bytes, &frodo_obs::Trace::noop())
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         assert_eq!(
             back, bench.model,
             "{} differs after .slx roundtrip",
@@ -22,7 +23,8 @@ fn all_benchmarks_roundtrip_through_slx() {
 fn all_benchmarks_roundtrip_through_mdl() {
     for bench in frodo::benchmodels::all() {
         let text = write_mdl(&bench.model);
-        let back = read_mdl(&text, &frodo_obs::Trace::noop()).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let back = read_mdl(&text, &frodo_obs::Trace::noop())
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         assert_eq!(
             back, bench.model,
             "{} differs after .mdl roundtrip",
@@ -37,7 +39,11 @@ fn slx_reread_models_produce_identical_analyses() {
     // re-parsed model must match ranges from the in-memory original
     for bench in frodo::benchmodels::all() {
         let original = Analysis::run(bench.model.clone()).expect("analyze original");
-        let reread = read_slx(&write_slx(&bench.model).expect("serialize"), &frodo_obs::Trace::noop()).expect("reparse");
+        let reread = read_slx(
+            &write_slx(&bench.model).expect("serialize"),
+            &frodo_obs::Trace::noop(),
+        )
+        .expect("reparse");
         let reparsed = Analysis::run(reread).expect("analyze reparsed");
         assert_eq!(
             original.ranges(),
@@ -51,8 +57,13 @@ fn slx_reread_models_produce_identical_analyses() {
 #[test]
 fn slx_and_mdl_agree_with_each_other() {
     for bench in frodo::benchmodels::all() {
-        let via_slx = read_slx(&write_slx(&bench.model).expect("slx"), &frodo_obs::Trace::noop()).expect("slx back");
-        let via_mdl = read_mdl(&write_mdl(&bench.model), &frodo_obs::Trace::noop()).expect("mdl back");
+        let via_slx = read_slx(
+            &write_slx(&bench.model).expect("slx"),
+            &frodo_obs::Trace::noop(),
+        )
+        .expect("slx back");
+        let via_mdl =
+            read_mdl(&write_mdl(&bench.model), &frodo_obs::Trace::noop()).expect("mdl back");
         assert_eq!(via_slx, via_mdl, "{}: formats disagree", bench.name);
     }
 }
@@ -62,7 +73,8 @@ fn generated_code_is_stable_across_container_roundtrip() {
     // C text generated from the re-read model is byte-identical
     let bench = frodo::benchmodels::manufacture();
     let original = Analysis::run(bench.clone()).expect("analyze");
-    let reread = read_slx(&write_slx(&bench).expect("slx"), &frodo_obs::Trace::noop()).expect("back");
+    let reread =
+        read_slx(&write_slx(&bench).expect("slx"), &frodo_obs::Trace::noop()).expect("back");
     let reparsed = Analysis::run(reread).expect("analyze");
     for style in GeneratorStyle::ALL {
         let a = emit_c(&generate(&original, style, &frodo_obs::Trace::noop()));

@@ -426,10 +426,17 @@ fn all_styles_match_simulation_on_every_block_kind() {
 fn kitchen_sink_roundtrips_both_formats() {
     let m = kitchen_sink();
     assert_eq!(
-        frodo::slx::read_slx(&frodo::slx::write_slx(&m).unwrap(), &frodo_obs::Trace::noop()).unwrap(),
+        frodo::slx::read_slx(
+            &frodo::slx::write_slx(&m).unwrap(),
+            &frodo_obs::Trace::noop()
+        )
+        .unwrap(),
         m
     );
-    assert_eq!(frodo::slx::read_mdl(&frodo::slx::write_mdl(&m), &frodo_obs::Trace::noop()).unwrap(), m);
+    assert_eq!(
+        frodo::slx::read_mdl(&frodo::slx::write_mdl(&m), &frodo_obs::Trace::noop()).unwrap(),
+        m
+    );
 }
 
 #[test]

@@ -89,7 +89,11 @@ fn native_gcc_vector_modes_and_window_reuse_match_scalar() {
             scalar.checksum
         );
     };
-    for mode in [VectorMode::Hints, VectorMode::Batch(8), VectorMode::Batch(2)] {
+    for mode in [
+        VectorMode::Hints,
+        VectorMode::Batch(8),
+        VectorMode::Batch(2),
+    ] {
         let r = native::compile_and_run_with(
             &program,
             GeneratorStyle::Frodo,

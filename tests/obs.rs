@@ -25,8 +25,10 @@ fn traced_compile() -> Trace {
 fn stage_names_are_the_canonical_eleven() {
     assert_eq!(
         frodo::obs::STAGE_NAMES,
-        ["parse", "flatten", "hash", "cache", "dfg", "iomap", "ranges", "classify", "lower",
-            "verify", "emit"]
+        [
+            "parse", "flatten", "hash", "cache", "dfg", "iomap", "ranges", "classify", "lower",
+            "verify", "emit"
+        ]
     );
 }
 
@@ -35,7 +37,11 @@ fn ndjson_export_validates_and_covers_every_stage() {
     let trace = traced_compile();
     let text = trace.to_ndjson();
     let stats = ndjson::validate(&text).expect("every line parses with required fields");
-    assert!(stats.spans >= 11, "job root + 10 stages, got {}", stats.spans);
+    assert!(
+        stats.spans >= 11,
+        "job root + 10 stages, got {}",
+        stats.spans
+    );
     assert!(stats.counters > 0);
 
     for stage in frodo::obs::STAGE_NAMES {
@@ -54,8 +60,17 @@ fn span_lines_keep_their_field_names() {
         .lines()
         .find(|l| l.contains("\"type\":\"span\""))
         .expect("at least one span line");
-    for field in ["\"id\":", "\"parent\":", "\"name\":", "\"start_ns\":", "\"dur_ns\":"] {
-        assert!(span_line.contains(field), "span line lost {field}: {span_line}");
+    for field in [
+        "\"id\":",
+        "\"parent\":",
+        "\"name\":",
+        "\"start_ns\":",
+        "\"dur_ns\":",
+    ] {
+        assert!(
+            span_line.contains(field),
+            "span line lost {field}: {span_line}"
+        );
     }
     let counter_line = text
         .lines()
@@ -132,7 +147,11 @@ fn chrome_trace_export_is_valid_trace_event_json() {
     assert_eq!(events.len(), trace.span_count());
     let mut stage_events = 0;
     for ev in events {
-        assert_eq!(ev.field("ph").and_then(|v| v.as_str()), Some("X"), "complete events only");
+        assert_eq!(
+            ev.field("ph").and_then(|v| v.as_str()),
+            Some("X"),
+            "complete events only"
+        );
         assert_eq!(ev.field("pid").and_then(|v| v.as_num()), Some(1.0));
         assert!(ev.field("name").and_then(|v| v.as_str()).is_some());
         assert!(ev.field("ts").and_then(|v| v.as_num()).is_some());
@@ -152,8 +171,14 @@ fn chrome_trace_export_is_valid_trace_event_json() {
 fn collapsed_export_covers_algorithm1() {
     let text = traced_compile().to_collapsed();
     // Algorithm 1's stages appear as frames under the job root
-    assert!(text.contains("job:Kalman;ranges "), "missing ranges frame:\n{text}");
-    assert!(text.contains("job:Kalman;iomap"), "missing iomap frame:\n{text}");
+    assert!(
+        text.contains("job:Kalman;ranges "),
+        "missing ranges frame:\n{text}"
+    );
+    assert!(
+        text.contains("job:Kalman;iomap"),
+        "missing iomap frame:\n{text}"
+    );
     for line in text.lines() {
         let (_stack, value) = line.rsplit_once(' ').expect("stack + self time");
         value.parse::<u64>().expect("integer self nanoseconds");

@@ -26,7 +26,11 @@ fn subjects() -> Vec<(String, Model)> {
 #[test]
 fn all_three_engines_agree_on_every_benchmark_model() {
     for (name, model) in subjects() {
-        let dfg = Dfg::new(model.flattened(&frodo_obs::Trace::noop()).unwrap(), &frodo_obs::Trace::noop()).unwrap();
+        let dfg = Dfg::new(
+            model.flattened(&frodo_obs::Trace::noop()).unwrap(),
+            &frodo_obs::Trace::noop(),
+        )
+        .unwrap();
         let maps = IoMappings::derive(&dfg);
         for dead_ends in [false, true] {
             let base = RangeOptions {
@@ -106,7 +110,11 @@ fn compile_service_output_is_invariant_under_intra_threads() {
         let mut outputs = Vec::new();
         for intra_threads in [1, 4] {
             let spec = JobSpec::from_model(&name, model.clone(), GeneratorStyle::Frodo)
-                .with_options(CompileOptions::builder().intra_threads(intra_threads).build());
+                .with_options(
+                    CompileOptions::builder()
+                        .intra_threads(intra_threads)
+                        .build(),
+                );
             outputs.push(service.compile(spec).unwrap());
         }
         assert_eq!(

@@ -73,11 +73,15 @@ fn engines_agree_on_random_models() {
 fn random_models_roundtrip_both_formats() {
     for seed in MODEL_SEEDS {
         let model = random_model(seed, 30);
-        let via_slx = frodo::slx::read_slx(&frodo::slx::write_slx(&model).unwrap(), &frodo_obs::Trace::noop())
-            .unwrap_or_else(|e| panic!("seed {seed} slx: {e}"));
+        let via_slx = frodo::slx::read_slx(
+            &frodo::slx::write_slx(&model).unwrap(),
+            &frodo_obs::Trace::noop(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed} slx: {e}"));
         assert_eq!(via_slx, model, "seed {seed}: slx roundtrip");
-        let via_mdl = frodo::slx::read_mdl(&frodo::slx::write_mdl(&model), &frodo_obs::Trace::noop())
-            .unwrap_or_else(|e| panic!("seed {seed} mdl: {e}"));
+        let via_mdl =
+            frodo::slx::read_mdl(&frodo::slx::write_mdl(&model), &frodo_obs::Trace::noop())
+                .unwrap_or_else(|e| panic!("seed {seed} mdl: {e}"));
         assert_eq!(via_mdl, model, "seed {seed}: mdl roundtrip");
     }
 }
@@ -88,8 +92,14 @@ fn frodo_never_computes_more_than_baselines() {
     for seed in MODEL_SEEDS {
         let model = random_model(seed, 30);
         let analysis = Analysis::run(model).unwrap();
-        let frodo = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop()).computed_elements();
-        let base = generate(&analysis, GeneratorStyle::DfSynth, &frodo_obs::Trace::noop()).computed_elements();
+        let frodo = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop())
+            .computed_elements();
+        let base = generate(
+            &analysis,
+            GeneratorStyle::DfSynth,
+            &frodo_obs::Trace::noop(),
+        )
+        .computed_elements();
         assert!(
             frodo <= base,
             "seed {seed}: FRODO computes {frodo} > baseline {base}"

@@ -36,8 +36,7 @@ fn str_field(line: &str, key: &str) -> String {
 
 fn num_field(line: &str, key: &str) -> f64 {
     let fields = ndjson::parse_line(line).expect("response parses");
-    ndjson::get_num(&fields, key)
-        .unwrap_or_else(|| panic!("response has no \"{key}\": {line}"))
+    ndjson::get_num(&fields, key).unwrap_or_else(|| panic!("response has no \"{key}\": {line}"))
 }
 
 #[test]
@@ -56,7 +55,10 @@ fn concurrent_clients_get_byte_identical_artifacts() {
             let out = one_shot
                 .compile(JobSpec::from_model(bench.name, bench.model.clone(), style))
                 .expect("suite compiles");
-            reference.insert((bench.name.to_string(), style.label().to_string()), out.code);
+            reference.insert(
+                (bench.name.to_string(), style.label().to_string()),
+                out.code,
+            );
         }
     }
 
@@ -250,7 +252,11 @@ fn saturated_queue_answers_busy_instead_of_blocking_or_dropping() {
         rejected >= 1,
         "a 12-job burst through a 1-slot queue must hit admission control: {done}"
     );
-    assert_eq!(ok + rejected, total, "every job is answered or rejected, never dropped");
+    assert_eq!(
+        ok + rejected,
+        total,
+        "every job is answered or rejected, never dropped"
+    );
     // one streamed result line per accepted job, plus the terminator
     assert_eq!(lines.len(), ok + 1);
 
@@ -267,7 +273,11 @@ fn saturated_queue_answers_busy_instead_of_blocking_or_dropping() {
                 200,
             )
             .unwrap();
-        assert_eq!(num_field(&line, "ok"), 1.0, "retried compile failed: {line}");
+        assert_eq!(
+            num_field(&line, "ok"),
+            1.0,
+            "retried compile failed: {line}"
+        );
     }
 
     // a busy line, when one is surfaced, must carry a usable retry hint
@@ -321,8 +331,15 @@ fn round_robin_admission_keeps_a_small_client_ahead_of_a_big_batch() {
                 .unwrap();
             let done = lines.last().unwrap().clone();
             assert_eq!(str_field(&done, "type"), "batch-done");
-            assert_eq!(num_field(&done, "ok"), 40.0, "10 models x 4 styles all compile");
-            finished.lock().unwrap().push(("flood".into(), Instant::now()));
+            assert_eq!(
+                num_field(&done, "ok"),
+                40.0,
+                "10 models x 4 styles all compile"
+            );
+            finished
+                .lock()
+                .unwrap()
+                .push(("flood".into(), Instant::now()));
         })
     };
     let small = {
@@ -341,8 +358,15 @@ fn round_robin_admission_keeps_a_small_client_ahead_of_a_big_batch() {
                     200,
                 )
                 .unwrap();
-            assert_eq!(num_field(&line, "ok"), 1.0, "small client's compile failed: {line}");
-            finished.lock().unwrap().push(("small".into(), Instant::now()));
+            assert_eq!(
+                num_field(&line, "ok"),
+                1.0,
+                "small client's compile failed: {line}"
+            );
+            finished
+                .lock()
+                .unwrap()
+                .push(("small".into(), Instant::now()));
         })
     };
     flood.join().expect("flood client");
@@ -359,6 +383,101 @@ fn round_robin_admission_keeps_a_small_client_ahead_of_a_big_batch() {
     client
         .request_one(&frodo::serve::client::simple_request("shutdown", None))
         .unwrap();
+    server.wait();
+}
+
+#[test]
+fn metrics_reports_rolling_windows_and_request_ids_correlate() {
+    let server = start_server("metrics", 1, 0);
+    let endpoint = server.endpoint().clone();
+    let mut client = Client::connect(&endpoint).expect("daemon is up");
+
+    // a protocol-v2 client's requests still work against the v3 daemon
+    let status = client
+        .request_one(r#"{"type":"status","proto_version":2}"#)
+        .unwrap();
+    assert_eq!(str_field(&status, "type"), "status");
+    assert_eq!(num_field(&status, "ok"), 1.0);
+
+    // every response carries a request_id; a client-supplied one is
+    // echoed back verbatim
+    let echoed = client
+        .request_one(r#"{"type":"status","request_id":424242}"#)
+        .unwrap();
+    assert_eq!(num_field(&echoed, "request_id"), 424242.0);
+    // server-assigned ids exist and are distinct across requests
+    let a = num_field(&status, "request_id");
+    let b = num_field(
+        &client
+            .request_one(&frodo::serve::client::simple_request("status", None))
+            .unwrap(),
+        "request_id",
+    );
+    assert_ne!(a, b, "server-assigned request ids must not repeat");
+
+    // a batch's whole response stream shares one request_id
+    let lines = client
+        .request_batch(r#"{"type":"batch","models":["Kalman"],"request_id":77}"#)
+        .unwrap();
+    assert!(lines.len() >= 2, "result stream plus terminator");
+    for line in &lines {
+        assert_eq!(num_field(line, "request_id"), 77.0, "{line}");
+    }
+
+    // three compiles, then the metrics verb must see them in its window
+    for _ in 0..3 {
+        let line = client
+            .request_one(&frodo::serve::client::compile_request(
+                "Kalman",
+                Some("frodo"),
+                &RequestOptions::default(),
+                None,
+            ))
+            .unwrap();
+        assert_eq!(num_field(&line, "ok"), 1.0, "compile failed: {line}");
+    }
+    let metrics = client
+        .request_one(&frodo::serve::client::simple_request("metrics", None))
+        .unwrap();
+    assert_eq!(str_field(&metrics, "type"), "metrics");
+    assert_eq!(num_field(&metrics, "ok"), 1.0);
+    assert!(num_field(&metrics, "window_secs") >= 1.0);
+    let fields = ndjson::parse_line(&metrics).unwrap();
+    let verbs = ndjson::get(&fields, "verbs")
+        .and_then(ndjson::Value::as_arr)
+        .expect("metrics carries a verbs array");
+    let compile = verbs
+        .iter()
+        .find(|v| v.field("verb").and_then(ndjson::Value::as_str) == Some("compile"))
+        .expect("compile verb is reported");
+    let vnum = |key: &str| compile.field(key).and_then(ndjson::Value::as_num).unwrap();
+    assert!(vnum("window_count") >= 3.0, "{metrics}");
+    assert!(vnum("total") >= 3.0);
+    assert!(vnum("p50_ns") > 0.0, "compiles take measurable time");
+    assert!(vnum("max_ns") >= vnum("p50_ns"));
+    // the latency histogram is parseable and consistent: bucket counts
+    // sum to the window count
+    let buckets = |key: &str| -> Vec<u64> {
+        compile
+            .field(key)
+            .and_then(ndjson::Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_num().unwrap() as u64)
+            .collect()
+    };
+    let uppers = buckets("bucket_upper");
+    let counts = buckets("bucket_count");
+    assert_eq!(uppers.len(), counts.len());
+    assert_eq!(counts.iter().sum::<u64>(), vnum("window_count") as u64);
+    for w in uppers.windows(2) {
+        assert!(w[0] < w[1], "bucket bounds ascend");
+    }
+
+    let ack = client
+        .request_one(&frodo::serve::client::simple_request("shutdown", None))
+        .unwrap();
+    assert_eq!(str_field(&ack, "type"), "shutdown");
     server.wait();
 }
 
@@ -395,7 +514,10 @@ fn shutdown_drains_the_backlog_and_removes_the_socket() {
                 ))
                 .unwrap();
             let done = lines.last().unwrap().clone();
-            (num_field(&done, "ok") as usize, num_field(&done, "rejected") as usize)
+            (
+                num_field(&done, "ok") as usize,
+                num_field(&done, "rejected") as usize,
+            )
         })
     };
 
@@ -423,10 +545,17 @@ fn shutdown_drains_the_backlog_and_removes_the_socket() {
 
     // the in-flight batch still got every result — drained, not dropped
     let (ok, rejected) = batch.join().expect("batch client");
-    assert_eq!((ok, rejected), (8, 0), "2 models x 4 styles, none shed by the drain");
+    assert_eq!(
+        (ok, rejected),
+        (8, 0),
+        "2 models x 4 styles, none shed by the drain"
+    );
 
     server.wait();
-    assert!(!socket.exists(), "the daemon removes its socket file on exit");
+    assert!(
+        !socket.exists(),
+        "the daemon removes its socket file on exit"
+    );
     assert!(
         Client::connect(&endpoint).is_err(),
         "no listener after shutdown"
@@ -440,6 +569,16 @@ fn shutdown_drains_the_backlog_and_removes_the_socket() {
     let entry = frodo::obs::LedgerEntry::from_line(lines[0]).expect("ledger line parses");
     assert_eq!(entry.label, "serve");
     let svc = entry.svc.expect("serve entries carry service metrics");
-    assert_eq!(svc.cache_hits + svc.cache_misses, 8, "every job consulted the cache");
+    assert_eq!(
+        svc.cache_hits + svc.cache_misses,
+        8,
+        "every job consulted the cache"
+    );
+    // the request-level rollup covers at least the status polls (the
+    // batch and shutdown requests are still in flight when the ledger
+    // flushes, so they may not be counted yet)
+    assert!(svc.requests_total >= 1, "{svc:?}");
+    assert!(svc.request_max_ns >= svc.request_p50_ns);
+    assert!(svc.request_max_ns > 0);
     let _ = std::fs::remove_file(&ledger);
 }

@@ -111,7 +111,11 @@ fn corrupted_range_is_rejected_as_uninitialized_read() {
         .find(|d| d.code == "F101")
         .expect("uninitialized read diagnosed");
     assert_eq!(d.block.as_deref(), Some("g"), "names the buffer read early");
-    assert!(d.message.contains("[5, 8)"), "names the interval: {}", d.message);
+    assert!(
+        d.message.contains("[5, 8)"),
+        "names the interval: {}",
+        d.message
+    );
 }
 
 #[test]
