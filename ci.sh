@@ -23,8 +23,8 @@ cargo bench -q -p frodo-bench --bench hotpath --offline -- --quick >/dev/null
 # reference path (sequential engines, sequential emitter); --verify
 # turns the opt-in verify stage on so its span is covered too
 trace_out="$(mktemp)"
-./target/release/frodo compile --threads 1 --verify --trace "$trace_out" Kalman >/dev/null
-for stage in parse flatten hash cache dfg iomap ranges classify lower verify emit; do
+./target/release/frodo compile --threads 1 --verify --analyze --trace "$trace_out" Kalman >/dev/null
+for stage in parse flatten hash cache dfg iomap ranges classify lower verify analyze emit; do
     grep -q "\"name\":\"$stage\"" "$trace_out"
 done
 # every line is one flat JSON object
@@ -38,7 +38,7 @@ fi
 # statement counts); --fail-over 0 turns wall-time gating off, so only
 # counters are compared
 trace_out2="$(mktemp)"
-./target/release/frodo compile --threads 1 --verify --trace "$trace_out2" Kalman >/dev/null
+./target/release/frodo compile --threads 1 --verify --analyze --trace "$trace_out2" Kalman >/dev/null
 ./target/release/frodo obs diff "$trace_out" "$trace_out2" --fail-over 0
 
 # the chrome-trace export of the same trace is one trace_event document
@@ -76,6 +76,61 @@ for model in AudioProcess Decryption HighPass HT Kalman Back \
             --engine "$engine" --vectorize batch --window-reuse "$model" >/dev/null
     done
 done
+
+# dataflow-analysis gate: the injected-defect selftest must catch every
+# planted bug, and every benchmark under every engine and vector mode —
+# including the window-reuse ring-buffer lowering — must come out with
+# zero findings: no numeric hazards (F2xx), no residual redundancy
+# (F204), and a schedule proved race-free (no F3xx)
+./target/release/frodo analyze --selftest >/dev/null
+for model in AudioProcess Decryption HighPass HT Kalman Back \
+    Maintenance Maunfacture RunningDiff Simpson; do
+    for engine in recursive iterative parallel; do
+        ./target/release/frodo analyze "$model" --engine "$engine" --gate >/dev/null
+    done
+    for mode in auto hints batch:8; do
+        ./target/release/frodo analyze "$model" --engine parallel \
+            --vectorize "$mode" --gate >/dev/null
+    done
+    ./target/release/frodo analyze "$model" --engine parallel \
+        --window-reuse --gate >/dev/null
+done
+# ...while the Simulink-style baseline must trip the residual detector
+# on a convolution benchmark: over-computation is real and detectable
+if ./target/release/frodo analyze HT -s simulink --gate >/dev/null 2>&1; then
+    echo "analyze gate failed to flag the over-computing baseline"
+    exit 1
+fi
+./target/release/frodo analyze HT -s simulink --format json 2>/dev/null \
+    | grep -q '"code":"F204"'
+
+# sanitizer lane: the self-profiling native harness must run clean under
+# AddressSanitizer and UndefinedBehaviorSanitizer (buffer sizing, ring
+# indices, and the profiling hooks are all exercised); probed first since
+# some toolchains ship without libasan
+if command -v gcc >/dev/null 2>&1; then
+    san_dir="$(mktemp -d)"
+    printf 'int main(void){return 0;}\n' > "$san_dir/probe.c"
+    if gcc -fsanitize=address,undefined -g -O1 -o "$san_dir/probe" \
+        "$san_dir/probe.c" >/dev/null 2>&1 && "$san_dir/probe"; then
+        for model in HT AudioProcess; do
+            ./target/release/frodo build "$model" --profile --harness 5 \
+                -o "$san_dir/harness.c"
+            gcc -fsanitize=address,undefined -fno-sanitize-recover=all \
+                -g -O1 -o "$san_dir/harness" "$san_dir/harness.c" -lm
+            "$san_dir/harness" >/dev/null 2>&1
+        done
+        # and the full Table-1 suite via the calibrate path: every
+        # benchmark's generated step function under ASan/UBSan
+        ./target/release/frodo calibrate --native --sanitize --iters 2 \
+            | grep -q "native-sanitized"
+    else
+        echo "NOTICE: gcc lacks -fsanitize=address,undefined support; skipping sanitizer lane"
+    fi
+    rm -rf "$san_dir"
+else
+    echo "NOTICE: no gcc on PATH; skipping sanitizer lane"
+fi
 
 # compile-daemon parity gate: the same jobs through a resident daemon
 # must be counter-identical to a fresh one-shot batch (serve and batch
@@ -151,10 +206,15 @@ for model in AudioProcess HighPass; do
 done
 rm -f "$ablation_out"
 
-# the SARIF rendering keeps the minimal schema code-scanning UIs need
+# the SARIF rendering keeps the minimal schema code-scanning UIs need,
+# for the model-lint families and the analyze (F2xx/F3xx/F204) families
 sarif_out="$(mktemp)"
 ./target/release/frodo lint Kalman --format sarif -o "$sarif_out"
 for key in '"version":"2.1.0"' '"\$schema"' '"name":"frodo-verify"' '"rules"'; do
+    grep -q "$key" "$sarif_out"
+done
+./target/release/frodo analyze HT -s simulink --format sarif -o "$sarif_out" >/dev/null
+for key in '"version":"2.1.0"' '"ruleId":"F204"' '"level":"warning"'; do
     grep -q "$key" "$sarif_out"
 done
 rm -f "$sarif_out"
@@ -198,7 +258,7 @@ done
     random:42:400:edit:1 --session ci-edit --threads 1 >/dev/null 2>"$inc_sock_dir/warm.err"
 grep -q 'regions 3[0-9]/3[0-9] reused' "$inc_sock_dir/warm.err"
 ./target/release/frodo client --socket "$inc_sock_dir/serve.sock" status \
-    | grep -q '"proto_version":3'
+    | grep -q '"proto_version":4'
 
 # live-metrics smoke on the same daemon, before any drain: three compile
 # requests must land in the rolling per-verb latency window, with the

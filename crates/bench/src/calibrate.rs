@@ -198,6 +198,27 @@ pub fn calibrate_vm(steps: usize) -> CalibrationReport {
 /// [`NativeError::RunFailed`] — that would be a bug in the emitted
 /// profiling runtime.
 pub fn calibrate_native(iters: usize) -> Result<CalibrationReport, NativeError> {
+    calibrate_native_opts(iters, false)
+}
+
+/// [`calibrate_native`] with an ASan/UBSan toggle: with `sanitize` the
+/// harness binaries are built with [`native::SANITIZE_FLAGS`] instead of
+/// `-O3`, so every benchmark's generated step function and profiling
+/// runtime execute under dynamic memory/UB checking — the runtime
+/// counterpart of the static `analyze` stage. Timing ratios from a
+/// sanitized run are not comparable to the committed bands (shadow-memory
+/// instrumentation dominates); the `source` field is `"native-sanitized"`
+/// so downstream consumers can tell.
+///
+/// # Errors
+///
+/// Same as [`calibrate_native`]; additionally
+/// [`NativeError::CompilerUnavailable`] when `gcc` lacks sanitizer
+/// runtimes (probe with [`native::sanitizer_available`]).
+pub fn calibrate_native_opts(
+    iters: usize,
+    sanitize: bool,
+) -> Result<CalibrationReport, NativeError> {
     let cm = CostModel::x86_gcc();
     let mut acc = Accum::default();
     let suite = build_suite();
@@ -208,7 +229,12 @@ pub fn calibrate_native(iters: usize) -> Result<CalibrationReport, NativeError> 
             .iter()
             .find(|(s, _)| *s == frodo_codegen::GeneratorStyle::Frodo)
             .expect("suite has a FRODO program");
-        let (_, profile) = native::compile_and_run_profiled(
+        let run = if sanitize {
+            native::compile_and_run_sanitized
+        } else {
+            native::compile_and_run_profiled
+        };
+        let (_, profile) = run(
             program,
             frodo_codegen::GeneratorStyle::Frodo,
             iters,
@@ -238,7 +264,14 @@ pub fn calibrate_native(iters: usize) -> Result<CalibrationReport, NativeError> 
             acc.record(stmt.kind_label(), mean, predicted_ns(&cm, program, i));
         }
     }
-    Ok(acc.finish("native", models))
+    Ok(acc.finish(
+        if sanitize {
+            "native-sanitized"
+        } else {
+            "native"
+        },
+        models,
+    ))
 }
 
 /// One committed tolerance band: the p50 ratio of `kind` must stay in

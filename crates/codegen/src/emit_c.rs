@@ -56,9 +56,13 @@ impl VectorMode {
             _ => {}
         }
         if let Some(w) = s.strip_prefix("batch:") {
-            let w: usize = w
-                .parse()
-                .map_err(|_| format!("bad batch width '{w}' in --vectorize"))?;
+            let w: usize = w.parse().map_err(|_| {
+                format!(
+                    "bad batch width '{w}' in --vectorize (expected batch[:W], W in {}..={})",
+                    Self::WIDTH_RANGE.start(),
+                    Self::WIDTH_RANGE.end()
+                )
+            })?;
             if !Self::WIDTH_RANGE.contains(&w) {
                 return Err(format!(
                     "batch width {w} out of range {}..={}",
@@ -69,7 +73,9 @@ impl VectorMode {
             return Ok(VectorMode::Batch(w));
         }
         Err(format!(
-            "unknown vectorize mode '{s}' (expected auto|off|hints|batch[:W])"
+            "unknown vectorize mode '{s}' (expected auto|off|hints|batch[:W], W in {}..={})",
+            Self::WIDTH_RANGE.start(),
+            Self::WIDTH_RANGE.end()
         ))
     }
 
@@ -119,15 +125,11 @@ pub fn emit_c_with(program: &Program, opts: CEmitOptions) -> String {
 /// programs fall back to the sequential path: parallel rendering only pays
 /// off when each worker has a meaningful amount of text to produce.
 pub fn emit_c_threaded(program: &Program, opts: CEmitOptions, threads: usize) -> String {
-    /// Below this many statements per worker, thread spawn overhead exceeds
-    /// the rendering cost.
-    const MIN_STMTS_PER_WORKER: usize = 64;
-    let n = program.stmts.len();
-    let threads = threads.min(n / MIN_STMTS_PER_WORKER).max(1);
-    if threads <= 1 {
+    let chunks = emission_chunks(program.stmts.len(), threads);
+    if chunks.len() <= 1 {
         return emit_c_with(program, opts);
     }
-    let chunk = n.div_ceil(threads);
+    let chunk = chunks[0].1 - chunks[0].0;
     let mut out = Emitter::new_with(program, opts).header();
     let parts: Vec<String> = std::thread::scope(|s| {
         let handles: Vec<_> = program
@@ -154,6 +156,27 @@ pub fn emit_c_threaded(program: &Program, opts: CEmitOptions, threads: usize) ->
     }
     out.push_str("}\n");
     out
+}
+
+/// The statement-chunk partition [`emit_c_threaded`] hands its rendering
+/// workers: consecutive half-open `[start, end)` index ranges covering
+/// `0..n` exactly once, in statement order. Small programs collapse to a
+/// single chunk (below 64 statements per worker, thread spawn overhead
+/// exceeds the rendering cost). Exported so the schedule race checker in
+/// `frodo-verify` can prove the partition it certifies is the partition
+/// the emitter actually uses.
+pub fn emission_chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    /// Below this many statements per worker, thread spawn overhead exceeds
+    /// the rendering cost.
+    const MIN_STMTS_PER_WORKER: usize = 64;
+    let threads = threads.min(n / MIN_STMTS_PER_WORKER).max(1);
+    if threads <= 1 {
+        return vec![(0, n)];
+    }
+    let chunk = n.div_ceil(threads);
+    (0..n.div_ceil(chunk))
+        .map(|ci| (ci * chunk, ((ci + 1) * chunk).min(n)))
+        .collect()
 }
 
 /// [`emit_c_threaded`], recorded as an `emit` span (with `bytes_emitted` and

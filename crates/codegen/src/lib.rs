@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 mod emit_c;
 mod fragment;
 pub mod library;
@@ -57,8 +58,8 @@ pub mod optimize;
 mod style;
 
 pub use emit_c::{
-    emit_c, emit_c_harness, emit_c_harness_with, emit_c_threaded, emit_c_traced, emit_c_with,
-    CEmitOptions, VectorMode,
+    emission_chunks, emit_c, emit_c_harness, emit_c_harness_with, emit_c_threaded, emit_c_traced,
+    emit_c_with, CEmitOptions, VectorMode,
 };
 pub use fragment::{generate_from_fragments, FragmentCache, FragmentStats};
 #[allow(deprecated)]

@@ -113,6 +113,15 @@ pub struct ExecOptions {
     /// under `verify: true` was verified when it was first compiled; cache
     /// hits do not re-verify.
     pub verify: bool,
+    /// Runs the dataflow analyses (`frodo-verify`'s `analyze` stage) on
+    /// the lowered program before emission: value-range numeric-safety
+    /// checks, the residual-redundancy detector, the parallel-schedule
+    /// race checker, and the buffer-lifetime report. Error-severity
+    /// findings (`F301`/`F302`) fail the job closed with
+    /// [`JobError::Verify`]; warnings are recorded as counters only.
+    /// Like `verify`, this never changes the generated C and is excluded
+    /// from every cache key.
+    pub analyze: bool,
     /// Wall-clock budget for the whole job in milliseconds; `0` means no
     /// limit. Enforced by the worker pool ([`JobPool`]): an overrunning
     /// job is abandoned on its runner thread and fails with
@@ -219,6 +228,12 @@ impl CompileOptionsBuilder {
     /// Range-soundness verification (exec-only).
     pub fn verify(mut self, on: bool) -> Self {
         self.options.exec.verify = on;
+        self
+    }
+
+    /// Dataflow analyses over the lowered program (exec-only).
+    pub fn analyze(mut self, on: bool) -> Self {
+        self.options.exec.analyze = on;
         self
     }
 
@@ -356,9 +371,10 @@ pub enum JobError {
         /// The panic payload, when it was a string.
         message: String,
     },
-    /// The range-soundness checker rejected the lowered program
-    /// ([`CompileOptions::verify`]). The structured diagnostics name the
-    /// block, buffer, and offending interval of every finding.
+    /// The range-soundness checker or the dataflow analyses rejected the
+    /// lowered program ([`ExecOptions::verify`] / [`ExecOptions::analyze`]).
+    /// The structured diagnostics name the block, buffer, and offending
+    /// interval of every finding.
     Verify {
         /// Job display name.
         job: String,
@@ -687,6 +703,35 @@ impl CompileService {
             }
         }
 
+        // analyze (opt-in): dataflow analyses over the lowered program.
+        // Warnings (F2xx) are recorded; error-severity schedule findings
+        // (F3xx) fail the job closed like a soundness defect.
+        if options.exec.analyze {
+            let span = jt.span("analyze");
+            let report = frodo_verify::analyze_compile(
+                &analysis,
+                &program,
+                &frodo_verify::AnalyzeOptions {
+                    emit_threads: threads,
+                    ..Default::default()
+                },
+            );
+            span.count("analyze_stmts", report.stmts as u64);
+            span.count("analyze_diagnostics", report.diagnostics.len() as u64);
+            span.count("analyze_residual_elements", report.residual_elements as u64);
+            span.count("analyze_schedule_units", report.schedule_units as u64);
+            span.count(
+                "analyze_dead_store_elements",
+                report.lifetime.dead_store_elements as u64,
+            );
+            if report.error_count() > 0 {
+                return Err(JobError::Verify {
+                    job: name.clone(),
+                    diagnostics: report.diagnostics,
+                });
+            }
+        }
+
         let code = emit_c_traced(&program, options.keyed.emit, threads, &jt);
 
         let metrics = JobMetrics::from_analysis(&analysis);
@@ -914,6 +959,26 @@ mod tests {
     }
 
     #[test]
+    fn analyze_option_runs_the_dataflow_stage_and_passes_clean_models() {
+        let trace = Trace::new();
+        let spec = JobSpec::from_model("g", gain_model(3.0), GeneratorStyle::Frodo)
+            .with_options(CompileOptions::builder().analyze(true).build())
+            .with_trace(&trace);
+        let out = CompileService::new(ServiceConfig {
+            no_cache: true,
+            ..ServiceConfig::default()
+        })
+        .compile(spec)
+        .unwrap();
+        assert!(!out.code.is_empty());
+        assert!(trace.counter_total("analyze_stmts") > 0);
+        assert!(trace.counter_total("analyze_schedule_units") > 0);
+        assert_eq!(trace.counter_total("analyze_diagnostics"), 0);
+        assert_eq!(trace.counter_total("analyze_residual_elements"), 0);
+        assert!(trace.snapshot().spans.iter().any(|s| s.name == "analyze"));
+    }
+
+    #[test]
     fn cache_key_is_invariant_under_every_exec_option() {
         // the key's signature only admits KeyedOptions, so any combination
         // of exec knobs maps to the same key by construction; assert it
@@ -941,6 +1006,10 @@ mod tests {
             },
             ExecOptions {
                 verify: true,
+                ..ExecOptions::default()
+            },
+            ExecOptions {
+                analyze: true,
                 ..ExecOptions::default()
             },
             ExecOptions {

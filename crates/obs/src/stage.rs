@@ -10,9 +10,9 @@ use std::time::Duration;
 /// one of these contribute to the matching [`StageTimings`] field; the
 /// NDJSON export uses the same names, and they are covered by a golden
 /// schema test — treat them as a stable interface.
-pub const STAGE_NAMES: [&str; 11] = [
+pub const STAGE_NAMES: [&str; 12] = [
     "parse", "flatten", "hash", "cache", "dfg", "iomap", "ranges", "classify", "lower", "verify",
-    "emit",
+    "analyze", "emit",
 ];
 
 /// Wall-clock cost of each pipeline stage (monotonic clock), derived from
@@ -46,6 +46,10 @@ pub struct StageTimings {
     /// Range-soundness verification of the lowered IR (opt-in; zero when
     /// the compile did not run with `--verify`).
     pub verify: Duration,
+    /// Dataflow analyses over the lowered IR — value ranges, residual
+    /// redundancy, schedule races, lifetimes (opt-in; zero when the
+    /// compile did not run with `--analyze`).
+    pub analyze: Duration,
     /// C emission.
     pub emit: Duration,
 }
@@ -53,7 +57,7 @@ pub struct StageTimings {
 impl StageTimings {
     /// Stage names and durations in pipeline order (names match
     /// [`STAGE_NAMES`]).
-    pub fn rows(&self) -> [(&'static str, Duration); 11] {
+    pub fn rows(&self) -> [(&'static str, Duration); 12] {
         [
             ("parse", self.parse),
             ("flatten", self.flatten),
@@ -65,6 +69,7 @@ impl StageTimings {
             ("classify", self.classify),
             ("lower", self.lower),
             ("verify", self.verify),
+            ("analyze", self.analyze),
             ("emit", self.emit),
         ]
     }
@@ -123,6 +128,7 @@ impl StageTimings {
                 "classify" => t.classify += d,
                 "lower" => t.lower += d,
                 "verify" => t.verify += d,
+                "analyze" => t.analyze += d,
                 "emit" => t.emit += d,
                 _ => {}
             }
@@ -169,9 +175,10 @@ mod tests {
             classify: Duration::from_nanos(8),
             lower: Duration::from_nanos(9),
             verify: Duration::from_nanos(10),
-            emit: Duration::from_nanos(11),
+            analyze: Duration::from_nanos(11),
+            emit: Duration::from_nanos(12),
         };
-        assert_eq!(t.total(), Duration::from_nanos(66));
+        assert_eq!(t.total(), Duration::from_nanos(78));
         assert_eq!(t.algorithm1(), Duration::from_nanos(15));
     }
 

@@ -196,6 +196,7 @@ fn request_options(args: &[String]) -> Result<RequestOptions, String> {
             ..RangeOptions::default()
         },
         verify: args.iter().any(|a| a == "--verify"),
+        analyze: args.iter().any(|a| a == "--analyze"),
         trace: args.iter().any(|a| a == "--trace"),
         timeout_ms: parse_num(args, &["--timeout"], "--timeout")?.unwrap_or(0),
         vectorize,

@@ -277,6 +277,9 @@ fn write_options(w: &mut ndjson::ObjWriter, options: &proto::RequestOptions, cli
     if options.verify {
         w.field_num("verify", 1);
     }
+    if options.analyze {
+        w.field_num("analyze", 1);
+    }
     if options.trace {
         w.field_num("trace", 1);
     }
@@ -313,6 +316,7 @@ mod tests {
         let opts = proto::RequestOptions {
             threads: 1,
             verify: true,
+            analyze: true,
             timeout_ms: 250,
             ..Default::default()
         };
@@ -328,6 +332,7 @@ mod tests {
                 assert_eq!(style, frodo_codegen::GeneratorStyle::Hcg);
                 assert_eq!(options.threads, 1);
                 assert!(options.verify);
+                assert!(options.analyze);
                 assert_eq!(options.timeout_ms, 250);
                 assert_eq!(client, Some(3));
             }

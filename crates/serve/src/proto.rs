@@ -10,7 +10,7 @@
 //!
 //! | type | fields |
 //! |------|--------|
-//! | `compile` | `model`, optional `style`, `threads`, `engine`, `verify`, `trace`, `timeout_ms`, `vectorize`, `window_reuse`, `client` |
+//! | `compile` | `model`, optional `style`, `threads`, `engine`, `verify`, `analyze`, `trace`, `timeout_ms`, `vectorize`, `window_reuse`, `client` |
 //! | `lint` | `model` |
 //! | `batch` | `models` (array), optional `styles` (comma list or `all`), plus the `compile` options |
 //! | `recompile` | `session`, `model`, optional `style`, `region_max`, plus the `compile` options |
@@ -66,9 +66,11 @@ use frodo_obs::Histogram;
 /// pre-versioned NDJSON format (still accepted when a request carries no
 /// `proto_version`); version 2 added the field itself and the
 /// `recompile` request; version 3 added the `metrics` request and the
-/// `request_id` stamp on every response. Versions 1 and 2 remain fully
-/// accepted — v3 only adds fields and a verb, it changes none.
-pub const PROTO_VERSION: u64 = 3;
+/// `request_id` stamp on every response; version 4 added the `analyze`
+/// compile option (dataflow analyses over the lowered program). Versions
+/// 1 through 3 remain fully accepted — each bump only adds fields or
+/// verbs, it changes none.
+pub const PROTO_VERSION: u64 = 4;
 
 /// Per-request compile options — the CLI surface, carried on the wire.
 #[derive(Debug, Clone, Copy, Default)]
@@ -79,6 +81,8 @@ pub struct RequestOptions {
     pub range: RangeOptions,
     /// Run the range-soundness checker (`verify`, as 0/1).
     pub verify: bool,
+    /// Run the dataflow analyses (`analyze`, as 0/1; protocol version 4).
+    pub analyze: bool,
     /// Include per-stage timings in each `result` line (`trace`, as 0/1).
     pub trace: bool,
     /// Per-job wall-clock budget in milliseconds (`timeout_ms`); `0` = none.
@@ -96,6 +100,7 @@ impl RequestOptions {
             .range(self.range)
             .intra_threads(self.threads)
             .verify(self.verify)
+            .analyze(self.analyze)
             .timeout_ms(self.timeout_ms)
             .vectorize(self.vectorize)
             .window_reuse(self.window_reuse)
@@ -202,6 +207,7 @@ fn options_from(fields: &[(String, Value)]) -> Result<RequestOptions, String> {
             ..RangeOptions::default()
         },
         verify: num("verify") != 0.0,
+        analyze: num("analyze") != 0.0,
         trace: num("trace") != 0.0,
         timeout_ms: num("timeout_ms") as u64,
         vectorize,

@@ -67,6 +67,42 @@ pub fn gcc_available() -> bool {
         .unwrap_or(false)
 }
 
+/// Compiler flags for a sanitized harness build: AddressSanitizer +
+/// UndefinedBehaviorSanitizer, aborting on the first finding. `-O1`
+/// instead of `-O3` keeps shadow-memory instrumentation intact.
+pub const SANITIZE_FLAGS: [&str; 4] = [
+    "-fsanitize=address,undefined",
+    "-fno-sanitize-recover=all",
+    "-g",
+    "-O1",
+];
+
+/// Whether the host `gcc` can link an ASan/UBSan binary (the runtime
+/// libraries are a separate package and may be missing even when `gcc`
+/// itself works).
+pub fn sanitizer_available() -> bool {
+    if !gcc_available() {
+        return false;
+    }
+    let dir = stage_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return false;
+    }
+    let c_path = dir.join("probe.c");
+    let bin_path = dir.join("probe");
+    let ok = std::fs::write(&c_path, "int main(void){return 0;}\n").is_ok()
+        && Command::new("gcc")
+            .args(SANITIZE_FLAGS)
+            .arg("-o")
+            .arg(&bin_path)
+            .arg(&c_path)
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false);
+    let _ = std::fs::remove_dir_all(&dir);
+    ok
+}
+
 static STAGE_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 fn stage_dir() -> PathBuf {
@@ -99,7 +135,7 @@ pub fn compile_and_run_with(
     iters: usize,
     opts: CEmitOptions,
 ) -> Result<NativeResult, NativeError> {
-    compile_and_run_inner(program, style, iters, opts).map(|(r, _)| r)
+    compile_and_run_inner(program, style, iters, opts, false).map(|(r, _)| r)
 }
 
 /// [`compile_and_run_with`] under self-profiling emission: forces
@@ -117,7 +153,28 @@ pub fn compile_and_run_profiled(
     mut opts: CEmitOptions,
 ) -> Result<(NativeResult, String), NativeError> {
     opts.profile = true;
-    compile_and_run_inner(program, style, iters, opts)
+    compile_and_run_inner(program, style, iters, opts, false)
+}
+
+/// [`compile_and_run_profiled`] under ASan/UBSan ([`SANITIZE_FLAGS`]): the
+/// dynamic counterpart of the static `analyze` stage. Any heap overflow,
+/// use-after-free, or undefined behavior in the generated step function or
+/// its profiling instrumentation aborts the run and surfaces as
+/// [`NativeError::RunFailed`] carrying the sanitizer report.
+///
+/// # Errors
+///
+/// [`NativeError::CompilerUnavailable`] when `gcc` is missing **or** lacks
+/// sanitizer runtimes (check [`sanitizer_available`] first to distinguish);
+/// otherwise same as [`compile_and_run`].
+pub fn compile_and_run_sanitized(
+    program: &Program,
+    style: GeneratorStyle,
+    iters: usize,
+    mut opts: CEmitOptions,
+) -> Result<(NativeResult, String), NativeError> {
+    opts.profile = true;
+    compile_and_run_inner(program, style, iters, opts, true)
 }
 
 fn compile_and_run_inner(
@@ -125,8 +182,9 @@ fn compile_and_run_inner(
     style: GeneratorStyle,
     iters: usize,
     opts: CEmitOptions,
+    sanitize: bool,
 ) -> Result<(NativeResult, String), NativeError> {
-    if !gcc_available() {
+    if !gcc_available() || (sanitize && !sanitizer_available()) {
         return Err(NativeError::CompilerUnavailable);
     }
     let dir = stage_dir();
@@ -141,9 +199,13 @@ fn compile_and_run_inner(
         let mut f = std::fs::File::create(&c_path)?;
         f.write_all(emit_c_harness_with(program, iters, opts).as_bytes())?;
     }
-    let out = Command::new("gcc")
-        .arg("-O3")
-        .arg("-march=native")
+    let mut gcc = Command::new("gcc");
+    if sanitize {
+        gcc.args(SANITIZE_FLAGS);
+    } else {
+        gcc.arg("-O3").arg("-march=native");
+    }
+    let out = gcc
         .arg("-o")
         .arg(&bin_path)
         .arg(&c_path)
@@ -156,8 +218,18 @@ fn compile_and_run_inner(
     }
     let run = Command::new(&bin_path).output()?;
     if !run.status.success() {
+        // a sanitized binary aborts with its report on stderr — forward it
+        let stderr = String::from_utf8_lossy(&run.stderr);
         return Err(NativeError::RunFailed {
-            reason: format!("exit status {:?}", run.status.code()),
+            reason: format!(
+                "exit status {:?}{}",
+                run.status.code(),
+                if stderr.trim().is_empty() {
+                    String::new()
+                } else {
+                    format!(": {}", stderr.trim())
+                }
+            ),
         });
     }
     let text = String::from_utf8_lossy(&run.stdout);
@@ -268,6 +340,29 @@ mod tests {
             .find(|c| c.name == format!("stmt_{ci}_conv_flops"))
             .expect("conv flops counter");
         assert_eq!(conv_flops.value, 50 * p.stmts[ci].flops());
+    }
+
+    #[test]
+    fn sanitized_profiled_run_is_clean_and_matches_plain_checksum() {
+        if !sanitizer_available() {
+            eprintln!("skipping: gcc sanitizer runtimes not available");
+            return;
+        }
+        let a = figure1();
+        let p = generate(&a, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let (san, profile) =
+            compile_and_run_sanitized(&p, GeneratorStyle::Frodo, 5, CEmitOptions::default())
+                .expect("sanitized run must be ASan/UBSan-clean");
+        let plain = compile_and_run(&p, GeneratorStyle::Frodo, 5).expect("plain run");
+        assert!(
+            (san.checksum - plain.checksum).abs() < 1e-9,
+            "sanitized vs plain checksum: {} vs {}",
+            san.checksum,
+            plain.checksum
+        );
+        // the profile dump still parses under instrumentation
+        let snap = frodo_obs::ndjson::snapshot(&profile).expect("profile parses");
+        assert_eq!(snap.spans.len(), p.stmts.len() + 1);
     }
 
     #[test]

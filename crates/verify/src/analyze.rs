@@ -1,0 +1,1884 @@
+//! The `analyze` pipeline stage: dataflow client analyses over the
+//! lowered statement IR.
+//!
+//! Four analyses run over one [`Program`], all built on the
+//! [`dataflow`](crate::dataflow) engine and the shared element-access
+//! footprints of [`frodo_codegen::access`]:
+//!
+//! 1. **Value ranges** (forward, to fixpoint across the invocation back
+//!    edge) — a per-buffer interval domain through every statement's
+//!    arithmetic, flagging possible division by zero (`F201`), `sqrt`/
+//!    `log` of a possibly negative operand (`F202`), and arithmetic that
+//!    may overflow to ±∞ (`F203`).
+//! 2. **Residual redundancy** (backward demand) — which written elements
+//!    are never demanded by any output, modulo the lowering's coalescing
+//!    slop (`F204`). On FRODO-style output this should be empty: it is the
+//!    dataflow restatement of the paper's redundancy-elimination claim.
+//!    Baseline styles report exactly their over-computation.
+//! 3. **Schedule races** — a happens-before check of parallel execution
+//!    schedules at statement granularity. The finest (most adversarial)
+//!    level schedule is derived from element-precise conflicts and then
+//!    *verified* against the conflict relation ([`check_schedule`]); any
+//!    same-unit cross-task overlap is a data race (`F301`), any coverage
+//!    or dependence-order defect is a malformed schedule (`F302`). The
+//!    threaded-emission chunk partition is validated the same way.
+//! 4. **Buffer lifetimes** — first-write/last-read spans, dead stores,
+//!    and a greedy slot packing of `Temp` buffers estimating reclaimable
+//!    storage. Report-only (no diagnostics).
+//!
+//! Everything here is deterministic: diagnostics depend only on the
+//! program and the options, never on engine choice or thread counts, and
+//! are emitted in statement order.
+
+use std::collections::BTreeSet;
+
+use crate::dataflow::{run_one_pass, run_to_fixpoint, Direction, Transfer};
+use crate::diag::{Diagnostic, Severity};
+use crate::soundness::{output_demands, OutputDemand};
+use frodo_codegen::access::{stmt_access, Malformed, StmtAccess};
+use frodo_codegen::emission_chunks;
+use frodo_codegen::lir::{
+    BinOp, BufId, BufferRole, Program, ReduceOp, Src, Stmt, UnOp, WindowScale,
+};
+use frodo_core::Analysis;
+use frodo_ranges::IndexSet;
+
+/// Tuning knobs for [`analyze_program`] / [`analyze_compile`].
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Assumed magnitude bound on every model input element: inputs are
+    /// seeded with the interval `[-input_bound, input_bound]`.
+    pub input_bound: f64,
+    /// Widening bound: interval ends are clamped to ±`widen_bound`, and
+    /// non-converging state is widened to this after `max_passes`.
+    pub widen_bound: f64,
+    /// Fixpoint pass budget for the value-range analysis before widening.
+    pub max_passes: usize,
+    /// Demand coalescing slop for the residual detector, in elements.
+    /// Should match the lowering's `coalesce_gap` (default 16): the
+    /// generator deliberately bridges demand gaps up to this size, and
+    /// those bridge elements are not residual redundancy.
+    pub demand_slop: usize,
+    /// Worker count whose threaded-emission chunk partition is validated.
+    pub emit_threads: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            input_bound: 1.0e6,
+            widen_bound: 1.0e12,
+            max_passes: 8,
+            demand_slop: 16,
+            emit_threads: 4,
+        }
+    }
+}
+
+/// Everything the `analyze` stage found, plus the counters the trace
+/// stage records.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// All findings, in deterministic statement order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Statements analyzed.
+    pub stmts: usize,
+    /// Buffers analyzed.
+    pub buffers: usize,
+    /// Fixpoint passes the value-range analysis took.
+    pub interval_passes: usize,
+    /// Whether the value ranges converged (possibly after widening).
+    pub interval_converged: bool,
+    /// Final per-buffer value intervals `(name, lo, hi)`, in buffer
+    /// order, for buffers the analysis reached.
+    pub value_ranges: Vec<(String, f64, f64)>,
+    /// Total elements written but never demanded (`F204` evidence).
+    pub residual_elements: usize,
+    /// Statements with at least one residual element.
+    pub residual_stmts: usize,
+    /// Units in the conflict-derived parallel schedule.
+    pub schedule_units: usize,
+    /// Maximum concurrent tasks in any unit (the schedule's width).
+    pub schedule_width: usize,
+    /// Element-conflicting statement pairs checked for happens-before.
+    pub schedule_pairs: usize,
+    /// Block-level analysis levels of the source model (0 when analyzed
+    /// without a model, e.g. via [`analyze_program`]). The statement
+    /// schedule refines these levels to statement granularity.
+    pub region_levels: usize,
+    /// Chunks in the validated threaded-emission partition.
+    pub chunk_count: usize,
+    /// Conflicting statement pairs that straddle a chunk boundary — a
+    /// statistic (emission workers produce text, not effects), not a race.
+    pub chunk_cross_conflicts: usize,
+    /// Buffer lifetime / storage-reuse report.
+    pub lifetime: LifetimeReport,
+}
+
+impl AnalyzeReport {
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// No `F301`/`F302` findings: every checked schedule is a proven
+    /// race-free partial order over the statements.
+    pub fn race_free(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "F301" || d.code == "F302")
+    }
+
+    /// Error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+}
+
+/// First-write/last-read span of one buffer, in statement indices.
+#[derive(Debug, Clone)]
+pub struct BufferLifetime {
+    /// Buffer name.
+    pub name: String,
+    /// Buffer extent in elements.
+    pub len: usize,
+    /// Role label (`input` / `output` / `temp` / `const` / `state`).
+    pub role: &'static str,
+    /// First statement writing the buffer, if any.
+    pub first_write: Option<usize>,
+    /// Last statement reading the buffer, if any.
+    pub last_read: Option<usize>,
+}
+
+/// Dead stores and storage-reuse opportunities.
+#[derive(Debug, Clone, Default)]
+pub struct LifetimeReport {
+    /// Per-buffer lifetime spans, in buffer order.
+    pub buffers: Vec<BufferLifetime>,
+    /// Elements written whose value is never read afterwards (and is not
+    /// an output or carried state).
+    pub dead_store_elements: usize,
+    /// Statements with at least one dead-store element.
+    pub dead_store_stmts: usize,
+    /// `Temp` buffers with a complete lifetime span.
+    pub temp_buffers: usize,
+    /// Storage slots a greedy lifetime packing of those temps needs.
+    pub temp_slots: usize,
+    /// Elements reclaimable by that packing (temp total minus slot total).
+    pub reclaimable_elements: usize,
+    /// `(earlier, later)` buffer-name pairs whose lifetimes are disjoint
+    /// so the later could reuse the earlier's storage.
+    pub reuse_pairs: Vec<(String, String)>,
+}
+
+// ---------------------------------------------------------------------------
+// value-range analysis (forward, F201/F202/F203)
+// ---------------------------------------------------------------------------
+
+/// A closed interval of attainable values. Stored ends are finite except
+/// for the explicit widening top [`ValRange::TOP`] = `[-inf, +inf]`:
+/// genuinely overflowing results are degraded to a finite top at their
+/// introduction point (with an `F203` flag), while ranges that blew up
+/// only because the fixpoint had to *widen* are kept as `TOP` and
+/// propagate silently — imprecision from widening is not a finding.
+/// Either way the store stays `PartialEq`-comparable and free of NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ValRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl ValRange {
+    /// The widening top: every value, no information.
+    const TOP: ValRange = ValRange {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    fn point(v: f64) -> ValRange {
+        ValRange { lo: v, hi: v }
+    }
+
+    /// True when either end is non-finite — the range descends from the
+    /// widening top, so hazard flags against it would be pure noise.
+    fn unbounded(self) -> bool {
+        !self.lo.is_finite() || !self.hi.is_finite()
+    }
+
+    fn new(a: f64, b: f64) -> ValRange {
+        ValRange {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    fn join(self, other: ValRange) -> ValRange {
+        ValRange {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    fn contains_zero(self) -> bool {
+        self.lo <= 0.0 && self.hi >= 0.0
+    }
+}
+
+/// `0 * anything = 0`, so intervals with an infinite end never poison a
+/// product into NaN.
+fn zmul(x: f64, y: f64) -> f64 {
+    if x == 0.0 || y == 0.0 {
+        0.0
+    } else {
+        x * y
+    }
+}
+
+fn vadd(a: ValRange, b: ValRange) -> ValRange {
+    ValRange {
+        lo: a.lo + b.lo,
+        hi: a.hi + b.hi,
+    }
+}
+
+fn vsub(a: ValRange, b: ValRange) -> ValRange {
+    ValRange {
+        lo: a.lo - b.hi,
+        hi: a.hi - b.lo,
+    }
+}
+
+fn vmul(a: ValRange, b: ValRange) -> ValRange {
+    let p = [
+        zmul(a.lo, b.lo),
+        zmul(a.lo, b.hi),
+        zmul(a.hi, b.lo),
+        zmul(a.hi, b.hi),
+    ];
+    ValRange {
+        lo: p.iter().cloned().fold(f64::INFINITY, f64::min),
+        hi: p.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// Reciprocal of an interval that provably excludes zero.
+fn vrecip(b: ValRange) -> ValRange {
+    ValRange::new(1.0 / b.lo, 1.0 / b.hi)
+}
+
+/// Sum of between 1 and `n` terms, each in `r`.
+fn vsum_up_to(n: usize, r: ValRange) -> ValRange {
+    let n = n.max(1) as f64;
+    ValRange {
+        lo: r.lo.min(n * r.lo),
+        hi: r.hi.max(n * r.hi),
+    }
+}
+
+/// Sum of exactly `n` terms, each in `r`.
+fn vsum_exact(n: usize, r: ValRange) -> ValRange {
+    let n = n as f64;
+    ValRange {
+        lo: zmul(n, r.lo),
+        hi: zmul(n, r.hi),
+    }
+}
+
+struct IntervalAnalysis<'a> {
+    opts: &'a AnalyzeOptions,
+    /// When true, widen every store change straight to the widening
+    /// bound — the post-budget convergence hammer.
+    widen: bool,
+    /// When true, emit diagnostics (the final reporting pass over the
+    /// stabilized store).
+    report: bool,
+    /// Set by [`Self::src_range`]/[`Self::buf_range`] when an operand is
+    /// widening-tainted (unbounded); consumed by [`Self::finish`] to
+    /// propagate [`ValRange::TOP`] silently instead of flagging `F203`.
+    taint: std::cell::Cell<bool>,
+    flagged: BTreeSet<(usize, &'static str)>,
+    diags: Vec<Diagnostic>,
+}
+
+impl IntervalAnalysis<'_> {
+    fn unknown(&self) -> ValRange {
+        ValRange {
+            lo: -self.opts.input_bound,
+            hi: self.opts.input_bound,
+        }
+    }
+
+    fn top(&self) -> ValRange {
+        ValRange {
+            lo: -self.opts.widen_bound,
+            hi: self.opts.widen_bound,
+        }
+    }
+
+    fn flag(&mut self, program: &Program, i: usize, code: &'static str, buf: BufId, msg: String) {
+        if !self.report || !self.flagged.insert((i, code)) {
+            return;
+        }
+        let b = program.buffer(buf);
+        self.diags.push(
+            Diagnostic::new(code, msg)
+                .with_block(b.name.clone())
+                .with_location(format!("stmt {i} -> `{}`", b.name)),
+        );
+    }
+
+    fn src_range(&self, state: &[Option<ValRange>], s: &Src) -> ValRange {
+        match s {
+            Src::Run(sl) | Src::Broadcast(sl) => self.buf_range(state, sl.buf),
+            Src::Const(c) => ValRange::point(*c),
+        }
+    }
+
+    fn buf_range(&self, state: &[Option<ValRange>], b: BufId) -> ValRange {
+        let r = state[b.0].unwrap_or_else(|| self.unknown());
+        if r.unbounded() {
+            self.taint.set(true);
+        }
+        r
+    }
+
+    /// Transfer one unary op, flagging F201/F202 hazards against `dst`.
+    fn unary(
+        &mut self,
+        program: &Program,
+        i: usize,
+        dst: BufId,
+        op: &UnOp,
+        r: ValRange,
+    ) -> ValRange {
+        match op {
+            UnOp::Gain(g) => vmul(r, ValRange::point(*g)),
+            UnOp::Bias(b) => vadd(r, ValRange::point(*b)),
+            UnOp::Abs => {
+                if r.lo >= 0.0 {
+                    r
+                } else if r.hi <= 0.0 {
+                    ValRange::new(-r.hi, -r.lo)
+                } else {
+                    ValRange {
+                        lo: 0.0,
+                        hi: (-r.lo).max(r.hi),
+                    }
+                }
+            }
+            UnOp::Sqrt => {
+                if r.lo < 0.0 && !r.unbounded() {
+                    self.flag(
+                        program,
+                        i,
+                        "F202",
+                        dst,
+                        format!(
+                            "sqrt of a possibly negative operand: operand in [{}, {}]",
+                            r.lo, r.hi
+                        ),
+                    );
+                }
+                ValRange {
+                    lo: r.lo.max(0.0).sqrt(),
+                    hi: r.hi.max(0.0).sqrt(),
+                }
+            }
+            UnOp::Square => {
+                let sq = vmul(r, r);
+                if r.contains_zero() {
+                    ValRange { lo: 0.0, hi: sq.hi }
+                } else {
+                    ValRange {
+                        lo: sq.lo.max(0.0),
+                        hi: sq.hi,
+                    }
+                }
+            }
+            UnOp::Exp => ValRange {
+                lo: r.lo.exp(),
+                hi: r.hi.exp(),
+            },
+            UnOp::Log => {
+                if r.lo <= 0.0 && !r.unbounded() {
+                    self.flag(
+                        program,
+                        i,
+                        "F202",
+                        dst,
+                        format!(
+                            "log of a possibly non-positive operand: operand in [{}, {}]",
+                            r.lo, r.hi
+                        ),
+                    );
+                }
+                let tiny = f64::MIN_POSITIVE;
+                ValRange::new(r.lo.max(tiny).ln(), r.hi.max(tiny).ln())
+            }
+            UnOp::Sin | UnOp::Cos => ValRange { lo: -1.0, hi: 1.0 },
+            UnOp::Tanh => ValRange { lo: -1.0, hi: 1.0 },
+            UnOp::Neg => ValRange::new(-r.hi, -r.lo),
+            UnOp::Recip => {
+                if r.contains_zero() {
+                    if r.unbounded() {
+                        return ValRange::TOP;
+                    }
+                    self.flag(
+                        program,
+                        i,
+                        "F201",
+                        dst,
+                        format!(
+                            "possible division by zero: reciprocal operand in [{}, {}]",
+                            r.lo, r.hi
+                        ),
+                    );
+                    self.top()
+                } else {
+                    vrecip(r)
+                }
+            }
+            UnOp::Sat(lo, hi) => ValRange {
+                lo: r.lo.clamp(*lo, *hi),
+                hi: r.hi.clamp(*lo, *hi),
+            },
+            UnOp::Floor => ValRange {
+                lo: r.lo.floor(),
+                hi: r.hi.floor(),
+            },
+            UnOp::Ceil => ValRange {
+                lo: r.lo.ceil(),
+                hi: r.hi.ceil(),
+            },
+            UnOp::Round => ValRange {
+                lo: r.lo.round(),
+                hi: r.hi.round(),
+            },
+            UnOp::Trunc => ValRange {
+                lo: r.lo.trunc(),
+                hi: r.hi.trunc(),
+            },
+            UnOp::Not => ValRange { lo: 0.0, hi: 1.0 },
+            UnOp::Id => r,
+        }
+    }
+
+    fn binary(
+        &mut self,
+        program: &Program,
+        i: usize,
+        dst: BufId,
+        op: &BinOp,
+        a: ValRange,
+        b: ValRange,
+    ) -> ValRange {
+        match op {
+            BinOp::Add => vadd(a, b),
+            BinOp::Sub => vsub(a, b),
+            BinOp::Mul => vmul(a, b),
+            BinOp::Div => {
+                if b.contains_zero() {
+                    if b.unbounded() {
+                        return ValRange::TOP;
+                    }
+                    self.flag(
+                        program,
+                        i,
+                        "F201",
+                        dst,
+                        format!("possible division by zero: divisor in [{}, {}]", b.lo, b.hi),
+                    );
+                    self.top()
+                } else {
+                    vmul(a, vrecip(b))
+                }
+            }
+            BinOp::Min => ValRange {
+                lo: a.lo.min(b.lo),
+                hi: a.hi.min(b.hi),
+            },
+            BinOp::Max => ValRange {
+                lo: a.lo.max(b.lo),
+                hi: a.hi.max(b.hi),
+            },
+            BinOp::Mod => {
+                if b.contains_zero() {
+                    if b.unbounded() {
+                        return ValRange::TOP;
+                    }
+                    self.flag(
+                        program,
+                        i,
+                        "F201",
+                        dst,
+                        format!("possible division by zero: modulus in [{}, {}]", b.lo, b.hi),
+                    );
+                    self.top()
+                } else {
+                    // |fmod(a, b)| < max|b|, sign follows the dividend
+                    let m = b.lo.abs().max(b.hi.abs());
+                    ValRange {
+                        lo: if a.lo >= 0.0 { 0.0 } else { -m },
+                        hi: if a.hi <= 0.0 { 0.0 } else { m },
+                    }
+                }
+            }
+            BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::EqOp
+            | BinOp::Ne
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::Xor => ValRange { lo: 0.0, hi: 1.0 },
+        }
+    }
+
+    /// Store a computed range, flagging overflow-to-∞ at its introduction
+    /// point: the result is non-finite although every operand range was
+    /// bounded. Results that are unbounded only because an *operand*
+    /// descended from the widening top propagate as [`ValRange::TOP`]
+    /// silently — that imprecision is the analysis's, not the program's.
+    fn finish(
+        &mut self,
+        program: &Program,
+        i: usize,
+        dst: BufId,
+        r: ValRange,
+        state: &mut [Option<ValRange>],
+    ) {
+        let tainted = self.taint.replace(false) || r == ValRange::TOP;
+        let mut r = r;
+        if r.unbounded() {
+            if tainted {
+                r = ValRange::TOP;
+            } else {
+                self.flag(
+                    program,
+                    i,
+                    "F203",
+                    dst,
+                    "arithmetic may overflow to +/-inf (result bound is not finite)".to_string(),
+                );
+                r = self.top();
+            }
+        }
+        let joined = match state[dst.0] {
+            // weak update: other elements of the buffer keep old values
+            Some(old) => old.join(r),
+            None => r,
+        };
+        state[dst.0] = Some(if self.widen && state[dst.0] != Some(joined) {
+            // jump straight to top: unbounded, but stable on the next pass
+            ValRange::TOP
+        } else {
+            joined
+        });
+    }
+}
+
+impl Transfer for IntervalAnalysis<'_> {
+    type State = Vec<Option<ValRange>>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&mut self, program: &Program) -> Self::State {
+        program
+            .buffers
+            .iter()
+            .map(|b| match &b.role {
+                BufferRole::Input(_) => Some(self.unknown()),
+                BufferRole::Const(data) | BufferRole::State(data) => {
+                    let r = data.iter().fold(None::<ValRange>, |acc, &v| {
+                        let p = ValRange::point(if v.is_finite() { v } else { 0.0 });
+                        Some(match acc {
+                            Some(a) => a.join(p),
+                            None => p,
+                        })
+                    });
+                    Some(r.unwrap_or(ValRange::point(0.0)))
+                }
+                BufferRole::Output(_) | BufferRole::Temp => None,
+            })
+            .collect()
+    }
+
+    fn transfer(&mut self, program: &Program, i: usize, stmt: &Stmt, state: &mut Self::State) {
+        match stmt {
+            Stmt::Unary { op, dst, src, .. } => {
+                let r = self.src_range(state, src);
+                let out = self.unary(program, i, dst.buf, op, r);
+                self.finish(program, i, dst.buf, out, state);
+            }
+            Stmt::FusedUnary { ops, dst, src, .. } => {
+                // ops are applied innermost-first
+                let mut r = self.src_range(state, src);
+                for op in ops {
+                    r = self.unary(program, i, dst.buf, op, r);
+                }
+                self.finish(program, i, dst.buf, r, state);
+            }
+            Stmt::Binary { op, dst, a, b, .. } => {
+                let ra = self.src_range(state, a);
+                let rb = self.src_range(state, b);
+                let out = self.binary(program, i, dst.buf, op, ra, rb);
+                self.finish(program, i, dst.buf, out, state);
+            }
+            Stmt::Select { dst, a, b, .. } => {
+                let out = self.src_range(state, a).join(self.src_range(state, b));
+                self.finish(program, i, dst.buf, out, state);
+            }
+            Stmt::Copy { dst, src, .. } => {
+                let out = self.buf_range(state, src.buf);
+                self.finish(program, i, dst.buf, out, state);
+            }
+            Stmt::Fill { dst, value, .. } => {
+                self.finish(program, i, dst.buf, ValRange::point(*value), state);
+            }
+            Stmt::Gather { dst, src, .. } => {
+                let out = self.buf_range(state, *src);
+                self.finish(program, i, dst.buf, out, state);
+            }
+            Stmt::DynGather { dst, src, .. } => {
+                let out = self.buf_range(state, *src);
+                self.finish(program, i, dst.buf, out, state);
+            }
+            Stmt::Reduce { op, dst, src, len } => {
+                let r = self.buf_range(state, src.buf);
+                let out = match op {
+                    ReduceOp::Sum => vsum_exact(*len, r),
+                    ReduceOp::Mean | ReduceOp::Min | ReduceOp::Max => r,
+                };
+                self.finish(program, i, dst.buf, out, state);
+            }
+            Stmt::Dot { dst, a, b, len } => {
+                let p = vmul(self.buf_range(state, a.buf), self.buf_range(state, b.buf));
+                self.finish(program, i, dst.buf, vsum_exact(*len, p), state);
+            }
+            Stmt::Conv {
+                dst,
+                u,
+                u_len,
+                v,
+                v_len,
+                ..
+            } => {
+                let p = vmul(self.buf_range(state, *u), self.buf_range(state, *v));
+                let terms = (*u_len).min(*v_len);
+                self.finish(program, i, *dst, vsum_up_to(terms, p), state);
+            }
+            Stmt::Fir {
+                dst,
+                src,
+                coeffs,
+                taps,
+                ..
+            } => {
+                let p = vmul(self.buf_range(state, *src), self.buf_range(state, *coeffs));
+                self.finish(program, i, *dst, vsum_up_to(*taps, p), state);
+            }
+            Stmt::MovingAvg { dst, src, .. } => {
+                // mean of up to `window` source values, with a partial
+                // leading window: always within [min(lo, 0), max(hi, 0)]
+                let r = self.buf_range(state, *src);
+                let out = ValRange {
+                    lo: r.lo.min(0.0),
+                    hi: r.hi.max(0.0),
+                };
+                self.finish(program, i, *dst, out, state);
+            }
+            Stmt::CumSum { dst, src, k_end } => {
+                let r = self.buf_range(state, *src);
+                self.finish(program, i, *dst, vsum_up_to(*k_end, r), state);
+            }
+            Stmt::Diff { dst, src, .. } => {
+                let r = self.buf_range(state, *src);
+                self.finish(program, i, *dst, vsub(r, r), state);
+            }
+            Stmt::MatMul { dst, a, b, k, .. } => {
+                let p = vmul(self.buf_range(state, *a), self.buf_range(state, *b));
+                self.finish(program, i, *dst, vsum_exact(*k, p), state);
+            }
+            Stmt::Transpose { dst, src, .. } => {
+                let out = self.buf_range(state, *src);
+                self.finish(program, i, *dst, out, state);
+            }
+            Stmt::StateLoad { dst, state: st, .. } => {
+                let out = self.buf_range(state, *st);
+                self.finish(program, i, *dst, out, state);
+            }
+            Stmt::StateStore { state: st, src, .. } => {
+                let out = self.buf_range(state, *src);
+                self.finish(program, i, *st, out, state);
+            }
+            Stmt::WindowedReuse {
+                dst,
+                src,
+                state: st,
+                window,
+                scale,
+                ..
+            } => {
+                let r = self.buf_range(state, *src);
+                let sum = vsum_up_to(*window, r);
+                let out = match scale {
+                    WindowScale::Div(d) => {
+                        if *d == 0.0 {
+                            self.flag(
+                                program,
+                                i,
+                                "F201",
+                                *dst,
+                                "possible division by zero: windowed-reuse scale divisor is 0"
+                                    .to_string(),
+                            );
+                            self.top()
+                        } else {
+                            vmul(sum, ValRange::point(1.0 / *d))
+                        }
+                    }
+                    WindowScale::Mul(c) => vmul(sum, ValRange::point(*c)),
+                };
+                self.finish(program, i, *dst, out, state);
+                // the ring buffer retains raw source values
+                self.finish(program, i, *st, r, state);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// residual-redundancy analysis (backward demand, F204)
+// ---------------------------------------------------------------------------
+
+struct DemandAnalysis<'a> {
+    opts: &'a AnalyzeOptions,
+    accs: &'a [Result<StmtAccess, Malformed>],
+    /// Base demand re-imposed at every invocation boundary: output ranges
+    /// from Algorithm 1 plus full state extents (read next step).
+    base: Vec<IndexSet>,
+    report: bool,
+    residual_elements: usize,
+    residual_stmts: usize,
+    diags: Vec<Diagnostic>,
+}
+
+impl DemandAnalysis<'_> {
+    fn top(program: &Program) -> Vec<IndexSet> {
+        program
+            .buffers
+            .iter()
+            .map(|b| IndexSet::full(b.len))
+            .collect()
+    }
+}
+
+impl Transfer for DemandAnalysis<'_> {
+    type State = Vec<IndexSet>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&mut self, _program: &Program) -> Self::State {
+        self.base.clone()
+    }
+
+    fn invocation_boundary(&mut self, _program: &Program, state: &mut Self::State) {
+        for (d, b) in state.iter_mut().zip(&self.base) {
+            *d = d.union(b);
+        }
+    }
+
+    fn transfer(&mut self, program: &Program, i: usize, _stmt: &Stmt, state: &mut Self::State) {
+        let stmt = &program.stmts[i];
+        let acc = match &self.accs[i] {
+            Ok(acc) => acc,
+            Err(_) => {
+                // a malformed statement's effect is unknowable; go to top
+                // so nothing upstream is falsely reported residual
+                *state = Self::top(program);
+                return;
+            }
+        };
+        // demand on each written element, captured before the kill
+        let mut live = false;
+        let mut demanded_dst = IndexSet::new();
+        for w in &acc.writes {
+            let d = state[w.buf.0].intersect(&w.set);
+            if !d.is_empty() {
+                live = true;
+            }
+            if w.what == "dst" {
+                demanded_dst = demanded_dst.union(&d);
+            }
+            if self.report {
+                // the lowering deliberately bridges demand gaps up to
+                // `coalesce_gap` elements; forgive the same slop here
+                let forgiven = state[w.buf.0].coalesce(self.opts.demand_slop);
+                let residual = w.set.difference(&forgiven);
+                if !residual.is_empty() {
+                    let b = program.buffer(w.buf);
+                    self.residual_elements += residual.count();
+                    self.residual_stmts += 1;
+                    self.diags.push(
+                        Diagnostic::new(
+                            "F204",
+                            format!(
+                                "residual redundancy: {} element(s) of `{}` written at stmt {} are never demanded by any output",
+                                residual.count(),
+                                b.name,
+                                i
+                            ),
+                        )
+                        .with_block(b.name.clone())
+                        .with_location(format!("stmt {i} -> `{}`{:?}", b.name, residual.intervals()))
+                        .with_help(
+                            "the FRODO generator restricts every statement to its calculation range; residual elements are wasted work",
+                        ),
+                    );
+                }
+            }
+        }
+        // kill: these elements are now produced
+        for w in &acc.writes {
+            state[w.buf.0] = state[w.buf.0].difference(&w.set);
+        }
+        if !live {
+            return; // fully dead statement: demands nothing
+        }
+        // gen: demand the reads. Elementwise statements map the demanded
+        // destination elements exactly; everything else conservatively
+        // demands its full read footprint (over-demand can only hide
+        // residual, never fabricate it).
+        match stmt {
+            Stmt::Unary { dst, src, .. } | Stmt::FusedUnary { dst, src, .. } => {
+                demand_src(state, src, &demanded_dst, dst.off);
+            }
+            Stmt::Binary { dst, a, b, .. } => {
+                demand_src(state, a, &demanded_dst, dst.off);
+                demand_src(state, b, &demanded_dst, dst.off);
+            }
+            Stmt::Select {
+                dst, ctrl, a, b, ..
+            } => {
+                demand_src(state, ctrl, &demanded_dst, dst.off);
+                demand_src(state, a, &demanded_dst, dst.off);
+                demand_src(state, b, &demanded_dst, dst.off);
+            }
+            Stmt::Copy { dst, src, .. } => {
+                let shift = src.off as isize - dst.off as isize;
+                let want = demanded_dst.shift(shift);
+                state[src.buf.0] = state[src.buf.0].union(&want);
+            }
+            Stmt::Fill { .. } => {}
+            Stmt::Gather { dst, src, indices } => {
+                let want =
+                    IndexSet::from_indices(demanded_dst.iter().map(|p| indices[p - dst.off]));
+                state[src.0] = state[src.0].union(&want);
+            }
+            _ => {
+                for r in &acc.reads {
+                    state[r.buf.0] = state[r.buf.0].union(&r.set);
+                }
+            }
+        }
+    }
+}
+
+/// Demand the source elements that produce `demanded` destination
+/// elements of an elementwise statement whose destination starts at
+/// `dst_off`.
+fn demand_src(state: &mut [IndexSet], s: &Src, demanded: &IndexSet, dst_off: usize) {
+    match s {
+        Src::Run(sl) => {
+            let shift = sl.off as isize - dst_off as isize;
+            state[sl.buf.0] = state[sl.buf.0].union(&demanded.shift(shift));
+        }
+        Src::Broadcast(sl) => {
+            if !demanded.is_empty() {
+                state[sl.buf.0] = state[sl.buf.0].union(&IndexSet::point(sl.off));
+            }
+        }
+        Src::Const(_) => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parallel-schedule race checker (F301/F302)
+// ---------------------------------------------------------------------------
+
+/// One sequential strand of a parallel schedule: statements that run in
+/// program order on a single worker.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Statement indices, ascending.
+    pub stmts: Vec<usize>,
+}
+
+/// One synchronization region: all tasks in a unit may run concurrently;
+/// units are separated by barriers and execute in order.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// Concurrent tasks of this unit.
+    pub tasks: Vec<Task>,
+}
+
+/// A claimed parallel execution schedule over a program's statements.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Barrier-separated units, in execution order.
+    pub units: Vec<Unit>,
+}
+
+impl Schedule {
+    /// Maximum number of concurrent tasks in any unit.
+    pub fn width(&self) -> usize {
+        self.units.iter().map(|u| u.tasks.len()).max().unwrap_or(0)
+    }
+}
+
+/// Pairs of statements whose element footprints conflict (write/write or
+/// read/write overlap on at least one element), with a cheap buffer-id
+/// prefilter. Malformed statements conflict with everything.
+pub fn conflict_pairs(accs: &[Result<StmtAccess, Malformed>]) -> Vec<(usize, usize)> {
+    let bufs: Vec<Option<Vec<usize>>> = accs
+        .iter()
+        .map(|a| {
+            a.as_ref().ok().map(|acc| {
+                let mut ids: Vec<usize> = acc
+                    .reads
+                    .iter()
+                    .chain(&acc.writes)
+                    .map(|x| x.buf.0)
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+        })
+        .collect();
+    let mut pairs = Vec::new();
+    for j in 1..accs.len() {
+        for i in 0..j {
+            let touch_common = match (&bufs[i], &bufs[j]) {
+                (Some(a), Some(b)) => a.iter().any(|x| b.binary_search(x).is_ok()),
+                _ => true, // malformed: assume the worst
+            };
+            if !touch_common {
+                continue;
+            }
+            let conflicting = match (&accs[i], &accs[j]) {
+                (Ok(a), Ok(b)) => a.conflicts_with(b),
+                _ => true,
+            };
+            if conflicting {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+/// Derives the finest barrier schedule consistent with the element-level
+/// conflict relation: each statement is its own task, placed in the
+/// earliest unit after every conflicting predecessor. This refines the
+/// model's block-level `analysis_levels` to statement granularity — and
+/// because tasks are singletons it is the most adversarial concurrency
+/// claim: if this schedule verifies race-free, any coarser grouping of
+/// the same units does too.
+pub fn level_schedule(pairs: &[(usize, usize)], n: usize) -> Schedule {
+    let mut level = vec![0usize; n];
+    for &(i, j) in pairs {
+        level[j] = level[j].max(level[i] + 1);
+    }
+    let depth = level.iter().max().map_or(0, |&d| d + 1);
+    let mut units: Vec<Unit> = (0..depth).map(|_| Unit { tasks: vec![] }).collect();
+    for (s, &l) in level.iter().enumerate() {
+        units[l].tasks.push(Task { stmts: vec![s] });
+    }
+    Schedule { units }
+}
+
+/// Verifies a claimed schedule against the element-level conflict
+/// relation: exact coverage, program order within tasks, conflicting
+/// pairs never concurrent (same unit, different tasks → `F301`) and
+/// never reordered across units (`F302`). Returns the findings plus the
+/// number of conflicting pairs checked.
+pub fn check_schedule(
+    program: &Program,
+    schedule: &Schedule,
+    accs: &[Result<StmtAccess, Malformed>],
+    pairs: &[(usize, usize)],
+) -> (Vec<Diagnostic>, usize) {
+    let n = program.stmts.len();
+    let mut diags = Vec::new();
+    let mut unit_of = vec![usize::MAX; n];
+    let mut task_of = vec![usize::MAX; n];
+    let mut seen = vec![0usize; n];
+    for (ui, unit) in schedule.units.iter().enumerate() {
+        for (ti, task) in unit.tasks.iter().enumerate() {
+            if task.stmts.windows(2).any(|w| w[0] >= w[1]) {
+                diags.push(Diagnostic::new(
+                    "F302",
+                    format!(
+                        "malformed parallel schedule: task {ti} of unit {ui} does not keep program order"
+                    ),
+                ));
+            }
+            for &s in &task.stmts {
+                if s >= n {
+                    diags.push(Diagnostic::new(
+                        "F302",
+                        format!("malformed parallel schedule: task {ti} of unit {ui} schedules nonexistent stmt {s}"),
+                    ));
+                    continue;
+                }
+                seen[s] += 1;
+                unit_of[s] = ui;
+                task_of[s] = ti;
+            }
+        }
+    }
+    for (s, &c) in seen.iter().enumerate() {
+        if c != 1 {
+            diags.push(Diagnostic::new(
+                "F302",
+                format!(
+                    "malformed parallel schedule: stmt {s} is scheduled {c} times (want exactly 1)"
+                ),
+            ));
+        }
+    }
+    let mut checked = 0usize;
+    for &(i, j) in pairs {
+        if seen[i] != 1 || seen[j] != 1 {
+            continue; // already reported as a coverage defect
+        }
+        checked += 1;
+        if unit_of[i] == unit_of[j] {
+            if task_of[i] != task_of[j] {
+                let (buf, overlap) = first_overlap(program, accs, i, j);
+                diags.push(
+                    Diagnostic::new(
+                        "F301",
+                        format!(
+                            "data race: stmts {i} and {j} run concurrently in unit {} but both access `{buf}`{overlap}",
+                            unit_of[i]
+                        ),
+                    )
+                    .with_block(buf)
+                    .with_location(format!("unit {} tasks {} and {}", unit_of[i], task_of[i], task_of[j])),
+                );
+            }
+        } else if (unit_of[i] < unit_of[j]) != (i < j) {
+            diags.push(Diagnostic::new(
+                "F302",
+                format!(
+                    "malformed parallel schedule: dependent stmts {i} and {j} are barrier-ordered against their program order (units {} and {})",
+                    unit_of[i], unit_of[j]
+                ),
+            ));
+        }
+    }
+    (diags, checked)
+}
+
+/// Names the first buffer two conflicting statements overlap on, with
+/// the overlapping elements, for `F301` provenance.
+fn first_overlap(
+    program: &Program,
+    accs: &[Result<StmtAccess, Malformed>],
+    i: usize,
+    j: usize,
+) -> (String, String) {
+    if let (Ok(a), Ok(b)) = (&accs[i], &accs[j]) {
+        let sides = [
+            (&a.writes, &b.writes),
+            (&a.writes, &b.reads),
+            (&a.reads, &b.writes),
+        ];
+        for (xs, ys) in sides {
+            for x in xs {
+                for y in ys {
+                    if x.buf == y.buf {
+                        let ov = x.set.intersect(&y.set);
+                        if !ov.is_empty() {
+                            return (
+                                program.buffer(x.buf).name.clone(),
+                                format!(" {:?}", ov.intervals()),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ("<unknown>".to_string(), String::new())
+}
+
+/// Validates the threaded-emission chunk partition (exact in-order
+/// coverage of the statement list) and counts conflicting pairs that
+/// straddle a chunk boundary. Chunked emission only partitions *text
+/// generation*, so straddling pairs are a statistic, not a race — but a
+/// broken partition would drop or duplicate statements (`F302`).
+pub fn check_emission_chunks(
+    n: usize,
+    threads: usize,
+    pairs: &[(usize, usize)],
+) -> (Vec<Diagnostic>, usize, usize) {
+    let chunks = emission_chunks(n, threads);
+    let mut diags = Vec::new();
+    let mut next = 0usize;
+    for &(lo, hi) in &chunks {
+        if lo != next || hi < lo {
+            diags.push(Diagnostic::new(
+                "F302",
+                format!(
+                    "malformed emission partition: chunk [{lo}, {hi}) does not continue at stmt {next}"
+                ),
+            ));
+        }
+        next = hi;
+    }
+    if next != n {
+        diags.push(Diagnostic::new(
+            "F302",
+            format!("malformed emission partition: chunks cover [0, {next}) of {n} stmts"),
+        ));
+    }
+    let chunk_of = |s: usize| chunks.iter().position(|&(lo, hi)| s >= lo && s < hi);
+    let cross = pairs
+        .iter()
+        .filter(|&&(i, j)| chunk_of(i) != chunk_of(j))
+        .count();
+    (diags, chunks.len(), cross)
+}
+
+// ---------------------------------------------------------------------------
+// buffer-lifetime analysis (report only)
+// ---------------------------------------------------------------------------
+
+fn role_label(role: &BufferRole) -> &'static str {
+    match role {
+        BufferRole::Input(_) => "input",
+        BufferRole::Output(_) => "output",
+        BufferRole::Temp => "temp",
+        BufferRole::Const(_) => "const",
+        BufferRole::State(_) => "state",
+    }
+}
+
+/// Computes lifetime spans, dead stores and a greedy storage packing of
+/// `Temp` buffers.
+fn lifetime_report(
+    program: &Program,
+    demands: &[OutputDemand],
+    accs: &[Result<StmtAccess, Malformed>],
+    slop: usize,
+) -> LifetimeReport {
+    let nb = program.buffers.len();
+    let mut first_write = vec![None::<usize>; nb];
+    let mut last_read = vec![None::<usize>; nb];
+    for (i, acc) in accs.iter().enumerate() {
+        let Ok(acc) = acc else { continue };
+        for w in &acc.writes {
+            first_write[w.buf.0].get_or_insert(i);
+        }
+        for r in &acc.reads {
+            last_read[r.buf.0] = Some(i);
+        }
+    }
+    // backward liveness for dead stores: outputs and state are live at
+    // the end of the invocation
+    let mut live: Vec<IndexSet> = program
+        .buffers
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| match &b.role {
+            BufferRole::Output(idx) => demands
+                .iter()
+                .find(|d| d.index == *idx)
+                .map(|d| d.range.clone())
+                .unwrap_or_else(|| IndexSet::full(b.len)),
+            BufferRole::State(_) => IndexSet::full(b.len),
+            _ => {
+                let _ = bi;
+                IndexSet::new()
+            }
+        })
+        .collect();
+    let mut dead_store_elements = 0usize;
+    let mut dead_store_stmts = 0usize;
+    for (i, acc) in accs.iter().enumerate().rev() {
+        let Ok(acc) = acc else { continue };
+        let mut stmt_dead = 0usize;
+        for w in &acc.writes {
+            // forgive writes inside slop-bridged gaps of live elements:
+            // coalesced lowering writes them on purpose (a contiguous run
+            // is cheaper than a strided one), mirroring the residual
+            // detector's demand_slop
+            stmt_dead += w.set.difference(&live[w.buf.0].coalesce(slop)).count();
+            live[w.buf.0] = live[w.buf.0].difference(&w.set);
+        }
+        for r in &acc.reads {
+            live[r.buf.0] = live[r.buf.0].union(&r.set);
+        }
+        if stmt_dead > 0 {
+            dead_store_elements += stmt_dead;
+            dead_store_stmts += 1;
+        }
+        let _ = i;
+    }
+    // greedy slot packing of temps by [first_write, last_read] span
+    let mut temps: Vec<usize> = (0..nb)
+        .filter(|&b| {
+            matches!(program.buffers[b].role, BufferRole::Temp)
+                && first_write[b].is_some()
+                && last_read[b].is_some()
+        })
+        .collect();
+    temps.sort_by_key(|&b| (first_write[b], last_read[b], b));
+    let mut slots: Vec<(usize, usize, usize)> = Vec::new(); // (last end, max len, last buf)
+    let mut reuse_pairs = Vec::new();
+    for &b in &temps {
+        let (fw, lr) = (first_write[b].unwrap(), last_read[b].unwrap());
+        if let Some(slot) = slots.iter_mut().find(|s| s.0 < fw) {
+            reuse_pairs.push((
+                program.buffers[slot.2].name.clone(),
+                program.buffers[b].name.clone(),
+            ));
+            slot.0 = lr;
+            slot.1 = slot.1.max(program.buffers[b].len);
+            slot.2 = b;
+        } else {
+            slots.push((lr, program.buffers[b].len, b));
+        }
+    }
+    let temp_total: usize = temps.iter().map(|&b| program.buffers[b].len).sum();
+    let slot_total: usize = slots.iter().map(|s| s.1).sum();
+    LifetimeReport {
+        buffers: program
+            .buffers
+            .iter()
+            .enumerate()
+            .map(|(bi, b)| BufferLifetime {
+                name: b.name.clone(),
+                len: b.len,
+                role: role_label(&b.role),
+                first_write: first_write[bi],
+                last_read: last_read[bi],
+            })
+            .collect(),
+        dead_store_elements,
+        dead_store_stmts,
+        temp_buffers: temps.len(),
+        temp_slots: slots.len(),
+        reclaimable_elements: temp_total.saturating_sub(slot_total),
+        reuse_pairs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// orchestration
+// ---------------------------------------------------------------------------
+
+/// Runs all four analyses over a compiled model: output demands come
+/// from Algorithm 1's calculation ranges, and the race check's region
+/// statistic from the model's block-level analysis levels.
+pub fn analyze_compile(
+    analysis: &Analysis,
+    program: &Program,
+    opts: &AnalyzeOptions,
+) -> AnalyzeReport {
+    let demands = output_demands(analysis, program);
+    let region_levels = analysis
+        .dfg()
+        .analysis_levels()
+        .map(|l| l.len())
+        .unwrap_or(0);
+    analyze_inner(program, &demands, region_levels, opts)
+}
+
+/// Runs all four analyses over a bare program with explicit output
+/// demands (an empty slice demands every output's full extent).
+pub fn analyze_program(
+    program: &Program,
+    demands: &[OutputDemand],
+    opts: &AnalyzeOptions,
+) -> AnalyzeReport {
+    let full: Vec<OutputDemand>;
+    let demands = if demands.is_empty() {
+        full = program
+            .outputs()
+            .iter()
+            .map(|&(index, buf)| OutputDemand {
+                index,
+                range: IndexSet::full(program.buffer(buf).len),
+                block: None,
+            })
+            .collect();
+        &full
+    } else {
+        demands
+    };
+    analyze_inner(program, demands, 0, opts)
+}
+
+fn analyze_inner(
+    program: &Program,
+    demands: &[OutputDemand],
+    region_levels: usize,
+    opts: &AnalyzeOptions,
+) -> AnalyzeReport {
+    let accs: Vec<Result<StmtAccess, Malformed>> = program
+        .stmts
+        .iter()
+        .map(|s| stmt_access(program, s))
+        .collect();
+
+    // 1. value ranges: fixpoint, widen if needed, then one reporting pass
+    let mut ia = IntervalAnalysis {
+        opts,
+        widen: false,
+        report: false,
+        taint: std::cell::Cell::new(false),
+        flagged: BTreeSet::new(),
+        diags: Vec::new(),
+    };
+    let mut fix = run_to_fixpoint(program, &mut ia, opts.max_passes);
+    let mut interval_passes = fix.passes;
+    if !fix.converged {
+        ia.widen = true;
+        let rerun = run_to_fixpoint(program, &mut ia, 3);
+        interval_passes += rerun.passes;
+        fix = rerun;
+        ia.widen = false;
+    }
+    ia.report = true;
+    let mut final_state = fix.entry.clone();
+    run_one_pass(program, &mut ia, &mut final_state);
+    let mut diagnostics = std::mem::take(&mut ia.diags);
+    let value_ranges: Vec<(String, f64, f64)> = program
+        .buffers
+        .iter()
+        .zip(&final_state)
+        .filter_map(|(b, r)| r.map(|r| (b.name.clone(), r.lo, r.hi)))
+        .collect();
+
+    // 2. residual redundancy: backward demand fixpoint, then report
+    let base: Vec<IndexSet> = program
+        .buffers
+        .iter()
+        .map(|b| match &b.role {
+            BufferRole::Output(idx) => demands
+                .iter()
+                .find(|d| d.index == *idx)
+                .map(|d| d.range.clone())
+                .unwrap_or_else(|| IndexSet::full(b.len)),
+            BufferRole::State(_) => IndexSet::full(b.len),
+            _ => IndexSet::new(),
+        })
+        .collect();
+    let mut da = DemandAnalysis {
+        opts,
+        accs: &accs,
+        base,
+        report: false,
+        residual_elements: 0,
+        residual_stmts: 0,
+        diags: Vec::new(),
+    };
+    let dfix = run_to_fixpoint(program, &mut da, opts.max_passes.max(4));
+    da.report = true;
+    let mut demand_state = dfix.entry.clone();
+    run_one_pass(program, &mut da, &mut demand_state);
+    // the reporting sweep runs backward: restore statement order
+    da.diags.reverse();
+    let residual_elements = da.residual_elements;
+    let residual_stmts = da.residual_stmts;
+    diagnostics.extend(da.diags);
+
+    // 3. schedule races: derive the finest schedule, verify it, and
+    // validate the threaded-emission partition
+    let pairs = conflict_pairs(&accs);
+    let schedule = level_schedule(&pairs, program.stmts.len());
+    let (race_diags, schedule_pairs) = check_schedule(program, &schedule, &accs, &pairs);
+    diagnostics.extend(race_diags);
+    let (chunk_diags, chunk_count, chunk_cross_conflicts) =
+        check_emission_chunks(program.stmts.len(), opts.emit_threads, &pairs);
+    diagnostics.extend(chunk_diags);
+
+    // 4. lifetimes
+    let lifetime = lifetime_report(program, demands, &accs, opts.demand_slop);
+
+    AnalyzeReport {
+        diagnostics,
+        stmts: program.stmts.len(),
+        buffers: program.buffers.len(),
+        interval_passes,
+        interval_converged: fix.converged,
+        value_ranges,
+        residual_elements,
+        residual_stmts,
+        schedule_units: schedule.units.len(),
+        schedule_width: schedule.width(),
+        schedule_pairs,
+        region_levels,
+        chunk_count,
+        chunk_cross_conflicts,
+        lifetime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frodo_codegen::lir::{Buffer, Slice};
+    use frodo_codegen::{generate, GeneratorStyle};
+    use frodo_model::{Block, BlockKind, Model, SelectorMode, Tensor};
+    use frodo_ranges::Shape;
+
+    fn buf(name: &str, len: usize, role: BufferRole) -> Buffer {
+        Buffer {
+            name: name.into(),
+            len,
+            role,
+        }
+    }
+
+    fn program(buffers: Vec<Buffer>, stmts: Vec<Stmt>) -> Program {
+        Program {
+            name: "t".into(),
+            style: GeneratorStyle::Frodo,
+            buffers,
+            stmts,
+        }
+    }
+
+    fn codes(report: &AnalyzeReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn division_by_possible_zero_is_flagged_f201() {
+        // out0 = in0 / t0 where t0 = in0 - in0 could be exactly 0
+        let p = program(
+            vec![
+                buf("in0", 4, BufferRole::Input(0)),
+                buf("t0", 4, BufferRole::Temp),
+                buf("out0", 4, BufferRole::Output(0)),
+            ],
+            vec![
+                Stmt::Fill {
+                    dst: Slice::new(BufId(1), 0),
+                    value: 0.0,
+                    len: 4,
+                },
+                Stmt::Binary {
+                    op: BinOp::Div,
+                    dst: Slice::new(BufId(2), 0),
+                    a: Src::Run(Slice::new(BufId(0), 0)),
+                    b: Src::Run(Slice::new(BufId(1), 0)),
+                    len: 4,
+                },
+            ],
+        );
+        let r = analyze_program(&p, &[], &AnalyzeOptions::default());
+        assert!(codes(&r).contains(&"F201"), "got {:?}", codes(&r));
+        assert!(r.race_free());
+    }
+
+    #[test]
+    fn log_of_negative_constant_is_flagged_f202() {
+        let p = program(
+            vec![
+                buf("c", 4, BufferRole::Const(vec![-1.0; 4])),
+                buf("out0", 4, BufferRole::Output(0)),
+            ],
+            vec![Stmt::Unary {
+                op: UnOp::Log,
+                dst: Slice::new(BufId(1), 0),
+                src: Src::Run(Slice::new(BufId(0), 0)),
+                len: 4,
+            }],
+        );
+        let r = analyze_program(&p, &[], &AnalyzeOptions::default());
+        assert_eq!(codes(&r), vec!["F202"]);
+    }
+
+    #[test]
+    fn overflow_to_inf_is_flagged_f203_once() {
+        let p = program(
+            vec![
+                buf("c", 2, BufferRole::Const(vec![1.0e308; 2])),
+                buf("out0", 2, BufferRole::Output(0)),
+            ],
+            vec![Stmt::Binary {
+                op: BinOp::Mul,
+                dst: Slice::new(BufId(1), 0),
+                a: Src::Run(Slice::new(BufId(0), 0)),
+                b: Src::Run(Slice::new(BufId(0), 0)),
+                len: 2,
+            }],
+        );
+        let r = analyze_program(&p, &[], &AnalyzeOptions::default());
+        assert_eq!(codes(&r), vec!["F203"]);
+    }
+
+    #[test]
+    fn square_then_sqrt_chain_is_clean() {
+        // sqrt(moving-average(x^2)) — the benchmark RMS idiom — must not
+        // trip F202: Square proves nonnegativity
+        let p = program(
+            vec![
+                buf("in0", 8, BufferRole::Input(0)),
+                buf("sq", 8, BufferRole::Temp),
+                buf("avg", 8, BufferRole::Temp),
+                buf("out0", 8, BufferRole::Output(0)),
+            ],
+            vec![
+                Stmt::Unary {
+                    op: UnOp::Square,
+                    dst: Slice::new(BufId(1), 0),
+                    src: Src::Run(Slice::new(BufId(0), 0)),
+                    len: 8,
+                },
+                Stmt::MovingAvg {
+                    dst: BufId(2),
+                    src: BufId(1),
+                    window: 4,
+                    k0: 0,
+                    k1: 8,
+                },
+                Stmt::Unary {
+                    op: UnOp::Sqrt,
+                    dst: Slice::new(BufId(3), 0),
+                    src: Src::Run(Slice::new(BufId(2), 0)),
+                    len: 8,
+                },
+            ],
+        );
+        let r = analyze_program(&p, &[], &AnalyzeOptions::default());
+        assert!(r.is_clean(), "unexpected findings: {:?}", r.diagnostics);
+        assert!(r.interval_converged);
+    }
+
+    #[test]
+    fn figure1_style_overcomputation_is_residual_f204() {
+        // a full 60-element convolution result of which only [5, 55) is
+        // consumed: the paper's Figure 1 redundancy, 10 residual elements
+        let p = program(
+            vec![
+                buf("u", 50, BufferRole::Input(0)),
+                buf("v", 11, BufferRole::Const(vec![0.1; 11])),
+                buf("conv", 60, BufferRole::Temp),
+                buf("out0", 50, BufferRole::Output(0)),
+            ],
+            vec![
+                Stmt::Conv {
+                    dst: BufId(2),
+                    u: BufId(0),
+                    u_len: 50,
+                    v: BufId(1),
+                    v_len: 11,
+                    k0: 0,
+                    k1: 60,
+                    style: frodo_codegen::lir::ConvStyle::Branchy,
+                },
+                Stmt::Copy {
+                    dst: Slice::new(BufId(3), 0),
+                    src: Slice::new(BufId(2), 5),
+                    len: 50,
+                },
+            ],
+        );
+        let r = analyze_program(&p, &[], &AnalyzeOptions::default());
+        assert_eq!(r.residual_elements, 10);
+        assert_eq!(r.residual_stmts, 1);
+        assert_eq!(codes(&r), vec!["F204"]);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.block.as_deref(), Some("conv"));
+    }
+
+    #[test]
+    fn frodo_style_conv_pipeline_has_no_residual_but_simulink_does() {
+        let mut m = Model::new("fig1");
+        let i = m.add(Block::new(
+            "in",
+            BlockKind::Inport {
+                index: 0,
+                shape: Shape::Vector(50),
+            },
+        ));
+        let k = m.add(Block::new(
+            "k",
+            BlockKind::Constant {
+                value: Tensor::vector(vec![0.1; 11]),
+            },
+        ));
+        let c = m.add(Block::new("conv", BlockKind::Convolution));
+        let s = m.add(Block::new(
+            "sel",
+            BlockKind::Selector {
+                mode: SelectorMode::StartEnd { start: 5, end: 55 },
+            },
+        ));
+        let o = m.add(Block::new("out", BlockKind::Outport { index: 0 }));
+        m.connect(i, 0, c, 0).unwrap();
+        m.connect(k, 0, c, 1).unwrap();
+        m.connect(c, 0, s, 0).unwrap();
+        m.connect(s, 0, o, 0).unwrap();
+        let analysis = Analysis::run(m).unwrap();
+        let opts = AnalyzeOptions::default();
+
+        let frodo = generate(&analysis, GeneratorStyle::Frodo, &frodo_obs::Trace::noop());
+        let r = analyze_compile(&analysis, &frodo, &opts);
+        assert_eq!(
+            r.residual_elements, 0,
+            "frodo output over-computes: {:?}",
+            r.diagnostics
+        );
+        assert!(r.is_clean(), "unexpected findings: {:?}", r.diagnostics);
+        assert!(r.race_free());
+        assert!(r.region_levels > 0);
+
+        let baseline = generate(
+            &analysis,
+            GeneratorStyle::SimulinkCoder,
+            &frodo_obs::Trace::noop(),
+        );
+        let rb = analyze_compile(&analysis, &baseline, &opts);
+        assert!(
+            rb.residual_elements > 0,
+            "baseline should over-compute the convolution tails"
+        );
+        assert!(rb.race_free(), "over-computation is not a race");
+    }
+
+    #[test]
+    fn same_unit_overlapping_writes_are_a_race_f301() {
+        let p = program(
+            vec![
+                buf("in0", 8, BufferRole::Input(0)),
+                buf("out0", 8, BufferRole::Output(0)),
+            ],
+            vec![
+                Stmt::Fill {
+                    dst: Slice::new(BufId(1), 0),
+                    value: 1.0,
+                    len: 6,
+                },
+                Stmt::Fill {
+                    dst: Slice::new(BufId(1), 4),
+                    value: 2.0,
+                    len: 4,
+                },
+            ],
+        );
+        let accs: Vec<_> = p.stmts.iter().map(|s| stmt_access(&p, s)).collect();
+        let pairs = conflict_pairs(&accs);
+        assert_eq!(pairs, vec![(0, 1)]);
+        // claim both statements run concurrently: the checker must refute
+        let claimed = Schedule {
+            units: vec![Unit {
+                tasks: vec![Task { stmts: vec![0] }, Task { stmts: vec![1] }],
+            }],
+        };
+        let (diags, checked) = check_schedule(&p, &claimed, &accs, &pairs);
+        assert_eq!(checked, 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "F301");
+        assert!(diags[0].message.contains("out0"), "{}", diags[0].message);
+        // the derived schedule serializes them and verifies race-free
+        let derived = level_schedule(&pairs, p.stmts.len());
+        assert_eq!(derived.units.len(), 2);
+        let (diags, _) = check_schedule(&p, &derived, &accs, &pairs);
+        assert!(diags.is_empty());
+        // and the full analysis concurs
+        let r = analyze_program(&p, &[], &AnalyzeOptions::default());
+        assert!(r.race_free());
+    }
+
+    #[test]
+    fn incomplete_or_reordered_schedules_are_f302() {
+        let p = program(
+            vec![
+                buf("in0", 4, BufferRole::Input(0)),
+                buf("out0", 4, BufferRole::Output(0)),
+            ],
+            vec![
+                Stmt::Copy {
+                    dst: Slice::new(BufId(1), 0),
+                    src: Slice::new(BufId(0), 0),
+                    len: 4,
+                },
+                Stmt::Unary {
+                    op: UnOp::Gain(2.0),
+                    dst: Slice::new(BufId(1), 0),
+                    src: Src::Run(Slice::new(BufId(1), 0)),
+                    len: 4,
+                },
+            ],
+        );
+        let accs: Vec<_> = p.stmts.iter().map(|s| stmt_access(&p, s)).collect();
+        let pairs = conflict_pairs(&accs);
+        // missing stmt 1
+        let missing = Schedule {
+            units: vec![Unit {
+                tasks: vec![Task { stmts: vec![0] }],
+            }],
+        };
+        let (diags, _) = check_schedule(&p, &missing, &accs, &pairs);
+        assert!(diags.iter().any(|d| d.code == "F302"));
+        // dependence order inverted across units
+        let inverted = Schedule {
+            units: vec![
+                Unit {
+                    tasks: vec![Task { stmts: vec![1] }],
+                },
+                Unit {
+                    tasks: vec![Task { stmts: vec![0] }],
+                },
+            ],
+        };
+        let (diags, _) = check_schedule(&p, &inverted, &accs, &pairs);
+        assert!(diags.iter().any(|d| d.code == "F302"));
+    }
+
+    #[test]
+    fn dead_store_and_temp_reuse_are_reported() {
+        let p = program(
+            vec![
+                buf("in0", 8, BufferRole::Input(0)),
+                buf("t0", 8, BufferRole::Temp),
+                buf("t1", 8, BufferRole::Temp),
+                buf("dead", 8, BufferRole::Temp),
+                buf("out0", 8, BufferRole::Output(0)),
+            ],
+            vec![
+                Stmt::Copy {
+                    dst: Slice::new(BufId(1), 0),
+                    src: Slice::new(BufId(0), 0),
+                    len: 8,
+                },
+                // never read again: all 8 elements are dead stores
+                Stmt::Fill {
+                    dst: Slice::new(BufId(3), 0),
+                    value: 0.0,
+                    len: 8,
+                },
+                Stmt::Unary {
+                    op: UnOp::Abs,
+                    dst: Slice::new(BufId(2), 0),
+                    src: Src::Run(Slice::new(BufId(1), 0)),
+                    len: 8,
+                },
+                Stmt::Copy {
+                    dst: Slice::new(BufId(4), 0),
+                    src: Slice::new(BufId(2), 0),
+                    len: 8,
+                },
+            ],
+        );
+        let r = analyze_program(&p, &[], &AnalyzeOptions::default());
+        assert!(r.lifetime.dead_store_elements >= 8);
+        assert_eq!(r.lifetime.temp_buffers, 2); // dead has no last_read
+                                                // t1 is first written at stmt 2, t0 last read at stmt 2: the
+                                                // spans overlap, so both need slots; no reclaim here
+        assert_eq!(r.lifetime.temp_slots, 2);
+        let lt = &r.lifetime.buffers[1];
+        assert_eq!((lt.first_write, lt.last_read), (Some(0), Some(2)));
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let p = program(
+            vec![
+                buf("c", 4, BufferRole::Const(vec![-1.0; 4])),
+                buf("t", 4, BufferRole::Temp),
+                buf("out0", 4, BufferRole::Output(0)),
+            ],
+            vec![
+                Stmt::Unary {
+                    op: UnOp::Log,
+                    dst: Slice::new(BufId(1), 0),
+                    src: Src::Run(Slice::new(BufId(0), 0)),
+                    len: 4,
+                },
+                Stmt::Unary {
+                    op: UnOp::Sqrt,
+                    dst: Slice::new(BufId(2), 0),
+                    src: Src::Run(Slice::new(BufId(1), 0)),
+                    len: 4,
+                },
+            ],
+        );
+        let a = analyze_program(&p, &[], &AnalyzeOptions::default());
+        let b = analyze_program(&p, &[], &AnalyzeOptions::default());
+        let fmt = |r: &AnalyzeReport| {
+            r.diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(fmt(&a), fmt(&b));
+        assert!(!a.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn state_feedback_converges_or_widens_without_panicking() {
+        // state = state * 1.5 + input: diverges, must widen and settle
+        let p = program(
+            vec![
+                buf("in0", 4, BufferRole::Input(0)),
+                buf("acc", 4, BufferRole::State(vec![1.0; 4])),
+                buf("work", 4, BufferRole::Temp),
+                buf("out0", 4, BufferRole::Output(0)),
+            ],
+            vec![
+                Stmt::StateLoad {
+                    dst: BufId(2),
+                    state: BufId(1),
+                    len: 4,
+                },
+                Stmt::Unary {
+                    op: UnOp::Gain(1.5),
+                    dst: Slice::new(BufId(2), 0),
+                    src: Src::Run(Slice::new(BufId(2), 0)),
+                    len: 4,
+                },
+                Stmt::StateStore {
+                    state: BufId(1),
+                    src: BufId(2),
+                    len: 4,
+                },
+                Stmt::Copy {
+                    dst: Slice::new(BufId(3), 0),
+                    src: Slice::new(BufId(2), 0),
+                    len: 4,
+                },
+            ],
+        );
+        let r = analyze_program(&p, &[], &AnalyzeOptions::default());
+        assert!(r.interval_converged, "widening must force convergence");
+        let acc = r.value_ranges.iter().find(|v| v.0 == "acc").unwrap();
+        assert!(acc.2 >= 1.0e6, "feedback should have widened: {acc:?}");
+    }
+}

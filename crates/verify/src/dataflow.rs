@@ -1,0 +1,239 @@
+//! A small generic dataflow engine over the lowered statement IR.
+//!
+//! The lowered [`Program`](frodo_codegen::lir::Program) is a straight-line
+//! sequence of statements executed once per simulation step, with state
+//! buffers carrying values between invocations. That makes the control-flow
+//! graph trivial — one basic block plus a back edge for the invocation
+//! boundary — so a dataflow analysis here is an ordered sweep over the
+//! statements (forward or backward) iterated to a fixpoint across the
+//! back edge.
+//!
+//! Clients implement [`Transfer`]; [`run_to_fixpoint`] drives the sweeps.
+//! The engine itself is deliberately silent: clients typically iterate to
+//! convergence first and then run one extra *reporting* pass over the
+//! stabilized states to emit diagnostics, so that warnings are not
+//! duplicated per pass and do not depend on the pass count.
+
+use frodo_codegen::lir::{Program, Stmt};
+
+/// Sweep direction for a dataflow analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Statements are visited first-to-last (e.g. value ranges).
+    Forward,
+    /// Statements are visited last-to-first (e.g. demand / liveness).
+    Backward,
+}
+
+/// A dataflow analysis over a lowered program.
+///
+/// `State` is the whole abstract store (typically one lattice value per
+/// buffer); the engine clones it to detect convergence, so it must be
+/// cheap-ish to clone and comparable.
+pub trait Transfer {
+    /// The abstract store threaded through the statement sweep.
+    type State: Clone + PartialEq;
+
+    /// Which way the sweep runs.
+    fn direction(&self) -> Direction;
+
+    /// The store at the sweep entry of the *first* invocation: before the
+    /// first statement for forward analyses, after the last statement for
+    /// backward ones.
+    fn boundary(&mut self, program: &Program) -> Self::State;
+
+    /// Apply one statement's effect to the store. `idx` is the statement's
+    /// position in program order regardless of sweep direction.
+    fn transfer(&mut self, program: &Program, idx: usize, stmt: &Stmt, state: &mut Self::State);
+
+    /// Apply the invocation back edge: called between sweeps with the store
+    /// from the end of one invocation, producing the entry store of the
+    /// next. The default keeps the store unchanged, which models state
+    /// buffers carrying values across steps verbatim.
+    fn invocation_boundary(&mut self, _program: &Program, _state: &mut Self::State) {}
+}
+
+/// Result of [`run_to_fixpoint`].
+#[derive(Debug, Clone)]
+pub struct Fixpoint<S> {
+    /// The stabilized store at the sweep entry (after the last applied
+    /// invocation boundary).
+    pub entry: S,
+    /// Number of full sweeps performed (at least 1).
+    pub passes: usize,
+    /// Whether the store stopped changing within the pass budget. When
+    /// false, clients should widen or treat the result as conservative.
+    pub converged: bool,
+}
+
+/// Sweep `t` over `program` repeatedly until the entry store stops
+/// changing or `max_passes` sweeps have run.
+///
+/// Each pass starts from the current entry store, applies every statement
+/// in `t.direction()` order, then applies [`Transfer::invocation_boundary`]
+/// to produce the candidate entry store of the next pass. Convergence is
+/// detected by comparing consecutive entry stores with `PartialEq`.
+pub fn run_to_fixpoint<T: Transfer>(
+    program: &Program,
+    t: &mut T,
+    max_passes: usize,
+) -> Fixpoint<T::State> {
+    let mut entry = t.boundary(program);
+    let mut passes = 0;
+    let mut converged = false;
+    while passes < max_passes.max(1) {
+        passes += 1;
+        let mut state = entry.clone();
+        run_one_pass(program, t, &mut state);
+        t.invocation_boundary(program, &mut state);
+        if state == entry {
+            converged = true;
+            break;
+        }
+        entry = state;
+    }
+    Fixpoint {
+        entry,
+        passes,
+        converged,
+    }
+}
+
+/// Apply every statement of `program` to `state` in `t.direction()` order,
+/// without touching the invocation boundary. Useful for the final
+/// *reporting* pass over an already-stabilized entry store.
+pub fn run_one_pass<T: Transfer>(program: &Program, t: &mut T, state: &mut T::State) {
+    match t.direction() {
+        Direction::Forward => {
+            for (i, stmt) in program.stmts.iter().enumerate() {
+                t.transfer(program, i, stmt, state);
+            }
+        }
+        Direction::Backward => {
+            for (i, stmt) in program.stmts.iter().enumerate().rev() {
+                t.transfer(program, i, stmt, state);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frodo_codegen::lir::{BufId, Buffer, BufferRole, Slice, Src, Stmt, UnOp};
+    use frodo_codegen::GeneratorStyle;
+
+    fn tiny_program() -> Program {
+        // in0 -> gain -> out0, with a state buffer feeding back.
+        Program {
+            name: "tiny".into(),
+            style: GeneratorStyle::Frodo,
+            buffers: vec![
+                Buffer {
+                    name: "in0".into(),
+                    len: 4,
+                    role: BufferRole::Input(0),
+                },
+                Buffer {
+                    name: "acc".into(),
+                    len: 4,
+                    role: BufferRole::State(vec![0.0; 4]),
+                },
+                Buffer {
+                    name: "out0".into(),
+                    len: 4,
+                    role: BufferRole::Output(0),
+                },
+            ],
+            stmts: vec![
+                Stmt::StateLoad {
+                    dst: BufId(2),
+                    state: BufId(1),
+                    len: 4,
+                },
+                Stmt::Unary {
+                    op: UnOp::Gain(2.0),
+                    dst: Slice {
+                        buf: BufId(2),
+                        off: 0,
+                    },
+                    src: Src::Run(Slice {
+                        buf: BufId(0),
+                        off: 0,
+                    }),
+                    len: 4,
+                },
+                Stmt::StateStore {
+                    state: BufId(1),
+                    src: BufId(2),
+                    len: 4,
+                },
+            ],
+        }
+    }
+
+    /// Records visit order; converges after one extra pass.
+    struct OrderProbe {
+        dir: Direction,
+        seen: Vec<usize>,
+    }
+
+    impl Transfer for OrderProbe {
+        type State = usize;
+        fn direction(&self) -> Direction {
+            self.dir
+        }
+        fn boundary(&mut self, _p: &Program) -> usize {
+            0
+        }
+        fn transfer(&mut self, _p: &Program, idx: usize, _s: &Stmt, state: &mut usize) {
+            self.seen.push(idx);
+            *state = (*state).max(idx + 1);
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_visit_orders() {
+        let p = tiny_program();
+        let mut f = OrderProbe {
+            dir: Direction::Forward,
+            seen: vec![],
+        };
+        let out = run_to_fixpoint(&p, &mut f, 8);
+        assert!(out.converged);
+        // pass 1 changes the state (0 -> 3), pass 2 confirms the fixpoint.
+        assert_eq!(out.passes, 2);
+        assert_eq!(f.seen, vec![0, 1, 2, 0, 1, 2]);
+
+        let mut b = OrderProbe {
+            dir: Direction::Backward,
+            seen: vec![],
+        };
+        run_to_fixpoint(&p, &mut b, 8);
+        assert_eq!(&b.seen[..3], &[2, 1, 0]);
+    }
+
+    /// A widening counter that never stabilizes on its own: checks the
+    /// pass budget is honored and reported.
+    struct Diverge;
+    impl Transfer for Diverge {
+        type State = u64;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&mut self, _p: &Program) -> u64 {
+            0
+        }
+        fn transfer(&mut self, _p: &Program, _i: usize, _s: &Stmt, state: &mut u64) {
+            *state += 1;
+        }
+    }
+
+    #[test]
+    fn pass_budget_is_honored_and_reported() {
+        let p = tiny_program();
+        let out = run_to_fixpoint(&p, &mut Diverge, 5);
+        assert!(!out.converged);
+        assert_eq!(out.passes, 5);
+    }
+}

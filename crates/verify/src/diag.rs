@@ -100,8 +100,9 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// One registered rule: code, default severity, and a one-line summary
-/// (also the SARIF `rules` table and the README codes table).
+/// One registered rule: code, default severity, a one-line summary (also
+/// the SARIF `rules` table and the README codes table), and a minimal
+/// triggering example for `frodo lint --explain`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rule {
     /// Stable code.
@@ -110,75 +111,127 @@ pub struct Rule {
     pub severity: Severity,
     /// One-line summary.
     pub summary: &'static str,
+    /// Minimal triggering example, one line.
+    pub example: &'static str,
 }
 
-/// Every rule the linter (`F0xx`) and the soundness checker (`F1xx`) can
-/// emit, in code order.
+/// Every rule the linter (`F0xx`), the soundness checker (`F1xx`), and
+/// the dataflow analyses (`F2xx` numeric safety / residual redundancy,
+/// `F3xx` schedule races) can emit, in code order.
 pub const RULES: &[Rule] = &[
     Rule {
         code: "F001",
         severity: Severity::Error,
         summary: "input port has no incoming connection",
+        example: "a Gain block whose input port is never the target of a connect()",
     },
     Rule {
         code: "F002",
         severity: Severity::Error,
         summary: "input port is driven by more than one connection",
+        example: "two source blocks both connected to Add's in0",
     },
     Rule {
         code: "F003",
         severity: Severity::Error,
         summary: "operand shapes are incompatible across an edge",
+        example: "Add fed a Vector(8) on in0 and a Vector(4) on in1",
     },
     Rule {
         code: "F004",
         severity: Severity::Error,
         summary: "truncation parameter indexes outside the input extent",
+        example: "Selector start=5 end=55 on a Vector(50) input",
     },
     Rule {
         code: "F005",
         severity: Severity::Error,
         summary: "delay-free cycle (algebraic loop)",
+        example: "Add -> Gain -> Add with no UnitDelay on the feedback edge",
     },
     Rule {
         code: "F006",
         severity: Severity::Warning,
         summary: "dead block: calculation range is empty",
+        example: "a Gain whose only consumer selects none of its elements",
     },
     Rule {
         code: "F007",
         severity: Severity::Warning,
         summary: "output port drives no consumer",
+        example: "a Product block whose output is connected to nothing",
     },
     Rule {
         code: "F008",
         severity: Severity::Error,
         summary: "model failed validation",
+        example: "any ModelError without a more specific rule mapping",
     },
     Rule {
         code: "F101",
         severity: Severity::Error,
         summary: "element read before any statement writes it",
+        example: "a Copy reading temp[5..8] when only temp[0..5] was computed",
     },
     Rule {
         code: "F102",
         severity: Severity::Error,
         summary: "index outside the buffer's declared extent",
+        example: "a run reading in0[8..11] from a buffer of extent 8",
     },
     Rule {
         code: "F103",
         severity: Severity::Error,
         summary: "output under-computation: demanded elements never written",
+        example: "out0 demands [0, 8) but the final copy writes only [0, 6)",
     },
     Rule {
         code: "F104",
         severity: Severity::Error,
         summary: "output over-computation: elements written beyond the demand",
+        example: "out0 demands [0, 4) but the program writes [0, 8)",
     },
     Rule {
         code: "F105",
         severity: Severity::Error,
         summary: "malformed or degenerate statement",
+        example: "a Unary statement with len == 0",
+    },
+    Rule {
+        code: "F201",
+        severity: Severity::Warning,
+        summary: "possible division by zero (divisor interval contains 0)",
+        example: "Divide whose divisor is an unconstrained input with interval [-1e6, 1e6]",
+    },
+    Rule {
+        code: "F202",
+        severity: Severity::Warning,
+        summary: "sqrt/log of a possibly negative operand",
+        example: "Sqrt applied directly to an input with interval [-1e6, 1e6]",
+    },
+    Rule {
+        code: "F203",
+        severity: Severity::Warning,
+        summary: "arithmetic may overflow to +/-inf",
+        example: "Gain(1e300) applied to a value already bounded by 1e300",
+    },
+    Rule {
+        code: "F204",
+        severity: Severity::Warning,
+        summary: "residual redundancy: elements written but never demanded",
+        example: "a full-range Conv writing [0, 60) when the Selector demands only [5, 55)",
+    },
+    Rule {
+        code: "F301",
+        severity: Severity::Error,
+        summary: "data race: concurrent statements access overlapping elements",
+        example: "two statements in one schedule unit both writing buf[4..8]",
+    },
+    Rule {
+        code: "F302",
+        severity: Severity::Error,
+        summary: "malformed parallel schedule (coverage or dependence order)",
+        example: "a schedule placing a reader in an earlier unit than its writer",
     },
 ];
 

@@ -1,7 +1,7 @@
 //! Static analysis and translation validation for the FRODO pipeline.
 //!
-//! Two layers, both producing structured [`Diagnostic`]s with stable
-//! `F0xx`/`F1xx` codes (see [`RULES`]) and human / JSON / SARIF renderers:
+//! Three layers, all producing structured [`Diagnostic`]s with stable
+//! `F0xx`–`F3xx` codes (see [`RULES`]) and human / JSON / SARIF renderers:
 //!
 //! 1. **Model lint** ([`lint`]) — structural checks over the flattened
 //!    model and its dataflow graph: unconnected or multiply-driven inputs,
@@ -15,6 +15,13 @@
 //!    output's final written set *exactly equal* to the range Algorithm 1
 //!    demanded. A clean pass is a per-compilation certificate that
 //!    redundancy elimination did not change observable outputs.
+//! 3. **Dataflow analyses** ([`analyze_compile`] / [`analyze_program`],
+//!    the opt-in `analyze` pipeline stage) — a generic forward/backward
+//!    [`dataflow`] engine with four clients: per-buffer value intervals
+//!    flagging numeric hazards (`F201`–`F203`), a backward-demand
+//!    residual-redundancy detector (`F204`), a parallel-schedule race
+//!    checker proving or refuting race freedom at element granularity
+//!    (`F301`/`F302`), and a buffer-lifetime / storage-reuse report.
 //!
 //! # Example
 //!
@@ -45,15 +52,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod dataflow;
 mod diag;
 mod lint;
 mod soundness;
 
+pub use analyze::{
+    analyze_compile, analyze_program, check_emission_chunks, check_schedule, conflict_pairs,
+    level_schedule, AnalyzeOptions, AnalyzeReport, BufferLifetime, LifetimeReport, Schedule, Task,
+    Unit,
+};
 pub use diag::{
     from_model_error, render_human, render_json, render_sarif, rule, Diagnostic, Rule, Severity,
     RULES,
 };
 pub use lint::lint;
 pub use soundness::{
-    check_compile, check_program, check_program_invocations, OutputDemand, SoundnessReport,
+    check_compile, check_program, check_program_invocations, output_demands, OutputDemand,
+    SoundnessReport,
 };

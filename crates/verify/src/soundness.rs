@@ -21,7 +21,8 @@
 //! translation-validation posture, rather than trusting the optimizer.
 
 use crate::diag::Diagnostic;
-use frodo_codegen::lir::{BufId, BufferRole, Program, Slice, Src, Stmt};
+use frodo_codegen::access::{stmt_access, Access};
+use frodo_codegen::lir::{BufId, BufferRole, Program, Stmt};
 use frodo_core::Analysis;
 use frodo_ranges::IndexSet;
 
@@ -68,9 +69,16 @@ impl SoundnessReport {
 /// was fully refreshed by the first, which is what makes rewrites carrying
 /// inter-invocation state (`Stmt::WindowedReuse`) sound to deploy.
 pub fn check_compile(analysis: &Analysis, program: &Program) -> SoundnessReport {
+    check_program_invocations(program, &output_demands(analysis, program), 2)
+}
+
+/// Derives each model output's demanded range the way Algorithm 1 anchors
+/// it: the `Outport`'s full input extent. Shared between the soundness
+/// checker and the dataflow analyses in [`crate::analyze`].
+pub fn output_demands(analysis: &Analysis, program: &Program) -> Vec<OutputDemand> {
     let model = analysis.dfg().model();
     let shapes = analysis.dfg().shapes();
-    let demands: Vec<OutputDemand> = program
+    program
         .outputs()
         .iter()
         .map(|&(index, _)| match model.outport(index) {
@@ -85,8 +93,7 @@ pub fn check_compile(analysis: &Analysis, program: &Program) -> SoundnessReport 
                 block: None,
             },
         })
-        .collect();
-    check_program_invocations(program, &demands, 2)
+        .collect()
 }
 
 /// Checks a [`Program`] against explicit output demands over a single
@@ -123,34 +130,6 @@ pub fn check_program_invocations(
     }
     ck.check_outputs(demands);
     ck.report
-}
-
-/// One element access: which buffer, which elements, and a short label
-/// ("src", "coeffs", …) for diagnostics.
-struct Access {
-    buf: BufId,
-    set: IndexSet,
-    what: &'static str,
-}
-
-fn run(buf: BufId, off: usize, len: usize, what: &'static str) -> Access {
-    Access {
-        buf,
-        set: IndexSet::from_range(off, off + len),
-        what,
-    }
-}
-
-fn slice(s: Slice, len: usize, what: &'static str) -> Access {
-    run(s.buf, s.off, len, what)
-}
-
-fn src(s: &Src, len: usize, what: &'static str) -> Option<Access> {
-    match s {
-        Src::Run(sl) => Some(slice(*sl, len, what)),
-        Src::Broadcast(sl) => Some(run(sl.buf, sl.off, 1, what)),
-        Src::Const(_) => None,
-    }
 }
 
 struct Checker<'p> {
@@ -217,6 +196,23 @@ impl<'p> Checker<'p> {
         self.diag("F105", stmt, buf, format!("malformed statement: {reason}"));
     }
 
+    /// Interprets one statement: derives its read/write sets from the
+    /// shared accessor ([`frodo_codegen::access::stmt_access`], mirroring
+    /// the `frodo-sim` VM element accesses exactly) and checks them.
+    fn step(&mut self, i: usize, stmt: &Stmt) {
+        self.report.stmts_checked += 1;
+        let acc = match stmt_access(self.program, stmt) {
+            Ok(acc) => acc,
+            Err(m) => return self.malformed(i, m.buf, m.reason),
+        };
+        for r in &acc.reads {
+            self.check_read(i, r);
+        }
+        for w in &acc.writes {
+            self.check_write(i, w);
+        }
+    }
+
     /// F102 + F101 for one read access.
     fn check_read(&mut self, stmt: usize, a: &Access) {
         let len = self.program.buffer(a.buf).len;
@@ -276,286 +272,6 @@ impl<'p> Checker<'p> {
         let w = a.set.intersect(&IndexSet::full(len));
         self.written[a.buf.0] = self.written[a.buf.0].union(&w);
         self.inv_writes[a.buf.0] = self.inv_writes[a.buf.0].union(&w);
-    }
-
-    /// Interprets one statement: derives its read/write sets (mirroring
-    /// the `frodo-sim` VM element accesses exactly) and checks them.
-    fn step(&mut self, i: usize, stmt: &Stmt) {
-        self.report.stmts_checked += 1;
-        let mut reads: Vec<Access> = Vec::new();
-        let mut writes: Vec<Access> = Vec::new();
-        match stmt {
-            Stmt::Unary {
-                dst, src: s, len, ..
-            }
-            | Stmt::FusedUnary {
-                dst, src: s, len, ..
-            } => {
-                if *len == 0 {
-                    return self.malformed(i, dst.buf, "zero-length run");
-                }
-                reads.extend(src(s, *len, "src"));
-                writes.push(slice(*dst, *len, "dst"));
-            }
-            Stmt::Binary { dst, a, b, len, .. } => {
-                if *len == 0 {
-                    return self.malformed(i, dst.buf, "zero-length run");
-                }
-                reads.extend(src(a, *len, "lhs"));
-                reads.extend(src(b, *len, "rhs"));
-                writes.push(slice(*dst, *len, "dst"));
-            }
-            Stmt::Select {
-                dst,
-                ctrl,
-                a,
-                b,
-                len,
-                ..
-            } => {
-                if *len == 0 {
-                    return self.malformed(i, dst.buf, "zero-length run");
-                }
-                reads.extend(src(ctrl, *len, "ctrl"));
-                reads.extend(src(a, *len, "then"));
-                reads.extend(src(b, *len, "else"));
-                writes.push(slice(*dst, *len, "dst"));
-            }
-            Stmt::Copy { dst, src: s, len } => {
-                if *len == 0 {
-                    return self.malformed(i, dst.buf, "zero-length run");
-                }
-                reads.push(slice(*s, *len, "src"));
-                writes.push(slice(*dst, *len, "dst"));
-            }
-            Stmt::Fill { dst, len, .. } => {
-                if *len == 0 {
-                    return self.malformed(i, dst.buf, "zero-length run");
-                }
-                writes.push(slice(*dst, *len, "dst"));
-            }
-            Stmt::Gather {
-                dst,
-                src: s,
-                indices,
-            } => {
-                if indices.is_empty() {
-                    return self.malformed(i, dst.buf, "empty gather index vector");
-                }
-                reads.push(Access {
-                    buf: *s,
-                    set: IndexSet::from_indices(indices.iter().copied()),
-                    what: "gather",
-                });
-                writes.push(slice(*dst, indices.len(), "dst"));
-            }
-            Stmt::DynGather {
-                dst,
-                src: s,
-                src_len,
-                idx,
-                len,
-            } => {
-                if *len == 0 {
-                    return self.malformed(i, dst.buf, "zero-length run");
-                }
-                if *src_len == 0 || *src_len > self.program.buffer(*s).len {
-                    return self.malformed(
-                        i,
-                        *s,
-                        "dynamic gather clamp bound outside the source extent",
-                    );
-                }
-                // runtime indices clamp into [0, src_len): the whole
-                // prefix is conservatively readable
-                reads.push(run(*s, 0, *src_len, "gather"));
-                reads.push(slice(*idx, *len, "indices"));
-                writes.push(slice(*dst, *len, "dst"));
-            }
-            Stmt::Reduce {
-                dst, src: s, len, ..
-            } => {
-                if *len == 0 {
-                    return self.malformed(i, dst.buf, "zero-length reduction");
-                }
-                reads.push(slice(*s, *len, "src"));
-                writes.push(slice(*dst, 1, "dst"));
-            }
-            Stmt::Dot { dst, a, b, len } => {
-                if *len == 0 {
-                    return self.malformed(i, dst.buf, "zero-length dot product");
-                }
-                reads.push(slice(*a, *len, "lhs"));
-                reads.push(slice(*b, *len, "rhs"));
-                writes.push(slice(*dst, 1, "dst"));
-            }
-            Stmt::Conv {
-                dst,
-                u,
-                u_len,
-                v,
-                v_len,
-                k0,
-                k1,
-                ..
-            } => {
-                if *k0 >= *k1 || *u_len == 0 || *v_len == 0 {
-                    return self.malformed(i, *dst, "empty convolution run");
-                }
-                let kmax = (*k1 - 1).min(*u_len + *v_len - 2);
-                reads.push(Access {
-                    buf: *u,
-                    set: IndexSet::from_range(
-                        k0.saturating_sub(*v_len - 1),
-                        kmax.min(*u_len - 1) + 1,
-                    ),
-                    what: "u",
-                });
-                reads.push(Access {
-                    buf: *v,
-                    set: IndexSet::from_range(
-                        k0.saturating_sub(*u_len - 1),
-                        kmax.min(*v_len - 1) + 1,
-                    ),
-                    what: "v",
-                });
-                writes.push(run(*dst, *k0, *k1 - *k0, "dst"));
-            }
-            Stmt::Fir {
-                dst,
-                src: s,
-                coeffs,
-                taps,
-                k0,
-                k1,
-            } => {
-                if *k0 >= *k1 || *taps == 0 {
-                    return self.malformed(i, *dst, "empty FIR run");
-                }
-                reads.push(Access {
-                    buf: *s,
-                    set: IndexSet::from_range(k0.saturating_sub(*taps - 1), *k1),
-                    what: "src",
-                });
-                reads.push(run(*coeffs, 0, (*k1 - 1).min(*taps - 1) + 1, "coeffs"));
-                writes.push(run(*dst, *k0, *k1 - *k0, "dst"));
-            }
-            Stmt::MovingAvg {
-                dst,
-                src: s,
-                window,
-                k0,
-                k1,
-            } => {
-                if *k0 >= *k1 || *window == 0 {
-                    return self.malformed(i, *dst, "empty moving-average run");
-                }
-                reads.push(Access {
-                    buf: *s,
-                    set: IndexSet::from_range(k0.saturating_sub(*window - 1), *k1),
-                    what: "src",
-                });
-                writes.push(run(*dst, *k0, *k1 - *k0, "dst"));
-            }
-            Stmt::CumSum { dst, src: s, k_end } => {
-                if *k_end == 0 {
-                    return self.malformed(i, *dst, "empty cumulative-sum prefix");
-                }
-                reads.push(run(*s, 0, *k_end, "src"));
-                writes.push(run(*dst, 0, *k_end, "dst"));
-            }
-            Stmt::Diff {
-                dst,
-                src: s,
-                k0,
-                k1,
-            } => {
-                if *k0 >= *k1 {
-                    return self.malformed(i, *dst, "empty difference run");
-                }
-                let lo = if *k0 == 0 { 0 } else { *k0 - 1 };
-                reads.push(run(*s, lo, *k1 - lo, "src"));
-                writes.push(run(*dst, *k0, *k1 - *k0, "dst"));
-            }
-            Stmt::MatMul {
-                dst,
-                a,
-                b,
-                m,
-                k,
-                n,
-                r0,
-                r1,
-            } => {
-                if *r0 >= *r1 || *r1 > *m || *k == 0 || *n == 0 {
-                    return self.malformed(i, *dst, "empty or out-of-shape matmul row run");
-                }
-                reads.push(run(*a, r0 * k, (*r1 - *r0) * k, "lhs rows"));
-                reads.push(run(*b, 0, k * n, "rhs"));
-                writes.push(run(*dst, r0 * n, (*r1 - *r0) * n, "dst rows"));
-            }
-            Stmt::Transpose {
-                dst,
-                src: s,
-                rows,
-                cols,
-            } => {
-                if *rows == 0 || *cols == 0 {
-                    return self.malformed(i, *dst, "empty transpose");
-                }
-                reads.push(run(*s, 0, rows * cols, "src"));
-                writes.push(run(*dst, 0, rows * cols, "dst"));
-            }
-            Stmt::StateLoad { dst, state, len } => {
-                if *len == 0 {
-                    return self.malformed(i, *dst, "zero-length state load");
-                }
-                reads.push(run(*state, 0, *len, "state"));
-                writes.push(run(*dst, 0, *len, "dst"));
-            }
-            Stmt::StateStore { state, src: s, len } => {
-                if *len == 0 {
-                    return self.malformed(i, *state, "zero-length state store");
-                }
-                reads.push(run(*s, 0, *len, "src"));
-                writes.push(run(*state, 0, *len, "state"));
-            }
-            Stmt::WindowedReuse {
-                dst,
-                src: s,
-                src_len,
-                state,
-                window,
-                k0,
-                k1,
-                ..
-            } => {
-                if *k0 >= *k1 || *window == 0 || *src_len == 0 {
-                    return self.malformed(i, *dst, "empty windowed-reuse run");
-                }
-                if *src_len > self.program.buffer(*s).len {
-                    return self.malformed(i, *s, "windowed-reuse clamp beyond the source extent");
-                }
-                // union of the clamped windows over [k0, k1); the tail
-                // retention reads a subset of the same range
-                let lo = (*k0 + 1).saturating_sub(*window);
-                let hi = (*k1 - 1).min(*src_len - 1);
-                if lo > hi {
-                    return self.malformed(i, *s, "windowed-reuse run past the source extent");
-                }
-                reads.push(run(*s, lo, hi + 1 - lo, "src"));
-                writes.push(run(*dst, *k0, *k1 - *k0, "dst"));
-                // the retained tail must be refreshed in full — this write
-                // is what the second-invocation carry-over validates
-                writes.push(run(*state, 0, *window, "state"));
-            }
-        }
-        for r in &reads {
-            self.check_read(i, r);
-        }
-        for w in &writes {
-            self.check_write(i, w);
-        }
     }
 
     /// F103/F104: every output's final written set must equal its demand.

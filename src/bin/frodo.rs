@@ -17,7 +17,7 @@
 //! frodo obs      export|diff|report               trace exports, cross-run perf diffs
 //! frodo simulate <model> [--seed N] [--steps N]    reference simulation
 //! frodo bench    <model> [--native]                compare the four generators
-//! frodo calibrate [--steps N] [--native [--iters N]] [--check BANDS]
+//! frodo calibrate [--steps N] [--native [--iters N] [--sanitize]] [--check BANDS]
 //!                [--ledger | --ledger-out F]       cost-model calibration
 //! frodo convert  <in.{slx,mdl}> <out.{slx,mdl}>    format conversion
 //! frodo demo     <name> <out.{slx,mdl}>            export a Table-1 benchmark
@@ -77,13 +77,15 @@ fn print_usage() {
         "frodo — redundancy-eliminating code generation for Simulink models\n\
          \n\
          USAGE:\n\
-         \x20 frodo analyze  <model.{{slx,mdl}}>\n\
-         \x20 frodo lint     <model> [--format human|json|sarif]\n\
-         \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [--vectorize M] [--profile] [-o out.c]\n\
+         \x20 frodo analyze  <model> [-s STYLE] [--engine E] [--vectorize M] [--window-reuse] [--threads N]\n\
+         \x20                [--format human|json|sarif] [-o out] [--gate] [--trace] | analyze --selftest\n\
+         \x20 frodo lint     <model> [--format human|json|sarif] | lint --explain CODE\n\
+         \x20 frodo build    <model> [-s simulink|dfsynth|hcg|frodo] [--shared-helper] [--vectorize M] [--profile]\n\
+         \x20                [--harness ITERS] [-o out.c]\n\
          \x20 frodo compile  <model> [-s STYLE] [--threads N] [--engine recursive|iterative|parallel]\n\
          \x20                [--vectorize auto|off|hints|batch[:W]] [--window-reuse] [--profile]\n\
-         \x20                [--verify] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
-         \x20 frodo batch    <models...> [--workers N] [--threads N] [--verify] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
+         \x20                [--verify] [--analyze] [--cache-dir DIR] [--no-cache] [--trace out.ndjson] [-o out.c]\n\
+         \x20 frodo batch    <models...> [--workers N] [--threads N] [--verify] [--analyze] [--cache-dir DIR] [-s STYLES|all] [-o DIR] [--machine]\n\
          \x20                [--vectorize M] [--window-reuse] [--trace] [--trace-out out.ndjson] [--incremental [--region-max N]]\n\
          \x20 frodo serve    [--socket PATH|--tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap BYTES]\n\
          \x20                [--cache-dir DIR] [--ledger | --ledger-out F]\n\
@@ -92,7 +94,7 @@ fn print_usage() {
          \x20 frodo client   [--socket PATH|--tcp ADDR] lint <model> | status | metrics | shutdown\n\
          \x20 frodo simulate <model> [--seed N] [--steps N]\n\
          \x20 frodo bench    <model> [--native]\n\
-         \x20 frodo calibrate [--steps N] [--native [--iters N]] [--check BANDS.ndjson] [--ledger | --ledger-out F]\n\
+         \x20 frodo calibrate [--steps N] [--native [--iters N] [--sanitize]] [--check BANDS.ndjson] [--ledger | --ledger-out F]\n\
          \x20 frodo verify   <model> [--seeds N] [--steps N]\n\
          \x20 frodo convert  <in.{{slx,mdl}}> <out.{{slx,mdl}}>\n\
          \x20 frodo demo     <benchmark-name> <out.{{slx,mdl}}>\n\
@@ -109,7 +111,16 @@ fn print_usage() {
          specs; with --ledger, one entry per job).\n\
          --verify runs the range-soundness checker (frodo-verify) on every\n\
          fresh compile and fails closed with F1xx diagnostics; frodo lint\n\
-         reports F0xx model diagnostics (exit 1 on errors, not warnings).\n\
+         reports F0xx model diagnostics (exit 1 on errors, not warnings);\n\
+         lint --explain CODE prints any rule's registry entry and a minimal\n\
+         trigger. frodo analyze adds the dataflow analyses over the lowered\n\
+         IR: value-range numeric safety (F201-F203), residual-redundancy\n\
+         detection (F204), parallel-schedule race checking (F301/F302), and\n\
+         buffer lifetimes; --gate exits nonzero on any finding, --selftest\n\
+         runs the injected-defect detector checks. compile/batch/serve take\n\
+         --analyze to run the same stage in the pipeline (fails closed on\n\
+         F3xx). build --harness ITERS emits the self-checking native harness\n\
+         (the ASan/UBSan CI lane compiles it with the sanitizers on).\n\
          --vectorize shapes loops for SIMD (hints adds restrict/alignment,\n\
          batch[:W] emits W-wide bodies); --window-reuse rewrites sliding-\n\
          window statements into delta updates over a persistent ring buffer.\n\
@@ -184,10 +195,29 @@ fn positionals<'a>(args: &'a [String], value_flags: &[&str], bool_flags: &[&str]
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("analyze: missing model path")?;
+    if args.iter().any(|a| a == "--selftest") {
+        return analyze_selftest();
+    }
+    let pos = positionals(
+        args,
+        &[
+            "--engine",
+            "-s",
+            "--style",
+            "--vectorize",
+            "--threads",
+            "-t",
+            "--format",
+            "-f",
+            "-o",
+            "--output",
+        ],
+        &["--trace", "--window-reuse", "--gate"],
+    );
+    let model_ref = pos.first().ok_or("analyze: missing model path or name")?;
     let want_trace = args.iter().any(|a| a == "--trace");
-    let model = load_model(path)?;
-    let analysis = Analysis::run(model).map_err(|e| e.to_string())?;
+    let model = resolve_model(model_ref)?;
+    let analysis = Analysis::run_with(model, range_options(args)?).map_err(|e| e.to_string())?;
     if want_trace {
         print!("{}", frodo::core::explain::trace(&analysis));
         return Ok(());
@@ -211,6 +241,240 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             analysis.range(port.block, port.port)
         );
     }
+
+    // static analysis: lower with the requested style and run the
+    // dataflow analyses over the statement IR
+    let style = match flag_value(args, &["-s", "--style"]) {
+        Some(s) => parse_style(s)?,
+        None => GeneratorStyle::Frodo,
+    };
+    vector_mode(args)?; // validated for CLI-matrix symmetry; access sets are emission-invariant
+    let lower = frodo::codegen::LowerOptions {
+        window_reuse: args.iter().any(|a| a == "--window-reuse"),
+        ..Default::default()
+    };
+    let program = frodo::codegen::generate_with(&analysis, style, lower, &frodo_obs::Trace::noop());
+    let threads = intra_threads(args)?;
+    let opts = frodo::verify::AnalyzeOptions {
+        emit_threads: if threads == 0 { 4 } else { threads },
+        ..Default::default()
+    };
+    let report = frodo::verify::analyze_compile(&analysis, &program, &opts);
+    println!(
+        "\nstatic analysis ({style}, {} statements, {} buffers):",
+        report.stmts, report.buffers
+    );
+    println!(
+        "  value ranges: {} buffers bounded in {} pass{} ({})",
+        report.value_ranges.len(),
+        report.interval_passes,
+        if report.interval_passes == 1 {
+            ""
+        } else {
+            "es"
+        },
+        if report.interval_converged {
+            "converged"
+        } else {
+            "widened"
+        }
+    );
+    println!(
+        "  residual redundancy: {} element{} over {} statement{}",
+        report.residual_elements,
+        if report.residual_elements == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.residual_stmts,
+        if report.residual_stmts == 1 { "" } else { "s" }
+    );
+    println!(
+        "  schedule: {} unit{} (width {}), {} conflicting pair{} checked, race-free: {}",
+        report.schedule_units,
+        if report.schedule_units == 1 { "" } else { "s" },
+        report.schedule_width,
+        report.schedule_pairs,
+        if report.schedule_pairs == 1 { "" } else { "s" },
+        if report.race_free() { "yes" } else { "NO" }
+    );
+    println!(
+        "  emission chunks: {} ({} cross-chunk conflicting pair{})",
+        report.chunk_count,
+        report.chunk_cross_conflicts,
+        if report.chunk_cross_conflicts == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
+    println!(
+        "  lifetimes: {} dead-store element{}, {} temp buffer{} -> {} slot{} ({} elements reclaimable)",
+        report.lifetime.dead_store_elements,
+        if report.lifetime.dead_store_elements == 1 { "" } else { "s" },
+        report.lifetime.temp_buffers,
+        if report.lifetime.temp_buffers == 1 { "" } else { "s" },
+        report.lifetime.temp_slots,
+        if report.lifetime.temp_slots == 1 { "" } else { "s" },
+        report.lifetime.reclaimable_elements
+    );
+    let rendered = match flag_value(args, &["--format", "-f"]).unwrap_or("human") {
+        "human" => frodo::verify::render_human(&report.diagnostics),
+        "json" => frodo::verify::render_json(&report.diagnostics),
+        "sarif" => frodo::verify::render_sarif(&report.diagnostics),
+        other => {
+            return Err(format!(
+                "analyze: unknown format '{other}' (expected human|json|sarif)"
+            ))
+        }
+    };
+    match flag_value(args, &["-o", "--output"]) {
+        Some(out) => std::fs::write(out, &rendered).map_err(|e| format!("{out}: {e}"))?,
+        None => {
+            if !report.diagnostics.is_empty() {
+                println!();
+                print!("{rendered}");
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--gate") && !report.is_clean() {
+        return Err(format!(
+            "analyze gate: {} finding{} ({} error{}, {} residual element{}) in '{model_ref}'",
+            report.diagnostics.len(),
+            if report.diagnostics.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            report.error_count(),
+            if report.error_count() == 1 { "" } else { "s" },
+            report.residual_elements,
+            if report.residual_elements == 1 {
+                ""
+            } else {
+                "s"
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// Injected-defect self-test of the `analyze` detectors: a known
+/// over-computing program must trip the residual detector (F204) and a
+/// claimed concurrent schedule with overlapping writes must be refuted
+/// (F301). Exits non-zero if either detector goes blind.
+fn analyze_selftest() -> Result<(), String> {
+    use frodo::codegen::lir::{BufId, Buffer, BufferRole, ConvStyle, Program, Slice, Stmt};
+    use frodo::codegen::GeneratorStyle;
+
+    // Figure-1-style over-computation: conv writes [0, 60), only [5, 55)
+    // is consumed -> 10 residual elements
+    let fig1 = Program {
+        name: "selftest_residual".into(),
+        style: GeneratorStyle::SimulinkCoder,
+        buffers: vec![
+            Buffer {
+                name: "u".into(),
+                len: 50,
+                role: BufferRole::Input(0),
+            },
+            Buffer {
+                name: "v".into(),
+                len: 11,
+                role: BufferRole::Const(vec![0.1; 11]),
+            },
+            Buffer {
+                name: "conv".into(),
+                len: 60,
+                role: BufferRole::Temp,
+            },
+            Buffer {
+                name: "out0".into(),
+                len: 50,
+                role: BufferRole::Output(0),
+            },
+        ],
+        stmts: vec![
+            Stmt::Conv {
+                dst: BufId(2),
+                u: BufId(0),
+                u_len: 50,
+                v: BufId(1),
+                v_len: 11,
+                k0: 0,
+                k1: 60,
+                style: ConvStyle::Branchy,
+            },
+            Stmt::Copy {
+                dst: Slice::new(BufId(3), 0),
+                src: Slice::new(BufId(2), 5),
+                len: 50,
+            },
+        ],
+    };
+    let report =
+        frodo::verify::analyze_program(&fig1, &[], &frodo::verify::AnalyzeOptions::default());
+    if report.residual_elements != 10 || !report.diagnostics.iter().any(|d| d.code == "F204") {
+        return Err(format!(
+            "analyze selftest: residual detector missed the injected over-computation              (got {} residual elements)",
+            report.residual_elements
+        ));
+    }
+    println!(
+        "selftest residual: PASS ({} residual elements flagged F204)",
+        report.residual_elements
+    );
+
+    // overlapping writes claimed concurrent: the race checker must refute
+    let racy = Program {
+        name: "selftest_race".into(),
+        style: GeneratorStyle::Frodo,
+        buffers: vec![Buffer {
+            name: "out0".into(),
+            len: 8,
+            role: BufferRole::Output(0),
+        }],
+        stmts: vec![
+            Stmt::Fill {
+                dst: Slice::new(BufId(0), 0),
+                value: 1.0,
+                len: 6,
+            },
+            Stmt::Fill {
+                dst: Slice::new(BufId(0), 4),
+                value: 2.0,
+                len: 4,
+            },
+        ],
+    };
+    let accs: Vec<_> = racy
+        .stmts
+        .iter()
+        .map(|s| frodo::codegen::access::stmt_access(&racy, s))
+        .collect();
+    let pairs = frodo::verify::conflict_pairs(&accs);
+    let claimed = frodo::verify::Schedule {
+        units: vec![frodo::verify::Unit {
+            tasks: vec![
+                frodo::verify::Task { stmts: vec![0] },
+                frodo::verify::Task { stmts: vec![1] },
+            ],
+        }],
+    };
+    let (diags, checked) = frodo::verify::check_schedule(&racy, &claimed, &accs, &pairs);
+    if !diags.iter().any(|d| d.code == "F301") {
+        return Err("analyze selftest: race checker accepted an overlapping-write schedule".into());
+    }
+    println!("selftest race: PASS (injected overlap refuted F301, {checked} pair checked)");
+
+    // and the derived schedule for the same program must verify race-free
+    let derived = frodo::verify::level_schedule(&pairs, racy.stmts.len());
+    let (diags, _) = frodo::verify::check_schedule(&racy, &derived, &accs, &pairs);
+    if !diags.is_empty() {
+        return Err("analyze selftest: derived schedule failed its own verification".into());
+    }
+    println!("selftest schedule: PASS (derived level schedule verifies race-free)");
     Ok(())
 }
 
@@ -233,6 +497,9 @@ fn resolve_model(model_ref: &str) -> Result<Model, String> {
 /// Static model diagnostics (`frodo-verify` layer 1). Exit code is only
 /// non-zero for error-severity findings; warnings report and pass.
 fn cmd_lint(args: &[String]) -> Result<(), String> {
+    if let Some(code) = flag_value(args, &["--explain"]) {
+        return lint_explain(code);
+    }
     let pos = positionals(args, &["--format", "-f", "-o", "--output"], &[]);
     let model_ref = pos.first().ok_or("lint: missing model path or name")?;
     let model = resolve_model(model_ref)?;
@@ -272,6 +539,30 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `frodo lint --explain CODE`: prints the registry entry for one rule —
+/// severity, summary, and a minimal model/program that triggers it.
+fn lint_explain(code: &str) -> Result<(), String> {
+    let code = code.to_ascii_uppercase();
+    match frodo::verify::rule(&code) {
+        Some(r) => {
+            println!("{} ({})", r.code, r.severity);
+            println!("  {}", r.summary);
+            println!("\nminimal trigger:");
+            for line in r.example.lines() {
+                println!("  {line}");
+            }
+            Ok(())
+        }
+        None => {
+            let known: Vec<&str> = frodo::verify::RULES.iter().map(|r| r.code).collect();
+            Err(format!(
+                "lint: unknown rule id '{code}' (known rules: {})",
+                known.join(", ")
+            ))
+        }
+    }
+}
+
 /// Parses `--vectorize auto|off|hints|batch[:W]`; bare `batch` takes the
 /// x86 cost model's lane count.
 fn vector_mode(args: &[String]) -> Result<frodo::codegen::VectorMode, String> {
@@ -288,17 +579,23 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         None => GeneratorStyle::Frodo,
     };
     let shared = args.iter().any(|a| a == "--shared-helper");
-    let model = load_model(path)?;
+    let model = resolve_model(path)?;
     let analysis = Analysis::run(model).map_err(|e| e.to_string())?;
     let program = generate(&analysis, style, &frodo_obs::Trace::noop());
-    let code = frodo::codegen::emit_c_with(
-        &program,
-        frodo::codegen::CEmitOptions {
-            shared_conv_helper: shared,
-            vectorize: vector_mode(args)?,
-            profile: args.iter().any(|a| a == "--profile"),
-        },
-    );
+    let opts = frodo::codegen::CEmitOptions {
+        shared_conv_helper: shared,
+        vectorize: vector_mode(args)?,
+        profile: args.iter().any(|a| a == "--profile"),
+    };
+    let code = match flag_value(args, &["--harness"]) {
+        Some(iters) => {
+            let iters: usize = iters
+                .parse()
+                .map_err(|_| "build: bad --harness iteration count".to_string())?;
+            frodo::codegen::emit_c_harness_with(&program, iters, opts)
+        }
+        None => frodo::codegen::emit_c_with(&program, opts),
+    };
     match flag_value(args, &["-o", "--output"]) {
         Some(out) => {
             std::fs::write(out, &code).map_err(|e| format!("{out}: {e}"))?;
@@ -400,6 +697,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             "--no-cache",
             "--ledger",
             "--verify",
+            "--analyze",
             "--window-reuse",
             "--profile",
         ],
@@ -419,6 +717,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             .range(range_options(args)?)
             .intra_threads(intra)
             .verify(args.iter().any(|a| a == "--verify"))
+            .analyze(args.iter().any(|a| a == "--analyze"))
             .vectorize(vector_mode(args)?)
             .window_reuse(args.iter().any(|a| a == "--window-reuse"))
             .profile(args.iter().any(|a| a == "--profile"))
@@ -542,6 +841,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             "--trace",
             "--ledger",
             "--verify",
+            "--analyze",
             "--incremental",
             "--window-reuse",
             "--profile",
@@ -556,6 +856,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .range(range_options(args)?)
         .intra_threads(intra)
         .verify(args.iter().any(|a| a == "--verify"))
+        .analyze(args.iter().any(|a| a == "--analyze"))
         .vectorize(vector_mode(args)?)
         .window_reuse(args.iter().any(|a| a == "--window-reuse"))
         .profile(args.iter().any(|a| a == "--profile"))
@@ -812,6 +1113,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 /// and prints per-kind p50/p95 measured/predicted ratios. `--check FILE`
 /// exits nonzero when a kind's p50 leaves its committed tolerance band;
 /// `--ledger`/`--ledger-out` append the report as a perf-ledger entry.
+/// `--native --sanitize` builds the harnesses under ASan/UBSan instead of
+/// `-O3` — a dynamic memory/UB sweep of every benchmark's generated code
+/// (don't `--check` those timings against the committed bands).
 fn cmd_calibrate(args: &[String]) -> Result<(), String> {
     use frodo::bench::calibrate;
     let steps: usize = flag_value(args, &["--steps"])
@@ -819,16 +1123,23 @@ fn cmd_calibrate(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(5);
     let start = std::time::Instant::now();
+    let sanitize = args.iter().any(|a| a == "--sanitize");
     let report = if args.iter().any(|a| a == "--native") {
         if !native::gcc_available() {
             return Err("calibrate: --native requested but gcc is unavailable".into());
+        }
+        if sanitize && !native::sanitizer_available() {
+            return Err("calibrate: --sanitize requested but gcc lacks ASan/UBSan runtimes".into());
         }
         let iters: usize = flag_value(args, &["--iters"])
             .map(|s| s.parse().map_err(|_| "bad --iters".to_string()))
             .transpose()?
             .unwrap_or(200);
-        calibrate::calibrate_native(iters).map_err(|e| e.to_string())?
+        calibrate::calibrate_native_opts(iters, sanitize).map_err(|e| e.to_string())?
     } else {
+        if sanitize {
+            return Err("calibrate: --sanitize requires --native".into());
+        }
         calibrate::calibrate_vm(steps)
     };
     let wall_ns = start.elapsed().as_nanos() as u64;

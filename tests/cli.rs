@@ -141,6 +141,7 @@ fn compile_trace_writes_parseable_ndjson() {
         .args([
             "compile",
             "--verify",
+            "--analyze",
             "--trace",
             ndjson.to_str().unwrap(),
             "Kalman",
@@ -157,8 +158,8 @@ fn compile_trace_writes_parseable_ndjson() {
     let text = std::fs::read_to_string(&ndjson).expect("trace file written");
     let stats = frodo::obs::ndjson::validate(&text).expect("NDJSON parses");
     assert!(
-        stats.spans >= 12,
-        "job root + 11 stages, got {}",
+        stats.spans >= 13,
+        "job root + 12 stages, got {}",
         stats.spans
     );
     for stage in frodo::obs::STAGE_NAMES {
@@ -520,4 +521,113 @@ fn obs_report_warns_on_corrupt_lines_and_strict_exits_nonzero() {
     assert!(stderr.contains("unparseable"), "{stderr}");
 
     let _ = std::fs::remove_file(&ledger);
+}
+
+#[test]
+fn analyze_gates_benchmarks_and_runs_the_selftest() {
+    // benchmark names resolve directly; --gate exits zero on clean output
+    let out = frodo()
+        .args(["analyze", "HT", "--gate"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("static analysis"), "{text}");
+    assert!(text.contains("race-free: yes"), "{text}");
+    assert!(text.contains("residual redundancy: 0 elements"), "{text}");
+
+    // the Simulink-style baseline over-computes: --gate must fail with F204
+    let out = frodo()
+        .args(["analyze", "HT", "-s", "simulink", "--gate"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "baseline should trip the gate");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("F204"));
+
+    // injected-defect selftest: all detectors must report PASS
+    let out = frodo()
+        .args(["analyze", "--selftest"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("selftest residual: PASS"), "{text}");
+    assert!(text.contains("selftest race: PASS"), "{text}");
+    assert!(text.contains("selftest schedule: PASS"), "{text}");
+}
+
+#[test]
+fn lint_explain_prints_rules_and_rejects_unknown_ids() {
+    let out = frodo()
+        .args(["lint", "--explain", "F103"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("F103"), "{text}");
+    assert!(text.contains("minimal trigger:"), "{text}");
+
+    // lower-case ids are normalized
+    let out = frodo()
+        .args(["lint", "--explain", "f301"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("F301"));
+
+    let out = frodo()
+        .args(["lint", "--explain", "F999"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown rule id 'F999'"), "{err}");
+    assert!(err.contains("F001"), "error should list known rules: {err}");
+}
+
+#[test]
+fn bad_vectorize_mode_error_enumerates_accepted_forms() {
+    let out = frodo()
+        .args(["compile", "HT", "--no-cache", "--vectorize", "wide"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains(
+            "unknown vectorize mode 'wide' (expected auto|off|hints|batch[:W], W in 2..=16)"
+        ),
+        "{err}"
+    );
+
+    let out = frodo()
+        .args(["compile", "HT", "--no-cache", "--vectorize", "batch:64"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("batch width 64 out of range 2..=16"),);
+}
+
+#[test]
+fn build_harness_emits_the_self_checking_driver() {
+    let out = frodo()
+        .args(["build", "HT", "--harness", "3", "--profile"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let c = String::from_utf8_lossy(&out.stdout);
+    assert!(c.contains("int main("), "{c}");
+    assert!(c.contains("void HT_step("), "{c}");
 }

@@ -6,7 +6,8 @@ use frodo::obs::ndjson;
 use frodo::prelude::*;
 
 /// Compiles one Table-1 model through the driver with a trace attached.
-/// Verification is on so the opt-in `verify` stage records a span too.
+/// Verification and analysis are on so the opt-in `verify` and `analyze`
+/// stages record spans too.
 fn traced_compile() -> Trace {
     let trace = Trace::new();
     let bench = frodo::benchmodels::by_name("Kalman").expect("bundled benchmark");
@@ -14,7 +15,7 @@ fn traced_compile() -> Trace {
     service
         .compile(
             JobSpec::from_model(bench.name, bench.model, GeneratorStyle::Frodo)
-                .with_options(CompileOptions::builder().verify(true).build())
+                .with_options(CompileOptions::builder().verify(true).analyze(true).build())
                 .with_trace(&trace),
         )
         .expect("benchmark compiles");
@@ -22,12 +23,12 @@ fn traced_compile() -> Trace {
 }
 
 #[test]
-fn stage_names_are_the_canonical_eleven() {
+fn stage_names_are_the_canonical_twelve() {
     assert_eq!(
         frodo::obs::STAGE_NAMES,
         [
             "parse", "flatten", "hash", "cache", "dfg", "iomap", "ranges", "classify", "lower",
-            "verify", "emit"
+            "verify", "analyze", "emit"
         ]
     );
 }
@@ -38,8 +39,8 @@ fn ndjson_export_validates_and_covers_every_stage() {
     let text = trace.to_ndjson();
     let stats = ndjson::validate(&text).expect("every line parses with required fields");
     assert!(
-        stats.spans >= 11,
-        "job root + 10 stages, got {}",
+        stats.spans >= 12,
+        "job root + 11 stages, got {}",
         stats.spans
     );
     assert!(stats.counters > 0);

@@ -582,3 +582,61 @@ fn shutdown_drains_the_backlog_and_removes_the_socket() {
     assert!(svc.request_max_ns > 0);
     let _ = std::fs::remove_file(&ledger);
 }
+
+/// Protocol version 4: the `analyze` flag rides a compile request through
+/// the daemon. A FRODO-style compile with the dataflow analyses on must
+/// succeed with an artifact byte-identical to one compiled without them
+/// (the stage observes, it does not transform), and a Simulink-style
+/// compile must also succeed — its F204 residual-redundancy findings are
+/// warnings, not the fail-closed F3xx class.
+#[test]
+fn analyze_option_rides_the_wire_and_warnings_do_not_fail_jobs() {
+    let server = start_server("analyze", 1, 0);
+    let endpoint = server.endpoint().clone();
+    let mut client = Client::connect(&endpoint).expect("daemon is up");
+
+    let analyzed = RequestOptions {
+        analyze: true,
+        ..RequestOptions::default()
+    };
+    // analyzed first, so the fresh (uncached) compile is the one that
+    // actually runs the stage and would fail closed on an F3xx finding
+    let mut codes = Vec::new();
+    for opts in [&analyzed, &RequestOptions::default()] {
+        let line = client
+            .request_one(&frodo::serve::client::compile_request(
+                "HT",
+                Some("frodo"),
+                opts,
+                None,
+            ))
+            .unwrap();
+        assert_eq!(str_field(&line, "type"), "result");
+        assert_eq!(num_field(&line, "ok"), 1.0, "compile failed: {line}");
+        codes.push(str_field(&line, "code"));
+    }
+    assert_eq!(
+        codes[0], codes[1],
+        "analyze stage must not change the artifact"
+    );
+
+    let line = client
+        .request_one(&frodo::serve::client::compile_request(
+            "HT",
+            Some("simulink"),
+            &analyzed,
+            None,
+        ))
+        .unwrap();
+    assert_eq!(
+        num_field(&line, "ok"),
+        1.0,
+        "residual-redundancy warnings must not fail the job: {line}"
+    );
+
+    let ack = client
+        .request_one(&frodo::serve::client::simple_request("shutdown", None))
+        .unwrap();
+    assert_eq!(str_field(&ack, "type"), "shutdown");
+    server.wait();
+}
